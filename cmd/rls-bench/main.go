@@ -1,0 +1,86 @@
+// Command rls-bench regenerates the tables and figures of the paper's
+// evaluation section (§5). Each experiment builds an in-process RLS
+// deployment with the appropriate database personality, simulated 2004-era
+// disk, and LAN/WAN network shaping, then prints a table shaped like the
+// paper's figure.
+//
+// Usage:
+//
+//	rls-bench [flags] [experiment ...]
+//
+// With no experiment arguments, every registered experiment runs. Use
+// -list to see the available ids (fig4 ... fig13, table3, ablate-*).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Float64("scale", 0.02, "fraction of the paper's database sizes (1.0 = 1M-entry LRCs)")
+		trials  = flag.Int("trials", 3, "trials per measured point (paper used 5)")
+		ops     = flag.Float64("ops", 1.0, "multiplier on per-point operation counts")
+		quick   = flag.Bool("quick", false, "preset: -scale 0.005 -trials 1 -ops 0.3")
+		noDisk  = flag.Bool("no-disk-model", false, "disable the simulated 2004-era disk costs")
+		noNet   = flag.Bool("no-net-model", false, "disable LAN/WAN network shaping")
+		verbose = flag.Bool("v", false, "print per-experiment timing")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-22s %s\n%-22s   paper: %s\n", e.ID, e.Title, "", e.Paper)
+		}
+		return
+	}
+
+	p := harness.DefaultParams(os.Stdout)
+	p.Scale = *scale
+	p.Trials = *trials
+	p.Ops = *ops
+	if *quick {
+		p.Scale = 0.005
+		p.Trials = 1
+		p.Ops = 0.3
+	}
+	p.DiskModel = !*noDisk
+	p.NetModel = !*noNet
+
+	ids := flag.Args()
+	var experiments []harness.Experiment
+	if len(ids) == 0 {
+		experiments = harness.All()
+	} else {
+		for _, id := range ids {
+			e, ok := harness.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rls-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			experiments = append(experiments, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range experiments {
+		start := time.Now()
+		if err := e.Run(p); err != nil {
+			fmt.Fprintf(os.Stderr, "rls-bench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *verbose {
+			fmt.Printf("   [%s completed in %.1fs]\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

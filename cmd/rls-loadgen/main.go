@@ -1,0 +1,135 @@
+// Command rls-loadgen drives load against a running RLS server over TCP —
+// the standalone analogue of the paper's multi-threaded C test client (§4:
+// "a multi-threaded client program ... that allows the user to specify the
+// number of threads that submit requests to a server and the types of
+// operations to perform").
+//
+// Usage:
+//
+//	rls-loadgen -server 127.0.0.1:39281 -op query -clients 10 -threads 10 -ops 20000
+//
+// Operations: add, delete, query, rli-query, bulk-query, mixed.
+// The tool prints the measured rate and latency distribution; -trials runs
+// the measurement several times and reports the mean, per the paper's
+// methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:39281", "RLS server address")
+		op      = flag.String("op", "query", "operation: add, delete, query, rli-query, bulk-query, mixed")
+		clients = flag.Int("clients", 1, "simulated client processes")
+		threads = flag.Int("threads", 10, "threads per client (one connection each)")
+		ops     = flag.Int("ops", 20000, "total operations per trial")
+		trials  = flag.Int("trials", 5, "measurement trials")
+		space   = flag.String("space", "loadgen", "name-space for generated names")
+		size    = flag.Int("preload", 0, "bulk-load this many mappings before measuring")
+		dn      = flag.String("dn", "", "identity Distinguished Name")
+		token   = flag.String("token", "", "identity credential token")
+	)
+	flag.Parse()
+
+	dial := func() (*client.Client, error) {
+		return client.Dial(client.Options{Addr: *server, DN: *dn, Token: *token})
+	}
+	gen := workload.Names{Space: *space}
+
+	if *size > 0 {
+		c, err := dial()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("preloading %d mappings...\n", *size)
+		if err := workload.Load(c, gen, *size, 1000); err != nil {
+			c.Close()
+			fatal(err)
+		}
+		c.Close()
+	}
+
+	catalog := *size
+	if catalog == 0 {
+		catalog = *ops
+	}
+	var fn workload.Op
+	switch *op {
+	case "add":
+		fn = func(c *client.Client, seq int) error {
+			return c.CreateMapping(gen.Logical(catalog+seq), gen.Target(catalog+seq, 0))
+		}
+	case "delete":
+		fn = func(c *client.Client, seq int) error {
+			return c.DeleteMapping(gen.Logical(seq%catalog), gen.Target(seq%catalog, 0))
+		}
+	case "query":
+		fn = func(c *client.Client, seq int) error {
+			_, err := c.GetTargets(gen.Logical(seq * 7919 % catalog))
+			return err
+		}
+	case "rli-query":
+		fn = func(c *client.Client, seq int) error {
+			_, err := c.RLIQuery(gen.Logical(seq * 7919 % catalog))
+			return err
+		}
+	case "bulk-query":
+		fn = func(c *client.Client, seq int) error {
+			names := make([]string, 1000)
+			for i := range names {
+				names[i] = gen.Logical((seq*1000 + i) % catalog)
+			}
+			_, err := c.BulkGetTargets(names)
+			return err
+		}
+	case "mixed":
+		fn = func(c *client.Client, seq int) error {
+			switch seq % 4 {
+			case 0:
+				return c.CreateMapping(gen.Logical(catalog+seq), gen.Target(catalog+seq, 0))
+			case 1:
+				return c.DeleteMapping(gen.Logical(catalog+seq-1), gen.Target(catalog+seq-1, 0))
+			default:
+				_, err := c.GetTargets(gen.Logical(seq * 7919 % catalog))
+				return err
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown op %q", *op))
+	}
+
+	drv := &workload.Driver{Clients: *clients, ThreadsPerClient: *threads, Dial: dial}
+	fmt.Printf("op=%s clients=%d threads/client=%d ops/trial=%d trials=%d\n",
+		*op, *clients, *threads, *ops, *trials)
+	var lastErrors int
+	sum, err := workload.Trials(*trials, func(trial int) (float64, error) {
+		res, err := drv.Run(*ops, fn)
+		if err != nil {
+			return 0, err
+		}
+		lastErrors = res.Errors
+		fmt.Printf("  trial %d: %.0f ops/s (%d ok, %d errors, p50=%v p95=%v p99=%v)\n",
+			trial+1, res.Rate, res.Ops, res.Errors,
+			res.Latencies.P50, res.Latencies.P95, res.Latencies.P99)
+		return res.Rate, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mean rate: %.0f ops/s (sd %.0f over %d trials)\n", sum.Mean, sum.StdDev, sum.N)
+	if lastErrors > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rls-loadgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command rls-server runs one or more RLS servers from a topology file —
+// the operational entry point corresponding to the paper's Globus RLS server
+// daemon.
+//
+// Usage:
+//
+//	rls-server -topology deployment.json
+//	rls-server -name lrc0 -roles lrc -listen 127.0.0.1:39281
+//
+// With -topology, every server in the file runs inside this process (the
+// harness-style single-host deployment). Without it, flags define one
+// server. The process runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/membership"
+	"repro/internal/storage"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "", "topology JSON file; runs every server it defines")
+		name     = flag.String("name", "rls0", "server name (single-server mode)")
+		roles    = flag.String("roles", "lrc", "comma-separated roles: lrc,rli (single-server mode)")
+		listen   = flag.String("listen", "127.0.0.1:39281", "TCP listen address (single-server mode)")
+		backend  = flag.String("backend", "mysql", "database personality: mysql or postgres")
+		dataDir  = flag.String("data-dir", "", "persist databases under this directory (default: in-memory)")
+		fastDisk = flag.Bool("fast-disk", true, "disable the simulated 2004-era disk model")
+		flush    = flag.Bool("flush-on-commit", false, "flush every transaction to the (simulated) disk")
+		imm      = flag.Bool("immediate-mode", false, "enable incremental soft state updates")
+	)
+	flag.Parse()
+
+	var dep *core.Deployment
+	if *topology != "" {
+		topo, err := membership.ParseFile(*topology)
+		if err != nil {
+			fatal(err)
+		}
+		dep, err = topo.Build()
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range topo.Servers {
+			node, _ := dep.Node(s.Name)
+			addr := node.Addr()
+			if addr == "" {
+				addr = "(in-process only)"
+			}
+			fmt.Printf("rls-server: %-12s roles=%-8s addr=%s\n", s.Name, strings.Join(s.Roles, "+"), addr)
+		}
+	} else {
+		spec := core.ServerSpec{
+			Name:          *name,
+			ListenAddr:    *listen,
+			FlushOnCommit: *flush,
+			DataDir:       *dataDir,
+			ImmediateMode: *imm,
+		}
+		for _, r := range strings.Split(*roles, ",") {
+			switch strings.TrimSpace(r) {
+			case "lrc":
+				spec.LRC = true
+			case "rli":
+				spec.RLI = true
+			case "":
+			default:
+				fatal(fmt.Errorf("unknown role %q", r))
+			}
+		}
+		switch *backend {
+		case "mysql":
+		case "postgres":
+			spec.Personality = storage.PersonalityPostgres
+		default:
+			fatal(fmt.Errorf("unknown backend %q", *backend))
+		}
+		if *fastDisk {
+			f := disk.Fast()
+			spec.Disk = &f
+		}
+		dep = core.NewDeployment()
+		node, err := dep.AddServer(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rls-server: %s serving %s on %s (backend=%s)\n",
+			node.Name, node.Server.Role(), node.Addr(), *backend)
+	}
+	defer dep.Close()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rls-server: shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rls-server: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,325 @@
+// Command rls is the command-line RLS client, mirroring the operations of
+// the paper's Table 1 (the globus-rls-cli analogue).
+//
+// Usage:
+//
+//	rls -server 127.0.0.1:39281 <command> [args]
+//
+// Commands:
+//
+//	ping
+//	info
+//	create <lfn> <pfn>          register a logical name with its first target
+//	add <lfn> <pfn>             add another target
+//	delete <lfn> <pfn>          remove a mapping
+//	get-pfn <lfn>               targets of a logical name (wildcards ok)
+//	get-lfn <pfn>               logical names of a target (wildcards ok)
+//	rli-query <lfn>             LRCs holding the logical name (wildcards ok)
+//	rli-lrcs                    LRCs updating this RLI
+//	attr-define <name> <logical|target> <string|int|float|date>
+//	attr-add <key> <logical|target> <name> <value>
+//	attr-get <key> <logical|target>
+//	rli-list                    RLIs this LRC updates
+//	rli-add <url> [bloom]       start updating an RLI
+//	rli-remove <url>            stop updating an RLI
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/glob"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "127.0.0.1:39281", "RLS server address")
+		dn     = flag.String("dn", "", "identity Distinguished Name")
+		token  = flag.String("token", "", "identity credential token")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	c, err := client.Dial(client.Options{Addr: *server, DN: *dn, Token: *token})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	cmd, rest := args[0], args[1:]
+	if err := run(c, cmd, rest); err != nil {
+		fatal(err)
+	}
+}
+
+func run(c *client.Client, cmd string, args []string) error {
+	switch cmd {
+	case "ping":
+		if err := c.Ping(); err != nil {
+			return err
+		}
+		fmt.Println("pong")
+	case "info":
+		info, err := c.ServerInfo()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("url:            %s\nrole:           %s\nlogical names:  %d\ntarget names:   %d\nmappings:       %d\nindex entries:  %d\nbloom filters:  %d\nuptime:         %s\n",
+			info.URL, info.Role, info.LogicalNames, info.TargetNames, info.Mappings,
+			info.IndexEntries, info.BloomFilters, time.Duration(info.UptimeSeconds)*time.Second)
+	case "create":
+		need(args, 2)
+		return c.CreateMapping(args[0], args[1])
+	case "add":
+		need(args, 2)
+		return c.AddMapping(args[0], args[1])
+	case "delete":
+		need(args, 2)
+		return c.DeleteMapping(args[0], args[1])
+	case "get-pfn":
+		need(args, 1)
+		if glob.HasWildcard(args[0]) {
+			results, err := c.WildcardTargets(args[0])
+			if err != nil {
+				return err
+			}
+			printResults(results)
+			return nil
+		}
+		names, err := c.GetTargets(args[0])
+		if err != nil {
+			return err
+		}
+		printNames(names)
+	case "get-lfn":
+		need(args, 1)
+		if glob.HasWildcard(args[0]) {
+			results, err := c.WildcardLogicals(args[0])
+			if err != nil {
+				return err
+			}
+			printResults(results)
+			return nil
+		}
+		names, err := c.GetLogicals(args[0])
+		if err != nil {
+			return err
+		}
+		printNames(names)
+	case "rli-query":
+		need(args, 1)
+		if glob.HasWildcard(args[0]) {
+			results, err := c.RLIWildcardQuery(args[0])
+			if err != nil {
+				return err
+			}
+			printResults(results)
+			return nil
+		}
+		names, err := c.RLIQuery(args[0])
+		if err != nil {
+			return err
+		}
+		printNames(names)
+	case "rli-lrcs":
+		names, err := c.RLILRCList()
+		if err != nil {
+			return err
+		}
+		printNames(names)
+	case "attr-define":
+		need(args, 3)
+		obj, err := parseObj(args[1])
+		if err != nil {
+			return err
+		}
+		typ, err := parseType(args[2])
+		if err != nil {
+			return err
+		}
+		return c.DefineAttribute(args[0], obj, typ)
+	case "attr-add":
+		need(args, 4)
+		obj, err := parseObj(args[1])
+		if err != nil {
+			return err
+		}
+		// Resolve the attribute's declared type so "123" stores as a string
+		// when the attribute is a string.
+		defs, err := c.ListAttributeDefs(obj)
+		if err != nil {
+			return err
+		}
+		var val wire.AttrValue
+		found := false
+		for _, def := range defs {
+			if def.Name == args[2] {
+				val, err = parseValueAs(def.Type, args[3])
+				if err != nil {
+					return err
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("attribute %q is not defined for %s objects (use attr-define)", args[2], obj)
+		}
+		return c.AddAttribute(args[0], obj, args[2], val)
+	case "attr-list":
+		need(args, 1)
+		obj, err := parseObj(args[0])
+		if err != nil {
+			return err
+		}
+		defs, err := c.ListAttributeDefs(obj)
+		if err != nil {
+			return err
+		}
+		for _, def := range defs {
+			fmt.Printf("%s %s %s\n", def.Name, def.Obj, def.Type)
+		}
+	case "attr-get":
+		need(args, 2)
+		obj, err := parseObj(args[1])
+		if err != nil {
+			return err
+		}
+		attrs, err := c.GetAttributes(args[0], obj, nil)
+		if err != nil {
+			return err
+		}
+		for _, a := range attrs {
+			fmt.Printf("%s: %s\n", a.Name, formatValue(a.Value))
+		}
+	case "rli-list":
+		targets, err := c.ListRLITargets()
+		if err != nil {
+			return err
+		}
+		for _, t := range targets {
+			kind := "full"
+			if t.Bloom {
+				kind = "bloom"
+			}
+			fmt.Printf("%s updates=%s patterns=%v\n", t.URL, kind, t.Patterns)
+		}
+	case "rli-add":
+		need(args, 1)
+		bloom := len(args) > 1 && args[1] == "bloom"
+		return c.AddRLITarget(wire.RLITarget{URL: args[0], Bloom: bloom})
+	case "rli-remove":
+		need(args, 1)
+		return c.RemoveRLITarget(args[0])
+	default:
+		usage()
+	}
+	return nil
+}
+
+func parseObj(s string) (wire.ObjType, error) {
+	switch s {
+	case "logical", "lfn":
+		return wire.ObjLogical, nil
+	case "target", "pfn":
+		return wire.ObjTarget, nil
+	default:
+		return 0, fmt.Errorf("unknown object type %q (want logical or target)", s)
+	}
+}
+
+func parseType(s string) (wire.AttrType, error) {
+	switch s {
+	case "string":
+		return wire.AttrString, nil
+	case "int":
+		return wire.AttrInt, nil
+	case "float":
+		return wire.AttrFloat, nil
+	case "date":
+		return wire.AttrDate, nil
+	default:
+		return 0, fmt.Errorf("unknown attribute type %q", s)
+	}
+}
+
+// parseValueAs parses the value text per the attribute's declared type.
+func parseValueAs(typ wire.AttrType, s string) (wire.AttrValue, error) {
+	switch typ {
+	case wire.AttrString:
+		return wire.AttrValue{Type: typ, S: s}, nil
+	case wire.AttrInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return wire.AttrValue{}, fmt.Errorf("attribute wants an int: %w", err)
+		}
+		return wire.AttrValue{Type: typ, I: i}, nil
+	case wire.AttrFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return wire.AttrValue{}, fmt.Errorf("attribute wants a float: %w", err)
+		}
+		return wire.AttrValue{Type: typ, F: f}, nil
+	case wire.AttrDate:
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return wire.AttrValue{}, fmt.Errorf("attribute wants an RFC3339 date: %w", err)
+		}
+		return wire.AttrValue{Type: typ, I: t.UnixNano()}, nil
+	default:
+		return wire.AttrValue{}, fmt.Errorf("unknown attribute type %v", typ)
+	}
+}
+
+func formatValue(v wire.AttrValue) string {
+	switch v.Type {
+	case wire.AttrString:
+		return v.S
+	case wire.AttrInt:
+		return strconv.FormatInt(v.I, 10)
+	case wire.AttrFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case wire.AttrDate:
+		return time.Unix(0, v.I).UTC().Format(time.RFC3339)
+	default:
+		return fmt.Sprintf("%+v", v)
+	}
+}
+
+func printNames(names []string) {
+	for _, n := range names {
+		fmt.Println(n)
+	}
+}
+
+func printResults(results []wire.BulkNameResult) {
+	for _, r := range results {
+		for _, v := range r.Values {
+			fmt.Printf("%s -> %s\n", r.Name, v)
+		}
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rls [-server addr] <ping|info|create|add|delete|get-pfn|get-lfn|rli-query|rli-lrcs|attr-define|attr-add|attr-get|attr-list|rli-list|rli-add|rli-remove> [args]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rls: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Hierarchical RLIs (paper §7): "The latest RLS version includes support
+// for a hierarchy of RLI servers that update one another."
+//
+// This example builds a two-level index over four site LRCs: each pair of
+// sites updates a regional RLI, and both regional RLIs forward their
+// aggregated state to a global root RLI. A query at the root locates data
+// registered at any site, and the answer still names the *originating*
+// LRC, so resolution works exactly as in a flat deployment. The east
+// region uses uncompressed updates and the west region Bloom filters,
+// showing both forwarding paths.
+//
+// Run with: go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+func main() {
+	dep := core.NewDeployment()
+	defer dep.Close()
+	fast := disk.Fast()
+
+	type site struct {
+		name   string
+		region string
+		bloom  bool
+	}
+	sites := []site{
+		{"bnl", "rli-east", false},
+		{"fnal", "rli-east", false},
+		{"slac", "rli-west", true},
+		{"lbl", "rli-west", true},
+	}
+
+	for _, r := range []string{"rli-east", "rli-west", "rli-root"} {
+		if _, err := dep.AddServer(core.ServerSpec{Name: r, RLI: true, Disk: &fast}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, s := range sites {
+		if _, err := dep.AddServer(core.ServerSpec{Name: s.name, LRC: true, Disk: &fast}); err != nil {
+			log.Fatal(err)
+		}
+		if err := dep.Connect(s.name, s.region, s.bloom); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Regional RLIs forward to the root.
+	for _, r := range []string{"rli-east", "rli-west"} {
+		if err := dep.ConnectRLI(r, "rli-root"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("topology: 4 site LRCs -> 2 regional RLIs -> 1 root RLI")
+
+	// Each site registers its local datasets.
+	for i, s := range sites {
+		c, err := dep.Dial(s.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := 0; j < 50; j++ {
+			lfn := fmt.Sprintf("lfn://hep/%s/run%03d.root", s.name, j)
+			pfn := fmt.Sprintf("gsiftp://%s.gov/data/run%03d.root", s.name, j)
+			if err := c.CreateMapping(lfn, pfn); err != nil {
+				log.Fatal(err)
+			}
+		}
+		c.Close()
+		_ = i
+	}
+	fmt.Println("each site registered 50 datasets")
+
+	// Tier 1: LRCs -> regional RLIs.
+	for _, s := range sites {
+		node, _ := dep.Node(s.name)
+		for _, res := range node.LRC.ForceUpdate() {
+			if res.Err != nil {
+				log.Fatal(res.Err)
+			}
+		}
+	}
+	// Tier 2: regional RLIs -> root.
+	for _, r := range []string{"rli-east", "rli-west"} {
+		node, _ := dep.Node(r)
+		for _, res := range node.RLI.ForwardAll() {
+			if res.Err != nil {
+				log.Fatal(res.Err)
+			}
+			fmt.Printf("%s -> %s: forwarded %d source LRC(s), %d names, %d bloom filter(s) in %v\n",
+				r, res.Parent, res.Sources, res.Names, res.Blooms, res.Elapsed)
+		}
+	}
+
+	// Queries at the root cover every site and still resolve to the
+	// originating LRCs.
+	root, err := dep.Dial("rli-root")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer root.Close()
+	for _, probe := range []string{
+		"lfn://hep/bnl/run007.root",  // east, uncompressed path
+		"lfn://hep/slac/run007.root", // west, bloom path
+	} {
+		lrcs, err := root.RLIQuery(probe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("root locates %s at %v\n", probe, lrcs)
+		// Follow the pointer to the actual replica.
+		for _, url := range lrcs {
+			c, err := dep.Dial(url[len("rls://"):])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if pfns, err := c.GetTargets(probe); err == nil {
+				fmt.Printf("  resolved: %s\n", pfns[0])
+			}
+			c.Close()
+		}
+	}
+	known, _ := root.RLILRCList()
+	fmt.Printf("root knows %d LRCs without any of them updating it directly: %v\n", len(known), known)
+}

@@ -1,0 +1,90 @@
+// Quickstart: a minimal Replica Location Service in one process.
+//
+// It assembles the two-tier architecture of the paper's Figure 1 — one
+// Local Replica Catalog (LRC) and one Replica Location Index (RLI) —
+// registers a few replicas, pushes a soft state update, and then performs
+// the two-step discovery a Grid client would: ask the RLI which LRCs know a
+// logical name, then ask those LRCs for the replica locations.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+func main() {
+	dep := core.NewDeployment()
+	defer dep.Close()
+
+	// Storage device simulation is irrelevant for a demo: use free disks.
+	fast := disk.Fast()
+
+	if _, err := dep.AddServer(core.ServerSpec{Name: "lrc0", LRC: true, Disk: &fast}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dep.AddServer(core.ServerSpec{Name: "rli0", RLI: true, Disk: &fast}); err != nil {
+		log.Fatal(err)
+	}
+	// lrc0 sends uncompressed soft state updates to rli0.
+	if err := dep.Connect("lrc0", "rli0", false); err != nil {
+		log.Fatal(err)
+	}
+
+	// A data publisher registers two replicas of one dataset.
+	pub, err := dep.Dial("lrc0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pub.Close()
+
+	const dataset = "lfn://quickstart/climate-2004.nc"
+	must(pub.CreateMapping(dataset, "gsiftp://storage1.example.org/data/climate-2004.nc"))
+	must(pub.AddMapping(dataset, "gsiftp://storage2.example.org/mirror/climate-2004.nc"))
+	fmt.Println("registered 2 replicas of", dataset)
+
+	// Push the LRC's state to the index (normally the periodic soft state
+	// scheduler does this; a demo forces it).
+	lrcNode, _ := dep.Node("lrc0")
+	for _, res := range lrcNode.LRC.ForceUpdate() {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("soft state update to %s: %d names in %v\n", res.URL, res.Names, res.Elapsed)
+	}
+
+	// A consumer discovers the replicas: RLI first, then the LRCs it names.
+	idx, err := dep.Dial("rli0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	lrcs, err := idx.RLIQuery(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("RLI says these LRCs know the dataset:", lrcs)
+
+	for range lrcs {
+		// In a multi-site deployment the consumer would dial each returned
+		// LRC url; here there is only lrc0.
+		replicas, err := pub.GetTargets(dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range replicas {
+			fmt.Println("  replica:", r)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

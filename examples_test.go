@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example end to end via `go run`, keeping
+// the runnable documentation honest. Each example prints its own progress;
+// a non-zero exit or a missing success marker fails the test.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are integration-scale")
+	}
+	cases := []struct {
+		dir    string
+		marker string // substring the example must print on success
+	}{
+		{"quickstart", "replica:"},
+		{"ligo", "found 3 physical replicas"},
+		{"esg", "files >= 2MiB"},
+		{"pegasus", "resolved 200/200"},
+		{"hierarchy", "root knows 4 LRCs"},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", c.dir))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.marker) {
+				t.Fatalf("example %s output missing %q:\n%s", c.dir, c.marker, out)
+			}
+		})
+	}
+}
+
+// TestCLIRoundTrip drives the rls-server and rls binaries over TCP — the
+// full operator path.
+func TestCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration-scale")
+	}
+	bin := t.TempDir()
+	build := func(name, pkg string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, pkg)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, b)
+		}
+		return out
+	}
+	serverBin := build("rls-server", "./cmd/rls-server")
+	cliBin := build("rls", "./cmd/rls")
+
+	const addr = "127.0.0.1:39399"
+	srv := exec.Command(serverBin, "-name", "t", "-roles", "lrc,rli", "-listen", addr)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	cli := func(args ...string) string {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			out, err := exec.Command(cliBin, append([]string{"-server", addr}, args...)...).CombinedOutput()
+			if err == nil {
+				return string(out)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rls %v: %v\n%s", args, err, out)
+			}
+			time.Sleep(100 * time.Millisecond) // server still starting
+		}
+	}
+	if out := cli("ping"); !strings.Contains(out, "pong") {
+		t.Fatalf("ping output: %s", out)
+	}
+	cli("create", "lfn://cli/x", "pfn://cli/x")
+	cli("attr-define", "size", "target", "int")
+	cli("attr-add", "pfn://cli/x", "target", "size", "4096")
+	if out := cli("attr-get", "pfn://cli/x", "target"); !strings.Contains(out, "4096") {
+		t.Fatalf("attr-get output: %s", out)
+	}
+	if out := cli("attr-list", "target"); !strings.Contains(out, "size target int") {
+		t.Fatalf("attr-list output: %s", out)
+	}
+	if out := cli("get-pfn", "lfn://cli/*"); !strings.Contains(out, "pfn://cli/x") {
+		t.Fatalf("wildcard output: %s", out)
+	}
+	if out := cli("info"); !strings.Contains(out, "lrc+rli") {
+		t.Fatalf("info output: %s", out)
+	}
+}

@@ -1,0 +1,297 @@
+// Package auth implements the RLS authentication and authorization model
+// described in §3.1 of the paper.
+//
+// The paper's server supports Grid Security Infrastructure (GSI)
+// authentication: a user presents an X.509 certificate whose Distinguished
+// Name (DN) may be mapped to a local username by a gridmap file, and access
+// control list entries — regular expressions over the DN or the local
+// username — grant privileges such as lrc_read and lrc_write. The server can
+// also run with authentication disabled, "allowing all users the ability to
+// read and write RLS mappings".
+//
+// This package reproduces the gridmap and ACL semantics exactly. Only the
+// cryptographic handshake is simplified: instead of an X.509 certificate
+// chain, a client proves its identity with a shared-secret token registered
+// alongside the DN (see DESIGN.md's substitution table).
+package auth
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Privilege is one grantable RLS capability, matching the privilege names of
+// the C implementation's ACL configuration.
+type Privilege string
+
+// Privileges.
+const (
+	PrivLRCRead  Privilege = "lrc_read"
+	PrivLRCWrite Privilege = "lrc_write"
+	PrivRLIRead  Privilege = "rli_read"
+	// PrivRLIWrite covers soft state updates sent by LRC servers.
+	PrivRLIWrite Privilege = "rli_write"
+	PrivAdmin    Privilege = "admin"
+)
+
+// KnownPrivileges lists every recognized privilege.
+var KnownPrivileges = []Privilege{PrivLRCRead, PrivLRCWrite, PrivRLIRead, PrivRLIWrite, PrivAdmin}
+
+// Valid reports whether p is a recognized privilege.
+func (p Privilege) Valid() bool {
+	for _, k := range KnownPrivileges {
+		if p == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Identity is an authenticated principal.
+type Identity struct {
+	// DN is the Distinguished Name from the user's (simulated) certificate.
+	DN string
+	// LocalUser is the gridmap-assigned local username, if any.
+	LocalUser string
+}
+
+// Gridmap maps Distinguished Names to local usernames, mirroring the gridmap
+// file format: one entry per line, a quoted DN followed by a username.
+type Gridmap struct {
+	mu      sync.RWMutex
+	entries map[string]string
+}
+
+// NewGridmap returns an empty gridmap.
+func NewGridmap() *Gridmap {
+	return &Gridmap{entries: make(map[string]string)}
+}
+
+// Add registers a DN to local-user mapping.
+func (g *Gridmap) Add(dn, localUser string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.entries[dn] = localUser
+}
+
+// Lookup returns the local user for a DN.
+func (g *Gridmap) Lookup(dn string) (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	u, ok := g.entries[dn]
+	return u, ok
+}
+
+// Len returns the number of entries.
+func (g *Gridmap) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}
+
+// ParseGridmap reads gridmap entries, one per line:
+//
+//	"/O=Grid/OU=ISI/CN=Ann Chervenak" annc
+//
+// Blank lines and #-comments are ignored.
+func ParseGridmap(r io.Reader) (*Gridmap, error) {
+	g := NewGridmap()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, `"`) {
+			return nil, fmt.Errorf("auth: gridmap line %d: DN must be quoted", lineno)
+		}
+		end := strings.Index(line[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("auth: gridmap line %d: unterminated DN quote", lineno)
+		}
+		dn := line[1 : 1+end]
+		rest := strings.TrimSpace(line[2+end:])
+		if dn == "" || rest == "" || strings.ContainsAny(rest, " \t") {
+			return nil, fmt.Errorf("auth: gridmap line %d: want %q, got malformed entry", lineno, `"DN" user`)
+		}
+		g.Add(dn, rest)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ACLEntry grants privileges to principals whose DN or local username
+// matches a regular expression (paper: "Access control list entries are
+// regular expressions that grant privileges ... based on either the
+// Distinguished Name (DN) in the user's X.509 certificate or based on the
+// local username specified by the gridmap file").
+type ACLEntry struct {
+	// Pattern is the anchored regular expression to match.
+	Pattern *regexp.Regexp
+	// MatchLocalUser selects whether Pattern applies to the local username
+	// (true) or the DN (false).
+	MatchLocalUser bool
+	// Privileges granted on match.
+	Privileges []Privilege
+}
+
+// ACL is an ordered list of grant entries; a privilege is held if any entry
+// grants it.
+type ACL struct {
+	mu      sync.RWMutex
+	entries []ACLEntry
+}
+
+// NewACL returns an empty ACL (which grants nothing).
+func NewACL() *ACL { return &ACL{} }
+
+// Grant appends an entry. The pattern is anchored (^...$) if not already.
+func (a *ACL) Grant(pattern string, matchLocalUser bool, privs ...Privilege) error {
+	if len(privs) == 0 {
+		return fmt.Errorf("auth: grant with no privileges")
+	}
+	for _, p := range privs {
+		if !p.Valid() {
+			return fmt.Errorf("auth: unknown privilege %q", p)
+		}
+	}
+	if !strings.HasPrefix(pattern, "^") {
+		pattern = "^" + pattern
+	}
+	if !strings.HasSuffix(pattern, "$") {
+		pattern += "$"
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("auth: bad ACL pattern: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.entries = append(a.entries, ACLEntry{Pattern: re, MatchLocalUser: matchLocalUser, Privileges: privs})
+	return nil
+}
+
+// Allowed reports whether the identity holds the privilege.
+func (a *ACL) Allowed(id Identity, priv Privilege) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, e := range a.entries {
+		subject := id.DN
+		if e.MatchLocalUser {
+			if id.LocalUser == "" {
+				continue
+			}
+			subject = id.LocalUser
+		}
+		if !e.Pattern.MatchString(subject) {
+			continue
+		}
+		for _, p := range e.Privileges {
+			if p == priv {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Privileges returns the sorted set of privileges the identity holds.
+func (a *ACL) Privileges(id Identity) []Privilege {
+	var out []Privilege
+	for _, p := range KnownPrivileges {
+		if a.Allowed(id, p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Authenticator validates connection credentials and produces identities.
+type Authenticator struct {
+	mu      sync.RWMutex
+	enabled bool
+	tokens  map[string]string // DN -> shared secret
+	gridmap *Gridmap
+	acl     *ACL
+}
+
+// Config configures an Authenticator.
+type Config struct {
+	// Enabled false reproduces the paper's open mode: every caller gets all
+	// privileges ("run without any authentication or authorization,
+	// allowing all users the ability to read and write RLS mappings").
+	Enabled bool
+	Gridmap *Gridmap
+	ACL     *ACL
+}
+
+// New creates an Authenticator.
+func New(cfg Config) *Authenticator {
+	gm := cfg.Gridmap
+	if gm == nil {
+		gm = NewGridmap()
+	}
+	acl := cfg.ACL
+	if acl == nil {
+		acl = NewACL()
+	}
+	return &Authenticator{
+		enabled: cfg.Enabled,
+		tokens:  make(map[string]string),
+		gridmap: gm,
+		acl:     acl,
+	}
+}
+
+// Enabled reports whether authentication is enforced.
+func (a *Authenticator) Enabled() bool { return a.enabled }
+
+// RegisterCredential installs the shared secret for a DN (the stand-in for
+// issuing the user a certificate).
+func (a *Authenticator) RegisterCredential(dn, token string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tokens[dn] = token
+}
+
+// Authenticate validates the presented credential and returns the resolved
+// identity. In open mode every credential (including an empty one) is
+// accepted.
+func (a *Authenticator) Authenticate(dn, token string) (Identity, error) {
+	id := Identity{DN: dn}
+	if u, ok := a.gridmap.Lookup(dn); ok {
+		id.LocalUser = u
+	}
+	if !a.enabled {
+		return id, nil
+	}
+	a.mu.RLock()
+	want, ok := a.tokens[dn]
+	a.mu.RUnlock()
+	if !ok {
+		return Identity{}, fmt.Errorf("auth: unknown DN %q", dn)
+	}
+	if subtle.ConstantTimeCompare([]byte(want), []byte(token)) != 1 {
+		return Identity{}, fmt.Errorf("auth: bad credential for DN %q", dn)
+	}
+	return id, nil
+}
+
+// Authorize reports whether the identity may exercise the privilege.
+func (a *Authenticator) Authorize(id Identity, priv Privilege) bool {
+	if !a.enabled {
+		return true
+	}
+	return a.acl.Allowed(id, priv)
+}

@@ -1,0 +1,175 @@
+package auth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGridmapAddLookup(t *testing.T) {
+	g := NewGridmap()
+	g.Add("/O=Grid/CN=Ann", "annc")
+	u, ok := g.Lookup("/O=Grid/CN=Ann")
+	if !ok || u != "annc" {
+		t.Fatalf("Lookup = %q, %v", u, ok)
+	}
+	if _, ok := g.Lookup("/O=Grid/CN=Bob"); ok {
+		t.Fatal("unknown DN resolved")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestParseGridmap(t *testing.T) {
+	input := `
+# comment line
+"/O=Grid/OU=ISI/CN=Ann Chervenak" annc
+"/O=Grid/OU=ISI/CN=Carl Kesselman" carl
+
+`
+	g, err := ParseGridmap(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if u, _ := g.Lookup("/O=Grid/OU=ISI/CN=Ann Chervenak"); u != "annc" {
+		t.Fatalf("annc mapping = %q", u)
+	}
+}
+
+func TestParseGridmapErrors(t *testing.T) {
+	cases := []string{
+		`/O=Grid/CN=NoQuotes annc`,
+		`"/O=Grid/CN=Unterminated annc`,
+		`"/O=Grid/CN=X" two users`,
+		`"/O=Grid/CN=X"`,
+		`"" user`,
+	}
+	for _, in := range cases {
+		if _, err := ParseGridmap(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed gridmap accepted: %q", in)
+		}
+	}
+}
+
+func TestACLGrantByDN(t *testing.T) {
+	acl := NewACL()
+	if err := acl.Grant(`/O=Grid/OU=ISI/.*`, false, PrivLRCRead, PrivLRCWrite); err != nil {
+		t.Fatal(err)
+	}
+	isi := Identity{DN: "/O=Grid/OU=ISI/CN=Ann"}
+	other := Identity{DN: "/O=Grid/OU=CERN/CN=Eve"}
+	if !acl.Allowed(isi, PrivLRCRead) || !acl.Allowed(isi, PrivLRCWrite) {
+		t.Fatal("ISI DN denied granted privileges")
+	}
+	if acl.Allowed(isi, PrivAdmin) {
+		t.Fatal("ungranted privilege allowed")
+	}
+	if acl.Allowed(other, PrivLRCRead) {
+		t.Fatal("non-matching DN allowed")
+	}
+}
+
+func TestACLGrantByLocalUser(t *testing.T) {
+	acl := NewACL()
+	if err := acl.Grant(`ann.*`, true, PrivAdmin); err != nil {
+		t.Fatal(err)
+	}
+	if !acl.Allowed(Identity{DN: "/x", LocalUser: "annc"}, PrivAdmin) {
+		t.Fatal("local-user match denied")
+	}
+	if acl.Allowed(Identity{DN: "annc"}, PrivAdmin) {
+		t.Fatal("DN matched a local-user entry")
+	}
+	if acl.Allowed(Identity{DN: "/x", LocalUser: "bob"}, PrivAdmin) {
+		t.Fatal("non-matching local user allowed")
+	}
+}
+
+func TestACLPatternIsAnchored(t *testing.T) {
+	acl := NewACL()
+	if err := acl.Grant(`user`, true, PrivLRCRead); err != nil {
+		t.Fatal(err)
+	}
+	if acl.Allowed(Identity{LocalUser: "superuser", DN: "/x"}, PrivLRCRead) {
+		t.Fatal("unanchored substring match allowed")
+	}
+	if !acl.Allowed(Identity{LocalUser: "user", DN: "/x"}, PrivLRCRead) {
+		t.Fatal("exact match denied")
+	}
+}
+
+func TestACLGrantValidation(t *testing.T) {
+	acl := NewACL()
+	if err := acl.Grant(`x`, false); err == nil {
+		t.Fatal("grant with no privileges accepted")
+	}
+	if err := acl.Grant(`x`, false, Privilege("bogus")); err == nil {
+		t.Fatal("unknown privilege accepted")
+	}
+	if err := acl.Grant(`[`, false, PrivLRCRead); err == nil {
+		t.Fatal("invalid regex accepted")
+	}
+}
+
+func TestACLPrivilegesList(t *testing.T) {
+	acl := NewACL()
+	acl.Grant(`.*`, false, PrivLRCRead, PrivRLIRead)
+	privs := acl.Privileges(Identity{DN: "/any"})
+	if len(privs) != 2 {
+		t.Fatalf("Privileges = %v, want 2 entries", privs)
+	}
+}
+
+func TestAuthenticatorOpenMode(t *testing.T) {
+	a := New(Config{Enabled: false})
+	id, err := a.Authenticate("/anyone", "")
+	if err != nil {
+		t.Fatalf("open mode rejected caller: %v", err)
+	}
+	if !a.Authorize(id, PrivLRCWrite) || !a.Authorize(id, PrivAdmin) {
+		t.Fatal("open mode denied a privilege")
+	}
+}
+
+func TestAuthenticatorEnforcedMode(t *testing.T) {
+	gm := NewGridmap()
+	gm.Add("/O=Grid/CN=Ann", "annc")
+	acl := NewACL()
+	acl.Grant(`annc`, true, PrivLRCRead, PrivLRCWrite)
+	a := New(Config{Enabled: true, Gridmap: gm, ACL: acl})
+	a.RegisterCredential("/O=Grid/CN=Ann", "s3cret")
+
+	if _, err := a.Authenticate("/O=Grid/CN=Ann", "wrong"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	if _, err := a.Authenticate("/O=Grid/CN=Mallory", "s3cret"); err == nil {
+		t.Fatal("unknown DN accepted")
+	}
+	id, err := a.Authenticate("/O=Grid/CN=Ann", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.LocalUser != "annc" {
+		t.Fatalf("LocalUser = %q, want annc", id.LocalUser)
+	}
+	if !a.Authorize(id, PrivLRCWrite) {
+		t.Fatal("granted privilege denied")
+	}
+	if a.Authorize(id, PrivRLIWrite) {
+		t.Fatal("ungranted privilege allowed")
+	}
+}
+
+func TestPrivilegeValid(t *testing.T) {
+	for _, p := range KnownPrivileges {
+		if !p.Valid() {
+			t.Errorf("%s not Valid", p)
+		}
+	}
+	if Privilege("nope").Valid() {
+		t.Fatal("unknown privilege Valid")
+	}
+}

@@ -1,0 +1,262 @@
+// Package bloom implements the Bloom filter compression used for RLS soft
+// state updates (paper §3.4).
+//
+// An LRC summarizes its set of registered logical names as a bit map built
+// by hashing every name with k hash functions. The paper's implementation
+// uses three hash functions and sizes the filter at roughly 10 bits per LRC
+// mapping (10 million bits for ~1 million entries), giving a false-positive
+// rate near 1%.
+//
+// The paper notes that after the initial filter computation, "subsequent
+// updates to LRC mappings can be reflected by setting or unsetting the
+// corresponding bits". Safely unsetting bits requires counting how many
+// names share each bit, so Filter — the LRC-side, mutable form — keeps a
+// byte counter per bit, in the style of the counting Bloom filters of Fan et
+// al.'s Summary Cache (the paper's reference [3]). Bitmap — the wire and
+// RLI-side form — is just the bit array.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Paper parameters.
+const (
+	// DefaultBitsPerEntry matches "10 million bits for approximately 1
+	// million entries".
+	DefaultBitsPerEntry = 10
+	// DefaultHashes matches "We calculate three hash values for every
+	// logical name".
+	DefaultHashes = 3
+)
+
+// hashPair derives two independent 64-bit hashes of name; the k filter
+// hashes are composed as h1 + i*h2 (Kirsch–Mitzenmacher double hashing).
+// FNV-1a is stable across processes, which the protocol requires: the LRC
+// computes the bits, the RLI re-computes them at query time.
+func hashPair(name string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h1 := h.Sum64()
+	h.Write([]byte{0x9e}) // extend the stream for the second hash
+	h2 := h.Sum64() | 1   // force odd so strides cover the table
+	return h1, h2
+}
+
+// Filter is the mutable, LRC-side counting Bloom filter.
+// It is not safe for concurrent use; the LRC guards it with its own lock.
+type Filter struct {
+	m        uint64
+	k        int
+	bits     []uint64
+	counters []uint16
+	n        uint64 // additions minus removals
+}
+
+// New creates a filter sized for the expected number of entries using the
+// paper's parameters (10 bits/entry, 3 hashes). A minimum size keeps tiny
+// catalogs from degenerating.
+func New(expectedEntries int) *Filter {
+	bits := uint64(expectedEntries) * DefaultBitsPerEntry
+	if bits < 1024 {
+		bits = 1024
+	}
+	return NewWithParams(bits, DefaultHashes)
+}
+
+// NewWithParams creates a filter with an explicit bit count and hash count.
+func NewWithParams(mbits uint64, k int) *Filter {
+	if mbits == 0 {
+		panic("bloom: zero-bit filter")
+	}
+	if k <= 0 {
+		panic("bloom: non-positive hash count")
+	}
+	return &Filter{
+		m:        mbits,
+		k:        k,
+		bits:     make([]uint64, (mbits+63)/64),
+		counters: make([]uint16, mbits),
+	}
+}
+
+// MBits returns the filter size in bits.
+func (f *Filter) MBits() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Len returns the net number of names added.
+func (f *Filter) Len() uint64 { return f.n }
+
+// Add registers a logical name.
+func (f *Filter) Add(name string) {
+	h1, h2 := hashPair(name)
+	for i := 0; i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) % f.m
+		if f.counters[idx] != math.MaxUint16 {
+			f.counters[idx]++
+		}
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// Remove unregisters a logical name previously added. Bits whose counters
+// reach zero are cleared, so the filter tracks the live name set without a
+// full rebuild — the property that makes Bloom soft-state updates cheap to
+// maintain (Table 3's "one-time cost" remark).
+func (f *Filter) Remove(name string) {
+	h1, h2 := hashPair(name)
+	for i := 0; i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) % f.m
+		switch f.counters[idx] {
+		case 0:
+			// Removal of a never-added name; leave the filter unchanged.
+		case math.MaxUint16:
+			// Saturated counter: cannot decrement safely.
+		default:
+			f.counters[idx]--
+			if f.counters[idx] == 0 {
+				f.bits[idx/64] &^= 1 << (idx % 64)
+			}
+		}
+	}
+	if f.n > 0 {
+		f.n--
+	}
+}
+
+// Test reports whether name may have been added (false positives possible,
+// false negatives not).
+func (f *Filter) Test(name string) bool {
+	return testBits(f.bits, f.m, f.k, name)
+}
+
+// Bitmap returns an immutable snapshot suitable for transmission to an RLI.
+func (f *Filter) Bitmap() *Bitmap {
+	bits := make([]uint64, len(f.bits))
+	copy(bits, f.bits)
+	return &Bitmap{m: f.m, k: f.k, bits: bits}
+}
+
+// EstimatedFPRate returns the expected false-positive probability for the
+// current fill: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	return fpRate(f.m, f.k, f.n)
+}
+
+func fpRate(m uint64, k int, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(k)*float64(n)/float64(m)), float64(k))
+}
+
+func testBits(bits []uint64, m uint64, k int, name string) bool {
+	h1, h2 := hashPair(name)
+	for i := 0; i < k; i++ {
+		idx := (h1 + uint64(i)*h2) % m
+		if bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bitmap is the immutable wire/RLI-side form of a Bloom filter.
+type Bitmap struct {
+	m    uint64
+	k    int
+	bits []uint64
+}
+
+// MBits returns the bitmap size in bits.
+func (b *Bitmap) MBits() uint64 { return b.m }
+
+// K returns the number of hash functions.
+func (b *Bitmap) K() int { return b.k }
+
+// SizeBytes returns the wire payload size of the bit array.
+func (b *Bitmap) SizeBytes() int { return len(b.bits) * 8 }
+
+// Test reports whether name may be present.
+func (b *Bitmap) Test(name string) bool {
+	return testBits(b.bits, b.m, b.k, name)
+}
+
+// OnesCount returns the number of set bits (used to estimate fill).
+func (b *Bitmap) OnesCount() int {
+	n := 0
+	for _, w := range b.bits {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+const marshalHeader = 8 + 4 // mbits + k
+
+var errShortBitmap = errors.New("bloom: truncated bitmap encoding")
+
+// MarshalBinary encodes the bitmap as mbits, k, then the packed bit words in
+// little-endian order.
+func (b *Bitmap) MarshalBinary() ([]byte, error) {
+	out := make([]byte, marshalHeader+len(b.bits)*8)
+	binary.LittleEndian.PutUint64(out, b.m)
+	binary.LittleEndian.PutUint32(out[8:], uint32(b.k))
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(out[marshalHeader+i*8:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary.
+func (b *Bitmap) UnmarshalBinary(data []byte) error {
+	if len(data) < marshalHeader {
+		return errShortBitmap
+	}
+	m := binary.LittleEndian.Uint64(data)
+	k := int(binary.LittleEndian.Uint32(data[8:]))
+	if m == 0 || k <= 0 || k > 64 {
+		return fmt.Errorf("bloom: invalid bitmap header m=%d k=%d", m, k)
+	}
+	words := int((m + 63) / 64)
+	if len(data) != marshalHeader+words*8 {
+		return fmt.Errorf("bloom: bitmap payload is %d bytes, want %d", len(data)-marshalHeader, words*8)
+	}
+	bits := make([]uint64, words)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64(data[marshalHeader+i*8:])
+	}
+	b.m, b.k, b.bits = m, k, bits
+	return nil
+}
+
+// OptimalParams returns the filter size and hash count minimizing space for
+// a target false-positive rate, useful for the parameter-ablation bench:
+// m = -n·ln(p)/ln(2)², k = (m/n)·ln(2).
+func OptimalParams(expectedEntries int, targetFP float64) (mbits uint64, k int) {
+	if expectedEntries <= 0 || targetFP <= 0 || targetFP >= 1 {
+		return 1024, DefaultHashes
+	}
+	n := float64(expectedEntries)
+	m := math.Ceil(-n * math.Log(targetFP) / (math.Ln2 * math.Ln2))
+	kf := math.Round(m / n * math.Ln2)
+	if kf < 1 {
+		kf = 1
+	}
+	return uint64(m), int(kf)
+}

@@ -1,0 +1,324 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddThenTest(t *testing.T) {
+	f := New(1000)
+	f.Add("lfn://sample/file-1")
+	if !f.Test("lfn://sample/file-1") {
+		t.Fatal("added name not found")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", f.Len())
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000)
+	for i := 0; i < 10000; i++ {
+		f.Add(fmt.Sprintf("lfn-%06d", i))
+	}
+	for i := 0; i < 10000; i++ {
+		if !f.Test(fmt.Sprintf("lfn-%06d", i)) {
+			t.Fatalf("false negative for lfn-%06d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearOnePercent(t *testing.T) {
+	// Paper parameters: 10 bits/entry, 3 hashes => ~1% FP rate when filled
+	// to the design point.
+	const n = 100000
+	f := New(n)
+	for i := 0; i < n; i++ {
+		f.Add(fmt.Sprintf("present-%07d", i))
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if f.Test(fmt.Sprintf("absent-%07d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("measured FP rate %.4f, want ~0.01 (under 0.03)", rate)
+	}
+	if rate < 0.001 {
+		t.Fatalf("measured FP rate %.4f suspiciously low for design fill", rate)
+	}
+	est := f.EstimatedFPRate()
+	if est < 0.005 || est > 0.02 {
+		t.Fatalf("estimated FP rate %.4f outside [0.005, 0.02]", est)
+	}
+}
+
+func TestRemoveClearsMembership(t *testing.T) {
+	f := New(1000)
+	for i := 0; i < 100; i++ {
+		f.Add(fmt.Sprintf("n-%03d", i))
+	}
+	for i := 0; i < 50; i++ {
+		f.Remove(fmt.Sprintf("n-%03d", i))
+	}
+	// Remaining names must still test positive (no false negatives).
+	for i := 50; i < 100; i++ {
+		if !f.Test(fmt.Sprintf("n-%03d", i)) {
+			t.Fatalf("false negative for retained n-%03d after removals", i)
+		}
+	}
+	if f.Len() != 50 {
+		t.Fatalf("Len = %d after removals, want 50", f.Len())
+	}
+}
+
+func TestRemoveRestoresEmptyFilter(t *testing.T) {
+	f := New(1000)
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		f.Add(n)
+	}
+	for _, n := range names {
+		f.Remove(n)
+	}
+	if got := f.Bitmap().OnesCount(); got != 0 {
+		t.Fatalf("%d bits still set after removing everything", got)
+	}
+}
+
+func TestRemoveNeverAddedIsNoOp(t *testing.T) {
+	f := New(1000)
+	f.Add("present")
+	f.Remove("never-added")
+	if !f.Test("present") {
+		t.Fatal("removing an absent name corrupted the filter")
+	}
+}
+
+func TestBitmapSnapshotIsImmutable(t *testing.T) {
+	f := New(1000)
+	f.Add("early")
+	bm := f.Bitmap()
+	f.Add("late")
+	if !bm.Test("early") {
+		t.Fatal("snapshot lost earlier entry")
+	}
+	// "late" was added after the snapshot; overwhelmingly it should miss
+	// (could collide, so only check the filter itself sees it).
+	if !f.Test("late") {
+		t.Fatal("filter lost post-snapshot entry")
+	}
+}
+
+func TestBitmapMarshalRoundTrip(t *testing.T) {
+	f := New(5000)
+	for i := 0; i < 5000; i++ {
+		f.Add(fmt.Sprintf("lfn-%05d", i))
+	}
+	bm := f.Bitmap()
+	data, err := bm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Bitmap
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.MBits() != bm.MBits() || got.K() != bm.K() {
+		t.Fatalf("round trip params: m=%d k=%d, want m=%d k=%d", got.MBits(), got.K(), bm.MBits(), bm.K())
+	}
+	for i := 0; i < 5000; i += 71 {
+		name := fmt.Sprintf("lfn-%05d", i)
+		if !got.Test(name) {
+			t.Fatalf("decoded bitmap lost %s", name)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadInputs(t *testing.T) {
+	var b Bitmap
+	if err := b.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if err := b.UnmarshalBinary(make([]byte, 5)); err == nil {
+		t.Fatal("short header accepted")
+	}
+	// Valid header but truncated payload.
+	f := New(1000)
+	data, _ := f.Bitmap().MarshalBinary()
+	if err := b.UnmarshalBinary(data[:len(data)-8]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Zero mbits.
+	bad := make([]byte, marshalHeader)
+	if err := b.UnmarshalBinary(bad); err == nil {
+		t.Fatal("zero-size header accepted")
+	}
+}
+
+func TestPaperSizing(t *testing.T) {
+	// "10 million bits for approximately 1 million entries".
+	f := New(1_000_000)
+	if f.MBits() != 10_000_000 {
+		t.Fatalf("MBits = %d for 1M entries, want 10M", f.MBits())
+	}
+	if f.K() != 3 {
+		t.Fatalf("K = %d, want 3", f.K())
+	}
+	// Table 3 sizes: 100k -> 1M bits, 1M -> 10M bits, 5M -> 50M bits.
+	if New(100_000).MBits() != 1_000_000 {
+		t.Fatal("100k entries should size to 1M bits")
+	}
+	if New(5_000_000).MBits() != 50_000_000 {
+		t.Fatal("5M entries should size to 50M bits")
+	}
+}
+
+func TestMinimumSize(t *testing.T) {
+	f := New(0)
+	if f.MBits() < 1024 {
+		t.Fatalf("MBits = %d for empty catalog, want >= 1024", f.MBits())
+	}
+	f.Add("x")
+	if !f.Test("x") {
+		t.Fatal("minimum-size filter unusable")
+	}
+}
+
+func TestNewWithParamsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewWithParams(0, 3) },
+		func() { NewWithParams(100, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid params did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	f := NewWithParams(1024, 3)
+	if got := f.Bitmap().SizeBytes(); got != 128 {
+		t.Fatalf("SizeBytes = %d for 1024 bits, want 128", got)
+	}
+}
+
+func TestOptimalParams(t *testing.T) {
+	m, k := OptimalParams(1_000_000, 0.01)
+	// Theory: m ≈ 9.59 bits/entry, k ≈ 7 for 1% FP.
+	if m < 9_000_000 || m > 10_500_000 {
+		t.Fatalf("OptimalParams m = %d, want ~9.6M", m)
+	}
+	if k < 6 || k > 8 {
+		t.Fatalf("OptimalParams k = %d, want ~7", k)
+	}
+	// Degenerate inputs fall back to defaults.
+	if m, k := OptimalParams(0, 0.01); m == 0 || k == 0 {
+		t.Fatal("degenerate inputs returned zero params")
+	}
+}
+
+func TestQuickNoFalseNegativesUnderChurn(t *testing.T) {
+	// Property: any name that was added and not removed must test positive,
+	// regardless of the interleaving of other adds/removes.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := New(500)
+		live := map[string]int{}
+		for op := 0; op < 1000; op++ {
+			name := fmt.Sprintf("n%02d", rng.Intn(60))
+			if rng.Intn(3) != 0 {
+				f.Add(name)
+				live[name]++
+			} else if live[name] > 0 {
+				f.Remove(name)
+				live[name]--
+			}
+		}
+		for name, count := range live {
+			if count > 0 && !f.Test(name) {
+				t.Errorf("seed %d: false negative for %s (count %d)", seed, name, count)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	check := func(names []string) bool {
+		f := New(len(names) + 1)
+		for _, n := range names {
+			f.Add(n)
+		}
+		data, err := f.Bitmap().MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Bitmap
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		for _, n := range names {
+			if !got.Test(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPairDeterministic(t *testing.T) {
+	a1, a2 := hashPair("lfn://x")
+	b1, b2 := hashPair("lfn://x")
+	if a1 != b1 || a2 != b2 {
+		t.Fatal("hashPair not deterministic")
+	}
+	if a2%2 == 0 {
+		t.Fatal("second hash must be odd")
+	}
+	c1, c2 := hashPair("lfn://y")
+	if a1 == c1 && a2 == c2 {
+		t.Fatal("distinct names produced identical hash pairs")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(b.N + 1)
+	names := make([]string, 1024)
+	for i := range names {
+		names[i] = fmt.Sprintf("lfn://host/path/file-%08d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(names[i%1024])
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	f := New(1 << 20)
+	for i := 0; i < 1<<20; i++ {
+		f.Add(fmt.Sprintf("lfn-%d", i))
+	}
+	bm := f.Bitmap()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Test("lfn-524288")
+	}
+}

@@ -1,0 +1,498 @@
+// Package client implements the RLS client library: typed wrappers for
+// every LRC and RLI operation of Table 1 over the wire protocol. It is the
+// Go analogue of the paper's C client (and its Java wrapper), and also
+// serves as the LRC server's connection to RLI servers for soft state
+// updates (it implements lrc.Updater).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Sentinel errors corresponding to wire statuses. Use errors.Is.
+var (
+	ErrDenied      = errors.New("rls: permission denied")
+	ErrNotFound    = errors.New("rls: not found")
+	ErrExists      = errors.New("rls: already exists")
+	ErrBadRequest  = errors.New("rls: bad request")
+	ErrUnsupported = errors.New("rls: operation not supported by server role")
+	ErrInternal    = errors.New("rls: server error")
+)
+
+// StatusError carries the server's status and message.
+type StatusError struct {
+	Status wire.Status
+	Msg    string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("rls: %s: %s", e.Status, e.Msg)
+	}
+	return "rls: " + e.Status.String()
+}
+
+// Is maps the status onto the package sentinels.
+func (e *StatusError) Is(target error) bool {
+	switch target {
+	case ErrDenied:
+		return e.Status == wire.StatusDenied
+	case ErrNotFound:
+		return e.Status == wire.StatusNotFound
+	case ErrExists:
+		return e.Status == wire.StatusExists
+	case ErrBadRequest:
+		return e.Status == wire.StatusBadRequest
+	case ErrUnsupported:
+		return e.Status == wire.StatusUnsupported
+	case ErrInternal:
+		return e.Status == wire.StatusInternal
+	default:
+		return false
+	}
+}
+
+// Options configures a connection.
+type Options struct {
+	// Addr is the server's TCP address (host:port). Ignored when Dialer is
+	// set.
+	Addr string
+	// Dialer overrides the transport (in-process pipes, shaped
+	// connections). When nil, net.Dial("tcp", Addr) is used.
+	Dialer func() (net.Conn, error)
+	// DN and Token are the identity credential (GSI stand-in). Empty values
+	// are accepted by servers running in open mode.
+	DN    string
+	Token string
+	// DialTimeout bounds connection establishment; default 30s.
+	DialTimeout time.Duration
+}
+
+// Client is one authenticated connection to an RLS server. Methods are safe
+// for concurrent use but serialize on the connection; the paper's
+// multi-threaded test client maps to one Client per thread.
+type Client struct {
+	conn      *wire.Conn
+	serverURL string
+
+	mu     sync.Mutex
+	nextID uint64
+}
+
+// Dial connects and performs the Hello handshake.
+func Dial(opts Options) (*Client, error) {
+	var raw net.Conn
+	var err error
+	if opts.Dialer != nil {
+		raw, err = opts.Dialer()
+	} else {
+		timeout := opts.DialTimeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		raw, err = net.DialTimeout("tcp", opts.Addr, timeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	conn := wire.NewConn(raw)
+	hello := wire.Hello{DN: opts.DN, Token: opts.Token}
+	if err := conn.WriteFrame(hello.Encode()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	payload, err := conn.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, err := wire.DecodeHelloAck(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if ack.Status != wire.StatusOK {
+		conn.Close()
+		return nil, &StatusError{Status: ack.Status, Msg: ack.Detail}
+	}
+	return &Client{conn: conn, serverURL: ack.Detail}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ServerURL returns the server's advertised address from the handshake.
+func (c *Client) ServerURL() string { return c.serverURL }
+
+// call performs one synchronous RPC.
+func (c *Client) call(op wire.Op, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := wire.Request{ID: c.nextID, Op: op, Body: body}
+	if err := c.conn.WriteFrame(req.Encode()); err != nil {
+		return nil, err
+	}
+	payload, err := c.conn.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("rls: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, &StatusError{Status: resp.Status, Msg: resp.Err}
+	}
+	return resp.Body, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(wire.OpPing, nil)
+	return err
+}
+
+// ServerInfo fetches server identity and occupancy.
+func (c *Client) ServerInfo() (*wire.ServerInfoResponse, error) {
+	body, err := c.call(wire.OpServerInfo, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeServerInfoResponse(body)
+}
+
+// ---- LRC mapping management ----
+
+func (c *Client) mappingOp(op wire.Op, logical, target string) error {
+	req := wire.MappingRequest{Logical: logical, Target: target}
+	_, err := c.call(op, req.Encode())
+	return err
+}
+
+// CreateMapping registers a new logical name with its first target.
+func (c *Client) CreateMapping(logical, target string) error {
+	return c.mappingOp(wire.OpLRCCreateMapping, logical, target)
+}
+
+// AddMapping adds another target to an existing logical name.
+func (c *Client) AddMapping(logical, target string) error {
+	return c.mappingOp(wire.OpLRCAddMapping, logical, target)
+}
+
+// DeleteMapping removes one mapping.
+func (c *Client) DeleteMapping(logical, target string) error {
+	return c.mappingOp(wire.OpLRCDeleteMapping, logical, target)
+}
+
+func (c *Client) bulkMappingOp(op wire.Op, mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	req := wire.BulkMappingsRequest{Mappings: mappings}
+	body, err := c.call(op, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeBulkStatusResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Failures, nil
+}
+
+// BulkCreate creates many mappings, returning per-element failures.
+func (c *Client) BulkCreate(mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	return c.bulkMappingOp(wire.OpLRCBulkCreate, mappings)
+}
+
+// BulkAdd adds many mappings.
+func (c *Client) BulkAdd(mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	return c.bulkMappingOp(wire.OpLRCBulkAdd, mappings)
+}
+
+// BulkDelete deletes many mappings.
+func (c *Client) BulkDelete(mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	return c.bulkMappingOp(wire.OpLRCBulkDelete, mappings)
+}
+
+// ---- LRC queries ----
+
+func (c *Client) nameQuery(op wire.Op, name string) ([]string, error) {
+	req := wire.NameRequest{Name: name}
+	body, err := c.call(op, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeNamesResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+func (c *Client) wildQuery(op wire.Op, pattern string) ([]wire.BulkNameResult, error) {
+	req := wire.NameRequest{Name: pattern}
+	body, err := c.call(op, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeBulkNamesResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+func (c *Client) bulkQuery(op wire.Op, names []string) ([]wire.BulkNameResult, error) {
+	req := wire.BulkNamesRequest{Names: names}
+	body, err := c.call(op, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeBulkNamesResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// GetTargets returns the targets of a logical name.
+func (c *Client) GetTargets(logical string) ([]string, error) {
+	return c.nameQuery(wire.OpLRCGetTargets, logical)
+}
+
+// GetLogicals returns the logical names of a target.
+func (c *Client) GetLogicals(target string) ([]string, error) {
+	return c.nameQuery(wire.OpLRCGetLogicals, target)
+}
+
+// WildcardTargets finds mappings whose logical name matches the pattern.
+func (c *Client) WildcardTargets(pattern string) ([]wire.BulkNameResult, error) {
+	return c.wildQuery(wire.OpLRCGetTargetsWild, pattern)
+}
+
+// WildcardLogicals finds mappings whose target name matches the pattern.
+func (c *Client) WildcardLogicals(pattern string) ([]wire.BulkNameResult, error) {
+	return c.wildQuery(wire.OpLRCGetLogicalsWild, pattern)
+}
+
+// BulkGetTargets resolves many logical names.
+func (c *Client) BulkGetTargets(names []string) ([]wire.BulkNameResult, error) {
+	return c.bulkQuery(wire.OpLRCBulkGetTargets, names)
+}
+
+// BulkGetLogicals resolves many target names.
+func (c *Client) BulkGetLogicals(names []string) ([]wire.BulkNameResult, error) {
+	return c.bulkQuery(wire.OpLRCBulkGetLogicals, names)
+}
+
+// ---- attribute management ----
+
+// DefineAttribute declares an attribute.
+func (c *Client) DefineAttribute(name string, obj wire.ObjType, typ wire.AttrType) error {
+	req := wire.AttrDefineRequest{Name: name, Obj: obj, Type: typ}
+	_, err := c.call(wire.OpAttrDefine, req.Encode())
+	return err
+}
+
+// UndefineAttribute removes an attribute definition.
+func (c *Client) UndefineAttribute(name string, obj wire.ObjType, clearValues bool) error {
+	req := wire.AttrUndefineRequest{Name: name, Obj: obj, ClearValues: clearValues}
+	_, err := c.call(wire.OpAttrUndefine, req.Encode())
+	return err
+}
+
+// AddAttribute attaches an attribute value to an object.
+func (c *Client) AddAttribute(key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+	req := wire.AttrWriteRequest{Key: key, Obj: obj, Name: name, Value: v}
+	_, err := c.call(wire.OpAttrAdd, req.Encode())
+	return err
+}
+
+// ModifyAttribute replaces an attribute value on an object.
+func (c *Client) ModifyAttribute(key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+	req := wire.AttrWriteRequest{Key: key, Obj: obj, Name: name, Value: v}
+	_, err := c.call(wire.OpAttrModify, req.Encode())
+	return err
+}
+
+// RemoveAttribute detaches an attribute value from an object.
+func (c *Client) RemoveAttribute(key string, obj wire.ObjType, name string) error {
+	req := wire.AttrRemoveRequest{Key: key, Obj: obj, Name: name}
+	_, err := c.call(wire.OpAttrRemove, req.Encode())
+	return err
+}
+
+// GetAttributes lists attribute values on an object.
+func (c *Client) GetAttributes(key string, obj wire.ObjType, names []string) ([]wire.NamedAttr, error) {
+	req := wire.AttrGetRequest{Key: key, Obj: obj, Names: names}
+	body, err := c.call(wire.OpAttrGet, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeAttrGetResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Attrs, nil
+}
+
+// SearchAttribute finds objects by attribute comparison.
+func (c *Client) SearchAttribute(name string, obj wire.ObjType, cmp wire.CmpOp, probe wire.AttrValue) ([]wire.ObjAttr, error) {
+	req := wire.AttrSearchRequest{Name: name, Obj: obj, Cmp: cmp, Value: probe}
+	body, err := c.call(wire.OpAttrSearch, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeAttrSearchResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Hits, nil
+}
+
+// ListAttributeDefs lists attribute definitions (obj 0 = both types).
+func (c *Client) ListAttributeDefs(obj wire.ObjType) ([]wire.AttrDef, error) {
+	req := wire.AttrListDefsRequest{Obj: obj}
+	body, err := c.call(wire.OpAttrListDefs, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeAttrListDefsResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Defs, nil
+}
+
+// BulkAddAttributes attaches many attribute values.
+func (c *Client) BulkAddAttributes(items []wire.AttrWriteRequest) ([]wire.BulkFailure, error) {
+	req := wire.AttrBulkWriteRequest{Items: items}
+	body, err := c.call(wire.OpAttrBulkAdd, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeBulkStatusResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Failures, nil
+}
+
+// BulkRemoveAttributes detaches many attribute values.
+func (c *Client) BulkRemoveAttributes(items []wire.AttrRemoveRequest) ([]wire.BulkFailure, error) {
+	req := wire.AttrBulkRemoveRequest{Items: items}
+	body, err := c.call(wire.OpAttrBulkRemove, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeBulkStatusResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Failures, nil
+}
+
+// ---- LRC management ----
+
+// ListRLITargets lists the RLIs the LRC updates.
+func (c *Client) ListRLITargets() ([]wire.RLITarget, error) {
+	body, err := c.call(wire.OpLRCRLIList, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeRLIListResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Targets, nil
+}
+
+// AddRLITarget starts LRC updates to an RLI.
+func (c *Client) AddRLITarget(t wire.RLITarget) error {
+	req := wire.RLIAddRequest{Target: t}
+	_, err := c.call(wire.OpLRCRLIAdd, req.Encode())
+	return err
+}
+
+// RemoveRLITarget stops LRC updates to an RLI.
+func (c *Client) RemoveRLITarget(url string) error {
+	req := wire.NameRequest{Name: url}
+	_, err := c.call(wire.OpLRCRLIRemove, req.Encode())
+	return err
+}
+
+// ---- RLI queries ----
+
+// RLIQuery returns the LRCs that may hold mappings for a logical name.
+func (c *Client) RLIQuery(logical string) ([]string, error) {
+	return c.nameQuery(wire.OpRLIGetLRCs, logical)
+}
+
+// RLIWildcardQuery finds {logical name, LRC} pairs by wildcard.
+func (c *Client) RLIWildcardQuery(pattern string) ([]wire.BulkNameResult, error) {
+	return c.wildQuery(wire.OpRLIGetLRCsWild, pattern)
+}
+
+// RLIBulkQuery resolves many logical names at an RLI.
+func (c *Client) RLIBulkQuery(names []string) ([]wire.BulkNameResult, error) {
+	return c.bulkQuery(wire.OpRLIBulkGetLRCs, names)
+}
+
+// RLILRCList lists the LRCs updating the RLI.
+func (c *Client) RLILRCList() ([]string, error) {
+	body, err := c.call(wire.OpRLILRCList, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeNamesResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// ---- soft state updates (Client implements lrc.Updater) ----
+
+// SSFullStart opens a full soft state update.
+func (c *Client) SSFullStart(lrcURL string, total uint64) error {
+	req := wire.SSFullStartRequest{LRC: lrcURL, Total: total}
+	_, err := c.call(wire.OpSSFullStart, req.Encode())
+	return err
+}
+
+// SSFullBatch sends one batch of a full update.
+func (c *Client) SSFullBatch(lrcURL string, names []string) error {
+	req := wire.SSFullBatchRequest{LRC: lrcURL, Names: names}
+	_, err := c.call(wire.OpSSFullBatch, req.Encode())
+	return err
+}
+
+// SSFullEnd completes a full update.
+func (c *Client) SSFullEnd(lrcURL string) error {
+	req := wire.NameRequest{Name: lrcURL}
+	_, err := c.call(wire.OpSSFullEnd, req.Encode())
+	return err
+}
+
+// SSIncremental sends an immediate-mode update.
+func (c *Client) SSIncremental(lrcURL string, added, removed []string) error {
+	req := wire.SSIncrementalRequest{LRC: lrcURL, Added: added, Removed: removed}
+	_, err := c.call(wire.OpSSIncremental, req.Encode())
+	return err
+}
+
+// SSBloom sends a Bloom filter update.
+func (c *Client) SSBloom(lrcURL string, bitmap []byte) error {
+	req := wire.SSBloomRequest{LRC: lrcURL, Bitmap: bitmap}
+	_, err := c.call(wire.OpSSBloom, req.Encode())
+	return err
+}

@@ -1,0 +1,284 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// fakeServer speaks the wire protocol over net.Pipe with scripted behaviour.
+type fakeServer struct {
+	acceptHello bool
+	respond     func(req *wire.Request) *wire.Response
+}
+
+func (f *fakeServer) serve(conn net.Conn) {
+	wc := wire.NewConn(conn)
+	defer wc.Close()
+	payload, err := wc.ReadFrame()
+	if err != nil {
+		return
+	}
+	if _, err := wire.DecodeHello(payload); err != nil {
+		return
+	}
+	ack := wire.HelloAck{Status: wire.StatusOK, Detail: "rls://fake"}
+	if !f.acceptHello {
+		ack = wire.HelloAck{Status: wire.StatusDenied, Detail: "scripted rejection"}
+	}
+	if err := wc.WriteFrame(ack.Encode()); err != nil {
+		return
+	}
+	if !f.acceptHello {
+		return
+	}
+	for {
+		payload, err := wc.ReadFrame()
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		resp := f.respond(req)
+		if resp == nil {
+			return // scripted connection drop
+		}
+		if err := wc.WriteFrame(resp.Encode()); err != nil {
+			return
+		}
+	}
+}
+
+func dialFake(t *testing.T, f *fakeServer) (*Client, error) {
+	t.Helper()
+	return Dial(Options{
+		Dialer: func() (net.Conn, error) {
+			a, b := net.Pipe()
+			go f.serve(b)
+			return a, nil
+		},
+	})
+}
+
+func okServer() *fakeServer {
+	return &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK}
+		},
+	}
+}
+
+func TestDialHandshake(t *testing.T) {
+	c, err := dialFake(t, okServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.ServerURL() != "rls://fake" {
+		t.Fatalf("ServerURL = %q", c.ServerURL())
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialRejectedHandshake(t *testing.T) {
+	_, err := dialFake(t, &fakeServer{acceptHello: false})
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("rejected dial = %v, want ErrDenied", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Msg != "scripted rejection" {
+		t.Fatalf("error detail lost: %v", err)
+	}
+}
+
+func TestStatusErrorMapping(t *testing.T) {
+	cases := []struct {
+		status wire.Status
+		target error
+	}{
+		{wire.StatusDenied, ErrDenied},
+		{wire.StatusNotFound, ErrNotFound},
+		{wire.StatusExists, ErrExists},
+		{wire.StatusBadRequest, ErrBadRequest},
+		{wire.StatusUnsupported, ErrUnsupported},
+		{wire.StatusInternal, ErrInternal},
+	}
+	for _, tc := range cases {
+		f := &fakeServer{
+			acceptHello: true,
+			respond: func(req *wire.Request) *wire.Response {
+				return &wire.Response{ID: req.ID, Status: tc.status, Err: "scripted"}
+			},
+		}
+		c, err := dialFake(t, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Ping()
+		if !errors.Is(err, tc.target) {
+			t.Errorf("status %v mapped to %v, want %v", tc.status, err, tc.target)
+		}
+		// A StatusError matches exactly one sentinel.
+		for _, other := range cases {
+			if other.target != tc.target && errors.Is(err, other.target) {
+				t.Errorf("status %v also matches %v", tc.status, other.target)
+			}
+		}
+		c.Close()
+	}
+}
+
+func TestStatusErrorMessage(t *testing.T) {
+	e := &StatusError{Status: wire.StatusNotFound, Msg: "no such lfn"}
+	if e.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	bare := &StatusError{Status: wire.StatusNotFound}
+	if bare.Error() == "" {
+		t.Fatal("empty bare error message")
+	}
+}
+
+func TestMismatchedResponseID(t *testing.T) {
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			return &wire.Response{ID: req.ID + 100, Status: wire.StatusOK}
+		},
+	}
+	c, err := dialFake(t, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("mismatched response id accepted")
+	}
+}
+
+func TestServerDropsConnectionMidCall(t *testing.T) {
+	f := &fakeServer{
+		acceptHello: true,
+		respond:     func(req *wire.Request) *wire.Response { return nil },
+	}
+	c, err := dialFake(t, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("dropped connection produced no error")
+	}
+}
+
+func TestRequestBodiesReachServer(t *testing.T) {
+	var mu sync.Mutex
+	got := map[wire.Op][]byte{}
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			mu.Lock()
+			got[req.Op] = append([]byte(nil), req.Body...)
+			mu.Unlock()
+			body := []byte{}
+			switch req.Op {
+			case wire.OpLRCGetTargets:
+				body = (&wire.NamesResponse{Names: []string{"pfn://a"}}).Encode()
+			case wire.OpLRCBulkCreate:
+				body = (&wire.BulkStatusResponse{}).Encode()
+			}
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK, Body: body}
+		},
+	}
+	c, err := dialFake(t, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.CreateMapping("lfn://x", "pfn://x"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.GetTargets("lfn://x")
+	if err != nil || len(names) != 1 || names[0] != "pfn://a" {
+		t.Fatalf("GetTargets = %v, %v", names, err)
+	}
+	if _, err := c.BulkCreate([]wire.Mapping{{Logical: "l", Target: "t"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	m, err := wire.DecodeMappingRequest(got[wire.OpLRCCreateMapping])
+	if err != nil || m.Logical != "lfn://x" || m.Target != "pfn://x" {
+		t.Fatalf("create body = %+v, %v", m, err)
+	}
+	bm, err := wire.DecodeBulkMappingsRequest(got[wire.OpLRCBulkCreate])
+	if err != nil || len(bm.Mappings) != 1 {
+		t.Fatalf("bulk body = %+v, %v", bm, err)
+	}
+}
+
+func TestGarbageResponseBody(t *testing.T) {
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK, Body: []byte{0xFF, 0xFE}}
+		},
+	}
+	c, err := dialFake(t, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.GetTargets("lfn://x"); err == nil {
+		t.Fatal("garbage body decoded without error")
+	}
+	if _, err := c.ServerInfo(); err == nil {
+		t.Fatal("garbage info decoded without error")
+	}
+}
+
+func TestConcurrentCallsSerializeSafely(t *testing.T) {
+	c, err := dialFake(t, okServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := c.Ping(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDialFailurePropagates(t *testing.T) {
+	_, err := Dial(Options{
+		Dialer: func() (net.Conn, error) { return nil, errors.New("no route") },
+	})
+	if err == nil || err.Error() != "no route" {
+		t.Fatalf("dial error = %v", err)
+	}
+}

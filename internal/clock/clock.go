@@ -1,0 +1,183 @@
+// Package clock provides a time source abstraction so that components with
+// time-dependent behaviour (soft-state expiration, immediate-mode flushing,
+// background storage flushers) can be driven deterministically in tests.
+//
+// Production code uses Real, which delegates to the time package. Tests use
+// Fake, which only advances when told to and releases sleepers and timers in
+// virtual-time order.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the RLS implementation.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for at least d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the time after duration d.
+	After(d time.Duration) <-chan time.Time
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker mirrors time.Ticker for both real and fake clocks.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Real is a Clock backed by the time package.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }
+
+// Fake is a manually advanced Clock. The zero value is not usable; construct
+// with NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64
+}
+
+// NewFake returns a Fake clock starting at the given time.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+type waiter struct {
+	at     time.Time
+	seq    int64 // tiebreaker for stable ordering
+	ch     chan time.Time
+	period time.Duration // 0 for one-shot
+	done   bool
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)   { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep implements Clock. It blocks until Advance has moved the clock past
+// the deadline.
+func (f *Fake) Sleep(d time.Duration) {
+	<-f.After(d)
+}
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.seq++
+	heap.Push(&f.waiters, &waiter{at: f.now.Add(d), seq: f.seq, ch: ch})
+	return ch
+}
+
+// NewTicker implements Clock.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	w := &waiter{at: f.now.Add(d), seq: f.seq, ch: make(chan time.Time, 1), period: d}
+	heap.Push(&f.waiters, w)
+	return &fakeTicker{f: f, w: w}
+}
+
+type fakeTicker struct {
+	f *Fake
+	w *waiter
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.w.ch }
+
+func (t *fakeTicker) Stop() {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	t.w.done = true
+}
+
+// Advance moves the clock forward by d, firing timers and tickers whose
+// deadlines are reached, in virtual-time order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for len(f.waiters) > 0 && !f.waiters[0].at.After(target) {
+		w := heap.Pop(&f.waiters).(*waiter)
+		if w.done {
+			continue
+		}
+		f.now = w.at
+		select {
+		case w.ch <- w.at:
+		default: // ticker receiver lagging; drop tick like time.Ticker does
+		}
+		if w.period > 0 {
+			w.at = w.at.Add(w.period)
+			heap.Push(&f.waiters, w)
+		}
+	}
+	f.now = target
+	f.mu.Unlock()
+}
+
+// Pending reports how many timers or tickers are waiting to fire.
+func (f *Fake) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.waiters {
+		if !w.done {
+			n++
+		}
+	}
+	return n
+}

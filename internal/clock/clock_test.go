@@ -1,0 +1,194 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := Real{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	c := Real{}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After(1ms) did not fire within 5s")
+	}
+}
+
+func TestRealTicker(t *testing.T) {
+	c := Real{}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real ticker did not tick within 5s")
+	}
+}
+
+func TestFakeNowFixedUntilAdvanced(t *testing.T) {
+	start := time.Date(2004, 6, 4, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", f.Now(), start)
+	}
+	f.Advance(3 * time.Second)
+	if want := start.Add(3 * time.Second); !f.Now().Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeAfterFiresAtDeadline(t *testing.T) {
+	start := time.Unix(0, 0)
+	f := NewFake(start)
+	ch := f.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired 1s early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if want := start.Add(10 * time.Second); !at.Equal(want) {
+			t.Fatalf("timer fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(negative) did not fire immediately")
+	}
+}
+
+func TestFakeSleepWokenByAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Minute)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for i := 0; i < 1000 && f.Pending() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if f.Pending() != 1 {
+		t.Fatal("sleeper never registered")
+	}
+	f.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestFakeTickerFiresRepeatedly(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+	for i := 1; i <= 3; i++ {
+		f.Advance(time.Second)
+		select {
+		case at := <-tk.C():
+			if want := time.Unix(int64(i), 0); !at.Equal(want) {
+				t.Fatalf("tick %d at %v, want %v", i, at, want)
+			}
+		default:
+			t.Fatalf("ticker did not fire on advance %d", i)
+		}
+	}
+}
+
+func TestFakeTickerDropsMissedTicks(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+	// Advance five periods without draining: buffered chan holds one tick.
+	f.Advance(5 * time.Second)
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("received %d ticks from undained ticker, want 1 (buffer size)", n)
+	}
+}
+
+func TestFakeTickerStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	tk.Stop()
+	f.Advance(10 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestFakeMultipleTimersFireInOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	late := f.After(2 * time.Second)
+	early := f.After(1 * time.Second)
+	f.Advance(3 * time.Second)
+	earlyAt := <-early
+	lateAt := <-late
+	if !earlyAt.Before(lateAt) {
+		t.Fatalf("early fired at %v, late at %v; want early < late", earlyAt, lateAt)
+	}
+}
+
+func TestFakeNewTickerPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker(0) did not panic")
+		}
+	}()
+	NewFake(time.Unix(0, 0)).NewTicker(0)
+}
+
+func TestFakePendingCountsActiveWaiters(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	f.After(time.Second)
+	f.After(2 * time.Second)
+	if got := f.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	f.Advance(time.Second)
+	if got := f.Pending(); got != 1 {
+		t.Fatalf("Pending() after one fire = %d, want 1", got)
+	}
+}

@@ -1,0 +1,453 @@
+// Package core is the public facade of the RLS reproduction: it assembles
+// storage engines, LRC/RLI services, servers and transports into a running
+// Replica Location Service deployment, either in-process (zero-syscall
+// pipes, optionally shaped to LAN/WAN conditions) or on TCP listeners.
+//
+// A Deployment is the programmatic equivalent of the paper's static
+// configuration files (§3.6: "we use a simple static configuration of LRCs
+// and RLIs"): add servers, connect LRCs to the RLIs they update, dial
+// clients.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/disk"
+	"repro/internal/lrc"
+	"repro/internal/netsim"
+	"repro/internal/rdb"
+	"repro/internal/rli"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// ServerSpec describes one RLS server to add to a deployment.
+type ServerSpec struct {
+	// Name identifies the server within the deployment; its in-process URL
+	// is "rls://<name>".
+	Name string
+	// LRC and RLI select the roles; at least one must be set.
+	LRC bool
+	RLI bool
+
+	// Listen starts a TCP listener on 127.0.0.1 (ephemeral port) in
+	// addition to the in-process transport.
+	Listen bool
+	// ListenAddr starts a TCP listener on an explicit address (host:port),
+	// taking precedence over Listen.
+	ListenAddr string
+	// Net shapes every connection to this server (LAN, WAN, unshaped).
+	Net netsim.Profile
+
+	// Personality selects the database back end behaviour (MySQL-like or
+	// PostgreSQL-like).
+	Personality storage.Personality
+	// FlushOnCommit enables the per-transaction database flush of Figure 4.
+	FlushOnCommit bool
+	// Disk configures the simulated device; zero value means the 2004-era
+	// default model. Use disk.Fast() for cost-free storage.
+	Disk *disk.Params
+	// DataDir persists the database under a directory; empty runs in
+	// memory.
+	DataDir string
+
+	// ImmediateMode enables incremental soft state updates (§3.3).
+	ImmediateMode      bool
+	ImmediateInterval  time.Duration
+	ImmediateThreshold int
+	// FullInterval spaces periodic full updates; zero leaves updates to
+	// explicit ForceUpdate calls.
+	FullInterval time.Duration
+	// FullBatch overrides the names-per-frame batch size of full updates.
+	FullBatch int
+	// BloomSizeHint pre-sizes the LRC Bloom filter.
+	BloomSizeHint int
+
+	// RLITimeout and RLIExpireInterval configure the RLI expire thread.
+	RLITimeout        time.Duration
+	RLIExpireInterval time.Duration
+
+	// Auth enables authentication/authorization; nil means open mode.
+	Auth *auth.Authenticator
+	// Clock overrides the time source (fake clocks in tests).
+	Clock clock.Clock
+}
+
+// Node is one running server in a deployment.
+type Node struct {
+	Name string
+	URL  string
+
+	Server *server.Server
+	LRC    *lrc.Service
+	RLI    *rli.Service
+
+	// LRCEngine and RLIEngine are the per-role storage engines (nil when
+	// the role is absent; RLIEngine is nil for Bloom-only RLIs too — it is
+	// created lazily with the role).
+	LRCEngine *storage.Engine
+	RLIEngine *storage.Engine
+	// Device is the simulated disk shared by this node's engines.
+	Device *disk.Device
+
+	net      netsim.Profile
+	listener net.Listener
+	dep      *Deployment
+}
+
+// Addr returns the TCP address if the node listens, else "".
+func (n *Node) Addr() string {
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// Deployment is a set of RLS servers plus the wiring to reach them.
+type Deployment struct {
+	mu    sync.Mutex
+	nodes map[string]*Node // by name
+	byURL map[string]*Node
+}
+
+// NewDeployment returns an empty deployment.
+func NewDeployment() *Deployment {
+	return &Deployment{
+		nodes: make(map[string]*Node),
+		byURL: make(map[string]*Node),
+	}
+}
+
+// AddServer builds and starts a server per the spec.
+func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
+	if spec.Name == "" {
+		return nil, errors.New("core: ServerSpec.Name is required")
+	}
+	if !spec.LRC && !spec.RLI {
+		return nil, fmt.Errorf("core: server %s needs at least one role", spec.Name)
+	}
+	d.mu.Lock()
+	if _, dup := d.nodes[spec.Name]; dup {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("core: duplicate server name %q", spec.Name)
+	}
+	d.mu.Unlock()
+
+	diskParams := disk.DefaultParams()
+	if spec.Disk != nil {
+		diskParams = *spec.Disk
+	}
+	if spec.Clock != nil && diskParams.Clock == nil {
+		diskParams.Clock = spec.Clock
+	}
+	device := disk.New(diskParams)
+	node := &Node{
+		Name:   spec.Name,
+		URL:    "rls://" + spec.Name,
+		Device: device,
+		net:    spec.Net,
+		dep:    d,
+	}
+
+	engineFor := func(suffix string) (*storage.Engine, error) {
+		opts := storage.Options{
+			Personality:   spec.Personality,
+			FlushOnCommit: spec.FlushOnCommit,
+			Device:        device,
+			Clock:         spec.Clock,
+		}
+		if spec.DataDir == "" {
+			return storage.OpenMemory(opts), nil
+		}
+		return storage.Open(spec.DataDir+"/"+suffix, opts)
+	}
+
+	cleanup := func() {
+		if node.LRC != nil {
+			node.LRC.Close()
+		}
+		if node.RLI != nil {
+			node.RLI.Close()
+		}
+		if node.LRCEngine != nil {
+			node.LRCEngine.Close()
+		}
+		if node.RLIEngine != nil {
+			node.RLIEngine.Close()
+		}
+	}
+
+	if spec.LRC {
+		eng, err := engineFor("lrc")
+		if err != nil {
+			return nil, err
+		}
+		node.LRCEngine = eng
+		var db *rdb.LRCDB
+		if len(eng.Stats().Tables) > 0 {
+			db, err = rdb.OpenLRCDB(eng) // reopened persistent database
+		} else {
+			db, err = rdb.NewLRCDB(eng)
+		}
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		svc, err := lrc.New(lrc.Config{
+			URL:                node.URL,
+			DB:                 db,
+			Dial:               d.updaterDialer(),
+			Clock:              spec.Clock,
+			ImmediateMode:      spec.ImmediateMode,
+			ImmediateInterval:  spec.ImmediateInterval,
+			ImmediateThreshold: spec.ImmediateThreshold,
+			FullInterval:       spec.FullInterval,
+			FullBatch:          spec.FullBatch,
+			BloomSizeHint:      spec.BloomSizeHint,
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		node.LRC = svc
+		svc.Start()
+	}
+	if spec.RLI {
+		eng, err := engineFor("rli")
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		node.RLIEngine = eng
+		var db *rdb.RLIDB
+		if len(eng.Stats().Tables) > 0 {
+			db, err = rdb.OpenRLIDB(eng) // reopened persistent database
+		} else {
+			db, err = rdb.NewRLIDB(eng)
+		}
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		svc, err := rli.New(rli.Config{
+			URL:            node.URL,
+			DB:             db,
+			Clock:          spec.Clock,
+			Timeout:        spec.RLITimeout,
+			ExpireInterval: spec.RLIExpireInterval,
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		node.RLI = svc
+		svc.Start()
+	}
+
+	srv, err := server.New(server.Config{
+		URL:   node.URL,
+		LRC:   node.LRC,
+		RLI:   node.RLI,
+		Auth:  spec.Auth,
+		Clock: spec.Clock,
+	})
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	node.Server = srv
+
+	if spec.Listen || spec.ListenAddr != "" {
+		addr := spec.ListenAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		node.listener = l
+		go srv.Serve(netsim.WrapListener(l, spec.Net))
+	}
+
+	d.mu.Lock()
+	d.nodes[spec.Name] = node
+	d.byURL[node.URL] = node
+	d.mu.Unlock()
+	return node, nil
+}
+
+// Node returns a server by name.
+func (d *Deployment) Node(name string) (*Node, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, ok := d.nodes[name]
+	return n, ok
+}
+
+// dialNode opens a transport to the node: an in-process shaped pipe.
+func (d *Deployment) dialNode(n *Node) (net.Conn, error) {
+	clientEnd, serverEnd := netsim.Pipe(n.net)
+	go n.Server.ServeConn(serverEnd)
+	return clientEnd, nil
+}
+
+// resolve finds a node by deployment URL.
+func (d *Deployment) resolve(url string) (*Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n, ok := d.byURL[url]; ok {
+		return n, nil
+	}
+	return nil, fmt.Errorf("core: no server with url %q in deployment", url)
+}
+
+// updaterDialer lets LRC services reach RLI nodes by URL for soft state
+// updates.
+func (d *Deployment) updaterDialer() lrc.Dialer {
+	return func(url string) (lrc.Updater, error) {
+		n, err := d.resolve(url)
+		if err != nil {
+			return nil, err
+		}
+		return client.Dial(client.Options{
+			Dialer: func() (net.Conn, error) { return d.dialNode(n) },
+		})
+	}
+}
+
+// DialOptions carries client identity for Dial.
+type DialOptions struct {
+	DN    string
+	Token string
+}
+
+// Dial opens a client to the named server over the in-process transport.
+func (d *Deployment) Dial(name string, opts ...DialOptions) (*client.Client, error) {
+	d.mu.Lock()
+	n, ok := d.nodes[name]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no server named %q", name)
+	}
+	var o DialOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return client.Dial(client.Options{
+		DN:     o.DN,
+		Token:  o.Token,
+		Dialer: func() (net.Conn, error) { return d.dialNode(n) },
+	})
+}
+
+// DialTCP opens a client over the node's TCP listener (shaped client-side
+// with the node's profile, matching the server-side shaping).
+func (d *Deployment) DialTCP(name string, opts ...DialOptions) (*client.Client, error) {
+	d.mu.Lock()
+	n, ok := d.nodes[name]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no server named %q", name)
+	}
+	if n.listener == nil {
+		return nil, fmt.Errorf("core: server %q has no TCP listener", name)
+	}
+	var o DialOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	addr := n.listener.Addr().String()
+	return client.Dial(client.Options{
+		DN:    o.DN,
+		Token: o.Token,
+		Dialer: func() (net.Conn, error) {
+			raw, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return netsim.Wrap(raw, n.net), nil
+		},
+	})
+}
+
+// Connect registers RLI update targets: the named LRC starts sending soft
+// state updates to the named RLI, either uncompressed or Bloom-compressed,
+// optionally partitioned by the regular expressions.
+func (d *Deployment) Connect(lrcName, rliName string, bloomUpdates bool, patterns ...string) error {
+	lnode, ok := d.Node(lrcName)
+	if !ok || lnode.LRC == nil {
+		return fmt.Errorf("core: %q is not an LRC in this deployment", lrcName)
+	}
+	rnode, ok := d.Node(rliName)
+	if !ok || rnode.RLI == nil {
+		return fmt.Errorf("core: %q is not an RLI in this deployment", rliName)
+	}
+	return lnode.LRC.AddRLITarget(wire.RLITarget{
+		URL:      rnode.URL,
+		Bloom:    bloomUpdates,
+		Patterns: patterns,
+	})
+}
+
+// ConnectRLI wires the hierarchical-RLI extension (paper §7): the child RLI
+// forwards its aggregated state — per-LRC full updates and Bloom filters —
+// to the parent RLI, so queries at the parent cover everything registered
+// below the child.
+func (d *Deployment) ConnectRLI(childName, parentName string) error {
+	child, ok := d.Node(childName)
+	if !ok || child.RLI == nil {
+		return fmt.Errorf("core: %q is not an RLI in this deployment", childName)
+	}
+	parent, ok := d.Node(parentName)
+	if !ok || parent.RLI == nil {
+		return fmt.Errorf("core: %q is not an RLI in this deployment", parentName)
+	}
+	child.RLI.ConfigureForwarding(func(url string) (rli.Updater, error) {
+		n, err := d.resolve(url)
+		if err != nil {
+			return nil, err
+		}
+		return client.Dial(client.Options{
+			Dialer: func() (net.Conn, error) { return d.dialNode(n) },
+		})
+	}, 0)
+	return child.RLI.AddParent(parent.URL)
+}
+
+// Close shuts down every server and engine.
+func (d *Deployment) Close() {
+	d.mu.Lock()
+	nodes := make([]*Node, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		nodes = append(nodes, n)
+	}
+	d.mu.Unlock()
+	for _, n := range nodes {
+		if n.listener != nil {
+			n.listener.Close()
+		}
+		n.Server.Close()
+		if n.LRC != nil {
+			n.LRC.Close()
+		}
+		if n.RLI != nil {
+			n.RLI.Close()
+		}
+		if n.LRCEngine != nil {
+			n.LRCEngine.Close()
+		}
+		if n.RLIEngine != nil {
+			n.RLIEngine.Close()
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/client"
+)
+
+// TestHierarchicalRLIForwarding builds the two-level index of the paper's
+// §7: site LRCs update leaf RLIs, leaf RLIs forward to a root RLI, and a
+// query at the root locates data registered at any site.
+func TestHierarchicalRLIForwarding(t *testing.T) {
+	d := NewDeployment()
+	defer d.Close()
+	for _, name := range []string{"lrc-east", "lrc-west"} {
+		if _, err := d.AddServer(fastSpec(name, true, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"rli-east", "rli-west", "rli-root"} {
+		if _, err := d.AddServer(fastSpec(name, false, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Connect("lrc-east", "rli-east", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("lrc-west", "rli-west", true); err != nil { // west uses Bloom
+		t.Fatal(err)
+	}
+	if err := d.ConnectRLI("rli-east", "rli-root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ConnectRLI("rli-west", "rli-root"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Register data at each site and propagate both levels.
+	ce, _ := d.Dial("lrc-east")
+	defer ce.Close()
+	cw, _ := d.Dial("lrc-west")
+	defer cw.Close()
+	if err := ce.CreateMapping("lfn://east/data", "pfn://east/data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.CreateMapping("lfn://west/data", "pfn://west/data"); err != nil {
+		t.Fatal(err)
+	}
+	for _, lrcName := range []string{"lrc-east", "lrc-west"} {
+		node, _ := d.Node(lrcName)
+		for _, res := range node.LRC.ForceUpdate() {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+	}
+	for _, rliName := range []string{"rli-east", "rli-west"} {
+		node, _ := d.Node(rliName)
+		for _, res := range node.RLI.ForwardAll() {
+			if res.Err != nil {
+				t.Fatalf("forward from %s: %v", rliName, res.Err)
+			}
+			if res.Sources == 0 {
+				t.Fatalf("forward from %s carried no sources: %+v", rliName, res)
+			}
+		}
+	}
+
+	// The root resolves both sites' data to the ORIGINATING LRCs.
+	root, _ := d.Dial("rli-root")
+	defer root.Close()
+	lrcs, err := root.RLIQuery("lfn://east/data")
+	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc-east" {
+		t.Fatalf("east data at root = %v, %v", lrcs, err)
+	}
+	lrcs, err = root.RLIQuery("lfn://west/data")
+	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc-west" {
+		t.Fatalf("west data at root = %v, %v", lrcs, err)
+	}
+	// The root knows both LRCs even though neither updates it directly.
+	all, err := root.RLILRCList()
+	if err != nil || len(all) != 2 {
+		t.Fatalf("root LRC list = %v, %v", all, err)
+	}
+}
+
+func TestConnectRLIValidation(t *testing.T) {
+	d := NewDeployment()
+	defer d.Close()
+	d.AddServer(fastSpec("lrc", true, false))
+	d.AddServer(fastSpec("rli", false, true))
+	if err := d.ConnectRLI("lrc", "rli"); err == nil {
+		t.Fatal("LRC accepted as hierarchy child")
+	}
+	if err := d.ConnectRLI("rli", "lrc"); err == nil {
+		t.Fatal("LRC accepted as hierarchy parent")
+	}
+	if err := d.ConnectRLI("ghost", "rli"); err == nil {
+		t.Fatal("unknown child accepted")
+	}
+	// Self-loop rejected by the service.
+	if err := d.ConnectRLI("rli", "rli"); err == nil {
+		t.Fatal("self-parent accepted")
+	}
+	// Duplicate registration rejected.
+	d.AddServer(fastSpec("rli2", false, true))
+	if err := d.ConnectRLI("rli", "rli2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ConnectRLI("rli", "rli2"); err == nil {
+		t.Fatal("duplicate parent accepted")
+	}
+	node, _ := d.Node("rli")
+	if got := node.RLI.Parents(); len(got) != 1 || got[0] != "rls://rli2" {
+		t.Fatalf("Parents = %v", got)
+	}
+	if err := node.RLI.RemoveParent("rls://rli2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.RLI.RemoveParent("rls://rli2"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestForwardingSurvivesParentOutage(t *testing.T) {
+	d := NewDeployment()
+	defer d.Close()
+	d.AddServer(fastSpec("lrc", true, false))
+	d.AddServer(fastSpec("child", false, true))
+	d.AddServer(fastSpec("parent", false, true))
+	d.Connect("lrc", "child", false)
+	d.ConnectRLI("child", "parent")
+
+	c, _ := d.Dial("lrc")
+	defer c.Close()
+	c.CreateMapping("lfn://x", "pfn://x")
+	lnode, _ := d.Node("lrc")
+	lnode.LRC.ForceUpdate()
+
+	// Kill the parent; forwarding must report the error, not hang or panic.
+	pnode, _ := d.Node("parent")
+	pnode.Server.Close()
+	cnode, _ := d.Node("child")
+	results := cnode.RLI.ForwardAll()
+	if len(results) != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Err == nil {
+		t.Fatal("forward to dead parent reported success")
+	}
+	// Child still answers queries.
+	cc, _ := d.Dial("child")
+	defer cc.Close()
+	if _, err := cc.RLIQuery("lfn://x"); err != nil {
+		t.Fatalf("child query after parent outage: %v", err)
+	}
+}
+
+func TestThreeLevelHierarchy(t *testing.T) {
+	// leaf -> mid -> root: state flows two hops while keeping the original
+	// LRC attribution.
+	d := NewDeployment()
+	defer d.Close()
+	d.AddServer(fastSpec("lrc", true, false))
+	d.AddServer(fastSpec("leaf", false, true))
+	d.AddServer(fastSpec("mid", false, true))
+	d.AddServer(fastSpec("root", false, true))
+	d.Connect("lrc", "leaf", false)
+	d.ConnectRLI("leaf", "mid")
+	d.ConnectRLI("mid", "root")
+
+	c, _ := d.Dial("lrc")
+	defer c.Close()
+	c.CreateMapping("lfn://deep", "pfn://deep")
+	lnode, _ := d.Node("lrc")
+	lnode.LRC.ForceUpdate()
+	for _, name := range []string{"leaf", "mid"} {
+		node, _ := d.Node(name)
+		for _, res := range node.RLI.ForwardAll() {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+	}
+	rc, _ := d.Dial("root")
+	defer rc.Close()
+	lrcs, err := rc.RLIQuery("lfn://deep")
+	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc" {
+		t.Fatalf("root resolution = %v, %v", lrcs, err)
+	}
+}
+
+func TestForwardingBloomOnlyChild(t *testing.T) {
+	// A Bloom-only child (no database) forwards its bitmaps upward.
+	d := NewDeployment()
+	defer d.Close()
+	d.AddServer(fastSpec("lrc", true, false))
+	d.AddServer(fastSpec("child", false, true))
+	d.AddServer(fastSpec("parent", false, true))
+	d.Connect("lrc", "child", true) // Bloom updates
+	d.ConnectRLI("child", "parent")
+
+	c, _ := d.Dial("lrc")
+	defer c.Close()
+	c.CreateMapping("lfn://bloomy", "pfn://x")
+	lnode, _ := d.Node("lrc")
+	lnode.LRC.ForceUpdate()
+	cnode, _ := d.Node("child")
+	for _, res := range cnode.RLI.ForwardAll() {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Blooms != 1 {
+			t.Fatalf("forwarded %d blooms, want 1", res.Blooms)
+		}
+	}
+	pc, _ := d.Dial("parent")
+	defer pc.Close()
+	lrcs, err := pc.RLIQuery("lfn://bloomy")
+	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc" {
+		t.Fatalf("parent resolution = %v, %v", lrcs, err)
+	}
+	// A name that was never registered misses (modulo FP) — check the
+	// parent is not just answering everything.
+	if _, err := pc.RLIQuery("lfn://definitely-not-there-xyz"); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("phantom name resolved: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package disk models the latency characteristics of the storage device that
+// backed the databases in the HPDC 2004 RLS evaluation.
+//
+// The paper's headline LRC result (Figure 4) hinges on whether the database
+// flushes each transaction to the physical disk: roughly 84 adds/s with the
+// flush enabled versus over 700 adds/s with it disabled, on 2004-era SCSI
+// disks whose synchronous write latency was on the order of 8-12 ms. A modern
+// NVMe device syncs in tens of microseconds, which would erase the effect the
+// paper measures. Device therefore charges a configurable latency for each
+// sync and a per-byte cost for writes, preserving the *shape* of the
+// evaluation on present-day hardware. Setting both costs to zero turns the
+// device into a no-op, which benchmarks use to isolate software overhead.
+package disk
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Default cost parameters, chosen to land single-threaded flush-enabled
+// commit rates near the ~84-125/s regime of the paper's server.
+const (
+	// DefaultSyncLatency approximates one rotational-disk synchronous write.
+	DefaultSyncLatency = 8 * time.Millisecond
+	// DefaultWriteCostPerKB approximates sequential log-write bandwidth
+	// (~40 MB/s, typical of the paper's era).
+	DefaultWriteCostPerKB = 25 * time.Microsecond
+	// DefaultDeadTupleCost approximates the visibility check plus the
+	// amortized heap-page fetch PostgreSQL 7.2 paid for every dead row
+	// version an index scan visited — the cost that makes the paper's
+	// Figure 8 add rate decay until VACUUM reclaims the tombstones.
+	DefaultDeadTupleCost = 5 * time.Microsecond
+)
+
+// Params configures a simulated device.
+type Params struct {
+	// SyncLatency is charged once per Sync call.
+	SyncLatency time.Duration
+	// WriteCostPerKB is charged per KiB on Write.
+	WriteCostPerKB time.Duration
+	// DeadTupleCost is charged per dead row version visited by an index
+	// scan (PostgreSQL-personality engines only ever have dead versions).
+	DeadTupleCost time.Duration
+	// Clock supplies Sleep; defaults to the real clock.
+	Clock clock.Clock
+}
+
+// DefaultParams returns the 2004-era device model used by the benchmarks.
+func DefaultParams() Params {
+	return Params{
+		SyncLatency:    DefaultSyncLatency,
+		WriteCostPerKB: DefaultWriteCostPerKB,
+		DeadTupleCost:  DefaultDeadTupleCost,
+	}
+}
+
+// Fast returns a zero-cost device model, useful for tests that do not care
+// about device timing.
+func Fast() Params { return Params{} }
+
+// Device is a simulated disk. It is safe for concurrent use. Sync calls
+// serialize, modelling a single device command queue: concurrent committers
+// each pay at least one full sync latency, which is what prevents the
+// flush-enabled add rate in Figure 4 from scaling with thread count.
+type Device struct {
+	params Params
+	clk    clock.Clock
+
+	mu sync.Mutex // serializes Sync
+
+	bytesWritten atomic.Int64
+	syncs        atomic.Int64
+	writes       atomic.Int64
+	deadVisits   atomic.Int64
+	pendingDead  atomic.Int64 // unpaid dead-tuple cost in nanoseconds
+	pendingWrite atomic.Int64 // unpaid write cost in nanoseconds
+}
+
+// New creates a Device with the given parameters.
+func New(p Params) *Device {
+	clk := p.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Device{params: p, clk: clk}
+}
+
+// Write charges the cost of writing n bytes to the device and records it in
+// the device counters. It does not serialize with other writers: buffered
+// log appends overlap in real devices.
+func (d *Device) Write(n int) {
+	if n <= 0 {
+		return
+	}
+	d.bytesWritten.Add(int64(n))
+	d.writes.Add(1)
+	if d.params.WriteCostPerKB > 0 {
+		d.charge(&d.pendingWrite, int64(d.params.WriteCostPerKB)*int64(n)/1024)
+	}
+}
+
+// charge accumulates a cost in nanoseconds against the pending counter and
+// sleeps once a full granule has accrued. Individual costs are far below
+// timer resolution (tens of microseconds); paying them in granules keeps the
+// aggregate accurate without rounding every call up to a timer tick.
+func (d *Device) charge(pending *atomic.Int64, nanos int64) {
+	if nanos <= 0 {
+		return
+	}
+	p := pending.Add(nanos)
+	if p < chargeGranule {
+		return
+	}
+	pay := (p / chargeGranule) * chargeGranule
+	if pending.CompareAndSwap(p, p-pay) {
+		d.clk.Sleep(time.Duration(pay))
+	}
+	// A lost CAS means another goroutine raced the counter; it will pay the
+	// accumulated cost on its own call.
+}
+
+// Sync charges one synchronous flush. Calls serialize.
+func (d *Device) Sync() {
+	d.syncs.Add(1)
+	if d.params.SyncLatency <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.clk.Sleep(d.params.SyncLatency)
+	d.mu.Unlock()
+}
+
+// chargeGranule batches sub-timer-resolution costs into sleeps long enough
+// for the OS timer to honour.
+const chargeGranule = int64(time.Millisecond)
+
+// VisitDeadTuples charges the cost of visiting n dead row versions during
+// an index scan. Costs accumulate and are paid in millisecond granules, so
+// the aggregate charge is accurate even though individual visits are far
+// below timer resolution. Calls do not serialize: reads overlap in real
+// devices.
+func (d *Device) VisitDeadTuples(n int) {
+	if n <= 0 {
+		return
+	}
+	d.deadVisits.Add(int64(n))
+	if d.params.DeadTupleCost > 0 {
+		d.charge(&d.pendingDead, int64(n)*int64(d.params.DeadTupleCost))
+	}
+}
+
+// Stats reports cumulative device activity.
+type Stats struct {
+	BytesWritten int64
+	Writes       int64
+	Syncs        int64
+	DeadVisits   int64
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		BytesWritten: d.bytesWritten.Load(),
+		Writes:       d.writes.Load(),
+		Syncs:        d.syncs.Load(),
+		DeadVisits:   d.deadVisits.Load(),
+	}
+}

@@ -1,0 +1,126 @@
+package disk
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestZeroCostDeviceIsFree(t *testing.T) {
+	d := New(Fast())
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		d.Write(4096)
+		d.Sync()
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("zero-cost device took %v for 1000 ops", elapsed)
+	}
+	st := d.Stats()
+	if st.Syncs != 1000 || st.Writes != 1000 {
+		t.Fatalf("stats = %+v, want 1000 syncs and writes", st)
+	}
+	if st.BytesWritten != 1000*4096 {
+		t.Fatalf("BytesWritten = %d, want %d", st.BytesWritten, 1000*4096)
+	}
+}
+
+func TestSyncChargesLatencyOnFakeClock(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	d := New(Params{SyncLatency: 8 * time.Millisecond, Clock: fc})
+	done := make(chan struct{})
+	go func() {
+		d.Sync()
+		close(done)
+	}()
+	for i := 0; i < 1000 && fc.Pending() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Sync returned before latency elapsed")
+	default:
+	}
+	fc.Advance(8 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sync did not return after advancing the clock")
+	}
+}
+
+func TestWriteCostScalesWithSize(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	d := New(Params{WriteCostPerKB: time.Millisecond, Clock: fc})
+	done := make(chan struct{})
+	go func() {
+		d.Write(4 * 1024) // should cost 4ms
+		close(done)
+	}()
+	for i := 0; i < 1000 && fc.Pending() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	fc.Advance(3 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("4KiB write completed after only 3ms at 1ms/KiB")
+	default:
+	}
+	fc.Advance(time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write did not complete after full cost elapsed")
+	}
+}
+
+func TestSmallWriteBelowGranularityIsFree(t *testing.T) {
+	d := New(Params{WriteCostPerKB: time.Millisecond})
+	start := time.Now()
+	d.Write(1) // 1/1024 ms truncates to 0
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("1-byte write took %v", elapsed)
+	}
+}
+
+func TestWriteZeroOrNegativeIgnored(t *testing.T) {
+	d := New(DefaultParams())
+	d.Write(0)
+	d.Write(-5)
+	if st := d.Stats(); st.Writes != 0 || st.BytesWritten != 0 {
+		t.Fatalf("stats after no-op writes = %+v, want zeros", st)
+	}
+}
+
+func TestConcurrentSyncsSerialize(t *testing.T) {
+	// With a real clock and a measurable latency, N concurrent syncs must
+	// take at least N * latency: the device has a single command queue.
+	const lat = 5 * time.Millisecond
+	const n = 4
+	d := New(Params{SyncLatency: lat})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Sync()
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < n*lat {
+		t.Fatalf("%d concurrent syncs finished in %v, want >= %v", n, elapsed, n*lat)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.SyncLatency != DefaultSyncLatency {
+		t.Fatalf("SyncLatency = %v, want %v", p.SyncLatency, DefaultSyncLatency)
+	}
+	if p.WriteCostPerKB != DefaultWriteCostPerKB {
+		t.Fatalf("WriteCostPerKB = %v, want %v", p.WriteCostPerKB, DefaultWriteCostPerKB)
+	}
+}

@@ -1,0 +1,61 @@
+// Package glob implements the wildcard pattern language of RLS queries:
+// '*' matches any run of characters (including empty) and '?' matches
+// exactly one character. All other characters match themselves.
+//
+// Patterns are used by the wildcard query operations of Table 1 (LRC and
+// RLI "wildcard queries"). LiteralPrefix lets the database layer bound an
+// ordered-index scan by the pattern's leading literal characters instead of
+// scanning the whole table.
+package glob
+
+// Match reports whether name matches pattern.
+func Match(pattern, name string) bool {
+	// Iterative matcher with single backtrack point: the classic
+	// linear-space '*' algorithm.
+	var (
+		p, n         int
+		starP, starN int
+		haveStar     bool
+	)
+	for n < len(name) {
+		switch {
+		case p < len(pattern) && (pattern[p] == '?' || pattern[p] == name[n]):
+			p++
+			n++
+		case p < len(pattern) && pattern[p] == '*':
+			haveStar = true
+			starP = p
+			starN = n
+			p++
+		case haveStar:
+			// Backtrack: let the last '*' absorb one more character.
+			starN++
+			p = starP + 1
+			n = starN
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// LiteralPrefix returns the pattern's leading literal characters (up to the
+// first wildcard) and whether the pattern contains any wildcard at all. A
+// pattern with no wildcards is an exact-match query.
+func LiteralPrefix(pattern string) (prefix string, hasWildcard bool) {
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == '*' || pattern[i] == '?' {
+			return pattern[:i], true
+		}
+	}
+	return pattern, false
+}
+
+// HasWildcard reports whether the pattern contains '*' or '?'.
+func HasWildcard(pattern string) bool {
+	_, has := LiteralPrefix(pattern)
+	return has
+}

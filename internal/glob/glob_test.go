@@ -1,0 +1,125 @@
+package glob
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"", "", true},
+		{"", "x", false},
+		{"*", "", true},
+		{"*", "anything", true},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"abc", "ab", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"a?c", "abbc", false},
+		{"lfn-*", "lfn-00001", true},
+		{"lfn-*", "pfn-00001", false},
+		{"*-suffix", "name-suffix", true},
+		{"*-suffix", "name-suffixx", false},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "abc", true},
+		{"a*b*c", "acb", false},
+		{"**", "x", true},
+		{"*?", "", false},
+		{"*?", "x", true},
+		{"lfn://site/*/run?", "lfn://site/2004/run7", true},
+		{"lfn://site/*/run?", "lfn://site/2004/run77", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.pattern, c.name); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestLiteralPrefix(t *testing.T) {
+	cases := []struct {
+		pattern string
+		prefix  string
+		wild    bool
+	}{
+		{"", "", false},
+		{"abc", "abc", false},
+		{"abc*", "abc", true},
+		{"a?c", "a", true},
+		{"*abc", "", true},
+		{"ab*cd?e", "ab", true},
+	}
+	for _, c := range cases {
+		prefix, wild := LiteralPrefix(c.pattern)
+		if prefix != c.prefix || wild != c.wild {
+			t.Errorf("LiteralPrefix(%q) = %q, %v; want %q, %v", c.pattern, prefix, wild, c.prefix, c.wild)
+		}
+	}
+}
+
+func TestHasWildcard(t *testing.T) {
+	if HasWildcard("plain") {
+		t.Fatal("plain string reported wildcard")
+	}
+	if !HasWildcard("a*") || !HasWildcard("a?") {
+		t.Fatal("wildcard not detected")
+	}
+}
+
+func TestQuickExactPatternsMatchThemselves(t *testing.T) {
+	check := func(s string) bool {
+		if strings.ContainsAny(s, "*?") {
+			return true // not an exact pattern
+		}
+		return Match(s, s)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStarMatchesEverything(t *testing.T) {
+	check := func(s string) bool { return Match("*", s) }
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrefixStarMatchesOwnPrefix(t *testing.T) {
+	check := func(s string) bool {
+		if strings.ContainsAny(s, "*?") || len(s) == 0 {
+			return true
+		}
+		half := s[:len(s)/2]
+		return Match(half+"*", s)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLiteralPrefixIsActualPrefix(t *testing.T) {
+	check := func(pattern, name string) bool {
+		prefix, _ := LiteralPrefix(pattern)
+		if Match(pattern, name) && !strings.HasPrefix(name, prefix) {
+			return false // a match must start with the literal prefix
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatchLongName(b *testing.B) {
+	pattern := "lfn://ligo/*/frames/run?/*.gwf"
+	name := "lfn://ligo/H1/frames/run7/H-R-795849To795850.gwf"
+	for i := 0; i < b.N; i++ {
+		Match(pattern, name)
+	}
+}

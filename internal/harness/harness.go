@@ -1,0 +1,170 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§5): one registered experiment per figure/table, each of which
+// builds a deployment with the appropriate back-end personality, device
+// model and network shaping, drives it with the workload package, and prints
+// rows in the same shape the paper reports.
+//
+// Absolute rates will differ from the paper's 2004 hardware; the intent is
+// that the qualitative results — who wins, by roughly what factor, where
+// the crossovers fall — reproduce. EXPERIMENTS.md records paper-vs-measured
+// for each experiment.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Params tunes experiment cost. The zero value is not usable; call
+// DefaultParams.
+type Params struct {
+	// Scale multiplies the paper's database sizes (1.0 = full scale:
+	// 1M-entry LRCs, 5M-entry Bloom filters). The default 0.02 keeps the
+	// full suite in the minutes range.
+	Scale float64
+	// Trials per measured point; the paper typically used 5.
+	Trials int
+	// Ops scales the per-point operation counts.
+	Ops float64
+	// DiskModel enables the simulated 2004-era device (flush latency);
+	// disabling it isolates software overhead.
+	DiskModel bool
+	// NetModel enables LAN/WAN connection shaping.
+	NetModel bool
+	// Out receives the result tables.
+	Out io.Writer
+}
+
+// DefaultParams returns the fast-preset parameters.
+func DefaultParams(out io.Writer) Params {
+	return Params{
+		Scale:     0.02,
+		Trials:    3,
+		Ops:       1.0,
+		DiskModel: true,
+		NetModel:  true,
+		Out:       out,
+	}
+}
+
+// size scales a paper database size, with a floor that keeps scaled
+// experiments meaningful.
+func (p Params) size(paper int) int {
+	n := int(float64(paper) * p.Scale)
+	if n < 500 {
+		n = 500
+	}
+	return n
+}
+
+// ops scales a per-point operation count, with a floor.
+func (p Params) ops(n int) int {
+	v := int(float64(n) * p.Ops)
+	if v < 50 {
+		v = 50
+	}
+	return v
+}
+
+// Experiment is one reproducible evaluation artifact.
+type Experiment struct {
+	// ID is the figure/table identifier: "fig4" ... "fig13", "table3", or
+	// an ablation name.
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Paper summarizes the published result the run should qualitatively
+	// match.
+	Paper string
+	// Run executes the experiment and writes its table to p.Out.
+	Run func(p Params) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns an experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID (figures first, numerically).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
+	return out
+}
+
+// idKey orders fig4 < fig5 < ... < fig13 < table3 < ablations.
+func idKey(id string) string {
+	if strings.HasPrefix(id, "fig") {
+		return fmt.Sprintf("0-%03s", id[3:])
+	}
+	if strings.HasPrefix(id, "table") {
+		return "1-" + id
+	}
+	return "2-" + id
+}
+
+// table prints an aligned text table.
+func table(w io.Writer, title, note string, header []string, rows [][]string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	if note != "" {
+		fmt.Fprintf(w, "   paper: %s\n", note)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "   %s\n", strings.Join(parts, "  "))
+	}
+	printRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range rows {
+		printRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f0 formats a float with no decimals.
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// ms formats seconds-as-float into milliseconds text.
+func ms(seconds float64) string { return fmt.Sprintf("%.1fms", seconds*1000) }

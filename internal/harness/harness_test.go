@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// microParams are the cheapest possible settings for smoke-running
+// experiments in tests.
+func microParams(out io.Writer) Params {
+	return Params{
+		Scale:     0.001,
+		Trials:    1,
+		Ops:       0.1,
+		DiskModel: false,
+		NetModel:  false,
+		Out:       out,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	wantIDs := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "table3",
+		"ablate-bloom-params", "ablate-immediate", "ablate-flush-interval",
+		"ablate-partitioning", "ablate-transport",
+	}
+	for _, id := range wantIDs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("experiment %s not registered", id)
+			continue
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s is incomplete: %+v", id, e)
+		}
+	}
+	if len(All()) != len(wantIDs) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(wantIDs))
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	all := All()
+	// Figures come first in numeric order, then tables, then ablations.
+	var figOrder []string
+	for _, e := range all {
+		if strings.HasPrefix(e.ID, "fig") {
+			figOrder = append(figOrder, e.ID)
+		}
+	}
+	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	if len(figOrder) != len(want) {
+		t.Fatalf("figures = %v", figOrder)
+	}
+	for i := range want {
+		if figOrder[i] != want[i] {
+			t.Fatalf("figure order = %v, want %v", figOrder, want)
+		}
+	}
+	if all[len(all)-1].ID[:6] != "ablate" {
+		t.Fatalf("last experiment = %s, want an ablation", all[len(all)-1].ID)
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestParamsScaling(t *testing.T) {
+	p := DefaultParams(io.Discard)
+	if p.size(1_000_000) != 20_000 {
+		t.Fatalf("size(1M) = %d at scale 0.02", p.size(1_000_000))
+	}
+	if p.size(10_000) != 500 {
+		t.Fatalf("size floor = %d", p.size(10_000))
+	}
+	if p.ops(100) != 100 {
+		t.Fatalf("ops(100) = %d at multiplier 1", p.ops(100))
+	}
+	p.Ops = 0.1
+	if p.ops(100) != 50 {
+		t.Fatalf("ops floor = %d", p.ops(100))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	table(&buf, "Title", "note", []string{"col-a", "b"}, [][]string{
+		{"1", "long-value"},
+		{"22", "x"},
+	})
+	out := buf.String()
+	for _, want := range []string{"Title", "paper: note", "col-a", "long-value"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExperimentsSmoke runs the cheap experiments end to end at micro
+// parameters, verifying each produces a table without error.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-scale")
+	}
+	for _, id := range []string{"fig10", "table3", "ablate-bloom-params", "ablate-partitioning", "ablate-transport"} {
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("missing %s", id)
+			}
+			var buf bytes.Buffer
+			p := microParams(&buf)
+			if err := e.Run(p); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if !strings.Contains(buf.String(), "==") {
+				t.Fatalf("%s produced no table:\n%s", id, buf.String())
+			}
+		})
+	}
+}
+
+func TestFormattersAndHelpers(t *testing.T) {
+	if f1(1.25) != "1.2" && f1(1.25) != "1.3" {
+		t.Fatalf("f1 = %q", f1(1.25))
+	}
+	if f0(99.6) != "100" {
+		t.Fatalf("f0 = %q", f0(99.6))
+	}
+	if ms(0.0635) != "63.5ms" {
+		t.Fatalf("ms = %q", ms(0.0635))
+	}
+	if pad("ab", 4) != "ab  " || pad("abcd", 2) != "abcd" {
+		t.Fatal("pad misbehaves")
+	}
+	if idKey("fig4") >= idKey("fig10") {
+		t.Fatal("fig ordering broken")
+	}
+}

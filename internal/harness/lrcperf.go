@@ -1,0 +1,399 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// lrcRig is a deployment with one LRC server preloaded with a catalog.
+type lrcRig struct {
+	dep  *core.Deployment
+	node *core.Node
+	gen  workload.Names
+	size int
+}
+
+func (p Params) diskSpec() *disk.Params {
+	var d disk.Params
+	if p.DiskModel {
+		d = disk.DefaultParams()
+	} else {
+		d = disk.Fast()
+	}
+	return &d
+}
+
+// buildLRC creates a single-LRC deployment preloaded with size mappings.
+// Loading always runs with the commit flush off; the caller toggles it for
+// measurement.
+func buildLRC(p Params, personality storage.Personality, size int) (*lrcRig, error) {
+	dep := core.NewDeployment()
+	spec := core.ServerSpec{
+		Name:        "lrc",
+		LRC:         true,
+		Personality: personality,
+		Disk:        p.diskSpec(),
+	}
+	node, err := dep.AddServer(spec)
+	if err != nil {
+		dep.Close()
+		return nil, err
+	}
+	rig := &lrcRig{dep: dep, node: node, gen: workload.Names{Space: "perf"}, size: size}
+	c, err := dep.Dial("lrc")
+	if err != nil {
+		dep.Close()
+		return nil, err
+	}
+	defer c.Close()
+	if err := workload.Load(c, rig.gen, size, 1000); err != nil {
+		dep.Close()
+		return nil, err
+	}
+	return rig, nil
+}
+
+func (r *lrcRig) close() { r.dep.Close() }
+
+func (r *lrcRig) dial() (*client.Client, error) { return r.dep.Dial("lrc") }
+
+// addTrial measures the add rate with the given client/thread fan-out. Each
+// trial registers fresh names in a private namespace and removes them
+// afterwards (with the flush off) so the database size stays constant, per
+// the paper's methodology.
+func (r *lrcRig) addTrial(clients, threads, totalOps int, space string) (float64, error) {
+	gen := workload.Names{Space: space}
+	drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: r.dial}
+	res, err := drv.Run(totalOps, func(c *client.Client, seq int) error {
+		return c.CreateMapping(gen.Logical(seq), gen.Target(seq, 0))
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Errors > 0 {
+		return 0, fmt.Errorf("harness: add trial had %d errors", res.Errors)
+	}
+	rate := res.Rate
+	// Cleanup with the flush disabled regardless of the measured mode.
+	wasFlush := r.node.LRCEngine.FlushOnCommit()
+	r.node.LRCEngine.SetFlushOnCommit(false)
+	defer r.node.LRCEngine.SetFlushOnCommit(wasFlush)
+	c, err := r.dial()
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	threadsTotal := clients * threads
+	perThread := totalOps / threadsTotal
+	var batch []wire.Mapping
+	for t := 0; t < threadsTotal; t++ {
+		for i := 0; i < perThread; i++ {
+			seq := t*perThread + i
+			batch = append(batch, wire.Mapping{Logical: gen.Logical(seq), Target: gen.Target(seq, 0)})
+		}
+	}
+	if _, err := c.BulkDelete(batch); err != nil {
+		return 0, err
+	}
+	return rate, nil
+}
+
+// queryTrial measures the query rate against the preloaded catalog.
+func (r *lrcRig) queryTrial(clients, threads, totalOps int) (float64, error) {
+	drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: r.dial}
+	size := r.size
+	gen := r.gen
+	res, err := drv.Run(totalOps, func(c *client.Client, seq int) error {
+		_, err := c.GetTargets(gen.Logical(seq * 7919 % size))
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Errors > 0 {
+		return 0, fmt.Errorf("harness: query trial had %d errors", res.Errors)
+	}
+	return res.Rate, nil
+}
+
+// deleteTrial measures delete rate by first (flush off) adding fresh names,
+// then timing their deletion under the configured mode.
+func (r *lrcRig) deleteTrial(clients, threads, totalOps int, space string) (float64, error) {
+	gen := workload.Names{Space: space}
+	wasFlush := r.node.LRCEngine.FlushOnCommit()
+	r.node.LRCEngine.SetFlushOnCommit(false)
+	c, err := r.dial()
+	if err != nil {
+		return 0, err
+	}
+	var batch []wire.Mapping
+	for i := 0; i < totalOps; i++ {
+		batch = append(batch, wire.Mapping{Logical: gen.Logical(i), Target: gen.Target(i, 0)})
+	}
+	if _, err := c.BulkCreate(batch); err != nil {
+		c.Close()
+		return 0, err
+	}
+	c.Close()
+	r.node.LRCEngine.SetFlushOnCommit(wasFlush)
+
+	drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: r.dial}
+	res, err := drv.Run(totalOps, func(c *client.Client, seq int) error {
+		return c.DeleteMapping(gen.Logical(seq), gen.Target(seq, 0))
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Errors > 0 {
+		return 0, fmt.Errorf("harness: delete trial had %d errors", res.Errors)
+	}
+	return res.Rate, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "LRC add rates, MySQL back end, flush enabled vs disabled (1 client, 1-10 threads)",
+		Paper: "~84 adds/s with flush enabled vs >700/s disabled; enabled stays flat with threads",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "LRC query rates, MySQL back end, flush enabled vs disabled (1 client, 1-15 threads)",
+		Paper: "~2000+ queries/s; little difference between flush modes",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "LRC operation rates, multiple clients x 10 threads, flush disabled",
+		Paper: "queries 1700-2100/s > adds 600-900/s > deletes 470-570/s; rates drop ~20-35% at 100 threads",
+		Run:   runFig6,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Native back-end rates vs through-LRC rates for the same operations",
+		Paper: "LRC achieves ~70-90% of native database performance; overhead largest for queries",
+		Run:   runFig7,
+	})
+}
+
+func runFig4(p Params) error {
+	rig, err := buildLRC(p, storage.PersonalityMySQL, p.size(1_000_000))
+	if err != nil {
+		return err
+	}
+	defer rig.close()
+	threadCounts := []int{1, 2, 3, 4, 6, 8, 10}
+	var rows [][]string
+	for _, threads := range threadCounts {
+		rates := map[bool]metrics.Summary{}
+		for _, flush := range []bool{false, true} {
+			rig.node.LRCEngine.SetFlushOnCommit(flush)
+			opsPerTrial := p.ops(600)
+			if flush {
+				opsPerTrial = p.ops(200) // each op pays a device sync
+			}
+			sum, err := workload.Trials(p.Trials, func(trial int) (float64, error) {
+				space := fmt.Sprintf("fig4-f%v-t%d-r%d", flush, threads, trial)
+				return rig.addTrial(1, threads, opsPerTrial, space)
+			})
+			if err != nil {
+				return err
+			}
+			rates[flush] = sum
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", threads),
+			f0(rates[false].Mean),
+			f0(rates[true].Mean),
+			f1(rates[false].Mean / rates[true].Mean),
+		})
+	}
+	table(p.Out, "Figure 4: add rates, 1M-entry LRC (scaled), flush disabled vs enabled",
+		"flush disabled >700/s, enabled ~84/s; disabled/enabled ratio ~8x",
+		[]string{"threads", "adds/s flush-off", "adds/s flush-on", "off/on"},
+		rows)
+	return nil
+}
+
+func runFig5(p Params) error {
+	rig, err := buildLRC(p, storage.PersonalityMySQL, p.size(1_000_000))
+	if err != nil {
+		return err
+	}
+	defer rig.close()
+	threadCounts := []int{1, 2, 4, 6, 8, 10, 12, 15}
+	var rows [][]string
+	for _, threads := range threadCounts {
+		rates := map[bool]metrics.Summary{}
+		for _, flush := range []bool{false, true} {
+			rig.node.LRCEngine.SetFlushOnCommit(flush)
+			sum, err := workload.Trials(p.Trials, func(int) (float64, error) {
+				return rig.queryTrial(1, threads, p.ops(3000))
+			})
+			if err != nil {
+				return err
+			}
+			rates[flush] = sum
+		}
+		ratio := 0.0
+		if rates[true].Mean > 0 {
+			ratio = rates[false].Mean / rates[true].Mean
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", threads),
+			f0(rates[false].Mean),
+			f0(rates[true].Mean),
+			f1(ratio),
+		})
+	}
+	table(p.Out, "Figure 5: query rates, 1M-entry LRC (scaled), flush disabled vs enabled",
+		"queries unaffected by flush mode (no transactions); ratio ~1.0",
+		[]string{"threads", "q/s flush-off", "q/s flush-on", "off/on"},
+		rows)
+	return nil
+}
+
+func runFig6(p Params) error {
+	rig, err := buildLRC(p, storage.PersonalityMySQL, p.size(1_000_000))
+	if err != nil {
+		return err
+	}
+	defer rig.close()
+	rig.node.LRCEngine.SetFlushOnCommit(false)
+	clientCounts := []int{1, 2, 4, 6, 8, 10}
+	const threads = 10
+	var rows [][]string
+	for _, clients := range clientCounts {
+		qSum, err := workload.Trials(p.Trials, func(int) (float64, error) {
+			return rig.queryTrial(clients, threads, p.ops(4000))
+		})
+		if err != nil {
+			return err
+		}
+		aSum, err := workload.Trials(p.Trials, func(trial int) (float64, error) {
+			return rig.addTrial(clients, threads, p.ops(2000), fmt.Sprintf("fig6-a-c%d-r%d", clients, trial))
+		})
+		if err != nil {
+			return err
+		}
+		dSum, err := workload.Trials(p.Trials, func(trial int) (float64, error) {
+			return rig.deleteTrial(clients, threads, p.ops(2000), fmt.Sprintf("fig6-d-c%d-r%d", clients, trial))
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%d", clients*threads),
+			f0(qSum.Mean), f0(aSum.Mean), f0(dSum.Mean),
+		})
+	}
+	table(p.Out, "Figure 6: operation rates, multiple clients x 10 threads, flush disabled",
+		"query > add > delete ordering; modest decline as total threads reach 100",
+		[]string{"clients", "threads", "query/s", "add/s", "delete/s"},
+		rows)
+	return nil
+}
+
+// nativeTrial measures direct rdb operation rates (no server, no wire) —
+// the paper's "native MySQL" comparison, which "imitated the same SQL
+// operations performed by an LRC ... directly to the MySQL back end".
+func (r *lrcRig) nativeTrial(threadsTotal, totalOps int, op func(seq int) error) (float64, error) {
+	perThread := totalOps / threadsTotal
+	var wg sync.WaitGroup
+	errs := make([]error, threadsTotal)
+	start := time.Now()
+	for t := 0; t < threadsTotal; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			base := t * perThread
+			for i := 0; i < perThread; i++ {
+				if err := op(base + i); err != nil {
+					errs[t] = err
+					return
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return metrics.Rate(perThread*threadsTotal, elapsed), nil
+}
+
+func runFig7(p Params) error {
+	rig, err := buildLRC(p, storage.PersonalityMySQL, p.size(1_000_000))
+	if err != nil {
+		return err
+	}
+	defer rig.close()
+	rig.node.LRCEngine.SetFlushOnCommit(false)
+	db := rig.node.LRC.DB()
+	size := rig.size
+	gen := rig.gen
+
+	var rows [][]string
+	for _, fan := range []struct{ clients, threads int }{{1, 10}, {10, 10}} {
+		threadsTotal := fan.clients * fan.threads
+
+		nativeQ, err := rig.nativeTrial(threadsTotal, p.ops(4000), func(seq int) error {
+			_, err := db.GetTargets(gen.Logical(seq * 7919 % size))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		lrcQ, err := rig.queryTrial(fan.clients, fan.threads, p.ops(4000))
+		if err != nil {
+			return err
+		}
+
+		addSpace := workload.Names{Space: fmt.Sprintf("fig7-native-%d", threadsTotal)}
+		nativeA, err := rig.nativeTrial(threadsTotal, p.ops(2000), func(seq int) error {
+			return db.CreateMapping(addSpace.Logical(seq), addSpace.Target(seq, 0))
+		})
+		if err != nil {
+			return err
+		}
+		nativeD, err := rig.nativeTrial(threadsTotal, p.ops(2000), func(seq int) error {
+			return db.DeleteMapping(addSpace.Logical(seq), addSpace.Target(seq, 0))
+		})
+		if err != nil {
+			return err
+		}
+		lrcA, err := rig.addTrial(fan.clients, fan.threads, p.ops(2000), fmt.Sprintf("fig7-lrc-%d", threadsTotal))
+		if err != nil {
+			return err
+		}
+		lrcD, err := rig.deleteTrial(fan.clients, fan.threads, p.ops(2000), fmt.Sprintf("fig7-lrcd-%d", threadsTotal))
+		if err != nil {
+			return err
+		}
+
+		rows = append(rows,
+			[]string{fmt.Sprintf("%d", threadsTotal), "query", f0(nativeQ), f0(lrcQ), fmt.Sprintf("%.0f%%", 100*lrcQ/nativeQ)},
+			[]string{fmt.Sprintf("%d", threadsTotal), "add", f0(nativeA), f0(lrcA), fmt.Sprintf("%.0f%%", 100*lrcA/nativeA)},
+			[]string{fmt.Sprintf("%d", threadsTotal), "delete", f0(nativeD), f0(lrcD), fmt.Sprintf("%.0f%%", 100*lrcD/nativeD)},
+		)
+	}
+	table(p.Out, "Figure 7: native back-end rates vs through-LRC rates",
+		"LRC ~80% of native queries at 10 threads, ~70% at 100; adds ~89%, deletes ~87-96%",
+		[]string{"threads", "op", "native/s", "lrc/s", "lrc/native"},
+		rows)
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package lrc implements the Local Replica Catalog service: the catalog
+// operations of Table 1 backed by an rdb.LRCDB, plus the soft state update
+// machinery of §3.2-3.5 — full updates, immediate (incremental) mode, Bloom
+// filter compression, and namespace partitioning.
+package lrc
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sync"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/clock"
+	"repro/internal/rdb"
+	"repro/internal/wire"
+)
+
+// Updater is the LRC's view of a connection to one RLI server, used to send
+// soft state updates. The client package provides the network-backed
+// implementation.
+type Updater interface {
+	SSFullStart(lrcURL string, total uint64) error
+	SSFullBatch(lrcURL string, names []string) error
+	SSFullEnd(lrcURL string) error
+	SSIncremental(lrcURL string, added, removed []string) error
+	SSBloom(lrcURL string, bitmap []byte) error
+	Close() error
+}
+
+// Dialer opens an Updater to the RLI at the given url.
+type Dialer func(url string) (Updater, error)
+
+// Defaults for the soft state scheduler.
+const (
+	// DefaultImmediateInterval matches the paper's §3.3: "Immediate mode
+	// updates are sent after a short, configurable interval has elapsed (by
+	// default, 30 seconds)".
+	DefaultImmediateInterval = 30 * time.Second
+	// DefaultImmediateThreshold is the alternative trigger: "or after a
+	// specified number of LRC updates have occurred".
+	DefaultImmediateThreshold = 100
+	// DefaultFullInterval spaces the periodic full updates that refresh RLI
+	// state before it expires.
+	DefaultFullInterval = 10 * time.Minute
+	// DefaultFullBatch is the number of names per full-update batch frame.
+	DefaultFullBatch = 5000
+)
+
+// Config configures a Service.
+type Config struct {
+	// URL is this LRC's advertised address, recorded in RLI databases.
+	URL string
+	// DB is the catalog database.
+	DB *rdb.LRCDB
+	// Dial opens soft-state connections to RLIs. Required if any RLI
+	// targets are configured.
+	Dial Dialer
+	// Clock drives the schedulers; defaults to the real clock.
+	Clock clock.Clock
+	// ImmediateMode enables incremental updates between full updates.
+	ImmediateMode bool
+	// ImmediateInterval and ImmediateThreshold trigger incremental sends.
+	ImmediateInterval  time.Duration
+	ImmediateThreshold int
+	// FullInterval spaces periodic full (or Bloom) updates; zero disables
+	// the periodic scheduler (updates then happen only via ForceUpdate,
+	// which is how the benchmark harness drives them).
+	FullInterval time.Duration
+	// FullBatch is the number of names per full-update batch.
+	FullBatch int
+	// BloomSizeHint pre-sizes the Bloom filter (expected mappings); zero
+	// uses the current catalog size.
+	BloomSizeHint int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.ImmediateInterval <= 0 {
+		c.ImmediateInterval = DefaultImmediateInterval
+	}
+	if c.ImmediateThreshold <= 0 {
+		c.ImmediateThreshold = DefaultImmediateThreshold
+	}
+	if c.FullBatch <= 0 {
+		c.FullBatch = DefaultFullBatch
+	}
+	return c
+}
+
+// Service is a running Local Replica Catalog.
+type Service struct {
+	cfg Config
+	db  *rdb.LRCDB
+	clk clock.Clock
+
+	mu      sync.Mutex
+	filter  *bloom.Filter
+	pending pendingChanges
+	targets map[string]*target // keyed by RLI url
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	stats Stats
+}
+
+// pendingChanges accumulates logical-name changes since the last
+// incremental update. Only changes to the *set of logical names* matter to
+// RLIs: adding a second target to an existing name does not alter the
+// {LFN, LRC} index.
+type pendingChanges struct {
+	added   []string
+	removed []string
+}
+
+// target is one RLI this LRC updates.
+type target struct {
+	spec     wire.RLITarget
+	patterns []*regexp.Regexp
+}
+
+// Stats counts soft state update activity.
+type Stats struct {
+	FullUpdates        int64
+	IncrementalUpdates int64
+	BloomUpdates       int64
+	NamesSent          int64
+	UpdateErrors       int64
+}
+
+// New creates the service and loads its RLI target list from the database.
+func New(cfg Config) (*Service, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("lrc: Config.DB is required")
+	}
+	if cfg.URL == "" {
+		return nil, errors.New("lrc: Config.URL is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		db:      cfg.DB,
+		clk:     cfg.Clock,
+		targets: make(map[string]*target),
+		stop:    make(chan struct{}),
+	}
+	// Size and populate the Bloom filter from current catalog contents.
+	logicals, _, _, err := s.db.Counts()
+	if err != nil {
+		return nil, err
+	}
+	hint := cfg.BloomSizeHint
+	if int64(hint) < logicals {
+		hint = int(logicals)
+	}
+	s.filter = bloom.New(hint)
+	if err := s.populateFilter(); err != nil {
+		return nil, err
+	}
+	// Restore persisted RLI targets.
+	persisted, err := s.db.ListRLITargets()
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range persisted {
+		tg, err := compileTarget(spec)
+		if err != nil {
+			return nil, err
+		}
+		s.targets[spec.URL] = tg
+	}
+	return s, nil
+}
+
+// populateFilter feeds every current logical name into the Bloom filter —
+// the "one-time cost" of Table 3's third column.
+func (s *Service) populateFilter() error {
+	after := ""
+	for {
+		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		if err != nil {
+			return err
+		}
+		if len(page) == 0 {
+			return nil
+		}
+		for _, name := range page {
+			s.filter.Add(name)
+		}
+		after = page[len(page)-1]
+	}
+}
+
+func compileTarget(spec wire.RLITarget) (*target, error) {
+	tg := &target{spec: spec}
+	for _, p := range spec.Patterns {
+		re, err := regexp.Compile(p)
+		if err != nil {
+			return nil, fmt.Errorf("lrc: partition pattern %q: %w", p, err)
+		}
+		tg.patterns = append(tg.patterns, re)
+	}
+	return tg, nil
+}
+
+// matches reports whether a logical name falls in the target's namespace
+// partition (no patterns = everything).
+func (t *target) matches(name string) bool {
+	if len(t.patterns) == 0 {
+		return true
+	}
+	for _, re := range t.patterns {
+		if re.MatchString(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Start launches the background soft state schedulers. Safe to skip for
+// harness-driven deployments that call ForceUpdate explicitly.
+func (s *Service) Start() {
+	if s.cfg.FullInterval > 0 {
+		s.wg.Add(1)
+		go s.fullLoop()
+	}
+	if s.cfg.ImmediateMode {
+		s.wg.Add(1)
+		go s.immediateLoop()
+	}
+}
+
+// Close stops the schedulers.
+func (s *Service) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+}
+
+// URL returns the LRC's advertised address.
+func (s *Service) URL() string { return s.cfg.URL }
+
+// DB exposes the catalog database (used by the server for diagnostics).
+func (s *Service) DB() *rdb.LRCDB { return s.db }
+
+// Stats returns a snapshot of update counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,230 @@
+package lrc
+
+import (
+	"errors"
+
+	"repro/internal/rdb"
+	"repro/internal/wire"
+)
+
+// Catalog operations. Each wraps the corresponding rdb operation and, for
+// mutations that change the set of registered logical names, records the
+// change for the Bloom filter and the incremental-update buffer.
+
+// CreateMapping registers a new logical name with its first target.
+func (s *Service) CreateMapping(logical, target string) error {
+	if err := s.db.CreateMapping(logical, target); err != nil {
+		return err
+	}
+	s.noteLogicalAdded(logical)
+	return nil
+}
+
+// AddMapping adds another target to an existing logical name. The set of
+// logical names is unchanged, so no soft-state delta is recorded.
+func (s *Service) AddMapping(logical, target string) error {
+	return s.db.AddMapping(logical, target)
+}
+
+// DeleteMapping removes one mapping; if the logical name's last mapping is
+// gone the name itself is unregistered and the delta recorded.
+func (s *Service) DeleteMapping(logical, target string) error {
+	if err := s.db.DeleteMapping(logical, target); err != nil {
+		return err
+	}
+	// The logical name disappears only when no targets remain.
+	if _, err := s.db.GetTargets(logical); errors.Is(err, rdb.ErrNotFound) {
+		s.noteLogicalRemoved(logical)
+	}
+	return nil
+}
+
+// BulkOutcome reports per-element failures of a bulk mutation.
+type BulkOutcome struct {
+	Failures []wire.BulkFailure
+}
+
+// statusFor maps rdb errors onto wire statuses.
+func statusFor(err error) wire.Status {
+	switch {
+	case err == nil:
+		return wire.StatusOK
+	case errors.Is(err, rdb.ErrExists):
+		return wire.StatusExists
+	case errors.Is(err, rdb.ErrNotFound):
+		return wire.StatusNotFound
+	case errors.Is(err, rdb.ErrInvalid):
+		return wire.StatusBadRequest
+	default:
+		return wire.StatusInternal
+	}
+}
+
+// bulk runs fn for every mapping, collecting per-element failures — the
+// paper's bulk operations "aggregate multiple requests in a single packet to
+// reduce request overhead" and proceed past individual failures.
+func bulk(mappings []wire.Mapping, fn func(wire.Mapping) error) BulkOutcome {
+	var out BulkOutcome
+	for i, m := range mappings {
+		if err := fn(m); err != nil {
+			out.Failures = append(out.Failures, wire.BulkFailure{
+				Index:  uint32(i),
+				Status: statusFor(err),
+				Msg:    err.Error(),
+			})
+		}
+	}
+	return out
+}
+
+// BulkCreate creates many mappings.
+func (s *Service) BulkCreate(mappings []wire.Mapping) BulkOutcome {
+	return bulk(mappings, func(m wire.Mapping) error { return s.CreateMapping(m.Logical, m.Target) })
+}
+
+// BulkAdd adds many mappings.
+func (s *Service) BulkAdd(mappings []wire.Mapping) BulkOutcome {
+	return bulk(mappings, func(m wire.Mapping) error { return s.AddMapping(m.Logical, m.Target) })
+}
+
+// BulkDelete deletes many mappings.
+func (s *Service) BulkDelete(mappings []wire.Mapping) BulkOutcome {
+	return bulk(mappings, func(m wire.Mapping) error { return s.DeleteMapping(m.Logical, m.Target) })
+}
+
+// GetTargets returns the targets of a logical name.
+func (s *Service) GetTargets(logical string) ([]string, error) {
+	return s.db.GetTargets(logical)
+}
+
+// GetLogicals returns the logical names of a target.
+func (s *Service) GetLogicals(target string) ([]string, error) {
+	return s.db.GetLogicals(target)
+}
+
+// WildcardTargets finds mappings by logical-name wildcard.
+func (s *Service) WildcardTargets(pattern string) ([]wire.Mapping, error) {
+	return s.db.WildcardTargets(pattern)
+}
+
+// WildcardLogicals finds mappings by target-name wildcard.
+func (s *Service) WildcardLogicals(pattern string) ([]wire.Mapping, error) {
+	return s.db.WildcardLogicals(pattern)
+}
+
+// BulkGetTargets resolves many logical names.
+func (s *Service) BulkGetTargets(names []string) []wire.BulkNameResult {
+	out := make([]wire.BulkNameResult, 0, len(names))
+	for _, n := range names {
+		values, err := s.db.GetTargets(n)
+		out = append(out, wire.BulkNameResult{Name: n, Found: err == nil, Values: values})
+	}
+	return out
+}
+
+// BulkGetLogicals resolves many target names.
+func (s *Service) BulkGetLogicals(names []string) []wire.BulkNameResult {
+	out := make([]wire.BulkNameResult, 0, len(names))
+	for _, n := range names {
+		values, err := s.db.GetLogicals(n)
+		out = append(out, wire.BulkNameResult{Name: n, Found: err == nil, Values: values})
+	}
+	return out
+}
+
+// Attribute operations delegate to the database.
+
+// DefineAttribute declares an attribute.
+func (s *Service) DefineAttribute(name string, obj wire.ObjType, typ wire.AttrType) error {
+	return s.db.DefineAttribute(name, obj, typ)
+}
+
+// UndefineAttribute removes an attribute definition.
+func (s *Service) UndefineAttribute(name string, obj wire.ObjType, clearValues bool) error {
+	return s.db.UndefineAttribute(name, obj, clearValues)
+}
+
+// AddAttribute attaches an attribute value to an object.
+func (s *Service) AddAttribute(key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+	return s.db.AddAttribute(key, obj, name, v)
+}
+
+// ModifyAttribute replaces an attribute value on an object.
+func (s *Service) ModifyAttribute(key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+	return s.db.ModifyAttribute(key, obj, name, v)
+}
+
+// RemoveAttribute detaches an attribute value from an object.
+func (s *Service) RemoveAttribute(key string, obj wire.ObjType, name string) error {
+	return s.db.RemoveAttribute(key, obj, name)
+}
+
+// GetAttributes lists attribute values on an object.
+func (s *Service) GetAttributes(key string, obj wire.ObjType, names []string) ([]wire.NamedAttr, error) {
+	return s.db.GetAttributes(key, obj, names)
+}
+
+// SearchAttribute finds objects by attribute comparison.
+func (s *Service) SearchAttribute(name string, obj wire.ObjType, cmp wire.CmpOp, probe wire.AttrValue) ([]wire.ObjAttr, error) {
+	return s.db.SearchAttribute(name, obj, cmp, probe)
+}
+
+// ListAttributeDefs lists attribute definitions.
+func (s *Service) ListAttributeDefs(obj wire.ObjType) ([]wire.AttrDef, error) {
+	return s.db.ListAttributeDefs(obj)
+}
+
+// BulkAddAttributes attaches many attribute values.
+func (s *Service) BulkAddAttributes(items []wire.AttrWriteRequest) BulkOutcome {
+	var out BulkOutcome
+	for i, it := range items {
+		if err := s.db.AddAttribute(it.Key, it.Obj, it.Name, it.Value); err != nil {
+			out.Failures = append(out.Failures, wire.BulkFailure{Index: uint32(i), Status: statusFor(err), Msg: err.Error()})
+		}
+	}
+	return out
+}
+
+// BulkRemoveAttributes detaches many attribute values.
+func (s *Service) BulkRemoveAttributes(items []wire.AttrRemoveRequest) BulkOutcome {
+	var out BulkOutcome
+	for i, it := range items {
+		if err := s.db.RemoveAttribute(it.Key, it.Obj, it.Name); err != nil {
+			out.Failures = append(out.Failures, wire.BulkFailure{Index: uint32(i), Status: statusFor(err), Msg: err.Error()})
+		}
+	}
+	return out
+}
+
+// RLI target management.
+
+// AddRLITarget starts updating an RLI (persisted in t_rli/t_rlipartition).
+func (s *Service) AddRLITarget(spec wire.RLITarget) error {
+	tg, err := compileTarget(spec)
+	if err != nil {
+		return errors.Join(rdb.ErrInvalid, err)
+	}
+	if err := s.db.AddRLITarget(spec); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.targets[spec.URL] = tg
+	s.mu.Unlock()
+	return nil
+}
+
+// RemoveRLITarget stops updating an RLI.
+func (s *Service) RemoveRLITarget(url string) error {
+	if err := s.db.RemoveRLITarget(url); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.targets, url)
+	s.mu.Unlock()
+	return nil
+}
+
+// ListRLITargets returns the RLIs this LRC updates.
+func (s *Service) ListRLITargets() ([]wire.RLITarget, error) {
+	return s.db.ListRLITargets()
+}

@@ -1,0 +1,78 @@
+package lrc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestIncrementalRequeueOnFailure verifies that deltas survive an RLI
+// outage: a failed incremental flush re-queues its names, and the next
+// (successful) flush delivers them.
+func TestIncrementalRequeueOnFailure(t *testing.T) {
+	up := newFakeUpdater()
+	s := newTestService(t, up, func(c *Config) {
+		c.ImmediateMode = true
+		c.ImmediateInterval = 0 // default; loops not started — manual flushes
+		c.ImmediateThreshold = 1000
+	})
+	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping("lfn://a", "pfn://a")
+	s.CreateMapping("lfn://b", "pfn://b")
+	if s.PendingCount() != 2 {
+		t.Fatalf("pending = %d", s.PendingCount())
+	}
+
+	up.failNext = errors.New("rli down")
+	s.flushIncremental()
+	if s.PendingCount() != 2 {
+		t.Fatalf("pending after failed flush = %d, want 2 (re-queued)", s.PendingCount())
+	}
+	if st := s.Stats(); st.UpdateErrors != 1 {
+		t.Fatalf("UpdateErrors = %d", st.UpdateErrors)
+	}
+
+	// Changes made between the failure and the retry keep their order.
+	s.CreateMapping("lfn://c", "pfn://c")
+	s.flushIncremental()
+	if s.PendingCount() != 0 {
+		t.Fatalf("pending after retry = %d", s.PendingCount())
+	}
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if len(up.incAdds) != 1 {
+		t.Fatalf("incremental updates delivered = %d, want 1", len(up.incAdds))
+	}
+	got := up.incAdds[0]
+	want := []string{"lfn://a", "lfn://b", "lfn://c"}
+	if len(got) != len(want) {
+		t.Fatalf("retry carried %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("retry order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestIncrementalBloomTargetUnaffectedByRequeue confirms a Bloom target
+// gets its bitmap even when an uncompressed sibling target fails.
+func TestIncrementalBloomTargetUnaffectedByRequeue(t *testing.T) {
+	up := newFakeUpdater()
+	s := newTestService(t, up, func(c *Config) {
+		c.ImmediateMode = true
+		c.ImmediateThreshold = 1000
+	})
+	s.AddRLITarget(wire.RLITarget{URL: "rls://bloom-rli", Bloom: true})
+	s.CreateMapping("lfn://x", "pfn://x")
+	s.flushIncremental()
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if len(up.blooms) != 1 {
+		t.Fatalf("bloom updates = %d, want 1", len(up.blooms))
+	}
+	if s.PendingCount() != 0 {
+		t.Fatalf("pending = %d after bloom-only flush", s.PendingCount())
+	}
+}

@@ -1,0 +1,422 @@
+package lrc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bloom"
+)
+
+// noteLogicalAdded records a new logical name: it enters the Bloom filter
+// immediately (cheap incremental maintenance) and the incremental-update
+// buffer when immediate mode is on.
+func (s *Service) noteLogicalAdded(name string) {
+	s.mu.Lock()
+	s.filter.Add(name)
+	s.maybeGrowFilterLocked()
+	trigger := false
+	if s.cfg.ImmediateMode {
+		s.pending.added = append(s.pending.added, name)
+		trigger = s.pendingCountLocked() >= s.cfg.ImmediateThreshold
+	}
+	s.mu.Unlock()
+	if trigger {
+		s.flushIncremental()
+	}
+}
+
+// noteLogicalRemoved records an unregistered logical name.
+func (s *Service) noteLogicalRemoved(name string) {
+	s.mu.Lock()
+	s.filter.Remove(name)
+	trigger := false
+	if s.cfg.ImmediateMode {
+		s.pending.removed = append(s.pending.removed, name)
+		trigger = s.pendingCountLocked() >= s.cfg.ImmediateThreshold
+	}
+	s.mu.Unlock()
+	if trigger {
+		s.flushIncremental()
+	}
+}
+
+func (s *Service) pendingCountLocked() int {
+	return len(s.pending.added) + len(s.pending.removed)
+}
+
+// maybeGrowFilterLocked rebuilds the Bloom filter at double capacity when
+// the live name count outgrows its design point, keeping the false-positive
+// rate near the paper's ~1%.
+func (s *Service) maybeGrowFilterLocked() {
+	capacity := s.filter.MBits() / bloom.DefaultBitsPerEntry
+	if s.filter.Len()*5 <= capacity*6 { // grow once 20% over the design point
+		return
+	}
+	fresh := bloom.New(int(s.filter.Len()) * 2)
+	// Rebuild from the database outside would race with the lock we hold;
+	// the catalog is quiescent for writes only in the caller's transaction
+	// scope, so rebuild from the database page by page here. This is rare
+	// (amortized by doubling).
+	after := ""
+	for {
+		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		if err != nil || len(page) == 0 {
+			break
+		}
+		for _, n := range page {
+			fresh.Add(n)
+		}
+		after = page[len(page)-1]
+	}
+	s.filter = fresh
+}
+
+// fullLoop periodically pushes full (or Bloom) updates so RLI soft state is
+// refreshed before it times out.
+func (s *Service) fullLoop() {
+	defer s.wg.Done()
+	t := s.clk.NewTicker(s.cfg.FullInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C():
+			s.ForceUpdate()
+		}
+	}
+}
+
+// immediateLoop flushes the incremental buffer every ImmediateInterval.
+func (s *Service) immediateLoop() {
+	defer s.wg.Done()
+	t := s.clk.NewTicker(s.cfg.ImmediateInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C():
+			s.flushIncremental()
+		}
+	}
+}
+
+// flushIncremental sends buffered adds/removes to every non-Bloom target;
+// Bloom targets receive a fresh bitmap, which is the compressed equivalent
+// of a full refresh and just as cheap to produce.
+// If any incremental send fails (RLI down, network fault), the deltas are
+// re-queued for the next flush. Duplicated delivery to targets that did
+// succeed is harmless: RLI upserts and removals are idempotent, and the
+// periodic full updates repair any divergence regardless — the soft state
+// contract.
+func (s *Service) flushIncremental() {
+	s.mu.Lock()
+	added, removed := s.pending.added, s.pending.removed
+	s.pending = pendingChanges{}
+	targets := s.snapshotTargetsLocked()
+	s.mu.Unlock()
+	if len(added) == 0 && len(removed) == 0 {
+		return
+	}
+	failed := false
+	for _, tg := range targets {
+		if tg.spec.Bloom {
+			s.sendBloomTo(tg)
+			continue
+		}
+		if res := s.sendIncrementalTo(tg, added, removed); res.Err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		s.mu.Lock()
+		// Prepend so ordering is preserved relative to changes recorded
+		// while the flush was in flight.
+		s.pending.added = append(added, s.pending.added...)
+		s.pending.removed = append(removed, s.pending.removed...)
+		s.mu.Unlock()
+	}
+}
+
+func (s *Service) snapshotTargetsLocked() []*target {
+	out := make([]*target, 0, len(s.targets))
+	for _, tg := range s.targets {
+		out = append(out, tg)
+	}
+	return out
+}
+
+// TargetResult reports the outcome of one soft state update to one RLI.
+type TargetResult struct {
+	URL     string
+	Kind    string // "full", "bloom" or "incremental"
+	Names   int    // logical names carried (full/incremental)
+	Bytes   int    // payload bytes (bloom)
+	Elapsed time.Duration
+	Err     error
+}
+
+// ForceUpdate pushes a soft state update to every configured RLI target
+// now — a full uncompressed update or a Bloom filter update per target
+// flavour — and reports per-target outcomes. This is the operation whose
+// latency §5.4 (Figure 12) and §5.5 (Table 3, Figure 13) measure "from the
+// LRC's perspective".
+func (s *Service) ForceUpdate() []TargetResult {
+	s.mu.Lock()
+	targets := s.snapshotTargetsLocked()
+	s.mu.Unlock()
+	out := make([]TargetResult, 0, len(targets))
+	for _, tg := range targets {
+		if tg.spec.Bloom {
+			out = append(out, s.sendBloomTo(tg))
+		} else {
+			out = append(out, s.sendFullTo(tg))
+		}
+	}
+	return out
+}
+
+// ForceUpdateTo pushes an update to a single RLI target by url.
+func (s *Service) ForceUpdateTo(url string) (TargetResult, error) {
+	s.mu.Lock()
+	tg, ok := s.targets[url]
+	s.mu.Unlock()
+	if !ok {
+		return TargetResult{}, fmt.Errorf("lrc: no RLI target %q", url)
+	}
+	if tg.spec.Bloom {
+		return s.sendBloomTo(tg), nil
+	}
+	return s.sendFullTo(tg), nil
+}
+
+// sendFullTo streams an uncompressed full update: every logical name in the
+// catalog (restricted to the target's partition) in batches.
+func (s *Service) sendFullTo(tg *target) (res TargetResult) {
+	res = TargetResult{URL: tg.spec.URL, Kind: "full"}
+	start := s.clk.Now()
+	defer func() {
+		res.Elapsed = s.clk.Now().Sub(start)
+		s.mu.Lock()
+		if res.Err != nil {
+			s.stats.UpdateErrors++
+		} else {
+			s.stats.FullUpdates++
+			s.stats.NamesSent += int64(res.Names)
+		}
+		s.mu.Unlock()
+	}()
+
+	logicals, _, _, err := s.db.Counts()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	up, err := s.cfg.Dial(tg.spec.URL)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer up.Close()
+	if err := up.SSFullStart(s.cfg.URL, uint64(logicals)); err != nil {
+		res.Err = err
+		return res
+	}
+	after := ""
+	for {
+		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		if len(page) == 0 {
+			break
+		}
+		after = page[len(page)-1]
+		batch := page
+		if len(tg.patterns) > 0 {
+			batch = batch[:0:0]
+			for _, n := range page {
+				if tg.matches(n) {
+					batch = append(batch, n)
+				}
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if err := up.SSFullBatch(s.cfg.URL, batch); err != nil {
+			res.Err = err
+			return res
+		}
+		res.Names += len(batch)
+	}
+	res.Err = up.SSFullEnd(s.cfg.URL)
+	return res
+}
+
+// sendBloomTo sends the Bloom filter summarizing the catalog. For
+// partitioned targets a dedicated filter over the matching names is built;
+// unpartitioned targets reuse the incrementally maintained filter, so the
+// update cost is serialization plus transmission (Table 3's second column),
+// not recomputation (its third).
+func (s *Service) sendBloomTo(tg *target) (res TargetResult) {
+	res = TargetResult{URL: tg.spec.URL, Kind: "bloom"}
+	start := s.clk.Now()
+	defer func() {
+		res.Elapsed = s.clk.Now().Sub(start)
+		s.mu.Lock()
+		if res.Err != nil {
+			s.stats.UpdateErrors++
+		} else {
+			s.stats.BloomUpdates++
+		}
+		s.mu.Unlock()
+	}()
+
+	var payload []byte
+	if len(tg.patterns) == 0 {
+		s.mu.Lock()
+		bm := s.filter.Bitmap()
+		s.mu.Unlock()
+		data, err := bm.MarshalBinary()
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		payload = data
+	} else {
+		data, err := s.buildPartitionBitmap(tg)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		payload = data
+	}
+	res.Bytes = len(payload)
+	up, err := s.cfg.Dial(tg.spec.URL)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer up.Close()
+	res.Err = up.SSBloom(s.cfg.URL, payload)
+	return res
+}
+
+func (s *Service) buildPartitionBitmap(tg *target) ([]byte, error) {
+	logicals, _, _, err := s.db.Counts()
+	if err != nil {
+		return nil, err
+	}
+	f := bloom.New(int(logicals))
+	after := ""
+	for {
+		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		if err != nil {
+			return nil, err
+		}
+		if len(page) == 0 {
+			break
+		}
+		after = page[len(page)-1]
+		for _, n := range page {
+			if tg.matches(n) {
+				f.Add(n)
+			}
+		}
+	}
+	return f.Bitmap().MarshalBinary()
+}
+
+// sendIncrementalTo sends the buffered deltas restricted to the target's
+// partition.
+func (s *Service) sendIncrementalTo(tg *target, added, removed []string) (res TargetResult) {
+	res = TargetResult{URL: tg.spec.URL, Kind: "incremental"}
+	start := s.clk.Now()
+	defer func() {
+		res.Elapsed = s.clk.Now().Sub(start)
+		s.mu.Lock()
+		if res.Err != nil {
+			s.stats.UpdateErrors++
+		} else {
+			s.stats.IncrementalUpdates++
+			s.stats.NamesSent += int64(res.Names)
+		}
+		s.mu.Unlock()
+	}()
+
+	if len(tg.patterns) > 0 {
+		added = filterNames(added, tg)
+		removed = filterNames(removed, tg)
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return res
+	}
+	res.Names = len(added) + len(removed)
+	up, err := s.cfg.Dial(tg.spec.URL)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer up.Close()
+	res.Err = up.SSIncremental(s.cfg.URL, added, removed)
+	return res
+}
+
+func filterNames(names []string, tg *target) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if tg.matches(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// FilterSnapshot returns the serialized current Bloom filter (for the
+// harness's Table 3 size column).
+func (s *Service) FilterSnapshot() ([]byte, error) {
+	s.mu.Lock()
+	bm := s.filter.Bitmap()
+	s.mu.Unlock()
+	return bm.MarshalBinary()
+}
+
+// RebuildFilter recomputes the Bloom filter from scratch — the "one-time
+// cost" column of Table 3. It returns the build duration.
+func (s *Service) RebuildFilter() (time.Duration, error) {
+	logicals, _, _, err := s.db.Counts()
+	if err != nil {
+		return 0, err
+	}
+	start := s.clk.Now()
+	fresh := bloom.New(int(logicals))
+	after := ""
+	for {
+		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		if err != nil {
+			return 0, err
+		}
+		if len(page) == 0 {
+			break
+		}
+		for _, n := range page {
+			fresh.Add(n)
+		}
+		after = page[len(page)-1]
+	}
+	elapsed := s.clk.Now().Sub(start)
+	s.mu.Lock()
+	s.filter = fresh
+	s.mu.Unlock()
+	return elapsed, nil
+}
+
+// PendingCount reports buffered incremental changes (for tests and stats).
+func (s *Service) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingCountLocked()
+}

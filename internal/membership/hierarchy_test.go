@@ -1,0 +1,80 @@
+package membership
+
+import (
+	"strings"
+	"testing"
+)
+
+const hierarchyTopology = `{
+  "servers": [
+    {"name": "lrc0", "roles": ["lrc"], "fast_disk": true},
+    {"name": "leaf", "roles": ["rli"], "fast_disk": true},
+    {"name": "root", "roles": ["rli"], "fast_disk": true}
+  ],
+  "updates": [
+    {"lrc": "lrc0", "rli": "leaf"}
+  ],
+  "rli_updates": [
+    {"child": "leaf", "parent": "root"}
+  ]
+}`
+
+func TestHierarchyTopologyBuilds(t *testing.T) {
+	topo, err := Parse(strings.NewReader(hierarchyTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	c, err := dep.Dial("lrc0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateMapping("lfn://h/x", "pfn://x"); err != nil {
+		t.Fatal(err)
+	}
+	lnode, _ := dep.Node("lrc0")
+	for _, res := range lnode.LRC.ForceUpdate() {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	leaf, _ := dep.Node("leaf")
+	for _, res := range leaf.RLI.ForwardAll() {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	rc, err := dep.Dial("root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	lrcs, err := rc.RLIQuery("lfn://h/x")
+	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc0" {
+		t.Fatalf("root query = %v, %v", lrcs, err)
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"unknown child", `{"servers":[{"name":"r","roles":["rli"]}],"rli_updates":[{"child":"zz","parent":"r"}]}`},
+		{"unknown parent", `{"servers":[{"name":"r","roles":["rli"]}],"rli_updates":[{"child":"r","parent":"zz"}]}`},
+		{"child not rli", `{"servers":[{"name":"l","roles":["lrc"]},{"name":"r","roles":["rli"]}],"rli_updates":[{"child":"l","parent":"r"}]}`},
+		{"parent not rli", `{"servers":[{"name":"l","roles":["lrc"]},{"name":"r","roles":["rli"]}],"rli_updates":[{"child":"r","parent":"l"}]}`},
+		{"self loop", `{"servers":[{"name":"r","roles":["rli"]}],"rli_updates":[{"child":"r","parent":"r"}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.json)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package membership implements the static configuration management of RLS
+// 2.0.9 (§3.6): "Our current implementation does not include a membership
+// service ... Instead, we use a simple static configuration of LRCs and
+// RLIs."
+//
+// A topology file (JSON) declares the servers of a Replica Location Service
+// and the update relationships between LRCs and RLIs. Build instantiates
+// the topology as a core.Deployment. Runtime changes remain possible
+// through the lrc_rli_add / lrc_rli_remove operations, exactly as in the
+// paper's implementation.
+package membership
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+)
+
+// Topology is the static configuration of a Replica Location Service.
+type Topology struct {
+	Servers []ServerConfig `json:"servers"`
+	Updates []UpdateLink   `json:"updates"`
+	// RLIUpdates wires hierarchical RLIs (child forwards to parent).
+	RLIUpdates []RLILink `json:"rli_updates,omitempty"`
+}
+
+// RLILink declares that one RLI forwards its aggregated state to another
+// (the paper's §7 hierarchy extension).
+type RLILink struct {
+	Child  string `json:"child"`
+	Parent string `json:"parent"`
+}
+
+// ServerConfig declares one server.
+type ServerConfig struct {
+	Name string `json:"name"`
+	// Roles lists "lrc", "rli" or both.
+	Roles []string `json:"roles"`
+	// Listen starts a TCP listener (127.0.0.1, ephemeral port).
+	Listen bool `json:"listen,omitempty"`
+	// ListenAddr starts a TCP listener on an explicit host:port.
+	ListenAddr string `json:"listen_addr,omitempty"`
+	// Net selects connection shaping: "", "none", "lan" or "wan".
+	Net string `json:"net,omitempty"`
+	// Backend selects the database personality: "", "mysql" or "postgres".
+	Backend string `json:"backend,omitempty"`
+	// FlushOnCommit enables the per-transaction database flush.
+	FlushOnCommit bool `json:"flush_on_commit,omitempty"`
+	// FastDisk disables the simulated 2004-era device costs.
+	FastDisk bool `json:"fast_disk,omitempty"`
+	// DataDir persists the databases under this directory.
+	DataDir string `json:"data_dir,omitempty"`
+	// ImmediateMode enables incremental soft state updates.
+	ImmediateMode bool `json:"immediate_mode,omitempty"`
+	// ImmediateIntervalSeconds overrides the 30s default.
+	ImmediateIntervalSeconds int `json:"immediate_interval_seconds,omitempty"`
+	// FullIntervalSeconds enables periodic full updates.
+	FullIntervalSeconds int `json:"full_interval_seconds,omitempty"`
+	// RLITimeoutSeconds overrides the soft state timeout.
+	RLITimeoutSeconds int `json:"rli_timeout_seconds,omitempty"`
+}
+
+// UpdateLink declares that an LRC updates an RLI.
+type UpdateLink struct {
+	LRC string `json:"lrc"`
+	RLI string `json:"rli"`
+	// Bloom selects Bloom filter updates instead of uncompressed ones.
+	Bloom bool `json:"bloom,omitempty"`
+	// Patterns are namespace-partition regular expressions.
+	Patterns []string `json:"patterns,omitempty"`
+}
+
+// Parse reads a topology from JSON.
+func Parse(r io.Reader) (*Topology, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var t Topology
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("membership: parse: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// ParseFile reads a topology from a file.
+func ParseFile(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Validate checks internal consistency.
+func (t *Topology) Validate() error {
+	if len(t.Servers) == 0 {
+		return fmt.Errorf("membership: topology has no servers")
+	}
+	byName := make(map[string]*ServerConfig, len(t.Servers))
+	for i := range t.Servers {
+		s := &t.Servers[i]
+		if s.Name == "" {
+			return fmt.Errorf("membership: server %d has no name", i)
+		}
+		if _, dup := byName[s.Name]; dup {
+			return fmt.Errorf("membership: duplicate server name %q", s.Name)
+		}
+		byName[s.Name] = s
+		if len(s.Roles) == 0 {
+			return fmt.Errorf("membership: server %q has no roles", s.Name)
+		}
+		for _, r := range s.Roles {
+			if r != "lrc" && r != "rli" {
+				return fmt.Errorf("membership: server %q has unknown role %q", s.Name, r)
+			}
+		}
+		switch s.Net {
+		case "", "none", "lan", "wan":
+		default:
+			return fmt.Errorf("membership: server %q has unknown net profile %q", s.Name, s.Net)
+		}
+		switch s.Backend {
+		case "", "mysql", "postgres":
+		default:
+			return fmt.Errorf("membership: server %q has unknown backend %q", s.Name, s.Backend)
+		}
+	}
+	for i, l := range t.RLIUpdates {
+		child, ok := byName[l.Child]
+		if !ok {
+			return fmt.Errorf("membership: rli update %d references unknown child %q", i, l.Child)
+		}
+		if !hasRole(child, "rli") {
+			return fmt.Errorf("membership: rli update %d: server %q is not an RLI", i, l.Child)
+		}
+		parent, ok := byName[l.Parent]
+		if !ok {
+			return fmt.Errorf("membership: rli update %d references unknown parent %q", i, l.Parent)
+		}
+		if !hasRole(parent, "rli") {
+			return fmt.Errorf("membership: rli update %d: server %q is not an RLI", i, l.Parent)
+		}
+		if l.Child == l.Parent {
+			return fmt.Errorf("membership: rli update %d: %q forwards to itself", i, l.Child)
+		}
+	}
+	for i, u := range t.Updates {
+		lrcSrv, ok := byName[u.LRC]
+		if !ok {
+			return fmt.Errorf("membership: update %d references unknown LRC %q", i, u.LRC)
+		}
+		if !hasRole(lrcSrv, "lrc") {
+			return fmt.Errorf("membership: update %d: server %q is not an LRC", i, u.LRC)
+		}
+		rliSrv, ok := byName[u.RLI]
+		if !ok {
+			return fmt.Errorf("membership: update %d references unknown RLI %q", i, u.RLI)
+		}
+		if !hasRole(rliSrv, "rli") {
+			return fmt.Errorf("membership: update %d: server %q is not an RLI", i, u.RLI)
+		}
+		for _, p := range u.Patterns {
+			if _, err := regexp.Compile(p); err != nil {
+				return fmt.Errorf("membership: update %d: bad pattern %q: %w", i, p, err)
+			}
+		}
+	}
+	return nil
+}
+
+func hasRole(s *ServerConfig, role string) bool {
+	for _, r := range s.Roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// netProfile maps a config name to a shaping profile.
+func netProfile(name string) netsim.Profile {
+	switch name {
+	case "lan":
+		return netsim.LAN()
+	case "wan":
+		return netsim.WAN()
+	default:
+		return netsim.Unshaped()
+	}
+}
+
+// Build instantiates the topology as a running deployment.
+func (t *Topology) Build() (*core.Deployment, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	d := core.NewDeployment()
+	for _, s := range t.Servers {
+		spec := core.ServerSpec{
+			Name:          s.Name,
+			LRC:           hasRole(&s, "lrc"),
+			RLI:           hasRole(&s, "rli"),
+			Listen:        s.Listen,
+			ListenAddr:    s.ListenAddr,
+			Net:           netProfile(s.Net),
+			FlushOnCommit: s.FlushOnCommit,
+			DataDir:       s.DataDir,
+			ImmediateMode: s.ImmediateMode,
+		}
+		if s.Backend == "postgres" {
+			spec.Personality = storage.PersonalityPostgres
+		}
+		if s.FastDisk {
+			fast := disk.Fast()
+			spec.Disk = &fast
+		}
+		if s.ImmediateIntervalSeconds > 0 {
+			spec.ImmediateInterval = time.Duration(s.ImmediateIntervalSeconds) * time.Second
+		}
+		if s.FullIntervalSeconds > 0 {
+			spec.FullInterval = time.Duration(s.FullIntervalSeconds) * time.Second
+		}
+		if s.RLITimeoutSeconds > 0 {
+			spec.RLITimeout = time.Duration(s.RLITimeoutSeconds) * time.Second
+		}
+		if _, err := d.AddServer(spec); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	for _, u := range t.Updates {
+		if err := d.Connect(u.LRC, u.RLI, u.Bloom, u.Patterns...); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	for _, l := range t.RLIUpdates {
+		if err := d.ConnectRLI(l.Child, l.Parent); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,164 @@
+package membership
+
+import (
+	"strings"
+	"testing"
+)
+
+const validTopology = `{
+  "servers": [
+    {"name": "lrc0", "roles": ["lrc"], "fast_disk": true},
+    {"name": "lrc1", "roles": ["lrc"], "fast_disk": true, "immediate_mode": true, "immediate_interval_seconds": 5},
+    {"name": "rli0", "roles": ["rli"], "fast_disk": true, "rli_timeout_seconds": 600},
+    {"name": "both", "roles": ["lrc", "rli"], "fast_disk": true}
+  ],
+  "updates": [
+    {"lrc": "lrc0", "rli": "rli0"},
+    {"lrc": "lrc1", "rli": "rli0", "bloom": true},
+    {"lrc": "both", "rli": "both", "patterns": ["^lfn://ligo/"]}
+  ]
+}`
+
+func TestParseValidTopology(t *testing.T) {
+	topo, err := Parse(strings.NewReader(validTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Servers) != 4 || len(topo.Updates) != 3 {
+		t.Fatalf("parsed %d servers, %d updates", len(topo.Servers), len(topo.Updates))
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"servers": [{"name":"x","roles":["lrc"],"bogus":1}]}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"no servers", `{}`},
+		{"unnamed server", `{"servers":[{"roles":["lrc"]}]}`},
+		{"duplicate names", `{"servers":[{"name":"a","roles":["lrc"]},{"name":"a","roles":["rli"]}]}`},
+		{"no roles", `{"servers":[{"name":"a"}]}`},
+		{"bad role", `{"servers":[{"name":"a","roles":["database"]}]}`},
+		{"bad net", `{"servers":[{"name":"a","roles":["lrc"],"net":"dialup"}]}`},
+		{"bad backend", `{"servers":[{"name":"a","roles":["lrc"],"backend":"oracle"}]}`},
+		{"unknown lrc in update", `{"servers":[{"name":"a","roles":["rli"]}],"updates":[{"lrc":"zz","rli":"a"}]}`},
+		{"unknown rli in update", `{"servers":[{"name":"a","roles":["lrc"]}],"updates":[{"lrc":"a","rli":"zz"}]}`},
+		{"lrc role mismatch", `{"servers":[{"name":"a","roles":["rli"]},{"name":"b","roles":["rli"]}],"updates":[{"lrc":"a","rli":"b"}]}`},
+		{"rli role mismatch", `{"servers":[{"name":"a","roles":["lrc"]},{"name":"b","roles":["lrc"]}],"updates":[{"lrc":"a","rli":"b"}]}`},
+		{"bad pattern", `{"servers":[{"name":"a","roles":["lrc"]},{"name":"b","roles":["rli"]}],"updates":[{"lrc":"a","rli":"b","patterns":["["]}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.json)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestBuildRunsTopology(t *testing.T) {
+	topo, err := Parse(strings.NewReader(validTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	// Register at lrc0, push, query at rli0 — the wiring works end to end.
+	c, err := dep.Dial("lrc0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateMapping("lfn://topo/x", "pfn://x"); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := dep.Node("lrc0")
+	for _, res := range node.LRC.ForceUpdate() {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	rc, err := dep.Dial("rli0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	lrcs, err := rc.RLIQuery("lfn://topo/x")
+	if err != nil || len(lrcs) != 1 {
+		t.Fatalf("query = %v, %v", lrcs, err)
+	}
+	// Bloom link from lrc1 works too.
+	c1, _ := dep.Dial("lrc1")
+	defer c1.Close()
+	if err := c1.CreateMapping("lfn://topo/y", "pfn://y"); err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := dep.Node("lrc1")
+	for _, res := range n1.LRC.ForceUpdate() {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Kind != "bloom" {
+			t.Fatalf("lrc1 update kind = %s, want bloom", res.Kind)
+		}
+	}
+}
+
+func TestBuildTCPListener(t *testing.T) {
+	topo, err := Parse(strings.NewReader(`{
+	  "servers": [{"name": "l", "roles": ["lrc"], "fast_disk": true, "listen": true}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	node, _ := dep.Node("l")
+	if node.Addr() == "" {
+		t.Fatal("listener not started")
+	}
+	c, err := dep.DialTCP("l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent/topology.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPostgresBackendSelected(t *testing.T) {
+	topo, err := Parse(strings.NewReader(`{
+	  "servers": [{"name": "pg", "roles": ["lrc"], "backend": "postgres", "fast_disk": true}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	node, _ := dep.Node("pg")
+	if node.LRCEngine.Personality().String() != "postgres" {
+		t.Fatalf("personality = %s", node.LRCEngine.Personality())
+	}
+}

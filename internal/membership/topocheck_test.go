@@ -1,0 +1,15 @@
+package membership
+
+import "testing"
+
+func TestExampleTopologyFile(t *testing.T) {
+	topo, err := ParseFile("../../deploy/example-topology.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Close()
+}

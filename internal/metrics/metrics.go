@@ -1,0 +1,119 @@
+// Package metrics provides the small statistics toolkit used by the
+// benchmark harness: operation-rate summaries over trials (the paper
+// reports "the mean rate over those trials", typically 5) and latency
+// distributions.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary aggregates a set of sample values.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of the samples.
+func Summarize(samples []float64) Summary {
+	s := Summary{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = samples[0], samples[0]
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		varsum := 0.0
+		for _, v := range samples {
+			d := v - s.Mean
+			varsum += d * d
+		}
+		s.StdDev = math.Sqrt(varsum / float64(s.N-1))
+	}
+	return s
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.1f sd=%.1f min=%.1f max=%.1f n=%d", s.Mean, s.StdDev, s.Min, s.Max, s.N)
+}
+
+// LatencyRecorder collects operation latencies. It is not safe for
+// concurrent use; the workload driver keeps one per thread and merges.
+type LatencyRecorder struct {
+	samples []time.Duration
+}
+
+// Record adds one latency sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.samples = append(r.samples, d)
+}
+
+// Merge appends the samples of another recorder.
+func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	r.samples = append(r.samples, o.samples...)
+}
+
+// N returns the sample count.
+func (r *LatencyRecorder) N() int { return len(r.samples) }
+
+// Distribution summarizes collected latencies.
+type Distribution struct {
+	N    int
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+}
+
+// Distribution computes the latency distribution, sorting the samples.
+func (r *LatencyRecorder) Distribution() Distribution {
+	d := Distribution{N: len(r.samples)}
+	if d.N == 0 {
+		return d
+	}
+	sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+	var sum time.Duration
+	for _, v := range r.samples {
+		sum += v
+	}
+	d.Mean = sum / time.Duration(d.N)
+	d.P50 = r.samples[pctIndex(d.N, 50)]
+	d.P95 = r.samples[pctIndex(d.N, 95)]
+	d.P99 = r.samples[pctIndex(d.N, 99)]
+	d.Max = r.samples[d.N-1]
+	return d
+}
+
+func pctIndex(n, pct int) int {
+	i := n * pct / 100
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Rate converts an operation count and duration into ops/second.
+func Rate(ops int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}

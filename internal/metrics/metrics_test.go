@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Min != 42 || s.Max != 42 || s.StdDev != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestQuickSummarizeBounds(t *testing.T) {
+	check := func(samples []float64) bool {
+		for i, v := range samples {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// Keep magnitudes bounded so the sum cannot overflow; rates in
+			// practice are small positives.
+			samples[i] = math.Mod(v, 1e9)
+		}
+		s := Summarize(samples)
+		if s.N != len(samples) {
+			return false
+		}
+		if s.N > 0 && (s.Mean < s.Min || s.Mean > s.Max) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyDistribution(t *testing.T) {
+	var r LatencyRecorder
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if r.N() != 100 {
+		t.Fatalf("N = %d", r.N())
+	}
+	d := r.Distribution()
+	if d.N != 100 {
+		t.Fatalf("distribution N = %d", d.N)
+	}
+	if d.P50 < 45*time.Millisecond || d.P50 > 55*time.Millisecond {
+		t.Fatalf("P50 = %v", d.P50)
+	}
+	if d.P95 < 90*time.Millisecond || d.P95 > 100*time.Millisecond {
+		t.Fatalf("P95 = %v", d.P95)
+	}
+	if d.Max != 100*time.Millisecond {
+		t.Fatalf("Max = %v", d.Max)
+	}
+	if d.Mean != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v", d.Mean)
+	}
+}
+
+func TestLatencyDistributionEmpty(t *testing.T) {
+	var r LatencyRecorder
+	d := r.Distribution()
+	if d.N != 0 || d.Mean != 0 {
+		t.Fatalf("empty distribution = %+v", d)
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	var a, b LatencyRecorder
+	a.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.N() != 3 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+}
+
+func TestRate(t *testing.T) {
+	if r := Rate(100, time.Second); r != 100 {
+		t.Fatalf("Rate = %v", r)
+	}
+	if r := Rate(100, 0); r != 0 {
+		t.Fatalf("Rate with zero elapsed = %v", r)
+	}
+	if r := Rate(50, 500*time.Millisecond); r != 100 {
+		t.Fatalf("Rate = %v", r)
+	}
+}
+
+func TestPctIndexBounds(t *testing.T) {
+	if i := pctIndex(10, 99); i != 9 {
+		t.Fatalf("pctIndex(10,99) = %d", i)
+	}
+	if i := pctIndex(1, 50); i != 0 {
+		t.Fatalf("pctIndex(1,50) = %d", i)
+	}
+	if i := pctIndex(100, 100); i != 99 {
+		t.Fatalf("pctIndex(100,100) = %d", i)
+	}
+}

@@ -1,0 +1,205 @@
+// Package netsim shapes connections to reproduce the network conditions of
+// the paper's testbeds: a 100 megabit-per-second LAN for the single-server
+// and uncompressed-update experiments, and the Los Angeles to Chicago WAN
+// path (63.8 ms mean round-trip time) for the Bloom filter update
+// experiments (§5.5).
+//
+// Shaping wraps a net.Conn: each Write charges half the RTT (one direction
+// of the path) once per message burst plus a serialization delay at the
+// configured bandwidth. Used with real TCP loopback connections or
+// in-process net.Pipe pairs, it lets the same code path serve as "LAN" and
+// "WAN" in the benchmark harness.
+package netsim
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Profile describes a network path.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// RTT is the round-trip time of the path.
+	RTT time.Duration
+	// Bandwidth is the bottleneck link rate in bits per second; zero means
+	// unlimited.
+	Bandwidth int64
+	// Clock supplies sleeping; defaults to the real clock.
+	Clock clock.Clock
+}
+
+// Unshaped is a pass-through profile.
+func Unshaped() Profile { return Profile{Name: "unshaped"} }
+
+// LAN reproduces the paper's local testbed: 100 Mbit/s Ethernet with
+// sub-millisecond RTT.
+func LAN() Profile {
+	return Profile{Name: "lan-100mbit", RTT: 200 * time.Microsecond, Bandwidth: 100_000_000}
+}
+
+// WAN reproduces the LA-to-Chicago path used for Bloom filter updates:
+// 63.8 ms mean RTT with a 100 Mbit/s bottleneck.
+func WAN() Profile {
+	return Profile{Name: "wan-la-chicago", RTT: 63800 * time.Microsecond, Bandwidth: 100_000_000}
+}
+
+// Scaled returns a copy of p with latency multiplied by factor (bandwidth
+// unchanged), for quick-running test configurations.
+func (p Profile) Scaled(factor float64) Profile {
+	p.RTT = time.Duration(float64(p.RTT) * factor)
+	if factor != 1 {
+		p.Name += "-scaled"
+	}
+	return p
+}
+
+func (p Profile) clock() clock.Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return clock.Real{}
+}
+
+// shapedConn charges latency and serialization on writes. Reads are
+// unshaped: the peer's writes already carried the path costs.
+type shapedConn struct {
+	net.Conn
+	p   Profile
+	clk clock.Clock
+
+	mu        sync.Mutex
+	lastWrite time.Time
+}
+
+// Wrap shapes a connection with the profile. Wrapping with an unshaped
+// profile returns the connection unchanged.
+func Wrap(c net.Conn, p Profile) net.Conn {
+	if p.RTT == 0 && p.Bandwidth == 0 {
+		return c
+	}
+	return &shapedConn{Conn: c, p: p, clk: p.clock()}
+}
+
+// burstGap is the idle time after which a new write pays propagation delay
+// again. Writes inside one burst (a frame split across bufio flushes, a
+// pipelined batch) share a single propagation charge, as real packets on an
+// established path would.
+const burstGap = 2 * time.Millisecond
+
+func (c *shapedConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	now := c.clk.Now()
+	newBurst := c.lastWrite.IsZero() || now.Sub(c.lastWrite) > burstGap
+	c.lastWrite = now
+	c.mu.Unlock()
+
+	var delay time.Duration
+	if newBurst {
+		delay += c.p.RTT / 2 // one-way propagation
+	}
+	if c.p.Bandwidth > 0 {
+		bits := int64(len(b)) * 8
+		delay += time.Duration(bits * int64(time.Second) / c.p.Bandwidth)
+	}
+	if delay > 0 {
+		c.clk.Sleep(delay)
+	}
+	n, err := c.Conn.Write(b)
+	c.mu.Lock()
+	c.lastWrite = c.clk.Now()
+	c.mu.Unlock()
+	return n, err
+}
+
+// Listener wraps an accept loop so every accepted connection is shaped.
+type Listener struct {
+	net.Listener
+	p Profile
+}
+
+// WrapListener shapes all connections accepted from l.
+func WrapListener(l net.Listener, p Profile) net.Listener {
+	if p.RTT == 0 && p.Bandwidth == 0 {
+		return l
+	}
+	return &Listener{Listener: l, p: p}
+}
+
+// Accept accepts and shapes a connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(c, l.p), nil
+}
+
+// Dialer produces shaped outbound connections.
+type Dialer struct {
+	p Profile
+}
+
+// NewDialer returns a dialer applying the profile.
+func NewDialer(p Profile) *Dialer { return &Dialer{p: p} }
+
+// Dial connects and shapes the connection.
+func (d *Dialer) Dial(network, addr string) (net.Conn, error) {
+	c, err := net.DialTimeout(network, addr, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(c, d.p), nil
+}
+
+// Pipe returns an in-process connection pair, both ends shaped with the
+// profile — the zero-syscall transport the harness uses for in-memory
+// deployments.
+func Pipe(p Profile) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return Wrap(a, p), Wrap(b, p)
+}
+
+// faultConn injects a connection failure after a byte budget, for testing
+// recovery from links that die mid-transfer.
+type faultConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int64
+}
+
+// errInjectedFault is returned by writes past the fault point.
+var errInjectedFault = &net.OpError{Op: "write", Net: "netsim", Err: errFaultInjected{}}
+
+type errFaultInjected struct{}
+
+func (errFaultInjected) Error() string { return "netsim: injected link fault" }
+func (errFaultInjected) Timeout() bool { return false }
+
+// DropAfter wraps a connection that fails permanently once n bytes have
+// been written through it: the write that crosses the budget delivers the
+// in-budget prefix, closes the connection, and every later write errors.
+// Reads fail once the peer observes the close.
+func DropAfter(c net.Conn, n int64) net.Conn {
+	return &faultConn{Conn: c, remaining: n}
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	remaining := c.remaining
+	c.remaining -= int64(len(b))
+	c.mu.Unlock()
+	if remaining <= 0 {
+		c.Conn.Close()
+		return 0, errInjectedFault
+	}
+	if int64(len(b)) > remaining {
+		n, _ := c.Conn.Write(b[:remaining])
+		c.Conn.Close()
+		return n, errInjectedFault
+	}
+	return c.Conn.Write(b)
+}

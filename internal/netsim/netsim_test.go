@@ -1,0 +1,206 @@
+package netsim
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestUnshapedPassThrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	w := Wrap(a, Unshaped())
+	if w != a {
+		t.Fatal("unshaped Wrap did not return the original conn")
+	}
+}
+
+func TestShapedWriteDelivers(t *testing.T) {
+	a, b := Pipe(Profile{Name: "test", RTT: time.Millisecond, Bandwidth: 1_000_000_000})
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("hello over the wan")
+	go func() {
+		a.Write(msg)
+	}()
+	buf := make([]byte, len(msg))
+	b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := b.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != string(msg) {
+		t.Fatalf("read %q, want %q", buf[:n], msg)
+	}
+}
+
+func TestPropagationDelayCharged(t *testing.T) {
+	const rtt = 40 * time.Millisecond
+	a, b := Pipe(Profile{Name: "test", RTT: rtt})
+	defer a.Close()
+	defer b.Close()
+	done := make(chan time.Duration, 1)
+	go func() {
+		buf := make([]byte, 16)
+		start := time.Now()
+		b.Read(buf)
+		done <- time.Since(start)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the reader block first
+	start := time.Now()
+	if _, err := a.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	writeElapsed := time.Since(start)
+	if writeElapsed < rtt/2 {
+		t.Fatalf("write returned after %v, want >= %v (one-way delay)", writeElapsed, rtt/2)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("read never completed")
+	}
+}
+
+func TestBandwidthDelayCharged(t *testing.T) {
+	// 1 Mbit/s, 12500 bytes = 100 ms serialization.
+	p := Profile{Name: "slow", Bandwidth: 1_000_000}
+	a, b := Pipe(p)
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 32<<10)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, 12500)
+	start := time.Now()
+	if _, err := a.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Fatalf("12.5KB at 1Mbit/s took %v, want >= ~100ms", elapsed)
+	}
+}
+
+func TestBurstSharesPropagation(t *testing.T) {
+	// Writes in quick succession pay propagation once; the second write
+	// must be much faster than the first.
+	const rtt = 50 * time.Millisecond
+	a, b := Pipe(Profile{Name: "test", RTT: rtt})
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 1024)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	a.Write([]byte("first"))
+	firstElapsed := time.Since(start)
+	start = time.Now()
+	a.Write([]byte("second"))
+	secondElapsed := time.Since(start)
+	if firstElapsed < rtt/2 {
+		t.Fatalf("first write took %v, want >= %v", firstElapsed, rtt/2)
+	}
+	if secondElapsed > rtt/4 {
+		t.Fatalf("second write in burst took %v, want well under %v", secondElapsed, rtt/2)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	lan := LAN()
+	if lan.Bandwidth != 100_000_000 {
+		t.Fatalf("LAN bandwidth = %d", lan.Bandwidth)
+	}
+	wan := WAN()
+	if wan.RTT != 63800*time.Microsecond {
+		t.Fatalf("WAN RTT = %v, want 63.8ms", wan.RTT)
+	}
+	scaled := wan.Scaled(0.1)
+	if scaled.RTT != 6380*time.Microsecond {
+		t.Fatalf("scaled RTT = %v", scaled.RTT)
+	}
+	if scaled.Name == wan.Name {
+		t.Fatal("scaled profile kept the same name")
+	}
+	same := wan.Scaled(1)
+	if same.Name != wan.Name {
+		t.Fatal("identity scaling changed the name")
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := WrapListener(inner, Profile{Name: "x", RTT: time.Millisecond})
+	defer l.Close()
+	go func() {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return
+		}
+		c.Write([]byte("ping"))
+		c.Close()
+	}()
+	c, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.(*shapedConn); !ok {
+		t.Fatalf("accepted conn type %T, want *shapedConn", c)
+	}
+	buf := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapListenerUnshapedPassThrough(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	if l := WrapListener(inner, Unshaped()); l != inner {
+		t.Fatal("unshaped WrapListener did not return original listener")
+	}
+}
+
+func TestDialer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1)
+		c.Read(buf)
+		c.Close()
+	}()
+	d := NewDialer(Profile{Name: "x", RTT: time.Millisecond})
+	c, err := d.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package rdb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/storage"
+)
+
+func newTestRLI(t *testing.T) *RLIDB {
+	t.Helper()
+	eng := storage.OpenMemory(storage.Options{Device: disk.New(disk.Fast())})
+	t.Cleanup(func() { eng.Close() })
+	db, err := NewRLIDB(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestUpsertAndQuery(t *testing.T) {
+	db := newTestRLI(t)
+	now := time.Now()
+	if err := db.UpsertNames("rls://lrc1", []string{"lfn://a", "lfn://b"}, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.UpsertNames("rls://lrc2", []string{"lfn://a"}, now); err != nil {
+		t.Fatal(err)
+	}
+	lrcs, err := db.QueryLRCs("lfn://a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lrcs) != 2 {
+		t.Fatalf("lfn://a LRCs = %v, want 2", lrcs)
+	}
+	lrcs, err = db.QueryLRCs("lfn://b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lrcs) != 1 || lrcs[0] != "rls://lrc1" {
+		t.Fatalf("lfn://b LRCs = %v", lrcs)
+	}
+	if _, err := db.QueryLRCs("lfn://missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing lfn = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUpsertRefreshesTimestampNotDuplicates(t *testing.T) {
+	db := newTestRLI(t)
+	t0 := time.Now()
+	db.UpsertNames("rls://lrc1", []string{"lfn://a"}, t0)
+	db.UpsertNames("rls://lrc1", []string{"lfn://a"}, t0.Add(time.Hour))
+	_, _, assoc, err := db.Counts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assoc != 1 {
+		t.Fatalf("associations = %d after re-upsert, want 1", assoc)
+	}
+	// Expiring before the refreshed time must keep the association.
+	n, err := db.ExpireBefore(t0.Add(30 * time.Minute))
+	if err != nil || n != 0 {
+		t.Fatalf("ExpireBefore = %d, %v; want 0", n, err)
+	}
+}
+
+func TestRemoveNames(t *testing.T) {
+	db := newTestRLI(t)
+	now := time.Now()
+	db.UpsertNames("rls://lrc1", []string{"lfn://a", "lfn://b"}, now)
+	db.UpsertNames("rls://lrc2", []string{"lfn://a"}, now)
+	if err := db.RemoveNames("rls://lrc1", []string{"lfn://a", "lfn://nonexistent"}); err != nil {
+		t.Fatal(err)
+	}
+	lrcs, err := db.QueryLRCs("lfn://a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lrcs) != 1 || lrcs[0] != "rls://lrc2" {
+		t.Fatalf("lfn://a LRCs = %v", lrcs)
+	}
+	// Removing from an unknown LRC is a no-op.
+	if err := db.RemoveNames("rls://unknown", []string{"lfn://a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the last association deletes the lfn row.
+	db.RemoveNames("rls://lrc2", []string{"lfn://a"})
+	if _, err := db.QueryLRCs("lfn://a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("fully removed lfn still resolvable: %v", err)
+	}
+	logicals, _, _, _ := db.Counts()
+	if logicals != 1 { // only lfn://b remains
+		t.Fatalf("logicals = %d, want 1", logicals)
+	}
+}
+
+func TestExpiration(t *testing.T) {
+	db := newTestRLI(t)
+	t0 := time.Now()
+	db.UpsertNames("rls://lrc1", []string{"lfn://old1", "lfn://old2"}, t0)
+	db.UpsertNames("rls://lrc2", []string{"lfn://old1"}, t0)
+	db.UpsertNames("rls://lrc1", []string{"lfn://fresh"}, t0.Add(time.Hour))
+
+	n, err := db.ExpireBefore(t0.Add(30 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("expired %d associations, want 3", n)
+	}
+	if _, err := db.QueryLRCs("lfn://old1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("expired lfn still resolvable")
+	}
+	lrcs, err := db.QueryLRCs("lfn://fresh")
+	if err != nil || len(lrcs) != 1 {
+		t.Fatalf("fresh lfn = %v, %v", lrcs, err)
+	}
+	// Idempotent.
+	n, err = db.ExpireBefore(t0.Add(30 * time.Minute))
+	if err != nil || n != 0 {
+		t.Fatalf("second expire = %d, %v", n, err)
+	}
+}
+
+func TestExpirationRefreshKeepsEntry(t *testing.T) {
+	// The soft-state contract: an entry refreshed by a later update
+	// survives expiration of its original timestamp.
+	db := newTestRLI(t)
+	t0 := time.Now()
+	db.UpsertNames("rls://lrc1", []string{"lfn://a"}, t0)
+	db.UpsertNames("rls://lrc1", []string{"lfn://a"}, t0.Add(2*time.Hour))
+	n, err := db.ExpireBefore(t0.Add(time.Hour))
+	if err != nil || n != 0 {
+		t.Fatalf("expire = %d, %v; want 0 (entry was refreshed)", n, err)
+	}
+}
+
+func TestWildcardQueryRLI(t *testing.T) {
+	db := newTestRLI(t)
+	now := time.Now()
+	db.UpsertNames("rls://lrc1", []string{"lfn://ligo/run1", "lfn://ligo/run2", "lfn://esg/x"}, now)
+	hits, err := db.WildcardQuery("lfn://ligo/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("wildcard hits = %v", hits)
+	}
+	for _, h := range hits {
+		if h.Target != "rls://lrc1" {
+			t.Fatalf("hit target = %q", h.Target)
+		}
+	}
+}
+
+func TestLRCList(t *testing.T) {
+	db := newTestRLI(t)
+	now := time.Now()
+	db.UpsertNames("rls://lrc2", []string{"lfn://a"}, now)
+	db.UpsertNames("rls://lrc1", []string{"lfn://b"}, now)
+	lrcs, err := db.LRCs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lrcs) != 2 || lrcs[0] != "rls://lrc1" || lrcs[1] != "rls://lrc2" {
+		t.Fatalf("LRCs = %v, want sorted pair", lrcs)
+	}
+}
+
+func TestUpsertValidation(t *testing.T) {
+	db := newTestRLI(t)
+	if err := db.UpsertNames("", []string{"x"}, time.Now()); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty LRC url = %v", err)
+	}
+	// Empty names are skipped, not errors (defensive against sparse
+	// batches).
+	if err := db.UpsertNames("rls://lrc1", []string{"", "lfn://ok"}, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	logicals, _, _, _ := db.Counts()
+	if logicals != 1 {
+		t.Fatalf("logicals = %d, want 1", logicals)
+	}
+}
+
+func TestOpenRLIDBRecoversCounters(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := storage.Open(dir, storage.Options{Device: disk.New(disk.Fast())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewRLIDB(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.UpsertNames("rls://lrc1", []string{"lfn://a", "lfn://b"}, time.Now())
+	eng.Close()
+
+	eng2, err := storage.Open(dir, storage.Options{Device: disk.New(disk.Fast())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	db2, err := OpenRLIDB(eng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.UpsertNames("rls://lrc1", []string{"lfn://c"}, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	logicals, lrcs, assoc, _ := db2.Counts()
+	if logicals != 3 || lrcs != 1 || assoc != 3 {
+		t.Fatalf("counts = %d/%d/%d, want 3/1/3", logicals, lrcs, assoc)
+	}
+}
+
+func TestLargeBatchUpsert(t *testing.T) {
+	db := newTestRLI(t)
+	names := make([]string, 5000)
+	for i := range names {
+		names[i] = fmt.Sprintf("lfn://bulk/%06d", i)
+	}
+	if err := db.UpsertNames("rls://lrc1", names, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	logicals, _, assoc, _ := db.Counts()
+	if logicals != 5000 || assoc != 5000 {
+		t.Fatalf("counts = %d logicals, %d assoc", logicals, assoc)
+	}
+}

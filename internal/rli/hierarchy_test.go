@@ -1,0 +1,195 @@
+package rli
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// memParent records forwarded soft state in memory, acting as the parent
+// RLI endpoint.
+type memParent struct {
+	mu      sync.Mutex
+	full    map[string][]string // lrc url -> names from the last full update
+	current map[string][]string
+	blooms  map[string][]byte
+	fails   int
+	calls   int
+}
+
+func newMemParent() *memParent {
+	return &memParent{
+		full:    make(map[string][]string),
+		current: make(map[string][]string),
+		blooms:  make(map[string][]byte),
+	}
+}
+
+func (m *memParent) dial(url string) (Updater, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls++
+	if m.fails > 0 {
+		m.fails--
+		return nil, errors.New("parent unreachable")
+	}
+	return m, nil
+}
+
+func (m *memParent) SSFullStart(lrcURL string, total uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.current[lrcURL] = nil
+	return nil
+}
+
+func (m *memParent) SSFullBatch(lrcURL string, names []string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.current[lrcURL] = append(m.current[lrcURL], names...)
+	return nil
+}
+
+func (m *memParent) SSFullEnd(lrcURL string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.full[lrcURL] = m.current[lrcURL]
+	return nil
+}
+
+func (m *memParent) SSIncremental(lrcURL string, added, removed []string) error { return nil }
+
+func (m *memParent) SSBloom(lrcURL string, bitmap []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blooms[lrcURL] = append([]byte(nil), bitmap...)
+	return nil
+}
+
+func (m *memParent) Close() error { return nil }
+
+func TestForwardAllGroupsBySourceLRC(t *testing.T) {
+	s := newTestRLI(t, nil)
+	s.HandleIncremental("rls://lrc-a", []string{"lfn://a1", "lfn://a2"}, nil)
+	s.HandleIncremental("rls://lrc-b", []string{"lfn://b1"}, nil)
+	s.HandleBloom("rls://lrc-c", bloomPayloadStandalone("lfn://c1"))
+
+	parent := newMemParent()
+	s.ConfigureForwarding(parent.dial, 1)
+	if err := s.AddParent("rls://parent"); err != nil {
+		t.Fatal(err)
+	}
+	results := s.ForwardAll()
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Sources != 3 || results[0].Names != 3 || results[0].Blooms != 1 {
+		t.Fatalf("result = %+v", results[0])
+	}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	if len(parent.full["rls://lrc-a"]) != 2 || len(parent.full["rls://lrc-b"]) != 1 {
+		t.Fatalf("parent full state = %+v", parent.full)
+	}
+	if _, ok := parent.blooms["rls://lrc-c"]; !ok {
+		t.Fatalf("parent blooms = %+v", parent.blooms)
+	}
+}
+
+func TestForwardingConfigGuards(t *testing.T) {
+	s := newTestRLI(t, nil)
+	if err := s.AddParent("rls://p"); err == nil {
+		t.Fatal("AddParent before ConfigureForwarding accepted")
+	}
+	parent := newMemParent()
+	s.ConfigureForwarding(parent.dial, 0) // 0 -> default batch
+	if err := s.AddParent(""); err == nil {
+		t.Fatal("empty parent accepted")
+	}
+	if err := s.AddParent(s.URL()); err == nil {
+		t.Fatal("self parent accepted")
+	}
+	if err := s.AddParent("rls://p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddParent("rls://p"); err == nil {
+		t.Fatal("duplicate parent accepted")
+	}
+	if err := s.StartForwardLoop(0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestForwardLoopRunsOnTicker(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	s := newTestRLI(t, func(c *Config) { c.Clock = fc })
+	s.HandleIncremental("rls://lrc", []string{"lfn://x"}, nil)
+	parent := newMemParent()
+	s.ConfigureForwarding(parent.dial, 100)
+	if err := s.AddParent("rls://parent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartForwardLoop(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fc.Pending() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	fc.Advance(time.Minute)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		parent.mu.Lock()
+		n := len(parent.full["rls://lrc"])
+		parent.mu.Unlock()
+		if n == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("forward loop never pushed state")
+}
+
+func TestForwardErrorReported(t *testing.T) {
+	s := newTestRLI(t, nil)
+	s.HandleIncremental("rls://lrc", []string{"lfn://x"}, nil)
+	parent := newMemParent()
+	parent.fails = 1
+	s.ConfigureForwarding(parent.dial, 100)
+	s.AddParent("rls://parent")
+	results := s.ForwardAll()
+	if results[0].Err == nil {
+		t.Fatal("dial failure not reported")
+	}
+	// Next round succeeds.
+	results = s.ForwardAll()
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+}
+
+func TestNamesForLRCService(t *testing.T) {
+	s := newTestRLI(t, nil)
+	s.HandleIncremental("rls://lrc", []string{"lfn://b", "lfn://a"}, nil)
+	names, err := s.NamesForLRC("rls://lrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "lfn://a" || names[1] != "lfn://b" {
+		t.Fatalf("names = %v (want sorted)", names)
+	}
+	// Unknown LRC: empty, not an error.
+	names, err = s.NamesForLRC("rls://ghost")
+	if err != nil || len(names) != 0 {
+		t.Fatalf("ghost = %v, %v", names, err)
+	}
+	// Bloom-only service has no database to enumerate.
+	bloomOnly, _ := New(Config{URL: "rls://b"})
+	defer bloomOnly.Close()
+	if _, err := bloomOnly.NamesForLRC("rls://x"); err == nil {
+		t.Fatal("bloom-only enumeration succeeded")
+	}
+}

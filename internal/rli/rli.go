@@ -1,0 +1,348 @@
+// Package rli implements the Replica Location Index service: it aggregates
+// soft state from one or more LRCs and answers "which LRCs know this logical
+// name" queries.
+//
+// Two storage paths coexist, matching RLS 2.0.9 (§3.1, §3.4):
+//
+//   - LRCs sending full or incremental (uncompressed) updates populate a
+//     relational database (rdb.RLIDB) whose t_map rows carry update
+//     timestamps; an expire thread periodically discards entries older than
+//     the timeout interval.
+//
+//   - LRCs sending Bloom filter updates are summarized entirely in memory —
+//     "no database is used in the RLI; Bloom filters are instead stored in
+//     RLI memory, which provides fast soft state update and query
+//     performance". A query hashes the probe name against every stored
+//     filter.
+//
+// Bloom filter entries participate in soft state expiration too: a filter
+// not refreshed within the timeout is dropped.
+package rli
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/clock"
+	"repro/internal/rdb"
+	"repro/internal/wire"
+)
+
+// Defaults for the expire thread.
+const (
+	// DefaultTimeout is how long soft state lives without a refresh.
+	DefaultTimeout = 30 * time.Minute
+	// DefaultExpireInterval is how often the expire thread runs.
+	DefaultExpireInterval = time.Minute
+)
+
+// Config configures a Service.
+type Config struct {
+	// URL is this RLI's advertised address.
+	URL string
+	// DB stores uncompressed soft state. Optional: an RLI that only ever
+	// receives Bloom updates runs without one.
+	DB *rdb.RLIDB
+	// Clock drives expiration; defaults to the real clock.
+	Clock clock.Clock
+	// Timeout is the soft state lifetime; DefaultTimeout if zero.
+	Timeout time.Duration
+	// ExpireInterval is the expire-thread period; DefaultExpireInterval if
+	// zero.
+	ExpireInterval time.Duration
+}
+
+// Service is a running Replica Location Index.
+type Service struct {
+	cfg Config
+	db  *rdb.RLIDB
+	clk clock.Clock
+
+	mu      sync.RWMutex
+	filters map[string]*filterEntry // LRC url -> latest Bloom filter
+
+	forward parentState // hierarchical-RLI forwarding (§7 extension)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	stats Stats
+}
+
+type filterEntry struct {
+	bitmap   *bloom.Bitmap
+	received time.Time
+}
+
+// Stats counts RLI activity.
+type Stats struct {
+	FullUpdates        int64
+	IncrementalUpdates int64
+	BloomUpdates       int64
+	NamesIngested      int64
+	Expired            int64
+	Queries            int64
+}
+
+// New creates the service.
+func New(cfg Config) (*Service, error) {
+	if cfg.URL == "" {
+		return nil, errors.New("rli: Config.URL is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.ExpireInterval <= 0 {
+		cfg.ExpireInterval = DefaultExpireInterval
+	}
+	return &Service{
+		cfg:     cfg,
+		db:      cfg.DB,
+		clk:     cfg.Clock,
+		filters: make(map[string]*filterEntry),
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the expire thread.
+func (s *Service) Start() {
+	s.wg.Add(1)
+	go s.expireLoop()
+}
+
+// Close stops the expire thread.
+func (s *Service) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.wg.Wait()
+}
+
+// URL returns the RLI's advertised address.
+func (s *Service) URL() string { return s.cfg.URL }
+
+// DB exposes the index database (nil for Bloom-only deployments).
+func (s *Service) DB() *rdb.RLIDB { return s.db }
+
+// Stats returns a snapshot of counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// errNoDB reports an uncompressed update arriving at a Bloom-only RLI.
+var errNoDB = fmt.Errorf("%w: this RLI has no database for uncompressed updates", rdb.ErrInvalid)
+
+// HandleFullStart begins a full update from an LRC. State from prior full
+// updates is not dropped here: stale entries age out via expiration, per the
+// soft state model.
+func (s *Service) HandleFullStart(lrcURL string, total uint64) error {
+	if s.db == nil {
+		return errNoDB
+	}
+	s.mu.Lock()
+	s.stats.FullUpdates++
+	s.mu.Unlock()
+	return nil
+}
+
+// HandleFullBatch ingests one batch of a full update.
+func (s *Service) HandleFullBatch(lrcURL string, names []string) error {
+	if s.db == nil {
+		return errNoDB
+	}
+	if err := s.db.UpsertNames(lrcURL, names, s.clk.Now()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.NamesIngested += int64(len(names))
+	s.mu.Unlock()
+	return nil
+}
+
+// HandleFullEnd completes a full update.
+func (s *Service) HandleFullEnd(lrcURL string) error {
+	if s.db == nil {
+		return errNoDB
+	}
+	return nil
+}
+
+// HandleIncremental ingests an immediate-mode update.
+func (s *Service) HandleIncremental(lrcURL string, added, removed []string) error {
+	if s.db == nil {
+		return errNoDB
+	}
+	if err := s.db.UpsertNames(lrcURL, added, s.clk.Now()); err != nil {
+		return err
+	}
+	if err := s.db.RemoveNames(lrcURL, removed); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.IncrementalUpdates++
+	s.stats.NamesIngested += int64(len(added))
+	s.mu.Unlock()
+	return nil
+}
+
+// HandleBloom stores an LRC's Bloom filter, replacing any previous one.
+func (s *Service) HandleBloom(lrcURL string, payload []byte) error {
+	var bm bloom.Bitmap
+	if err := bm.UnmarshalBinary(payload); err != nil {
+		return errors.Join(rdb.ErrInvalid, err)
+	}
+	s.mu.Lock()
+	s.filters[lrcURL] = &filterEntry{bitmap: &bm, received: s.clk.Now()}
+	s.stats.BloomUpdates++
+	s.mu.Unlock()
+	return nil
+}
+
+// QueryLRCs returns the LRC urls that may hold mappings for the logical
+// name: exact matches from the database union probabilistic matches from the
+// in-memory Bloom filters (false positives possible at ~1%, paper §3.4).
+func (s *Service) QueryLRCs(logical string) ([]string, error) {
+	s.mu.Lock()
+	s.stats.Queries++
+	s.mu.Unlock()
+
+	set := make(map[string]bool)
+	if s.db != nil {
+		urls, err := s.db.QueryLRCs(logical)
+		if err != nil && !errors.Is(err, rdb.ErrNotFound) {
+			return nil, err
+		}
+		for _, u := range urls {
+			set[u] = true
+		}
+	}
+	s.mu.RLock()
+	for url, fe := range s.filters {
+		if fe.bitmap.Test(logical) {
+			set[url] = true
+		}
+	}
+	s.mu.RUnlock()
+	if len(set) == 0 {
+		return nil, fmt.Errorf("%w: logical name %q", rdb.ErrNotFound, logical)
+	}
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// WildcardQuery answers wildcard queries from the database. Bloom-filter
+// state cannot be enumerated — the capability cost of compression the paper
+// notes in §5.4 — so filters contribute nothing here.
+func (s *Service) WildcardQuery(pattern string) ([]wire.Mapping, error) {
+	if s.db == nil {
+		return nil, fmt.Errorf("%w: wildcard queries are not possible over Bloom filter state", rdb.ErrInvalid)
+	}
+	return s.db.WildcardQuery(pattern)
+}
+
+// BulkQuery resolves many logical names.
+func (s *Service) BulkQuery(names []string) []wire.BulkNameResult {
+	out := make([]wire.BulkNameResult, 0, len(names))
+	for _, n := range names {
+		values, err := s.QueryLRCs(n)
+		out = append(out, wire.BulkNameResult{Name: n, Found: err == nil, Values: values})
+	}
+	return out
+}
+
+// LRCs lists the LRCs known to this RLI, from both storage paths.
+func (s *Service) LRCs() ([]string, error) {
+	set := make(map[string]bool)
+	if s.db != nil {
+		urls, err := s.db.LRCs()
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range urls {
+			set[u] = true
+		}
+	}
+	s.mu.RLock()
+	for url := range s.filters {
+		set[url] = true
+	}
+	s.mu.RUnlock()
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// FilterCount reports how many Bloom filters are resident.
+func (s *Service) FilterCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.filters)
+}
+
+// Counts reports index occupancy (database associations; Bloom filters are
+// opaque).
+func (s *Service) Counts() (logicals, lrcs, associations int64, err error) {
+	if s.db == nil {
+		return 0, int64(s.FilterCount()), 0, nil
+	}
+	return s.db.Counts()
+}
+
+// ExpireNow runs one expiration pass, returning dropped database
+// associations plus dropped Bloom filters.
+func (s *Service) ExpireNow() (int, error) {
+	cutoff := s.clk.Now().Add(-s.cfg.Timeout)
+	dropped := 0
+	if s.db != nil {
+		n, err := s.db.ExpireBefore(cutoff)
+		if err != nil {
+			return 0, err
+		}
+		dropped += n
+	}
+	s.mu.Lock()
+	for url, fe := range s.filters {
+		if fe.received.Before(cutoff) {
+			delete(s.filters, url)
+			dropped++
+		}
+	}
+	s.stats.Expired += int64(dropped)
+	s.mu.Unlock()
+	return dropped, nil
+}
+
+// expireLoop is the expire thread: "An expire thread runs periodically and
+// examines timestamps in the RLI mapping table, discarding entries older
+// than the allowed timeout interval."
+func (s *Service) expireLoop() {
+	defer s.wg.Done()
+	t := s.clk.NewTicker(s.cfg.ExpireInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C():
+			s.ExpireNow()
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package rli
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/clock"
+	"repro/internal/disk"
+	"repro/internal/rdb"
+	"repro/internal/storage"
+)
+
+func newTestRLI(t *testing.T, mutate func(*Config)) *Service {
+	t.Helper()
+	eng := storage.OpenMemory(storage.Options{Device: disk.New(disk.Fast())})
+	t.Cleanup(func() { eng.Close() })
+	db, err := rdb.NewRLIDB(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{URL: "rls://rli-test", DB: db}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func bloomPayload(t *testing.T, names ...string) []byte {
+	t.Helper()
+	f := bloom.New(len(names) + 100)
+	for _, n := range names {
+		f.Add(n)
+	}
+	data, err := f.Bitmap().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFullUpdateFlow(t *testing.T) {
+	s := newTestRLI(t, nil)
+	if err := s.HandleFullStart("rls://lrc1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullBatch("rls://lrc1", []string{"lfn://a", "lfn://b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullBatch("rls://lrc1", []string{"lfn://c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullEnd("rls://lrc1"); err != nil {
+		t.Fatal(err)
+	}
+	lrcs, err := s.QueryLRCs("lfn://b")
+	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc1" {
+		t.Fatalf("QueryLRCs = %v, %v", lrcs, err)
+	}
+	st := s.Stats()
+	if st.FullUpdates != 1 || st.NamesIngested != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIncrementalUpdate(t *testing.T) {
+	s := newTestRLI(t, nil)
+	if err := s.HandleIncremental("rls://lrc1", []string{"lfn://a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryLRCs("lfn://a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleIncremental("rls://lrc1", nil, []string{"lfn://a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryLRCs("lfn://a"); !errors.Is(err, rdb.ErrNotFound) {
+		t.Fatalf("after removal = %v", err)
+	}
+}
+
+func TestBloomQueryPath(t *testing.T) {
+	s := newTestRLI(t, nil)
+	if err := s.HandleBloom("rls://lrc9", bloomPayload(t, "lfn://x", "lfn://y")); err != nil {
+		t.Fatal(err)
+	}
+	lrcs, err := s.QueryLRCs("lfn://x")
+	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc9" {
+		t.Fatalf("bloom query = %v, %v", lrcs, err)
+	}
+	if s.FilterCount() != 1 {
+		t.Fatalf("FilterCount = %d", s.FilterCount())
+	}
+	// Replacement, not accumulation.
+	if err := s.HandleBloom("rls://lrc9", bloomPayload(t, "lfn://z")); err != nil {
+		t.Fatal(err)
+	}
+	if s.FilterCount() != 1 {
+		t.Fatalf("FilterCount after replace = %d", s.FilterCount())
+	}
+	if _, err := s.QueryLRCs("lfn://x"); !errors.Is(err, rdb.ErrNotFound) {
+		t.Fatalf("old filter contents survived replacement: %v", err)
+	}
+}
+
+func TestBloomRejectsGarbage(t *testing.T) {
+	s := newTestRLI(t, nil)
+	if err := s.HandleBloom("rls://lrc1", []byte{1, 2, 3}); !errors.Is(err, rdb.ErrInvalid) {
+		t.Fatalf("garbage bitmap = %v", err)
+	}
+}
+
+func TestQueryMergesDatabaseAndBloom(t *testing.T) {
+	s := newTestRLI(t, nil)
+	s.HandleIncremental("rls://lrc-db", []string{"lfn://shared"}, nil)
+	s.HandleBloom("rls://lrc-bloom", bloomPayload(t, "lfn://shared"))
+	lrcs, err := s.QueryLRCs("lfn://shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lrcs) != 2 {
+		t.Fatalf("merged query = %v, want both LRCs", lrcs)
+	}
+}
+
+func TestBloomOnlyService(t *testing.T) {
+	s, err := New(Config{URL: "rls://bloom-only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.HandleFullStart("rls://lrc1", 1); !errors.Is(err, rdb.ErrInvalid) {
+		t.Fatalf("full update on bloom-only RLI = %v", err)
+	}
+	if err := s.HandleIncremental("rls://lrc1", []string{"x"}, nil); !errors.Is(err, rdb.ErrInvalid) {
+		t.Fatalf("incremental on bloom-only RLI = %v", err)
+	}
+	if err := s.HandleBloom("rls://lrc1", bloomPayloadStandalone("lfn://a")); err != nil {
+		t.Fatal(err)
+	}
+	lrcs, err := s.QueryLRCs("lfn://a")
+	if err != nil || len(lrcs) != 1 {
+		t.Fatalf("query = %v, %v", lrcs, err)
+	}
+	if _, err := s.WildcardQuery("lfn://*"); !errors.Is(err, rdb.ErrInvalid) {
+		t.Fatalf("wildcard over bloom = %v, want ErrInvalid", err)
+	}
+}
+
+func bloomPayloadStandalone(names ...string) []byte {
+	f := bloom.New(len(names) + 100)
+	for _, n := range names {
+		f.Add(n)
+	}
+	data, _ := f.Bitmap().MarshalBinary()
+	return data
+}
+
+func TestWildcardQueryUsesDatabase(t *testing.T) {
+	s := newTestRLI(t, nil)
+	s.HandleIncremental("rls://lrc1", []string{"lfn://run/a", "lfn://run/b", "lfn://other"}, nil)
+	hits, err := s.WildcardQuery("lfn://run/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("wildcard hits = %v", hits)
+	}
+}
+
+func TestBulkQuery(t *testing.T) {
+	s := newTestRLI(t, nil)
+	s.HandleIncremental("rls://lrc1", []string{"lfn://a"}, nil)
+	results := s.BulkQuery([]string{"lfn://a", "lfn://missing"})
+	if len(results) != 2 {
+		t.Fatalf("results = %+v", results)
+	}
+	if !results[0].Found || results[1].Found {
+		t.Fatalf("found flags = %+v", results)
+	}
+}
+
+func TestExpirationDropsDatabaseEntries(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1_000_000, 0))
+	s := newTestRLI(t, func(c *Config) {
+		c.Clock = fc
+		c.Timeout = time.Minute
+	})
+	s.HandleIncremental("rls://lrc1", []string{"lfn://old"}, nil)
+	fc.Advance(2 * time.Minute)
+	n, err := s.ExpireNow()
+	if err != nil || n != 1 {
+		t.Fatalf("ExpireNow = %d, %v; want 1", n, err)
+	}
+	if _, err := s.QueryLRCs("lfn://old"); !errors.Is(err, rdb.ErrNotFound) {
+		t.Fatalf("expired entry still visible: %v", err)
+	}
+}
+
+func TestExpirationDropsStaleBloomFilters(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1_000_000, 0))
+	s := newTestRLI(t, func(c *Config) {
+		c.Clock = fc
+		c.Timeout = time.Minute
+	})
+	s.HandleBloom("rls://stale", bloomPayloadStandalone("lfn://a"))
+	fc.Advance(30 * time.Second)
+	s.HandleBloom("rls://fresh", bloomPayloadStandalone("lfn://b"))
+	fc.Advance(45 * time.Second) // stale is now 75s old, fresh 45s
+	n, err := s.ExpireNow()
+	if err != nil || n != 1 {
+		t.Fatalf("ExpireNow = %d, %v; want 1", n, err)
+	}
+	if s.FilterCount() != 1 {
+		t.Fatalf("FilterCount = %d", s.FilterCount())
+	}
+	if _, err := s.QueryLRCs("lfn://b"); err != nil {
+		t.Fatal("fresh filter dropped")
+	}
+}
+
+func TestExpireThreadRunsOnTicker(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	s := newTestRLI(t, func(c *Config) {
+		c.Clock = fc
+		c.Timeout = time.Minute
+		c.ExpireInterval = 10 * time.Second
+	})
+	s.HandleIncremental("rls://lrc1", []string{"lfn://doomed"}, nil)
+	s.Start()
+	// Wait for the expire loop's ticker to register before advancing.
+	deadline := time.Now().Add(5 * time.Second)
+	for fc.Pending() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	fc.Advance(2 * time.Minute)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := s.QueryLRCs("lfn://doomed"); errors.Is(err, rdb.ErrNotFound) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("expire thread never dropped the stale entry")
+}
+
+func TestRefreshedEntriesSurviveExpiration(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	s := newTestRLI(t, func(c *Config) {
+		c.Clock = fc
+		c.Timeout = time.Minute
+	})
+	s.HandleIncremental("rls://lrc1", []string{"lfn://kept"}, nil)
+	fc.Advance(45 * time.Second)
+	// Refresh via a full update batch.
+	s.HandleFullBatch("rls://lrc1", []string{"lfn://kept"})
+	fc.Advance(30 * time.Second) // original now 75s old, refresh 30s
+	n, err := s.ExpireNow()
+	if err != nil || n != 0 {
+		t.Fatalf("ExpireNow = %d, %v; want 0", n, err)
+	}
+	if _, err := s.QueryLRCs("lfn://kept"); err != nil {
+		t.Fatal("refreshed entry expired")
+	}
+}
+
+func TestSoftStateReconstructionAfterRestart(t *testing.T) {
+	// Paper §2: "If an RLI fails and later resumes operation, its state can
+	// be reconstructed using soft state updates." Simulate by creating a
+	// fresh service (no persistent state) and replaying an LRC's update.
+	names := []string{"lfn://a", "lfn://b"}
+	s1 := newTestRLI(t, nil)
+	s1.HandleFullStart("rls://lrc1", uint64(len(names)))
+	s1.HandleFullBatch("rls://lrc1", names)
+	s1.HandleFullEnd("rls://lrc1")
+	s1.Close() // RLI "fails"
+
+	s2 := newTestRLI(t, nil) // fresh, empty
+	if _, err := s2.QueryLRCs("lfn://a"); !errors.Is(err, rdb.ErrNotFound) {
+		t.Fatal("fresh RLI has state")
+	}
+	s2.HandleFullStart("rls://lrc1", uint64(len(names)))
+	s2.HandleFullBatch("rls://lrc1", names)
+	s2.HandleFullEnd("rls://lrc1")
+	lrcs, err := s2.QueryLRCs("lfn://a")
+	if err != nil || len(lrcs) != 1 {
+		t.Fatalf("reconstructed state = %v, %v", lrcs, err)
+	}
+}
+
+func TestLRCsListsBothPaths(t *testing.T) {
+	s := newTestRLI(t, nil)
+	s.HandleIncremental("rls://lrc-db", []string{"lfn://a"}, nil)
+	s.HandleBloom("rls://lrc-bloom", bloomPayloadStandalone("lfn://b"))
+	lrcs, err := s.LRCs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lrcs) != 2 || lrcs[0] != "rls://lrc-bloom" || lrcs[1] != "rls://lrc-db" {
+		t.Fatalf("LRCs = %v", lrcs)
+	}
+}
+
+func TestManyBloomFiltersQuery(t *testing.T) {
+	// The Figure 10 effect: query cost scales with the number of resident
+	// filters. Verify correctness with 100 filters.
+	s := newTestRLI(t, nil)
+	for i := 0; i < 100; i++ {
+		url := fmt.Sprintf("rls://lrc%03d", i)
+		s.HandleBloom(url, bloomPayloadStandalone(fmt.Sprintf("lfn://only-at/%03d", i)))
+	}
+	if s.FilterCount() != 100 {
+		t.Fatalf("FilterCount = %d", s.FilterCount())
+	}
+	lrcs, err := s.QueryLRCs("lfn://only-at/042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range lrcs {
+		if u == "rls://lrc042" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("owner missing from %v", lrcs)
+	}
+	// A handful of false positives are acceptable; an avalanche is not.
+	if len(lrcs) > 10 {
+		t.Fatalf("%d LRCs matched; false positive rate implausibly high", len(lrcs))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

@@ -1,0 +1,450 @@
+package server
+
+import (
+	"repro/internal/auth"
+	"repro/internal/lrc"
+	"repro/internal/wire"
+)
+
+// privilegeFor maps each operation to the ACL privilege it requires.
+func privilegeFor(op wire.Op) auth.Privilege {
+	switch op {
+	case wire.OpPing, wire.OpServerInfo:
+		return "" // no privilege required
+	case wire.OpLRCGetTargets, wire.OpLRCGetLogicals,
+		wire.OpLRCGetTargetsWild, wire.OpLRCGetLogicalsWild,
+		wire.OpLRCBulkGetTargets, wire.OpLRCBulkGetLogicals,
+		wire.OpAttrGet, wire.OpAttrSearch, wire.OpAttrListDefs, wire.OpLRCRLIList:
+		return auth.PrivLRCRead
+	case wire.OpLRCCreateMapping, wire.OpLRCAddMapping, wire.OpLRCDeleteMapping,
+		wire.OpLRCBulkCreate, wire.OpLRCBulkAdd, wire.OpLRCBulkDelete,
+		wire.OpAttrDefine, wire.OpAttrUndefine, wire.OpAttrAdd, wire.OpAttrModify,
+		wire.OpAttrRemove, wire.OpAttrBulkAdd, wire.OpAttrBulkRemove:
+		return auth.PrivLRCWrite
+	case wire.OpLRCRLIAdd, wire.OpLRCRLIRemove:
+		return auth.PrivAdmin
+	case wire.OpRLIGetLRCs, wire.OpRLIGetLRCsWild, wire.OpRLIBulkGetLRCs, wire.OpRLILRCList:
+		return auth.PrivRLIRead
+	case wire.OpSSFullStart, wire.OpSSFullBatch, wire.OpSSFullEnd,
+		wire.OpSSIncremental, wire.OpSSBloom:
+		return auth.PrivRLIWrite
+	default:
+		return auth.PrivAdmin
+	}
+}
+
+// isLRCOp reports whether the op requires the LRC role.
+func isLRCOp(op wire.Op) bool {
+	return op >= wire.OpLRCCreateMapping && op <= wire.OpLRCRLIRemove
+}
+
+// isRLIOp reports whether the op requires the RLI role.
+func isRLIOp(op wire.Op) bool {
+	return op >= wire.OpRLIGetLRCs && op <= wire.OpSSBloom
+}
+
+// dispatch authorizes and executes one request.
+func (s *Server) dispatch(id auth.Identity, req *wire.Request) *wire.Response {
+	op := req.Op
+	if !op.Valid() {
+		return &wire.Response{ID: req.ID, Status: wire.StatusBadRequest, Err: "unknown operation"}
+	}
+	if priv := privilegeFor(op); priv != "" && !s.authn.Authorize(id, priv) {
+		return deny(req.ID, op)
+	}
+	if isLRCOp(op) && s.cfg.LRC == nil {
+		return unsupported(req.ID, op, s.Role())
+	}
+	if isRLIOp(op) && s.cfg.RLI == nil {
+		return unsupported(req.ID, op, s.Role())
+	}
+	switch op {
+	case wire.OpPing:
+		return ok(req.ID, nil)
+	case wire.OpServerInfo:
+		return s.handleServerInfo(req)
+
+	// LRC mapping management.
+	case wire.OpLRCCreateMapping:
+		return s.mappingOp(req, s.cfg.LRC.CreateMapping)
+	case wire.OpLRCAddMapping:
+		return s.mappingOp(req, s.cfg.LRC.AddMapping)
+	case wire.OpLRCDeleteMapping:
+		return s.mappingOp(req, s.cfg.LRC.DeleteMapping)
+	case wire.OpLRCBulkCreate:
+		return s.bulkMappingOp(req, s.cfg.LRC.BulkCreate)
+	case wire.OpLRCBulkAdd:
+		return s.bulkMappingOp(req, s.cfg.LRC.BulkAdd)
+	case wire.OpLRCBulkDelete:
+		return s.bulkMappingOp(req, s.cfg.LRC.BulkDelete)
+
+	// LRC queries.
+	case wire.OpLRCGetTargets:
+		return s.nameQuery(req, s.cfg.LRC.GetTargets)
+	case wire.OpLRCGetLogicals:
+		return s.nameQuery(req, s.cfg.LRC.GetLogicals)
+	case wire.OpLRCGetTargetsWild:
+		return s.wildQuery(req, s.cfg.LRC.WildcardTargets)
+	case wire.OpLRCGetLogicalsWild:
+		return s.wildQuery(req, s.cfg.LRC.WildcardLogicals)
+	case wire.OpLRCBulkGetTargets:
+		return s.bulkNameQuery(req, s.cfg.LRC.BulkGetTargets)
+	case wire.OpLRCBulkGetLogicals:
+		return s.bulkNameQuery(req, s.cfg.LRC.BulkGetLogicals)
+
+	// Attributes.
+	case wire.OpAttrDefine:
+		return s.handleAttrDefine(req)
+	case wire.OpAttrUndefine:
+		return s.handleAttrUndefine(req)
+	case wire.OpAttrAdd:
+		return s.attrWrite(req, s.cfg.LRC.AddAttribute)
+	case wire.OpAttrModify:
+		return s.attrWrite(req, s.cfg.LRC.ModifyAttribute)
+	case wire.OpAttrRemove:
+		return s.handleAttrRemove(req)
+	case wire.OpAttrGet:
+		return s.handleAttrGet(req)
+	case wire.OpAttrSearch:
+		return s.handleAttrSearch(req)
+	case wire.OpAttrBulkAdd:
+		return s.handleAttrBulkAdd(req)
+	case wire.OpAttrBulkRemove:
+		return s.handleAttrBulkRemove(req)
+	case wire.OpAttrListDefs:
+		return s.handleAttrListDefs(req)
+
+	// LRC management.
+	case wire.OpLRCRLIList:
+		return s.handleRLIList(req)
+	case wire.OpLRCRLIAdd:
+		return s.handleRLIAdd(req)
+	case wire.OpLRCRLIRemove:
+		return s.handleRLIRemove(req)
+
+	// RLI queries and management.
+	case wire.OpRLIGetLRCs:
+		return s.nameQuery(req, s.cfg.RLI.QueryLRCs)
+	case wire.OpRLIGetLRCsWild:
+		return s.wildQuery(req, s.cfg.RLI.WildcardQuery)
+	case wire.OpRLIBulkGetLRCs:
+		return s.bulkNameQuery(req, s.cfg.RLI.BulkQuery)
+	case wire.OpRLILRCList:
+		return s.handleRLILRCList(req)
+
+	// Soft state.
+	case wire.OpSSFullStart:
+		return s.handleSSFullStart(req)
+	case wire.OpSSFullBatch:
+		return s.handleSSFullBatch(req)
+	case wire.OpSSFullEnd:
+		return s.handleSSFullEnd(req)
+	case wire.OpSSIncremental:
+		return s.handleSSIncremental(req)
+	case wire.OpSSBloom:
+		return s.handleSSBloom(req)
+	default:
+		return unsupported(req.ID, op, s.Role())
+	}
+}
+
+// ---- generic handler shapes ----
+
+func (s *Server) mappingOp(req *wire.Request, fn func(string, string) error) *wire.Response {
+	m, err := wire.DecodeMappingRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := fn(m.Logical, m.Target); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) bulkMappingOp(req *wire.Request, fn func([]wire.Mapping) lrc.BulkOutcome) *wire.Response {
+	m, err := wire.DecodeBulkMappingsRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	outcome := fn(m.Mappings)
+	resp := wire.BulkStatusResponse{Failures: outcome.Failures}
+	return ok(req.ID, resp.Encode())
+}
+
+func (s *Server) nameQuery(req *wire.Request, fn func(string) ([]string, error)) *wire.Response {
+	q, err := wire.DecodeNameRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	names, err := fn(q.Name)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.NamesResponse{Names: names}
+	return ok(req.ID, resp.Encode())
+}
+
+func (s *Server) wildQuery(req *wire.Request, fn func(string) ([]wire.Mapping, error)) *wire.Response {
+	q, err := wire.DecodeNameRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	hits, err := fn(q.Name)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	// Wildcard results reuse the bulk result shape: one entry per logical
+	// name with its values.
+	grouped := make(map[string][]string)
+	var order []string
+	for _, h := range hits {
+		if _, seen := grouped[h.Logical]; !seen {
+			order = append(order, h.Logical)
+		}
+		grouped[h.Logical] = append(grouped[h.Logical], h.Target)
+	}
+	resp := wire.BulkNamesResponse{}
+	for _, name := range order {
+		resp.Results = append(resp.Results, wire.BulkNameResult{Name: name, Found: true, Values: grouped[name]})
+	}
+	return ok(req.ID, resp.Encode())
+}
+
+func (s *Server) bulkNameQuery(req *wire.Request, fn func([]string) []wire.BulkNameResult) *wire.Response {
+	q, err := wire.DecodeBulkNamesRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.BulkNamesResponse{Results: fn(q.Names)}
+	return ok(req.ID, resp.Encode())
+}
+
+// ---- attribute handlers ----
+
+func (s *Server) handleAttrDefine(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeAttrDefineRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.LRC.DefineAttribute(r.Name, r.Obj, r.Type); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleAttrUndefine(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeAttrUndefineRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.LRC.UndefineAttribute(r.Name, r.Obj, r.ClearValues); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) attrWrite(req *wire.Request, fn func(string, wire.ObjType, string, wire.AttrValue) error) *wire.Response {
+	r, err := wire.DecodeAttrWriteRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := fn(r.Key, r.Obj, r.Name, r.Value); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleAttrRemove(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeAttrRemoveRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.LRC.RemoveAttribute(r.Key, r.Obj, r.Name); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleAttrGet(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeAttrGetRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	attrs, err := s.cfg.LRC.GetAttributes(r.Key, r.Obj, r.Names)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.AttrGetResponse{Attrs: attrs}
+	return ok(req.ID, resp.Encode())
+}
+
+func (s *Server) handleAttrSearch(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeAttrSearchRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	hits, err := s.cfg.LRC.SearchAttribute(r.Name, r.Obj, r.Cmp, r.Value)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.AttrSearchResponse{Hits: hits}
+	return ok(req.ID, resp.Encode())
+}
+
+func (s *Server) handleAttrBulkAdd(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeAttrBulkWriteRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	outcome := s.cfg.LRC.BulkAddAttributes(r.Items)
+	resp := wire.BulkStatusResponse{Failures: outcome.Failures}
+	return ok(req.ID, resp.Encode())
+}
+
+func (s *Server) handleAttrBulkRemove(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeAttrBulkRemoveRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	outcome := s.cfg.LRC.BulkRemoveAttributes(r.Items)
+	resp := wire.BulkStatusResponse{Failures: outcome.Failures}
+	return ok(req.ID, resp.Encode())
+}
+
+func (s *Server) handleAttrListDefs(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeAttrListDefsRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	defs, err := s.cfg.LRC.ListAttributeDefs(r.Obj)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.AttrListDefsResponse{Defs: defs}
+	return ok(req.ID, resp.Encode())
+}
+
+// ---- LRC management handlers ----
+
+func (s *Server) handleRLIList(req *wire.Request) *wire.Response {
+	targets, err := s.cfg.LRC.ListRLITargets()
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.RLIListResponse{Targets: targets}
+	return ok(req.ID, resp.Encode())
+}
+
+func (s *Server) handleRLIAdd(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeRLIAddRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.LRC.AddRLITarget(r.Target); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleRLIRemove(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeNameRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.LRC.RemoveRLITarget(r.Name); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+// ---- RLI handlers ----
+
+func (s *Server) handleRLILRCList(req *wire.Request) *wire.Response {
+	lrcs, err := s.cfg.RLI.LRCs()
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.NamesResponse{Names: lrcs}
+	return ok(req.ID, resp.Encode())
+}
+
+func (s *Server) handleSSFullStart(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeSSFullStartRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.RLI.HandleFullStart(r.LRC, r.Total); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleSSFullBatch(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeSSFullBatchRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.RLI.HandleFullBatch(r.LRC, r.Names); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleSSFullEnd(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeNameRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.RLI.HandleFullEnd(r.Name); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleSSIncremental(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeSSIncrementalRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.RLI.HandleIncremental(r.LRC, r.Added, r.Removed); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleSSBloom(req *wire.Request) *wire.Response {
+	r, err := wire.DecodeSSBloomRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.RLI.HandleBloom(r.LRC, r.Bitmap); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+// ---- diagnostics ----
+
+func (s *Server) handleServerInfo(req *wire.Request) *wire.Response {
+	info := wire.ServerInfoResponse{
+		Role:          s.Role(),
+		URL:           s.cfg.URL,
+		UptimeSeconds: int64(s.clk.Now().Sub(s.started).Seconds()),
+	}
+	if s.cfg.LRC != nil {
+		l, t, m, err := s.cfg.LRC.DB().Counts()
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		info.LogicalNames, info.TargetNames, info.Mappings = l, t, m
+	}
+	if s.cfg.RLI != nil {
+		_, _, assoc, err := s.cfg.RLI.Counts()
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		info.IndexEntries = assoc
+		info.BloomFilters = int64(s.cfg.RLI.FilterCount())
+	}
+	return ok(req.ID, info.Encode())
+}

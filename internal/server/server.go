@@ -1,0 +1,254 @@
+// Package server implements the common RLS server of §3.1: a single
+// multi-threaded server process that "can be configured as an LRC, an RLI or
+// both", speaking the wire protocol, authenticating clients (GSI stand-in)
+// and authorizing each operation against the ACL.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clock"
+	"repro/internal/lrc"
+	"repro/internal/rdb"
+	"repro/internal/rli"
+	"repro/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// URL is the server's advertised address.
+	URL string
+	// LRC enables the Local Replica Catalog role (may be nil).
+	LRC *lrc.Service
+	// RLI enables the Replica Location Index role (may be nil).
+	RLI *rli.Service
+	// Auth validates connections; nil means open mode.
+	Auth *auth.Authenticator
+	// Logger receives connection-level diagnostics; nil discards them.
+	Logger *slog.Logger
+	// Clock supplies uptime timestamps; defaults to the real clock.
+	Clock clock.Clock
+}
+
+// Server accepts connections and dispatches operations to its services.
+type Server struct {
+	cfg     Config
+	authn   *auth.Authenticator
+	log     *slog.Logger
+	clk     clock.Clock
+	started time.Time
+
+	mu        sync.Mutex
+	listeners map[net.Listener]bool
+	conns     map[*wire.Conn]bool
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// New creates a server. At least one of LRC and RLI must be configured.
+func New(cfg Config) (*Server, error) {
+	if cfg.LRC == nil && cfg.RLI == nil {
+		return nil, errors.New("server: need at least one of LRC and RLI roles")
+	}
+	if cfg.URL == "" {
+		return nil, errors.New("server: Config.URL is required")
+	}
+	authn := cfg.Auth
+	if authn == nil {
+		authn = auth.New(auth.Config{Enabled: false})
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Server{
+		cfg:       cfg,
+		authn:     authn,
+		log:       log,
+		clk:       clk,
+		started:   clk.Now(),
+		listeners: make(map[net.Listener]bool),
+		conns:     make(map[*wire.Conn]bool),
+	}, nil
+}
+
+// Role describes the configured roles as the paper names them.
+func (s *Server) Role() string {
+	switch {
+	case s.cfg.LRC != nil && s.cfg.RLI != nil:
+		return "lrc+rli"
+	case s.cfg.LRC != nil:
+		return "lrc"
+	default:
+		return "rli"
+	}
+}
+
+// Serve accepts connections from l until the listener fails or the server
+// closes. Each connection is handled by its own goroutine (the Go analogue
+// of the paper's multi-threaded server).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: closed")
+	}
+	s.listeners[l] = true
+	s.mu.Unlock()
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, l)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(raw)
+		}()
+	}
+}
+
+// ServeConn handles a single pre-established connection (in-process
+// transports); it blocks until the connection closes.
+func (s *Server) ServeConn(raw net.Conn) {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.handleConn(raw)
+}
+
+// Close stops accepting, closes active connections and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handleConn(raw net.Conn) {
+	conn := wire.NewConn(raw)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	id, err := s.handshake(conn)
+	if err != nil {
+		s.log.Debug("handshake failed", "remote", raw.RemoteAddr(), "err", err)
+		return
+	}
+	for {
+		payload, err := conn.ReadFrame()
+		if err != nil {
+			if err != io.EOF {
+				s.log.Debug("read failed", "remote", raw.RemoteAddr(), "err", err)
+			}
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			s.log.Debug("bad request frame", "remote", raw.RemoteAddr(), "err", err)
+			return
+		}
+		resp := s.dispatch(id, req)
+		if err := conn.WriteFrame(resp.Encode()); err != nil {
+			s.log.Debug("write failed", "remote", raw.RemoteAddr(), "err", err)
+			return
+		}
+	}
+}
+
+// handshake performs the Hello exchange and authentication.
+func (s *Server) handshake(conn *wire.Conn) (auth.Identity, error) {
+	payload, err := conn.ReadFrame()
+	if err != nil {
+		return auth.Identity{}, err
+	}
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		ack := wire.HelloAck{Status: wire.StatusBadRequest, Detail: err.Error()}
+		conn.WriteFrame(ack.Encode())
+		return auth.Identity{}, err
+	}
+	id, err := s.authn.Authenticate(hello.DN, hello.Token)
+	if err != nil {
+		ack := wire.HelloAck{Status: wire.StatusDenied, Detail: err.Error()}
+		conn.WriteFrame(ack.Encode())
+		return auth.Identity{}, err
+	}
+	ack := wire.HelloAck{Status: wire.StatusOK, Detail: s.cfg.URL}
+	if err := conn.WriteFrame(ack.Encode()); err != nil {
+		return auth.Identity{}, err
+	}
+	return id, nil
+}
+
+// fail builds an error response, mapping rdb sentinels to wire statuses.
+func fail(id uint64, err error) *wire.Response {
+	status := wire.StatusInternal
+	switch {
+	case errors.Is(err, rdb.ErrExists):
+		status = wire.StatusExists
+	case errors.Is(err, rdb.ErrNotFound):
+		status = wire.StatusNotFound
+	case errors.Is(err, rdb.ErrInvalid):
+		status = wire.StatusBadRequest
+	case errors.Is(err, wire.ErrTruncated):
+		status = wire.StatusBadRequest
+	}
+	return &wire.Response{ID: id, Status: status, Err: err.Error()}
+}
+
+func deny(id uint64, op wire.Op) *wire.Response {
+	return &wire.Response{ID: id, Status: wire.StatusDenied, Err: fmt.Sprintf("permission denied for %s", op)}
+}
+
+func unsupported(id uint64, op wire.Op, role string) *wire.Response {
+	return &wire.Response{
+		ID:     id,
+		Status: wire.StatusUnsupported,
+		Err:    fmt.Sprintf("%s not served: server role is %s", op, role),
+	}
+}
+
+func ok(id uint64, body []byte) *wire.Response {
+	return &wire.Response{ID: id, Status: wire.StatusOK, Body: body}
+}

@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// IndexSpec describes an index over one or more columns. Column order
+// matters: composite keys compare column-major.
+type IndexSpec struct {
+	Name    string
+	Columns []string
+	// Unique indexes reject a second live row with the same key.
+	Unique bool
+}
+
+// Schema describes a table.
+type Schema struct {
+	Name    string
+	Columns []Column
+	Indexes []IndexSpec
+}
+
+// Validate checks the schema for internal consistency.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return errors.New("storage: schema has empty table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("storage: table %s has no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("storage: table %s has column with empty name", s.Name)
+		}
+		if c.Kind == KindNull || c.Kind > KindTime {
+			return fmt.Errorf("storage: table %s column %s has invalid kind", s.Name, c.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("storage: table %s has duplicate column %s", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	idxSeen := make(map[string]bool, len(s.Indexes))
+	for _, ix := range s.Indexes {
+		if ix.Name == "" {
+			return fmt.Errorf("storage: table %s has index with empty name", s.Name)
+		}
+		if idxSeen[ix.Name] {
+			return fmt.Errorf("storage: table %s has duplicate index %s", s.Name, ix.Name)
+		}
+		idxSeen[ix.Name] = true
+		if len(ix.Columns) == 0 {
+			return fmt.Errorf("storage: table %s index %s has no columns", s.Name, ix.Name)
+		}
+		for _, col := range ix.Columns {
+			if !seen[col] {
+				return fmt.Errorf("storage: table %s index %s references unknown column %s", s.Name, ix.Name, col)
+			}
+		}
+	}
+	return nil
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// columnPositions resolves index column names to positions; the schema must
+// already be validated.
+func (s *Schema) columnPositions(names []string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = s.ColumnIndex(n)
+	}
+	return out
+}

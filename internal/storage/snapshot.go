@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Snapshot format: a sequence of framed records (same framing as the WAL),
+// beginning with a header record, then per table a create-table record
+// followed by its live rows as insert records. Dead (tombstoned) versions
+// are not persisted; only their performance effect matters and it does not
+// need to survive a checkpoint.
+
+const snapshotMagic = "RLSSNAP1"
+
+// writeSnapshotLocked writes the snapshot file atomically (write to a temp
+// file, sync, rename). Caller holds the write lock.
+func (e *Engine) writeSnapshotLocked() error {
+	tmp := e.snapshotPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(snapshotMagic); err != nil {
+		f.Close()
+		return err
+	}
+	names := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := e.tables[name]
+		if _, err := w.Write(walEncode(walRecord{kind: recCreateTable, tableID: t.id, schema: t.schema})); err != nil {
+			f.Close()
+			return err
+		}
+		rowids := make([]int64, 0, len(t.heap))
+		for rowid, ver := range t.heap {
+			if !ver.dead {
+				rowids = append(rowids, rowid)
+			}
+		}
+		sort.Slice(rowids, func(i, j int) bool { return rowids[i] < rowids[j] })
+		for _, rowid := range rowids {
+			rec := walRecord{kind: recInsert, tableID: t.id, rowid: rowid, row: t.heap[rowid].row}
+			if _, err := w.Write(walEncode(rec)); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	e.opts.Device.Sync()
+	return os.Rename(tmp, e.snapshotPath())
+}
+
+// loadSnapshot restores table state from the snapshot file, if present.
+func (e *Engine) loadSnapshot() error {
+	f, err := os.Open(e.snapshotPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := f.Read(magic); err != nil || string(magic) != snapshotMagic {
+		return fmt.Errorf("storage: snapshot %s: bad magic", e.snapshotPath())
+	}
+	return walDecodeStream(f, func(rec walRecord) error {
+		switch rec.kind {
+		case recCreateTable:
+			if err := rec.schema.Validate(); err != nil {
+				return err
+			}
+			t := newTable(rec.tableID, rec.schema, e.opts.Device)
+			e.tables[rec.schema.Name] = t
+			e.byID[rec.tableID] = t
+			if rec.tableID > e.nextTab {
+				e.nextTab = rec.tableID
+			}
+		case recInsert:
+			t, ok := e.byID[rec.tableID]
+			if !ok {
+				return fmt.Errorf("storage: snapshot references unknown table %d", rec.tableID)
+			}
+			if _, err := t.insertLocked(rec.row, rec.rowid, PersonalityMySQL); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("storage: unexpected record kind %d in snapshot", rec.kind)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,307 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/disk"
+)
+
+// version is one stored row version. Under PersonalityMySQL a delete removes
+// the version outright; under PersonalityPostgres the version is marked dead
+// and remains in the heap and every index until Vacuum, so scans and
+// uniqueness probes pay for it — the mechanism behind the Figure 8 sawtooth.
+type version struct {
+	rowid int64
+	row   Row
+	dead  bool
+}
+
+// index is one ordered index. Entries map (encoded column key ++ rowid) to
+// the version, so multiple versions (and, for non-unique indexes, multiple
+// rows) with equal column values coexist under distinct tree keys.
+type index struct {
+	spec IndexSpec
+	cols []int
+	tree btree.Tree
+}
+
+// entryKey appends the 8-byte big-endian rowid to the encoded column key.
+func entryKey(colKey []byte, rowid int64) []byte {
+	out := make([]byte, len(colKey)+8)
+	copy(out, colKey)
+	binary.BigEndian.PutUint64(out[len(colKey):], uint64(rowid))
+	return out
+}
+
+// table is the in-memory representation of one table.
+type table struct {
+	id      uint32
+	schema  Schema
+	dev     *disk.Device // charged for dead-version visits (postgres bloat)
+	heap    map[int64]*version
+	indexes []*index
+	byName  map[string]*index
+	nextRow int64
+	dead    int64 // tombstone count (postgres personality)
+}
+
+func newTable(id uint32, schema Schema, dev *disk.Device) *table {
+	t := &table{
+		id:     id,
+		schema: schema,
+		dev:    dev,
+		heap:   make(map[int64]*version),
+		byName: make(map[string]*index, len(schema.Indexes)),
+	}
+	for _, spec := range schema.Indexes {
+		ix := &index{spec: spec, cols: schema.columnPositions(spec.Columns)}
+		t.indexes = append(t.indexes, ix)
+		t.byName[spec.Name] = ix
+	}
+	return t
+}
+
+// ErrUniqueViolation is returned when an insert would duplicate a live row
+// in a unique index.
+var ErrUniqueViolation = errors.New("storage: unique constraint violation")
+
+// insertLocked adds a row to the table. The caller holds the engine write
+// lock. If rowid is <= 0 a fresh rowid is allocated. Uniqueness is checked
+// against live versions; under the postgres personality the probe walks dead
+// versions of the same key too, so bloat slows inserts until Vacuum.
+func (t *table) insertLocked(row Row, rowid int64, personality Personality) (int64, error) {
+	if len(row) != len(t.schema.Columns) {
+		return 0, fmt.Errorf("storage: table %s: row has %d values, schema has %d columns",
+			t.schema.Name, len(row), len(t.schema.Columns))
+	}
+	for i, v := range row {
+		want := t.schema.Columns[i].Kind
+		if v.Kind != want && v.Kind != KindNull {
+			return 0, fmt.Errorf("storage: table %s column %s: value kind %s does not match column kind %s",
+				t.schema.Name, t.schema.Columns[i].Name, v.Kind, want)
+		}
+	}
+	for _, ix := range t.indexes {
+		if !ix.spec.Unique {
+			continue
+		}
+		colKey := encodeKey(row, ix.cols)
+		conflict := false
+		deadVisited := 0
+		ix.tree.AscendPrefix(colKey, func(_ []byte, v any) bool {
+			ver := v.(*version)
+			if !ver.dead {
+				conflict = true
+				return false
+			}
+			deadVisited++
+			return true // keep walking dead versions: the bloat cost
+		})
+		t.chargeDead(deadVisited)
+		if conflict {
+			return 0, fmt.Errorf("%w: table %s index %s", ErrUniqueViolation, t.schema.Name, ix.spec.Name)
+		}
+	}
+	if rowid <= 0 {
+		t.nextRow++
+		rowid = t.nextRow
+	} else if rowid > t.nextRow {
+		t.nextRow = rowid
+	}
+	ver := &version{rowid: rowid, row: row.Clone()}
+	t.heap[rowid] = ver
+	for _, ix := range t.indexes {
+		ix.tree.Set(entryKey(encodeKey(row, ix.cols), rowid), ver)
+	}
+	_ = personality
+	return rowid, nil
+}
+
+// deleteLocked removes the row with the given rowid. Under PersonalityMySQL
+// the version and its index entries are removed; under PersonalityPostgres
+// the version is only marked dead. Returns the removed row, or false if no
+// live row has that id.
+func (t *table) deleteLocked(rowid int64, personality Personality) (Row, bool) {
+	ver, ok := t.heap[rowid]
+	if !ok || ver.dead {
+		return nil, false
+	}
+	if personality == PersonalityPostgres {
+		ver.dead = true
+		t.dead++
+		return ver.row, true
+	}
+	delete(t.heap, rowid)
+	for _, ix := range t.indexes {
+		ix.tree.Delete(entryKey(encodeKey(ver.row, ix.cols), rowid))
+	}
+	return ver.row, true
+}
+
+// undeleteLocked reverses deleteLocked for transaction rollback.
+func (t *table) undeleteLocked(rowid int64, row Row, personality Personality) {
+	if personality == PersonalityPostgres {
+		if ver, ok := t.heap[rowid]; ok && ver.dead {
+			ver.dead = false
+			t.dead--
+			return
+		}
+	}
+	ver := &version{rowid: rowid, row: row}
+	t.heap[rowid] = ver
+	for _, ix := range t.indexes {
+		ix.tree.Set(entryKey(encodeKey(row, ix.cols), rowid), ver)
+	}
+}
+
+// uninsertLocked reverses insertLocked for transaction rollback. It removes
+// the version physically under either personality: a rolled-back insert was
+// never visible.
+func (t *table) uninsertLocked(rowid int64) {
+	ver, ok := t.heap[rowid]
+	if !ok {
+		return
+	}
+	delete(t.heap, rowid)
+	for _, ix := range t.indexes {
+		ix.tree.Delete(entryKey(encodeKey(ver.row, ix.cols), rowid))
+	}
+}
+
+// chargeDead pays the device cost of the dead row versions a scan visited.
+func (t *table) chargeDead(n int) {
+	if n > 0 && t.dev != nil {
+		t.dev.VisitDeadTuples(n)
+	}
+}
+
+// lookupLocked returns the live rows whose indexed columns equal vals.
+func (t *table) lookupLocked(ix *index, vals []Value) []Row {
+	var out []Row
+	deadVisited := 0
+	colKey := encodeValuesKey(vals)
+	ix.tree.AscendPrefix(colKey, func(_ []byte, v any) bool {
+		ver := v.(*version)
+		if ver.dead {
+			deadVisited++
+		} else {
+			out = append(out, ver.row)
+		}
+		return true
+	})
+	t.chargeDead(deadVisited)
+	return out
+}
+
+// lookupIDsLocked is lookupLocked but returns rowids alongside rows.
+func (t *table) lookupIDsLocked(ix *index, vals []Value) ([]int64, []Row) {
+	var ids []int64
+	var rows []Row
+	deadVisited := 0
+	colKey := encodeValuesKey(vals)
+	ix.tree.AscendPrefix(colKey, func(_ []byte, v any) bool {
+		ver := v.(*version)
+		if ver.dead {
+			deadVisited++
+		} else {
+			ids = append(ids, ver.rowid)
+			rows = append(rows, ver.row)
+		}
+		return true
+	})
+	t.chargeDead(deadVisited)
+	return ids, rows
+}
+
+// scanPrefixLocked walks live rows whose index key starts with the encoded
+// prefix values, in index order, until fn returns false.
+func (t *table) scanPrefixLocked(ix *index, prefix []Value, fn func(rowid int64, row Row) bool) {
+	walk := func(_ []byte, v any) bool {
+		ver := v.(*version)
+		if ver.dead {
+			return true
+		}
+		return fn(ver.rowid, ver.row)
+	}
+	if len(prefix) == 0 {
+		ix.tree.Ascend(walk)
+		return
+	}
+	ix.tree.AscendPrefix(encodeValuesKey(prefix), walk)
+}
+
+// scanStringPrefixLocked walks live rows of a single-string-column index
+// whose column value begins with the given string prefix. This is the access
+// path for wildcard queries like "lfn-1*": the pattern's literal prefix
+// bounds the scan.
+func (t *table) scanStringPrefixLocked(ix *index, prefix string, fn func(rowid int64, row Row) bool) {
+	walk := func(_ []byte, v any) bool {
+		ver := v.(*version)
+		if ver.dead {
+			return true
+		}
+		return fn(ver.rowid, ver.row)
+	}
+	if prefix == "" {
+		ix.tree.Ascend(walk)
+		return
+	}
+	// Encode the prefix as a string key but strip the terminator so the
+	// range covers all strings extending it.
+	enc := appendKey(nil, String(prefix))
+	enc = enc[:len(enc)-2]
+	ix.tree.AscendRange(enc, btree.PrefixEnd(enc), walk)
+}
+
+// scanStringAfterLocked walks live rows of a single-string-column index
+// whose column value is strictly greater than after, in index order. It is
+// the pagination primitive for streaming enumerations (full soft state
+// updates) without holding the read lock across pages.
+func (t *table) scanStringAfterLocked(ix *index, after string, fn func(rowid int64, row Row) bool) {
+	walk := func(_ []byte, v any) bool {
+		ver := v.(*version)
+		if ver.dead {
+			return true
+		}
+		return fn(ver.rowid, ver.row)
+	}
+	if after == "" {
+		ix.tree.Ascend(walk)
+		return
+	}
+	// Keys for the exact value `after` share the prefix enc(after); the
+	// first key beyond them is PrefixEnd of that encoding. The string
+	// encoding is prefix-free, so every strictly greater value sorts at or
+	// beyond that point.
+	enc := appendKey(nil, String(after))
+	ix.tree.AscendRange(btree.PrefixEnd(enc), nil, walk)
+}
+
+// vacuumLocked physically removes dead versions, returning how many were
+// reclaimed. Only meaningful under the postgres personality.
+func (t *table) vacuumLocked() int64 {
+	if t.dead == 0 {
+		return 0
+	}
+	reclaimed := int64(0)
+	for rowid, ver := range t.heap {
+		if !ver.dead {
+			continue
+		}
+		delete(t.heap, rowid)
+		for _, ix := range t.indexes {
+			ix.tree.Delete(entryKey(encodeKey(ver.row, ix.cols), rowid))
+		}
+		reclaimed++
+	}
+	t.dead -= reclaimed
+	return reclaimed
+}
+
+// liveCountLocked returns the number of live rows.
+func (t *table) liveCountLocked() int64 {
+	return int64(len(t.heap)) - t.dead
+}

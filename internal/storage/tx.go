@@ -1,0 +1,251 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTxDone is returned when using a finished transaction.
+var ErrTxDone = errors.New("storage: transaction already finished")
+
+type txOpKind uint8
+
+const (
+	txInsert txOpKind = iota
+	txDelete
+)
+
+type txOp struct {
+	kind  txOpKind
+	table *table
+	rowid int64
+	row   Row // the inserted row, or the deleted row's prior image
+}
+
+// Tx is a write transaction. It holds the engine write lock from Begin until
+// Commit or Rollback; mutations are applied eagerly (reads within the
+// transaction see them) and logged for rollback.
+type Tx struct {
+	e    *Engine
+	ops  []txOp
+	done bool
+}
+
+func (tx *Tx) table(name string) (*table, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	t, ok := tx.e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+func (tx *Tx) index(name, indexName string) (*table, *index, error) {
+	t, err := tx.table(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, ok := t.byName[indexName]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s.%s", ErrNoSuchIndex, name, indexName)
+	}
+	return t, ix, nil
+}
+
+// Insert adds a row, returning its rowid.
+func (tx *Tx) Insert(tableName string, row Row) (int64, error) {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	rowid, err := t.insertLocked(row, 0, tx.e.opts.Personality)
+	if err != nil {
+		return 0, err
+	}
+	tx.ops = append(tx.ops, txOp{kind: txInsert, table: t, rowid: rowid, row: row.Clone()})
+	return rowid, nil
+}
+
+// Delete removes the row with the given rowid; it reports whether a live row
+// was removed.
+func (tx *Tx) Delete(tableName string, rowid int64) (bool, error) {
+	t, err := tx.table(tableName)
+	if err != nil {
+		return false, err
+	}
+	row, ok := t.deleteLocked(rowid, tx.e.opts.Personality)
+	if !ok {
+		return false, nil
+	}
+	tx.ops = append(tx.ops, txOp{kind: txDelete, table: t, rowid: rowid, row: row})
+	return true, nil
+}
+
+// Lookup returns live rows whose indexed columns equal vals.
+func (tx *Tx) Lookup(tableName, indexName string, vals ...Value) ([]Row, error) {
+	t, ix, err := tx.index(tableName, indexName)
+	if err != nil {
+		return nil, err
+	}
+	return t.lookupLocked(ix, vals), nil
+}
+
+// LookupIDs returns live rowids and rows whose indexed columns equal vals.
+func (tx *Tx) LookupIDs(tableName, indexName string, vals ...Value) ([]int64, []Row, error) {
+	t, ix, err := tx.index(tableName, indexName)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids, rows := t.lookupIDsLocked(ix, vals)
+	return ids, rows, nil
+}
+
+// ScanPrefix iterates live rows whose index key begins with the given
+// values.
+func (tx *Tx) ScanPrefix(tableName, indexName string, prefix []Value, fn func(rowid int64, row Row) bool) error {
+	t, ix, err := tx.index(tableName, indexName)
+	if err != nil {
+		return err
+	}
+	t.scanPrefixLocked(ix, prefix, fn)
+	return nil
+}
+
+// Commit durably applies the transaction per the engine flush policy and
+// releases the write lock.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	if len(tx.ops) == 0 {
+		tx.e.mu.Unlock()
+		return nil
+	}
+	var frame []byte
+	for _, op := range tx.ops {
+		switch op.kind {
+		case txInsert:
+			frame = append(frame, walEncode(walRecord{kind: recInsert, tableID: op.table.id, rowid: op.rowid, row: op.row})...)
+		case txDelete:
+			frame = append(frame, walEncode(walRecord{kind: recDelete, tableID: op.table.id, rowid: op.rowid})...)
+		}
+	}
+	frame = append(frame, walEncode(walRecord{kind: recCommit})...)
+	if err := tx.e.wal.append(frame); err != nil {
+		tx.e.mu.Unlock()
+		return err
+	}
+	tx.e.opts.Device.Write(len(frame))
+	if tx.e.flushOnCommit.Load() {
+		err := tx.e.wal.sync()
+		// Release the table lock before paying the device sync so the flush
+		// serializes on the device queue, not on the whole engine — matching
+		// a database whose log flush happens outside the table lock.
+		tx.e.mu.Unlock()
+		tx.e.opts.Device.Sync()
+		return err
+	}
+	tx.e.dirtySinceSync = true
+	tx.e.mu.Unlock()
+	return nil
+}
+
+// Rollback undoes the transaction and releases the write lock.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	defer tx.e.mu.Unlock()
+	for i := len(tx.ops) - 1; i >= 0; i-- {
+		op := tx.ops[i]
+		switch op.kind {
+		case txInsert:
+			op.table.uninsertLocked(op.rowid)
+		case txDelete:
+			op.table.undeleteLocked(op.rowid, op.row, tx.e.opts.Personality)
+		}
+	}
+	return nil
+}
+
+// Reader is the read-only accessor passed to Engine.View.
+type Reader struct {
+	e *Engine
+}
+
+func (r *Reader) index(name, indexName string) (*table, *index, error) {
+	t, ok := r.e.tables[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	ix, ok := t.byName[indexName]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s.%s", ErrNoSuchIndex, name, indexName)
+	}
+	return t, ix, nil
+}
+
+// Lookup returns live rows whose indexed columns equal vals. Rows are cloned
+// only on demand by callers; the slice contents must not be mutated.
+func (r *Reader) Lookup(tableName, indexName string, vals ...Value) ([]Row, error) {
+	t, ix, err := r.index(tableName, indexName)
+	if err != nil {
+		return nil, err
+	}
+	return t.lookupLocked(ix, vals), nil
+}
+
+// LookupIDs returns live rowids and rows whose indexed columns equal vals.
+func (r *Reader) LookupIDs(tableName, indexName string, vals ...Value) ([]int64, []Row, error) {
+	t, ix, err := r.index(tableName, indexName)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids, rows := t.lookupIDsLocked(ix, vals)
+	return ids, rows, nil
+}
+
+// ScanPrefix iterates live rows whose index key begins with the given values.
+func (r *Reader) ScanPrefix(tableName, indexName string, prefix []Value, fn func(rowid int64, row Row) bool) error {
+	t, ix, err := r.index(tableName, indexName)
+	if err != nil {
+		return err
+	}
+	t.scanPrefixLocked(ix, prefix, fn)
+	return nil
+}
+
+// ScanStringPrefix iterates live rows of a string-keyed index whose first
+// column starts with prefix — the access path for wildcard queries.
+func (r *Reader) ScanStringPrefix(tableName, indexName, prefix string, fn func(rowid int64, row Row) bool) error {
+	t, ix, err := r.index(tableName, indexName)
+	if err != nil {
+		return err
+	}
+	t.scanStringPrefixLocked(ix, prefix, fn)
+	return nil
+}
+
+// ScanStringAfter iterates live rows of a string-keyed index whose first
+// column is strictly greater than after, in lexical order.
+func (r *Reader) ScanStringAfter(tableName, indexName, after string, fn func(rowid int64, row Row) bool) error {
+	t, ix, err := r.index(tableName, indexName)
+	if err != nil {
+		return err
+	}
+	t.scanStringAfterLocked(ix, after, fn)
+	return nil
+}
+
+// Count returns the number of live rows in the table.
+func (r *Reader) Count(tableName string) (int64, error) {
+	t, ok := r.e.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, tableName)
+	}
+	return t.liveCountLocked(), nil
+}

@@ -1,0 +1,390 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+// Write-ahead log record types.
+const (
+	recCreateTable byte = 1
+	recInsert      byte = 2
+	recDelete      byte = 3
+	recCommit      byte = 4
+	recVacuum      byte = 5
+	recCheckpoint  byte = 6
+)
+
+// walRecord is one decoded log record.
+type walRecord struct {
+	kind    byte
+	tableID uint32
+	rowid   int64
+	row     Row
+	schema  Schema
+}
+
+// appendUvarint / readers use encoding/binary's varint forms for compactness.
+
+func appendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case KindNull:
+	case KindInt:
+		dst = binary.AppendVarint(dst, v.Int)
+	case KindFloat:
+		dst = binary.AppendUvarint(dst, math.Float64bits(v.Float))
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.Str)))
+		dst = append(dst, v.Str...)
+	case KindTime:
+		dst = binary.AppendVarint(dst, v.Time.UnixNano())
+	}
+	return dst
+}
+
+func readValue(buf []byte) (Value, []byte, error) {
+	if len(buf) == 0 {
+		return Value{}, nil, io.ErrUnexpectedEOF
+	}
+	k := Kind(buf[0])
+	buf = buf[1:]
+	switch k {
+	case KindNull:
+		return Null(), buf, nil
+	case KindInt:
+		v, n := binary.Varint(buf)
+		if n <= 0 {
+			return Value{}, nil, io.ErrUnexpectedEOF
+		}
+		return Int64(v), buf[n:], nil
+	case KindFloat:
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return Value{}, nil, io.ErrUnexpectedEOF
+		}
+		return Float64(math.Float64frombits(v)), buf[n:], nil
+	case KindString:
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < l {
+			return Value{}, nil, io.ErrUnexpectedEOF
+		}
+		s := string(buf[n : n+int(l)])
+		return String(s), buf[n+int(l):], nil
+	case KindTime:
+		v, n := binary.Varint(buf)
+		if n <= 0 {
+			return Value{}, nil, io.ErrUnexpectedEOF
+		}
+		return Timestamp(time.Unix(0, v)), buf[n:], nil
+	default:
+		return Value{}, nil, fmt.Errorf("storage: wal: invalid value kind %d", k)
+	}
+}
+
+func appendRow(dst []byte, row Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+func readRow(buf []byte) (Row, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	buf = buf[sz:]
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var v Value
+		var err error
+		v, buf, err = readValue(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		row = append(row, v)
+	}
+	return row, buf, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < l {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	return string(buf[n : n+int(l)]), buf[n+int(l):], nil
+}
+
+func appendSchema(dst []byte, s Schema) []byte {
+	dst = appendString(dst, s.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		dst = appendString(dst, c.Name)
+		dst = append(dst, byte(c.Kind))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s.Indexes)))
+	for _, ix := range s.Indexes {
+		dst = appendString(dst, ix.Name)
+		if ix.Unique {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(ix.Columns)))
+		for _, col := range ix.Columns {
+			dst = appendString(dst, col)
+		}
+	}
+	return dst
+}
+
+func readSchema(buf []byte) (Schema, []byte, error) {
+	var s Schema
+	var err error
+	if s.Name, buf, err = readString(buf); err != nil {
+		return s, nil, err
+	}
+	ncols, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return s, nil, io.ErrUnexpectedEOF
+	}
+	buf = buf[n:]
+	for i := uint64(0); i < ncols; i++ {
+		var c Column
+		if c.Name, buf, err = readString(buf); err != nil {
+			return s, nil, err
+		}
+		if len(buf) == 0 {
+			return s, nil, io.ErrUnexpectedEOF
+		}
+		c.Kind = Kind(buf[0])
+		buf = buf[1:]
+		s.Columns = append(s.Columns, c)
+	}
+	nidx, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return s, nil, io.ErrUnexpectedEOF
+	}
+	buf = buf[n:]
+	for i := uint64(0); i < nidx; i++ {
+		var ix IndexSpec
+		if ix.Name, buf, err = readString(buf); err != nil {
+			return s, nil, err
+		}
+		if len(buf) == 0 {
+			return s, nil, io.ErrUnexpectedEOF
+		}
+		ix.Unique = buf[0] == 1
+		buf = buf[1:]
+		ncol, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return s, nil, io.ErrUnexpectedEOF
+		}
+		buf = buf[n:]
+		for j := uint64(0); j < ncol; j++ {
+			var col string
+			if col, buf, err = readString(buf); err != nil {
+				return s, nil, err
+			}
+			ix.Columns = append(ix.Columns, col)
+		}
+		s.Indexes = append(s.Indexes, ix)
+	}
+	return s, buf, nil
+}
+
+// encodeRecord frames a record payload: length, crc32, then payload.
+func encodeRecord(payload []byte) []byte {
+	frame := make([]byte, 0, len(payload)+8)
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+	frame = append(frame, crcBuf[:]...)
+	return append(frame, payload...)
+}
+
+// walEncode serializes one logical record.
+func walEncode(rec walRecord) []byte {
+	payload := []byte{rec.kind}
+	switch rec.kind {
+	case recCreateTable:
+		payload = binary.AppendUvarint(payload, uint64(rec.tableID))
+		payload = appendSchema(payload, rec.schema)
+	case recInsert:
+		payload = binary.AppendUvarint(payload, uint64(rec.tableID))
+		payload = binary.AppendVarint(payload, rec.rowid)
+		payload = appendRow(payload, rec.row)
+	case recDelete:
+		payload = binary.AppendUvarint(payload, uint64(rec.tableID))
+		payload = binary.AppendVarint(payload, rec.rowid)
+	case recCommit, recCheckpoint:
+		// no body
+	case recVacuum:
+		payload = binary.AppendUvarint(payload, uint64(rec.tableID))
+	}
+	return encodeRecord(payload)
+}
+
+var errCorruptWAL = errors.New("storage: corrupt WAL record")
+
+// walDecodeStream reads framed records from r, calling fn for each fully
+// intact record. A torn or corrupt tail (the normal result of a crash during
+// append) terminates the scan without error; anything before it is applied.
+func walDecodeStream(r io.Reader, fn func(walRecord) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		length, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil // clean EOF or torn length: stop
+		}
+		if length > 1<<28 {
+			return nil // implausible length: treat as torn tail
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(crcBuf[:]) {
+			return nil // corrupt tail
+		}
+		rec, err := walDecodePayload(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+func walDecodePayload(payload []byte) (walRecord, error) {
+	if len(payload) == 0 {
+		return walRecord{}, errCorruptWAL
+	}
+	rec := walRecord{kind: payload[0]}
+	buf := payload[1:]
+	readTable := func() error {
+		id, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return errCorruptWAL
+		}
+		rec.tableID = uint32(id)
+		buf = buf[n:]
+		return nil
+	}
+	switch rec.kind {
+	case recCreateTable:
+		if err := readTable(); err != nil {
+			return rec, err
+		}
+		var err error
+		rec.schema, _, err = readSchema(buf)
+		return rec, err
+	case recInsert:
+		if err := readTable(); err != nil {
+			return rec, err
+		}
+		id, n := binary.Varint(buf)
+		if n <= 0 {
+			return rec, errCorruptWAL
+		}
+		rec.rowid = id
+		buf = buf[n:]
+		var err error
+		rec.row, _, err = readRow(buf)
+		return rec, err
+	case recDelete:
+		if err := readTable(); err != nil {
+			return rec, err
+		}
+		id, n := binary.Varint(buf)
+		if n <= 0 {
+			return rec, errCorruptWAL
+		}
+		rec.rowid = id
+		return rec, nil
+	case recCommit, recCheckpoint:
+		return rec, nil
+	case recVacuum:
+		return rec, readTable()
+	default:
+		return rec, fmt.Errorf("storage: unknown WAL record kind %d", rec.kind)
+	}
+}
+
+// wal is the write-ahead log: an append-only file (or, for in-memory
+// engines, nothing) plus the simulated device charge for every append.
+type wal struct {
+	f    *os.File // nil for memory-only engines
+	size int64
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, size: st.Size()}, nil
+}
+
+// append writes an already framed record batch.
+func (w *wal) append(frame []byte) error {
+	w.size += int64(len(frame))
+	if w.f == nil {
+		return nil
+	}
+	_, err := w.f.Write(frame)
+	return err
+}
+
+// sync flushes the OS file (the simulated device charge is separate and paid
+// by the engine so memory-only engines still model it).
+func (w *wal) sync() error {
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// reset truncates the log after a checkpoint.
+func (w *wal) reset() error {
+	w.size = 0
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(0, io.SeekStart)
+	return err
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,257 @@
+// Package wire defines the binary RPC protocol spoken between RLS clients
+// and servers, and between LRC and RLI servers for soft state updates. It
+// stands in for the globus_IO-based RPC protocol of the paper's C
+// implementation.
+//
+// Framing: every message is a 4-byte big-endian length followed by that many
+// payload bytes. A connection starts with a client Hello (magic, protocol
+// version, identity) answered by a server HelloAck; after that the client
+// sends Request frames and the server answers with Response frames carrying
+// the same request id, allowing pipelining.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated reports a message shorter than its encoding requires.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// MaxFrameSize bounds a single frame. Bloom filters for multi-million-entry
+// catalogs are the largest payloads (50M bits = 6.25 MB for 5M mappings), so
+// allow some headroom.
+const MaxFrameSize = 64 << 20
+
+// Encoder appends primitive values to a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with an optional size hint.
+func NewEncoder(sizeHint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (e *Encoder) U16(v uint16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+// U32 appends a big-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a big-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends a zigzag varint.
+func (e *Encoder) I64(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// F64 appends an IEEE-754 double.
+func (e *Encoder) F64(v float64) {
+	e.U64(math.Float64bits(v))
+}
+
+// Bool appends a boolean byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// StringList appends a count-prefixed list of strings.
+func (e *Encoder) StringList(ss []string) {
+	e.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		e.String(s)
+	}
+}
+
+// Decoder consumes primitive values from a byte buffer. The first decoding
+// error sticks; check Err (or the error from Finish) once after decoding a
+// message.
+type Decoder struct {
+	buf []byte
+	err error
+}
+
+// NewDecoder wraps a payload buffer.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Finish verifies the whole payload was consumed and returns any sticky
+// error.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf))
+	}
+	return nil
+}
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+// U8 consumes one byte.
+func (d *Decoder) U8() uint8 {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+// U16 consumes a big-endian uint16.
+func (d *Decoder) U16() uint16 {
+	if d.err != nil || len(d.buf) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf)
+	d.buf = d.buf[2:]
+	return v
+}
+
+// U32 consumes a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+// U64 consumes a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+// I64 consumes a zigzag varint.
+func (d *Decoder) I64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// Uvarint consumes an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// F64 consumes an IEEE-754 double.
+func (d *Decoder) F64() float64 {
+	return math.Float64frombits(d.U64())
+}
+
+// Bool consumes a boolean byte.
+func (d *Decoder) Bool() bool { return d.U8() != 0 }
+
+// String consumes a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil || uint64(len(d.buf)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+// Blob consumes a length-prefixed byte slice (copied).
+func (d *Decoder) Blob() []byte {
+	n := d.Uvarint()
+	if d.err != nil || uint64(len(d.buf)) < n {
+		d.fail()
+		return nil
+	}
+	b := append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return b
+}
+
+// StringList consumes a count-prefixed list of strings.
+func (d *Decoder) StringList() []string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) { // each string needs >= 1 byte of prefix
+		d.fail()
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.String())
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn frames messages over a byte stream. It owns buffering; writers and
+// readers may be used from different goroutines, and concurrent writers are
+// serialized.
+type Conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+// NewConn wraps a network connection.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{
+		raw: raw,
+		r:   bufio.NewReaderSize(raw, 64<<10),
+		w:   bufio.NewWriterSize(raw, 64<<10),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr reports the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// WriteFrame sends one length-prefixed frame and flushes it.
+func (c *Conn) WriteFrame(payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrameSize)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// ReadFrame receives one frame. Only one goroutine may read at a time.
+func (c *Conn) ReadFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Protocol constants.
+const (
+	// Magic begins every Hello.
+	Magic = "RLS1"
+	// Version is the protocol revision.
+	Version = 1
+)
+
+// Hello is the connection-open handshake carrying the client identity: the
+// Distinguished Name from the (simulated) X.509 credential plus a shared
+// secret standing in for the GSI proof of possession.
+type Hello struct {
+	DN    string
+	Token string
+}
+
+// Encode serializes the hello frame.
+func (h *Hello) Encode() []byte {
+	e := NewEncoder(len(Magic) + 2 + len(h.DN) + len(h.Token) + 8)
+	e.buf = append(e.buf, Magic...)
+	e.U16(Version)
+	e.String(h.DN)
+	e.String(h.Token)
+	return e.Bytes()
+}
+
+// DecodeHello parses a hello frame.
+func DecodeHello(payload []byte) (*Hello, error) {
+	if len(payload) < len(Magic) || string(payload[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("wire: bad magic in hello")
+	}
+	d := NewDecoder(payload[len(Magic):])
+	v := d.U16()
+	if d.Err() == nil && v != Version {
+		return nil, fmt.Errorf("wire: protocol version %d, want %d", v, Version)
+	}
+	h := &Hello{DN: d.String(), Token: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// HelloAck is the server's answer to a Hello.
+type HelloAck struct {
+	Status Status
+	Detail string // human-readable rejection reason, or server banner
+}
+
+// Encode serializes the ack frame.
+func (a *HelloAck) Encode() []byte {
+	e := NewEncoder(4 + len(a.Detail))
+	e.U16(uint16(a.Status))
+	e.String(a.Detail)
+	return e.Bytes()
+}
+
+// DecodeHelloAck parses an ack frame.
+func DecodeHelloAck(payload []byte) (*HelloAck, error) {
+	d := NewDecoder(payload)
+	a := &HelloAck{Status: Status(d.U16()), Detail: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Request is the envelope for one RPC call.
+type Request struct {
+	ID   uint64
+	Op   Op
+	Body []byte
+}
+
+// Encode serializes the request envelope.
+func (r *Request) Encode() []byte {
+	e := NewEncoder(10 + len(r.Body))
+	e.U64(r.ID)
+	e.U16(uint16(r.Op))
+	e.buf = append(e.buf, r.Body...)
+	return e.Bytes()
+}
+
+// DecodeRequest parses a request envelope; Body aliases the payload.
+func DecodeRequest(payload []byte) (*Request, error) {
+	if len(payload) < 10 {
+		return nil, ErrTruncated
+	}
+	return &Request{
+		ID:   binary.BigEndian.Uint64(payload),
+		Op:   Op(binary.BigEndian.Uint16(payload[8:])),
+		Body: payload[10:],
+	}, nil
+}
+
+// Response is the envelope for one RPC reply.
+type Response struct {
+	ID     uint64
+	Status Status
+	Err    string // populated when Status != StatusOK
+	Body   []byte
+}
+
+// Encode serializes the response envelope.
+func (r *Response) Encode() []byte {
+	e := NewEncoder(16 + len(r.Err) + len(r.Body))
+	e.U64(r.ID)
+	e.U16(uint16(r.Status))
+	e.String(r.Err)
+	e.buf = append(e.buf, r.Body...)
+	return e.Bytes()
+}
+
+// DecodeResponse parses a response envelope; Body aliases the payload.
+func DecodeResponse(payload []byte) (*Response, error) {
+	d := NewDecoder(payload)
+	r := &Response{ID: d.U64(), Status: Status(d.U16()), Err: d.String()}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	r.Body = d.buf
+	return r, nil
+}

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets exercise every decoder against arbitrary bytes: decoders
+// must return errors, never panic, and round-trip anything they accept.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzDecoders ./internal/wire`
+// explores further.
+
+func FuzzDecoders(f *testing.F) {
+	// Seed with valid encodings of each message type plus pathological
+	// inputs.
+	f.Add((&Hello{DN: "/CN=x", Token: "t"}).Encode())
+	f.Add((&Request{ID: 1, Op: OpPing}).Encode())
+	f.Add((&Response{ID: 1, Status: StatusOK}).Encode())
+	f.Add((&MappingRequest{Logical: "l", Target: "t"}).Encode())
+	f.Add((&BulkMappingsRequest{Mappings: []Mapping{{"a", "b"}}}).Encode())
+	f.Add((&AttrWriteRequest{Key: "k", Obj: ObjTarget, Name: "n", Value: AttrValue{Type: AttrInt, I: 5}}).Encode())
+	f.Add((&SSBloomRequest{LRC: "rls://x", Bitmap: []byte{1, 2}}).Encode())
+	f.Add((&RLIListResponse{Targets: []RLITarget{{URL: "u", Bloom: true, Patterns: []string{"p"}}}}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0x80}, 64)) // unterminated varints
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Panics fail the fuzz run automatically; errors are expected.
+		DecodeHello(data)
+		DecodeHelloAck(data)
+		DecodeRequest(data)
+		DecodeResponse(data)
+		DecodeNameRequest(data)
+		DecodeNamesResponse(data)
+		DecodeMappingRequest(data)
+		DecodeBulkMappingsRequest(data)
+		DecodeBulkNamesRequest(data)
+		DecodeBulkStatusResponse(data)
+		DecodeBulkNamesResponse(data)
+		DecodeAttrDefineRequest(data)
+		DecodeAttrUndefineRequest(data)
+		DecodeAttrWriteRequest(data)
+		DecodeAttrRemoveRequest(data)
+		DecodeAttrGetRequest(data)
+		DecodeAttrGetResponse(data)
+		DecodeAttrSearchRequest(data)
+		DecodeAttrSearchResponse(data)
+		DecodeAttrBulkWriteRequest(data)
+		DecodeAttrBulkRemoveRequest(data)
+		DecodeRLIAddRequest(data)
+		DecodeRLIListResponse(data)
+		DecodeSSFullStartRequest(data)
+		DecodeSSFullBatchRequest(data)
+		DecodeSSIncrementalRequest(data)
+		DecodeSSBloomRequest(data)
+		DecodeServerInfoResponse(data)
+	})
+}
+
+// FuzzMappingRoundTrip checks that anything DecodeMappingRequest accepts
+// re-encodes to the identical bytes (canonical encoding).
+func FuzzMappingRoundTrip(f *testing.F) {
+	f.Add("lfn://x", "pfn://y")
+	f.Add("", "")
+	f.Add("with\x00nul", "with\xffhigh")
+	f.Fuzz(func(t *testing.T, logical, target string) {
+		enc := (&MappingRequest{Logical: logical, Target: target}).Encode()
+		got, err := DecodeMappingRequest(enc)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if got.Logical != logical || got.Target != target {
+			t.Fatalf("round trip: %q/%q -> %q/%q", logical, target, got.Logical, got.Target)
+		}
+		re := got.Encode()
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("non-canonical re-encoding")
+		}
+	})
+}

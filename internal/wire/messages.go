@@ -1,0 +1,950 @@
+package wire
+
+import "fmt"
+
+// Mapping is one {logical name, target name} association.
+type Mapping struct {
+	Logical string
+	Target  string
+}
+
+// ObjType selects whether an attribute attaches to a logical or a target
+// name (the paper's t_attribute.objtype column).
+type ObjType uint8
+
+// Attribute object types.
+const (
+	ObjLogical ObjType = 1
+	ObjTarget  ObjType = 2
+)
+
+// String names the object type.
+func (o ObjType) String() string {
+	switch o {
+	case ObjLogical:
+		return "logical"
+	case ObjTarget:
+		return "target"
+	default:
+		return fmt.Sprintf("objtype(%d)", uint8(o))
+	}
+}
+
+// Valid reports whether o is a known object type.
+func (o ObjType) Valid() bool { return o == ObjLogical || o == ObjTarget }
+
+// AttrType is the value type of a user-defined attribute; one per typed
+// attribute table in the paper's schema (t_str_attr, t_int_attr, t_flt_attr,
+// t_date_attr).
+type AttrType uint8
+
+// Attribute value types.
+const (
+	AttrString AttrType = 1
+	AttrInt    AttrType = 2
+	AttrFloat  AttrType = 3
+	AttrDate   AttrType = 4
+)
+
+// String names the attribute type.
+func (a AttrType) String() string {
+	switch a {
+	case AttrString:
+		return "string"
+	case AttrInt:
+		return "int"
+	case AttrFloat:
+		return "float"
+	case AttrDate:
+		return "date"
+	default:
+		return fmt.Sprintf("attrtype(%d)", uint8(a))
+	}
+}
+
+// Valid reports whether a is a known attribute type.
+func (a AttrType) Valid() bool { return a >= AttrString && a <= AttrDate }
+
+// AttrValue is a dynamically typed attribute value. Date values carry Unix
+// nanoseconds in I.
+type AttrValue struct {
+	Type AttrType
+	S    string
+	I    int64
+	F    float64
+}
+
+func (v AttrValue) encode(e *Encoder) {
+	e.U8(uint8(v.Type))
+	switch v.Type {
+	case AttrString:
+		e.String(v.S)
+	case AttrInt, AttrDate:
+		e.I64(v.I)
+	case AttrFloat:
+		e.F64(v.F)
+	}
+}
+
+func decodeAttrValue(d *Decoder) AttrValue {
+	v := AttrValue{Type: AttrType(d.U8())}
+	switch v.Type {
+	case AttrString:
+		v.S = d.String()
+	case AttrInt, AttrDate:
+		v.I = d.I64()
+	case AttrFloat:
+		v.F = d.F64()
+	default:
+		d.fail()
+	}
+	return v
+}
+
+// CmpOp is the comparison operator for attribute searches.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = 1
+	CmpNE CmpOp = 2
+	CmpLT CmpOp = 3
+	CmpLE CmpOp = 4
+	CmpGT CmpOp = 5
+	CmpGE CmpOp = 6
+	// CmpAny matches every object carrying the attribute.
+	CmpAny CmpOp = 7
+)
+
+// Valid reports whether c is a known operator.
+func (c CmpOp) Valid() bool { return c >= CmpEQ && c <= CmpAny }
+
+// ---- Generic single-name and list shapes ----
+
+// NameRequest carries one name or pattern (queries, wildcard queries,
+// RLI remove, soft-state markers that only name the LRC).
+type NameRequest struct {
+	Name string
+}
+
+// Encode serializes the request body.
+func (r *NameRequest) Encode() []byte {
+	e := NewEncoder(len(r.Name) + 4)
+	e.String(r.Name)
+	return e.Bytes()
+}
+
+// DecodeNameRequest parses a NameRequest body.
+func DecodeNameRequest(body []byte) (*NameRequest, error) {
+	d := NewDecoder(body)
+	r := &NameRequest{Name: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// NamesResponse carries a list of names (query results, server lists).
+type NamesResponse struct {
+	Names []string
+}
+
+// Encode serializes the response body.
+func (r *NamesResponse) Encode() []byte {
+	size := 8
+	for _, n := range r.Names {
+		size += len(n) + 4
+	}
+	e := NewEncoder(size)
+	e.StringList(r.Names)
+	return e.Bytes()
+}
+
+// DecodeNamesResponse parses a NamesResponse body.
+func DecodeNamesResponse(body []byte) (*NamesResponse, error) {
+	d := NewDecoder(body)
+	r := &NamesResponse{Names: d.StringList()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ---- Mapping management ----
+
+// MappingRequest carries one mapping (create, add, delete).
+type MappingRequest struct {
+	Logical string
+	Target  string
+}
+
+// Encode serializes the request body.
+func (r *MappingRequest) Encode() []byte {
+	e := NewEncoder(len(r.Logical) + len(r.Target) + 8)
+	e.String(r.Logical)
+	e.String(r.Target)
+	return e.Bytes()
+}
+
+// DecodeMappingRequest parses a MappingRequest body.
+func DecodeMappingRequest(body []byte) (*MappingRequest, error) {
+	d := NewDecoder(body)
+	r := &MappingRequest{Logical: d.String(), Target: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// BulkMappingsRequest carries many mappings for bulk create/add/delete.
+type BulkMappingsRequest struct {
+	Mappings []Mapping
+}
+
+// Encode serializes the request body.
+func (r *BulkMappingsRequest) Encode() []byte {
+	size := 8
+	for _, m := range r.Mappings {
+		size += len(m.Logical) + len(m.Target) + 8
+	}
+	e := NewEncoder(size)
+	e.Uvarint(uint64(len(r.Mappings)))
+	for _, m := range r.Mappings {
+		e.String(m.Logical)
+		e.String(m.Target)
+	}
+	return e.Bytes()
+}
+
+// DecodeBulkMappingsRequest parses a BulkMappingsRequest body.
+func DecodeBulkMappingsRequest(body []byte) (*BulkMappingsRequest, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &BulkMappingsRequest{Mappings: make([]Mapping, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		r.Mappings = append(r.Mappings, Mapping{Logical: d.String(), Target: d.String()})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// BulkNamesRequest carries many names for bulk queries.
+type BulkNamesRequest struct {
+	Names []string
+}
+
+// Encode serializes the request body.
+func (r *BulkNamesRequest) Encode() []byte {
+	return (&NamesResponse{Names: r.Names}).Encode()
+}
+
+// DecodeBulkNamesRequest parses a BulkNamesRequest body.
+func DecodeBulkNamesRequest(body []byte) (*BulkNamesRequest, error) {
+	nr, err := DecodeNamesResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return &BulkNamesRequest{Names: nr.Names}, nil
+}
+
+// BulkFailure describes one failed element of a bulk mutation.
+type BulkFailure struct {
+	Index  uint32
+	Status Status
+	Msg    string
+}
+
+// BulkStatusResponse reports per-element failures of a bulk mutation; an
+// empty Failures list means every element succeeded.
+type BulkStatusResponse struct {
+	Failures []BulkFailure
+}
+
+// Encode serializes the response body.
+func (r *BulkStatusResponse) Encode() []byte {
+	e := NewEncoder(8 + 16*len(r.Failures))
+	e.Uvarint(uint64(len(r.Failures)))
+	for _, f := range r.Failures {
+		e.U32(f.Index)
+		e.U16(uint16(f.Status))
+		e.String(f.Msg)
+	}
+	return e.Bytes()
+}
+
+// DecodeBulkStatusResponse parses a BulkStatusResponse body.
+func DecodeBulkStatusResponse(body []byte) (*BulkStatusResponse, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &BulkStatusResponse{}
+	for i := uint64(0); i < n; i++ {
+		r.Failures = append(r.Failures, BulkFailure{
+			Index:  d.U32(),
+			Status: Status(d.U16()),
+			Msg:    d.String(),
+		})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// BulkNameResult is the result of one element of a bulk query.
+type BulkNameResult struct {
+	Name   string
+	Found  bool
+	Values []string
+}
+
+// BulkNamesResponse carries per-element bulk query results.
+type BulkNamesResponse struct {
+	Results []BulkNameResult
+}
+
+// Encode serializes the response body.
+func (r *BulkNamesResponse) Encode() []byte {
+	e := NewEncoder(64 * (len(r.Results) + 1))
+	e.Uvarint(uint64(len(r.Results)))
+	for _, res := range r.Results {
+		e.String(res.Name)
+		e.Bool(res.Found)
+		e.StringList(res.Values)
+	}
+	return e.Bytes()
+}
+
+// DecodeBulkNamesResponse parses a BulkNamesResponse body.
+func DecodeBulkNamesResponse(body []byte) (*BulkNamesResponse, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &BulkNamesResponse{Results: make([]BulkNameResult, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		r.Results = append(r.Results, BulkNameResult{
+			Name:   d.String(),
+			Found:  d.Bool(),
+			Values: d.StringList(),
+		})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ---- Attribute management ----
+
+// AttrDefineRequest declares a new attribute (t_attribute row).
+type AttrDefineRequest struct {
+	Name string
+	Obj  ObjType
+	Type AttrType
+}
+
+// Encode serializes the request body.
+func (r *AttrDefineRequest) Encode() []byte {
+	e := NewEncoder(len(r.Name) + 8)
+	e.String(r.Name)
+	e.U8(uint8(r.Obj))
+	e.U8(uint8(r.Type))
+	return e.Bytes()
+}
+
+// DecodeAttrDefineRequest parses an AttrDefineRequest body.
+func DecodeAttrDefineRequest(body []byte) (*AttrDefineRequest, error) {
+	d := NewDecoder(body)
+	r := &AttrDefineRequest{Name: d.String(), Obj: ObjType(d.U8()), Type: AttrType(d.U8())}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttrUndefineRequest removes an attribute definition. ClearValues also
+// removes every stored value of the attribute.
+type AttrUndefineRequest struct {
+	Name        string
+	Obj         ObjType
+	ClearValues bool
+}
+
+// Encode serializes the request body.
+func (r *AttrUndefineRequest) Encode() []byte {
+	e := NewEncoder(len(r.Name) + 8)
+	e.String(r.Name)
+	e.U8(uint8(r.Obj))
+	e.Bool(r.ClearValues)
+	return e.Bytes()
+}
+
+// DecodeAttrUndefineRequest parses an AttrUndefineRequest body.
+func DecodeAttrUndefineRequest(body []byte) (*AttrUndefineRequest, error) {
+	d := NewDecoder(body)
+	r := &AttrUndefineRequest{Name: d.String(), Obj: ObjType(d.U8()), ClearValues: d.Bool()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttrWriteRequest attaches (add) or updates (modify) an attribute value on
+// an object identified by Key (a logical or target name per Obj).
+type AttrWriteRequest struct {
+	Key   string
+	Obj   ObjType
+	Name  string
+	Value AttrValue
+}
+
+// Encode serializes the request body.
+func (r *AttrWriteRequest) Encode() []byte {
+	e := NewEncoder(len(r.Key) + len(r.Name) + len(r.Value.S) + 24)
+	e.String(r.Key)
+	e.U8(uint8(r.Obj))
+	e.String(r.Name)
+	r.Value.encode(e)
+	return e.Bytes()
+}
+
+// DecodeAttrWriteRequest parses an AttrWriteRequest body.
+func DecodeAttrWriteRequest(body []byte) (*AttrWriteRequest, error) {
+	d := NewDecoder(body)
+	r := &AttrWriteRequest{Key: d.String(), Obj: ObjType(d.U8()), Name: d.String(), Value: decodeAttrValue(d)}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttrRemoveRequest detaches an attribute value from an object.
+type AttrRemoveRequest struct {
+	Key  string
+	Obj  ObjType
+	Name string
+}
+
+// Encode serializes the request body.
+func (r *AttrRemoveRequest) Encode() []byte {
+	e := NewEncoder(len(r.Key) + len(r.Name) + 8)
+	e.String(r.Key)
+	e.U8(uint8(r.Obj))
+	e.String(r.Name)
+	return e.Bytes()
+}
+
+// DecodeAttrRemoveRequest parses an AttrRemoveRequest body.
+func DecodeAttrRemoveRequest(body []byte) (*AttrRemoveRequest, error) {
+	d := NewDecoder(body)
+	r := &AttrRemoveRequest{Key: d.String(), Obj: ObjType(d.U8()), Name: d.String()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttrGetRequest fetches attribute values of one object; an empty Names list
+// fetches all of them.
+type AttrGetRequest struct {
+	Key   string
+	Obj   ObjType
+	Names []string
+}
+
+// Encode serializes the request body.
+func (r *AttrGetRequest) Encode() []byte {
+	e := NewEncoder(len(r.Key) + 16)
+	e.String(r.Key)
+	e.U8(uint8(r.Obj))
+	e.StringList(r.Names)
+	return e.Bytes()
+}
+
+// DecodeAttrGetRequest parses an AttrGetRequest body.
+func DecodeAttrGetRequest(body []byte) (*AttrGetRequest, error) {
+	d := NewDecoder(body)
+	r := &AttrGetRequest{Key: d.String(), Obj: ObjType(d.U8()), Names: d.StringList()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// NamedAttr pairs an attribute name with its value.
+type NamedAttr struct {
+	Name  string
+	Value AttrValue
+}
+
+// AttrGetResponse returns the attributes of one object.
+type AttrGetResponse struct {
+	Attrs []NamedAttr
+}
+
+// Encode serializes the response body.
+func (r *AttrGetResponse) Encode() []byte {
+	e := NewEncoder(32 * (len(r.Attrs) + 1))
+	e.Uvarint(uint64(len(r.Attrs)))
+	for _, a := range r.Attrs {
+		e.String(a.Name)
+		a.Value.encode(e)
+	}
+	return e.Bytes()
+}
+
+// DecodeAttrGetResponse parses an AttrGetResponse body.
+func DecodeAttrGetResponse(body []byte) (*AttrGetResponse, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &AttrGetResponse{}
+	for i := uint64(0); i < n; i++ {
+		r.Attrs = append(r.Attrs, NamedAttr{Name: d.String(), Value: decodeAttrValue(d)})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttrSearchRequest finds objects whose attribute satisfies a comparison.
+type AttrSearchRequest struct {
+	Name  string
+	Obj   ObjType
+	Cmp   CmpOp
+	Value AttrValue // ignored for CmpAny
+}
+
+// Encode serializes the request body.
+func (r *AttrSearchRequest) Encode() []byte {
+	e := NewEncoder(len(r.Name) + len(r.Value.S) + 24)
+	e.String(r.Name)
+	e.U8(uint8(r.Obj))
+	e.U8(uint8(r.Cmp))
+	r.Value.encode(e)
+	return e.Bytes()
+}
+
+// DecodeAttrSearchRequest parses an AttrSearchRequest body.
+func DecodeAttrSearchRequest(body []byte) (*AttrSearchRequest, error) {
+	d := NewDecoder(body)
+	r := &AttrSearchRequest{Name: d.String(), Obj: ObjType(d.U8()), Cmp: CmpOp(d.U8()), Value: decodeAttrValue(d)}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ObjAttr is one attribute-search hit: the object key and its value.
+type ObjAttr struct {
+	Key   string
+	Value AttrValue
+}
+
+// AttrSearchResponse lists attribute-search hits.
+type AttrSearchResponse struct {
+	Hits []ObjAttr
+}
+
+// Encode serializes the response body.
+func (r *AttrSearchResponse) Encode() []byte {
+	e := NewEncoder(48 * (len(r.Hits) + 1))
+	e.Uvarint(uint64(len(r.Hits)))
+	for _, h := range r.Hits {
+		e.String(h.Key)
+		h.Value.encode(e)
+	}
+	return e.Bytes()
+}
+
+// DecodeAttrSearchResponse parses an AttrSearchResponse body.
+func DecodeAttrSearchResponse(body []byte) (*AttrSearchResponse, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &AttrSearchResponse{}
+	for i := uint64(0); i < n; i++ {
+		r.Hits = append(r.Hits, ObjAttr{Key: d.String(), Value: decodeAttrValue(d)})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttrBulkWriteRequest adds or modifies many attribute values.
+type AttrBulkWriteRequest struct {
+	Items []AttrWriteRequest
+}
+
+// Encode serializes the request body.
+func (r *AttrBulkWriteRequest) Encode() []byte {
+	e := NewEncoder(48 * (len(r.Items) + 1))
+	e.Uvarint(uint64(len(r.Items)))
+	for _, it := range r.Items {
+		e.String(it.Key)
+		e.U8(uint8(it.Obj))
+		e.String(it.Name)
+		it.Value.encode(e)
+	}
+	return e.Bytes()
+}
+
+// DecodeAttrBulkWriteRequest parses an AttrBulkWriteRequest body.
+func DecodeAttrBulkWriteRequest(body []byte) (*AttrBulkWriteRequest, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &AttrBulkWriteRequest{Items: make([]AttrWriteRequest, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		r.Items = append(r.Items, AttrWriteRequest{
+			Key: d.String(), Obj: ObjType(d.U8()), Name: d.String(), Value: decodeAttrValue(d),
+		})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttrBulkRemoveRequest detaches many attribute values.
+type AttrBulkRemoveRequest struct {
+	Items []AttrRemoveRequest
+}
+
+// Encode serializes the request body.
+func (r *AttrBulkRemoveRequest) Encode() []byte {
+	e := NewEncoder(32 * (len(r.Items) + 1))
+	e.Uvarint(uint64(len(r.Items)))
+	for _, it := range r.Items {
+		e.String(it.Key)
+		e.U8(uint8(it.Obj))
+		e.String(it.Name)
+	}
+	return e.Bytes()
+}
+
+// DecodeAttrBulkRemoveRequest parses an AttrBulkRemoveRequest body.
+func DecodeAttrBulkRemoveRequest(body []byte) (*AttrBulkRemoveRequest, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &AttrBulkRemoveRequest{Items: make([]AttrRemoveRequest, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		r.Items = append(r.Items, AttrRemoveRequest{Key: d.String(), Obj: ObjType(d.U8()), Name: d.String()})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttrDef describes one attribute definition (a t_attribute row).
+type AttrDef struct {
+	Name string
+	Obj  ObjType
+	Type AttrType
+}
+
+// AttrListDefsRequest lists attribute definitions; Obj 0 means both object
+// types.
+type AttrListDefsRequest struct {
+	Obj ObjType
+}
+
+// Encode serializes the request body.
+func (r *AttrListDefsRequest) Encode() []byte {
+	e := NewEncoder(2)
+	e.U8(uint8(r.Obj))
+	return e.Bytes()
+}
+
+// DecodeAttrListDefsRequest parses an AttrListDefsRequest body.
+func DecodeAttrListDefsRequest(body []byte) (*AttrListDefsRequest, error) {
+	d := NewDecoder(body)
+	r := &AttrListDefsRequest{Obj: ObjType(d.U8())}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AttrListDefsResponse lists attribute definitions.
+type AttrListDefsResponse struct {
+	Defs []AttrDef
+}
+
+// Encode serializes the response body.
+func (r *AttrListDefsResponse) Encode() []byte {
+	e := NewEncoder(16 * (len(r.Defs) + 1))
+	e.Uvarint(uint64(len(r.Defs)))
+	for _, def := range r.Defs {
+		e.String(def.Name)
+		e.U8(uint8(def.Obj))
+		e.U8(uint8(def.Type))
+	}
+	return e.Bytes()
+}
+
+// DecodeAttrListDefsResponse parses an AttrListDefsResponse body.
+func DecodeAttrListDefsResponse(body []byte) (*AttrListDefsResponse, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &AttrListDefsResponse{}
+	for i := uint64(0); i < n; i++ {
+		r.Defs = append(r.Defs, AttrDef{Name: d.String(), Obj: ObjType(d.U8()), Type: AttrType(d.U8())})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ---- LRC management ----
+
+// RLITarget describes one RLI this LRC updates: its address, update flavour
+// and optional namespace-partition patterns (t_rli and t_rlipartition rows).
+type RLITarget struct {
+	URL      string
+	Bloom    bool     // send Bloom filter updates instead of name lists
+	Patterns []string // partition regexes; empty means all names
+}
+
+// RLIAddRequest registers an RLI update target on an LRC.
+type RLIAddRequest struct {
+	Target RLITarget
+}
+
+// Encode serializes the request body.
+func (r *RLIAddRequest) Encode() []byte {
+	e := NewEncoder(len(r.Target.URL) + 32)
+	e.String(r.Target.URL)
+	e.Bool(r.Target.Bloom)
+	e.StringList(r.Target.Patterns)
+	return e.Bytes()
+}
+
+// DecodeRLIAddRequest parses an RLIAddRequest body.
+func DecodeRLIAddRequest(body []byte) (*RLIAddRequest, error) {
+	d := NewDecoder(body)
+	r := &RLIAddRequest{Target: RLITarget{URL: d.String(), Bloom: d.Bool(), Patterns: d.StringList()}}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RLIListResponse lists the RLIs an LRC updates.
+type RLIListResponse struct {
+	Targets []RLITarget
+}
+
+// Encode serializes the response body.
+func (r *RLIListResponse) Encode() []byte {
+	e := NewEncoder(64 * (len(r.Targets) + 1))
+	e.Uvarint(uint64(len(r.Targets)))
+	for _, t := range r.Targets {
+		e.String(t.URL)
+		e.Bool(t.Bloom)
+		e.StringList(t.Patterns)
+	}
+	return e.Bytes()
+}
+
+// DecodeRLIListResponse parses an RLIListResponse body.
+func DecodeRLIListResponse(body []byte) (*RLIListResponse, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &RLIListResponse{}
+	for i := uint64(0); i < n; i++ {
+		r.Targets = append(r.Targets, RLITarget{URL: d.String(), Bloom: d.Bool(), Patterns: d.StringList()})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ---- Soft state updates ----
+
+// SSFullStartRequest opens a full soft state update from an LRC.
+type SSFullStartRequest struct {
+	LRC   string // the sending LRC's advertised URL
+	Total uint64 // number of names that will follow (for progress/stats)
+}
+
+// Encode serializes the request body.
+func (r *SSFullStartRequest) Encode() []byte {
+	e := NewEncoder(len(r.LRC) + 16)
+	e.String(r.LRC)
+	e.U64(r.Total)
+	return e.Bytes()
+}
+
+// DecodeSSFullStartRequest parses an SSFullStartRequest body.
+func DecodeSSFullStartRequest(body []byte) (*SSFullStartRequest, error) {
+	d := NewDecoder(body)
+	r := &SSFullStartRequest{LRC: d.String(), Total: d.U64()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SSFullBatchRequest carries one batch of logical names of a full update.
+type SSFullBatchRequest struct {
+	LRC   string
+	Names []string
+}
+
+// Encode serializes the request body.
+func (r *SSFullBatchRequest) Encode() []byte {
+	size := len(r.LRC) + 16
+	for _, n := range r.Names {
+		size += len(n) + 4
+	}
+	e := NewEncoder(size)
+	e.String(r.LRC)
+	e.StringList(r.Names)
+	return e.Bytes()
+}
+
+// DecodeSSFullBatchRequest parses an SSFullBatchRequest body.
+func DecodeSSFullBatchRequest(body []byte) (*SSFullBatchRequest, error) {
+	d := NewDecoder(body)
+	r := &SSFullBatchRequest{LRC: d.String(), Names: d.StringList()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SSIncrementalRequest carries an immediate-mode (incremental) update: the
+// names added to and removed from the LRC since the last update.
+type SSIncrementalRequest struct {
+	LRC     string
+	Added   []string
+	Removed []string
+}
+
+// Encode serializes the request body.
+func (r *SSIncrementalRequest) Encode() []byte {
+	size := len(r.LRC) + 24
+	for _, n := range r.Added {
+		size += len(n) + 4
+	}
+	for _, n := range r.Removed {
+		size += len(n) + 4
+	}
+	e := NewEncoder(size)
+	e.String(r.LRC)
+	e.StringList(r.Added)
+	e.StringList(r.Removed)
+	return e.Bytes()
+}
+
+// DecodeSSIncrementalRequest parses an SSIncrementalRequest body.
+func DecodeSSIncrementalRequest(body []byte) (*SSIncrementalRequest, error) {
+	d := NewDecoder(body)
+	r := &SSIncrementalRequest{LRC: d.String(), Added: d.StringList(), Removed: d.StringList()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SSBloomRequest carries a Bloom filter update: the serialized bitmap
+// summarizing every logical name in the LRC.
+type SSBloomRequest struct {
+	LRC    string
+	Bitmap []byte
+}
+
+// Encode serializes the request body.
+func (r *SSBloomRequest) Encode() []byte {
+	e := NewEncoder(len(r.LRC) + len(r.Bitmap) + 16)
+	e.String(r.LRC)
+	e.Blob(r.Bitmap)
+	return e.Bytes()
+}
+
+// DecodeSSBloomRequest parses an SSBloomRequest body.
+func DecodeSSBloomRequest(body []byte) (*SSBloomRequest, error) {
+	d := NewDecoder(body)
+	r := &SSBloomRequest{LRC: d.String(), Bitmap: d.Blob()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ---- Diagnostics ----
+
+// ServerInfoResponse reports server identity and occupancy.
+type ServerInfoResponse struct {
+	Role          string // "lrc", "rli" or "lrc+rli"
+	URL           string
+	LogicalNames  int64
+	TargetNames   int64
+	Mappings      int64
+	IndexEntries  int64 // RLI {LFN, LRC} associations
+	BloomFilters  int64 // RLI in-memory filters
+	UptimeSeconds int64
+}
+
+// Encode serializes the response body.
+func (r *ServerInfoResponse) Encode() []byte {
+	e := NewEncoder(len(r.Role) + len(r.URL) + 64)
+	e.String(r.Role)
+	e.String(r.URL)
+	e.I64(r.LogicalNames)
+	e.I64(r.TargetNames)
+	e.I64(r.Mappings)
+	e.I64(r.IndexEntries)
+	e.I64(r.BloomFilters)
+	e.I64(r.UptimeSeconds)
+	return e.Bytes()
+}
+
+// DecodeServerInfoResponse parses a ServerInfoResponse body.
+func DecodeServerInfoResponse(body []byte) (*ServerInfoResponse, error) {
+	d := NewDecoder(body)
+	r := &ServerInfoResponse{
+		Role:          d.String(),
+		URL:           d.String(),
+		LogicalNames:  d.I64(),
+		TargetNames:   d.I64(),
+		Mappings:      d.I64(),
+		IndexEntries:  d.I64(),
+		BloomFilters:  d.I64(),
+		UptimeSeconds: d.I64(),
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,179 @@
+// Package workload implements the load-generation side of the paper's
+// methodology (§4): deterministic logical/target name generators and a
+// multi-threaded driver equivalent to the paper's C test client, which "
+// allows the user to specify the number of threads that submit requests to a
+// server and the types of operations to perform (add, delete, or query
+// mappings)".
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Names deterministically generates logical and target names. The shapes
+// mimic grid catalogs: lfn://<space>/file-<n> mapping to
+// gsiftp://<site>/<space>/file-<n>.
+type Names struct {
+	// Space namespaces the generated names so concurrent experiments don't
+	// collide.
+	Space string
+}
+
+// Logical returns the i-th logical name.
+func (g Names) Logical(i int) string {
+	return fmt.Sprintf("lfn://%s/file-%09d", g.Space, i)
+}
+
+// Target returns the replica-th target name of the i-th logical name.
+func (g Names) Target(i, replica int) string {
+	return fmt.Sprintf("gsiftp://site%d.example.org/%s/file-%09d", replica, g.Space, i)
+}
+
+// Mapping returns the i-th (logical, first-target) pair.
+func (g Names) Mapping(i int) wire.Mapping {
+	return wire.Mapping{Logical: g.Logical(i), Target: g.Target(i, 0)}
+}
+
+// Load bulk-registers mappings [0, n) through the client, batching
+// batchSize mappings per bulk request. It is how experiments preload
+// catalogs ("a server is loaded with a predefined number of mappings").
+func Load(c *client.Client, g Names, n, batchSize int) error {
+	if batchSize <= 0 {
+		batchSize = 1000
+	}
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		batch := make([]wire.Mapping, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			batch = append(batch, g.Mapping(i))
+		}
+		failures, err := c.BulkCreate(batch)
+		if err != nil {
+			return fmt.Errorf("workload: bulk load [%d,%d): %w", lo, hi, err)
+		}
+		if len(failures) > 0 {
+			return fmt.Errorf("workload: bulk load [%d,%d): %d failures, first: %s",
+				lo, hi, len(failures), failures[0].Msg)
+		}
+	}
+	return nil
+}
+
+// Op is one operation the driver can issue.
+type Op func(c *client.Client, seq int) error
+
+// Result reports a driver run.
+type Result struct {
+	Ops       int
+	Errors    int
+	Elapsed   time.Duration
+	Rate      float64 // successful ops per second
+	Latencies metrics.Distribution
+}
+
+// Driver issues operations from multiple concurrent clients, each with
+// multiple threads (one connection per thread, as in the paper's test
+// client).
+type Driver struct {
+	// Clients is the number of client processes to simulate.
+	Clients int
+	// ThreadsPerClient is the number of requesting threads per client.
+	ThreadsPerClient int
+	// Dial opens one connection (called once per thread).
+	Dial func() (*client.Client, error)
+}
+
+// Run issues totalOps operations spread across all threads. Each thread
+// executes op with globally unique sequence numbers. The measured rate
+// counts successful operations over the wall-clock span of the whole run.
+func (d *Driver) Run(totalOps int, op Op) (Result, error) {
+	threads := d.Clients * d.ThreadsPerClient
+	if threads <= 0 {
+		return Result{}, fmt.Errorf("workload: no threads configured")
+	}
+	if totalOps < threads {
+		totalOps = threads
+	}
+	perThread := totalOps / threads
+
+	conns := make([]*client.Client, threads)
+	for i := range conns {
+		c, err := d.Dial()
+		if err != nil {
+			for _, pc := range conns[:i] {
+				pc.Close()
+			}
+			return Result{}, fmt.Errorf("workload: dial thread %d: %w", i, err)
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	type threadResult struct {
+		ok, errs int
+		lat      metrics.LatencyRecorder
+	}
+	results := make([]threadResult, threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			c := conns[t]
+			base := t * perThread
+			for i := 0; i < perThread; i++ {
+				opStart := time.Now()
+				err := op(c, base+i)
+				results[t].lat.Record(time.Since(opStart))
+				if err != nil {
+					results[t].errs++
+				} else {
+					results[t].ok++
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var res Result
+	var merged metrics.LatencyRecorder
+	for i := range results {
+		res.Ops += results[i].ok
+		res.Errors += results[i].errs
+		merged.Merge(&results[i].lat)
+	}
+	res.Elapsed = elapsed
+	res.Rate = metrics.Rate(res.Ops, elapsed)
+	res.Latencies = merged.Distribution()
+	return res, nil
+}
+
+// Trials runs fn several times and returns the summary of the per-trial
+// rates — the paper performs "several trials (typically 5) and calculate[s]
+// the mean rate over those trials".
+func Trials(n int, fn func(trial int) (float64, error)) (metrics.Summary, error) {
+	rates := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := fn(i)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		rates = append(rates, r)
+	}
+	return metrics.Summarize(rates), nil
+}

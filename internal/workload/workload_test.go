@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+func TestNamesDeterministic(t *testing.T) {
+	g := Names{Space: "test"}
+	if g.Logical(7) != g.Logical(7) {
+		t.Fatal("Logical not deterministic")
+	}
+	if g.Logical(7) == g.Logical(8) {
+		t.Fatal("distinct indexes collide")
+	}
+	if !strings.Contains(g.Logical(1), "test") {
+		t.Fatalf("space missing from %q", g.Logical(1))
+	}
+	if g.Target(1, 0) == g.Target(1, 1) {
+		t.Fatal("replicas collide")
+	}
+	m := g.Mapping(3)
+	if m.Logical != g.Logical(3) || m.Target != g.Target(3, 0) {
+		t.Fatalf("Mapping = %+v", m)
+	}
+}
+
+func TestNamespacesDisjoint(t *testing.T) {
+	a := Names{Space: "alpha"}
+	b := Names{Space: "beta"}
+	for i := 0; i < 100; i++ {
+		if a.Logical(i) == b.Logical(i) {
+			t.Fatalf("namespaces collide at %d", i)
+		}
+	}
+}
+
+func newDeployment(t *testing.T) *core.Deployment {
+	t.Helper()
+	dep := core.NewDeployment()
+	t.Cleanup(dep.Close)
+	fast := disk.Fast()
+	if _, err := dep.AddServer(core.ServerSpec{Name: "lrc", LRC: true, Disk: &fast}); err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestLoadRegistersAll(t *testing.T) {
+	dep := newDeployment(t)
+	c, err := dep.Dial("lrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := Names{Space: "load"}
+	if err := Load(c, g, 2500, 1000); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.ServerInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LogicalNames != 2500 {
+		t.Fatalf("LogicalNames = %d, want 2500", info.LogicalNames)
+	}
+	// Loading the same range again reports failures.
+	if err := Load(c, g, 100, 50); err == nil {
+		t.Fatal("duplicate load succeeded")
+	}
+}
+
+func TestLoadDefaultBatchSize(t *testing.T) {
+	dep := newDeployment(t)
+	c, _ := dep.Dial("lrc")
+	defer c.Close()
+	if err := Load(c, Names{Space: "dflt"}, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverRunCountsOpsAndRate(t *testing.T) {
+	dep := newDeployment(t)
+	g := Names{Space: "drv"}
+	d := &Driver{
+		Clients:          2,
+		ThreadsPerClient: 3,
+		Dial:             func() (*client.Client, error) { return dep.Dial("lrc") },
+	}
+	res, err := d.Run(600, func(c *client.Client, seq int) error {
+		return c.CreateMapping(g.Logical(seq), g.Target(seq, 0))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 600 || res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Rate <= 0 {
+		t.Fatalf("rate = %v", res.Rate)
+	}
+	if res.Latencies.N != 600 {
+		t.Fatalf("latency samples = %d", res.Latencies.N)
+	}
+	// Sequence numbers must have been globally unique: every create
+	// succeeded, so the catalog holds exactly 600 names.
+	c, _ := dep.Dial("lrc")
+	defer c.Close()
+	info, _ := c.ServerInfo()
+	if info.LogicalNames != 600 {
+		t.Fatalf("LogicalNames = %d", info.LogicalNames)
+	}
+}
+
+func TestDriverCountsErrors(t *testing.T) {
+	dep := newDeployment(t)
+	d := &Driver{
+		Clients:          1,
+		ThreadsPerClient: 2,
+		Dial:             func() (*client.Client, error) { return dep.Dial("lrc") },
+	}
+	res, err := d.Run(100, func(c *client.Client, seq int) error {
+		if seq%2 == 0 {
+			return errors.New("scripted failure")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 50 || res.Errors != 50 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestDriverDialFailure(t *testing.T) {
+	d := &Driver{
+		Clients:          1,
+		ThreadsPerClient: 1,
+		Dial:             func() (*client.Client, error) { return nil, errors.New("down") },
+	}
+	if _, err := d.Run(10, func(*client.Client, int) error { return nil }); err == nil {
+		t.Fatal("dial failure not propagated")
+	}
+}
+
+func TestDriverNoThreads(t *testing.T) {
+	d := &Driver{}
+	if _, err := d.Run(10, func(*client.Client, int) error { return nil }); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}
+
+func TestTrials(t *testing.T) {
+	calls := 0
+	sum, err := Trials(5, func(trial int) (float64, error) {
+		calls++
+		return float64(trial + 1), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 || sum.N != 5 || sum.Mean != 3 {
+		t.Fatalf("trials = %d calls, summary %+v", calls, sum)
+	}
+	if _, err := Trials(3, func(int) (float64, error) {
+		return 0, fmt.Errorf("trial failed")
+	}); err == nil {
+		t.Fatal("trial error not propagated")
+	}
+}

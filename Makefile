@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race vet ci bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

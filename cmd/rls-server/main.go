@@ -13,12 +13,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/disk"
@@ -37,6 +42,9 @@ func main() {
 		fastDisk = flag.Bool("fast-disk", true, "disable the simulated 2004-era disk model")
 		flush    = flag.Bool("flush-on-commit", false, "flush every transaction to the (simulated) disk")
 		imm      = flag.Bool("immediate-mode", false, "enable incremental soft state updates")
+		metrics  = flag.String("metrics-addr", "", "serve JSON telemetry snapshots over HTTP on this address (e.g. 127.0.0.1:9090)")
+		idle     = flag.Duration("idle-timeout", 0, "reap connections idle for this long; 0 disables")
+		slowOp   = flag.Duration("slow-op-threshold", 0, "warn-log dispatches at or above this duration; 0 disables")
 	)
 	flag.Parse()
 
@@ -60,11 +68,16 @@ func main() {
 		}
 	} else {
 		spec := core.ServerSpec{
-			Name:          *name,
-			ListenAddr:    *listen,
-			FlushOnCommit: *flush,
-			DataDir:       *dataDir,
-			ImmediateMode: *imm,
+			Name:            *name,
+			ListenAddr:      *listen,
+			FlushOnCommit:   *flush,
+			DataDir:         *dataDir,
+			ImmediateMode:   *imm,
+			IdleTimeout:     *idle,
+			SlowOpThreshold: *slowOp,
+			// Surface Warn-and-up diagnostics (slow ops, telemetry
+			// summaries) on stderr; per-connection Debug noise stays off.
+			Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		}
 		for _, r := range strings.Split(*roles, ",") {
 			switch strings.TrimSpace(r) {
@@ -98,10 +111,41 @@ func main() {
 	}
 	defer dep.Close()
 
+	if *metrics != "" {
+		if err := serveMetrics(*metrics, dep); err != nil {
+			fatal(err)
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("rls-server: shutting down")
+}
+
+// serveMetrics exposes every node's telemetry snapshot as JSON over HTTP —
+// an expvar-style endpoint for scraping without speaking the wire protocol.
+// GET /stats returns a map of node name to snapshot.
+func serveMetrics(addr string, dep *core.Deployment) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		out := make(map[string]any)
+		for _, n := range dep.Nodes() {
+			out[n.Name] = n.Server.StatsSnapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(l)
+	fmt.Printf("rls-server: metrics on http://%s/stats\n", l.Addr())
+	return nil
 }
 
 func fatal(err error) {

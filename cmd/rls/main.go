@@ -9,6 +9,7 @@
 //
 //	ping
 //	info
+//	stats                       runtime telemetry (per-op counters, latency percentiles)
 //	create <lfn> <pfn>          register a logical name with its first target
 //	add <lfn> <pfn>             add another target
 //	delete <lfn> <pfn>          remove a mapping
@@ -75,6 +76,12 @@ func run(c *client.Client, cmd string, args []string) error {
 		fmt.Printf("url:            %s\nrole:           %s\nlogical names:  %d\ntarget names:   %d\nmappings:       %d\nindex entries:  %d\nbloom filters:  %d\nuptime:         %s\n",
 			info.URL, info.Role, info.LogicalNames, info.TargetNames, info.Mappings,
 			info.IndexEntries, info.BloomFilters, time.Duration(info.UptimeSeconds)*time.Second)
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		printStats(st)
 	case "create":
 		need(args, 2)
 		return c.CreateMapping(args[0], args[1])
@@ -294,6 +301,39 @@ func formatValue(v wire.AttrValue) string {
 	}
 }
 
+// printStats renders the telemetry snapshot: the per-op table maps onto the
+// paper's measured operation rates and latencies, the soft-state section onto
+// its update-propagation measurements.
+func printStats(st *wire.StatsResponse) {
+	fmt.Printf("url:          %s\nrole:         %s\nuptime:       %s\nactive conns: %d\nslow ops:     %d\n",
+		st.URL, st.Role, time.Duration(st.UptimeSeconds)*time.Second, st.ActiveConns, st.SlowOps)
+	if len(st.Ops) > 0 {
+		fmt.Printf("\n%-24s %10s %8s %10s %10s %10s %10s %10s\n",
+			"op", "count", "errors", "mean", "p50", "p95", "p99", "max")
+		for _, o := range st.Ops {
+			fmt.Printf("%-24s %10d %8d %10s %10s %10s %10s %10s\n",
+				o.Op.String(), o.Count, o.Errors,
+				time.Duration(o.MeanNS), time.Duration(o.P50NS),
+				time.Duration(o.P95NS), time.Duration(o.P99NS), time.Duration(o.MaxNS))
+		}
+	}
+	if len(st.SoftState) > 0 {
+		fmt.Println("\nsoft-state targets:")
+		for _, t := range st.SoftState {
+			last := "never"
+			if t.LastSuccessUnix != 0 {
+				last = time.Unix(0, t.LastSuccessUnix).UTC().Format(time.RFC3339)
+			}
+			fmt.Printf("  %s sent=%d failed=%d requeued=%d names=%d bytes=%d last=%s\n",
+				t.URL, t.Sent, t.Failed, t.Requeued, t.NamesSent, t.BytesSent, last)
+		}
+	}
+	fmt.Printf("\nrli: expired=%d bloom_filters=%d bloom_bytes=%d\n",
+		st.RLIExpired, st.RLIBloomFilters, st.RLIBloomBytes)
+	fmt.Printf("storage: wal_appends=%d wal_flushes=%d wal_bytes=%d dead_tuple_visits=%d\n",
+		st.WALAppends, st.WALFlushes, st.WALBytes, st.DeadTupleVisits)
+}
+
 func printNames(names []string) {
 	for _, n := range names {
 		fmt.Println(n)
@@ -315,7 +355,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rls [-server addr] <ping|info|create|add|delete|get-pfn|get-lfn|rli-query|rli-lrcs|attr-define|attr-add|attr-get|attr-list|rli-list|rli-add|rli-remove> [args]")
+	fmt.Fprintln(os.Stderr, "usage: rls [-server addr] <ping|info|stats|create|add|delete|get-pfn|get-lfn|rli-query|rli-lrcs|attr-define|attr-add|attr-get|attr-list|rli-list|rli-add|rli-remove> [args]")
 	os.Exit(2)
 }
 

@@ -172,6 +172,17 @@ func (c *Client) ServerInfo() (*wire.ServerInfoResponse, error) {
 	return wire.DecodeServerInfoResponse(body)
 }
 
+// Stats fetches the server's runtime-telemetry snapshot: per-op dispatch
+// counters and latency percentiles, soft-state sender health, RLI store
+// occupancy and storage activity.
+func (c *Client) Stats() (*wire.StatsResponse, error) {
+	body, err := c.call(wire.OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeStatsResponse(body)
+}
+
 // ---- LRC mapping management ----
 
 func (c *Client) mappingOp(op wire.Op, logical, target string) error {

@@ -12,7 +12,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,6 +81,16 @@ type ServerSpec struct {
 	Auth *auth.Authenticator
 	// Clock overrides the time source (fake clocks in tests).
 	Clock clock.Clock
+
+	// IdleTimeout reaps connections idle for this long; zero disables.
+	IdleTimeout time.Duration
+	// SlowOpThreshold logs and counts dispatches at/above this duration;
+	// zero disables.
+	SlowOpThreshold time.Duration
+	// StatsLogInterval emits periodic telemetry summaries; zero disables.
+	StatsLogInterval time.Duration
+	// Logger receives server diagnostics and telemetry summaries.
+	Logger *slog.Logger
 }
 
 // Node is one running server in a deployment.
@@ -101,6 +113,25 @@ type Node struct {
 	net      netsim.Profile
 	listener net.Listener
 	dep      *Deployment
+}
+
+// storageStats sums storage-engine and simulated-disk activity across the
+// node's engines for the server's stats snapshot.
+func (n *Node) storageStats() server.StorageStats {
+	var out server.StorageStats
+	for _, eng := range []*storage.Engine{n.LRCEngine, n.RLIEngine} {
+		if eng == nil {
+			continue
+		}
+		st := eng.Stats()
+		out.WALAppends += st.WALAppends
+		out.WALFlushes += st.WALFlushes
+		out.WALBytes += st.WALBytes
+	}
+	if n.Device != nil {
+		out.DeadTupleVisits = n.Device.Stats().DeadVisits
+	}
+	return out
 }
 
 // Addr returns the TCP address if the node listens, else "".
@@ -253,11 +284,16 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 	}
 
 	srv, err := server.New(server.Config{
-		URL:   node.URL,
-		LRC:   node.LRC,
-		RLI:   node.RLI,
-		Auth:  spec.Auth,
-		Clock: spec.Clock,
+		URL:              node.URL,
+		LRC:              node.LRC,
+		RLI:              node.RLI,
+		Auth:             spec.Auth,
+		Clock:            spec.Clock,
+		Logger:           spec.Logger,
+		IdleTimeout:      spec.IdleTimeout,
+		SlowOpThreshold:  spec.SlowOpThreshold,
+		StatsLogInterval: spec.StatsLogInterval,
+		StorageStats:     node.storageStats,
 	})
 	if err != nil {
 		cleanup()
@@ -284,6 +320,18 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 	d.byURL[node.URL] = node
 	d.mu.Unlock()
 	return node, nil
+}
+
+// Nodes returns every server in the deployment, sorted by name.
+func (d *Deployment) Nodes() []*Node {
+	d.mu.Lock()
+	out := make([]*Node, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		out = append(out, n)
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Node returns a server by name.

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestStatsOverWire exercises the full observability path against a live
+// LRC+RLI pair: per-op dispatch counters, soft-state sender health after a
+// forced update, RLI Bloom-store occupancy and storage-engine activity, all
+// fetched through the stats opcode.
+func TestStatsOverWire(t *testing.T) {
+	d, lc, rc := newPair(t)
+
+	if err := lc.CreateMapping("lfn://exp/f1", "gsiftp://siteA/f1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := d.Node("lrc1")
+	for _, res := range node.LRC.ForceUpdate() {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+
+	lst, err := lc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.Role != "lrc" || lst.URL != "rls://lrc1" {
+		t.Fatalf("lrc stats identity: %+v", lst)
+	}
+	var create, ping *wire.OpStat
+	for i := range lst.Ops {
+		switch lst.Ops[i].Op {
+		case wire.OpLRCCreateMapping:
+			create = &lst.Ops[i]
+		case wire.OpPing:
+			ping = &lst.Ops[i]
+		}
+	}
+	if create == nil || create.Count != 1 {
+		t.Fatalf("create op stat missing or wrong: %+v", lst.Ops)
+	}
+	if ping == nil || ping.Count < 1 {
+		t.Fatalf("ping op stat missing: %+v", lst.Ops)
+	}
+	if create.P50NS > create.P99NS || create.P99NS > create.MaxNS {
+		t.Fatalf("create percentiles not monotone: %+v", create)
+	}
+	if len(lst.SoftState) != 1 {
+		t.Fatalf("soft-state targets = %d, want 1", len(lst.SoftState))
+	}
+	tg := lst.SoftState[0]
+	if tg.URL != "rls://rli1" || tg.Sent != 1 || tg.NamesSent != 1 || tg.LastSuccessUnix == 0 {
+		t.Fatalf("soft-state target stat: %+v", tg)
+	}
+	// The LRC's engine did real work; the WAL must show it.
+	if lst.WALAppends == 0 {
+		t.Fatal("WALAppends = 0 after a mapping write")
+	}
+
+	// The RLI side: the soft-state ingest ops arrived over the wire.
+	rst, err := rc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Role != "rli" {
+		t.Fatalf("rli role = %q", rst.Role)
+	}
+	var sawIngest bool
+	for _, o := range rst.Ops {
+		if o.Op == wire.OpSSFullBatch && o.Count >= 1 {
+			sawIngest = true
+		}
+	}
+	if !sawIngest {
+		t.Fatalf("no ss_full_batch dispatches recorded at RLI: %+v", rst.Ops)
+	}
+}
+
+// TestStatsReportsBloomStore verifies the RLI-side Bloom occupancy counters
+// after a compressed update.
+func TestStatsReportsBloomStore(t *testing.T) {
+	d := NewDeployment()
+	t.Cleanup(d.Close)
+	if _, err := d.AddServer(fastSpec("lrc1", true, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddServer(fastSpec("rli1", false, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("lrc1", "rli1", true); err != nil { // Bloom updates
+		t.Fatal(err)
+	}
+	node, _ := d.Node("lrc1")
+	if err := node.LRC.CreateMapping("lfn://a", "pfn://a"); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range node.LRC.ForceUpdate() {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	rc, err := d.Dial("rli1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rc.Close() })
+	st, err := rc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RLIBloomFilters != 1 || st.RLIBloomBytes <= 0 {
+		t.Fatalf("bloom store stats: filters=%d bytes=%d", st.RLIBloomFilters, st.RLIBloomBytes)
+	}
+}

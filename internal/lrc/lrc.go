@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"regexp"
+	"sort"
 	"sync"
 	"time"
 
@@ -101,6 +102,7 @@ type Service struct {
 	filter  *bloom.Filter
 	pending pendingChanges
 	targets map[string]*target // keyed by RLI url
+	tstats  map[string]*TargetStats
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -132,6 +134,21 @@ type Stats struct {
 	UpdateErrors       int64
 }
 
+// TargetStats reports soft-state update health for one RLI target: how many
+// updates were delivered or failed, how many buffered deltas were re-queued
+// after failed incremental flushes, payload volume, and when the target last
+// acknowledged an update. Stats persist across target re-registration so a
+// flapping RLI keeps its history.
+type TargetStats struct {
+	URL         string
+	Sent        int64 // successful updates of any kind
+	Failed      int64 // updates that errored
+	Requeued    int64 // incremental deltas re-queued after a failed flush
+	NamesSent   int64
+	BytesSent   int64 // serialized Bloom payload bytes
+	LastSuccess time.Time
+}
+
 // New creates the service and loads its RLI target list from the database.
 func New(cfg Config) (*Service, error) {
 	if cfg.DB == nil {
@@ -146,6 +163,7 @@ func New(cfg Config) (*Service, error) {
 		db:      cfg.DB,
 		clk:     cfg.Clock,
 		targets: make(map[string]*target),
+		tstats:  make(map[string]*TargetStats),
 		stop:    make(chan struct{}),
 	}
 	// Size and populate the Bloom filter from current catalog contents.
@@ -255,4 +273,27 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// TargetStats returns per-target soft-state health snapshots, sorted by URL.
+func (s *Service) TargetStats() []TargetStats {
+	s.mu.Lock()
+	out := make([]TargetStats, 0, len(s.tstats))
+	for _, ts := range s.tstats {
+		out = append(out, *ts)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// targetStatsLocked returns (creating if needed) the mutable per-target
+// record. Caller holds s.mu.
+func (s *Service) targetStatsLocked(url string) *TargetStats {
+	ts := s.tstats[url]
+	if ts == nil {
+		ts = &TargetStats{URL: url}
+		s.tstats[url] = ts
+	}
+	return ts
 }

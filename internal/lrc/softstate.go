@@ -127,6 +127,9 @@ func (s *Service) flushIncremental() {
 		}
 		if res := s.sendIncrementalTo(tg, added, removed); res.Err != nil {
 			failed = true
+			s.mu.Lock()
+			s.targetStatsLocked(tg.spec.URL).Requeued += int64(len(added) + len(removed))
+			s.mu.Unlock()
 		}
 	}
 	if failed {
@@ -137,6 +140,20 @@ func (s *Service) flushIncremental() {
 		s.pending.removed = append(removed, s.pending.removed...)
 		s.mu.Unlock()
 	}
+}
+
+// recordTargetLocked folds one send outcome into the per-target telemetry.
+// Caller holds s.mu.
+func (s *Service) recordTargetLocked(res TargetResult) {
+	ts := s.targetStatsLocked(res.URL)
+	if res.Err != nil {
+		ts.Failed++
+		return
+	}
+	ts.Sent++
+	ts.NamesSent += int64(res.Names)
+	ts.BytesSent += int64(res.Bytes)
+	ts.LastSuccess = s.clk.Now()
 }
 
 func (s *Service) snapshotTargetsLocked() []*target {
@@ -205,6 +222,7 @@ func (s *Service) sendFullTo(tg *target) (res TargetResult) {
 			s.stats.FullUpdates++
 			s.stats.NamesSent += int64(res.Names)
 		}
+		s.recordTargetLocked(res)
 		s.mu.Unlock()
 	}()
 
@@ -272,6 +290,7 @@ func (s *Service) sendBloomTo(tg *target) (res TargetResult) {
 		} else {
 			s.stats.BloomUpdates++
 		}
+		s.recordTargetLocked(res)
 		s.mu.Unlock()
 	}()
 
@@ -344,6 +363,7 @@ func (s *Service) sendIncrementalTo(tg *target, added, removed []string) (res Ta
 			s.stats.IncrementalUpdates++
 			s.stats.NamesSent += int64(res.Names)
 		}
+		s.recordTargetLocked(res)
 		s.mu.Unlock()
 	}()
 

@@ -1,0 +1,111 @@
+package lrc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/wire"
+)
+
+// TestTargetStatsTrackUpdateHealth verifies the per-target soft-state
+// telemetry: successful and failed updates, delivered name counts and the
+// last-success timestamp.
+func TestTargetStatsTrackUpdateHealth(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1000, 0))
+	up := newFakeUpdater()
+	s := newTestService(t, up, func(c *Config) { c.Clock = fc })
+	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping("lfn://a", "pfn://a")
+	s.CreateMapping("lfn://b", "pfn://b")
+
+	s.ForceUpdate()
+	stats := s.TargetStats()
+	if len(stats) != 1 {
+		t.Fatalf("targets = %d, want 1", len(stats))
+	}
+	ts := stats[0]
+	if ts.URL != "rls://rli" || ts.Sent != 1 || ts.Failed != 0 {
+		t.Fatalf("after success: %+v", ts)
+	}
+	if ts.NamesSent != 2 {
+		t.Fatalf("NamesSent = %d, want 2", ts.NamesSent)
+	}
+	if !ts.LastSuccess.Equal(fc.Now()) {
+		t.Fatalf("LastSuccess = %v, want %v", ts.LastSuccess, fc.Now())
+	}
+
+	// A failed update counts against the target but keeps LastSuccess.
+	last := ts.LastSuccess
+	fc.Advance(time.Minute)
+	up.failNext = errors.New("rli down")
+	s.ForceUpdate()
+	ts = s.TargetStats()[0]
+	if ts.Sent != 1 || ts.Failed != 1 {
+		t.Fatalf("after failure: %+v", ts)
+	}
+	if !ts.LastSuccess.Equal(last) {
+		t.Fatalf("LastSuccess moved on failure: %v", ts.LastSuccess)
+	}
+}
+
+// TestTargetStatsCountRequeuedDeltas verifies that a failed incremental
+// flush is charged to the target as re-queued deltas.
+func TestTargetStatsCountRequeuedDeltas(t *testing.T) {
+	up := newFakeUpdater()
+	s := newTestService(t, up, func(c *Config) {
+		c.ImmediateMode = true
+		c.ImmediateThreshold = 1000
+	})
+	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping("lfn://a", "pfn://a")
+	s.CreateMapping("lfn://b", "pfn://b")
+
+	up.failNext = errors.New("rli down")
+	s.flushIncremental()
+	ts := s.TargetStats()[0]
+	if ts.Requeued != 2 {
+		t.Fatalf("Requeued = %d, want 2", ts.Requeued)
+	}
+	if ts.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", ts.Failed)
+	}
+
+	s.flushIncremental()
+	ts = s.TargetStats()[0]
+	if ts.Sent != 1 || ts.NamesSent != 2 {
+		t.Fatalf("after retry: %+v", ts)
+	}
+}
+
+// TestTargetStatsRecordBloomBytes verifies compressed updates report their
+// serialized payload size (the paper's Table 3 transfer-cost column).
+func TestTargetStatsRecordBloomBytes(t *testing.T) {
+	up := newFakeUpdater()
+	s := newTestService(t, up, nil)
+	s.AddRLITarget(wire.RLITarget{URL: "rls://rli", Bloom: true})
+	s.CreateMapping("lfn://x", "pfn://x")
+	s.ForceUpdate()
+	ts := s.TargetStats()[0]
+	if ts.Sent != 1 || ts.BytesSent <= 0 {
+		t.Fatalf("bloom target stats: %+v", ts)
+	}
+}
+
+// TestTargetStatsSurviveReRegistration verifies a flapping target keeps its
+// history across remove/re-add.
+func TestTargetStatsSurviveReRegistration(t *testing.T) {
+	up := newFakeUpdater()
+	s := newTestService(t, up, nil)
+	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping("lfn://a", "pfn://a")
+	s.ForceUpdate()
+	s.RemoveRLITarget("rls://rli")
+	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
+	s.ForceUpdate()
+	ts := s.TargetStats()[0]
+	if ts.Sent != 2 {
+		t.Fatalf("Sent = %d after re-registration, want 2", ts.Sent)
+	}
+}

@@ -83,27 +83,40 @@ type Distribution struct {
 	Max  time.Duration
 }
 
-// Distribution computes the latency distribution, sorting the samples.
+// Distribution computes the latency distribution. The recorder's sample
+// slice is left untouched (sorting happens on a copy), so Merge and Record
+// remain valid after a Distribution call and slices the caller still holds
+// are never reordered underneath it.
 func (r *LatencyRecorder) Distribution() Distribution {
 	d := Distribution{N: len(r.samples)}
 	if d.N == 0 {
 		return d
 	}
-	sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+	sorted := make([]time.Duration, d.N)
+	copy(sorted, r.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	var sum time.Duration
-	for _, v := range r.samples {
+	for _, v := range sorted {
 		sum += v
 	}
 	d.Mean = sum / time.Duration(d.N)
-	d.P50 = r.samples[pctIndex(d.N, 50)]
-	d.P95 = r.samples[pctIndex(d.N, 95)]
-	d.P99 = r.samples[pctIndex(d.N, 99)]
-	d.Max = r.samples[d.N-1]
+	d.P50 = sorted[pctIndex(d.N, 50)]
+	d.P95 = sorted[pctIndex(d.N, 95)]
+	d.P99 = sorted[pctIndex(d.N, 99)]
+	d.Max = sorted[d.N-1]
 	return d
 }
 
+// pctIndex returns the zero-based nearest-rank percentile index:
+// ceil(n*pct/100) - 1, clamped to [0, n-1]. The former n*pct/100 truncation
+// was off by one for exact multiples (P50 of 100 samples read index 50, not
+// 49), skewing every reported percentile upward by one rank.
 func pctIndex(n, pct int) int {
-	i := n * pct / 100
+	i := (n*pct + 99) / 100 // ceil for non-negative operands
+	i--
+	if i < 0 {
+		i = 0
+	}
 	if i >= n {
 		i = n - 1
 	}

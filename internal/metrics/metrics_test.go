@@ -130,3 +130,81 @@ func TestPctIndexBounds(t *testing.T) {
 		t.Fatalf("pctIndex(100,100) = %d", i)
 	}
 }
+
+// TestPctIndexNearestRank pins the nearest-rank definition,
+// ceil(n*pct/100)-1, with exact expected indices. The old n*pct/100
+// truncation returned index 50 for P50 of 100 samples (off by one) and
+// index 0 for P50 of 4 samples (one rank low).
+func TestPctIndexNearestRank(t *testing.T) {
+	cases := []struct {
+		n, pct, want int
+	}{
+		// n = 1: every percentile is the only sample.
+		{1, 50, 0}, {1, 95, 0}, {1, 99, 0}, {1, 100, 0},
+		// n = 4: ranks ceil(2)=2, ceil(3.8)=4, ceil(3.96)=4.
+		{4, 50, 1}, {4, 95, 3}, {4, 99, 3}, {4, 25, 0}, {4, 75, 2},
+		// n = 100: exact multiples must not round up a rank.
+		{100, 50, 49}, {100, 95, 94}, {100, 99, 98}, {100, 1, 0}, {100, 100, 99},
+		// n = 101: ranks ceil(50.5)=51, ceil(95.95)=96, ceil(99.99)=100.
+		{101, 50, 50}, {101, 95, 95}, {101, 99, 99}, {101, 100, 100},
+	}
+	for _, c := range cases {
+		if got := pctIndex(c.n, c.pct); got != c.want {
+			t.Errorf("pctIndex(%d, %d) = %d, want %d", c.n, c.pct, got, c.want)
+		}
+	}
+}
+
+// TestDistributionExactPercentiles checks end-to-end percentile values on a
+// fully known sample set: 1..100ms must yield P50=50ms, P95=95ms, P99=99ms.
+func TestDistributionExactPercentiles(t *testing.T) {
+	var r LatencyRecorder
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	d := r.Distribution()
+	if d.P50 != 50*time.Millisecond {
+		t.Errorf("P50 = %v, want 50ms", d.P50)
+	}
+	if d.P95 != 95*time.Millisecond {
+		t.Errorf("P95 = %v, want 95ms", d.P95)
+	}
+	if d.P99 != 99*time.Millisecond {
+		t.Errorf("P99 = %v, want 99ms", d.P99)
+	}
+}
+
+// TestDistributionDoesNotMutateSamples guards the Distribution/Merge
+// interaction: Distribution used to sort the recorder's slice in place, so a
+// later Merge interleaved new samples into sorted data (and reordered slices
+// the caller still held). Distribution must compute on a copy.
+func TestDistributionDoesNotMutateSamples(t *testing.T) {
+	var r LatencyRecorder
+	in := []time.Duration{5 * time.Millisecond, time.Millisecond, 3 * time.Millisecond}
+	for _, d := range in {
+		r.Record(d)
+	}
+	_ = r.Distribution()
+	for i, d := range r.samples {
+		if d != in[i] {
+			t.Fatalf("samples reordered by Distribution: %v", r.samples)
+		}
+	}
+
+	// Merge after Distribution, then re-compute: the result must reflect
+	// every sample, with correct order statistics.
+	var o LatencyRecorder
+	o.Record(2 * time.Millisecond)
+	o.Record(4 * time.Millisecond)
+	r.Merge(&o)
+	d := r.Distribution()
+	if d.N != 5 {
+		t.Fatalf("N after merge = %d", d.N)
+	}
+	if d.Max != 5*time.Millisecond {
+		t.Fatalf("Max after merge = %v", d.Max)
+	}
+	if d.P50 != 3*time.Millisecond { // rank ceil(2.5)=3 of {1,2,3,4,5}
+		t.Fatalf("P50 after merge = %v", d.P50)
+	}
+}

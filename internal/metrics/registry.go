@@ -1,0 +1,271 @@
+// Server-side observability primitives: atomic counters and gauges plus
+// fixed-bucket latency histograms, grouped in a Registry. Unlike
+// LatencyRecorder (a per-thread, merge-at-the-end harness tool), these are
+// safe for concurrent use on the server's hot path: every update is one or
+// two atomic adds, and the registry lock is only taken when an instrument is
+// first created or a snapshot is built.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets are the histogram upper bounds: exponential from 1µs to ~64s,
+// covering everything from in-memory query latencies to WAN soft-state
+// updates. An overflow bucket catches the rest.
+var histBuckets = buildBuckets()
+
+func buildBuckets() []time.Duration {
+	out := make([]time.Duration, 0, 27)
+	for d := time.Microsecond; d <= 64*time.Second; d *= 2 {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are two atomic
+// adds; percentile extraction walks the buckets under no lock, so a snapshot
+// taken during heavy traffic is approximate but never blocks writers.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds, monotone
+	buckets [28]atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+func bucketFor(d time.Duration) int {
+	for i, ub := range histBuckets {
+		if d <= ub {
+			return i
+		}
+	}
+	return len(histBuckets) // overflow bucket
+}
+
+// HistogramSnapshot summarizes a histogram at one instant.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot extracts counts and nearest-rank percentiles. Percentiles resolve
+// to the upper bound of the bucket holding the target rank, so they are
+// conservative (never under-report) within one power of two.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = s.Sum / time.Duration(s.Count)
+	var counts [28]int64
+	total := int64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return s
+	}
+	// A quantile of 0 means the rank fell in the overflow bucket (no upper
+	// bound); quantiles above Max overstate a sparse top bucket. Both clamp
+	// to the observed maximum.
+	q := func(pct int64) time.Duration {
+		v := bucketQuantile(&counts, total, pct)
+		if v == 0 || v > s.Max {
+			return s.Max
+		}
+		return v
+	}
+	s.P50, s.P95, s.P99 = q(50), q(95), q(99)
+	return s
+}
+
+// bucketQuantile finds the bucket containing the nearest-rank pct-th
+// percentile and returns its upper bound.
+func bucketQuantile(counts *[28]int64, total int64, pct int64) time.Duration {
+	rank := (total*pct + 99) / 100 // ceil(total*pct/100), 1-based
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(histBuckets) {
+				return histBuckets[i]
+			}
+			break
+		}
+	}
+	return time.Duration(0) // overflow bucket: caller clamps to Max
+}
+
+// Registry is a named collection of instruments. Lookup takes the lock only
+// on first creation; callers cache the returned pointer for the hot path.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// RegistrySnapshot is a point-in-time view of every instrument, with stable
+// (sorted) ordering for logs and JSON.
+type RegistrySnapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures every instrument.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Names returns the sorted instrument names of each kind (for stable output).
+func (s RegistrySnapshot) Names() (counters, gauges, hists []string) {
+	for n := range s.Counters {
+		counters = append(counters, n)
+	}
+	for n := range s.Gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range s.Histograms {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return counters, gauges, hists
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	if r.Counter("ops") != c {
+		t.Fatal("Counter did not return the cached instrument")
+	}
+	g := r.Gauge("conns")
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 5 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	// 90 fast ops (~100µs) and 10 slow ops (~50ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 50*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	// P50 lands in the fast bucket (upper bound ≥ 100µs but well under 1ms).
+	if s.P50 < 100*time.Microsecond || s.P50 >= time.Millisecond {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	// P95 and P99 land in the slow bucket's power-of-two range.
+	if s.P95 < 50*time.Millisecond || s.P95 > 100*time.Millisecond {
+		t.Fatalf("P95 = %v", s.P95)
+	}
+	if s.P99 < 50*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Fatalf("P99 = %v", s.P99)
+	}
+	if s.Mean <= 0 || s.Mean > s.Max {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestHistogramOverflowClampsToMax(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Minute) // beyond the last bucket bound
+	s := h.Snapshot()
+	if s.Max != 10*time.Minute {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.P99 != s.Max {
+		t.Fatalf("overflow P99 = %v, want clamp to max %v", s.P99, s.Max)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(time.Duration(j) * time.Microsecond)
+				r.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("counter = %d", got)
+	}
+	s := r.Snapshot()
+	if s.Counters["shared"] != 8000 {
+		t.Fatalf("snapshot counter = %d", s.Counters["shared"])
+	}
+	if s.Histograms["lat"].Count != 8000 {
+		t.Fatalf("snapshot hist count = %d", s.Histograms["lat"].Count)
+	}
+	counters, gauges, hists := s.Names()
+	if len(counters) != 1 || len(gauges) != 1 || len(hists) != 1 {
+		t.Fatalf("names = %v %v %v", counters, gauges, hists)
+	}
+}

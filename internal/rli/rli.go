@@ -297,6 +297,18 @@ func (s *Service) FilterCount() int {
 	return len(s.filters)
 }
 
+// BloomBytes reports the total resident size of the in-memory Bloom store —
+// the RLI-side cost of compressed soft state (paper Table 3).
+func (s *Service) BloomBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, fe := range s.filters {
+		total += int64(fe.bitmap.SizeBytes())
+	}
+	return total
+}
+
 // Counts reports index occupancy (database associations; Bloom filters are
 // opaque).
 func (s *Service) Counts() (logicals, lrcs, associations int64, err error) {

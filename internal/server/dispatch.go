@@ -9,7 +9,7 @@ import (
 // privilegeFor maps each operation to the ACL privilege it requires.
 func privilegeFor(op wire.Op) auth.Privilege {
 	switch op {
-	case wire.OpPing, wire.OpServerInfo:
+	case wire.OpPing, wire.OpServerInfo, wire.OpStats:
 		return "" // no privilege required
 	case wire.OpLRCGetTargets, wire.OpLRCGetLogicals,
 		wire.OpLRCGetTargetsWild, wire.OpLRCGetLogicalsWild,
@@ -63,6 +63,8 @@ func (s *Server) dispatch(id auth.Identity, req *wire.Request) *wire.Response {
 		return ok(req.ID, nil)
 	case wire.OpServerInfo:
 		return s.handleServerInfo(req)
+	case wire.OpStats:
+		return ok(req.ID, s.StatsSnapshot().Encode())
 
 	// LRC mapping management.
 	case wire.OpLRCCreateMapping:

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestIdleConnectionReaped verifies the idle timeout: a client that
+// handshakes and then goes silent is disconnected and its conn-map entry
+// released.
+func TestIdleConnectionReaped(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t), IdleTimeout: 50 * time.Millisecond})
+	c := rawConn(t, s)
+	handshake(t, c)
+	if n := s.ConnCount(); n != 1 {
+		t.Fatalf("conn count = %d, want 1", n)
+	}
+	// Stall. The server must hang up on us.
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := c.ReadFrame()
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("read succeeded on a reaped connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle connection not reaped")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ConnCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("conn count = %d after reap, want 0", s.ConnCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestIdleTimeoutCoversHandshake verifies a client that connects and never
+// sends the hello is also reaped.
+func TestIdleTimeoutCoversHandshake(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t), IdleTimeout: 50 * time.Millisecond})
+	a, b := net.Pipe()
+	defer a.Close()
+	done := make(chan struct{})
+	go func() {
+		s.ServeConn(b)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("silent pre-handshake connection not reaped")
+	}
+}
+
+// TestActiveConnectionSurvivesIdleTimeout verifies the deadline slides:
+// a connection issuing requests more often than the timeout stays up.
+func TestActiveConnectionSurvivesIdleTimeout(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t), IdleTimeout: 200 * time.Millisecond})
+	c := rawConn(t, s)
+	handshake(t, c)
+	for i := 0; i < 5; i++ {
+		time.Sleep(50 * time.Millisecond) // well under the timeout
+		if resp := call(t, c, wire.OpPing, nil); resp.Status != wire.StatusOK {
+			t.Fatalf("ping %d status = %v", i, resp.Status)
+		}
+	}
+}
+
+// TestCloseRacesHandshake closes the server while many connections are
+// mid-handshake. Close must return only after every handler drains, with no
+// panics (run under -race).
+func TestCloseRacesHandshake(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t)})
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		a, b := net.Pipe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			s.ServeConn(b)
+		}()
+		go func() {
+			defer wg.Done()
+			defer a.Close()
+			c := wire.NewConn(a)
+			h := wire.Hello{}
+			if err := c.WriteFrame(h.Encode()); err != nil {
+				return // server closed first
+			}
+			c.ReadFrame() // ack or error; either is fine
+		}()
+	}
+	time.Sleep(time.Millisecond) // let some handshakes get in flight
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return while handshakes in flight")
+	}
+	wg.Wait()
+	if n := s.ConnCount(); n != 0 {
+		t.Fatalf("conn count = %d after Close, want 0", n)
+	}
+}
+
+// TestCloseRacesDispatch closes the server while connections are actively
+// dispatching requests. Close must wait for in-flight handlers and the
+// clients must see clean connection errors, not stuck reads.
+func TestCloseRacesDispatch(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t), RLI: newRLIService(t)})
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		a, b := net.Pipe()
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			s.ServeConn(b)
+		}()
+		go func() {
+			defer wg.Done()
+			defer a.Close()
+			c := wire.NewConn(a)
+			h := wire.Hello{}
+			if err := c.WriteFrame(h.Encode()); err != nil {
+				return
+			}
+			if _, err := c.ReadFrame(); err != nil {
+				return
+			}
+			for id := uint64(1); ; id++ {
+				req := wire.Request{ID: id, Op: wire.OpPing}
+				if err := c.WriteFrame(req.Encode()); err != nil {
+					return
+				}
+				if _, err := c.ReadFrame(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond) // let the ping loops spin
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return while dispatches in flight")
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("client/handler goroutines leaked after Close")
+	}
+	if n := s.ConnCount(); n != 0 {
+		t.Fatalf("conn count = %d after Close, want 0", n)
+	}
+}
+
+// TestCloseRacesServeAccept closes the server concurrently with a TCP
+// accept loop and fresh inbound connections.
+func TestCloseRacesServeAccept(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t)})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	addr := l.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			c := wire.NewConn(conn)
+			h := wire.Hello{}
+			if c.WriteFrame(h.Encode()) != nil {
+				return
+			}
+			c.ReadFrame()
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	s.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after Close", err)
+	}
+	wg.Wait()
+}

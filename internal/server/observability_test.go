@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/lrc"
+	"repro/internal/wire"
+)
+
+func fetchStats(t *testing.T, c *wire.Conn) *wire.StatsResponse {
+	t.Helper()
+	resp := call(t, c, wire.OpStats, nil)
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("stats status = %v (%s)", resp.Status, resp.Err)
+	}
+	st, err := wire.DecodeStatsResponse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func opStat(st *wire.StatsResponse, op wire.Op) (wire.OpStat, bool) {
+	for _, o := range st.Ops {
+		if o.Op == op {
+			return o, true
+		}
+	}
+	return wire.OpStat{}, false
+}
+
+func TestStatsCountsPerOpDispatches(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t), RLI: newRLIService(t)})
+	c := rawConn(t, s)
+	handshake(t, c)
+
+	call(t, c, wire.OpPing, nil)
+	call(t, c, wire.OpPing, nil)
+	m := wire.MappingRequest{Logical: "lfn://a", Target: "pfn://a"}
+	if resp := call(t, c, wire.OpLRCCreateMapping, m.Encode()); resp.Status != wire.StatusOK {
+		t.Fatalf("create failed: %v", resp.Status)
+	}
+	// A not-found query must count as an error for its op.
+	q := wire.NameRequest{Name: "lfn://missing"}
+	if resp := call(t, c, wire.OpLRCGetTargets, q.Encode()); resp.Status != wire.StatusNotFound {
+		t.Fatalf("query status = %v, want not found", resp.Status)
+	}
+
+	st := fetchStats(t, c)
+	if st.Role != "lrc+rli" {
+		t.Fatalf("role = %q", st.Role)
+	}
+	if st.ActiveConns != 1 {
+		t.Fatalf("active conns = %d, want 1", st.ActiveConns)
+	}
+	ping, ok := opStat(st, wire.OpPing)
+	if !ok || ping.Count != 2 || ping.Errors != 0 {
+		t.Fatalf("ping stat = %+v (ok=%v)", ping, ok)
+	}
+	if ping.MaxNS <= 0 {
+		t.Fatalf("ping MaxNS = %d, want > 0", ping.MaxNS)
+	}
+	if ping.P50NS > ping.P95NS || ping.P95NS > ping.P99NS || ping.P99NS > ping.MaxNS {
+		t.Fatalf("percentiles not monotone: %+v", ping)
+	}
+	create, ok := opStat(st, wire.OpLRCCreateMapping)
+	if !ok || create.Count != 1 || create.Errors != 0 {
+		t.Fatalf("create stat = %+v (ok=%v)", create, ok)
+	}
+	get, ok := opStat(st, wire.OpLRCGetTargets)
+	if !ok || get.Count != 1 || get.Errors != 1 {
+		t.Fatalf("get stat = %+v (ok=%v)", get, ok)
+	}
+	// Ops never dispatched are omitted from the snapshot.
+	if _, ok := opStat(st, wire.OpAttrDefine); ok {
+		t.Fatal("undispatched op present in snapshot")
+	}
+}
+
+func TestStatsRequiresNoPrivilegeOrRole(t *testing.T) {
+	// Stats is served by any role without privileges, like ping.
+	s := newServer(t, Config{RLI: newRLIService(t)})
+	c := rawConn(t, s)
+	handshake(t, c)
+	st := fetchStats(t, c)
+	if st.Role != "rli" {
+		t.Fatalf("role = %q", st.Role)
+	}
+}
+
+func TestStatsReportsStorageCallback(t *testing.T) {
+	want := StorageStats{WALAppends: 7, WALFlushes: 3, WALBytes: 4096, DeadTupleVisits: 11}
+	s := newServer(t, Config{
+		LRC:          newLRCService(t),
+		StorageStats: func() StorageStats { return want },
+	})
+	c := rawConn(t, s)
+	handshake(t, c)
+	st := fetchStats(t, c)
+	if st.WALAppends != want.WALAppends || st.WALFlushes != want.WALFlushes ||
+		st.WALBytes != want.WALBytes || st.DeadTupleVisits != want.DeadTupleVisits {
+		t.Fatalf("storage stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestSlowOpThresholdCountsAndLogs(t *testing.T) {
+	var buf syncBuffer
+	s := newServer(t, Config{
+		LRC:             newLRCService(t),
+		SlowOpThreshold: time.Nanosecond, // every dispatch qualifies
+		Logger:          slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	c := rawConn(t, s)
+	handshake(t, c)
+	call(t, c, wire.OpPing, nil)
+	st := fetchStats(t, c)
+	if st.SlowOps < 1 {
+		t.Fatalf("slow ops = %d, want >= 1", st.SlowOps)
+	}
+	if !strings.Contains(buf.String(), "slow op") {
+		t.Fatalf("no slow-op log line in %q", buf.String())
+	}
+}
+
+func TestStatsLogLoopEmitsSummaries(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1000, 0))
+	var buf syncBuffer
+	s := newServer(t, Config{
+		LRC:              newLRCService(t),
+		Clock:            fc,
+		StatsLogInterval: time.Minute,
+		Logger:           slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for fc.Pending() == 0 { // wait for the loop to register its ticker
+		if time.Now().After(deadline) {
+			t.Fatal("stats log loop never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fc.Advance(time.Minute)
+	for !strings.Contains(buf.String(), "server stats") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no summary logged; log: %q", buf.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close() // must stop the loop without hanging
+}
+
+func TestStatsSnapshotIncludesSoftStateTargets(t *testing.T) {
+	// An LRC with a registered (but unreachable) RLI target reports it.
+	svc := newLRCServiceWithDialer(t, func(url string) (lrc.Updater, error) {
+		return nil, errors.New("rli unreachable")
+	})
+	if err := svc.AddRLITarget(wire.RLITarget{URL: "rls://nowhere"}); err != nil {
+		t.Fatal(err)
+	}
+	svc.CreateMapping("lfn://a", "pfn://a")
+	svc.ForceUpdate() // fails: the test dialer is not configured
+	s := newServer(t, Config{LRC: svc})
+	c := rawConn(t, s)
+	handshake(t, c)
+	st := fetchStats(t, c)
+	if len(st.SoftState) != 1 {
+		t.Fatalf("soft-state targets = %d, want 1", len(st.SoftState))
+	}
+	tg := st.SoftState[0]
+	if tg.URL != "rls://nowhere" || tg.Failed != 1 || tg.LastSuccessUnix != 0 {
+		t.Fatalf("target stat = %+v", tg)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

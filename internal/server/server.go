@@ -10,16 +10,28 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/auth"
 	"repro/internal/clock"
 	"repro/internal/lrc"
+	"repro/internal/metrics"
 	"repro/internal/rdb"
 	"repro/internal/rli"
 	"repro/internal/wire"
 )
+
+// StorageStats aggregates storage-engine activity for the stats snapshot.
+// Core wires it from the node's engines; servers built without one report
+// zeros.
+type StorageStats struct {
+	WALAppends      int64
+	WALFlushes      int64
+	WALBytes        int64
+	DeadTupleVisits int64
+}
 
 // Config configures a Server.
 type Config struct {
@@ -35,6 +47,29 @@ type Config struct {
 	Logger *slog.Logger
 	// Clock supplies uptime timestamps; defaults to the real clock.
 	Clock clock.Clock
+
+	// IdleTimeout reaps connections that send no frame for this long
+	// (handshake included), so a stalled client cannot pin a goroutine and
+	// a conn-map entry forever. Zero disables deadlines, preserving the
+	// seed/bench behaviour.
+	IdleTimeout time.Duration
+	// SlowOpThreshold logs any dispatch at or above this duration at Warn
+	// level and counts it in the stats snapshot. Zero disables.
+	SlowOpThreshold time.Duration
+	// StatsLogInterval emits periodic telemetry summaries via Logger.
+	// Zero disables.
+	StatsLogInterval time.Duration
+	// StorageStats supplies storage-engine counters for the stats
+	// snapshot; nil reports zeros.
+	StorageStats func() StorageStats
+}
+
+// opMetric is the per-operation dispatch telemetry: hot-path updates are
+// atomic adds only.
+type opMetric struct {
+	count  metrics.Counter
+	errors metrics.Counter
+	lat    metrics.Histogram
 }
 
 // Server accepts connections and dispatches operations to its services.
@@ -45,11 +80,15 @@ type Server struct {
 	clk     clock.Clock
 	started time.Time
 
+	ops     []opMetric // indexed by wire.Op, len wire.NumOps
+	slowOps metrics.Counter
+
 	mu        sync.Mutex
 	listeners map[net.Listener]bool
 	conns     map[*wire.Conn]bool
 	closed    bool
 	wg        sync.WaitGroup
+	logStop   chan struct{}
 }
 
 // New creates a server. At least one of LRC and RLI must be configured.
@@ -72,15 +111,22 @@ func New(cfg Config) (*Server, error) {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		authn:     authn,
 		log:       log,
 		clk:       clk,
 		started:   clk.Now(),
+		ops:       make([]opMetric, wire.NumOps),
 		listeners: make(map[net.Listener]bool),
 		conns:     make(map[*wire.Conn]bool),
-	}, nil
+	}
+	if cfg.StatsLogInterval > 0 {
+		s.logStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.statsLogLoop()
+	}
+	return s, nil
 }
 
 // Role describes the configured roles as the paper names them.
@@ -143,6 +189,9 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	if s.logStop != nil {
+		close(s.logStop)
+	}
 	for l := range s.listeners {
 		l.Close()
 	}
@@ -151,6 +200,13 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+}
+
+// ConnCount reports the number of live connections (for tests and stats).
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
 }
 
 func (s *Server) handleConn(raw net.Conn) {
@@ -170,15 +226,26 @@ func (s *Server) handleConn(raw net.Conn) {
 		conn.Close()
 	}()
 
+	idle := s.cfg.IdleTimeout
+	if idle > 0 {
+		conn.SetReadDeadline(time.Now().Add(idle))
+	}
 	id, err := s.handshake(conn)
 	if err != nil {
 		s.log.Debug("handshake failed", "remote", raw.RemoteAddr(), "err", err)
 		return
 	}
 	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		payload, err := conn.ReadFrame()
 		if err != nil {
-			if err != io.EOF {
+			switch {
+			case err == io.EOF:
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				s.log.Debug("idle connection reaped", "remote", raw.RemoteAddr(), "idle", idle)
+			default:
 				s.log.Debug("read failed", "remote", raw.RemoteAddr(), "err", err)
 			}
 			return
@@ -188,12 +255,123 @@ func (s *Server) handleConn(raw net.Conn) {
 			s.log.Debug("bad request frame", "remote", raw.RemoteAddr(), "err", err)
 			return
 		}
+		start := time.Now()
 		resp := s.dispatch(id, req)
+		s.observe(req.Op, resp.Status, time.Since(start))
 		if err := conn.WriteFrame(resp.Encode()); err != nil {
 			s.log.Debug("write failed", "remote", raw.RemoteAddr(), "err", err)
 			return
 		}
 	}
+}
+
+// observe folds one dispatch outcome into the per-op telemetry and flags
+// slow operations.
+func (s *Server) observe(op wire.Op, status wire.Status, elapsed time.Duration) {
+	if !op.Valid() {
+		return
+	}
+	m := &s.ops[op]
+	m.count.Inc()
+	if status != wire.StatusOK {
+		m.errors.Inc()
+	}
+	m.lat.Observe(elapsed)
+	if t := s.cfg.SlowOpThreshold; t > 0 && elapsed >= t {
+		s.slowOps.Inc()
+		s.log.Warn("slow op", "op", op.String(), "elapsed", elapsed, "status", status.String())
+	}
+}
+
+// statsLogLoop periodically emits a one-line telemetry summary.
+func (s *Server) statsLogLoop() {
+	defer s.wg.Done()
+	t := s.clk.NewTicker(s.cfg.StatsLogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.logStop:
+			return
+		case <-t.C():
+			s.logSummary()
+		}
+	}
+}
+
+func (s *Server) logSummary() {
+	var total, errs int64
+	for i := range s.ops {
+		total += s.ops[i].count.Load()
+		errs += s.ops[i].errors.Load()
+	}
+	s.log.Info("server stats",
+		"role", s.Role(),
+		"ops", total,
+		"errors", errs,
+		"slow_ops", s.slowOps.Load(),
+		"active_conns", s.ConnCount(),
+		"uptime", s.clk.Now().Sub(s.started).Round(time.Second))
+}
+
+// StatsSnapshot assembles the typed telemetry snapshot served by OpStats:
+// per-op dispatch counters and latency percentiles, soft-state sender health
+// (LRC role), ingest/expiry and Bloom-store occupancy (RLI role), and
+// storage-engine activity.
+func (s *Server) StatsSnapshot() *wire.StatsResponse {
+	resp := &wire.StatsResponse{
+		Role:          s.Role(),
+		URL:           s.cfg.URL,
+		UptimeSeconds: int64(s.clk.Now().Sub(s.started) / time.Second),
+		ActiveConns:   int64(s.ConnCount()),
+		SlowOps:       s.slowOps.Load(),
+	}
+	for op := 1; op < wire.NumOps; op++ {
+		m := &s.ops[op]
+		count := m.count.Load()
+		if count == 0 {
+			continue
+		}
+		h := m.lat.Snapshot()
+		resp.Ops = append(resp.Ops, wire.OpStat{
+			Op:     wire.Op(op),
+			Count:  count,
+			Errors: m.errors.Load(),
+			MeanNS: int64(h.Mean),
+			P50NS:  int64(h.P50),
+			P95NS:  int64(h.P95),
+			P99NS:  int64(h.P99),
+			MaxNS:  int64(h.Max),
+		})
+	}
+	if s.cfg.LRC != nil {
+		for _, ts := range s.cfg.LRC.TargetStats() {
+			st := wire.SoftStateTargetStat{
+				URL:       ts.URL,
+				Sent:      ts.Sent,
+				Failed:    ts.Failed,
+				Requeued:  ts.Requeued,
+				NamesSent: ts.NamesSent,
+				BytesSent: ts.BytesSent,
+			}
+			if !ts.LastSuccess.IsZero() {
+				st.LastSuccessUnix = ts.LastSuccess.UnixNano()
+			}
+			resp.SoftState = append(resp.SoftState, st)
+		}
+	}
+	if s.cfg.RLI != nil {
+		resp.RLIExpired = s.cfg.RLI.Stats().Expired
+		resp.RLIBloomFilters = int64(s.cfg.RLI.FilterCount())
+		resp.RLIBloomBytes = s.cfg.RLI.BloomBytes()
+	}
+	if s.cfg.StorageStats != nil {
+		ss := s.cfg.StorageStats()
+		resp.WALAppends = ss.WALAppends
+		resp.WALFlushes = ss.WALFlushes
+		resp.WALBytes = ss.WALBytes
+		resp.DeadTupleVisits = ss.DeadTupleVisits
+	}
+	return resp
 }
 
 // handshake performs the Hello exchange and authentication.

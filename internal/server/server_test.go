@@ -15,6 +15,10 @@ import (
 )
 
 func newLRCService(t *testing.T) *lrc.Service {
+	return newLRCServiceWithDialer(t, nil)
+}
+
+func newLRCServiceWithDialer(t *testing.T, dial lrc.Dialer) *lrc.Service {
 	t.Helper()
 	eng := storage.OpenMemory(storage.Options{Device: disk.New(disk.Fast())})
 	t.Cleanup(func() { eng.Close() })
@@ -22,7 +26,7 @@ func newLRCService(t *testing.T) *lrc.Service {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := lrc.New(lrc.Config{URL: "rls://test-lrc", DB: db})
+	svc, err := lrc.New(lrc.Config{URL: "rls://test-lrc", DB: db, Dial: dial})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +353,7 @@ func TestAuthDeniedOpsPerPrivilege(t *testing.T) {
 func TestPrivilegeForCoversEveryOp(t *testing.T) {
 	for op := wire.OpPing; op.Valid(); op++ {
 		priv := privilegeFor(op)
-		if op == wire.OpPing || op == wire.OpServerInfo {
+		if op == wire.OpPing || op == wire.OpServerInfo || op == wire.OpStats {
 			if priv != "" {
 				t.Errorf("%s requires %q, want none", op, priv)
 			}

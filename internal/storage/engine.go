@@ -321,17 +321,27 @@ type TableStats struct {
 	Dead int64
 }
 
-// Stats reports occupancy of every table plus WAL size.
+// Stats reports occupancy of every table plus WAL activity. WALAppends,
+// WALFlushes and WALBytes are cumulative since the engine opened (they
+// survive checkpoint truncation, unlike WALSize).
 type Stats struct {
-	Tables  []TableStats
-	WALSize int64
+	Tables     []TableStats
+	WALSize    int64
+	WALAppends int64
+	WALFlushes int64
+	WALBytes   int64
 }
 
 // Stats returns a snapshot of engine occupancy.
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	st := Stats{WALSize: e.wal.size}
+	st := Stats{
+		WALSize:    e.wal.size,
+		WALAppends: e.wal.appends,
+		WALFlushes: e.wal.syncs,
+		WALBytes:   e.wal.bytesWritten,
+	}
 	names := make([]string, 0, len(e.tables))
 	for name := range e.tables {
 		names = append(names, name)

@@ -332,9 +332,15 @@ func walDecodePayload(payload []byte) (walRecord, error) {
 
 // wal is the write-ahead log: an append-only file (or, for in-memory
 // engines, nothing) plus the simulated device charge for every append.
+// The cumulative counters (appends, syncs, bytesWritten) survive reset and
+// feed the engine's telemetry; all fields are guarded by the engine lock.
 type wal struct {
 	f    *os.File // nil for memory-only engines
 	size int64
+
+	appends      int64
+	syncs        int64
+	bytesWritten int64
 }
 
 func openWAL(path string) (*wal, error) {
@@ -353,6 +359,8 @@ func openWAL(path string) (*wal, error) {
 // append writes an already framed record batch.
 func (w *wal) append(frame []byte) error {
 	w.size += int64(len(frame))
+	w.appends++
+	w.bytesWritten += int64(len(frame))
 	if w.f == nil {
 		return nil
 	}
@@ -363,6 +371,7 @@ func (w *wal) append(frame []byte) error {
 // sync flushes the OS file (the simulated device charge is separate and paid
 // by the engine so memory-only engines still model it).
 func (w *wal) sync() error {
+	w.syncs++
 	if w.f == nil {
 		return nil
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Conn frames messages over a byte stream. It owns buffering; writers and
@@ -34,6 +35,10 @@ func (c *Conn) Close() error { return c.raw.Close() }
 
 // RemoteAddr reports the peer address.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// SetReadDeadline bounds future ReadFrame calls (idle-connection reaping).
+// The zero time clears the deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
 
 // WriteFrame sends one length-prefixed frame and flushes it.
 func (c *Conn) WriteFrame(payload []byte) error {

@@ -930,6 +930,151 @@ func (r *ServerInfoResponse) Encode() []byte {
 	return e.Bytes()
 }
 
+// OpStat reports one operation's dispatch telemetry. Latency quantities are
+// nanoseconds from the server's fixed-bucket histogram (nearest-rank, bucket
+// upper bound).
+type OpStat struct {
+	Op     Op
+	Count  int64
+	Errors int64
+	MeanNS int64
+	P50NS  int64
+	P95NS  int64
+	P99NS  int64
+	MaxNS  int64
+}
+
+// SoftStateTargetStat reports one LRC→RLI update target's health.
+type SoftStateTargetStat struct {
+	URL             string
+	Sent            int64 // successful updates of any kind
+	Failed          int64 // updates that errored
+	Requeued        int64 // incremental deltas re-queued after a failed flush
+	NamesSent       int64
+	BytesSent       int64
+	LastSuccessUnix int64 // unix nanoseconds; 0 = never
+}
+
+// StatsResponse is the server's typed telemetry snapshot: per-op dispatch
+// counters and latency distributions, soft-state sender health (LRC role),
+// soft-state ingest/expiry and Bloom-store occupancy (RLI role), and storage
+// activity — the quantities the paper's §5 measures from the outside,
+// reported from inside the server.
+type StatsResponse struct {
+	Role          string
+	URL           string
+	UptimeSeconds int64
+	ActiveConns   int64
+	SlowOps       int64 // dispatches above the server's slow-op threshold
+
+	Ops       []OpStat
+	SoftState []SoftStateTargetStat
+
+	// RLI soft-state store.
+	RLIExpired      int64 // database associations + Bloom filters dropped
+	RLIBloomFilters int64
+	RLIBloomBytes   int64
+
+	// Storage engines (summed over the node's engines).
+	WALAppends      int64
+	WALFlushes      int64
+	WALBytes        int64
+	DeadTupleVisits int64
+}
+
+// Encode serializes the response body.
+func (r *StatsResponse) Encode() []byte {
+	e := NewEncoder(128 + 64*len(r.Ops) + 64*len(r.SoftState))
+	e.String(r.Role)
+	e.String(r.URL)
+	e.I64(r.UptimeSeconds)
+	e.I64(r.ActiveConns)
+	e.I64(r.SlowOps)
+	e.Uvarint(uint64(len(r.Ops)))
+	for _, o := range r.Ops {
+		e.U16(uint16(o.Op))
+		e.I64(o.Count)
+		e.I64(o.Errors)
+		e.I64(o.MeanNS)
+		e.I64(o.P50NS)
+		e.I64(o.P95NS)
+		e.I64(o.P99NS)
+		e.I64(o.MaxNS)
+	}
+	e.Uvarint(uint64(len(r.SoftState)))
+	for _, t := range r.SoftState {
+		e.String(t.URL)
+		e.I64(t.Sent)
+		e.I64(t.Failed)
+		e.I64(t.Requeued)
+		e.I64(t.NamesSent)
+		e.I64(t.BytesSent)
+		e.I64(t.LastSuccessUnix)
+	}
+	e.I64(r.RLIExpired)
+	e.I64(r.RLIBloomFilters)
+	e.I64(r.RLIBloomBytes)
+	e.I64(r.WALAppends)
+	e.I64(r.WALFlushes)
+	e.I64(r.WALBytes)
+	e.I64(r.DeadTupleVisits)
+	return e.Bytes()
+}
+
+// DecodeStatsResponse parses a StatsResponse body.
+func DecodeStatsResponse(body []byte) (*StatsResponse, error) {
+	d := NewDecoder(body)
+	r := &StatsResponse{
+		Role:          d.String(),
+		URL:           d.String(),
+		UptimeSeconds: d.I64(),
+		ActiveConns:   d.I64(),
+		SlowOps:       d.I64(),
+	}
+	nOps := d.Uvarint()
+	if d.Err() == nil && nOps > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	for i := uint64(0); i < nOps; i++ {
+		r.Ops = append(r.Ops, OpStat{
+			Op:     Op(d.U16()),
+			Count:  d.I64(),
+			Errors: d.I64(),
+			MeanNS: d.I64(),
+			P50NS:  d.I64(),
+			P95NS:  d.I64(),
+			P99NS:  d.I64(),
+			MaxNS:  d.I64(),
+		})
+	}
+	nTargets := d.Uvarint()
+	if d.Err() == nil && nTargets > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	for i := uint64(0); i < nTargets; i++ {
+		r.SoftState = append(r.SoftState, SoftStateTargetStat{
+			URL:             d.String(),
+			Sent:            d.I64(),
+			Failed:          d.I64(),
+			Requeued:        d.I64(),
+			NamesSent:       d.I64(),
+			BytesSent:       d.I64(),
+			LastSuccessUnix: d.I64(),
+		})
+	}
+	r.RLIExpired = d.I64()
+	r.RLIBloomFilters = d.I64()
+	r.RLIBloomBytes = d.I64()
+	r.WALAppends = d.I64()
+	r.WALFlushes = d.I64()
+	r.WALBytes = d.I64()
+	r.DeadTupleVisits = d.I64()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // DecodeServerInfoResponse parses a ServerInfoResponse body.
 func DecodeServerInfoResponse(body []byte) (*ServerInfoResponse, error) {
 	d := NewDecoder(body)

@@ -64,8 +64,14 @@ const (
 	OpSSIncremental
 	OpSSBloom
 
+	// Observability: typed runtime-telemetry snapshot.
+	OpStats
+
 	opMax // sentinel
 )
+
+// NumOps is the size of a dense per-op table (valid ops are 1..NumOps-1).
+const NumOps = int(opMax)
 
 var opNames = map[Op]string{
 	OpPing:               "ping",
@@ -104,6 +110,7 @@ var opNames = map[Op]string{
 	OpSSFullEnd:          "ss_full_end",
 	OpSSIncremental:      "ss_incremental",
 	OpSSBloom:            "ss_bloom",
+	OpStats:              "stats",
 }
 
 // String names the op for logs and errors.

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStatsResponseRoundTrip(t *testing.T) {
+	in := &StatsResponse{
+		Role:          "lrc+rli",
+		URL:           "rls://node0",
+		UptimeSeconds: 3600,
+		ActiveConns:   4,
+		SlowOps:       2,
+		Ops: []OpStat{
+			{Op: OpPing, Count: 100, Errors: 0, MeanNS: 1500, P50NS: 1000, P95NS: 4000, P99NS: 8000, MaxNS: 9001},
+			{Op: OpLRCCreateMapping, Count: 5000, Errors: 7, MeanNS: 250000, P50NS: 128000, P95NS: 512000, P99NS: 1 << 20, MaxNS: 2 << 20},
+		},
+		SoftState: []SoftStateTargetStat{
+			{URL: "rls://rli0", Sent: 12, Failed: 1, Requeued: 34, NamesSent: 100000, BytesSent: 123456, LastSuccessUnix: 1086000000000000000},
+			{URL: "rls://rli1", Sent: 0, Failed: 3},
+		},
+		RLIExpired:      9,
+		RLIBloomFilters: 2,
+		RLIBloomBytes:   1 << 20,
+		WALAppends:      400,
+		WALFlushes:      40,
+		WALBytes:        1 << 16,
+		DeadTupleVisits: 77,
+	}
+	out, err := DecodeStatsResponse(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestStatsResponseEmptyRoundTrip(t *testing.T) {
+	in := &StatsResponse{Role: "rli", URL: "rls://r"}
+	out, err := DecodeStatsResponse(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestDecodeStatsResponseTruncated(t *testing.T) {
+	full := (&StatsResponse{
+		Role: "lrc",
+		URL:  "rls://l",
+		Ops:  []OpStat{{Op: OpPing, Count: 1}},
+	}).Encode()
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeStatsResponse(full[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", n, len(full))
+		}
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci bench
+.PHONY: build test race vet lint fuzz ci bench
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/rls-lint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-ci: build vet race
+# Short deterministic-budget fuzz smoke; CI runs this, longer local runs use
+# e.g. `go test -fuzz=FuzzGlobMatch -fuzztime=5m ./internal/glob`.
+fuzz:
+	$(GO) test -fuzz=FuzzBloomRoundTrip -fuzztime=10s -run '^$$' ./internal/bloom
+	$(GO) test -fuzz=FuzzGlobMatch -fuzztime=10s -run '^$$' ./internal/glob
+
+ci: build vet lint race fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -24,6 +25,7 @@ const benchCatalog = 10_000
 // benchLRC builds a single-LRC deployment preloaded with benchCatalog
 // mappings on a cost-free disk.
 func benchLRC(b *testing.B, personality storage.Personality) (*core.Deployment, *core.Node, workload.Names) {
+	ctx := context.Background()
 	b.Helper()
 	dep := core.NewDeployment()
 	fast := disk.Fast()
@@ -36,7 +38,7 @@ func benchLRC(b *testing.B, personality storage.Personality) (*core.Deployment, 
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := workload.Load(c, gen, benchCatalog, 1000); err != nil {
+	if err := workload.Load(ctx, c, gen, benchCatalog, 1000); err != nil {
 		b.Fatal(err)
 	}
 	c.Close()
@@ -57,12 +59,13 @@ func benchDial(b *testing.B, dep *core.Deployment, name string) *client.Client {
 // BenchmarkFig4AddFlushDisabled measures the add path with commit flushes
 // batched (the paper's recommended configuration).
 func BenchmarkFig4AddFlushDisabled(b *testing.B) {
+	ctx := context.Background()
 	dep, _, _ := benchLRC(b, storage.PersonalityMySQL)
 	c := benchDial(b, dep, "lrc")
 	gen := workload.Names{Space: "fig4off"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.CreateMapping(gen.Logical(i), gen.Target(i, 0)); err != nil {
+		if err := c.CreateMapping(ctx, gen.Logical(i), gen.Target(i, 0)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -72,6 +75,7 @@ func BenchmarkFig4AddFlushDisabled(b *testing.B) {
 // a simulated 2004-era disk flush — the other line of Figure 4. Expect
 // ~8ms/op.
 func BenchmarkFig4AddFlushEnabled(b *testing.B) {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	defer dep.Close()
 	model := disk.DefaultParams()
@@ -84,7 +88,7 @@ func BenchmarkFig4AddFlushEnabled(b *testing.B) {
 	gen := workload.Names{Space: "fig4on"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.CreateMapping(gen.Logical(i), gen.Target(i, 0)); err != nil {
+		if err := c.CreateMapping(ctx, gen.Logical(i), gen.Target(i, 0)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -92,11 +96,12 @@ func BenchmarkFig4AddFlushEnabled(b *testing.B) {
 
 // BenchmarkFig5Query measures the LRC query path.
 func BenchmarkFig5Query(b *testing.B) {
+	ctx := context.Background()
 	dep, _, gen := benchLRC(b, storage.PersonalityMySQL)
 	c := benchDial(b, dep, "lrc")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.GetTargets(gen.Logical(i * 7919 % benchCatalog)); err != nil {
+		if _, err := c.GetTargets(ctx, gen.Logical(i * 7919 % benchCatalog)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,6 +110,7 @@ func BenchmarkFig5Query(b *testing.B) {
 // BenchmarkFig6ParallelQuery measures query throughput with many requesting
 // threads, each on its own connection (the Figure 6 configuration).
 func BenchmarkFig6ParallelQuery(b *testing.B) {
+	ctx := context.Background()
 	dep, _, gen := benchLRC(b, storage.PersonalityMySQL)
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -117,7 +123,7 @@ func BenchmarkFig6ParallelQuery(b *testing.B) {
 		i := 0
 		for pb.Next() {
 			i++
-			if _, err := c.GetTargets(gen.Logical(i * 7919 % benchCatalog)); err != nil {
+			if _, err := c.GetTargets(ctx, gen.Logical(i * 7919 % benchCatalog)); err != nil {
 				b.Error(err)
 				return
 			}
@@ -143,14 +149,15 @@ func BenchmarkFig7NativeQuery(b *testing.B) {
 // under the PostgreSQL personality, with a vacuum every 1000 cycles — the
 // workload whose bloat produces the Figure 8 sawtooth.
 func BenchmarkFig8PostgresChurn(b *testing.B) {
+	ctx := context.Background()
 	dep, node, _ := benchLRC(b, storage.PersonalityPostgres)
 	c := benchDial(b, dep, "lrc")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.CreateMapping("lfn://churn", "pfn://churn"); err != nil {
+		if err := c.CreateMapping(ctx, "lfn://churn", "pfn://churn"); err != nil {
 			b.Fatal(err)
 		}
-		if err := c.DeleteMapping("lfn://churn", "pfn://churn"); err != nil {
+		if err := c.DeleteMapping(ctx, "lfn://churn", "pfn://churn"); err != nil {
 			b.Fatal(err)
 		}
 		if i%1000 == 999 {
@@ -163,6 +170,7 @@ func BenchmarkFig8PostgresChurn(b *testing.B) {
 
 // benchRLI builds an RLI preloaded via one full uncompressed update.
 func benchRLI(b *testing.B) (*core.Deployment, workload.Names) {
+	ctx := context.Background()
 	b.Helper()
 	dep := core.NewDeployment()
 	fast := disk.Fast()
@@ -180,12 +188,12 @@ func benchRLI(b *testing.B) (*core.Deployment, workload.Names) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := workload.Load(c, gen, benchCatalog, 1000); err != nil {
+	if err := workload.Load(ctx, c, gen, benchCatalog, 1000); err != nil {
 		b.Fatal(err)
 	}
 	c.Close()
 	node, _ := dep.Node("lrc")
-	for _, res := range node.LRC.ForceUpdate() {
+	for _, res := range node.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}
@@ -196,11 +204,12 @@ func benchRLI(b *testing.B) (*core.Deployment, workload.Names) {
 
 // BenchmarkFig9RLIQuery measures queries against a database-backed RLI.
 func BenchmarkFig9RLIQuery(b *testing.B) {
+	ctx := context.Background()
 	dep, gen := benchRLI(b)
 	c := benchDial(b, dep, "rli")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.RLIQuery(gen.Logical(i * 7919 % benchCatalog)); err != nil {
+		if _, err := c.RLIQuery(ctx, gen.Logical(i * 7919 % benchCatalog)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -208,6 +217,7 @@ func BenchmarkFig9RLIQuery(b *testing.B) {
 
 // benchBloomRLI builds an RLI holding `filters` in-memory Bloom filters.
 func benchBloomRLI(b *testing.B, filters int) *core.Deployment {
+	ctx := context.Background()
 	b.Helper()
 	dep := core.NewDeployment()
 	fast := disk.Fast()
@@ -225,7 +235,7 @@ func benchBloomRLI(b *testing.B, filters int) *core.Deployment {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := node.RLI.HandleBloom(fmt.Sprintf("rls://lrc%03d", f), data); err != nil {
+		if err := node.RLI.HandleBloom(ctx, fmt.Sprintf("rls://lrc%03d", f), data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -236,6 +246,7 @@ func benchBloomRLI(b *testing.B, filters int) *core.Deployment {
 // BenchmarkFig10BloomQuery measures RLI queries against 1, 10 and 100
 // resident Bloom filters (the Figure 10 series).
 func BenchmarkFig10BloomQuery(b *testing.B) {
+	ctx := context.Background()
 	for _, filters := range []int{1, 10, 100} {
 		b.Run(fmt.Sprintf("filters=%d", filters), func(b *testing.B) {
 			dep := benchBloomRLI(b, filters)
@@ -243,7 +254,7 @@ func BenchmarkFig10BloomQuery(b *testing.B) {
 			gen := workload.Names{Space: "lrc000"}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := c.RLIQuery(gen.Logical(i * 7919 % benchCatalog)); err != nil {
+				if _, err := c.RLIQuery(ctx, gen.Logical(i * 7919 % benchCatalog)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -254,6 +265,7 @@ func BenchmarkFig10BloomQuery(b *testing.B) {
 // BenchmarkFig11BulkQuery measures one 1000-name bulk query per iteration
 // (throughput per individual lookup is rate * 1000).
 func BenchmarkFig11BulkQuery(b *testing.B) {
+	ctx := context.Background()
 	dep, _, gen := benchLRC(b, storage.PersonalityMySQL)
 	c := benchDial(b, dep, "lrc")
 	names := make([]string, 1000)
@@ -262,7 +274,7 @@ func BenchmarkFig11BulkQuery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.BulkGetTargets(names); err != nil {
+		if _, err := c.BulkGetTargets(ctx, names); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -271,11 +283,12 @@ func BenchmarkFig11BulkQuery(b *testing.B) {
 // BenchmarkFig12UncompressedUpdate measures one full uncompressed soft
 // state update of the whole catalog per iteration.
 func BenchmarkFig12UncompressedUpdate(b *testing.B) {
+	ctx := context.Background()
 	dep, _ := benchRLI(b)
 	node, _ := dep.Node("lrc")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, res := range node.LRC.ForceUpdate() {
+		for _, res := range node.LRC.ForceUpdate(ctx) {
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
@@ -285,6 +298,7 @@ func BenchmarkFig12UncompressedUpdate(b *testing.B) {
 
 // benchBloomLink builds an LRC->RLI pair using Bloom updates.
 func benchBloomLink(b *testing.B, lrcs int) *core.Deployment {
+	ctx := context.Background()
 	b.Helper()
 	dep := core.NewDeployment()
 	fast := disk.Fast()
@@ -303,7 +317,7 @@ func benchBloomLink(b *testing.B, lrcs int) *core.Deployment {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := workload.Load(c, workload.Names{Space: name}, benchCatalog, 1000); err != nil {
+		if err := workload.Load(ctx, c, workload.Names{Space: name}, benchCatalog, 1000); err != nil {
 			b.Fatal(err)
 		}
 		c.Close()
@@ -315,11 +329,12 @@ func benchBloomLink(b *testing.B, lrcs int) *core.Deployment {
 // BenchmarkTable3BloomUpdate measures one Bloom filter soft state update per
 // iteration (Table 3, second column).
 func BenchmarkTable3BloomUpdate(b *testing.B) {
+	ctx := context.Background()
 	dep := benchBloomLink(b, 1)
 	node, _ := dep.Node("lrc0")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := node.LRC.ForceUpdateTo("rls://rli")
+		res, err := node.LRC.ForceUpdateTo(ctx, "rls://rli")
 		if err != nil || res.Err != nil {
 			b.Fatalf("%v / %v", err, res.Err)
 		}
@@ -329,11 +344,12 @@ func BenchmarkTable3BloomUpdate(b *testing.B) {
 // BenchmarkTable3BloomGenerate measures recomputing the Bloom filter from
 // the catalog (Table 3, third column: the one-time cost).
 func BenchmarkTable3BloomGenerate(b *testing.B) {
+	ctx := context.Background()
 	dep := benchBloomLink(b, 1)
 	node, _ := dep.Node("lrc0")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := node.LRC.RebuildFilter(); err != nil {
+		if _, err := node.LRC.RebuildFilter(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -342,6 +358,7 @@ func BenchmarkTable3BloomGenerate(b *testing.B) {
 // BenchmarkFig13ConcurrentBloomUpdates measures four LRCs pushing Bloom
 // updates to one RLI concurrently — the contention of Figure 13.
 func BenchmarkFig13ConcurrentBloomUpdates(b *testing.B) {
+	ctx := context.Background()
 	const lrcs = 4
 	dep := benchBloomLink(b, lrcs)
 	nodes := make([]*core.Node, lrcs)
@@ -355,7 +372,7 @@ func BenchmarkFig13ConcurrentBloomUpdates(b *testing.B) {
 			wg.Add(1)
 			go func(n *core.Node) {
 				defer wg.Done()
-				res, err := n.LRC.ForceUpdateTo("rls://rli")
+				res, err := n.LRC.ForceUpdateTo(ctx, "rls://rli")
 				if err != nil || res.Err != nil {
 					b.Errorf("%v / %v", err, res.Err)
 				}
@@ -378,6 +395,7 @@ func BenchmarkAblationBloomAdd(b *testing.B) {
 
 // BenchmarkAblationWirePing isolates the protocol + transport round trip.
 func BenchmarkAblationWirePing(b *testing.B) {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	defer dep.Close()
 	fast := disk.Fast()
@@ -387,7 +405,7 @@ func BenchmarkAblationWirePing(b *testing.B) {
 	c := benchDial(b, dep, "lrc")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.Ping(); err != nil {
+		if err := c.Ping(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -396,6 +414,7 @@ func BenchmarkAblationWirePing(b *testing.B) {
 // BenchmarkAblationPartitionedUpdate measures a partitioned full update
 // (regex filtering on the send path) against the same catalog.
 func BenchmarkAblationPartitionedUpdate(b *testing.B) {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	defer dep.Close()
 	fast := disk.Fast()
@@ -412,14 +431,14 @@ func BenchmarkAblationPartitionedUpdate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := workload.Load(c, workload.Names{Space: "part"}, benchCatalog, 1000); err != nil {
+	if err := workload.Load(ctx, c, workload.Names{Space: "part"}, benchCatalog, 1000); err != nil {
 		b.Fatal(err)
 	}
 	c.Close()
 	node, _ := dep.Node("lrc")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, res := range node.LRC.ForceUpdate() {
+		for _, res := range node.LRC.ForceUpdate(ctx) {
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
@@ -430,6 +449,7 @@ func BenchmarkAblationPartitionedUpdate(b *testing.B) {
 // BenchmarkAblationBulkVsSingle contrasts 1000 singleton queries with one
 // 1000-name bulk query (the Figure 11 effect at benchmark granularity).
 func BenchmarkAblationBulkVsSingle(b *testing.B) {
+	ctx := context.Background()
 	dep, _, gen := benchLRC(b, storage.PersonalityMySQL)
 	names := make([]string, 1000)
 	for i := range names {
@@ -440,7 +460,7 @@ func BenchmarkAblationBulkVsSingle(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, n := range names {
-				if _, err := c.GetTargets(n); err != nil {
+				if _, err := c.GetTargets(ctx, n); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -450,7 +470,7 @@ func BenchmarkAblationBulkVsSingle(b *testing.B) {
 		c := benchDial(b, dep, "lrc")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := c.BulkGetTargets(names); err != nil {
+			if _, err := c.BulkGetTargets(ctx, names); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,86 @@
+// Command rls-lint runs the repo-specific static-analysis suite
+// (internal/analysis) over the module and reports invariant violations the
+// compiler cannot see. It exits 1 when any diagnostic survives the
+// //lint:ignore directives, so `make lint` and CI gate on it.
+//
+// Usage:
+//
+//	rls-lint [-json] [patterns ...]
+//
+// Patterns follow the usual shape: ./... (default), ./internal/...,
+// ./internal/wire. With -json, one diagnostic object is emitted per line:
+//
+//	{"file":"internal/x/y.go","line":12,"col":3,"checker":"lockcheck","message":"..."}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, _, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := analysis.Load(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	checkers := []analysis.Checker{
+		analysis.LockCheck{},
+		analysis.AtomicCheck{},
+		analysis.DefaultWireCheck(),
+		analysis.DefaultCtxCheck(),
+		analysis.ErrCheck{},
+	}
+	diags := analysis.Run(prog, checkers)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		if *jsonOut {
+			line, err := json.Marshal(map[string]any{
+				"file":    d.Pos.Filename,
+				"line":    d.Pos.Line,
+				"col":     d.Pos.Column,
+				"checker": d.Checker,
+				"message": d.Message,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(line))
+		} else {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "rls-lint: %d problem(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rls-lint:", err)
+	os.Exit(2)
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	var (
 		server  = flag.String("server", "127.0.0.1:39281", "RLS server address")
 		op      = flag.String("op", "query", "operation: add, delete, query, rli-query, bulk-query, mixed")
@@ -39,7 +41,7 @@ func main() {
 	flag.Parse()
 
 	dial := func() (*client.Client, error) {
-		return client.Dial(client.Options{Addr: *server, DN: *dn, Token: *token})
+		return client.Dial(ctx, client.Options{Addr: *server, DN: *dn, Token: *token})
 	}
 	gen := workload.Names{Space: *space}
 
@@ -49,7 +51,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("preloading %d mappings...\n", *size)
-		if err := workload.Load(c, gen, *size, 1000); err != nil {
+		if err := workload.Load(ctx, c, gen, *size, 1000); err != nil {
 			c.Close()
 			fatal(err)
 		}
@@ -63,41 +65,41 @@ func main() {
 	var fn workload.Op
 	switch *op {
 	case "add":
-		fn = func(c *client.Client, seq int) error {
-			return c.CreateMapping(gen.Logical(catalog+seq), gen.Target(catalog+seq, 0))
+		fn = func(ctx context.Context, c *client.Client, seq int) error {
+			return c.CreateMapping(ctx, gen.Logical(catalog+seq), gen.Target(catalog+seq, 0))
 		}
 	case "delete":
-		fn = func(c *client.Client, seq int) error {
-			return c.DeleteMapping(gen.Logical(seq%catalog), gen.Target(seq%catalog, 0))
+		fn = func(ctx context.Context, c *client.Client, seq int) error {
+			return c.DeleteMapping(ctx, gen.Logical(seq%catalog), gen.Target(seq%catalog, 0))
 		}
 	case "query":
-		fn = func(c *client.Client, seq int) error {
-			_, err := c.GetTargets(gen.Logical(seq * 7919 % catalog))
+		fn = func(ctx context.Context, c *client.Client, seq int) error {
+			_, err := c.GetTargets(ctx, gen.Logical(seq * 7919 % catalog))
 			return err
 		}
 	case "rli-query":
-		fn = func(c *client.Client, seq int) error {
-			_, err := c.RLIQuery(gen.Logical(seq * 7919 % catalog))
+		fn = func(ctx context.Context, c *client.Client, seq int) error {
+			_, err := c.RLIQuery(ctx, gen.Logical(seq * 7919 % catalog))
 			return err
 		}
 	case "bulk-query":
-		fn = func(c *client.Client, seq int) error {
+		fn = func(ctx context.Context, c *client.Client, seq int) error {
 			names := make([]string, 1000)
 			for i := range names {
 				names[i] = gen.Logical((seq*1000 + i) % catalog)
 			}
-			_, err := c.BulkGetTargets(names)
+			_, err := c.BulkGetTargets(ctx, names)
 			return err
 		}
 	case "mixed":
-		fn = func(c *client.Client, seq int) error {
+		fn = func(ctx context.Context, c *client.Client, seq int) error {
 			switch seq % 4 {
 			case 0:
-				return c.CreateMapping(gen.Logical(catalog+seq), gen.Target(catalog+seq, 0))
+				return c.CreateMapping(ctx, gen.Logical(catalog+seq), gen.Target(catalog+seq, 0))
 			case 1:
-				return c.DeleteMapping(gen.Logical(catalog+seq-1), gen.Target(catalog+seq-1, 0))
+				return c.DeleteMapping(ctx, gen.Logical(catalog+seq-1), gen.Target(catalog+seq-1, 0))
 			default:
-				_, err := c.GetTargets(gen.Logical(seq * 7919 % catalog))
+				_, err := c.GetTargets(ctx, gen.Logical(seq * 7919 % catalog))
 				return err
 			}
 		}
@@ -110,7 +112,7 @@ func main() {
 		*op, *clients, *threads, *ops, *trials)
 	var lastErrors int
 	sum, err := workload.Trials(*trials, func(trial int) (float64, error) {
-		res, err := drv.Run(*ops, fn)
+		res, err := drv.Run(ctx, *ops, fn)
 		if err != nil {
 			return 0, err
 		}

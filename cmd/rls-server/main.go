@@ -140,10 +140,16 @@ func serveMetrics(addr string, dep *core.Deployment) error {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(out)
+		if err := enc.Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(l)
+	go func() {
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "rls-server: metrics listener: %v\n", err)
+		}
+	}()
 	fmt.Printf("rls-server: metrics on http://%s/stats\n", l.Addr())
 	return nil
 }

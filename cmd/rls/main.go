@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,9 +40,10 @@ import (
 
 func main() {
 	var (
-		server = flag.String("server", "127.0.0.1:39281", "RLS server address")
-		dn     = flag.String("dn", "", "identity Distinguished Name")
-		token  = flag.String("token", "", "identity credential token")
+		server  = flag.String("server", "127.0.0.1:39281", "RLS server address")
+		dn      = flag.String("dn", "", "identity Distinguished Name")
+		token   = flag.String("token", "", "identity credential token")
+		timeout = flag.Duration("timeout", 30*time.Second, "bound the whole command; 0 disables")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -49,27 +51,34 @@ func main() {
 		usage()
 	}
 
-	c, err := client.Dial(client.Options{Addr: *server, DN: *dn, Token: *token})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	c, err := client.Dial(ctx, client.Options{Addr: *server, DN: *dn, Token: *token})
 	if err != nil {
 		fatal(err)
 	}
 	defer c.Close()
 
 	cmd, rest := args[0], args[1:]
-	if err := run(c, cmd, rest); err != nil {
+	if err := run(ctx, c, cmd, rest); err != nil {
 		fatal(err)
 	}
 }
 
-func run(c *client.Client, cmd string, args []string) error {
+func run(ctx context.Context, c *client.Client, cmd string, args []string) error {
 	switch cmd {
 	case "ping":
-		if err := c.Ping(); err != nil {
+		if err := c.Ping(ctx); err != nil {
 			return err
 		}
 		fmt.Println("pong")
 	case "info":
-		info, err := c.ServerInfo()
+		info, err := c.ServerInfo(ctx)
 		if err != nil {
 			return err
 		}
@@ -77,31 +86,31 @@ func run(c *client.Client, cmd string, args []string) error {
 			info.URL, info.Role, info.LogicalNames, info.TargetNames, info.Mappings,
 			info.IndexEntries, info.BloomFilters, time.Duration(info.UptimeSeconds)*time.Second)
 	case "stats":
-		st, err := c.Stats()
+		st, err := c.Stats(ctx)
 		if err != nil {
 			return err
 		}
 		printStats(st)
 	case "create":
 		need(args, 2)
-		return c.CreateMapping(args[0], args[1])
+		return c.CreateMapping(ctx, args[0], args[1])
 	case "add":
 		need(args, 2)
-		return c.AddMapping(args[0], args[1])
+		return c.AddMapping(ctx, args[0], args[1])
 	case "delete":
 		need(args, 2)
-		return c.DeleteMapping(args[0], args[1])
+		return c.DeleteMapping(ctx, args[0], args[1])
 	case "get-pfn":
 		need(args, 1)
 		if glob.HasWildcard(args[0]) {
-			results, err := c.WildcardTargets(args[0])
+			results, err := c.WildcardTargets(ctx, args[0])
 			if err != nil {
 				return err
 			}
 			printResults(results)
 			return nil
 		}
-		names, err := c.GetTargets(args[0])
+		names, err := c.GetTargets(ctx, args[0])
 		if err != nil {
 			return err
 		}
@@ -109,14 +118,14 @@ func run(c *client.Client, cmd string, args []string) error {
 	case "get-lfn":
 		need(args, 1)
 		if glob.HasWildcard(args[0]) {
-			results, err := c.WildcardLogicals(args[0])
+			results, err := c.WildcardLogicals(ctx, args[0])
 			if err != nil {
 				return err
 			}
 			printResults(results)
 			return nil
 		}
-		names, err := c.GetLogicals(args[0])
+		names, err := c.GetLogicals(ctx, args[0])
 		if err != nil {
 			return err
 		}
@@ -124,20 +133,20 @@ func run(c *client.Client, cmd string, args []string) error {
 	case "rli-query":
 		need(args, 1)
 		if glob.HasWildcard(args[0]) {
-			results, err := c.RLIWildcardQuery(args[0])
+			results, err := c.RLIWildcardQuery(ctx, args[0])
 			if err != nil {
 				return err
 			}
 			printResults(results)
 			return nil
 		}
-		names, err := c.RLIQuery(args[0])
+		names, err := c.RLIQuery(ctx, args[0])
 		if err != nil {
 			return err
 		}
 		printNames(names)
 	case "rli-lrcs":
-		names, err := c.RLILRCList()
+		names, err := c.RLILRCList(ctx)
 		if err != nil {
 			return err
 		}
@@ -152,7 +161,7 @@ func run(c *client.Client, cmd string, args []string) error {
 		if err != nil {
 			return err
 		}
-		return c.DefineAttribute(args[0], obj, typ)
+		return c.DefineAttribute(ctx, args[0], obj, typ)
 	case "attr-add":
 		need(args, 4)
 		obj, err := parseObj(args[1])
@@ -161,7 +170,7 @@ func run(c *client.Client, cmd string, args []string) error {
 		}
 		// Resolve the attribute's declared type so "123" stores as a string
 		// when the attribute is a string.
-		defs, err := c.ListAttributeDefs(obj)
+		defs, err := c.ListAttributeDefs(ctx, obj)
 		if err != nil {
 			return err
 		}
@@ -180,14 +189,14 @@ func run(c *client.Client, cmd string, args []string) error {
 		if !found {
 			return fmt.Errorf("attribute %q is not defined for %s objects (use attr-define)", args[2], obj)
 		}
-		return c.AddAttribute(args[0], obj, args[2], val)
+		return c.AddAttribute(ctx, args[0], obj, args[2], val)
 	case "attr-list":
 		need(args, 1)
 		obj, err := parseObj(args[0])
 		if err != nil {
 			return err
 		}
-		defs, err := c.ListAttributeDefs(obj)
+		defs, err := c.ListAttributeDefs(ctx, obj)
 		if err != nil {
 			return err
 		}
@@ -200,7 +209,7 @@ func run(c *client.Client, cmd string, args []string) error {
 		if err != nil {
 			return err
 		}
-		attrs, err := c.GetAttributes(args[0], obj, nil)
+		attrs, err := c.GetAttributes(ctx, args[0], obj, nil)
 		if err != nil {
 			return err
 		}
@@ -208,7 +217,7 @@ func run(c *client.Client, cmd string, args []string) error {
 			fmt.Printf("%s: %s\n", a.Name, formatValue(a.Value))
 		}
 	case "rli-list":
-		targets, err := c.ListRLITargets()
+		targets, err := c.ListRLITargets(ctx)
 		if err != nil {
 			return err
 		}
@@ -222,10 +231,10 @@ func run(c *client.Client, cmd string, args []string) error {
 	case "rli-add":
 		need(args, 1)
 		bloom := len(args) > 1 && args[1] == "bloom"
-		return c.AddRLITarget(wire.RLITarget{URL: args[0], Bloom: bloom})
+		return c.AddRLITarget(ctx, wire.RLITarget{URL: args[0], Bloom: bloom})
 	case "rli-remove":
 		need(args, 1)
-		return c.RemoveRLITarget(args[0])
+		return c.RemoveRLITarget(ctx, args[0])
 	default:
 		usage()
 	}

@@ -1,0 +1,6 @@
+package repro
+
+import "context"
+
+// ctx is the shared background context for the top-level benchmarks.
+var ctx = context.Background()

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,6 +29,7 @@ const filesPerSite = 500 // scaled from ESG's 40,000 physical files
 var sites = []string{"ncar", "llnl", "ornl", "lbnl"}
 
 func main() {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	defer dep.Close()
 	fast := disk.Fast()
@@ -54,10 +56,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := c.DefineAttribute("size", wire.ObjTarget, wire.AttrInt); err != nil {
+		if err := c.DefineAttribute(ctx, "size", wire.ObjTarget, wire.AttrInt); err != nil {
 			log.Fatal(err)
 		}
-		if err := c.DefineAttribute("checksum", wire.ObjTarget, wire.AttrString); err != nil {
+		if err := c.DefineAttribute(ctx, "checksum", wire.ObjTarget, wire.AttrString); err != nil {
 			log.Fatal(err)
 		}
 		var batch []wire.Mapping
@@ -67,14 +69,14 @@ func main() {
 				Target:  fmt.Sprintf("gsiftp://%s.esg.org/archive/cam3-run%04d.nc", site, i),
 			})
 		}
-		if fails, err := c.BulkCreate(batch); err != nil || len(fails) > 0 {
+		if fails, err := c.BulkCreate(ctx, batch); err != nil || len(fails) > 0 {
 			log.Fatalf("bulk publish at %s: %v (%d failures)", site, err, len(fails))
 		}
 		// Attach attributes to a couple of interesting files.
 		for i := 0; i < 3; i++ {
 			pfn := fmt.Sprintf("gsiftp://%s.esg.org/archive/cam3-run%04d.nc", site, i)
-			must(c.AddAttribute(pfn, wire.ObjTarget, "size", wire.AttrValue{Type: wire.AttrInt, I: int64(1 << (20 + i))}))
-			must(c.AddAttribute(pfn, wire.ObjTarget, "checksum", wire.AttrValue{Type: wire.AttrString, S: fmt.Sprintf("md5:%08x", i*2654435761)}))
+			must(c.AddAttribute(ctx, pfn, wire.ObjTarget, "size", wire.AttrValue{Type: wire.AttrInt, I: int64(1 << (20 + i))}))
+			must(c.AddAttribute(ctx, pfn, wire.ObjTarget, "checksum", wire.AttrValue{Type: wire.AttrString, S: fmt.Sprintf("md5:%08x", i*2654435761)}))
 		}
 		c.Close()
 		fmt.Printf("%s published %d datasets\n", site, filesPerSite)
@@ -83,7 +85,7 @@ func main() {
 	// Cross-replicate: every LRC pushes full updates to all four RLIs.
 	for _, site := range sites {
 		node, _ := dep.Node(site)
-		for _, res := range node.LRC.ForceUpdate() {
+		for _, res := range node.LRC.ForceUpdate(ctx) {
 			if res.Err != nil {
 				log.Fatal(res.Err)
 			}
@@ -98,7 +100,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		lrcs, err := c.RLIQuery(wanted)
+		lrcs, err := c.RLIQuery(ctx, wanted)
 		if err != nil {
 			log.Fatalf("query at %s: %v", entry, err)
 		}
@@ -110,14 +112,14 @@ func main() {
 	// uses uncompressed updates, not Bloom filters (paper §5.4).
 	c, _ := dep.Dial("ncar")
 	defer c.Close()
-	hits, err := c.RLIWildcardQuery("lfn://esg/llnl/cam3-run000?.nc")
+	hits, err := c.RLIWildcardQuery(ctx, "lfn://esg/llnl/cam3-run000?.nc")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wildcard query for llnl's first runs matched %d logical names at the index\n", len(hits))
 
 	// Attribute search: find large files at one site.
-	big, err := c.SearchAttribute("size", wire.ObjTarget, wire.CmpGE, wire.AttrValue{Type: wire.AttrInt, I: 2 << 20})
+	big, err := c.SearchAttribute(ctx, "size", wire.ObjTarget, wire.CmpGE, wire.AttrValue{Type: wire.AttrInt, I: 2 << 20})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	defer dep.Close()
 	fast := disk.Fast()
@@ -67,7 +69,7 @@ func main() {
 		for j := 0; j < 50; j++ {
 			lfn := fmt.Sprintf("lfn://hep/%s/run%03d.root", s.name, j)
 			pfn := fmt.Sprintf("gsiftp://%s.gov/data/run%03d.root", s.name, j)
-			if err := c.CreateMapping(lfn, pfn); err != nil {
+			if err := c.CreateMapping(ctx, lfn, pfn); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -79,7 +81,7 @@ func main() {
 	// Tier 1: LRCs -> regional RLIs.
 	for _, s := range sites {
 		node, _ := dep.Node(s.name)
-		for _, res := range node.LRC.ForceUpdate() {
+		for _, res := range node.LRC.ForceUpdate(ctx) {
 			if res.Err != nil {
 				log.Fatal(res.Err)
 			}
@@ -88,7 +90,7 @@ func main() {
 	// Tier 2: regional RLIs -> root.
 	for _, r := range []string{"rli-east", "rli-west"} {
 		node, _ := dep.Node(r)
-		for _, res := range node.RLI.ForwardAll() {
+		for _, res := range node.RLI.ForwardAll(ctx) {
 			if res.Err != nil {
 				log.Fatal(res.Err)
 			}
@@ -108,7 +110,7 @@ func main() {
 		"lfn://hep/bnl/run007.root",  // east, uncompressed path
 		"lfn://hep/slac/run007.root", // west, bloom path
 	} {
-		lrcs, err := root.RLIQuery(probe)
+		lrcs, err := root.RLIQuery(ctx, probe)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -119,12 +121,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if pfns, err := c.GetTargets(probe); err == nil {
+			if pfns, err := c.GetTargets(ctx, probe); err == nil {
 				fmt.Printf("  resolved: %s\n", pfns[0])
 			}
 			c.Close()
 		}
 	}
-	known, _ := root.RLILRCList()
+	known, _ := root.RLILRCList(ctx)
 	fmt.Printf("root knows %d LRCs without any of them updating it directly: %v\n", len(known), known)
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -31,6 +32,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	defer dep.Close()
 	fast := disk.Fast()
@@ -73,14 +75,14 @@ func main() {
 			pfn := fmt.Sprintf("gsiftp://%s.ligo.org/frames/H-R-%09d.gwf", site, i)
 			batch = append(batch, wire.Mapping{Logical: lfn, Target: pfn})
 			if len(batch) == 1000 {
-				if _, err := c.BulkCreate(batch); err != nil {
+				if _, err := c.BulkCreate(ctx, batch); err != nil {
 					log.Fatal(err)
 				}
 				batch = batch[:0]
 			}
 		}
 		if len(batch) > 0 {
-			if _, err := c.BulkCreate(batch); err != nil {
+			if _, err := c.BulkCreate(ctx, batch); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -91,7 +93,7 @@ func main() {
 	// Sites push Bloom filter updates to the Tier-1 index.
 	for _, site := range sites {
 		node, _ := dep.Node(site)
-		for _, res := range node.LRC.ForceUpdate() {
+		for _, res := range node.LRC.ForceUpdate(ctx) {
 			if res.Err != nil {
 				log.Fatal(res.Err)
 			}
@@ -107,7 +109,7 @@ func main() {
 	}
 	defer idx.Close()
 	frame := frameLFN(1234)
-	lrcs, err := idx.RLIQuery(frame)
+	lrcs, err := idx.RLIQuery(ctx, frame)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		pfns, err := c.GetTargets(frame)
+		pfns, err := c.GetTargets(ctx, frame)
 		if err != nil {
 			// A Bloom false positive: the site does not actually hold the
 			// frame. Applications "must be sufficiently robust to recover
@@ -143,7 +145,7 @@ func main() {
 	fp := 0
 	const probes = 2000
 	for i := 0; i < probes; i++ {
-		if _, err := idx.RLIQuery(fmt.Sprintf("lfn://ligo/never-registered-%06d", i)); err == nil {
+		if _, err := idx.RLIQuery(ctx, fmt.Sprintf("lfn://ligo/never-registered-%06d", i)); err == nil {
 			fp++
 		}
 	}

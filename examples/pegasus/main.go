@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -31,6 +32,7 @@ var (
 )
 
 func main() {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	defer dep.Close()
 	fast := disk.Fast()
@@ -75,7 +77,7 @@ func main() {
 			Target:  fmt.Sprintf("gsiftp://isi.edu/raw/%04d.dat", i),
 		})
 	}
-	if fails, err := isi.BulkCreate(raw); err != nil || len(fails) > 0 {
+	if fails, err := isi.BulkCreate(ctx, raw); err != nil || len(fails) > 0 {
 		log.Fatalf("stage-1 registration: %v (%d failures)", err, len(fails))
 	}
 	fmt.Println("stage 1: isi registered 200 raw inputs (bulk)")
@@ -94,7 +96,7 @@ func main() {
 	resolved := 0
 	for i := 0; i < 200; i++ {
 		lfn := fmt.Sprintf("lfn://pegasus/raw/%04d.dat", i)
-		lrcs, err := planner.RLIQuery(lfn)
+		lrcs, err := planner.RLIQuery(ctx, lfn)
 		if err != nil {
 			log.Fatalf("planner could not locate %s: %v", lfn, err)
 		}
@@ -104,7 +106,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if _, err := c.GetTargets(lfn); err == nil {
+			if _, err := c.GetTargets(ctx, lfn); err == nil {
 				resolved++
 				c.Close()
 				break
@@ -126,7 +128,7 @@ func main() {
 			Target:  fmt.Sprintf("gsiftp://uc.teragrid.org/scratch/derived/%04d.h5", i),
 		})
 	}
-	if fails, err := uc.BulkCreate(derived); err != nil || len(fails) > 0 {
+	if fails, err := uc.BulkCreate(ctx, derived); err != nil || len(fails) > 0 {
 		log.Fatalf("stage-2 registration: %v (%d failures)", err, len(fails))
 	}
 	fmt.Println("         uc registered 200 derived outputs (bulk)")
@@ -135,16 +137,16 @@ func main() {
 	// learned about it; the planner must tolerate the stale RLI answer.
 	// uc updates rli-east and rli-central, so watch one of those.
 	waitForIndex(dep, "rli-east", "lfn://pegasus/derived/0007.h5")
-	must(uc.DeleteMapping("lfn://pegasus/derived/0007.h5", "gsiftp://uc.teragrid.org/scratch/derived/0007.h5"))
+	must(uc.DeleteMapping(ctx, "lfn://pegasus/derived/0007.h5", "gsiftp://uc.teragrid.org/scratch/derived/0007.h5"))
 	east, err := dep.Dial("rli-east")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer east.Close()
-	lrcs, err := east.RLIQuery("lfn://pegasus/derived/0007.h5")
+	lrcs, err := east.RLIQuery(ctx, "lfn://pegasus/derived/0007.h5")
 	if err == nil {
 		fmt.Printf("stale index: RLI still names %v for a deleted file\n", lrcs)
-		if _, err := uc.GetTargets("lfn://pegasus/derived/0007.h5"); errors.Is(err, client.ErrNotFound) {
+		if _, err := uc.GetTargets(ctx, "lfn://pegasus/derived/0007.h5"); errors.Is(err, client.ErrNotFound) {
 			fmt.Println("         planner followed the pointer, got not-found, and would re-plan — recovered")
 		}
 	} else {
@@ -155,6 +157,7 @@ func main() {
 // waitForIndex polls an RLI until a name is visible (immediate mode is
 // asynchronous).
 func waitForIndex(dep *core.Deployment, rliName, lfn string) {
+	ctx := context.Background()
 	c, err := dep.Dial(rliName)
 	if err != nil {
 		log.Fatal(err)
@@ -162,7 +165,7 @@ func waitForIndex(dep *core.Deployment, rliName, lfn string) {
 	defer c.Close()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		if _, err := c.RLIQuery(lfn); err == nil {
+		if _, err := c.RLIQuery(ctx, lfn); err == nil {
 			return
 		}
 		time.Sleep(20 * time.Millisecond)

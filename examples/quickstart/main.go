@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	defer dep.Close()
 
@@ -43,14 +45,14 @@ func main() {
 	defer pub.Close()
 
 	const dataset = "lfn://quickstart/climate-2004.nc"
-	must(pub.CreateMapping(dataset, "gsiftp://storage1.example.org/data/climate-2004.nc"))
-	must(pub.AddMapping(dataset, "gsiftp://storage2.example.org/mirror/climate-2004.nc"))
+	must(pub.CreateMapping(ctx, dataset, "gsiftp://storage1.example.org/data/climate-2004.nc"))
+	must(pub.AddMapping(ctx, dataset, "gsiftp://storage2.example.org/mirror/climate-2004.nc"))
 	fmt.Println("registered 2 replicas of", dataset)
 
 	// Push the LRC's state to the index (normally the periodic soft state
 	// scheduler does this; a demo forces it).
 	lrcNode, _ := dep.Node("lrc0")
-	for _, res := range lrcNode.LRC.ForceUpdate() {
+	for _, res := range lrcNode.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}
@@ -64,7 +66,7 @@ func main() {
 	}
 	defer idx.Close()
 
-	lrcs, err := idx.RLIQuery(dataset)
+	lrcs, err := idx.RLIQuery(ctx, dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func main() {
 	for range lrcs {
 		// In a multi-site deployment the consumer would dial each returned
 		// LRC url; here there is only lrc0.
-		replicas, err := pub.GetTargets(dataset)
+		replicas, err := pub.GetTargets(ctx, dataset)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,75 @@
+// Package analysis is the repo-specific static-analysis framework behind
+// cmd/rls-lint. It loads every package in the module with nothing but the
+// standard library (go/parser + go/types; stdlib dependencies are
+// type-checked from source via go/importer), then runs a pluggable set of
+// checkers that enforce invariants the compiler cannot see:
+//
+//   - lockcheck:  mutexes are released on every return path and never held
+//     across network/file I/O, sleeps or channel sends
+//   - atomiccheck: fields touched via sync/atomic are never also accessed
+//     with plain loads or stores
+//   - wirecheck:  every wire.Op constant is wired end to end (name table,
+//     codec schema, dispatch arm, privilege table, client coverage)
+//   - ctxcheck:   exported blocking APIs in the client/lrc/rli packages
+//     accept a context.Context first and propagate it
+//   - errcheck:   no silently discarded error results outside tests
+//
+// Checkers report Diagnostics; the driver applies //lint:ignore directives
+// (see directives.go) and renders text or JSON.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"go/token"
+)
+
+// Diagnostic is one finding, positioned at a concrete file:line.
+type Diagnostic struct {
+	Pos     token.Position
+	Checker string
+	Message string
+}
+
+// String renders the conventional compiler-style form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Checker, d.Message)
+}
+
+// Checker is one analysis pass over a loaded program.
+type Checker interface {
+	// Name is the identifier used in output and //lint:ignore directives.
+	Name() string
+	// Check inspects the program and returns findings.
+	Check(prog *Program) []Diagnostic
+}
+
+// Run executes every checker, applies suppression directives, reports
+// malformed or unused directives, and returns the surviving diagnostics
+// sorted by position.
+func Run(prog *Program, checkers []Checker) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range checkers {
+		for _, d := range c.Check(prog) {
+			d.Checker = c.Name()
+			diags = append(diags, d)
+		}
+	}
+	dirs, dirDiags := collectDirectives(prog)
+	diags = append(applyDirectives(diags, dirs), dirDiags...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Checker < b.Checker
+	})
+	return diags
+}

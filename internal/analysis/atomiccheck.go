@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCheck enforces that a struct field accessed through the raw
+// sync/atomic functions (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&s.f),
+// ...) is never also read or written with a plain load or store anywhere in
+// the program. Mixing the two silently drops the happens-before edges the
+// atomic calls exist to provide; the race detector only catches it when the
+// interleaving actually fires.
+//
+// Fields of the typed sync/atomic wrapper types (atomic.Int64 et al., used
+// throughout internal/metrics) are immune by construction: the wrappers have
+// no exported plain accessors, so this checker concerns itself only with the
+// raw-pointer API.
+type AtomicCheck struct{}
+
+// Name implements Checker.
+func (AtomicCheck) Name() string { return "atomiccheck" }
+
+// Check implements Checker.
+func (AtomicCheck) Check(prog *Program) []Diagnostic {
+	// Pass 1: collect every field object passed by address to a raw
+	// sync/atomic function, program-wide.
+	atomicFields := make(map[*types.Var]token.Pos)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if v := fieldVar(pkg.Info, un.X); v != nil {
+						if _, seen := atomicFields[v]; !seen {
+							atomicFields[v] = arg.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag any other access to those fields that is not itself an
+	// &field argument to a sync/atomic call.
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if ok {
+					if fn := calleeFunc(pkg.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+						// Do not descend into the atomic call's own &field
+						// arguments; other argument subtrees are rebuilt and
+						// inspected below.
+						for _, arg := range call.Args {
+							if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND && fieldVar(pkg.Info, un.X) != nil {
+								continue
+							}
+							diags = append(diags, inspectPlain(prog, pkg, arg, atomicFields)...)
+						}
+						return false
+					}
+				}
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if v := fieldVar(pkg.Info, sel); v != nil {
+						if first, isAtomic := atomicFields[v]; isAtomic {
+							diags = append(diags, Diagnostic{
+								Pos: prog.Fset.Position(sel.Pos()),
+								Message: "plain access to field " + v.Name() + " which is accessed atomically at " +
+									prog.Fset.Position(first).String() + "; use sync/atomic for every access",
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// inspectPlain reports plain accesses to atomic fields inside an arbitrary
+// subtree (used for non-&field arguments of atomic calls).
+func inspectPlain(prog *Program, pkg *Package, root ast.Node, atomicFields map[*types.Var]token.Pos) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if v := fieldVar(pkg.Info, sel); v != nil {
+			if first, isAtomic := atomicFields[v]; isAtomic {
+				diags = append(diags, Diagnostic{
+					Pos: prog.Fset.Position(sel.Pos()),
+					Message: "plain access to field " + v.Name() + " which is accessed atomically at " +
+						prog.Fset.Position(first).String() + "; use sync/atomic for every access",
+				})
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// fieldVar resolves expr to a struct-field object, or nil. Accepts
+// selector expressions (s.n) and bare identifiers that denote fields
+// (inside methods via implicit receiver — not a Go construct, so selectors
+// in practice).
+func fieldVar(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[sel.Sel]
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxCheck enforces that exported blocking APIs in the configured packages
+// (the client and the LRC/RLI services) accept a context.Context as their
+// first parameter and actually use it, so callers can bound and cancel every
+// operation that may touch the network or sleep.
+//
+// "Blocking" is computed as a fixed point over the program's static call
+// graph. A function blocks if its body (outside `go` statements) does any of:
+//
+//   - call into package net or bufio, io.ReadFull/Copy/CopyN/ReadAll,
+//     time.Sleep, or any method named Sleep (the clock abstraction)
+//   - (*sync.WaitGroup).Wait
+//   - a channel send, receive, or a select without a default arm
+//   - invoke a method of a configured blocking interface or a value of a
+//     configured blocking function type (dialers, updaters — dynamic calls
+//     the static graph cannot see through)
+//   - call another function already known to block
+//
+// Work handed to a goroutine does not make the spawning function blocking;
+// that is the point of spawning. Conventional cleanup/accessor names
+// (Close, Stop, String, Error, Unwrap) are exempt from the signature rule —
+// forcing a context into io.Closer-shaped methods would break more idioms
+// than it fixes.
+type CtxCheck struct {
+	// TargetPkgs are the packages whose exported API must carry contexts.
+	TargetPkgs []string
+	// BlockingIfaces lists interface types ("path.Name") whose method calls
+	// are considered blocking (except Exempt method names).
+	BlockingIfaces []string
+	// BlockingFuncTypes lists named function types ("path.Name") whose
+	// invocation is considered blocking.
+	BlockingFuncTypes []string
+	// Exempt are method/function names excused from the ctx-first rule.
+	Exempt []string
+}
+
+// DefaultCtxCheck is the configuration for this repo.
+func DefaultCtxCheck() CtxCheck {
+	return CtxCheck{
+		TargetPkgs: []string{
+			"repro/internal/client",
+			"repro/internal/lrc",
+			"repro/internal/rli",
+		},
+		BlockingIfaces: []string{
+			"repro/internal/lrc.Updater",
+			"repro/internal/rli.Updater",
+		},
+		BlockingFuncTypes: []string{
+			"repro/internal/lrc.Dialer",
+			"repro/internal/rli.Dialer",
+		},
+		Exempt: []string{"Close", "Stop", "String", "Error", "Unwrap"},
+	}
+}
+
+// Name implements Checker.
+func (CtxCheck) Name() string { return "ctxcheck" }
+
+type funcInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	// callees are statically resolved program-local calls outside go stmts.
+	callees []*types.Func
+	// blocking marks a primitive blocking operation in the body.
+	blocking bool
+	// why describes the first blocking evidence, for the diagnostic.
+	why string
+	pos token.Pos
+}
+
+// Check implements Checker.
+func (c CtxCheck) Check(prog *Program) []Diagnostic {
+	ifaceSet := make(map[string]bool, len(c.BlockingIfaces))
+	for _, s := range c.BlockingIfaces {
+		ifaceSet[s] = true
+	}
+	funcTypeSet := make(map[string]bool, len(c.BlockingFuncTypes))
+	for _, s := range c.BlockingFuncTypes {
+		funcTypeSet[s] = true
+	}
+	exempt := make(map[string]bool, len(c.Exempt))
+	for _, n := range c.Exempt {
+		exempt[n] = true
+	}
+
+	// Pass 1: per-function primitive blocking + call edges.
+	funcs := make(map[*types.Func]*funcInfo)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{pkg: pkg, decl: fd, pos: fd.Pos()}
+				c.scanBody(pkg, fd.Body, fi, ifaceSet, funcTypeSet, exempt)
+				funcs[obj] = fi
+			}
+		}
+	}
+
+	// Pass 2: propagate blocking through the call graph to a fixed point.
+	changed := true
+	for changed {
+		changed = false
+		for _, fi := range funcs {
+			if fi.blocking {
+				continue
+			}
+			for _, callee := range fi.callees {
+				if cfi, ok := funcs[callee]; ok && cfi.blocking {
+					fi.blocking = true
+					fi.why = "calls blocking " + callee.Name()
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: check exported APIs of target packages.
+	var diags []Diagnostic
+	for obj, fi := range funcs {
+		if !fi.blocking || !obj.Exported() || exempt[obj.Name()] {
+			continue
+		}
+		if !inTargets(fi.pkg.Path, c.TargetPkgs) {
+			continue
+		}
+		// Methods on unexported types are internal machinery.
+		if recv := receiverTypeName(obj); recv != "" && !ast.IsExported(recv) {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		ctxParam := firstParamContext(sig)
+		if ctxParam == nil {
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Fset.Position(fi.pos),
+				Message: apiName(obj) + " blocks (" + fi.why + ") but does not take a context.Context first parameter",
+			})
+			continue
+		}
+		if !paramUsed(fi.pkg, fi.decl, ctxParam) {
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Fset.Position(fi.pos),
+				Message: apiName(obj) + " takes a context.Context but never propagates it (" + fi.why + ")",
+			})
+		}
+	}
+	return diags
+}
+
+// scanBody records primitive blocking evidence and static call edges,
+// skipping `go` statement subtrees.
+func (c CtxCheck) scanBody(pkg *Package, body *ast.BlockStmt, fi *funcInfo, ifaceSet, funcTypeSet, exempt map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			fi.note(node.Pos(), "sends on a channel")
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				fi.note(node.Pos(), "receives from a channel")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					fi.note(node.Pos(), "ranges over a channel")
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range node.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				fi.note(node.Pos(), "selects without default")
+			}
+		case *ast.CallExpr:
+			c.scanCall(pkg, node, fi, ifaceSet, funcTypeSet, exempt)
+		}
+		return true
+	})
+}
+
+func (fi *funcInfo) note(pos token.Pos, why string) {
+	if !fi.blocking {
+		fi.blocking = true
+		fi.why = why
+	}
+}
+
+func (c CtxCheck) scanCall(pkg *Package, call *ast.CallExpr, fi *funcInfo, ifaceSet, funcTypeSet, exempt map[string]bool) {
+	// Dynamic calls through configured blocking function types.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok {
+		if named, ok := tv.Type.(*types.Named); ok {
+			if _, isFunc := named.Underlying().(*types.Signature); isFunc && funcTypeSet[typeKey(named)] {
+				fi.note(call.Pos(), "invokes "+named.Obj().Name()+" (blocking func type)")
+			}
+		}
+	}
+	// Interface method calls on configured blocking interfaces.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selection, ok := pkg.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			recv := selection.Recv()
+			if named, ok := derefNamed(recv); ok {
+				if _, isIface := named.Underlying().(*types.Interface); isIface &&
+					ifaceSet[typeKey(named)] && !exempt[sel.Sel.Name] {
+					fi.note(call.Pos(), "calls "+named.Obj().Name()+"."+sel.Sel.Name+" (blocking interface)")
+				}
+			}
+		}
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	switch {
+	case pkgPath == "net":
+		fi.note(call.Pos(), "does network I/O (net."+withRecv(recvTypeString(fn), fn.Name())+")")
+	case pkgPath == "bufio":
+		fi.note(call.Pos(), "does buffered I/O (bufio."+withRecv(recvTypeString(fn), fn.Name())+")")
+	case pkgPath == "io" && (fn.Name() == "ReadFull" || fn.Name() == "Copy" || fn.Name() == "CopyN" || fn.Name() == "ReadAll"):
+		fi.note(call.Pos(), "does I/O (io."+fn.Name()+")")
+	case pkgPath == "time" && fn.Name() == "Sleep":
+		fi.note(call.Pos(), "sleeps (time.Sleep)")
+	case fn.Name() == "Sleep" && recvTypeString(fn) != "":
+		fi.note(call.Pos(), "sleeps ("+recvTypeString(fn)+".Sleep)")
+	case pkgPath == "sync" && fn.Name() == "Wait" && recvTypeString(fn) == "WaitGroup":
+		fi.note(call.Pos(), "waits on a sync.WaitGroup")
+	default:
+		fi.callees = append(fi.callees, fn)
+	}
+}
+
+// firstParamContext returns the first parameter if it is context.Context.
+func firstParamContext(sig *types.Signature) *types.Var {
+	if sig.Params().Len() == 0 {
+		return nil
+	}
+	p := sig.Params().At(0)
+	named, ok := p.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "context" || obj.Name() != "Context" {
+		return nil
+	}
+	return p
+}
+
+// paramUsed reports whether the parameter object is referenced in the body.
+func paramUsed(pkg *Package, fd *ast.FuncDecl, param *types.Var) bool {
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && pkg.Info.Uses[id] == param {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func inTargets(path string, targets []string) bool {
+	for _, t := range targets {
+		if path == t {
+			return true
+		}
+	}
+	return false
+}
+
+// derefNamed unwraps pointers to reach a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// typeKey renders "import/path.Name" for a named type.
+func typeKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// receiverTypeName names a method's receiver type, "" for plain functions.
+func receiverTypeName(fn *types.Func) string {
+	return recvTypeString(fn)
+}
+
+// apiName renders Type.Method or Func for diagnostics.
+func apiName(fn *types.Func) string {
+	if recv := recvTypeString(fn); recv != "" {
+		return recv + "." + fn.Name()
+	}
+	return fn.Name()
+}

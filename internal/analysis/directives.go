@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. Two forms are understood:
+//
+//	//lint:ignore <checker> <reason>
+//	//lint:file-ignore <checker> <reason>
+//
+// The line form suppresses diagnostics of the named checker on the
+// directive's own line (trailing comment) or on the line immediately below
+// (directive on its own line). The file form suppresses the checker for the
+// whole file and is a last resort. Both REQUIRE a non-empty reason; a
+// directive without one, with an unknown shape, or that suppresses nothing
+// is itself reported, which keeps ignores sparse and honest.
+type directive struct {
+	checker  string
+	reason   string
+	file     string
+	line     int
+	fileWide bool
+	used     bool
+}
+
+// collectDirectives scans every file's comments for lint directives,
+// returning them plus diagnostics for malformed ones.
+func collectDirectives(prog *Program) ([]*directive, []Diagnostic) {
+	var dirs []*directive
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, malformed := parseDirective(c, prog)
+					if malformed != nil {
+						diags = append(diags, *malformed)
+					}
+					if d != nil {
+						dirs = append(dirs, d)
+					}
+				}
+			}
+		}
+	}
+	return dirs, diags
+}
+
+func parseDirective(c *ast.Comment, prog *Program) (*directive, *Diagnostic) {
+	text, ok := strings.CutPrefix(c.Text, "//lint:")
+	if !ok {
+		return nil, nil
+	}
+	pos := prog.Fset.Position(c.Pos())
+	fields := strings.Fields(text)
+	if len(fields) == 0 || (fields[0] != "ignore" && fields[0] != "file-ignore") {
+		return nil, &Diagnostic{Pos: pos, Checker: "lint", Message: "malformed directive: want //lint:ignore <checker> <reason> or //lint:file-ignore <checker> <reason>"}
+	}
+	if len(fields) < 3 {
+		return nil, &Diagnostic{Pos: pos, Checker: "lint", Message: "directive needs a checker name and a justification: //lint:" + fields[0] + " <checker> <reason>"}
+	}
+	return &directive{
+		checker:  fields[1],
+		reason:   strings.Join(fields[2:], " "),
+		file:     pos.Filename,
+		line:     pos.Line,
+		fileWide: fields[0] == "file-ignore",
+	}, nil
+}
+
+// applyDirectives filters suppressed diagnostics and appends a finding for
+// every directive that suppressed nothing.
+func applyDirectives(diags []Diagnostic, dirs []*directive) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.checker != d.Checker || dir.file != d.Pos.Filename {
+				continue
+			}
+			if dir.fileWide || dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			out = append(out, Diagnostic{
+				Pos:     positionAt(dir),
+				Checker: "lint",
+				Message: "unused //lint:ignore directive for " + dir.checker + " (nothing suppressed; remove it)",
+			})
+		}
+	}
+	return out
+}
+
+func positionAt(dir *directive) (p token.Position) {
+	p.Filename = dir.file
+	p.Line = dir.line
+	p.Column = 1
+	return p
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck is errcheck-lite: it flags calls whose error result is silently
+// discarded. A call discards an error when it appears as a bare expression
+// statement (or `go` statement) and its result type is error or a tuple
+// containing error.
+//
+// Deliberate discards stay available and visible:
+//
+//   - assign to blank: `_ = f()` / `_, _ = g()`
+//   - `Close()`-shaped calls (`func() error`, named Close), deferred or not —
+//     the conventional cleanup idiom
+//   - the fmt printers (Print/Printf/Println/Fprint*) — terminal output
+//   - hash.Hash writes, documented to never return an error
+//   - //lint:ignore errcheck <reason> for everything else
+//
+// Test files are not loaded by the driver, so tests are exempt by
+// construction.
+type ErrCheck struct{}
+
+// Name implements Checker.
+func (ErrCheck) Name() string { return "errcheck" }
+
+// Check implements Checker.
+func (c ErrCheck) Check(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := stmt.X.(*ast.CallExpr); ok {
+						diags = append(diags, c.checkCall(prog, pkg, call, "")...)
+					}
+				case *ast.GoStmt:
+					diags = append(diags, c.checkCall(prog, pkg, stmt.Call, "goroutine ")...)
+				case *ast.DeferStmt:
+					// Deferred cleanup (Close, Unlock) conventionally drops
+					// the error; flagging it would drown the signal.
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func (c ErrCheck) checkCall(prog *Program, pkg *Package, call *ast.CallExpr, prefix string) []Diagnostic {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || !returnsError(tv.Type) {
+		return nil
+	}
+	if exemptDiscard(pkg, call) {
+		return nil
+	}
+	name := callName(call)
+	return []Diagnostic{{
+		Pos:     prog.Fset.Position(call.Pos()),
+		Message: prefix + "result of " + name + " discards an error; handle it or assign to _ explicitly",
+	}}
+}
+
+// exemptDiscard recognizes the conventional never-checked calls.
+func exemptDiscard(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	name := fn.Name()
+	switch {
+	case pkgPath == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+		return true
+	case pkgPath == "hash":
+		// hash.Hash embeds io.Writer but documents "it never returns an
+		// error"; checking it is pure noise.
+		return true
+	case name == "Close":
+		// func() error named Close: the io.Closer cleanup idiom.
+		sig, ok := fn.Type().(*types.Signature)
+		return ok && sig.Params().Len() == 0
+	}
+	return false
+}
+
+// returnsError reports whether a call result type is or contains error.
+func returnsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// callName renders a readable name for the called expression.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return exprString(fun.X) + "." + fun.Sel.Name
+	default:
+		return strings.TrimSpace("call")
+	}
+}

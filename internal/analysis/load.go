@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("repro/internal/wire").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries identifier resolution and expression types.
+	Info *types.Info
+}
+
+// Program is a set of packages sharing one FileSet, the unit checkers
+// operate on.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// Package returns the loaded package with the import path, or nil.
+func (p *Program) Package(path string) *Package {
+	return p.byPath[path]
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod and
+// returns it along with the declared module path.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					mp := strings.TrimSpace(rest)
+					if unq, err := strconv.Unquote(mp); err == nil {
+						mp = unq
+					}
+					return dir, mp, nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module directive in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses and type-checks the module packages under root matching the
+// patterns ("./..." loads everything; "./internal/..." a subtree; "./x" one
+// package). Test files (_test.go) and testdata directories are skipped.
+// Intra-module imports resolve against the loaded set; everything else
+// (stdlib) is type-checked from source by go/importer.
+func Load(root string, patterns []string) (*Program, error) {
+	root, modPath, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoSource(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var specs []DirSpec
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if !matchAny(rel, patterns) {
+			continue
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		specs = append(specs, DirSpec{ImportPath: ip, Dir: dir})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v under %s", patterns, root)
+	}
+	return LoadDirs(specs)
+}
+
+// DirSpec names one directory to load under an explicit import path; used
+// directly by fixture tests and indirectly by Load.
+type DirSpec struct {
+	ImportPath string
+	Dir        string
+}
+
+// LoadDirs parses and type-checks the given directories. Imports between
+// the listed packages resolve to each other; all other imports fall back to
+// the source importer.
+func LoadDirs(specs []DirSpec) (*Program, error) {
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, byPath: make(map[string]*Package)}
+	parsed := make(map[string]*Package, len(specs))
+	imports := make(map[string][]string, len(specs))
+	for _, spec := range specs {
+		files, err := parseDir(fset, spec.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg := &Package{Path: spec.ImportPath, Dir: spec.Dir, Files: files}
+		parsed[spec.ImportPath] = pkg
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				imports[spec.ImportPath] = append(imports[spec.ImportPath], p)
+			}
+		}
+	}
+	order, err := topoOrder(parsed, imports)
+	if err != nil {
+		return nil, err
+	}
+	fallback := importer.ForCompiler(fset, "source", nil)
+	imp := &chainImporter{prog: prog, fallback: fallback}
+	for _, path := range order {
+		pkg := parsed[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[path] = pkg
+	}
+	return prog, nil
+}
+
+// hasGoSource reports whether dir contains at least one non-test .go file.
+func hasGoSource(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// parseDir parses the non-test .go files of one directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// matchAny reports whether the root-relative package dir matches any
+// pattern. Supported forms: "./...", "./x/...", "./x", and the same without
+// the leading "./".
+func matchAny(rel string, patterns []string) bool {
+	rel = filepath.ToSlash(rel)
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "..." || pat == "":
+			return true
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			if rel == base || strings.HasPrefix(rel, base+"/") {
+				return true
+			}
+		case rel == pat:
+			return true
+		}
+	}
+	return false
+}
+
+// topoOrder sorts the parsed packages so every package follows its
+// intra-program imports.
+func topoOrder(parsed map[string]*Package, imports map[string][]string) ([]string, error) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(parsed))
+	var order []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch color[path] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		color[path] = grey
+		deps := append([]string(nil), imports[path]...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := parsed[dep]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		color[path] = black
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(parsed))
+	for p := range parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// chainImporter resolves program-local packages first and defers the rest
+// (stdlib) to the source importer.
+type chainImporter struct {
+	prog     *Program
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg := c.prog.Package(path); pkg != nil && pkg.Types != nil {
+		return pkg.Types, nil
+	}
+	return c.fallback.Import(path)
+}

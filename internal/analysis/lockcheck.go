@@ -1,0 +1,455 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockCheck enforces two mutex invariants on every function body:
+//
+//  1. A function that acquires mu.Lock()/mu.RLock() must release it on every
+//     return path, either via an immediate `defer mu.Unlock()` or an explicit
+//     unlock before each return (and before falling off the end).
+//  2. While a lock is held — including the defer-until-exit window — the
+//     function must not perform network or file I/O, sleep, or send on a
+//     channel. Cross-package calls are classified by a curated primitive set
+//     (net/bufio methods, *os.File and package os file ops, io copy helpers,
+//     time.Sleep and clock Sleep methods, channel send statements); calls
+//     into other repo packages are not followed, so the check is
+//     intraprocedural by design.
+//
+// The analysis is a conservative abstract interpretation over statements:
+// branches are walked independently and merged by intersection, so a lock
+// released on one arm of an if/switch does not count as released on the
+// other, while patterns like "if cond { mu.Unlock(); return }" stay clean.
+// Goroutine bodies (`go func() {...}`) are separate functions and analyzed
+// as such.
+type LockCheck struct{}
+
+// Name implements Checker.
+func (LockCheck) Name() string { return "lockcheck" }
+
+// Check implements Checker.
+func (c LockCheck) Check(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						diags = append(diags, c.checkFunc(prog, pkg, fn.Body)...)
+					}
+					return true
+				case *ast.FuncLit:
+					diags = append(diags, c.checkFunc(prog, pkg, fn.Body)...)
+					return true
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// lockState tracks the mutexes held at one program point, keyed by the
+// receiver expression's source form ("s.mu", "c.wmu").
+type lockState struct {
+	held map[string]*heldLock
+}
+
+type heldLock struct {
+	pos      token.Pos
+	rlock    bool
+	deferred bool // a defer unlock is registered; held until function exit
+}
+
+func (s *lockState) clone() *lockState {
+	out := &lockState{held: make(map[string]*heldLock, len(s.held))}
+	for k, v := range s.held {
+		cp := *v
+		out.held[k] = &cp
+	}
+	return out
+}
+
+// intersect keeps only locks held in both states (branch merge).
+func (s *lockState) intersect(o *lockState) {
+	for k := range s.held {
+		if _, ok := o.held[k]; !ok {
+			delete(s.held, k)
+		}
+	}
+}
+
+type lockChecker struct {
+	prog  *Program
+	pkg   *Package
+	diags []Diagnostic
+}
+
+func (c LockCheck) checkFunc(prog *Program, pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	lc := &lockChecker{prog: prog, pkg: pkg}
+	st := &lockState{held: make(map[string]*heldLock)}
+	exits := lc.walkStmts(body.List, st)
+	if !exits {
+		lc.reportHeld(st, body.End(), "function exits")
+	}
+	return lc.diags
+}
+
+func (lc *lockChecker) errf(pos token.Pos, format string, args ...any) {
+	lc.diags = append(lc.diags, Diagnostic{
+		Pos:     lc.prog.Fset.Position(pos),
+		Message: format,
+	})
+}
+
+func (lc *lockChecker) reportHeld(st *lockState, pos token.Pos, how string) {
+	for key, h := range st.held {
+		if h.deferred {
+			continue // released at exit by the deferred unlock
+		}
+		lc.errf(pos, how+" while holding "+key+" (locked at "+lc.prog.Fset.Position(h.pos).String()+"); unlock on this path or use defer")
+	}
+}
+
+// walkStmts interprets a statement list; it reports violations and returns
+// true when the list definitely terminates (returns/panics) on all paths it
+// models.
+func (lc *lockChecker) walkStmts(stmts []ast.Stmt, st *lockState) (exits bool) {
+	for _, s := range stmts {
+		if lc.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lc *lockChecker) walkStmt(s ast.Stmt, st *lockState) (exits bool) {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok && lc.lockTransition(call, st, false) {
+			return false
+		}
+		lc.scanIO(n.X, st)
+	case *ast.DeferStmt:
+		if lc.lockTransition(n.Call, st, true) {
+			return false
+		}
+		// A deferred call runs at exit; its I/O happens after the body's
+		// explicit unlocks in the common case, so only deferred-held locks
+		// matter — scanIO covers the call expression normally.
+		lc.scanIO(n.Call, st)
+	case *ast.SendStmt:
+		lc.reportBlocked(st, n.Pos(), "channel send")
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			lc.scanIO(r, st)
+		}
+		lc.reportHeld(st, n.Pos(), "return")
+		return true
+	case *ast.BlockStmt:
+		return lc.walkStmts(n.List, st)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			lc.walkStmt(n.Init, st)
+		}
+		lc.scanIO(n.Cond, st)
+		thenSt := st.clone()
+		thenExits := lc.walkStmts(n.Body.List, thenSt)
+		elseSt := st.clone()
+		elseExits := false
+		if n.Else != nil {
+			elseExits = lc.walkStmt(n.Else, elseSt)
+		}
+		switch {
+		case thenExits && elseExits:
+			return true
+		case thenExits:
+			*st = *elseSt
+		case elseExits:
+			*st = *thenSt
+		default:
+			thenSt.intersect(elseSt)
+			*st = *thenSt
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			lc.walkStmt(n.Init, st)
+		}
+		if n.Cond != nil {
+			lc.scanIO(n.Cond, st)
+		}
+		bodySt := st.clone()
+		lc.walkStmts(n.Body.List, bodySt)
+		// Keep the entry state: a loop body that balances its own
+		// lock/unlock leaves the outer state unchanged.
+	case *ast.RangeStmt:
+		lc.scanIO(n.X, st)
+		bodySt := st.clone()
+		lc.walkStmts(n.Body.List, bodySt)
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			lc.walkStmt(n.Init, st)
+		}
+		if n.Tag != nil {
+			lc.scanIO(n.Tag, st)
+		}
+		lc.walkClauses(n.Body, st)
+	case *ast.TypeSwitchStmt:
+		lc.walkClauses(n.Body, st)
+	case *ast.SelectStmt:
+		// A select with a default arm never blocks; without one it waits.
+		hasDefault := false
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(st.held) > 0 {
+			lc.reportBlocked(st, n.Pos(), "select (channel wait)")
+		}
+		lc.walkClauses(n.Body, st)
+	case *ast.GoStmt:
+		// The spawned goroutine's body is analyzed as its own function; the
+		// go statement itself does not block or release anything here.
+	case *ast.LabeledStmt:
+		return lc.walkStmt(n.Stmt, st)
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			lc.scanIO(r, st)
+		}
+	case *ast.DeclStmt:
+		lc.scanIO(n, st)
+	default:
+		if s != nil {
+			lc.scanIO(s, st)
+		}
+	}
+	return false
+}
+
+// walkClauses interprets switch/select clause bodies independently and
+// merges by intersection.
+func (lc *lockChecker) walkClauses(body *ast.BlockStmt, st *lockState) {
+	var merged *lockState
+	allExit := len(body.List) > 0
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+		case *ast.CommClause:
+			// The comm statement's blocking behavior is the select's, already
+			// handled by the caller; only the clause body runs normally.
+			stmts = cl.Body
+		}
+		clauseSt := st.clone()
+		if !lc.walkStmts(stmts, clauseSt) {
+			allExit = false
+			if merged == nil {
+				merged = clauseSt
+			} else {
+				merged.intersect(clauseSt)
+			}
+		}
+	}
+	if merged != nil && !allExit {
+		*st = *merged
+	}
+}
+
+// lockTransition updates the state if call is a Lock/Unlock on a sync
+// mutex; it returns true when the call was consumed as a lock transition.
+func (lc *lockChecker) lockTransition(call *ast.CallExpr, st *lockState, isDefer bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "Unlock" && name != "RLock" && name != "RUnlock" {
+		return false
+	}
+	if !lc.isSyncMutex(sel.X) {
+		return false
+	}
+	key := exprString(sel.X)
+	switch name {
+	case "Lock", "RLock":
+		if isDefer {
+			return true // defer mu.Lock() is nonsense but not ours to model
+		}
+		st.held[key] = &heldLock{pos: call.Pos(), rlock: name == "RLock"}
+	case "Unlock", "RUnlock":
+		if isDefer {
+			if h, ok := st.held[key]; ok {
+				h.deferred = true
+			}
+			return true
+		}
+		delete(st.held, key)
+	}
+	return true
+}
+
+// isSyncMutex reports whether expr's type is sync.Mutex or sync.RWMutex
+// (possibly behind pointers).
+func (lc *lockChecker) isSyncMutex(expr ast.Expr) bool {
+	tv, ok := lc.pkg.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// reportBlocked flags a blocking operation performed while any lock is held.
+func (lc *lockChecker) reportBlocked(st *lockState, pos token.Pos, what string) {
+	for key := range st.held {
+		lc.errf(pos, what+" while holding "+key+"; release the lock around blocking operations")
+		return // one report per site is enough
+	}
+}
+
+// scanIO walks an expression (not descending into FuncLits or go
+// statements) and flags I/O calls performed while a lock is held.
+func (lc *lockChecker) scanIO(n ast.Node, st *lockState) {
+	if len(st.held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if what, ok := lc.ioCall(e); ok {
+				lc.reportBlocked(st, e.Pos(), what)
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				lc.reportBlocked(st, e.Pos(), "channel receive")
+			}
+		}
+		return true
+	})
+}
+
+// ioCall classifies a call as network/file I/O or a sleep.
+func (lc *lockChecker) ioCall(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(lc.pkg.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	recv := recvTypeString(fn)
+	switch {
+	case pkgPath == "net":
+		return "network I/O (net." + withRecv(recv, fn.Name()) + ")", true
+	case pkgPath == "bufio":
+		return "buffered I/O (bufio." + withRecv(recv, fn.Name()) + ")", true
+	case pkgPath == "os" && recv == "File":
+		return "file I/O (os.File." + fn.Name() + ")", true
+	case pkgPath == "os" && isOSFileFunc(fn.Name()):
+		return "file I/O (os." + fn.Name() + ")", true
+	case pkgPath == "io" && (fn.Name() == "ReadFull" || fn.Name() == "Copy" || fn.Name() == "CopyN" || fn.Name() == "ReadAll" || fn.Name() == "WriteString"):
+		return "I/O (io." + fn.Name() + ")", true
+	case pkgPath == "time" && fn.Name() == "Sleep":
+		return "sleep (time.Sleep)", true
+	case fn.Name() == "Sleep":
+		// Clock abstractions (repro/internal/clock and fakes) expose Sleep.
+		return "sleep (" + withRecv(recv, "Sleep") + ")", true
+	}
+	return "", false
+}
+
+func isOSFileFunc(name string) bool {
+	switch name {
+	case "Open", "OpenFile", "Create", "CreateTemp", "Remove", "RemoveAll",
+		"Rename", "ReadFile", "WriteFile", "Mkdir", "MkdirAll", "ReadDir":
+		return true
+	}
+	return false
+}
+
+func withRecv(recv, name string) string {
+	if recv == "" {
+		return name
+	}
+	return recv + "." + name
+}
+
+// calleeFunc resolves the called function object, if static.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// recvTypeString names the receiver type of a method, "" for plain funcs.
+func recvTypeString(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	if iface, ok := t.(*types.Interface); ok {
+		_ = iface
+		return "interface"
+	}
+	return ""
+}
+
+// exprString renders a receiver expression compactly ("s.mu").
+func exprString(e ast.Expr) string {
+	switch n := e.(type) {
+	case *ast.Ident:
+		return n.Name
+	case *ast.SelectorExpr:
+		return exprString(n.X) + "." + n.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(n.X)
+	case *ast.UnaryExpr:
+		return exprString(n.X)
+	case *ast.IndexExpr:
+		return exprString(n.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(n.Fun) + "()"
+	default:
+		return strings.TrimSpace("<expr>")
+	}
+}

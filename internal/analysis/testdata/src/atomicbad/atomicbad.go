@@ -1,0 +1,24 @@
+// Package atomicbad is a lint fixture: fields are accessed both via
+// sync/atomic and with plain loads/stores, which atomiccheck must flag.
+package atomicbad
+
+import "sync/atomic"
+
+type Counter struct {
+	hits int64
+}
+
+// Inc establishes that hits is an atomic field.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Read races the atomic writer with a plain load.
+func (c *Counter) Read() int64 {
+	return c.hits // want "plain access to field hits"
+}
+
+// Reset races the atomic writer with a plain store.
+func (c *Counter) Reset() {
+	c.hits = 0 // want "plain access to field hits"
+}

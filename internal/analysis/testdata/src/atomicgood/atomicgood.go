@@ -1,0 +1,27 @@
+// Package atomicgood is a lint fixture: consistent atomic usage that
+// atomiccheck must accept.
+package atomicgood
+
+import "sync/atomic"
+
+type Counter struct {
+	hits int64 // only ever touched through sync/atomic
+	cold int64 // only ever touched with plain accesses
+}
+
+// Inc and Load agree on atomic access for hits.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Load reads hits atomically.
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Cold uses only plain accesses for cold, which is fine: the invariant is
+// "never mixed", not "always atomic".
+func (c *Counter) Cold() int64 {
+	c.cold++
+	return c.cold
+}

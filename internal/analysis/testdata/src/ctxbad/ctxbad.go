@@ -1,0 +1,39 @@
+// Package ctxbad is a lint fixture: exported blocking APIs that violate the
+// ctx-first contract, which ctxcheck must flag.
+package ctxbad
+
+import (
+	"context"
+	"time"
+)
+
+// Sender mirrors the repo's Updater interfaces; it is configured as a
+// blocking interface in the fixture test.
+type Sender interface {
+	Send(name string) error
+	Close() error
+}
+
+// Sleepy blocks directly but takes no context.
+func Sleepy() { // want "Sleepy blocks" "does not take a context.Context first parameter"
+	time.Sleep(time.Millisecond)
+}
+
+// Indirect blocks only through the call graph.
+func Indirect() { // want "Indirect blocks" "does not take a context.Context first parameter"
+	helper()
+}
+
+func helper() {
+	time.Sleep(time.Millisecond)
+}
+
+// Ignores accepts a context but never propagates it.
+func Ignores(ctx context.Context) { // want "takes a context.Context but never propagates it"
+	time.Sleep(time.Millisecond)
+}
+
+// Push blocks through the configured blocking interface.
+func Push(s Sender) error { // want "Push blocks" "does not take a context.Context first parameter"
+	return s.Send("x")
+}

@@ -1,0 +1,49 @@
+// Package ctxgood is a lint fixture: blocking APIs that honor the ctx-first
+// contract (or are legitimately exempt), which ctxcheck must accept.
+package ctxgood
+
+import (
+	"context"
+	"time"
+)
+
+type service struct{ stop chan struct{} }
+
+// Wait blocks but takes and uses a context.
+func Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Millisecond):
+		return nil
+	}
+}
+
+// Propagates passes its context down to another blocking call.
+func Propagates(ctx context.Context) error {
+	return Wait(ctx)
+}
+
+// Close blocks but is exempt by name: io.Closer-shaped cleanup.
+func Close() {
+	time.Sleep(time.Millisecond)
+}
+
+// Spawn hands the blocking work to a goroutine, so it does not itself block.
+func Spawn() {
+	go sleeper()
+}
+
+// NonBlocking never blocks; no context needed.
+func NonBlocking(n int) int {
+	return n * 2
+}
+
+func sleeper() {
+	time.Sleep(time.Millisecond)
+}
+
+// methods on unexported receivers are internal machinery and exempt.
+func (s *service) Run() {
+	<-s.stop
+}

@@ -1,0 +1,23 @@
+// Package dirfix is a lint fixture for the suppression-directive machinery:
+// one honest ignore, one unused ignore, and one missing-reason directive.
+package dirfix
+
+import "os"
+
+// Suppressed carries a justified ignore on the line above the violation.
+func Suppressed() {
+	//lint:ignore errcheck fixture exercises a justified suppression
+	os.Remove("scratch")
+}
+
+// Unused carries an ignore that suppresses nothing.
+func Unused() {
+	//lint:ignore errcheck nothing on the next line violates anything
+	_ = os.Remove("scratch")
+}
+
+// MissingReason carries a directive with no justification.
+func MissingReason() {
+	//lint:ignore errcheck
+	_ = os.Remove("scratch")
+}

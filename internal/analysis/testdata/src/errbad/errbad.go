@@ -1,0 +1,15 @@
+// Package errbad is a lint fixture: silently discarded errors that
+// errcheck must flag.
+package errbad
+
+import "os"
+
+// Drop discards the error of a plain call statement.
+func Drop() {
+	os.Remove("scratch") // want "result of os.Remove discards an error"
+}
+
+// DropInGoroutine discards an error inside a go statement.
+func DropInGoroutine() {
+	go os.Remove("scratch") // want "goroutine result of os.Remove discards an error"
+}

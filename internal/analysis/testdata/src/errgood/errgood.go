@@ -1,0 +1,33 @@
+// Package errgood is a lint fixture: the sanctioned ways of handling or
+// deliberately discarding errors, which errcheck must accept.
+package errgood
+
+import (
+	"fmt"
+	"os"
+)
+
+// Handled propagates the error.
+func Handled() error {
+	return os.Remove("scratch")
+}
+
+// ExplicitDiscard assigns to blank, keeping the discard visible.
+func ExplicitDiscard() {
+	_ = os.Remove("scratch")
+}
+
+// Printer uses the fmt printers, which are exempt terminal output.
+func Printer() {
+	fmt.Println("hello")
+}
+
+// Cleanup uses the Close idiom, exempt deferred or not.
+func Cleanup(f *os.File) {
+	defer f.Close()
+}
+
+// DirectClose calls Close as a statement; the io.Closer idiom is exempt.
+func DirectClose(f *os.File) {
+	f.Close()
+}

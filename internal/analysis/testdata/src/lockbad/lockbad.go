@@ -1,0 +1,43 @@
+// Package lockbad is a lint fixture: every construct here violates the
+// lockcheck invariants and must be flagged.
+package lockbad
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// EarlyReturn leaks the mutex on the conditional path.
+func (s *S) EarlyReturn(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 0 // want "return while holding"
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// SleepUnderLock holds the mutex across a sleep.
+func (s *S) SleepUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "sleep (time.Sleep) while holding"
+}
+
+// SendUnderLock holds the mutex across a channel send.
+func (s *S) SendUnderLock(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- s.n // want "channel send while holding"
+}
+
+// FallsOffEnd never unlocks at all.
+func (s *S) FallsOffEnd() {
+	s.mu.Lock()
+	s.n++
+} // want "function exits while holding"

@@ -1,0 +1,51 @@
+// Package lockgood is a lint fixture: correct locking idioms that lockcheck
+// must accept without diagnostics.
+package lockgood
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Deferred is the canonical defer-unlock shape.
+func (s *S) Deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Branchy unlocks explicitly on every return path.
+func (s *S) Branchy(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// CopyThenSleep releases the lock before blocking.
+func (s *S) CopyThenSleep() int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	return n
+}
+
+// SelectWithDefault under a lock is non-blocking by construction.
+func (s *S) SelectWithDefault(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-ch:
+		s.n = v
+	default:
+	}
+}

@@ -1,0 +1,7 @@
+// Package client is a lint fixture: an RPC surface that wraps OpPing only.
+package client
+
+import "fix/wirebad/wire"
+
+// Ping is the only opcode wrapper; OpGet has none.
+func Ping() wire.Op { return wire.OpPing }

@@ -1,0 +1,24 @@
+// Package server is a lint fixture: dispatch and privilege switches that
+// cover OpPing but not OpGet.
+package server
+
+import "fix/wirebad/wire"
+
+func dispatch(op wire.Op) string {
+	switch op {
+	case wire.OpPing:
+		return "pong"
+	}
+	return "unsupported"
+}
+
+func privilegeFor(op wire.Op) int {
+	switch op {
+	case wire.OpPing:
+		return 0
+	}
+	return 99
+}
+
+// Handle keeps the switches referenced so the fixture type-checks cleanly.
+func Handle(op wire.Op) (string, int) { return dispatch(op), privilegeFor(op) }

@@ -1,0 +1,10 @@
+// Package client is a lint fixture: RPC wrappers covering every opcode.
+package client
+
+import "fix/wiregood/wire"
+
+// Ping wraps OpPing.
+func Ping() wire.Op { return wire.OpPing }
+
+// Get wraps OpGet.
+func Get() wire.Op { return wire.OpGet }

@@ -1,0 +1,26 @@
+// Package server is a lint fixture: dispatch and privilege switches covering
+// every opcode.
+package server
+
+import "fix/wiregood/wire"
+
+func dispatch(op wire.Op) string {
+	switch op {
+	case wire.OpPing:
+		return "pong"
+	case wire.OpGet:
+		return "value"
+	}
+	return "unsupported"
+}
+
+func privilegeFor(op wire.Op) int {
+	switch op {
+	case wire.OpPing, wire.OpGet:
+		return 0
+	}
+	return 99
+}
+
+// Handle keeps the switches referenced so the fixture type-checks cleanly.
+func Handle(op wire.Op) (string, int) { return dispatch(op), privilegeFor(op) }

@@ -40,10 +40,10 @@ const (
 // computes the bits, the RLI re-computes them at query time.
 func hashPair(name string) (uint64, uint64) {
 	h := fnv.New64a()
-	h.Write([]byte(name))
+	_, _ = h.Write([]byte(name)) // hash.Hash.Write never fails
 	h1 := h.Sum64()
-	h.Write([]byte{0x9e}) // extend the stream for the second hash
-	h2 := h.Sum64() | 1   // force odd so strides cover the table
+	_, _ = h.Write([]byte{0x9e}) // extend the stream for the second hash
+	h2 := h.Sum64() | 1          // force odd so strides cover the table
 	return h1, h2
 }
 
@@ -61,6 +61,11 @@ type Filter struct {
 // paper's parameters (10 bits/entry, 3 hashes). A minimum size keeps tiny
 // catalogs from degenerating.
 func New(expectedEntries int) *Filter {
+	if expectedEntries < 0 {
+		// A negative hint would wrap to an enormous uint64 size; treat it
+		// like an unknown catalog size and take the minimum.
+		expectedEntries = 0
+	}
 	bits := uint64(expectedEntries) * DefaultBitsPerEntry
 	if bits < 1024 {
 		bits = 1024

@@ -1,0 +1,61 @@
+package bloom
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBloomRoundTrip drives the wire path of the Bloom filter: arbitrary
+// names go into a filter sized by an arbitrary hint, the bitmap round-trips
+// through MarshalBinary/UnmarshalBinary, and the decoded bitmap must agree
+// with the live filter on membership (no false negatives, identical bit
+// parameters) while arbitrary mutations of the encoding must never panic.
+func FuzzBloomRoundTrip(f *testing.F) {
+	f.Add("lfn://sample.0", "lfn://other.1", 64)
+	f.Add("", "x", 0)
+	f.Add("a", "a", -5)
+	f.Fuzz(func(t *testing.T, name1, name2 string, hint int) {
+		if hint > 1<<16 {
+			hint = 1 << 16 // bound allocation, not behavior
+		}
+		fl := New(hint)
+		fl.Add(name1)
+		fl.Add(name2)
+		if !fl.Test(name1) || !fl.Test(name2) {
+			t.Fatalf("false negative on live filter for %q/%q", name1, name2)
+		}
+
+		data, err := fl.Bitmap().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bm Bitmap
+		if err := bm.UnmarshalBinary(data); err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if bm.MBits() != fl.MBits() || bm.K() != fl.K() {
+			t.Fatalf("params changed in round trip: m %d->%d k %d->%d",
+				fl.MBits(), bm.MBits(), fl.K(), bm.K())
+		}
+		if !bm.Test(name1) || !bm.Test(name2) {
+			t.Fatalf("false negative after round trip for %q/%q", name1, name2)
+		}
+		data2, err := bm.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatal("re-encoding is not byte-identical")
+		}
+
+		// Corrupted encodings must error or succeed, never panic.
+		if len(data) > 0 {
+			trunc := data[:len(data)-1]
+			var junk Bitmap
+			_ = junk.UnmarshalBinary(trunc)
+			flipped := append([]byte(nil), data...)
+			flipped[len(flipped)/2] ^= 0xff
+			_ = junk.UnmarshalBinary(flipped)
+		}
+	})
+}

@@ -3,9 +3,16 @@
 // Go analogue of the paper's C client (and its Java wrapper), and also
 // serves as the LRC server's connection to RLI servers for soft state
 // updates (it implements lrc.Updater).
+//
+// Every RPC takes a context.Context as its first argument. A context
+// deadline bounds the whole RPC (the connection deadline covers both the
+// request write and the response read); plain cancellation is checked
+// before the request is sent. rls-lint's ctxcheck enforces this shape for
+// every exported blocking method.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -65,13 +72,14 @@ type Options struct {
 	// set.
 	Addr string
 	// Dialer overrides the transport (in-process pipes, shaped
-	// connections). When nil, net.Dial("tcp", Addr) is used.
+	// connections). When nil, a TCP dial of Addr is used.
 	Dialer func() (net.Conn, error)
 	// DN and Token are the identity credential (GSI stand-in). Empty values
 	// are accepted by servers running in open mode.
 	DN    string
 	Token string
-	// DialTimeout bounds connection establishment; default 30s.
+	// DialTimeout bounds connection establishment in addition to any ctx
+	// deadline; default 30s.
 	DialTimeout time.Duration
 }
 
@@ -86,8 +94,12 @@ type Client struct {
 	nextID uint64
 }
 
-// Dial connects and performs the Hello handshake.
-func Dial(opts Options) (*Client, error) {
+// Dial connects and performs the Hello handshake. The context bounds both
+// connection establishment and the handshake exchange.
+func Dial(ctx context.Context, opts Options) (*Client, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var raw net.Conn
 	var err error
 	if opts.Dialer != nil {
@@ -97,30 +109,43 @@ func Dial(opts Options) (*Client, error) {
 		if timeout <= 0 {
 			timeout = 30 * time.Second
 		}
-		raw, err = net.DialTimeout("tcp", opts.Addr, timeout)
+		d := net.Dialer{Timeout: timeout}
+		raw, err = d.DialContext(ctx, "tcp", opts.Addr)
 	}
 	if err != nil {
 		return nil, err
 	}
 	conn := wire.NewConn(raw)
+	if dl, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+	}
 	hello := wire.Hello{DN: opts.DN, Token: opts.Token}
 	if err := conn.WriteFrame(hello.Encode()); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	payload, err := conn.ReadFrame()
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	ack, err := wire.DecodeHelloAck(payload)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	if ack.Status != wire.StatusOK {
-		conn.Close()
+		_ = conn.Close()
 		return nil, &StatusError{Status: ack.Status, Msg: ack.Detail}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
 	}
 	return &Client{conn: conn, serverURL: ack.Detail}, nil
 }
@@ -131,10 +156,21 @@ func (c *Client) Close() error { return c.conn.Close() }
 // ServerURL returns the server's advertised address from the handshake.
 func (c *Client) ServerURL() string { return c.serverURL }
 
-// call performs one synchronous RPC.
-func (c *Client) call(op wire.Op, body []byte) ([]byte, error) {
+// call performs one synchronous RPC. A context deadline bounds the whole
+// exchange via the connection deadline; cancellation without a deadline is
+// honored up to the point the request is written.
+func (c *Client) call(ctx context.Context, op wire.Op, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := c.conn.SetDeadline(dl); err != nil {
+			return nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	c.nextID++
 	req := wire.Request{ID: c.nextID, Op: op, Body: body}
 	if err := c.conn.WriteFrame(req.Encode()); err != nil {
@@ -158,14 +194,14 @@ func (c *Client) call(op wire.Op, body []byte) ([]byte, error) {
 }
 
 // Ping checks liveness.
-func (c *Client) Ping() error {
-	_, err := c.call(wire.OpPing, nil)
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.call(ctx, wire.OpPing, nil)
 	return err
 }
 
 // ServerInfo fetches server identity and occupancy.
-func (c *Client) ServerInfo() (*wire.ServerInfoResponse, error) {
-	body, err := c.call(wire.OpServerInfo, nil)
+func (c *Client) ServerInfo(ctx context.Context) (*wire.ServerInfoResponse, error) {
+	body, err := c.call(ctx, wire.OpServerInfo, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -175,8 +211,8 @@ func (c *Client) ServerInfo() (*wire.ServerInfoResponse, error) {
 // Stats fetches the server's runtime-telemetry snapshot: per-op dispatch
 // counters and latency percentiles, soft-state sender health, RLI store
 // occupancy and storage activity.
-func (c *Client) Stats() (*wire.StatsResponse, error) {
-	body, err := c.call(wire.OpStats, nil)
+func (c *Client) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	body, err := c.call(ctx, wire.OpStats, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -185,30 +221,30 @@ func (c *Client) Stats() (*wire.StatsResponse, error) {
 
 // ---- LRC mapping management ----
 
-func (c *Client) mappingOp(op wire.Op, logical, target string) error {
+func (c *Client) mappingOp(ctx context.Context, op wire.Op, logical, target string) error {
 	req := wire.MappingRequest{Logical: logical, Target: target}
-	_, err := c.call(op, req.Encode())
+	_, err := c.call(ctx, op, req.Encode())
 	return err
 }
 
 // CreateMapping registers a new logical name with its first target.
-func (c *Client) CreateMapping(logical, target string) error {
-	return c.mappingOp(wire.OpLRCCreateMapping, logical, target)
+func (c *Client) CreateMapping(ctx context.Context, logical, target string) error {
+	return c.mappingOp(ctx, wire.OpLRCCreateMapping, logical, target)
 }
 
 // AddMapping adds another target to an existing logical name.
-func (c *Client) AddMapping(logical, target string) error {
-	return c.mappingOp(wire.OpLRCAddMapping, logical, target)
+func (c *Client) AddMapping(ctx context.Context, logical, target string) error {
+	return c.mappingOp(ctx, wire.OpLRCAddMapping, logical, target)
 }
 
 // DeleteMapping removes one mapping.
-func (c *Client) DeleteMapping(logical, target string) error {
-	return c.mappingOp(wire.OpLRCDeleteMapping, logical, target)
+func (c *Client) DeleteMapping(ctx context.Context, logical, target string) error {
+	return c.mappingOp(ctx, wire.OpLRCDeleteMapping, logical, target)
 }
 
-func (c *Client) bulkMappingOp(op wire.Op, mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+func (c *Client) bulkMappingOp(ctx context.Context, op wire.Op, mappings []wire.Mapping) ([]wire.BulkFailure, error) {
 	req := wire.BulkMappingsRequest{Mappings: mappings}
-	body, err := c.call(op, req.Encode())
+	body, err := c.call(ctx, op, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -220,25 +256,25 @@ func (c *Client) bulkMappingOp(op wire.Op, mappings []wire.Mapping) ([]wire.Bulk
 }
 
 // BulkCreate creates many mappings, returning per-element failures.
-func (c *Client) BulkCreate(mappings []wire.Mapping) ([]wire.BulkFailure, error) {
-	return c.bulkMappingOp(wire.OpLRCBulkCreate, mappings)
+func (c *Client) BulkCreate(ctx context.Context, mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	return c.bulkMappingOp(ctx, wire.OpLRCBulkCreate, mappings)
 }
 
 // BulkAdd adds many mappings.
-func (c *Client) BulkAdd(mappings []wire.Mapping) ([]wire.BulkFailure, error) {
-	return c.bulkMappingOp(wire.OpLRCBulkAdd, mappings)
+func (c *Client) BulkAdd(ctx context.Context, mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	return c.bulkMappingOp(ctx, wire.OpLRCBulkAdd, mappings)
 }
 
 // BulkDelete deletes many mappings.
-func (c *Client) BulkDelete(mappings []wire.Mapping) ([]wire.BulkFailure, error) {
-	return c.bulkMappingOp(wire.OpLRCBulkDelete, mappings)
+func (c *Client) BulkDelete(ctx context.Context, mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	return c.bulkMappingOp(ctx, wire.OpLRCBulkDelete, mappings)
 }
 
 // ---- LRC queries ----
 
-func (c *Client) nameQuery(op wire.Op, name string) ([]string, error) {
+func (c *Client) nameQuery(ctx context.Context, op wire.Op, name string) ([]string, error) {
 	req := wire.NameRequest{Name: name}
-	body, err := c.call(op, req.Encode())
+	body, err := c.call(ctx, op, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -249,9 +285,9 @@ func (c *Client) nameQuery(op wire.Op, name string) ([]string, error) {
 	return resp.Names, nil
 }
 
-func (c *Client) wildQuery(op wire.Op, pattern string) ([]wire.BulkNameResult, error) {
+func (c *Client) wildQuery(ctx context.Context, op wire.Op, pattern string) ([]wire.BulkNameResult, error) {
 	req := wire.NameRequest{Name: pattern}
-	body, err := c.call(op, req.Encode())
+	body, err := c.call(ctx, op, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -262,9 +298,9 @@ func (c *Client) wildQuery(op wire.Op, pattern string) ([]wire.BulkNameResult, e
 	return resp.Results, nil
 }
 
-func (c *Client) bulkQuery(op wire.Op, names []string) ([]wire.BulkNameResult, error) {
+func (c *Client) bulkQuery(ctx context.Context, op wire.Op, names []string) ([]wire.BulkNameResult, error) {
 	req := wire.BulkNamesRequest{Names: names}
-	body, err := c.call(op, req.Encode())
+	body, err := c.call(ctx, op, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -276,76 +312,76 @@ func (c *Client) bulkQuery(op wire.Op, names []string) ([]wire.BulkNameResult, e
 }
 
 // GetTargets returns the targets of a logical name.
-func (c *Client) GetTargets(logical string) ([]string, error) {
-	return c.nameQuery(wire.OpLRCGetTargets, logical)
+func (c *Client) GetTargets(ctx context.Context, logical string) ([]string, error) {
+	return c.nameQuery(ctx, wire.OpLRCGetTargets, logical)
 }
 
 // GetLogicals returns the logical names of a target.
-func (c *Client) GetLogicals(target string) ([]string, error) {
-	return c.nameQuery(wire.OpLRCGetLogicals, target)
+func (c *Client) GetLogicals(ctx context.Context, target string) ([]string, error) {
+	return c.nameQuery(ctx, wire.OpLRCGetLogicals, target)
 }
 
 // WildcardTargets finds mappings whose logical name matches the pattern.
-func (c *Client) WildcardTargets(pattern string) ([]wire.BulkNameResult, error) {
-	return c.wildQuery(wire.OpLRCGetTargetsWild, pattern)
+func (c *Client) WildcardTargets(ctx context.Context, pattern string) ([]wire.BulkNameResult, error) {
+	return c.wildQuery(ctx, wire.OpLRCGetTargetsWild, pattern)
 }
 
 // WildcardLogicals finds mappings whose target name matches the pattern.
-func (c *Client) WildcardLogicals(pattern string) ([]wire.BulkNameResult, error) {
-	return c.wildQuery(wire.OpLRCGetLogicalsWild, pattern)
+func (c *Client) WildcardLogicals(ctx context.Context, pattern string) ([]wire.BulkNameResult, error) {
+	return c.wildQuery(ctx, wire.OpLRCGetLogicalsWild, pattern)
 }
 
 // BulkGetTargets resolves many logical names.
-func (c *Client) BulkGetTargets(names []string) ([]wire.BulkNameResult, error) {
-	return c.bulkQuery(wire.OpLRCBulkGetTargets, names)
+func (c *Client) BulkGetTargets(ctx context.Context, names []string) ([]wire.BulkNameResult, error) {
+	return c.bulkQuery(ctx, wire.OpLRCBulkGetTargets, names)
 }
 
 // BulkGetLogicals resolves many target names.
-func (c *Client) BulkGetLogicals(names []string) ([]wire.BulkNameResult, error) {
-	return c.bulkQuery(wire.OpLRCBulkGetLogicals, names)
+func (c *Client) BulkGetLogicals(ctx context.Context, names []string) ([]wire.BulkNameResult, error) {
+	return c.bulkQuery(ctx, wire.OpLRCBulkGetLogicals, names)
 }
 
 // ---- attribute management ----
 
 // DefineAttribute declares an attribute.
-func (c *Client) DefineAttribute(name string, obj wire.ObjType, typ wire.AttrType) error {
+func (c *Client) DefineAttribute(ctx context.Context, name string, obj wire.ObjType, typ wire.AttrType) error {
 	req := wire.AttrDefineRequest{Name: name, Obj: obj, Type: typ}
-	_, err := c.call(wire.OpAttrDefine, req.Encode())
+	_, err := c.call(ctx, wire.OpAttrDefine, req.Encode())
 	return err
 }
 
 // UndefineAttribute removes an attribute definition.
-func (c *Client) UndefineAttribute(name string, obj wire.ObjType, clearValues bool) error {
+func (c *Client) UndefineAttribute(ctx context.Context, name string, obj wire.ObjType, clearValues bool) error {
 	req := wire.AttrUndefineRequest{Name: name, Obj: obj, ClearValues: clearValues}
-	_, err := c.call(wire.OpAttrUndefine, req.Encode())
+	_, err := c.call(ctx, wire.OpAttrUndefine, req.Encode())
 	return err
 }
 
 // AddAttribute attaches an attribute value to an object.
-func (c *Client) AddAttribute(key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+func (c *Client) AddAttribute(ctx context.Context, key string, obj wire.ObjType, name string, v wire.AttrValue) error {
 	req := wire.AttrWriteRequest{Key: key, Obj: obj, Name: name, Value: v}
-	_, err := c.call(wire.OpAttrAdd, req.Encode())
+	_, err := c.call(ctx, wire.OpAttrAdd, req.Encode())
 	return err
 }
 
 // ModifyAttribute replaces an attribute value on an object.
-func (c *Client) ModifyAttribute(key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+func (c *Client) ModifyAttribute(ctx context.Context, key string, obj wire.ObjType, name string, v wire.AttrValue) error {
 	req := wire.AttrWriteRequest{Key: key, Obj: obj, Name: name, Value: v}
-	_, err := c.call(wire.OpAttrModify, req.Encode())
+	_, err := c.call(ctx, wire.OpAttrModify, req.Encode())
 	return err
 }
 
 // RemoveAttribute detaches an attribute value from an object.
-func (c *Client) RemoveAttribute(key string, obj wire.ObjType, name string) error {
+func (c *Client) RemoveAttribute(ctx context.Context, key string, obj wire.ObjType, name string) error {
 	req := wire.AttrRemoveRequest{Key: key, Obj: obj, Name: name}
-	_, err := c.call(wire.OpAttrRemove, req.Encode())
+	_, err := c.call(ctx, wire.OpAttrRemove, req.Encode())
 	return err
 }
 
 // GetAttributes lists attribute values on an object.
-func (c *Client) GetAttributes(key string, obj wire.ObjType, names []string) ([]wire.NamedAttr, error) {
+func (c *Client) GetAttributes(ctx context.Context, key string, obj wire.ObjType, names []string) ([]wire.NamedAttr, error) {
 	req := wire.AttrGetRequest{Key: key, Obj: obj, Names: names}
-	body, err := c.call(wire.OpAttrGet, req.Encode())
+	body, err := c.call(ctx, wire.OpAttrGet, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -357,9 +393,9 @@ func (c *Client) GetAttributes(key string, obj wire.ObjType, names []string) ([]
 }
 
 // SearchAttribute finds objects by attribute comparison.
-func (c *Client) SearchAttribute(name string, obj wire.ObjType, cmp wire.CmpOp, probe wire.AttrValue) ([]wire.ObjAttr, error) {
+func (c *Client) SearchAttribute(ctx context.Context, name string, obj wire.ObjType, cmp wire.CmpOp, probe wire.AttrValue) ([]wire.ObjAttr, error) {
 	req := wire.AttrSearchRequest{Name: name, Obj: obj, Cmp: cmp, Value: probe}
-	body, err := c.call(wire.OpAttrSearch, req.Encode())
+	body, err := c.call(ctx, wire.OpAttrSearch, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -371,9 +407,9 @@ func (c *Client) SearchAttribute(name string, obj wire.ObjType, cmp wire.CmpOp, 
 }
 
 // ListAttributeDefs lists attribute definitions (obj 0 = both types).
-func (c *Client) ListAttributeDefs(obj wire.ObjType) ([]wire.AttrDef, error) {
+func (c *Client) ListAttributeDefs(ctx context.Context, obj wire.ObjType) ([]wire.AttrDef, error) {
 	req := wire.AttrListDefsRequest{Obj: obj}
-	body, err := c.call(wire.OpAttrListDefs, req.Encode())
+	body, err := c.call(ctx, wire.OpAttrListDefs, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -385,9 +421,9 @@ func (c *Client) ListAttributeDefs(obj wire.ObjType) ([]wire.AttrDef, error) {
 }
 
 // BulkAddAttributes attaches many attribute values.
-func (c *Client) BulkAddAttributes(items []wire.AttrWriteRequest) ([]wire.BulkFailure, error) {
+func (c *Client) BulkAddAttributes(ctx context.Context, items []wire.AttrWriteRequest) ([]wire.BulkFailure, error) {
 	req := wire.AttrBulkWriteRequest{Items: items}
-	body, err := c.call(wire.OpAttrBulkAdd, req.Encode())
+	body, err := c.call(ctx, wire.OpAttrBulkAdd, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -399,9 +435,9 @@ func (c *Client) BulkAddAttributes(items []wire.AttrWriteRequest) ([]wire.BulkFa
 }
 
 // BulkRemoveAttributes detaches many attribute values.
-func (c *Client) BulkRemoveAttributes(items []wire.AttrRemoveRequest) ([]wire.BulkFailure, error) {
+func (c *Client) BulkRemoveAttributes(ctx context.Context, items []wire.AttrRemoveRequest) ([]wire.BulkFailure, error) {
 	req := wire.AttrBulkRemoveRequest{Items: items}
-	body, err := c.call(wire.OpAttrBulkRemove, req.Encode())
+	body, err := c.call(ctx, wire.OpAttrBulkRemove, req.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -415,8 +451,8 @@ func (c *Client) BulkRemoveAttributes(items []wire.AttrRemoveRequest) ([]wire.Bu
 // ---- LRC management ----
 
 // ListRLITargets lists the RLIs the LRC updates.
-func (c *Client) ListRLITargets() ([]wire.RLITarget, error) {
-	body, err := c.call(wire.OpLRCRLIList, nil)
+func (c *Client) ListRLITargets(ctx context.Context) ([]wire.RLITarget, error) {
+	body, err := c.call(ctx, wire.OpLRCRLIList, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -428,39 +464,39 @@ func (c *Client) ListRLITargets() ([]wire.RLITarget, error) {
 }
 
 // AddRLITarget starts LRC updates to an RLI.
-func (c *Client) AddRLITarget(t wire.RLITarget) error {
+func (c *Client) AddRLITarget(ctx context.Context, t wire.RLITarget) error {
 	req := wire.RLIAddRequest{Target: t}
-	_, err := c.call(wire.OpLRCRLIAdd, req.Encode())
+	_, err := c.call(ctx, wire.OpLRCRLIAdd, req.Encode())
 	return err
 }
 
 // RemoveRLITarget stops LRC updates to an RLI.
-func (c *Client) RemoveRLITarget(url string) error {
+func (c *Client) RemoveRLITarget(ctx context.Context, url string) error {
 	req := wire.NameRequest{Name: url}
-	_, err := c.call(wire.OpLRCRLIRemove, req.Encode())
+	_, err := c.call(ctx, wire.OpLRCRLIRemove, req.Encode())
 	return err
 }
 
 // ---- RLI queries ----
 
 // RLIQuery returns the LRCs that may hold mappings for a logical name.
-func (c *Client) RLIQuery(logical string) ([]string, error) {
-	return c.nameQuery(wire.OpRLIGetLRCs, logical)
+func (c *Client) RLIQuery(ctx context.Context, logical string) ([]string, error) {
+	return c.nameQuery(ctx, wire.OpRLIGetLRCs, logical)
 }
 
 // RLIWildcardQuery finds {logical name, LRC} pairs by wildcard.
-func (c *Client) RLIWildcardQuery(pattern string) ([]wire.BulkNameResult, error) {
-	return c.wildQuery(wire.OpRLIGetLRCsWild, pattern)
+func (c *Client) RLIWildcardQuery(ctx context.Context, pattern string) ([]wire.BulkNameResult, error) {
+	return c.wildQuery(ctx, wire.OpRLIGetLRCsWild, pattern)
 }
 
 // RLIBulkQuery resolves many logical names at an RLI.
-func (c *Client) RLIBulkQuery(names []string) ([]wire.BulkNameResult, error) {
-	return c.bulkQuery(wire.OpRLIBulkGetLRCs, names)
+func (c *Client) RLIBulkQuery(ctx context.Context, names []string) ([]wire.BulkNameResult, error) {
+	return c.bulkQuery(ctx, wire.OpRLIBulkGetLRCs, names)
 }
 
 // RLILRCList lists the LRCs updating the RLI.
-func (c *Client) RLILRCList() ([]string, error) {
-	body, err := c.call(wire.OpRLILRCList, nil)
+func (c *Client) RLILRCList(ctx context.Context) ([]string, error) {
+	body, err := c.call(ctx, wire.OpRLILRCList, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -474,36 +510,36 @@ func (c *Client) RLILRCList() ([]string, error) {
 // ---- soft state updates (Client implements lrc.Updater) ----
 
 // SSFullStart opens a full soft state update.
-func (c *Client) SSFullStart(lrcURL string, total uint64) error {
+func (c *Client) SSFullStart(ctx context.Context, lrcURL string, total uint64) error {
 	req := wire.SSFullStartRequest{LRC: lrcURL, Total: total}
-	_, err := c.call(wire.OpSSFullStart, req.Encode())
+	_, err := c.call(ctx, wire.OpSSFullStart, req.Encode())
 	return err
 }
 
 // SSFullBatch sends one batch of a full update.
-func (c *Client) SSFullBatch(lrcURL string, names []string) error {
+func (c *Client) SSFullBatch(ctx context.Context, lrcURL string, names []string) error {
 	req := wire.SSFullBatchRequest{LRC: lrcURL, Names: names}
-	_, err := c.call(wire.OpSSFullBatch, req.Encode())
+	_, err := c.call(ctx, wire.OpSSFullBatch, req.Encode())
 	return err
 }
 
 // SSFullEnd completes a full update.
-func (c *Client) SSFullEnd(lrcURL string) error {
+func (c *Client) SSFullEnd(ctx context.Context, lrcURL string) error {
 	req := wire.NameRequest{Name: lrcURL}
-	_, err := c.call(wire.OpSSFullEnd, req.Encode())
+	_, err := c.call(ctx, wire.OpSSFullEnd, req.Encode())
 	return err
 }
 
 // SSIncremental sends an immediate-mode update.
-func (c *Client) SSIncremental(lrcURL string, added, removed []string) error {
+func (c *Client) SSIncremental(ctx context.Context, lrcURL string, added, removed []string) error {
 	req := wire.SSIncrementalRequest{LRC: lrcURL, Added: added, Removed: removed}
-	_, err := c.call(wire.OpSSIncremental, req.Encode())
+	_, err := c.call(ctx, wire.OpSSIncremental, req.Encode())
 	return err
 }
 
 // SSBloom sends a Bloom filter update.
-func (c *Client) SSBloom(lrcURL string, bitmap []byte) error {
+func (c *Client) SSBloom(ctx context.Context, lrcURL string, bitmap []byte) error {
 	req := wire.SSBloomRequest{LRC: lrcURL, Bitmap: bitmap}
-	_, err := c.call(wire.OpSSBloom, req.Encode())
+	_, err := c.call(ctx, wire.OpSSBloom, req.Encode())
 	return err
 }

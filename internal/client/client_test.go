@@ -56,7 +56,7 @@ func (f *fakeServer) serve(conn net.Conn) {
 
 func dialFake(t *testing.T, f *fakeServer) (*Client, error) {
 	t.Helper()
-	return Dial(Options{
+	return Dial(ctx, Options{
 		Dialer: func() (net.Conn, error) {
 			a, b := net.Pipe()
 			go f.serve(b)
@@ -83,7 +83,7 @@ func TestDialHandshake(t *testing.T) {
 	if c.ServerURL() != "rls://fake" {
 		t.Fatalf("ServerURL = %q", c.ServerURL())
 	}
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -122,7 +122,7 @@ func TestStatusErrorMapping(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		err = c.Ping()
+		err = c.Ping(ctx)
 		if !errors.Is(err, tc.target) {
 			t.Errorf("status %v mapped to %v, want %v", tc.status, err, tc.target)
 		}
@@ -159,7 +159,7 @@ func TestMismatchedResponseID(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Ping(); err == nil {
+	if err := c.Ping(ctx); err == nil {
 		t.Fatal("mismatched response id accepted")
 	}
 }
@@ -174,7 +174,7 @@ func TestServerDropsConnectionMidCall(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Ping(); err == nil {
+	if err := c.Ping(ctx); err == nil {
 		t.Fatal("dropped connection produced no error")
 	}
 }
@@ -204,14 +204,14 @@ func TestRequestBodiesReachServer(t *testing.T) {
 	}
 	defer c.Close()
 
-	if err := c.CreateMapping("lfn://x", "pfn://x"); err != nil {
+	if err := c.CreateMapping(ctx, "lfn://x", "pfn://x"); err != nil {
 		t.Fatal(err)
 	}
-	names, err := c.GetTargets("lfn://x")
+	names, err := c.GetTargets(ctx, "lfn://x")
 	if err != nil || len(names) != 1 || names[0] != "pfn://a" {
 		t.Fatalf("GetTargets = %v, %v", names, err)
 	}
-	if _, err := c.BulkCreate([]wire.Mapping{{Logical: "l", Target: "t"}}); err != nil {
+	if _, err := c.BulkCreate(ctx, []wire.Mapping{{Logical: "l", Target: "t"}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -239,10 +239,10 @@ func TestGarbageResponseBody(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.GetTargets("lfn://x"); err == nil {
+	if _, err := c.GetTargets(ctx, "lfn://x"); err == nil {
 		t.Fatal("garbage body decoded without error")
 	}
-	if _, err := c.ServerInfo(); err == nil {
+	if _, err := c.ServerInfo(ctx); err == nil {
 		t.Fatal("garbage info decoded without error")
 	}
 }
@@ -260,7 +260,7 @@ func TestConcurrentCallsSerializeSafely(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				if err := c.Ping(); err != nil {
+				if err := c.Ping(ctx); err != nil {
 					errs <- err
 					return
 				}
@@ -275,7 +275,7 @@ func TestConcurrentCallsSerializeSafely(t *testing.T) {
 }
 
 func TestDialFailurePropagates(t *testing.T) {
-	_, err := Dial(Options{
+	_, err := Dial(ctx, Options{
 		Dialer: func() (net.Conn, error) { return nil, errors.New("no route") },
 	})
 	if err == nil || err.Error() != "no route" {

@@ -111,6 +111,7 @@ func (f *Fake) After(d time.Duration) <-chan time.Time {
 	defer f.mu.Unlock()
 	ch := make(chan time.Time, 1)
 	if d <= 0 {
+		//lint:ignore lockcheck ch is freshly made with capacity 1, the send cannot block
 		ch <- f.now
 		return ch
 	}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -232,7 +233,7 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 			cleanup()
 			return nil, err
 		}
-		svc, err := lrc.New(lrc.Config{
+		svc, err := lrc.New(context.Background(), lrc.Config{
 			URL:                node.URL,
 			DB:                 db,
 			Dial:               d.updaterDialer(),
@@ -312,7 +313,17 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 			return nil, err
 		}
 		node.listener = l
-		go srv.Serve(netsim.WrapListener(l, spec.Net))
+		go func() {
+			// Serve returns nil on clean shutdown; anything else means the
+			// listener died under us and deserves a log line.
+			if err := srv.Serve(netsim.WrapListener(l, spec.Net)); err != nil {
+				logger := spec.Logger
+				if logger == nil {
+					logger = slog.Default()
+				}
+				logger.Warn("node listener failed", "node", spec.Name, "err", err)
+			}
+		}()
 	}
 
 	d.mu.Lock()
@@ -362,12 +373,12 @@ func (d *Deployment) resolve(url string) (*Node, error) {
 // updaterDialer lets LRC services reach RLI nodes by URL for soft state
 // updates.
 func (d *Deployment) updaterDialer() lrc.Dialer {
-	return func(url string) (lrc.Updater, error) {
+	return func(ctx context.Context, url string) (lrc.Updater, error) {
 		n, err := d.resolve(url)
 		if err != nil {
 			return nil, err
 		}
-		return client.Dial(client.Options{
+		return client.Dial(ctx, client.Options{
 			Dialer: func() (net.Conn, error) { return d.dialNode(n) },
 		})
 	}
@@ -391,7 +402,7 @@ func (d *Deployment) Dial(name string, opts ...DialOptions) (*client.Client, err
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return client.Dial(client.Options{
+	return client.Dial(context.Background(), client.Options{
 		DN:     o.DN,
 		Token:  o.Token,
 		Dialer: func() (net.Conn, error) { return d.dialNode(n) },
@@ -415,7 +426,7 @@ func (d *Deployment) DialTCP(name string, opts ...DialOptions) (*client.Client, 
 		o = opts[0]
 	}
 	addr := n.listener.Addr().String()
-	return client.Dial(client.Options{
+	return client.Dial(context.Background(), client.Options{
 		DN:    o.DN,
 		Token: o.Token,
 		Dialer: func() (net.Conn, error) {
@@ -440,7 +451,7 @@ func (d *Deployment) Connect(lrcName, rliName string, bloomUpdates bool, pattern
 	if !ok || rnode.RLI == nil {
 		return fmt.Errorf("core: %q is not an RLI in this deployment", rliName)
 	}
-	return lnode.LRC.AddRLITarget(wire.RLITarget{
+	return lnode.LRC.AddRLITarget(context.Background(), wire.RLITarget{
 		URL:      rnode.URL,
 		Bloom:    bloomUpdates,
 		Patterns: patterns,
@@ -460,12 +471,12 @@ func (d *Deployment) ConnectRLI(childName, parentName string) error {
 	if !ok || parent.RLI == nil {
 		return fmt.Errorf("core: %q is not an RLI in this deployment", parentName)
 	}
-	child.RLI.ConfigureForwarding(func(url string) (rli.Updater, error) {
+	child.RLI.ConfigureForwarding(func(ctx context.Context, url string) (rli.Updater, error) {
 		n, err := d.resolve(url)
 		if err != nil {
 			return nil, err
 		}
-		return client.Dial(client.Options{
+		return client.Dial(ctx, client.Options{
 			Dialer: func() (net.Conn, error) { return d.dialNode(n) },
 		})
 	}, 0)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -45,19 +46,20 @@ func newPair(t *testing.T) (*Deployment, *client.Client, *client.Client) {
 }
 
 func TestEndToEndRegisterAndDiscover(t *testing.T) {
+	ctx := context.Background()
 	d, lc, rc := newPair(t)
 
 	// Register replicas at the LRC.
-	if err := lc.CreateMapping("lfn://exp/f1", "gsiftp://siteA/f1"); err != nil {
+	if err := lc.CreateMapping(ctx, "lfn://exp/f1", "gsiftp://siteA/f1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := lc.AddMapping("lfn://exp/f1", "gsiftp://siteB/f1"); err != nil {
+	if err := lc.AddMapping(ctx, "lfn://exp/f1", "gsiftp://siteB/f1"); err != nil {
 		t.Fatal(err)
 	}
 
 	// Push soft state LRC -> RLI.
 	node, _ := d.Node("lrc1")
-	for _, res := range node.LRC.ForceUpdate() {
+	for _, res := range node.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -65,14 +67,14 @@ func TestEndToEndRegisterAndDiscover(t *testing.T) {
 
 	// Discover via the RLI, then resolve at the LRC — the paper's two-step
 	// client protocol.
-	lrcs, err := rc.RLIQuery("lfn://exp/f1")
+	lrcs, err := rc.RLIQuery(ctx, "lfn://exp/f1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(lrcs) != 1 || lrcs[0] != "rls://lrc1" {
 		t.Fatalf("RLI query = %v", lrcs)
 	}
-	targets, err := lc.GetTargets("lfn://exp/f1")
+	targets, err := lc.GetTargets(ctx, "lfn://exp/f1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,26 +84,28 @@ func TestEndToEndRegisterAndDiscover(t *testing.T) {
 }
 
 func TestEndToEndPing(t *testing.T) {
+	ctx := context.Background()
 	_, lc, rc := newPair(t)
-	if err := lc.Ping(); err != nil {
+	if err := lc.Ping(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := rc.Ping(); err != nil {
+	if err := rc.Ping(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestServerInfo(t *testing.T) {
+	ctx := context.Background()
 	_, lc, rc := newPair(t)
-	lc.CreateMapping("lfn://a", "pfn://a")
-	info, err := lc.ServerInfo()
+	lc.CreateMapping(ctx, "lfn://a", "pfn://a")
+	info, err := lc.ServerInfo(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Role != "lrc" || info.LogicalNames != 1 || info.Mappings != 1 {
 		t.Fatalf("lrc info = %+v", info)
 	}
-	rinfo, err := rc.ServerInfo()
+	rinfo, err := rc.ServerInfo(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,18 +115,20 @@ func TestServerInfo(t *testing.T) {
 }
 
 func TestRoleEnforcement(t *testing.T) {
+	ctx := context.Background()
 	_, lc, rc := newPair(t)
 	// LRC ops on an RLI-only server.
-	if err := rc.CreateMapping("lfn://x", "pfn://x"); !errors.Is(err, client.ErrUnsupported) {
+	if err := rc.CreateMapping(ctx, "lfn://x", "pfn://x"); !errors.Is(err, client.ErrUnsupported) {
 		t.Fatalf("LRC op on RLI = %v", err)
 	}
 	// RLI ops on an LRC-only server.
-	if _, err := lc.RLIQuery("lfn://x"); !errors.Is(err, client.ErrUnsupported) {
+	if _, err := lc.RLIQuery(ctx, "lfn://x"); !errors.Is(err, client.ErrUnsupported) {
 		t.Fatalf("RLI op on LRC = %v", err)
 	}
 }
 
 func TestCombinedRoleServer(t *testing.T) {
+	ctx := context.Background()
 	d := NewDeployment()
 	defer d.Close()
 	if _, err := d.AddServer(fastSpec("both", true, true)); err != nil {
@@ -138,46 +144,48 @@ func TestCombinedRoleServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.CreateMapping("lfn://x", "pfn://x"); err != nil {
+	if err := c.CreateMapping(ctx, "lfn://x", "pfn://x"); err != nil {
 		t.Fatal(err)
 	}
 	node, _ := d.Node("both")
-	for _, res := range node.LRC.ForceUpdate() {
+	for _, res := range node.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
-	lrcs, err := c.RLIQuery("lfn://x")
+	lrcs, err := c.RLIQuery(ctx, "lfn://x")
 	if err != nil || len(lrcs) != 1 {
 		t.Fatalf("self-indexed query = %v, %v", lrcs, err)
 	}
-	info, _ := c.ServerInfo()
+	info, _ := c.ServerInfo(ctx)
 	if info.Role != "lrc+rli" {
 		t.Fatalf("role = %q", info.Role)
 	}
 }
 
 func TestErrorMapping(t *testing.T) {
+	ctx := context.Background()
 	_, lc, _ := newPair(t)
-	lc.CreateMapping("lfn://dup", "pfn://1")
-	if err := lc.CreateMapping("lfn://dup", "pfn://2"); !errors.Is(err, client.ErrExists) {
+	lc.CreateMapping(ctx, "lfn://dup", "pfn://1")
+	if err := lc.CreateMapping(ctx, "lfn://dup", "pfn://2"); !errors.Is(err, client.ErrExists) {
 		t.Fatalf("duplicate = %v", err)
 	}
-	if _, err := lc.GetTargets("lfn://missing"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := lc.GetTargets(ctx, "lfn://missing"); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("missing = %v", err)
 	}
-	if err := lc.CreateMapping("", "pfn://x"); !errors.Is(err, client.ErrBadRequest) {
+	if err := lc.CreateMapping(ctx, "", "pfn://x"); !errors.Is(err, client.ErrBadRequest) {
 		t.Fatalf("empty = %v", err)
 	}
 }
 
 func TestBulkOperationsOverWire(t *testing.T) {
+	ctx := context.Background()
 	_, lc, _ := newPair(t)
 	var ms []wire.Mapping
 	for i := 0; i < 100; i++ {
 		ms = append(ms, wire.Mapping{Logical: fmt.Sprintf("lfn://bulk/%03d", i), Target: fmt.Sprintf("pfn://bulk/%03d", i)})
 	}
-	failures, err := lc.BulkCreate(ms)
+	failures, err := lc.BulkCreate(ctx, ms)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,32 +193,33 @@ func TestBulkOperationsOverWire(t *testing.T) {
 		t.Fatalf("failures = %+v", failures)
 	}
 	// Re-creating everything fails per element, not per request.
-	failures, err = lc.BulkCreate(ms[:10])
+	failures, err = lc.BulkCreate(ctx, ms[:10])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(failures) != 10 {
 		t.Fatalf("re-create failures = %d, want 10", len(failures))
 	}
-	results, err := lc.BulkGetTargets([]string{"lfn://bulk/001", "lfn://nope"})
+	results, err := lc.BulkGetTargets(ctx, []string{"lfn://bulk/001", "lfn://nope"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !results[0].Found || results[1].Found {
 		t.Fatalf("bulk query results = %+v", results)
 	}
-	failures, err = lc.BulkDelete(ms)
+	failures, err = lc.BulkDelete(ctx, ms)
 	if err != nil || len(failures) != 0 {
 		t.Fatalf("bulk delete = %+v, %v", failures, err)
 	}
 }
 
 func TestWildcardOverWire(t *testing.T) {
+	ctx := context.Background()
 	_, lc, _ := newPair(t)
-	lc.CreateMapping("lfn://w/a", "pfn://1")
-	lc.CreateMapping("lfn://w/b", "pfn://2")
-	lc.CreateMapping("lfn://z/c", "pfn://3")
-	results, err := lc.WildcardTargets("lfn://w/*")
+	lc.CreateMapping(ctx, "lfn://w/a", "pfn://1")
+	lc.CreateMapping(ctx, "lfn://w/b", "pfn://2")
+	lc.CreateMapping(ctx, "lfn://z/c", "pfn://3")
+	results, err := lc.WildcardTargets(ctx, "lfn://w/*")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,36 +229,38 @@ func TestWildcardOverWire(t *testing.T) {
 }
 
 func TestAttributesOverWire(t *testing.T) {
+	ctx := context.Background()
 	_, lc, _ := newPair(t)
-	lc.CreateMapping("lfn://f", "pfn://f")
-	if err := lc.DefineAttribute("size", wire.ObjTarget, wire.AttrInt); err != nil {
+	lc.CreateMapping(ctx, "lfn://f", "pfn://f")
+	if err := lc.DefineAttribute(ctx, "size", wire.ObjTarget, wire.AttrInt); err != nil {
 		t.Fatal(err)
 	}
-	if err := lc.AddAttribute("pfn://f", wire.ObjTarget, "size", wire.AttrValue{Type: wire.AttrInt, I: 4096}); err != nil {
+	if err := lc.AddAttribute(ctx, "pfn://f", wire.ObjTarget, "size", wire.AttrValue{Type: wire.AttrInt, I: 4096}); err != nil {
 		t.Fatal(err)
 	}
-	attrs, err := lc.GetAttributes("pfn://f", wire.ObjTarget, nil)
+	attrs, err := lc.GetAttributes(ctx, "pfn://f", wire.ObjTarget, nil)
 	if err != nil || len(attrs) != 1 || attrs[0].Value.I != 4096 {
 		t.Fatalf("attrs = %+v, %v", attrs, err)
 	}
-	hits, err := lc.SearchAttribute("size", wire.ObjTarget, wire.CmpGE, wire.AttrValue{Type: wire.AttrInt, I: 1000})
+	hits, err := lc.SearchAttribute(ctx, "size", wire.ObjTarget, wire.CmpGE, wire.AttrValue{Type: wire.AttrInt, I: 1000})
 	if err != nil || len(hits) != 1 {
 		t.Fatalf("search = %+v, %v", hits, err)
 	}
-	if err := lc.ModifyAttribute("pfn://f", wire.ObjTarget, "size", wire.AttrValue{Type: wire.AttrInt, I: 1}); err != nil {
+	if err := lc.ModifyAttribute(ctx, "pfn://f", wire.ObjTarget, "size", wire.AttrValue{Type: wire.AttrInt, I: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := lc.RemoveAttribute("pfn://f", wire.ObjTarget, "size"); err != nil {
+	if err := lc.RemoveAttribute(ctx, "pfn://f", wire.ObjTarget, "size"); err != nil {
 		t.Fatal(err)
 	}
-	if err := lc.UndefineAttribute("size", wire.ObjTarget, false); err != nil {
+	if err := lc.UndefineAttribute(ctx, "size", wire.ObjTarget, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRLITargetManagementOverWire(t *testing.T) {
+	ctx := context.Background()
 	d, lc, _ := newPair(t)
-	targets, err := lc.ListRLITargets()
+	targets, err := lc.ListRLITargets(ctx)
 	if err != nil || len(targets) != 1 {
 		t.Fatalf("targets = %+v, %v", targets, err)
 	}
@@ -257,12 +268,12 @@ func TestRLITargetManagementOverWire(t *testing.T) {
 	if _, err := d.AddServer(fastSpec("rli2", false, true)); err != nil {
 		t.Fatal(err)
 	}
-	if err := lc.AddRLITarget(wire.RLITarget{URL: "rls://rli2", Bloom: true}); err != nil {
+	if err := lc.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli2", Bloom: true}); err != nil {
 		t.Fatal(err)
 	}
-	lc.CreateMapping("lfn://x", "pfn://x")
+	lc.CreateMapping(ctx, "lfn://x", "pfn://x")
 	node, _ := d.Node("lrc1")
-	for _, res := range node.LRC.ForceUpdate() {
+	for _, res := range node.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -272,52 +283,55 @@ func TestRLITargetManagementOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rc2.Close()
-	lrcs, err := rc2.RLIQuery("lfn://x")
+	lrcs, err := rc2.RLIQuery(ctx, "lfn://x")
 	if err != nil || len(lrcs) != 1 {
 		t.Fatalf("rli2 query = %v, %v", lrcs, err)
 	}
-	if err := lc.RemoveRLITarget("rls://rli2"); err != nil {
+	if err := lc.RemoveRLITarget(ctx, "rls://rli2"); err != nil {
 		t.Fatal(err)
 	}
-	targets, _ = lc.ListRLITargets()
+	targets, _ = lc.ListRLITargets(ctx)
 	if len(targets) != 1 {
 		t.Fatalf("targets after remove = %+v", targets)
 	}
 }
 
 func TestRLILRCListOverWire(t *testing.T) {
+	ctx := context.Background()
 	d, lc, rc := newPair(t)
-	lc.CreateMapping("lfn://x", "pfn://x")
+	lc.CreateMapping(ctx, "lfn://x", "pfn://x")
 	node, _ := d.Node("lrc1")
-	node.LRC.ForceUpdate()
-	lrcs, err := rc.RLILRCList()
+	node.LRC.ForceUpdate(ctx)
+	lrcs, err := rc.RLILRCList(ctx)
 	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc1" {
 		t.Fatalf("LRC list = %v, %v", lrcs, err)
 	}
 }
 
 func TestStaleRLIAnswerHandledByClient(t *testing.T) {
+	ctx := context.Background()
 	// §3.2: a client may get a stale RLI answer and must recover by trying
 	// the LRCs. Delete the mapping after the update and observe the
 	// documented stale-read behaviour.
 	d, lc, rc := newPair(t)
-	lc.CreateMapping("lfn://stale", "pfn://x")
+	lc.CreateMapping(ctx, "lfn://stale", "pfn://x")
 	node, _ := d.Node("lrc1")
-	node.LRC.ForceUpdate()
-	lc.DeleteMapping("lfn://stale", "pfn://x")
+	node.LRC.ForceUpdate(ctx)
+	lc.DeleteMapping(ctx, "lfn://stale", "pfn://x")
 
-	lrcs, err := rc.RLIQuery("lfn://stale")
+	lrcs, err := rc.RLIQuery(ctx, "lfn://stale")
 	if err != nil || len(lrcs) != 1 {
 		t.Fatalf("RLI answer = %v, %v (expected stale hit)", lrcs, err)
 	}
 	// Following the stale pointer yields not-found at the LRC; application
 	// recovers by trying other replicas.
-	if _, err := lc.GetTargets("lfn://stale"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := lc.GetTargets(ctx, "lfn://stale"); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("LRC resolution = %v, want ErrNotFound", err)
 	}
 }
 
 func TestAuthenticationOverWire(t *testing.T) {
+	ctx := context.Background()
 	gm := auth.NewGridmap()
 	gm.Add("/O=Grid/CN=Writer", "writer")
 	gm.Add("/O=Grid/CN=Reader", "reader")
@@ -350,7 +364,7 @@ func TestAuthenticationOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer writer.Close()
-	if err := writer.CreateMapping("lfn://x", "pfn://x"); err != nil {
+	if err := writer.CreateMapping(ctx, "lfn://x", "pfn://x"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -359,15 +373,16 @@ func TestAuthenticationOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reader.Close()
-	if _, err := reader.GetTargets("lfn://x"); err != nil {
+	if _, err := reader.GetTargets(ctx, "lfn://x"); err != nil {
 		t.Fatalf("reader query = %v", err)
 	}
-	if err := reader.CreateMapping("lfn://y", "pfn://y"); !errors.Is(err, client.ErrDenied) {
+	if err := reader.CreateMapping(ctx, "lfn://y", "pfn://y"); !errors.Is(err, client.ErrDenied) {
 		t.Fatalf("reader write = %v, want ErrDenied", err)
 	}
 }
 
 func TestTCPTransport(t *testing.T) {
+	ctx := context.Background()
 	d := NewDeployment()
 	defer d.Close()
 	spec := fastSpec("tcp-lrc", true, false)
@@ -384,16 +399,17 @@ func TestTCPTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.CreateMapping("lfn://tcp", "pfn://tcp"); err != nil {
+	if err := c.CreateMapping(ctx, "lfn://tcp", "pfn://tcp"); err != nil {
 		t.Fatal(err)
 	}
-	targets, err := c.GetTargets("lfn://tcp")
+	targets, err := c.GetTargets(ctx, "lfn://tcp")
 	if err != nil || len(targets) != 1 {
 		t.Fatalf("over TCP: %v, %v", targets, err)
 	}
 }
 
 func TestConcurrentClients(t *testing.T) {
+	ctx := context.Background()
 	d := NewDeployment()
 	defer d.Close()
 	if _, err := d.AddServer(fastSpec("lrc1", true, false)); err != nil {
@@ -415,11 +431,11 @@ func TestConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < perClient; i++ {
 				lfn := fmt.Sprintf("lfn://c%d/%03d", g, i)
-				if err := c.CreateMapping(lfn, "pfn://"+lfn); err != nil {
+				if err := c.CreateMapping(ctx, lfn, "pfn://"+lfn); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := c.GetTargets(lfn); err != nil {
+				if _, err := c.GetTargets(ctx, lfn); err != nil {
 					errs <- err
 					return
 				}
@@ -433,7 +449,7 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	c, _ := d.Dial("lrc1")
 	defer c.Close()
-	info, err := c.ServerInfo()
+	info, err := c.ServerInfo(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,6 +459,7 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestImmediateModeEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	d := NewDeployment()
 	defer d.Close()
 	spec := fastSpec("lrc1", true, false)
@@ -465,12 +482,12 @@ func TestImmediateModeEndToEnd(t *testing.T) {
 	rc, _ := d.Dial("rli1")
 	defer rc.Close()
 
-	if err := lc.CreateMapping("lfn://immediate", "pfn://x"); err != nil {
+	if err := lc.CreateMapping(ctx, "lfn://immediate", "pfn://x"); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if lrcs, err := rc.RLIQuery("lfn://immediate"); err == nil && len(lrcs) == 1 {
+		if lrcs, err := rc.RLIQuery(ctx, "lfn://immediate"); err == nil && len(lrcs) == 1 {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -479,6 +496,7 @@ func TestImmediateModeEndToEnd(t *testing.T) {
 }
 
 func TestPartitionedDeployment(t *testing.T) {
+	ctx := context.Background()
 	d := NewDeployment()
 	defer d.Close()
 	d.AddServer(fastSpec("lrc1", true, false))
@@ -492,10 +510,10 @@ func TestPartitionedDeployment(t *testing.T) {
 	}
 	lc, _ := d.Dial("lrc1")
 	defer lc.Close()
-	lc.CreateMapping("lfn://ligo/a", "pfn://1")
-	lc.CreateMapping("lfn://esg/b", "pfn://2")
+	lc.CreateMapping(ctx, "lfn://ligo/a", "pfn://1")
+	lc.CreateMapping(ctx, "lfn://esg/b", "pfn://2")
 	node, _ := d.Node("lrc1")
-	for _, res := range node.LRC.ForceUpdate() {
+	for _, res := range node.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -504,13 +522,13 @@ func TestPartitionedDeployment(t *testing.T) {
 	defer ligo.Close()
 	esg, _ := d.Dial("rli-esg")
 	defer esg.Close()
-	if _, err := ligo.RLIQuery("lfn://ligo/a"); err != nil {
+	if _, err := ligo.RLIQuery(ctx, "lfn://ligo/a"); err != nil {
 		t.Fatal("partition member missing at rli-ligo")
 	}
-	if _, err := ligo.RLIQuery("lfn://esg/b"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := ligo.RLIQuery(ctx, "lfn://esg/b"); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("out-of-partition name at rli-ligo: %v", err)
 	}
-	if _, err := esg.RLIQuery("lfn://esg/b"); err != nil {
+	if _, err := esg.RLIQuery(ctx, "lfn://esg/b"); err != nil {
 		t.Fatal("partition member missing at rli-esg")
 	}
 }
@@ -540,6 +558,7 @@ func TestDeploymentValidation(t *testing.T) {
 }
 
 func TestPersistentLRCAcrossDeployments(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	spec := fastSpec("lrc1", true, false)
 	spec.DataDir = dir
@@ -549,7 +568,7 @@ func TestPersistentLRCAcrossDeployments(t *testing.T) {
 		t.Fatal(err)
 	}
 	c1, _ := d1.Dial("lrc1")
-	c1.CreateMapping("lfn://persistent", "pfn://x")
+	c1.CreateMapping(ctx, "lfn://persistent", "pfn://x")
 	c1.Close()
 	d1.Close()
 
@@ -564,21 +583,22 @@ func TestPersistentLRCAcrossDeployments(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	targets, err := c2.GetTargets("lfn://persistent")
+	targets, err := c2.GetTargets(ctx, "lfn://persistent")
 	if err != nil || len(targets) != 1 {
 		t.Fatalf("reopened catalog = %v, %v", targets, err)
 	}
-	if err := c2.CreateMapping("lfn://fresh", "pfn://y"); err != nil {
+	if err := c2.CreateMapping(ctx, "lfn://fresh", "pfn://y"); err != nil {
 		t.Fatalf("create after reopen: %v", err)
 	}
 }
 
 func TestListAttributeDefsOverWire(t *testing.T) {
+	ctx := context.Background()
 	_, lc, _ := newPair(t)
-	if err := lc.DefineAttribute("size", wire.ObjTarget, wire.AttrInt); err != nil {
+	if err := lc.DefineAttribute(ctx, "size", wire.ObjTarget, wire.AttrInt); err != nil {
 		t.Fatal(err)
 	}
-	defs, err := lc.ListAttributeDefs(wire.ObjTarget)
+	defs, err := lc.ListAttributeDefs(ctx, wire.ObjTarget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -586,7 +606,7 @@ func TestListAttributeDefsOverWire(t *testing.T) {
 		t.Fatalf("defs = %+v", defs)
 	}
 	// Empty result for the other object type.
-	defs, err = lc.ListAttributeDefs(wire.ObjLogical)
+	defs, err = lc.ListAttributeDefs(ctx, wire.ObjLogical)
 	if err != nil || len(defs) != 0 {
 		t.Fatalf("logical defs = %+v, %v", defs, err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -19,6 +20,7 @@ import (
 // end to end: "If an RLI fails and later resumes operation, its state can
 // be reconstructed using soft state updates."
 func TestRLIFailureAndSoftStateReconstruction(t *testing.T) {
+	ctx := context.Background()
 	d := NewDeployment()
 	defer d.Close()
 	if _, err := d.AddServer(fastSpec("lrc1", true, false)); err != nil {
@@ -32,9 +34,9 @@ func TestRLIFailureAndSoftStateReconstruction(t *testing.T) {
 	}
 	lc, _ := d.Dial("lrc1")
 	defer lc.Close()
-	lc.CreateMapping("lfn://durable", "pfn://x")
+	lc.CreateMapping(ctx, "lfn://durable", "pfn://x")
 	lnode, _ := d.Node("lrc1")
-	for _, res := range lnode.LRC.ForceUpdate() {
+	for _, res := range lnode.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -49,25 +51,25 @@ func TestRLIFailureAndSoftStateReconstruction(t *testing.T) {
 	if _, err := d.AddServer(fastSpec("rli1b", false, true)); err != nil {
 		t.Fatal(err)
 	}
-	if err := lc.RemoveRLITarget("rls://rli1"); err != nil {
+	if err := lc.RemoveRLITarget(ctx, "rls://rli1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := lc.AddRLITarget(wire.RLITarget{URL: "rls://rli1b"}); err != nil {
+	if err := lc.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli1b"}); err != nil {
 		t.Fatal(err)
 	}
 
 	// The fresh RLI knows nothing until the next soft state update.
 	rc, _ := d.Dial("rli1b")
 	defer rc.Close()
-	if _, err := rc.RLIQuery("lfn://durable"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := rc.RLIQuery(ctx, "lfn://durable"); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("fresh RLI answered before reconstruction: %v", err)
 	}
-	for _, res := range lnode.LRC.ForceUpdate() {
+	for _, res := range lnode.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
-	lrcs, err := rc.RLIQuery("lfn://durable")
+	lrcs, err := rc.RLIQuery(ctx, "lfn://durable")
 	if err != nil || len(lrcs) != 1 {
 		t.Fatalf("reconstructed RLI = %v, %v", lrcs, err)
 	}
@@ -91,16 +93,16 @@ func TestUpdateFailsOnDroppedLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	lnode, _ := d.Node("lrc1")
-	svc, err := lrc.New(lrc.Config{
+	svc, err := lrc.New(ctx, lrc.Config{
 		URL: "rls://lrc1-flaky",
 		DB:  lnode.LRC.DB(),
-		Dial: func(url string) (lrc.Updater, error) {
+		Dial: func(ctx context.Context, url string) (lrc.Updater, error) {
 			attempt++
 			budget := int64(1 << 62)
 			if attempt == 1 {
 				budget = 256 // dies mid-update
 			}
-			return client.Dial(client.Options{
+			return client.Dial(ctx, client.Options{
 				Dialer: func() (net.Conn, error) {
 					clientEnd, serverEnd := net.Pipe()
 					go rnode.Server.ServeConn(serverEnd)
@@ -113,29 +115,29 @@ func TestUpdateFailsOnDroppedLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc.Close()
-	if err := svc.AddRLITarget(wire.RLITarget{URL: "rls://rli1"}); err != nil {
+	if err := svc.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli1"}); err != nil {
 		t.Fatal(err)
 	}
 
 	lc, _ := d.Dial("lrc1")
 	defer lc.Close()
 	for i := 0; i < 100; i++ {
-		if err := lc.CreateMapping(fmt.Sprintf("lfn://flaky/%03d", i), fmt.Sprintf("pfn://%03d", i)); err != nil {
+		if err := lc.CreateMapping(ctx, fmt.Sprintf("lfn://flaky/%03d", i), fmt.Sprintf("pfn://%03d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	results := svc.ForceUpdate()
+	results := svc.ForceUpdate(ctx)
 	if len(results) != 1 || results[0].Err == nil {
 		t.Fatalf("first update should fail on injected fault: %+v", results)
 	}
-	results = svc.ForceUpdate()
+	results = svc.ForceUpdate(ctx)
 	if results[0].Err != nil {
 		t.Fatalf("retry failed: %v", results[0].Err)
 	}
 	rc, _ := d.Dial("rli1")
 	defer rc.Close()
-	if _, err := rc.RLIQuery("lfn://flaky/050"); err != nil {
+	if _, err := rc.RLIQuery(ctx, "lfn://flaky/050"); err != nil {
 		t.Fatalf("state missing after retry: %v", err)
 	}
 }
@@ -163,34 +165,34 @@ func TestExpirationEndToEnd(t *testing.T) {
 	}
 	lc, _ := d.Dial("lrc1")
 	defer lc.Close()
-	lc.CreateMapping("lfn://fleeting", "pfn://x")
+	lc.CreateMapping(ctx, "lfn://fleeting", "pfn://x")
 	lnode, _ := d.Node("lrc1")
-	for _, res := range lnode.LRC.ForceUpdate() {
+	for _, res := range lnode.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
 	rc, _ := d.Dial("rli1")
 	defer rc.Close()
-	if _, err := rc.RLIQuery("lfn://fleeting"); err != nil {
+	if _, err := rc.RLIQuery(ctx, "lfn://fleeting"); err != nil {
 		t.Fatal(err)
 	}
 	// No refresh for two minutes of virtual time: the entry must expire.
 	rnode, _ := d.Node("rli1")
 	fc.Advance(2 * time.Minute)
-	if n, err := rnode.RLI.ExpireNow(); err != nil || n != 1 {
+	if n, err := rnode.RLI.ExpireNow(ctx); err != nil || n != 1 {
 		t.Fatalf("ExpireNow = %d, %v", n, err)
 	}
-	if _, err := rc.RLIQuery("lfn://fleeting"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := rc.RLIQuery(ctx, "lfn://fleeting"); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("expired entry still answered: %v", err)
 	}
 	// A fresh update restores it — the steady-state refresh cycle.
-	for _, res := range lnode.LRC.ForceUpdate() {
+	for _, res := range lnode.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
-	if _, err := rc.RLIQuery("lfn://fleeting"); err != nil {
+	if _, err := rc.RLIQuery(ctx, "lfn://fleeting"); err != nil {
 		t.Fatalf("refreshed entry missing: %v", err)
 	}
 }
@@ -198,15 +200,15 @@ func TestExpirationEndToEnd(t *testing.T) {
 // TestBulkAttributesOverWire covers the bulk attribute paths end to end.
 func TestBulkAttributesOverWire(t *testing.T) {
 	_, lc, _ := newPair(t)
-	lc.CreateMapping("lfn://f", "pfn://f")
-	if err := lc.DefineAttribute("size", wire.ObjTarget, wire.AttrInt); err != nil {
+	lc.CreateMapping(ctx, "lfn://f", "pfn://f")
+	if err := lc.DefineAttribute(ctx, "size", wire.ObjTarget, wire.AttrInt); err != nil {
 		t.Fatal(err)
 	}
 	items := []wire.AttrWriteRequest{
 		{Key: "pfn://f", Obj: wire.ObjTarget, Name: "size", Value: wire.AttrValue{Type: wire.AttrInt, I: 1}},
 		{Key: "pfn://missing", Obj: wire.ObjTarget, Name: "size", Value: wire.AttrValue{Type: wire.AttrInt, I: 2}},
 	}
-	failures, err := lc.BulkAddAttributes(items)
+	failures, err := lc.BulkAddAttributes(ctx, items)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +219,7 @@ func TestBulkAttributesOverWire(t *testing.T) {
 		{Key: "pfn://f", Obj: wire.ObjTarget, Name: "size"},
 		{Key: "pfn://f", Obj: wire.ObjTarget, Name: "size"}, // second remove fails
 	}
-	failures, err = lc.BulkRemoveAttributes(rem)
+	failures, err = lc.BulkRemoveAttributes(ctx, rem)
 	if err != nil {
 		t.Fatal(err)
 	}

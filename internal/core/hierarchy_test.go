@@ -41,15 +41,15 @@ func TestHierarchicalRLIForwarding(t *testing.T) {
 	defer ce.Close()
 	cw, _ := d.Dial("lrc-west")
 	defer cw.Close()
-	if err := ce.CreateMapping("lfn://east/data", "pfn://east/data"); err != nil {
+	if err := ce.CreateMapping(ctx, "lfn://east/data", "pfn://east/data"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cw.CreateMapping("lfn://west/data", "pfn://west/data"); err != nil {
+	if err := cw.CreateMapping(ctx, "lfn://west/data", "pfn://west/data"); err != nil {
 		t.Fatal(err)
 	}
 	for _, lrcName := range []string{"lrc-east", "lrc-west"} {
 		node, _ := d.Node(lrcName)
-		for _, res := range node.LRC.ForceUpdate() {
+		for _, res := range node.LRC.ForceUpdate(ctx) {
 			if res.Err != nil {
 				t.Fatal(res.Err)
 			}
@@ -57,7 +57,7 @@ func TestHierarchicalRLIForwarding(t *testing.T) {
 	}
 	for _, rliName := range []string{"rli-east", "rli-west"} {
 		node, _ := d.Node(rliName)
-		for _, res := range node.RLI.ForwardAll() {
+		for _, res := range node.RLI.ForwardAll(ctx) {
 			if res.Err != nil {
 				t.Fatalf("forward from %s: %v", rliName, res.Err)
 			}
@@ -70,16 +70,16 @@ func TestHierarchicalRLIForwarding(t *testing.T) {
 	// The root resolves both sites' data to the ORIGINATING LRCs.
 	root, _ := d.Dial("rli-root")
 	defer root.Close()
-	lrcs, err := root.RLIQuery("lfn://east/data")
+	lrcs, err := root.RLIQuery(ctx, "lfn://east/data")
 	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc-east" {
 		t.Fatalf("east data at root = %v, %v", lrcs, err)
 	}
-	lrcs, err = root.RLIQuery("lfn://west/data")
+	lrcs, err = root.RLIQuery(ctx, "lfn://west/data")
 	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc-west" {
 		t.Fatalf("west data at root = %v, %v", lrcs, err)
 	}
 	// The root knows both LRCs even though neither updates it directly.
-	all, err := root.RLILRCList()
+	all, err := root.RLILRCList(ctx)
 	if err != nil || len(all) != 2 {
 		t.Fatalf("root LRC list = %v, %v", all, err)
 	}
@@ -134,15 +134,15 @@ func TestForwardingSurvivesParentOutage(t *testing.T) {
 
 	c, _ := d.Dial("lrc")
 	defer c.Close()
-	c.CreateMapping("lfn://x", "pfn://x")
+	c.CreateMapping(ctx, "lfn://x", "pfn://x")
 	lnode, _ := d.Node("lrc")
-	lnode.LRC.ForceUpdate()
+	lnode.LRC.ForceUpdate(ctx)
 
 	// Kill the parent; forwarding must report the error, not hang or panic.
 	pnode, _ := d.Node("parent")
 	pnode.Server.Close()
 	cnode, _ := d.Node("child")
-	results := cnode.RLI.ForwardAll()
+	results := cnode.RLI.ForwardAll(ctx)
 	if len(results) != 1 {
 		t.Fatalf("results = %+v", results)
 	}
@@ -152,7 +152,7 @@ func TestForwardingSurvivesParentOutage(t *testing.T) {
 	// Child still answers queries.
 	cc, _ := d.Dial("child")
 	defer cc.Close()
-	if _, err := cc.RLIQuery("lfn://x"); err != nil {
+	if _, err := cc.RLIQuery(ctx, "lfn://x"); err != nil {
 		t.Fatalf("child query after parent outage: %v", err)
 	}
 }
@@ -172,12 +172,12 @@ func TestThreeLevelHierarchy(t *testing.T) {
 
 	c, _ := d.Dial("lrc")
 	defer c.Close()
-	c.CreateMapping("lfn://deep", "pfn://deep")
+	c.CreateMapping(ctx, "lfn://deep", "pfn://deep")
 	lnode, _ := d.Node("lrc")
-	lnode.LRC.ForceUpdate()
+	lnode.LRC.ForceUpdate(ctx)
 	for _, name := range []string{"leaf", "mid"} {
 		node, _ := d.Node(name)
-		for _, res := range node.RLI.ForwardAll() {
+		for _, res := range node.RLI.ForwardAll(ctx) {
 			if res.Err != nil {
 				t.Fatal(res.Err)
 			}
@@ -185,7 +185,7 @@ func TestThreeLevelHierarchy(t *testing.T) {
 	}
 	rc, _ := d.Dial("root")
 	defer rc.Close()
-	lrcs, err := rc.RLIQuery("lfn://deep")
+	lrcs, err := rc.RLIQuery(ctx, "lfn://deep")
 	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc" {
 		t.Fatalf("root resolution = %v, %v", lrcs, err)
 	}
@@ -203,11 +203,11 @@ func TestForwardingBloomOnlyChild(t *testing.T) {
 
 	c, _ := d.Dial("lrc")
 	defer c.Close()
-	c.CreateMapping("lfn://bloomy", "pfn://x")
+	c.CreateMapping(ctx, "lfn://bloomy", "pfn://x")
 	lnode, _ := d.Node("lrc")
-	lnode.LRC.ForceUpdate()
+	lnode.LRC.ForceUpdate(ctx)
 	cnode, _ := d.Node("child")
-	for _, res := range cnode.RLI.ForwardAll() {
+	for _, res := range cnode.RLI.ForwardAll(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -217,13 +217,13 @@ func TestForwardingBloomOnlyChild(t *testing.T) {
 	}
 	pc, _ := d.Dial("parent")
 	defer pc.Close()
-	lrcs, err := pc.RLIQuery("lfn://bloomy")
+	lrcs, err := pc.RLIQuery(ctx, "lfn://bloomy")
 	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc" {
 		t.Fatalf("parent resolution = %v, %v", lrcs, err)
 	}
 	// A name that was never registered misses (modulo FP) — check the
 	// parent is not just answering everything.
-	if _, err := pc.RLIQuery("lfn://definitely-not-there-xyz"); !errors.Is(err, client.ErrNotFound) {
+	if _, err := pc.RLIQuery(ctx, "lfn://definitely-not-there-xyz"); !errors.Is(err, client.ErrNotFound) {
 		t.Fatalf("phantom name resolved: %v", err)
 	}
 }

@@ -13,20 +13,20 @@ import (
 func TestStatsOverWire(t *testing.T) {
 	d, lc, rc := newPair(t)
 
-	if err := lc.CreateMapping("lfn://exp/f1", "gsiftp://siteA/f1"); err != nil {
+	if err := lc.CreateMapping(ctx, "lfn://exp/f1", "gsiftp://siteA/f1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := lc.Ping(); err != nil {
+	if err := lc.Ping(ctx); err != nil {
 		t.Fatal(err)
 	}
 	node, _ := d.Node("lrc1")
-	for _, res := range node.LRC.ForceUpdate() {
+	for _, res := range node.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
 
-	lst, err := lc.Stats()
+	lst, err := lc.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestStatsOverWire(t *testing.T) {
 	}
 
 	// The RLI side: the soft-state ingest ops arrived over the wire.
-	rst, err := rc.Stats()
+	rst, err := rc.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,10 +97,10 @@ func TestStatsReportsBloomStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	node, _ := d.Node("lrc1")
-	if err := node.LRC.CreateMapping("lfn://a", "pfn://a"); err != nil {
+	if err := node.LRC.CreateMapping(ctx, "lfn://a", "pfn://a"); err != nil {
 		t.Fatal(err)
 	}
-	for _, res := range node.LRC.ForceUpdate() {
+	for _, res := range node.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -110,7 +110,7 @@ func TestStatsReportsBloomStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { rc.Close() })
-	st, err := rc.Stats()
+	st, err := rc.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -129,6 +129,7 @@ func (d *Device) Sync() {
 		return
 	}
 	d.mu.Lock()
+	//lint:ignore lockcheck sleeping under d.mu models the device's single command queue, serializing syncs is the point
 	d.clk.Sleep(d.params.SyncLatency)
 	d.mu.Unlock()
 }

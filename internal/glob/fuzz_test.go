@@ -1,0 +1,61 @@
+package glob
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzGlobMatch cross-checks the iterative matcher against a simple
+// recursive reference implementation on arbitrary pattern/name pairs, and
+// checks the LiteralPrefix invariants: the prefix is literal, it prefixes
+// every matching name, and a wildcard-free pattern matches only itself.
+func FuzzGlobMatch(f *testing.F) {
+	f.Add("lfn://sample.*", "lfn://sample.42")
+	f.Add("*?*", "ab")
+	f.Add("", "")
+	f.Add("a**b?c", "axxbyc")
+	f.Fuzz(func(t *testing.T, pattern, name string) {
+		if len(pattern) > 64 || len(name) > 256 {
+			return // keep the exponential reference matcher tractable
+		}
+		got := Match(pattern, name)
+		want := refMatch(pattern, name)
+		if got != want {
+			t.Fatalf("Match(%q, %q) = %v, reference says %v", pattern, name, got, want)
+		}
+
+		prefix, hasWild := LiteralPrefix(pattern)
+		if strings.ContainsAny(prefix, "*?") {
+			t.Fatalf("LiteralPrefix(%q) = %q contains a wildcard", pattern, prefix)
+		}
+		if hasWild != HasWildcard(pattern) {
+			t.Fatalf("LiteralPrefix and HasWildcard disagree on %q", pattern)
+		}
+		if got && !strings.HasPrefix(name, prefix) {
+			t.Fatalf("match %q ~ %q but name lacks literal prefix %q", pattern, name, prefix)
+		}
+		if !hasWild && got != (pattern == name) {
+			t.Fatalf("wildcard-free pattern %q matched %q", pattern, name)
+		}
+	})
+}
+
+// refMatch is the obviously-correct exponential recursive matcher.
+func refMatch(pattern, name string) bool {
+	if pattern == "" {
+		return name == ""
+	}
+	switch pattern[0] {
+	case '*':
+		for i := 0; i <= len(name); i++ {
+			if refMatch(pattern[1:], name[i:]) {
+				return true
+			}
+		}
+		return false
+	case '?':
+		return name != "" && refMatch(pattern[1:], name[1:])
+	default:
+		return name != "" && name[0] == pattern[0] && refMatch(pattern[1:], name[1:])
+	}
+}

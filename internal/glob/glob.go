@@ -19,14 +19,17 @@ func Match(pattern, name string) bool {
 	)
 	for n < len(name) {
 		switch {
-		case p < len(pattern) && (pattern[p] == '?' || pattern[p] == name[n]):
-			p++
-			n++
+		// '*' must be recognized before the literal case: a name character
+		// that is itself '*' would otherwise consume the pattern star as a
+		// literal match and lose its any-run semantics.
 		case p < len(pattern) && pattern[p] == '*':
 			haveStar = true
 			starP = p
 			starN = n
 			p++
+		case p < len(pattern) && (pattern[p] == '?' || pattern[p] == name[n]):
+			p++
+			n++
 		case haveStar:
 			// Backtrack: let the last '*' absorb one more character.
 			starN++

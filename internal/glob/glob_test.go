@@ -28,6 +28,11 @@ func TestMatch(t *testing.T) {
 		{"a*b*c", "aXXbYYc", true},
 		{"a*b*c", "abc", true},
 		{"a*b*c", "acb", false},
+		// A '*' in the name must not be literal-matched by a '*' in the
+		// pattern (fuzz regression: Match("*", "*0") returned false).
+		{"*", "*0", true},
+		{"*x", "*x", true},
+		{"a*", "a*b", true},
 		{"**", "x", true},
 		{"*?", "", false},
 		{"*?", "x", true},

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -87,6 +88,7 @@ func runAblateBloomParams(p Params) error {
 }
 
 func runAblateImmediate(p Params) error {
+	ctx := context.Background()
 	thresholds := []int{1, 10, 100, 1000}
 	var rows [][]string
 	for _, threshold := range thresholds {
@@ -122,7 +124,7 @@ func runAblateImmediate(p Params) error {
 		const creates = 2000
 		start := time.Now()
 		for i := 0; i < creates; i++ {
-			if err := c.CreateMapping(gen.Logical(i), gen.Target(i, 0)); err != nil {
+			if err := c.CreateMapping(ctx, gen.Logical(i), gen.Target(i, 0)); err != nil {
 				c.Close()
 				dep.Close()
 				return err
@@ -134,7 +136,7 @@ func runAblateImmediate(p Params) error {
 		deadline := time.Now().Add(2 * time.Second)
 		var indexed int64
 		for time.Now().Before(deadline) {
-			_, _, indexed, _ = rnode.RLI.Counts()
+			_, _, indexed, _ = rnode.RLI.Counts(ctx)
 			if indexed >= creates {
 				break
 			}
@@ -203,7 +205,7 @@ func runAblateFlushInterval(p Params) error {
 				return err
 			}
 			if _, err := tx.Insert("t", storage.Row{storage.Int64(int64(i)), storage.String(fmt.Sprintf("n%06d", i))}); err != nil {
-				tx.Rollback()
+				_ = tx.Rollback() // the insert failure is the error that matters
 				eng.Close()
 				dep.Close()
 				return err
@@ -232,6 +234,7 @@ func runAblateFlushInterval(p Params) error {
 }
 
 func runAblatePartitioning(p Params) error {
+	ctx := context.Background()
 	size := p.size(200_000)
 	// One LRC whose namespace splits evenly across 4 RLIs, vs the same LRC
 	// sending everything to every RLI.
@@ -274,7 +277,7 @@ func runAblatePartitioning(p Params) error {
 			return err
 		}
 		gen := workload.Names{Space: "part"}
-		if err := workload.Load(c, gen, size, 1000); err != nil {
+		if err := workload.Load(ctx, c, gen, size, 1000); err != nil {
 			c.Close()
 			dep.Close()
 			return err
@@ -283,7 +286,7 @@ func runAblatePartitioning(p Params) error {
 		node, _ := dep.Node("lrc")
 		start := time.Now()
 		totalNames := 0
-		for _, res := range node.LRC.ForceUpdate() {
+		for _, res := range node.LRC.ForceUpdate(ctx) {
 			if res.Err != nil {
 				dep.Close()
 				return res.Err
@@ -309,6 +312,7 @@ func lanIf(p Params) netsim.Profile {
 }
 
 func runAblateTransport(p Params) error {
+	ctx := context.Background()
 	size := p.size(100_000)
 	type mode struct {
 		label  string
@@ -339,15 +343,15 @@ func runAblateTransport(p Params) error {
 			return err
 		}
 		gen := workload.Names{Space: "transport"}
-		if err := workload.Load(c, gen, size, 1000); err != nil {
+		if err := workload.Load(ctx, c, gen, size, 1000); err != nil {
 			c.Close()
 			dep.Close()
 			return err
 		}
 		c.Close()
 		drv := &workload.Driver{Clients: 1, ThreadsPerClient: 10, Dial: dial}
-		res, err := drv.Run(p.ops(5000), func(c *client.Client, seq int) error {
-			_, err := c.GetTargets(gen.Logical(seq * 7919 % size))
+		res, err := drv.Run(ctx, p.ops(5000), func(ctx context.Context, c *client.Client, seq int) error {
+			_, err := c.GetTargets(ctx, gen.Logical(seq * 7919 % size))
 			return err
 		})
 		dep.Close()

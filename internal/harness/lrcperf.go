@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -36,6 +37,7 @@ func (p Params) diskSpec() *disk.Params {
 // Loading always runs with the commit flush off; the caller toggles it for
 // measurement.
 func buildLRC(p Params, personality storage.Personality, size int) (*lrcRig, error) {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	spec := core.ServerSpec{
 		Name:        "lrc",
@@ -55,7 +57,7 @@ func buildLRC(p Params, personality storage.Personality, size int) (*lrcRig, err
 		return nil, err
 	}
 	defer c.Close()
-	if err := workload.Load(c, rig.gen, size, 1000); err != nil {
+	if err := workload.Load(ctx, c, rig.gen, size, 1000); err != nil {
 		dep.Close()
 		return nil, err
 	}
@@ -71,10 +73,11 @@ func (r *lrcRig) dial() (*client.Client, error) { return r.dep.Dial("lrc") }
 // afterwards (with the flush off) so the database size stays constant, per
 // the paper's methodology.
 func (r *lrcRig) addTrial(clients, threads, totalOps int, space string) (float64, error) {
+	ctx := context.Background()
 	gen := workload.Names{Space: space}
 	drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: r.dial}
-	res, err := drv.Run(totalOps, func(c *client.Client, seq int) error {
-		return c.CreateMapping(gen.Logical(seq), gen.Target(seq, 0))
+	res, err := drv.Run(ctx, totalOps, func(ctx context.Context, c *client.Client, seq int) error {
+		return c.CreateMapping(ctx, gen.Logical(seq), gen.Target(seq, 0))
 	})
 	if err != nil {
 		return 0, err
@@ -101,7 +104,7 @@ func (r *lrcRig) addTrial(clients, threads, totalOps int, space string) (float64
 			batch = append(batch, wire.Mapping{Logical: gen.Logical(seq), Target: gen.Target(seq, 0)})
 		}
 	}
-	if _, err := c.BulkDelete(batch); err != nil {
+	if _, err := c.BulkDelete(ctx, batch); err != nil {
 		return 0, err
 	}
 	return rate, nil
@@ -109,11 +112,12 @@ func (r *lrcRig) addTrial(clients, threads, totalOps int, space string) (float64
 
 // queryTrial measures the query rate against the preloaded catalog.
 func (r *lrcRig) queryTrial(clients, threads, totalOps int) (float64, error) {
+	ctx := context.Background()
 	drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: r.dial}
 	size := r.size
 	gen := r.gen
-	res, err := drv.Run(totalOps, func(c *client.Client, seq int) error {
-		_, err := c.GetTargets(gen.Logical(seq * 7919 % size))
+	res, err := drv.Run(ctx, totalOps, func(ctx context.Context, c *client.Client, seq int) error {
+		_, err := c.GetTargets(ctx, gen.Logical(seq * 7919 % size))
 		return err
 	})
 	if err != nil {
@@ -128,6 +132,7 @@ func (r *lrcRig) queryTrial(clients, threads, totalOps int) (float64, error) {
 // deleteTrial measures delete rate by first (flush off) adding fresh names,
 // then timing their deletion under the configured mode.
 func (r *lrcRig) deleteTrial(clients, threads, totalOps int, space string) (float64, error) {
+	ctx := context.Background()
 	gen := workload.Names{Space: space}
 	wasFlush := r.node.LRCEngine.FlushOnCommit()
 	r.node.LRCEngine.SetFlushOnCommit(false)
@@ -139,7 +144,7 @@ func (r *lrcRig) deleteTrial(clients, threads, totalOps int, space string) (floa
 	for i := 0; i < totalOps; i++ {
 		batch = append(batch, wire.Mapping{Logical: gen.Logical(i), Target: gen.Target(i, 0)})
 	}
-	if _, err := c.BulkCreate(batch); err != nil {
+	if _, err := c.BulkCreate(ctx, batch); err != nil {
 		c.Close()
 		return 0, err
 	}
@@ -147,8 +152,8 @@ func (r *lrcRig) deleteTrial(clients, threads, totalOps int, space string) (floa
 	r.node.LRCEngine.SetFlushOnCommit(wasFlush)
 
 	drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: r.dial}
-	res, err := drv.Run(totalOps, func(c *client.Client, seq int) error {
-		return c.DeleteMapping(gen.Logical(seq), gen.Target(seq, 0))
+	res, err := drv.Run(ctx, totalOps, func(ctx context.Context, c *client.Client, seq int) error {
+		return c.DeleteMapping(ctx, gen.Logical(seq), gen.Target(seq, 0))
 	})
 	if err != nil {
 		return 0, err

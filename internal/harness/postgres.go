@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/client"
@@ -23,6 +24,7 @@ func init() {
 // uniqueness probe walk an ever longer version chain until a vacuum
 // physically reclaims the tombstones.
 func runFig8(p Params) error {
+	ctx := context.Background()
 	rig, err := buildLRC(p, storage.PersonalityPostgres, p.size(110_000))
 	if err != nil {
 		return err
@@ -43,8 +45,8 @@ func runFig8(p Params) error {
 			// Add opsPerTrial mappings with the *same names every trial* —
 			// the workload that makes dead versions pile up per key.
 			drv := &workload.Driver{Clients: 1, ThreadsPerClient: 1, Dial: rig.dial}
-			res, err := drv.Run(opsPerTrial, func(c *client.Client, seq int) error {
-				return c.CreateMapping(gen.Logical(seq), gen.Target(seq, 0))
+			res, err := drv.Run(ctx, opsPerTrial, func(ctx context.Context, c *client.Client, seq int) error {
+				return c.CreateMapping(ctx, gen.Logical(seq), gen.Target(seq, 0))
 			})
 			if err != nil {
 				return err
@@ -54,8 +56,8 @@ func runFig8(p Params) error {
 			}
 			addRate := res.Rate
 			// Delete them again (cost also grows, but the paper plots adds).
-			if _, err := drv.Run(opsPerTrial, func(c *client.Client, seq int) error {
-				return c.DeleteMapping(gen.Logical(seq), gen.Target(seq, 0))
+			if _, err := drv.Run(ctx, opsPerTrial, func(ctx context.Context, c *client.Client, seq int) error {
+				return c.DeleteMapping(ctx, gen.Logical(seq), gen.Target(seq, 0))
 			}); err != nil {
 				return err
 			}

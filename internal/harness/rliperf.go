@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bloom"
@@ -34,6 +35,7 @@ func init() {
 // buildRLIWithIndex creates an LRC+RLI pair, loads the LRC, and pushes one
 // full uncompressed update so the RLI database holds size associations.
 func buildRLIWithIndex(p Params, size int) (*core.Deployment, workload.Names, error) {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	gen := workload.Names{Space: "fig9"}
 	lrcSpec := core.ServerSpec{Name: "lrc", LRC: true, Disk: p.diskSpec()}
@@ -55,14 +57,14 @@ func buildRLIWithIndex(p Params, size int) (*core.Deployment, workload.Names, er
 		dep.Close()
 		return nil, gen, err
 	}
-	err = workload.Load(c, gen, size, 1000)
+	err = workload.Load(ctx, c, gen, size, 1000)
 	c.Close()
 	if err != nil {
 		dep.Close()
 		return nil, gen, err
 	}
 	node, _ := dep.Node("lrc")
-	for _, res := range node.LRC.ForceUpdate() {
+	for _, res := range node.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			dep.Close()
 			return nil, gen, res.Err
@@ -72,6 +74,7 @@ func buildRLIWithIndex(p Params, size int) (*core.Deployment, workload.Names, er
 }
 
 func runFig9(p Params) error {
+	ctx := context.Background()
 	size := p.size(1_000_000)
 	dep, gen, err := buildRLIWithIndex(p, size)
 	if err != nil {
@@ -88,8 +91,8 @@ func runFig9(p Params) error {
 				ThreadsPerClient: threads,
 				Dial:             func() (*client.Client, error) { return dep.Dial("rli") },
 			}
-			res, err := drv.Run(p.ops(4000), func(c *client.Client, seq int) error {
-				_, err := c.RLIQuery(gen.Logical(seq * 7919 % size))
+			res, err := drv.Run(ctx, p.ops(4000), func(ctx context.Context, c *client.Client, seq int) error {
+				_, err := c.RLIQuery(ctx, gen.Logical(seq * 7919 % size))
 				return err
 			})
 			if err != nil {
@@ -113,6 +116,7 @@ func runFig9(p Params) error {
 }
 
 func runFig10(p Params) error {
+	ctx := context.Background()
 	entriesPerFilter := p.size(1_000_000)
 	clientCounts := []int{1, 2, 4, 6, 8, 10}
 	const threads = 3
@@ -138,7 +142,7 @@ func runFig10(p Params) error {
 				return err
 			}
 			url := fmt.Sprintf("rls://lrc%03d", f)
-			if err := node.RLI.HandleBloom(url, data); err != nil {
+			if err := node.RLI.HandleBloom(ctx, url, data); err != nil {
 				dep.Close()
 				return err
 			}
@@ -151,8 +155,8 @@ func runFig10(p Params) error {
 					ThreadsPerClient: threads,
 					Dial:             func() (*client.Client, error) { return dep.Dial("rli") },
 				}
-				res, err := drv.Run(p.ops(6000), func(c *client.Client, seq int) error {
-					_, err := c.RLIQuery(gen0.Logical(seq * 7919 % entriesPerFilter))
+				res, err := drv.Run(ctx, p.ops(6000), func(ctx context.Context, c *client.Client, seq int) error {
+					_, err := c.RLIQuery(ctx, gen0.Logical(seq * 7919 % entriesPerFilter))
 					return err
 				})
 				if err != nil {
@@ -183,6 +187,7 @@ func runFig10(p Params) error {
 }
 
 func runFig11(p Params) error {
+	ctx := context.Background()
 	rig, err := buildLRC(p, 0, p.size(1_000_000))
 	if err != nil {
 		return err
@@ -204,12 +209,12 @@ func runFig11(p Params) error {
 		}
 		qSum, err := workload.Trials(p.Trials, func(int) (float64, error) {
 			drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: rig.dial}
-			res, err := drv.Run(bulkReqs, func(c *client.Client, seq int) error {
+			res, err := drv.Run(ctx, bulkReqs, func(ctx context.Context, c *client.Client, seq int) error {
 				names := make([]string, bulkSize)
 				for i := range names {
 					names[i] = gen.Logical((seq*bulkSize + i) % size)
 				}
-				_, err := c.BulkGetTargets(names)
+				_, err := c.BulkGetTargets(ctx, names)
 				return err
 			})
 			if err != nil {
@@ -224,19 +229,19 @@ func runFig11(p Params) error {
 		// keeping the database size constant (paper §5.4).
 		adSum, err := workload.Trials(p.Trials, func(trial int) (float64, error) {
 			drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: rig.dial}
-			res, err := drv.Run(clients*threads, func(c *client.Client, seq int) error {
+			res, err := drv.Run(ctx, clients*threads, func(ctx context.Context, c *client.Client, seq int) error {
 				space := workload.Names{Space: fmt.Sprintf("fig11-%d-%d-%d", clients, trial, seq)}
 				batch := make([]wire.Mapping, bulkSize)
 				for i := range batch {
 					batch[i] = space.Mapping(i)
 				}
-				if fails, err := c.BulkCreate(batch); err != nil || len(fails) > 0 {
+				if fails, err := c.BulkCreate(ctx, batch); err != nil || len(fails) > 0 {
 					if err == nil {
 						err = fmt.Errorf("%d bulk-create failures", len(fails))
 					}
 					return err
 				}
-				fails, err := c.BulkDelete(batch)
+				fails, err := c.BulkDelete(ctx, batch)
 				if err == nil && len(fails) > 0 {
 					err = fmt.Errorf("%d bulk-delete failures", len(fails))
 				}

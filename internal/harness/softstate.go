@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -45,6 +46,7 @@ type softStateRig struct {
 }
 
 func buildSoftStateRig(p Params, nLRCs, size int, net netsim.Profile, bloomUpdates bool) (*softStateRig, error) {
+	ctx := context.Background()
 	dep := core.NewDeployment()
 	if !p.NetModel {
 		net = netsim.Unshaped()
@@ -77,7 +79,7 @@ func buildSoftStateRig(p Params, nLRCs, size int, net netsim.Profile, bloomUpdat
 			dep.Close()
 			return nil, err
 		}
-		err = workload.Load(c, workload.Names{Space: name}, size, 1000)
+		err = workload.Load(ctx, c, workload.Names{Space: name}, size, 1000)
 		c.Close()
 		if err != nil {
 			dep.Close()
@@ -98,6 +100,7 @@ func fastDisk() *disk.Params {
 // concurrentUpdates triggers rounds of updates from every LRC concurrently
 // and returns the mean per-update elapsed time (skipping a warmup round).
 func (r *softStateRig) concurrentUpdates(rounds int) (time.Duration, error) {
+	ctx := context.Background()
 	type sample struct {
 		d   time.Duration
 		err error
@@ -110,7 +113,7 @@ func (r *softStateRig) concurrentUpdates(rounds int) (time.Duration, error) {
 			wg.Add(1)
 			go func(svc *lrc.Service) {
 				defer wg.Done()
-				for _, res := range svc.ForceUpdate() {
+				for _, res := range svc.ForceUpdate(ctx) {
 					mu.Lock()
 					if round > 0 || rounds == 1 { // skip warmup unless only one round
 						samples = append(samples, sample{d: res.Elapsed, err: res.Err})
@@ -175,6 +178,7 @@ func runFig12(p Params) error {
 }
 
 func runTable3(p Params) error {
+	ctx := context.Background()
 	sizes := []struct {
 		label string
 		paper int
@@ -192,7 +196,7 @@ func runTable3(p Params) error {
 		}
 		svc := rig.lrcs[0].LRC
 		// Column 3: one-time filter generation cost.
-		genTime, err := svc.RebuildFilter()
+		genTime, err := svc.RebuildFilter(ctx)
 		if err != nil {
 			rig.dep.Close()
 			return err
@@ -211,7 +215,7 @@ func runTable3(p Params) error {
 		// Column 2: WAN soft state update time (mean over trials).
 		var total time.Duration
 		for trial := 0; trial < p.Trials; trial++ {
-			res, err := svc.ForceUpdateTo("rls://rli")
+			res, err := svc.ForceUpdateTo(ctx, "rls://rli")
 			if err != nil {
 				rig.dep.Close()
 				return err

@@ -5,6 +5,7 @@
 package lrc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"regexp"
@@ -20,18 +21,19 @@ import (
 
 // Updater is the LRC's view of a connection to one RLI server, used to send
 // soft state updates. The client package provides the network-backed
-// implementation.
+// implementation. Every send takes a context so an update pass can be
+// bounded or cancelled mid-stream.
 type Updater interface {
-	SSFullStart(lrcURL string, total uint64) error
-	SSFullBatch(lrcURL string, names []string) error
-	SSFullEnd(lrcURL string) error
-	SSIncremental(lrcURL string, added, removed []string) error
-	SSBloom(lrcURL string, bitmap []byte) error
+	SSFullStart(ctx context.Context, lrcURL string, total uint64) error
+	SSFullBatch(ctx context.Context, lrcURL string, names []string) error
+	SSFullEnd(ctx context.Context, lrcURL string) error
+	SSIncremental(ctx context.Context, lrcURL string, added, removed []string) error
+	SSBloom(ctx context.Context, lrcURL string, bitmap []byte) error
 	Close() error
 }
 
 // Dialer opens an Updater to the RLI at the given url.
-type Dialer func(url string) (Updater, error)
+type Dialer func(ctx context.Context, url string) (Updater, error)
 
 // Defaults for the soft state scheduler.
 const (
@@ -150,7 +152,9 @@ type TargetStats struct {
 }
 
 // New creates the service and loads its RLI target list from the database.
-func New(cfg Config) (*Service, error) {
+// The context bounds the initial catalog scan that populates the Bloom
+// filter.
+func New(ctx context.Context, cfg Config) (*Service, error) {
 	if cfg.DB == nil {
 		return nil, errors.New("lrc: Config.DB is required")
 	}
@@ -176,7 +180,7 @@ func New(cfg Config) (*Service, error) {
 		hint = int(logicals)
 	}
 	s.filter = bloom.New(hint)
-	if err := s.populateFilter(); err != nil {
+	if err := s.populateFilter(ctx); err != nil {
 		return nil, err
 	}
 	// Restore persisted RLI targets.
@@ -196,9 +200,12 @@ func New(cfg Config) (*Service, error) {
 
 // populateFilter feeds every current logical name into the Bloom filter —
 // the "one-time cost" of Table 3's third column.
-func (s *Service) populateFilter() error {
+func (s *Service) populateFilter(ctx context.Context) error {
 	after := ""
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
 		if err != nil {
 			return err

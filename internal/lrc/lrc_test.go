@@ -1,6 +1,7 @@
 package lrc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -43,7 +44,7 @@ func (f *fakeUpdater) maybeFail() error {
 	return nil
 }
 
-func (f *fakeUpdater) SSFullStart(lrcURL string, total uint64) error {
+func (f *fakeUpdater) SSFullStart(ctx context.Context, lrcURL string, total uint64) error {
 	if err := f.maybeFail(); err != nil {
 		return err
 	}
@@ -54,14 +55,14 @@ func (f *fakeUpdater) SSFullStart(lrcURL string, total uint64) error {
 	return nil
 }
 
-func (f *fakeUpdater) SSFullBatch(lrcURL string, names []string) error {
+func (f *fakeUpdater) SSFullBatch(ctx context.Context, lrcURL string, names []string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.current = append(f.current, names...)
 	return nil
 }
 
-func (f *fakeUpdater) SSFullEnd(lrcURL string) error {
+func (f *fakeUpdater) SSFullEnd(ctx context.Context, lrcURL string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.fullSets[lrcURL] = append([]string(nil), f.current...)
@@ -69,7 +70,7 @@ func (f *fakeUpdater) SSFullEnd(lrcURL string) error {
 	return nil
 }
 
-func (f *fakeUpdater) SSIncremental(lrcURL string, added, removed []string) error {
+func (f *fakeUpdater) SSIncremental(ctx context.Context, lrcURL string, added, removed []string) error {
 	if err := f.maybeFail(); err != nil {
 		return err
 	}
@@ -80,7 +81,7 @@ func (f *fakeUpdater) SSIncremental(lrcURL string, added, removed []string) erro
 	return nil
 }
 
-func (f *fakeUpdater) SSBloom(lrcURL string, bitmap []byte) error {
+func (f *fakeUpdater) SSBloom(ctx context.Context, lrcURL string, bitmap []byte) error {
 	if err := f.maybeFail(); err != nil {
 		return err
 	}
@@ -108,7 +109,7 @@ func newTestService(t *testing.T, up *fakeUpdater, mutate func(*Config)) *Servic
 	cfg := Config{
 		URL: "rls://lrc-test",
 		DB:  db,
-		Dial: func(url string) (Updater, error) {
+		Dial: func(ctx context.Context, url string) (Updater, error) {
 			if up == nil {
 				return nil, errors.New("no updater configured")
 			}
@@ -118,7 +119,7 @@ func newTestService(t *testing.T, up *fakeUpdater, mutate func(*Config)) *Servic
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	s, err := New(cfg)
+	s, err := New(ctx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,26 +129,26 @@ func newTestService(t *testing.T, up *fakeUpdater, mutate func(*Config)) *Servic
 
 func TestCreateQueryDelete(t *testing.T) {
 	s := newTestService(t, nil, nil)
-	if err := s.CreateMapping("lfn://a", "pfn://a1"); err != nil {
+	if err := s.CreateMapping(ctx, "lfn://a", "pfn://a1"); err != nil {
 		t.Fatal(err)
 	}
-	targets, err := s.GetTargets("lfn://a")
+	targets, err := s.GetTargets(ctx, "lfn://a")
 	if err != nil || len(targets) != 1 {
 		t.Fatalf("targets = %v, %v", targets, err)
 	}
-	if err := s.DeleteMapping("lfn://a", "pfn://a1"); err != nil {
+	if err := s.DeleteMapping(ctx, "lfn://a", "pfn://a1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.GetTargets("lfn://a"); !errors.Is(err, rdb.ErrNotFound) {
+	if _, err := s.GetTargets(ctx, "lfn://a"); !errors.Is(err, rdb.ErrNotFound) {
 		t.Fatalf("after delete: %v", err)
 	}
 }
 
 func TestBloomFilterTracksLogicalNames(t *testing.T) {
 	s := newTestService(t, nil, nil)
-	s.CreateMapping("lfn://x", "pfn://x1")
-	s.AddMapping("lfn://x", "pfn://x2") // second target: no new logical name
-	s.CreateMapping("lfn://y", "pfn://y1")
+	s.CreateMapping(ctx, "lfn://x", "pfn://x1")
+	s.AddMapping(ctx, "lfn://x", "pfn://x2") // second target: no new logical name
+	s.CreateMapping(ctx, "lfn://y", "pfn://y1")
 
 	data, err := s.FilterSnapshot()
 	if err != nil {
@@ -163,14 +164,14 @@ func TestBloomFilterTracksLogicalNames(t *testing.T) {
 
 	// Deleting one of two targets keeps the name; deleting the last removes
 	// it.
-	s.DeleteMapping("lfn://x", "pfn://x1")
+	s.DeleteMapping(ctx, "lfn://x", "pfn://x1")
 	data, _ = s.FilterSnapshot()
 	bm = bloom.Bitmap{}
 	bm.UnmarshalBinary(data)
 	if !bm.Test("lfn://x") {
 		t.Fatal("name dropped from filter while a target remains")
 	}
-	s.DeleteMapping("lfn://x", "pfn://x2")
+	s.DeleteMapping(ctx, "lfn://x", "pfn://x2")
 	data, _ = s.FilterSnapshot()
 	bm = bloom.Bitmap{}
 	bm.UnmarshalBinary(data)
@@ -187,12 +188,12 @@ func TestFullUpdateStreamsAllNames(t *testing.T) {
 	s := newTestService(t, up, func(c *Config) { c.FullBatch = 7 })
 	const n = 40
 	for i := 0; i < n; i++ {
-		s.CreateMapping(fmt.Sprintf("lfn://%03d", i), fmt.Sprintf("pfn://%03d", i))
+		s.CreateMapping(ctx, fmt.Sprintf("lfn://%03d", i), fmt.Sprintf("pfn://%03d", i))
 	}
-	if err := s.AddRLITarget(wire.RLITarget{URL: "rls://rli"}); err != nil {
+	if err := s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"}); err != nil {
 		t.Fatal(err)
 	}
-	results := s.ForceUpdate()
+	results := s.ForceUpdate(ctx)
 	if len(results) != 1 {
 		t.Fatalf("results = %+v", results)
 	}
@@ -217,9 +218,9 @@ func TestFullUpdateStreamsAllNames(t *testing.T) {
 func TestBloomUpdateSendsBitmap(t *testing.T) {
 	up := newFakeUpdater()
 	s := newTestService(t, up, nil)
-	s.CreateMapping("lfn://a", "pfn://a")
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli", Bloom: true})
-	results := s.ForceUpdate()
+	s.CreateMapping(ctx, "lfn://a", "pfn://a")
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli", Bloom: true})
+	results := s.ForceUpdate(ctx)
 	if results[0].Err != nil || results[0].Kind != "bloom" {
 		t.Fatalf("result = %+v", results[0])
 	}
@@ -241,13 +242,13 @@ func TestBloomUpdateSendsBitmap(t *testing.T) {
 func TestPartitionedFullUpdate(t *testing.T) {
 	up := newFakeUpdater()
 	s := newTestService(t, up, nil)
-	s.CreateMapping("lfn://ligo/a", "pfn://1")
-	s.CreateMapping("lfn://ligo/b", "pfn://2")
-	s.CreateMapping("lfn://esg/c", "pfn://3")
-	if err := s.AddRLITarget(wire.RLITarget{URL: "rls://rli", Patterns: []string{`^lfn://ligo/`}}); err != nil {
+	s.CreateMapping(ctx, "lfn://ligo/a", "pfn://1")
+	s.CreateMapping(ctx, "lfn://ligo/b", "pfn://2")
+	s.CreateMapping(ctx, "lfn://esg/c", "pfn://3")
+	if err := s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli", Patterns: []string{`^lfn://ligo/`}}); err != nil {
 		t.Fatal(err)
 	}
-	res := s.ForceUpdate()
+	res := s.ForceUpdate(ctx)
 	if res[0].Err != nil {
 		t.Fatal(res[0].Err)
 	}
@@ -265,10 +266,10 @@ func TestPartitionedFullUpdate(t *testing.T) {
 func TestPartitionedBloomUpdate(t *testing.T) {
 	up := newFakeUpdater()
 	s := newTestService(t, up, nil)
-	s.CreateMapping("lfn://ligo/a", "pfn://1")
-	s.CreateMapping("lfn://esg/b", "pfn://2")
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli", Bloom: true, Patterns: []string{`^lfn://ligo/`}})
-	res := s.ForceUpdate()
+	s.CreateMapping(ctx, "lfn://ligo/a", "pfn://1")
+	s.CreateMapping(ctx, "lfn://esg/b", "pfn://2")
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli", Bloom: true, Patterns: []string{`^lfn://ligo/`}})
+	res := s.ForceUpdate(ctx)
 	if res[0].Err != nil {
 		t.Fatal(res[0].Err)
 	}
@@ -284,7 +285,7 @@ func TestPartitionedBloomUpdate(t *testing.T) {
 
 func TestInvalidPartitionPatternRejected(t *testing.T) {
 	s := newTestService(t, nil, nil)
-	err := s.AddRLITarget(wire.RLITarget{URL: "rls://rli", Patterns: []string{"["}})
+	err := s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli", Patterns: []string{"["}})
 	if !errors.Is(err, rdb.ErrInvalid) {
 		t.Fatalf("bad pattern = %v, want ErrInvalid", err)
 	}
@@ -299,10 +300,10 @@ func TestImmediateModeFlushOnInterval(t *testing.T) {
 		c.ImmediateInterval = 30 * time.Second
 		c.ImmediateThreshold = 1000 // interval fires first
 	})
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
 	s.Start()
 	waitFor(t, func() bool { return fc.Pending() > 0 }, "immediate-loop ticker registration")
-	s.CreateMapping("lfn://new", "pfn://new")
+	s.CreateMapping(ctx, "lfn://new", "pfn://new")
 	if s.PendingCount() != 1 {
 		t.Fatalf("pending = %d, want 1", s.PendingCount())
 	}
@@ -330,9 +331,9 @@ func TestImmediateModeFlushOnThreshold(t *testing.T) {
 		c.ImmediateInterval = time.Hour // threshold fires first
 		c.ImmediateThreshold = 5
 	})
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
 	for i := 0; i < 5; i++ {
-		s.CreateMapping(fmt.Sprintf("lfn://%d", i), fmt.Sprintf("pfn://%d", i))
+		s.CreateMapping(ctx, fmt.Sprintf("lfn://%d", i), fmt.Sprintf("pfn://%d", i))
 	}
 	waitFor(t, func() bool {
 		up.mu.Lock()
@@ -350,9 +351,9 @@ func TestIncrementalCarriesRemovals(t *testing.T) {
 		c.ImmediateMode = true
 		c.ImmediateThreshold = 2
 	})
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
-	s.CreateMapping("lfn://x", "pfn://x")
-	s.DeleteMapping("lfn://x", "pfn://x")
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping(ctx, "lfn://x", "pfn://x")
+	s.DeleteMapping(ctx, "lfn://x", "pfn://x")
 	waitFor(t, func() bool {
 		up.mu.Lock()
 		defer up.mu.Unlock()
@@ -363,10 +364,10 @@ func TestIncrementalCarriesRemovals(t *testing.T) {
 func TestUpdateErrorCounted(t *testing.T) {
 	up := newFakeUpdater()
 	s := newTestService(t, up, nil)
-	s.CreateMapping("lfn://a", "pfn://a")
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping(ctx, "lfn://a", "pfn://a")
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
 	up.failNext = errors.New("rli unreachable")
-	res := s.ForceUpdate()
+	res := s.ForceUpdate(ctx)
 	if res[0].Err == nil {
 		t.Fatal("expected update error")
 	}
@@ -374,7 +375,7 @@ func TestUpdateErrorCounted(t *testing.T) {
 		t.Fatalf("UpdateErrors = %d", st.UpdateErrors)
 	}
 	// Next update succeeds.
-	res = s.ForceUpdate()
+	res = s.ForceUpdate(ctx)
 	if res[0].Err != nil {
 		t.Fatal(res[0].Err)
 	}
@@ -382,7 +383,7 @@ func TestUpdateErrorCounted(t *testing.T) {
 
 func TestForceUpdateToUnknownTarget(t *testing.T) {
 	s := newTestService(t, nil, nil)
-	if _, err := s.ForceUpdateTo("rls://nowhere"); err == nil {
+	if _, err := s.ForceUpdateTo(ctx, "rls://nowhere"); err == nil {
 		t.Fatal("unknown target accepted")
 	}
 }
@@ -390,9 +391,9 @@ func TestForceUpdateToUnknownTarget(t *testing.T) {
 func TestRebuildFilter(t *testing.T) {
 	s := newTestService(t, nil, nil)
 	for i := 0; i < 100; i++ {
-		s.CreateMapping(fmt.Sprintf("lfn://%d", i), fmt.Sprintf("pfn://%d", i))
+		s.CreateMapping(ctx, fmt.Sprintf("lfn://%d", i), fmt.Sprintf("pfn://%d", i))
 	}
-	elapsed, err := s.RebuildFilter()
+	elapsed, err := s.RebuildFilter(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +415,7 @@ func TestFilterGrowsBeyondHint(t *testing.T) {
 	// Insert far beyond the hint: the filter must grow to keep FP rates
 	// sane, and must never produce false negatives.
 	for i := 0; i < 2000; i++ {
-		s.CreateMapping(fmt.Sprintf("lfn://grow/%04d", i), fmt.Sprintf("pfn://%04d", i))
+		s.CreateMapping(ctx, fmt.Sprintf("lfn://grow/%04d", i), fmt.Sprintf("pfn://%04d", i))
 	}
 	data, _ := s.FilterSnapshot()
 	var bm bloom.Bitmap
@@ -430,13 +431,13 @@ func TestFilterGrowsBeyondHint(t *testing.T) {
 }
 
 func TestServiceRequiresDBAndURL(t *testing.T) {
-	if _, err := New(Config{URL: "rls://x"}); err == nil {
+	if _, err := New(ctx, Config{URL: "rls://x"}); err == nil {
 		t.Fatal("missing DB accepted")
 	}
 	eng := storage.OpenMemory(storage.Options{Device: disk.New(disk.Fast())})
 	defer eng.Close()
 	db, _ := rdb.NewLRCDB(eng)
-	if _, err := New(Config{DB: db}); err == nil {
+	if _, err := New(ctx, Config{DB: db}); err == nil {
 		t.Fatal("missing URL accepted")
 	}
 }
@@ -449,16 +450,16 @@ func TestPersistedTargetsRestoredOnNew(t *testing.T) {
 		t.Fatal(err)
 	}
 	up := newFakeUpdater()
-	s, err := New(Config{
+	s, err := New(ctx, Config{
 		URL:  "rls://lrc",
 		DB:   db,
-		Dial: func(string) (Updater, error) { return up, nil },
+		Dial: func(context.Context, string) (Updater, error) { return up, nil },
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	res := s.ForceUpdate()
+	res := s.ForceUpdate(ctx)
 	if len(res) != 1 || res[0].URL != "rls://persisted" || res[0].Kind != "bloom" {
 		t.Fatalf("restored targets = %+v", res)
 	}
@@ -466,8 +467,8 @@ func TestPersistedTargetsRestoredOnNew(t *testing.T) {
 
 func TestBulkOutcomeReportsFailures(t *testing.T) {
 	s := newTestService(t, nil, nil)
-	s.CreateMapping("lfn://dup", "pfn://x")
-	outcome := s.BulkCreate([]wire.Mapping{
+	s.CreateMapping(ctx, "lfn://dup", "pfn://x")
+	outcome := s.BulkCreate(ctx, []wire.Mapping{
 		{Logical: "lfn://ok", Target: "pfn://1"},
 		{Logical: "lfn://dup", Target: "pfn://2"},
 		{Logical: "", Target: "pfn://3"},

@@ -1,6 +1,7 @@
 package lrc
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/rdb"
@@ -10,31 +11,45 @@ import (
 // Catalog operations. Each wraps the corresponding rdb operation and, for
 // mutations that change the set of registered logical names, records the
 // change for the Bloom filter and the incremental-update buffer.
+//
+// The rdb layer itself has no context plumbing (its blocking comes from the
+// simulated disk, which has no cancellation point), so the ctx.Err() check
+// at each entry is the cancellation boundary: a cancelled context stops the
+// operation before it touches storage.
 
 // CreateMapping registers a new logical name with its first target.
-func (s *Service) CreateMapping(logical, target string) error {
+func (s *Service) CreateMapping(ctx context.Context, logical, target string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := s.db.CreateMapping(logical, target); err != nil {
 		return err
 	}
-	s.noteLogicalAdded(logical)
+	s.noteLogicalAdded(ctx, logical)
 	return nil
 }
 
 // AddMapping adds another target to an existing logical name. The set of
 // logical names is unchanged, so no soft-state delta is recorded.
-func (s *Service) AddMapping(logical, target string) error {
+func (s *Service) AddMapping(ctx context.Context, logical, target string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.db.AddMapping(logical, target)
 }
 
 // DeleteMapping removes one mapping; if the logical name's last mapping is
 // gone the name itself is unregistered and the delta recorded.
-func (s *Service) DeleteMapping(logical, target string) error {
+func (s *Service) DeleteMapping(ctx context.Context, logical, target string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := s.db.DeleteMapping(logical, target); err != nil {
 		return err
 	}
 	// The logical name disappears only when no targets remain.
 	if _, err := s.db.GetTargets(logical); errors.Is(err, rdb.ErrNotFound) {
-		s.noteLogicalRemoved(logical)
+		s.noteLogicalRemoved(ctx, logical)
 	}
 	return nil
 }
@@ -78,55 +93,67 @@ func bulk(mappings []wire.Mapping, fn func(wire.Mapping) error) BulkOutcome {
 }
 
 // BulkCreate creates many mappings.
-func (s *Service) BulkCreate(mappings []wire.Mapping) BulkOutcome {
-	return bulk(mappings, func(m wire.Mapping) error { return s.CreateMapping(m.Logical, m.Target) })
+func (s *Service) BulkCreate(ctx context.Context, mappings []wire.Mapping) BulkOutcome {
+	return bulk(mappings, func(m wire.Mapping) error { return s.CreateMapping(ctx, m.Logical, m.Target) })
 }
 
 // BulkAdd adds many mappings.
-func (s *Service) BulkAdd(mappings []wire.Mapping) BulkOutcome {
-	return bulk(mappings, func(m wire.Mapping) error { return s.AddMapping(m.Logical, m.Target) })
+func (s *Service) BulkAdd(ctx context.Context, mappings []wire.Mapping) BulkOutcome {
+	return bulk(mappings, func(m wire.Mapping) error { return s.AddMapping(ctx, m.Logical, m.Target) })
 }
 
 // BulkDelete deletes many mappings.
-func (s *Service) BulkDelete(mappings []wire.Mapping) BulkOutcome {
-	return bulk(mappings, func(m wire.Mapping) error { return s.DeleteMapping(m.Logical, m.Target) })
+func (s *Service) BulkDelete(ctx context.Context, mappings []wire.Mapping) BulkOutcome {
+	return bulk(mappings, func(m wire.Mapping) error { return s.DeleteMapping(ctx, m.Logical, m.Target) })
 }
 
 // GetTargets returns the targets of a logical name.
-func (s *Service) GetTargets(logical string) ([]string, error) {
+func (s *Service) GetTargets(ctx context.Context, logical string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.db.GetTargets(logical)
 }
 
 // GetLogicals returns the logical names of a target.
-func (s *Service) GetLogicals(target string) ([]string, error) {
+func (s *Service) GetLogicals(ctx context.Context, target string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.db.GetLogicals(target)
 }
 
 // WildcardTargets finds mappings by logical-name wildcard.
-func (s *Service) WildcardTargets(pattern string) ([]wire.Mapping, error) {
+func (s *Service) WildcardTargets(ctx context.Context, pattern string) ([]wire.Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.db.WildcardTargets(pattern)
 }
 
 // WildcardLogicals finds mappings by target-name wildcard.
-func (s *Service) WildcardLogicals(pattern string) ([]wire.Mapping, error) {
+func (s *Service) WildcardLogicals(ctx context.Context, pattern string) ([]wire.Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.db.WildcardLogicals(pattern)
 }
 
 // BulkGetTargets resolves many logical names.
-func (s *Service) BulkGetTargets(names []string) []wire.BulkNameResult {
+func (s *Service) BulkGetTargets(ctx context.Context, names []string) []wire.BulkNameResult {
 	out := make([]wire.BulkNameResult, 0, len(names))
 	for _, n := range names {
-		values, err := s.db.GetTargets(n)
+		values, err := s.GetTargets(ctx, n)
 		out = append(out, wire.BulkNameResult{Name: n, Found: err == nil, Values: values})
 	}
 	return out
 }
 
 // BulkGetLogicals resolves many target names.
-func (s *Service) BulkGetLogicals(names []string) []wire.BulkNameResult {
+func (s *Service) BulkGetLogicals(ctx context.Context, names []string) []wire.BulkNameResult {
 	out := make([]wire.BulkNameResult, 0, len(names))
 	for _, n := range names {
-		values, err := s.db.GetLogicals(n)
+		values, err := s.GetLogicals(ctx, n)
 		out = append(out, wire.BulkNameResult{Name: n, Found: err == nil, Values: values})
 	}
 	return out
@@ -135,50 +162,74 @@ func (s *Service) BulkGetLogicals(names []string) []wire.BulkNameResult {
 // Attribute operations delegate to the database.
 
 // DefineAttribute declares an attribute.
-func (s *Service) DefineAttribute(name string, obj wire.ObjType, typ wire.AttrType) error {
+func (s *Service) DefineAttribute(ctx context.Context, name string, obj wire.ObjType, typ wire.AttrType) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.db.DefineAttribute(name, obj, typ)
 }
 
 // UndefineAttribute removes an attribute definition.
-func (s *Service) UndefineAttribute(name string, obj wire.ObjType, clearValues bool) error {
+func (s *Service) UndefineAttribute(ctx context.Context, name string, obj wire.ObjType, clearValues bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.db.UndefineAttribute(name, obj, clearValues)
 }
 
 // AddAttribute attaches an attribute value to an object.
-func (s *Service) AddAttribute(key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+func (s *Service) AddAttribute(ctx context.Context, key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.db.AddAttribute(key, obj, name, v)
 }
 
 // ModifyAttribute replaces an attribute value on an object.
-func (s *Service) ModifyAttribute(key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+func (s *Service) ModifyAttribute(ctx context.Context, key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.db.ModifyAttribute(key, obj, name, v)
 }
 
 // RemoveAttribute detaches an attribute value from an object.
-func (s *Service) RemoveAttribute(key string, obj wire.ObjType, name string) error {
+func (s *Service) RemoveAttribute(ctx context.Context, key string, obj wire.ObjType, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return s.db.RemoveAttribute(key, obj, name)
 }
 
 // GetAttributes lists attribute values on an object.
-func (s *Service) GetAttributes(key string, obj wire.ObjType, names []string) ([]wire.NamedAttr, error) {
+func (s *Service) GetAttributes(ctx context.Context, key string, obj wire.ObjType, names []string) ([]wire.NamedAttr, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.db.GetAttributes(key, obj, names)
 }
 
 // SearchAttribute finds objects by attribute comparison.
-func (s *Service) SearchAttribute(name string, obj wire.ObjType, cmp wire.CmpOp, probe wire.AttrValue) ([]wire.ObjAttr, error) {
+func (s *Service) SearchAttribute(ctx context.Context, name string, obj wire.ObjType, cmp wire.CmpOp, probe wire.AttrValue) ([]wire.ObjAttr, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.db.SearchAttribute(name, obj, cmp, probe)
 }
 
 // ListAttributeDefs lists attribute definitions.
-func (s *Service) ListAttributeDefs(obj wire.ObjType) ([]wire.AttrDef, error) {
+func (s *Service) ListAttributeDefs(ctx context.Context, obj wire.ObjType) ([]wire.AttrDef, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.db.ListAttributeDefs(obj)
 }
 
 // BulkAddAttributes attaches many attribute values.
-func (s *Service) BulkAddAttributes(items []wire.AttrWriteRequest) BulkOutcome {
+func (s *Service) BulkAddAttributes(ctx context.Context, items []wire.AttrWriteRequest) BulkOutcome {
 	var out BulkOutcome
 	for i, it := range items {
-		if err := s.db.AddAttribute(it.Key, it.Obj, it.Name, it.Value); err != nil {
+		if err := s.AddAttribute(ctx, it.Key, it.Obj, it.Name, it.Value); err != nil {
 			out.Failures = append(out.Failures, wire.BulkFailure{Index: uint32(i), Status: statusFor(err), Msg: err.Error()})
 		}
 	}
@@ -186,10 +237,10 @@ func (s *Service) BulkAddAttributes(items []wire.AttrWriteRequest) BulkOutcome {
 }
 
 // BulkRemoveAttributes detaches many attribute values.
-func (s *Service) BulkRemoveAttributes(items []wire.AttrRemoveRequest) BulkOutcome {
+func (s *Service) BulkRemoveAttributes(ctx context.Context, items []wire.AttrRemoveRequest) BulkOutcome {
 	var out BulkOutcome
 	for i, it := range items {
-		if err := s.db.RemoveAttribute(it.Key, it.Obj, it.Name); err != nil {
+		if err := s.RemoveAttribute(ctx, it.Key, it.Obj, it.Name); err != nil {
 			out.Failures = append(out.Failures, wire.BulkFailure{Index: uint32(i), Status: statusFor(err), Msg: err.Error()})
 		}
 	}
@@ -199,7 +250,10 @@ func (s *Service) BulkRemoveAttributes(items []wire.AttrRemoveRequest) BulkOutco
 // RLI target management.
 
 // AddRLITarget starts updating an RLI (persisted in t_rli/t_rlipartition).
-func (s *Service) AddRLITarget(spec wire.RLITarget) error {
+func (s *Service) AddRLITarget(ctx context.Context, spec wire.RLITarget) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	tg, err := compileTarget(spec)
 	if err != nil {
 		return errors.Join(rdb.ErrInvalid, err)
@@ -214,7 +268,10 @@ func (s *Service) AddRLITarget(spec wire.RLITarget) error {
 }
 
 // RemoveRLITarget stops updating an RLI.
-func (s *Service) RemoveRLITarget(url string) error {
+func (s *Service) RemoveRLITarget(ctx context.Context, url string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := s.db.RemoveRLITarget(url); err != nil {
 		return err
 	}
@@ -225,6 +282,9 @@ func (s *Service) RemoveRLITarget(url string) error {
 }
 
 // ListRLITargets returns the RLIs this LRC updates.
-func (s *Service) ListRLITargets() ([]wire.RLITarget, error) {
+func (s *Service) ListRLITargets(ctx context.Context) ([]wire.RLITarget, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.db.ListRLITargets()
 }

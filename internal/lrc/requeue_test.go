@@ -17,15 +17,15 @@ func TestIncrementalRequeueOnFailure(t *testing.T) {
 		c.ImmediateInterval = 0 // default; loops not started — manual flushes
 		c.ImmediateThreshold = 1000
 	})
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
-	s.CreateMapping("lfn://a", "pfn://a")
-	s.CreateMapping("lfn://b", "pfn://b")
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping(ctx, "lfn://a", "pfn://a")
+	s.CreateMapping(ctx, "lfn://b", "pfn://b")
 	if s.PendingCount() != 2 {
 		t.Fatalf("pending = %d", s.PendingCount())
 	}
 
 	up.failNext = errors.New("rli down")
-	s.flushIncremental()
+	s.flushIncremental(ctx)
 	if s.PendingCount() != 2 {
 		t.Fatalf("pending after failed flush = %d, want 2 (re-queued)", s.PendingCount())
 	}
@@ -34,8 +34,8 @@ func TestIncrementalRequeueOnFailure(t *testing.T) {
 	}
 
 	// Changes made between the failure and the retry keep their order.
-	s.CreateMapping("lfn://c", "pfn://c")
-	s.flushIncremental()
+	s.CreateMapping(ctx, "lfn://c", "pfn://c")
+	s.flushIncremental(ctx)
 	if s.PendingCount() != 0 {
 		t.Fatalf("pending after retry = %d", s.PendingCount())
 	}
@@ -64,9 +64,9 @@ func TestIncrementalBloomTargetUnaffectedByRequeue(t *testing.T) {
 		c.ImmediateMode = true
 		c.ImmediateThreshold = 1000
 	})
-	s.AddRLITarget(wire.RLITarget{URL: "rls://bloom-rli", Bloom: true})
-	s.CreateMapping("lfn://x", "pfn://x")
-	s.flushIncremental()
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://bloom-rli", Bloom: true})
+	s.CreateMapping(ctx, "lfn://x", "pfn://x")
+	s.flushIncremental(ctx)
 	up.mu.Lock()
 	defer up.mu.Unlock()
 	if len(up.blooms) != 1 {

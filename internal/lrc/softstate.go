@@ -1,6 +1,7 @@
 package lrc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,7 +11,7 @@ import (
 // noteLogicalAdded records a new logical name: it enters the Bloom filter
 // immediately (cheap incremental maintenance) and the incremental-update
 // buffer when immediate mode is on.
-func (s *Service) noteLogicalAdded(name string) {
+func (s *Service) noteLogicalAdded(ctx context.Context, name string) {
 	s.mu.Lock()
 	s.filter.Add(name)
 	s.maybeGrowFilterLocked()
@@ -21,12 +22,12 @@ func (s *Service) noteLogicalAdded(name string) {
 	}
 	s.mu.Unlock()
 	if trigger {
-		s.flushIncremental()
+		s.flushIncremental(ctx)
 	}
 }
 
 // noteLogicalRemoved records an unregistered logical name.
-func (s *Service) noteLogicalRemoved(name string) {
+func (s *Service) noteLogicalRemoved(ctx context.Context, name string) {
 	s.mu.Lock()
 	s.filter.Remove(name)
 	trigger := false
@@ -36,7 +37,7 @@ func (s *Service) noteLogicalRemoved(name string) {
 	}
 	s.mu.Unlock()
 	if trigger {
-		s.flushIncremental()
+		s.flushIncremental(ctx)
 	}
 }
 
@@ -72,7 +73,8 @@ func (s *Service) maybeGrowFilterLocked() {
 }
 
 // fullLoop periodically pushes full (or Bloom) updates so RLI soft state is
-// refreshed before it times out.
+// refreshed before it times out. Background sends are unbounded by design —
+// only service shutdown stops them.
 func (s *Service) fullLoop() {
 	defer s.wg.Done()
 	t := s.clk.NewTicker(s.cfg.FullInterval)
@@ -82,7 +84,7 @@ func (s *Service) fullLoop() {
 		case <-s.stop:
 			return
 		case <-t.C():
-			s.ForceUpdate()
+			s.ForceUpdate(context.Background())
 		}
 	}
 }
@@ -97,7 +99,7 @@ func (s *Service) immediateLoop() {
 		case <-s.stop:
 			return
 		case <-t.C():
-			s.flushIncremental()
+			s.flushIncremental(context.Background())
 		}
 	}
 }
@@ -105,12 +107,12 @@ func (s *Service) immediateLoop() {
 // flushIncremental sends buffered adds/removes to every non-Bloom target;
 // Bloom targets receive a fresh bitmap, which is the compressed equivalent
 // of a full refresh and just as cheap to produce.
-// If any incremental send fails (RLI down, network fault), the deltas are
-// re-queued for the next flush. Duplicated delivery to targets that did
-// succeed is harmless: RLI upserts and removals are idempotent, and the
-// periodic full updates repair any divergence regardless — the soft state
-// contract.
-func (s *Service) flushIncremental() {
+// If any incremental send fails (RLI down, network fault, cancelled
+// context), the deltas are re-queued for the next flush. Duplicated delivery
+// to targets that did succeed is harmless: RLI upserts and removals are
+// idempotent, and the periodic full updates repair any divergence
+// regardless — the soft state contract.
+func (s *Service) flushIncremental(ctx context.Context) {
 	s.mu.Lock()
 	added, removed := s.pending.added, s.pending.removed
 	s.pending = pendingChanges{}
@@ -122,10 +124,10 @@ func (s *Service) flushIncremental() {
 	failed := false
 	for _, tg := range targets {
 		if tg.spec.Bloom {
-			s.sendBloomTo(tg)
+			s.sendBloomTo(ctx, tg)
 			continue
 		}
-		if res := s.sendIncrementalTo(tg, added, removed); res.Err != nil {
+		if res := s.sendIncrementalTo(ctx, tg, added, removed); res.Err != nil {
 			failed = true
 			s.mu.Lock()
 			s.targetStatsLocked(tg.spec.URL).Requeued += int64(len(added) + len(removed))
@@ -178,24 +180,26 @@ type TargetResult struct {
 // now — a full uncompressed update or a Bloom filter update per target
 // flavour — and reports per-target outcomes. This is the operation whose
 // latency §5.4 (Figure 12) and §5.5 (Table 3, Figure 13) measure "from the
-// LRC's perspective".
-func (s *Service) ForceUpdate() []TargetResult {
+// LRC's perspective". The context bounds the whole pass; a target that
+// fails with ctx.Err() reports it in its TargetResult and later targets
+// fail fast.
+func (s *Service) ForceUpdate(ctx context.Context) []TargetResult {
 	s.mu.Lock()
 	targets := s.snapshotTargetsLocked()
 	s.mu.Unlock()
 	out := make([]TargetResult, 0, len(targets))
 	for _, tg := range targets {
 		if tg.spec.Bloom {
-			out = append(out, s.sendBloomTo(tg))
+			out = append(out, s.sendBloomTo(ctx, tg))
 		} else {
-			out = append(out, s.sendFullTo(tg))
+			out = append(out, s.sendFullTo(ctx, tg))
 		}
 	}
 	return out
 }
 
 // ForceUpdateTo pushes an update to a single RLI target by url.
-func (s *Service) ForceUpdateTo(url string) (TargetResult, error) {
+func (s *Service) ForceUpdateTo(ctx context.Context, url string) (TargetResult, error) {
 	s.mu.Lock()
 	tg, ok := s.targets[url]
 	s.mu.Unlock()
@@ -203,14 +207,14 @@ func (s *Service) ForceUpdateTo(url string) (TargetResult, error) {
 		return TargetResult{}, fmt.Errorf("lrc: no RLI target %q", url)
 	}
 	if tg.spec.Bloom {
-		return s.sendBloomTo(tg), nil
+		return s.sendBloomTo(ctx, tg), nil
 	}
-	return s.sendFullTo(tg), nil
+	return s.sendFullTo(ctx, tg), nil
 }
 
 // sendFullTo streams an uncompressed full update: every logical name in the
 // catalog (restricted to the target's partition) in batches.
-func (s *Service) sendFullTo(tg *target) (res TargetResult) {
+func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult) {
 	res = TargetResult{URL: tg.spec.URL, Kind: "full"}
 	start := s.clk.Now()
 	defer func() {
@@ -231,13 +235,13 @@ func (s *Service) sendFullTo(tg *target) (res TargetResult) {
 		res.Err = err
 		return res
 	}
-	up, err := s.cfg.Dial(tg.spec.URL)
+	up, err := s.cfg.Dial(ctx, tg.spec.URL)
 	if err != nil {
 		res.Err = err
 		return res
 	}
 	defer up.Close()
-	if err := up.SSFullStart(s.cfg.URL, uint64(logicals)); err != nil {
+	if err := up.SSFullStart(ctx, s.cfg.URL, uint64(logicals)); err != nil {
 		res.Err = err
 		return res
 	}
@@ -264,13 +268,13 @@ func (s *Service) sendFullTo(tg *target) (res TargetResult) {
 		if len(batch) == 0 {
 			continue
 		}
-		if err := up.SSFullBatch(s.cfg.URL, batch); err != nil {
+		if err := up.SSFullBatch(ctx, s.cfg.URL, batch); err != nil {
 			res.Err = err
 			return res
 		}
 		res.Names += len(batch)
 	}
-	res.Err = up.SSFullEnd(s.cfg.URL)
+	res.Err = up.SSFullEnd(ctx, s.cfg.URL)
 	return res
 }
 
@@ -279,7 +283,7 @@ func (s *Service) sendFullTo(tg *target) (res TargetResult) {
 // unpartitioned targets reuse the incrementally maintained filter, so the
 // update cost is serialization plus transmission (Table 3's second column),
 // not recomputation (its third).
-func (s *Service) sendBloomTo(tg *target) (res TargetResult) {
+func (s *Service) sendBloomTo(ctx context.Context, tg *target) (res TargetResult) {
 	res = TargetResult{URL: tg.spec.URL, Kind: "bloom"}
 	start := s.clk.Now()
 	defer func() {
@@ -314,13 +318,13 @@ func (s *Service) sendBloomTo(tg *target) (res TargetResult) {
 		payload = data
 	}
 	res.Bytes = len(payload)
-	up, err := s.cfg.Dial(tg.spec.URL)
+	up, err := s.cfg.Dial(ctx, tg.spec.URL)
 	if err != nil {
 		res.Err = err
 		return res
 	}
 	defer up.Close()
-	res.Err = up.SSBloom(s.cfg.URL, payload)
+	res.Err = up.SSBloom(ctx, s.cfg.URL, payload)
 	return res
 }
 
@@ -351,7 +355,7 @@ func (s *Service) buildPartitionBitmap(tg *target) ([]byte, error) {
 
 // sendIncrementalTo sends the buffered deltas restricted to the target's
 // partition.
-func (s *Service) sendIncrementalTo(tg *target, added, removed []string) (res TargetResult) {
+func (s *Service) sendIncrementalTo(ctx context.Context, tg *target, added, removed []string) (res TargetResult) {
 	res = TargetResult{URL: tg.spec.URL, Kind: "incremental"}
 	start := s.clk.Now()
 	defer func() {
@@ -375,13 +379,13 @@ func (s *Service) sendIncrementalTo(tg *target, added, removed []string) (res Ta
 		return res
 	}
 	res.Names = len(added) + len(removed)
-	up, err := s.cfg.Dial(tg.spec.URL)
+	up, err := s.cfg.Dial(ctx, tg.spec.URL)
 	if err != nil {
 		res.Err = err
 		return res
 	}
 	defer up.Close()
-	res.Err = up.SSIncremental(s.cfg.URL, added, removed)
+	res.Err = up.SSIncremental(ctx, s.cfg.URL, added, removed)
 	return res
 }
 
@@ -406,7 +410,7 @@ func (s *Service) FilterSnapshot() ([]byte, error) {
 
 // RebuildFilter recomputes the Bloom filter from scratch — the "one-time
 // cost" column of Table 3. It returns the build duration.
-func (s *Service) RebuildFilter() (time.Duration, error) {
+func (s *Service) RebuildFilter(ctx context.Context) (time.Duration, error) {
 	logicals, _, _, err := s.db.Counts()
 	if err != nil {
 		return 0, err
@@ -415,6 +419,9 @@ func (s *Service) RebuildFilter() (time.Duration, error) {
 	fresh := bloom.New(int(logicals))
 	after := ""
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
 		if err != nil {
 			return 0, err

@@ -16,11 +16,11 @@ func TestTargetStatsTrackUpdateHealth(t *testing.T) {
 	fc := clock.NewFake(time.Unix(1000, 0))
 	up := newFakeUpdater()
 	s := newTestService(t, up, func(c *Config) { c.Clock = fc })
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
-	s.CreateMapping("lfn://a", "pfn://a")
-	s.CreateMapping("lfn://b", "pfn://b")
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping(ctx, "lfn://a", "pfn://a")
+	s.CreateMapping(ctx, "lfn://b", "pfn://b")
 
-	s.ForceUpdate()
+	s.ForceUpdate(ctx)
 	stats := s.TargetStats()
 	if len(stats) != 1 {
 		t.Fatalf("targets = %d, want 1", len(stats))
@@ -40,7 +40,7 @@ func TestTargetStatsTrackUpdateHealth(t *testing.T) {
 	last := ts.LastSuccess
 	fc.Advance(time.Minute)
 	up.failNext = errors.New("rli down")
-	s.ForceUpdate()
+	s.ForceUpdate(ctx)
 	ts = s.TargetStats()[0]
 	if ts.Sent != 1 || ts.Failed != 1 {
 		t.Fatalf("after failure: %+v", ts)
@@ -58,12 +58,12 @@ func TestTargetStatsCountRequeuedDeltas(t *testing.T) {
 		c.ImmediateMode = true
 		c.ImmediateThreshold = 1000
 	})
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
-	s.CreateMapping("lfn://a", "pfn://a")
-	s.CreateMapping("lfn://b", "pfn://b")
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping(ctx, "lfn://a", "pfn://a")
+	s.CreateMapping(ctx, "lfn://b", "pfn://b")
 
 	up.failNext = errors.New("rli down")
-	s.flushIncremental()
+	s.flushIncremental(ctx)
 	ts := s.TargetStats()[0]
 	if ts.Requeued != 2 {
 		t.Fatalf("Requeued = %d, want 2", ts.Requeued)
@@ -72,7 +72,7 @@ func TestTargetStatsCountRequeuedDeltas(t *testing.T) {
 		t.Fatalf("Failed = %d, want 1", ts.Failed)
 	}
 
-	s.flushIncremental()
+	s.flushIncremental(ctx)
 	ts = s.TargetStats()[0]
 	if ts.Sent != 1 || ts.NamesSent != 2 {
 		t.Fatalf("after retry: %+v", ts)
@@ -84,9 +84,9 @@ func TestTargetStatsCountRequeuedDeltas(t *testing.T) {
 func TestTargetStatsRecordBloomBytes(t *testing.T) {
 	up := newFakeUpdater()
 	s := newTestService(t, up, nil)
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli", Bloom: true})
-	s.CreateMapping("lfn://x", "pfn://x")
-	s.ForceUpdate()
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli", Bloom: true})
+	s.CreateMapping(ctx, "lfn://x", "pfn://x")
+	s.ForceUpdate(ctx)
 	ts := s.TargetStats()[0]
 	if ts.Sent != 1 || ts.BytesSent <= 0 {
 		t.Fatalf("bloom target stats: %+v", ts)
@@ -98,12 +98,12 @@ func TestTargetStatsRecordBloomBytes(t *testing.T) {
 func TestTargetStatsSurviveReRegistration(t *testing.T) {
 	up := newFakeUpdater()
 	s := newTestService(t, up, nil)
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
-	s.CreateMapping("lfn://a", "pfn://a")
-	s.ForceUpdate()
-	s.RemoveRLITarget("rls://rli")
-	s.AddRLITarget(wire.RLITarget{URL: "rls://rli"})
-	s.ForceUpdate()
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping(ctx, "lfn://a", "pfn://a")
+	s.ForceUpdate(ctx)
+	s.RemoveRLITarget(ctx, "rls://rli")
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
+	s.ForceUpdate(ctx)
 	ts := s.TargetStats()[0]
 	if ts.Sent != 2 {
 		t.Fatalf("Sent = %d after re-registration, want 2", ts.Sent)

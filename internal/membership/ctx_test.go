@@ -1,0 +1,7 @@
+package membership
+
+import "context"
+
+// ctx is the shared background context for tests that do not exercise
+// cancellation; cancellation-specific tests construct their own.
+var ctx = context.Background()

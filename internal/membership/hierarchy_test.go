@@ -1,6 +1,7 @@
 package membership
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -20,6 +21,7 @@ const hierarchyTopology = `{
 }`
 
 func TestHierarchyTopologyBuilds(t *testing.T) {
+	ctx := context.Background()
 	topo, err := Parse(strings.NewReader(hierarchyTopology))
 	if err != nil {
 		t.Fatal(err)
@@ -35,17 +37,17 @@ func TestHierarchyTopologyBuilds(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.CreateMapping("lfn://h/x", "pfn://x"); err != nil {
+	if err := c.CreateMapping(ctx, "lfn://h/x", "pfn://x"); err != nil {
 		t.Fatal(err)
 	}
 	lnode, _ := dep.Node("lrc0")
-	for _, res := range lnode.LRC.ForceUpdate() {
+	for _, res := range lnode.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
 	leaf, _ := dep.Node("leaf")
-	for _, res := range leaf.RLI.ForwardAll() {
+	for _, res := range leaf.RLI.ForwardAll(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -55,7 +57,7 @@ func TestHierarchyTopologyBuilds(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rc.Close()
-	lrcs, err := rc.RLIQuery("lfn://h/x")
+	lrcs, err := rc.RLIQuery(ctx, "lfn://h/x")
 	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc0" {
 		t.Fatalf("root query = %v, %v", lrcs, err)
 	}

@@ -1,6 +1,7 @@
 package membership
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -62,6 +63,7 @@ func TestValidateErrors(t *testing.T) {
 }
 
 func TestBuildRunsTopology(t *testing.T) {
+	ctx := context.Background()
 	topo, err := Parse(strings.NewReader(validTopology))
 	if err != nil {
 		t.Fatal(err)
@@ -78,11 +80,11 @@ func TestBuildRunsTopology(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.CreateMapping("lfn://topo/x", "pfn://x"); err != nil {
+	if err := c.CreateMapping(ctx, "lfn://topo/x", "pfn://x"); err != nil {
 		t.Fatal(err)
 	}
 	node, _ := dep.Node("lrc0")
-	for _, res := range node.LRC.ForceUpdate() {
+	for _, res := range node.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -92,18 +94,18 @@ func TestBuildRunsTopology(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rc.Close()
-	lrcs, err := rc.RLIQuery("lfn://topo/x")
+	lrcs, err := rc.RLIQuery(ctx, "lfn://topo/x")
 	if err != nil || len(lrcs) != 1 {
 		t.Fatalf("query = %v, %v", lrcs, err)
 	}
 	// Bloom link from lrc1 works too.
 	c1, _ := dep.Dial("lrc1")
 	defer c1.Close()
-	if err := c1.CreateMapping("lfn://topo/y", "pfn://y"); err != nil {
+	if err := c1.CreateMapping(ctx, "lfn://topo/y", "pfn://y"); err != nil {
 		t.Fatal(err)
 	}
 	n1, _ := dep.Node("lrc1")
-	for _, res := range n1.LRC.ForceUpdate() {
+	for _, res := range n1.LRC.ForceUpdate(ctx) {
 		if res.Err != nil {
 			t.Fatal(res.Err)
 		}
@@ -114,6 +116,7 @@ func TestBuildRunsTopology(t *testing.T) {
 }
 
 func TestBuildTCPListener(t *testing.T) {
+	ctx := context.Background()
 	topo, err := Parse(strings.NewReader(`{
 	  "servers": [{"name": "l", "roles": ["lrc"], "fast_disk": true, "listen": true}]
 	}`))
@@ -134,7 +137,7 @@ func TestBuildTCPListener(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(ctx); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -291,7 +291,7 @@ func (db *LRCDB) GetAttributes(key string, obj wire.ObjType, names []string) ([]
 			typ   wire.AttrType
 		}{{tStrAttr, wire.AttrString}, {tIntAttr, wire.AttrInt}, {tFltAttr, wire.AttrFloat}, {tDateAttr, wire.AttrDate}} {
 			var scanErr error
-			r.ScanPrefix(spec.table, "by_obj_attr", []storage.Value{storage.Int64(objID)}, func(_ int64, vrow storage.Row) bool {
+			err := r.ScanPrefix(spec.table, "by_obj_attr", []storage.Value{storage.Int64(objID)}, func(_ int64, vrow storage.Row) bool {
 				defs, err := r.Lookup(tAttribute, "by_id", vrow[colValAttr])
 				if err != nil {
 					scanErr = err
@@ -307,6 +307,9 @@ func (db *LRCDB) GetAttributes(key string, obj wire.ObjType, names []string) ([]
 				out = append(out, wire.NamedAttr{Name: aname, Value: fromStorageValue(spec.typ, vrow[colValValue])})
 				return true
 			})
+			if err != nil {
+				return err
+			}
 			if scanErr != nil {
 				return scanErr
 			}
@@ -424,7 +427,7 @@ func (db *LRCDB) SearchAttribute(name string, obj wire.ObjType, cmp wire.CmpOp, 
 			return err
 		}
 		var scanErr error
-		r.ScanPrefix(vt, "by_attr", []storage.Value{storage.Int64(attrID)}, func(_ int64, vrow storage.Row) bool {
+		if err := r.ScanPrefix(vt, "by_attr", []storage.Value{storage.Int64(attrID)}, func(_ int64, vrow storage.Row) bool {
 			if !compareAttr(typ, vrow[colValValue], cmp, probe) {
 				return true
 			}
@@ -437,7 +440,9 @@ func (db *LRCDB) SearchAttribute(name string, obj wire.ObjType, cmp wire.CmpOp, 
 				out = append(out, wire.ObjAttr{Key: objs[0][colNameName].Str, Value: fromStorageValue(typ, vrow[colValValue])})
 			}
 			return true
-		})
+		}); err != nil {
+			return err
+		}
 		return scanErr
 	})
 	return out, err

@@ -479,7 +479,7 @@ func (db *LRCDB) wildcard(pattern, nameTable, mapTable, mapIndex string, otherCo
 	var out []wire.Mapping
 	err := db.eng.View(func(r *storage.Reader) error {
 		var scanErr error
-		r.ScanStringPrefix(nameTable, "by_name", prefix, func(_ int64, row storage.Row) bool {
+		if err := r.ScanStringPrefix(nameTable, "by_name", prefix, func(_ int64, row storage.Row) bool {
 			name := row[colNameName].Str
 			if !glob.Match(pattern, name) {
 				return true
@@ -507,7 +507,9 @@ func (db *LRCDB) wildcard(pattern, nameTable, mapTable, mapIndex string, otherCo
 				}
 			}
 			return true
-		})
+		}); err != nil {
+			return err
+		}
 		return scanErr
 	})
 	return out, err

@@ -263,7 +263,7 @@ func (db *RLIDB) WildcardQuery(pattern string) ([]wire.Mapping, error) {
 	var out []wire.Mapping
 	err := db.eng.View(func(r *storage.Reader) error {
 		var scanErr error
-		r.ScanStringPrefix(tRLILFN, "by_name", prefix, func(_ int64, row storage.Row) bool {
+		if err := r.ScanStringPrefix(tRLILFN, "by_name", prefix, func(_ int64, row storage.Row) bool {
 			name := row[colNameName].Str
 			if !glob.Match(pattern, name) {
 				return true
@@ -284,7 +284,9 @@ func (db *RLIDB) WildcardQuery(pattern string) ([]wire.Mapping, error) {
 				}
 			}
 			return true
-		})
+		}); err != nil {
+			return err
+		}
 		return scanErr
 	})
 	return out, err
@@ -345,7 +347,7 @@ func (db *RLIDB) NamesForLRC(lrcURL string) ([]string, error) {
 		}
 		lrcID := lrcRows[0][colNameID].Int
 		var scanErr error
-		r.ScanPrefix(tRLIMap, "by_lrc", []storage.Value{storage.Int64(lrcID)}, func(_ int64, row storage.Row) bool {
+		if err := r.ScanPrefix(tRLIMap, "by_lrc", []storage.Value{storage.Int64(lrcID)}, func(_ int64, row storage.Row) bool {
 			lfns, err := r.Lookup(tRLILFN, "by_id", row[colRMapLFN])
 			if err != nil {
 				scanErr = err
@@ -355,7 +357,9 @@ func (db *RLIDB) NamesForLRC(lrcURL string) ([]string, error) {
 				out = append(out, lfns[0][colNameName].Str)
 			}
 			return true
-		})
+		}); err != nil {
+			return err
+		}
 		return scanErr
 	})
 	if err != nil {

@@ -82,7 +82,7 @@ func (db *LRCDB) ListRLITargets() ([]wire.RLITarget, error) {
 	var out []wire.RLITarget
 	err := db.eng.View(func(r *storage.Reader) error {
 		var scanErr error
-		r.ScanStringPrefix(tRLI, "by_name", "", func(_ int64, row storage.Row) bool {
+		if err := r.ScanStringPrefix(tRLI, "by_name", "", func(_ int64, row storage.Row) bool {
 			t := wire.RLITarget{
 				URL:   row[colRLIName].Str,
 				Bloom: row[colRLIFlags].Int&rliFlagBloom != 0,
@@ -93,7 +93,9 @@ func (db *LRCDB) ListRLITargets() ([]wire.RLITarget, error) {
 			})
 			out = append(out, t)
 			return scanErr == nil
-		})
+		}); err != nil {
+			return err
+		}
 		return scanErr
 	})
 	return out, err

@@ -1,6 +1,7 @@
 package rli
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -24,16 +25,16 @@ import (
 // structurally identical to lrc.Updater, so the client package satisfies
 // both; it is redeclared here so the rli package does not depend on lrc.
 type Updater interface {
-	SSFullStart(lrcURL string, total uint64) error
-	SSFullBatch(lrcURL string, names []string) error
-	SSFullEnd(lrcURL string) error
-	SSIncremental(lrcURL string, added, removed []string) error
-	SSBloom(lrcURL string, bitmap []byte) error
+	SSFullStart(ctx context.Context, lrcURL string, total uint64) error
+	SSFullBatch(ctx context.Context, lrcURL string, names []string) error
+	SSFullEnd(ctx context.Context, lrcURL string) error
+	SSIncremental(ctx context.Context, lrcURL string, added, removed []string) error
+	SSBloom(ctx context.Context, lrcURL string, bitmap []byte) error
 	Close() error
 }
 
 // Dialer opens an Updater to the parent RLI at the given url.
-type Dialer func(url string) (Updater, error)
+type Dialer func(ctx context.Context, url string) (Updater, error)
 
 // parentState tracks the forwarding configuration, which is runtime state
 // like the in-memory Bloom store (the paper's 2.0.9 had no persistent
@@ -110,8 +111,9 @@ type ForwardResult struct {
 	Err     error
 }
 
-// ForwardAll pushes this RLI's aggregated state to every parent now.
-func (s *Service) ForwardAll() []ForwardResult {
+// ForwardAll pushes this RLI's aggregated state to every parent now. The
+// context bounds the whole pass.
+func (s *Service) ForwardAll(ctx context.Context) []ForwardResult {
 	s.forward.mu.Lock()
 	dial := s.forward.dial
 	batch := s.forward.batch
@@ -124,17 +126,17 @@ func (s *Service) ForwardAll() []ForwardResult {
 
 	out := make([]ForwardResult, 0, len(parents))
 	for _, parent := range parents {
-		out = append(out, s.forwardTo(dial, parent, batch))
+		out = append(out, s.forwardTo(ctx, dial, parent, batch))
 	}
 	return out
 }
 
-func (s *Service) forwardTo(dial Dialer, parent string, batch int) (res ForwardResult) {
+func (s *Service) forwardTo(ctx context.Context, dial Dialer, parent string, batch int) (res ForwardResult) {
 	res = ForwardResult{Parent: parent}
 	start := s.clk.Now()
 	defer func() { res.Elapsed = s.clk.Now().Sub(start) }()
 
-	up, err := dial(parent)
+	up, err := dial(ctx, parent)
 	if err != nil {
 		res.Err = err
 		return res
@@ -158,7 +160,7 @@ func (s *Service) forwardTo(dial Dialer, parent string, batch int) (res ForwardR
 			if len(names) == 0 {
 				continue
 			}
-			if err := up.SSFullStart(lrcURL, uint64(len(names))); err != nil {
+			if err := up.SSFullStart(ctx, lrcURL, uint64(len(names))); err != nil {
 				res.Err = err
 				return res
 			}
@@ -167,12 +169,12 @@ func (s *Service) forwardTo(dial Dialer, parent string, batch int) (res ForwardR
 				if hi > len(names) {
 					hi = len(names)
 				}
-				if err := up.SSFullBatch(lrcURL, names[lo:hi]); err != nil {
+				if err := up.SSFullBatch(ctx, lrcURL, names[lo:hi]); err != nil {
 					res.Err = err
 					return res
 				}
 			}
-			if err := up.SSFullEnd(lrcURL); err != nil {
+			if err := up.SSFullEnd(ctx, lrcURL); err != nil {
 				res.Err = err
 				return res
 			}
@@ -199,7 +201,7 @@ func (s *Service) forwardTo(dial Dialer, parent string, batch int) (res ForwardR
 			res.Err = err
 			return res
 		}
-		if err := up.SSBloom(b.url, payload); err != nil {
+		if err := up.SSBloom(ctx, b.url, payload); err != nil {
 			res.Err = err
 			return res
 		}
@@ -233,7 +235,7 @@ func (s *Service) StartForwardLoop(interval time.Duration) error {
 			case <-s.stop:
 				return
 			case <-t.C():
-				s.ForwardAll()
+				s.ForwardAll(context.Background())
 			}
 		}
 	}()
@@ -242,7 +244,10 @@ func (s *Service) StartForwardLoop(interval time.Duration) error {
 
 // NamesForLRC is defined on the database in rlidb.go; this thin wrapper
 // exposes it at the service level for diagnostics.
-func (s *Service) NamesForLRC(lrcURL string) ([]string, error) {
+func (s *Service) NamesForLRC(ctx context.Context, lrcURL string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.db == nil {
 		return nil, fmt.Errorf("rli: no database state")
 	}

@@ -1,6 +1,7 @@
 package rli
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -28,7 +29,7 @@ func newMemParent() *memParent {
 	}
 }
 
-func (m *memParent) dial(url string) (Updater, error) {
+func (m *memParent) dial(ctx context.Context, url string) (Updater, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.calls++
@@ -39,30 +40,30 @@ func (m *memParent) dial(url string) (Updater, error) {
 	return m, nil
 }
 
-func (m *memParent) SSFullStart(lrcURL string, total uint64) error {
+func (m *memParent) SSFullStart(ctx context.Context, lrcURL string, total uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.current[lrcURL] = nil
 	return nil
 }
 
-func (m *memParent) SSFullBatch(lrcURL string, names []string) error {
+func (m *memParent) SSFullBatch(ctx context.Context, lrcURL string, names []string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.current[lrcURL] = append(m.current[lrcURL], names...)
 	return nil
 }
 
-func (m *memParent) SSFullEnd(lrcURL string) error {
+func (m *memParent) SSFullEnd(ctx context.Context, lrcURL string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.full[lrcURL] = m.current[lrcURL]
 	return nil
 }
 
-func (m *memParent) SSIncremental(lrcURL string, added, removed []string) error { return nil }
+func (m *memParent) SSIncremental(ctx context.Context, lrcURL string, added, removed []string) error { return nil }
 
-func (m *memParent) SSBloom(lrcURL string, bitmap []byte) error {
+func (m *memParent) SSBloom(ctx context.Context, lrcURL string, bitmap []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.blooms[lrcURL] = append([]byte(nil), bitmap...)
@@ -73,16 +74,16 @@ func (m *memParent) Close() error { return nil }
 
 func TestForwardAllGroupsBySourceLRC(t *testing.T) {
 	s := newTestRLI(t, nil)
-	s.HandleIncremental("rls://lrc-a", []string{"lfn://a1", "lfn://a2"}, nil)
-	s.HandleIncremental("rls://lrc-b", []string{"lfn://b1"}, nil)
-	s.HandleBloom("rls://lrc-c", bloomPayloadStandalone("lfn://c1"))
+	s.HandleIncremental(ctx, "rls://lrc-a", []string{"lfn://a1", "lfn://a2"}, nil)
+	s.HandleIncremental(ctx, "rls://lrc-b", []string{"lfn://b1"}, nil)
+	s.HandleBloom(ctx, "rls://lrc-c", bloomPayloadStandalone("lfn://c1"))
 
 	parent := newMemParent()
 	s.ConfigureForwarding(parent.dial, 1)
 	if err := s.AddParent("rls://parent"); err != nil {
 		t.Fatal(err)
 	}
-	results := s.ForwardAll()
+	results := s.ForwardAll(ctx)
 	if len(results) != 1 || results[0].Err != nil {
 		t.Fatalf("results = %+v", results)
 	}
@@ -126,7 +127,7 @@ func TestForwardingConfigGuards(t *testing.T) {
 func TestForwardLoopRunsOnTicker(t *testing.T) {
 	fc := clock.NewFake(time.Unix(0, 0))
 	s := newTestRLI(t, func(c *Config) { c.Clock = fc })
-	s.HandleIncremental("rls://lrc", []string{"lfn://x"}, nil)
+	s.HandleIncremental(ctx, "rls://lrc", []string{"lfn://x"}, nil)
 	parent := newMemParent()
 	s.ConfigureForwarding(parent.dial, 100)
 	if err := s.AddParent("rls://parent"); err != nil {
@@ -155,17 +156,17 @@ func TestForwardLoopRunsOnTicker(t *testing.T) {
 
 func TestForwardErrorReported(t *testing.T) {
 	s := newTestRLI(t, nil)
-	s.HandleIncremental("rls://lrc", []string{"lfn://x"}, nil)
+	s.HandleIncremental(ctx, "rls://lrc", []string{"lfn://x"}, nil)
 	parent := newMemParent()
 	parent.fails = 1
 	s.ConfigureForwarding(parent.dial, 100)
 	s.AddParent("rls://parent")
-	results := s.ForwardAll()
+	results := s.ForwardAll(ctx)
 	if results[0].Err == nil {
 		t.Fatal("dial failure not reported")
 	}
 	// Next round succeeds.
-	results = s.ForwardAll()
+	results = s.ForwardAll(ctx)
 	if results[0].Err != nil {
 		t.Fatal(results[0].Err)
 	}
@@ -173,8 +174,8 @@ func TestForwardErrorReported(t *testing.T) {
 
 func TestNamesForLRCService(t *testing.T) {
 	s := newTestRLI(t, nil)
-	s.HandleIncremental("rls://lrc", []string{"lfn://b", "lfn://a"}, nil)
-	names, err := s.NamesForLRC("rls://lrc")
+	s.HandleIncremental(ctx, "rls://lrc", []string{"lfn://b", "lfn://a"}, nil)
+	names, err := s.NamesForLRC(ctx, "rls://lrc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,14 +183,14 @@ func TestNamesForLRCService(t *testing.T) {
 		t.Fatalf("names = %v (want sorted)", names)
 	}
 	// Unknown LRC: empty, not an error.
-	names, err = s.NamesForLRC("rls://ghost")
+	names, err = s.NamesForLRC(ctx, "rls://ghost")
 	if err != nil || len(names) != 0 {
 		t.Fatalf("ghost = %v, %v", names, err)
 	}
 	// Bloom-only service has no database to enumerate.
 	bloomOnly, _ := New(Config{URL: "rls://b"})
 	defer bloomOnly.Close()
-	if _, err := bloomOnly.NamesForLRC("rls://x"); err == nil {
+	if _, err := bloomOnly.NamesForLRC(ctx, "rls://x"); err == nil {
 		t.Fatal("bloom-only enumeration succeeded")
 	}
 }

@@ -20,6 +20,7 @@
 package rli
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -85,7 +86,11 @@ type Stats struct {
 	BloomUpdates       int64
 	NamesIngested      int64
 	Expired            int64
-	Queries            int64
+	// ExpireErrors counts expire passes that failed; the entries stay and
+	// are retried on the next tick, so a nonzero value with a growing index
+	// points at a stuck database, not at lost updates.
+	ExpireErrors int64
+	Queries      int64
 }
 
 // New creates the service.
@@ -143,10 +148,18 @@ func (s *Service) Stats() Stats {
 // errNoDB reports an uncompressed update arriving at a Bloom-only RLI.
 var errNoDB = fmt.Errorf("%w: this RLI has no database for uncompressed updates", rdb.ErrInvalid)
 
+// Update handlers mirror the Updater interface the server dispatches into.
+// The rdb layer has no context plumbing (its blocking comes from the
+// simulated disk), so the ctx.Err() entry check is the cancellation
+// boundary for the database-backed paths.
+
 // HandleFullStart begins a full update from an LRC. State from prior full
 // updates is not dropped here: stale entries age out via expiration, per the
 // soft state model.
-func (s *Service) HandleFullStart(lrcURL string, total uint64) error {
+func (s *Service) HandleFullStart(ctx context.Context, lrcURL string, total uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.db == nil {
 		return errNoDB
 	}
@@ -157,7 +170,10 @@ func (s *Service) HandleFullStart(lrcURL string, total uint64) error {
 }
 
 // HandleFullBatch ingests one batch of a full update.
-func (s *Service) HandleFullBatch(lrcURL string, names []string) error {
+func (s *Service) HandleFullBatch(ctx context.Context, lrcURL string, names []string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.db == nil {
 		return errNoDB
 	}
@@ -171,7 +187,10 @@ func (s *Service) HandleFullBatch(lrcURL string, names []string) error {
 }
 
 // HandleFullEnd completes a full update.
-func (s *Service) HandleFullEnd(lrcURL string) error {
+func (s *Service) HandleFullEnd(ctx context.Context, lrcURL string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.db == nil {
 		return errNoDB
 	}
@@ -179,7 +198,10 @@ func (s *Service) HandleFullEnd(lrcURL string) error {
 }
 
 // HandleIncremental ingests an immediate-mode update.
-func (s *Service) HandleIncremental(lrcURL string, added, removed []string) error {
+func (s *Service) HandleIncremental(ctx context.Context, lrcURL string, added, removed []string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.db == nil {
 		return errNoDB
 	}
@@ -197,7 +219,10 @@ func (s *Service) HandleIncremental(lrcURL string, added, removed []string) erro
 }
 
 // HandleBloom stores an LRC's Bloom filter, replacing any previous one.
-func (s *Service) HandleBloom(lrcURL string, payload []byte) error {
+func (s *Service) HandleBloom(ctx context.Context, lrcURL string, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var bm bloom.Bitmap
 	if err := bm.UnmarshalBinary(payload); err != nil {
 		return errors.Join(rdb.ErrInvalid, err)
@@ -212,7 +237,10 @@ func (s *Service) HandleBloom(lrcURL string, payload []byte) error {
 // QueryLRCs returns the LRC urls that may hold mappings for the logical
 // name: exact matches from the database union probabilistic matches from the
 // in-memory Bloom filters (false positives possible at ~1%, paper §3.4).
-func (s *Service) QueryLRCs(logical string) ([]string, error) {
+func (s *Service) QueryLRCs(ctx context.Context, logical string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	s.stats.Queries++
 	s.mu.Unlock()
@@ -248,7 +276,10 @@ func (s *Service) QueryLRCs(logical string) ([]string, error) {
 // WildcardQuery answers wildcard queries from the database. Bloom-filter
 // state cannot be enumerated — the capability cost of compression the paper
 // notes in §5.4 — so filters contribute nothing here.
-func (s *Service) WildcardQuery(pattern string) ([]wire.Mapping, error) {
+func (s *Service) WildcardQuery(ctx context.Context, pattern string) ([]wire.Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.db == nil {
 		return nil, fmt.Errorf("%w: wildcard queries are not possible over Bloom filter state", rdb.ErrInvalid)
 	}
@@ -256,17 +287,20 @@ func (s *Service) WildcardQuery(pattern string) ([]wire.Mapping, error) {
 }
 
 // BulkQuery resolves many logical names.
-func (s *Service) BulkQuery(names []string) []wire.BulkNameResult {
+func (s *Service) BulkQuery(ctx context.Context, names []string) []wire.BulkNameResult {
 	out := make([]wire.BulkNameResult, 0, len(names))
 	for _, n := range names {
-		values, err := s.QueryLRCs(n)
+		values, err := s.QueryLRCs(ctx, n)
 		out = append(out, wire.BulkNameResult{Name: n, Found: err == nil, Values: values})
 	}
 	return out
 }
 
 // LRCs lists the LRCs known to this RLI, from both storage paths.
-func (s *Service) LRCs() ([]string, error) {
+func (s *Service) LRCs(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	set := make(map[string]bool)
 	if s.db != nil {
 		urls, err := s.db.LRCs()
@@ -311,7 +345,10 @@ func (s *Service) BloomBytes() int64 {
 
 // Counts reports index occupancy (database associations; Bloom filters are
 // opaque).
-func (s *Service) Counts() (logicals, lrcs, associations int64, err error) {
+func (s *Service) Counts(ctx context.Context) (logicals, lrcs, associations int64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
 	if s.db == nil {
 		return 0, int64(s.FilterCount()), 0, nil
 	}
@@ -320,7 +357,10 @@ func (s *Service) Counts() (logicals, lrcs, associations int64, err error) {
 
 // ExpireNow runs one expiration pass, returning dropped database
 // associations plus dropped Bloom filters.
-func (s *Service) ExpireNow() (int, error) {
+func (s *Service) ExpireNow(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	cutoff := s.clk.Now().Add(-s.cfg.Timeout)
 	dropped := 0
 	if s.db != nil {
@@ -354,7 +394,11 @@ func (s *Service) expireLoop() {
 		case <-s.stop:
 			return
 		case <-t.C():
-			s.ExpireNow()
+			if _, err := s.ExpireNow(context.Background()); err != nil {
+				s.mu.Lock()
+				s.stats.ExpireErrors++
+				s.mu.Unlock()
+			}
 		}
 	}
 }

@@ -48,19 +48,19 @@ func bloomPayload(t *testing.T, names ...string) []byte {
 
 func TestFullUpdateFlow(t *testing.T) {
 	s := newTestRLI(t, nil)
-	if err := s.HandleFullStart("rls://lrc1", 3); err != nil {
+	if err := s.HandleFullStart(ctx, "rls://lrc1", 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.HandleFullBatch("rls://lrc1", []string{"lfn://a", "lfn://b"}); err != nil {
+	if err := s.HandleFullBatch(ctx, "rls://lrc1", []string{"lfn://a", "lfn://b"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.HandleFullBatch("rls://lrc1", []string{"lfn://c"}); err != nil {
+	if err := s.HandleFullBatch(ctx, "rls://lrc1", []string{"lfn://c"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.HandleFullEnd("rls://lrc1"); err != nil {
+	if err := s.HandleFullEnd(ctx, "rls://lrc1"); err != nil {
 		t.Fatal(err)
 	}
-	lrcs, err := s.QueryLRCs("lfn://b")
+	lrcs, err := s.QueryLRCs(ctx, "lfn://b")
 	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc1" {
 		t.Fatalf("QueryLRCs = %v, %v", lrcs, err)
 	}
@@ -72,26 +72,26 @@ func TestFullUpdateFlow(t *testing.T) {
 
 func TestIncrementalUpdate(t *testing.T) {
 	s := newTestRLI(t, nil)
-	if err := s.HandleIncremental("rls://lrc1", []string{"lfn://a"}, nil); err != nil {
+	if err := s.HandleIncremental(ctx, "rls://lrc1", []string{"lfn://a"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.QueryLRCs("lfn://a"); err != nil {
+	if _, err := s.QueryLRCs(ctx, "lfn://a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.HandleIncremental("rls://lrc1", nil, []string{"lfn://a"}); err != nil {
+	if err := s.HandleIncremental(ctx, "rls://lrc1", nil, []string{"lfn://a"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.QueryLRCs("lfn://a"); !errors.Is(err, rdb.ErrNotFound) {
+	if _, err := s.QueryLRCs(ctx, "lfn://a"); !errors.Is(err, rdb.ErrNotFound) {
 		t.Fatalf("after removal = %v", err)
 	}
 }
 
 func TestBloomQueryPath(t *testing.T) {
 	s := newTestRLI(t, nil)
-	if err := s.HandleBloom("rls://lrc9", bloomPayload(t, "lfn://x", "lfn://y")); err != nil {
+	if err := s.HandleBloom(ctx, "rls://lrc9", bloomPayload(t, "lfn://x", "lfn://y")); err != nil {
 		t.Fatal(err)
 	}
-	lrcs, err := s.QueryLRCs("lfn://x")
+	lrcs, err := s.QueryLRCs(ctx, "lfn://x")
 	if err != nil || len(lrcs) != 1 || lrcs[0] != "rls://lrc9" {
 		t.Fatalf("bloom query = %v, %v", lrcs, err)
 	}
@@ -99,29 +99,29 @@ func TestBloomQueryPath(t *testing.T) {
 		t.Fatalf("FilterCount = %d", s.FilterCount())
 	}
 	// Replacement, not accumulation.
-	if err := s.HandleBloom("rls://lrc9", bloomPayload(t, "lfn://z")); err != nil {
+	if err := s.HandleBloom(ctx, "rls://lrc9", bloomPayload(t, "lfn://z")); err != nil {
 		t.Fatal(err)
 	}
 	if s.FilterCount() != 1 {
 		t.Fatalf("FilterCount after replace = %d", s.FilterCount())
 	}
-	if _, err := s.QueryLRCs("lfn://x"); !errors.Is(err, rdb.ErrNotFound) {
+	if _, err := s.QueryLRCs(ctx, "lfn://x"); !errors.Is(err, rdb.ErrNotFound) {
 		t.Fatalf("old filter contents survived replacement: %v", err)
 	}
 }
 
 func TestBloomRejectsGarbage(t *testing.T) {
 	s := newTestRLI(t, nil)
-	if err := s.HandleBloom("rls://lrc1", []byte{1, 2, 3}); !errors.Is(err, rdb.ErrInvalid) {
+	if err := s.HandleBloom(ctx, "rls://lrc1", []byte{1, 2, 3}); !errors.Is(err, rdb.ErrInvalid) {
 		t.Fatalf("garbage bitmap = %v", err)
 	}
 }
 
 func TestQueryMergesDatabaseAndBloom(t *testing.T) {
 	s := newTestRLI(t, nil)
-	s.HandleIncremental("rls://lrc-db", []string{"lfn://shared"}, nil)
-	s.HandleBloom("rls://lrc-bloom", bloomPayload(t, "lfn://shared"))
-	lrcs, err := s.QueryLRCs("lfn://shared")
+	s.HandleIncremental(ctx, "rls://lrc-db", []string{"lfn://shared"}, nil)
+	s.HandleBloom(ctx, "rls://lrc-bloom", bloomPayload(t, "lfn://shared"))
+	lrcs, err := s.QueryLRCs(ctx, "lfn://shared")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,20 +136,20 @@ func TestBloomOnlyService(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if err := s.HandleFullStart("rls://lrc1", 1); !errors.Is(err, rdb.ErrInvalid) {
+	if err := s.HandleFullStart(ctx, "rls://lrc1", 1); !errors.Is(err, rdb.ErrInvalid) {
 		t.Fatalf("full update on bloom-only RLI = %v", err)
 	}
-	if err := s.HandleIncremental("rls://lrc1", []string{"x"}, nil); !errors.Is(err, rdb.ErrInvalid) {
+	if err := s.HandleIncremental(ctx, "rls://lrc1", []string{"x"}, nil); !errors.Is(err, rdb.ErrInvalid) {
 		t.Fatalf("incremental on bloom-only RLI = %v", err)
 	}
-	if err := s.HandleBloom("rls://lrc1", bloomPayloadStandalone("lfn://a")); err != nil {
+	if err := s.HandleBloom(ctx, "rls://lrc1", bloomPayloadStandalone("lfn://a")); err != nil {
 		t.Fatal(err)
 	}
-	lrcs, err := s.QueryLRCs("lfn://a")
+	lrcs, err := s.QueryLRCs(ctx, "lfn://a")
 	if err != nil || len(lrcs) != 1 {
 		t.Fatalf("query = %v, %v", lrcs, err)
 	}
-	if _, err := s.WildcardQuery("lfn://*"); !errors.Is(err, rdb.ErrInvalid) {
+	if _, err := s.WildcardQuery(ctx, "lfn://*"); !errors.Is(err, rdb.ErrInvalid) {
 		t.Fatalf("wildcard over bloom = %v, want ErrInvalid", err)
 	}
 }
@@ -165,8 +165,8 @@ func bloomPayloadStandalone(names ...string) []byte {
 
 func TestWildcardQueryUsesDatabase(t *testing.T) {
 	s := newTestRLI(t, nil)
-	s.HandleIncremental("rls://lrc1", []string{"lfn://run/a", "lfn://run/b", "lfn://other"}, nil)
-	hits, err := s.WildcardQuery("lfn://run/*")
+	s.HandleIncremental(ctx, "rls://lrc1", []string{"lfn://run/a", "lfn://run/b", "lfn://other"}, nil)
+	hits, err := s.WildcardQuery(ctx, "lfn://run/*")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,8 +177,8 @@ func TestWildcardQueryUsesDatabase(t *testing.T) {
 
 func TestBulkQuery(t *testing.T) {
 	s := newTestRLI(t, nil)
-	s.HandleIncremental("rls://lrc1", []string{"lfn://a"}, nil)
-	results := s.BulkQuery([]string{"lfn://a", "lfn://missing"})
+	s.HandleIncremental(ctx, "rls://lrc1", []string{"lfn://a"}, nil)
+	results := s.BulkQuery(ctx, []string{"lfn://a", "lfn://missing"})
 	if len(results) != 2 {
 		t.Fatalf("results = %+v", results)
 	}
@@ -193,13 +193,13 @@ func TestExpirationDropsDatabaseEntries(t *testing.T) {
 		c.Clock = fc
 		c.Timeout = time.Minute
 	})
-	s.HandleIncremental("rls://lrc1", []string{"lfn://old"}, nil)
+	s.HandleIncremental(ctx, "rls://lrc1", []string{"lfn://old"}, nil)
 	fc.Advance(2 * time.Minute)
-	n, err := s.ExpireNow()
+	n, err := s.ExpireNow(ctx)
 	if err != nil || n != 1 {
 		t.Fatalf("ExpireNow = %d, %v; want 1", n, err)
 	}
-	if _, err := s.QueryLRCs("lfn://old"); !errors.Is(err, rdb.ErrNotFound) {
+	if _, err := s.QueryLRCs(ctx, "lfn://old"); !errors.Is(err, rdb.ErrNotFound) {
 		t.Fatalf("expired entry still visible: %v", err)
 	}
 }
@@ -210,18 +210,18 @@ func TestExpirationDropsStaleBloomFilters(t *testing.T) {
 		c.Clock = fc
 		c.Timeout = time.Minute
 	})
-	s.HandleBloom("rls://stale", bloomPayloadStandalone("lfn://a"))
+	s.HandleBloom(ctx, "rls://stale", bloomPayloadStandalone("lfn://a"))
 	fc.Advance(30 * time.Second)
-	s.HandleBloom("rls://fresh", bloomPayloadStandalone("lfn://b"))
+	s.HandleBloom(ctx, "rls://fresh", bloomPayloadStandalone("lfn://b"))
 	fc.Advance(45 * time.Second) // stale is now 75s old, fresh 45s
-	n, err := s.ExpireNow()
+	n, err := s.ExpireNow(ctx)
 	if err != nil || n != 1 {
 		t.Fatalf("ExpireNow = %d, %v; want 1", n, err)
 	}
 	if s.FilterCount() != 1 {
 		t.Fatalf("FilterCount = %d", s.FilterCount())
 	}
-	if _, err := s.QueryLRCs("lfn://b"); err != nil {
+	if _, err := s.QueryLRCs(ctx, "lfn://b"); err != nil {
 		t.Fatal("fresh filter dropped")
 	}
 }
@@ -233,7 +233,7 @@ func TestExpireThreadRunsOnTicker(t *testing.T) {
 		c.Timeout = time.Minute
 		c.ExpireInterval = 10 * time.Second
 	})
-	s.HandleIncremental("rls://lrc1", []string{"lfn://doomed"}, nil)
+	s.HandleIncremental(ctx, "rls://lrc1", []string{"lfn://doomed"}, nil)
 	s.Start()
 	// Wait for the expire loop's ticker to register before advancing.
 	deadline := time.Now().Add(5 * time.Second)
@@ -243,7 +243,7 @@ func TestExpireThreadRunsOnTicker(t *testing.T) {
 	fc.Advance(2 * time.Minute)
 	deadline = time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if _, err := s.QueryLRCs("lfn://doomed"); errors.Is(err, rdb.ErrNotFound) {
+		if _, err := s.QueryLRCs(ctx, "lfn://doomed"); errors.Is(err, rdb.ErrNotFound) {
 			return
 		}
 		time.Sleep(time.Millisecond)
@@ -257,16 +257,16 @@ func TestRefreshedEntriesSurviveExpiration(t *testing.T) {
 		c.Clock = fc
 		c.Timeout = time.Minute
 	})
-	s.HandleIncremental("rls://lrc1", []string{"lfn://kept"}, nil)
+	s.HandleIncremental(ctx, "rls://lrc1", []string{"lfn://kept"}, nil)
 	fc.Advance(45 * time.Second)
 	// Refresh via a full update batch.
-	s.HandleFullBatch("rls://lrc1", []string{"lfn://kept"})
+	s.HandleFullBatch(ctx, "rls://lrc1", []string{"lfn://kept"})
 	fc.Advance(30 * time.Second) // original now 75s old, refresh 30s
-	n, err := s.ExpireNow()
+	n, err := s.ExpireNow(ctx)
 	if err != nil || n != 0 {
 		t.Fatalf("ExpireNow = %d, %v; want 0", n, err)
 	}
-	if _, err := s.QueryLRCs("lfn://kept"); err != nil {
+	if _, err := s.QueryLRCs(ctx, "lfn://kept"); err != nil {
 		t.Fatal("refreshed entry expired")
 	}
 }
@@ -277,19 +277,19 @@ func TestSoftStateReconstructionAfterRestart(t *testing.T) {
 	// fresh service (no persistent state) and replaying an LRC's update.
 	names := []string{"lfn://a", "lfn://b"}
 	s1 := newTestRLI(t, nil)
-	s1.HandleFullStart("rls://lrc1", uint64(len(names)))
-	s1.HandleFullBatch("rls://lrc1", names)
-	s1.HandleFullEnd("rls://lrc1")
+	s1.HandleFullStart(ctx, "rls://lrc1", uint64(len(names)))
+	s1.HandleFullBatch(ctx, "rls://lrc1", names)
+	s1.HandleFullEnd(ctx, "rls://lrc1")
 	s1.Close() // RLI "fails"
 
 	s2 := newTestRLI(t, nil) // fresh, empty
-	if _, err := s2.QueryLRCs("lfn://a"); !errors.Is(err, rdb.ErrNotFound) {
+	if _, err := s2.QueryLRCs(ctx, "lfn://a"); !errors.Is(err, rdb.ErrNotFound) {
 		t.Fatal("fresh RLI has state")
 	}
-	s2.HandleFullStart("rls://lrc1", uint64(len(names)))
-	s2.HandleFullBatch("rls://lrc1", names)
-	s2.HandleFullEnd("rls://lrc1")
-	lrcs, err := s2.QueryLRCs("lfn://a")
+	s2.HandleFullStart(ctx, "rls://lrc1", uint64(len(names)))
+	s2.HandleFullBatch(ctx, "rls://lrc1", names)
+	s2.HandleFullEnd(ctx, "rls://lrc1")
+	lrcs, err := s2.QueryLRCs(ctx, "lfn://a")
 	if err != nil || len(lrcs) != 1 {
 		t.Fatalf("reconstructed state = %v, %v", lrcs, err)
 	}
@@ -297,9 +297,9 @@ func TestSoftStateReconstructionAfterRestart(t *testing.T) {
 
 func TestLRCsListsBothPaths(t *testing.T) {
 	s := newTestRLI(t, nil)
-	s.HandleIncremental("rls://lrc-db", []string{"lfn://a"}, nil)
-	s.HandleBloom("rls://lrc-bloom", bloomPayloadStandalone("lfn://b"))
-	lrcs, err := s.LRCs()
+	s.HandleIncremental(ctx, "rls://lrc-db", []string{"lfn://a"}, nil)
+	s.HandleBloom(ctx, "rls://lrc-bloom", bloomPayloadStandalone("lfn://b"))
+	lrcs, err := s.LRCs(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,12 +314,12 @@ func TestManyBloomFiltersQuery(t *testing.T) {
 	s := newTestRLI(t, nil)
 	for i := 0; i < 100; i++ {
 		url := fmt.Sprintf("rls://lrc%03d", i)
-		s.HandleBloom(url, bloomPayloadStandalone(fmt.Sprintf("lfn://only-at/%03d", i)))
+		s.HandleBloom(ctx, url, bloomPayloadStandalone(fmt.Sprintf("lfn://only-at/%03d", i)))
 	}
 	if s.FilterCount() != 100 {
 		t.Fatalf("FilterCount = %d", s.FilterCount())
 	}
-	lrcs, err := s.QueryLRCs("lfn://only-at/042")
+	lrcs, err := s.QueryLRCs(ctx, "lfn://only-at/042")
 	if err != nil {
 		t.Fatal(err)
 	}

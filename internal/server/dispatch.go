@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+
 	"repro/internal/auth"
 	"repro/internal/lrc"
 	"repro/internal/wire"
@@ -44,7 +46,7 @@ func isRLIOp(op wire.Op) bool {
 }
 
 // dispatch authorizes and executes one request.
-func (s *Server) dispatch(id auth.Identity, req *wire.Request) *wire.Response {
+func (s *Server) dispatch(ctx context.Context, id auth.Identity, req *wire.Request) *wire.Response {
 	op := req.Op
 	if !op.Valid() {
 		return &wire.Response{ID: req.ID, Status: wire.StatusBadRequest, Err: "unknown operation"}
@@ -62,89 +64,89 @@ func (s *Server) dispatch(id auth.Identity, req *wire.Request) *wire.Response {
 	case wire.OpPing:
 		return ok(req.ID, nil)
 	case wire.OpServerInfo:
-		return s.handleServerInfo(req)
+		return s.handleServerInfo(ctx, req)
 	case wire.OpStats:
 		return ok(req.ID, s.StatsSnapshot().Encode())
 
 	// LRC mapping management.
 	case wire.OpLRCCreateMapping:
-		return s.mappingOp(req, s.cfg.LRC.CreateMapping)
+		return s.mappingOp(ctx, req, s.cfg.LRC.CreateMapping)
 	case wire.OpLRCAddMapping:
-		return s.mappingOp(req, s.cfg.LRC.AddMapping)
+		return s.mappingOp(ctx, req, s.cfg.LRC.AddMapping)
 	case wire.OpLRCDeleteMapping:
-		return s.mappingOp(req, s.cfg.LRC.DeleteMapping)
+		return s.mappingOp(ctx, req, s.cfg.LRC.DeleteMapping)
 	case wire.OpLRCBulkCreate:
-		return s.bulkMappingOp(req, s.cfg.LRC.BulkCreate)
+		return s.bulkMappingOp(ctx, req, s.cfg.LRC.BulkCreate)
 	case wire.OpLRCBulkAdd:
-		return s.bulkMappingOp(req, s.cfg.LRC.BulkAdd)
+		return s.bulkMappingOp(ctx, req, s.cfg.LRC.BulkAdd)
 	case wire.OpLRCBulkDelete:
-		return s.bulkMappingOp(req, s.cfg.LRC.BulkDelete)
+		return s.bulkMappingOp(ctx, req, s.cfg.LRC.BulkDelete)
 
 	// LRC queries.
 	case wire.OpLRCGetTargets:
-		return s.nameQuery(req, s.cfg.LRC.GetTargets)
+		return s.nameQuery(ctx, req, s.cfg.LRC.GetTargets)
 	case wire.OpLRCGetLogicals:
-		return s.nameQuery(req, s.cfg.LRC.GetLogicals)
+		return s.nameQuery(ctx, req, s.cfg.LRC.GetLogicals)
 	case wire.OpLRCGetTargetsWild:
-		return s.wildQuery(req, s.cfg.LRC.WildcardTargets)
+		return s.wildQuery(ctx, req, s.cfg.LRC.WildcardTargets)
 	case wire.OpLRCGetLogicalsWild:
-		return s.wildQuery(req, s.cfg.LRC.WildcardLogicals)
+		return s.wildQuery(ctx, req, s.cfg.LRC.WildcardLogicals)
 	case wire.OpLRCBulkGetTargets:
-		return s.bulkNameQuery(req, s.cfg.LRC.BulkGetTargets)
+		return s.bulkNameQuery(ctx, req, s.cfg.LRC.BulkGetTargets)
 	case wire.OpLRCBulkGetLogicals:
-		return s.bulkNameQuery(req, s.cfg.LRC.BulkGetLogicals)
+		return s.bulkNameQuery(ctx, req, s.cfg.LRC.BulkGetLogicals)
 
 	// Attributes.
 	case wire.OpAttrDefine:
-		return s.handleAttrDefine(req)
+		return s.handleAttrDefine(ctx, req)
 	case wire.OpAttrUndefine:
-		return s.handleAttrUndefine(req)
+		return s.handleAttrUndefine(ctx, req)
 	case wire.OpAttrAdd:
-		return s.attrWrite(req, s.cfg.LRC.AddAttribute)
+		return s.attrWrite(ctx, req, s.cfg.LRC.AddAttribute)
 	case wire.OpAttrModify:
-		return s.attrWrite(req, s.cfg.LRC.ModifyAttribute)
+		return s.attrWrite(ctx, req, s.cfg.LRC.ModifyAttribute)
 	case wire.OpAttrRemove:
-		return s.handleAttrRemove(req)
+		return s.handleAttrRemove(ctx, req)
 	case wire.OpAttrGet:
-		return s.handleAttrGet(req)
+		return s.handleAttrGet(ctx, req)
 	case wire.OpAttrSearch:
-		return s.handleAttrSearch(req)
+		return s.handleAttrSearch(ctx, req)
 	case wire.OpAttrBulkAdd:
-		return s.handleAttrBulkAdd(req)
+		return s.handleAttrBulkAdd(ctx, req)
 	case wire.OpAttrBulkRemove:
-		return s.handleAttrBulkRemove(req)
+		return s.handleAttrBulkRemove(ctx, req)
 	case wire.OpAttrListDefs:
-		return s.handleAttrListDefs(req)
+		return s.handleAttrListDefs(ctx, req)
 
 	// LRC management.
 	case wire.OpLRCRLIList:
-		return s.handleRLIList(req)
+		return s.handleRLIList(ctx, req)
 	case wire.OpLRCRLIAdd:
-		return s.handleRLIAdd(req)
+		return s.handleRLIAdd(ctx, req)
 	case wire.OpLRCRLIRemove:
-		return s.handleRLIRemove(req)
+		return s.handleRLIRemove(ctx, req)
 
 	// RLI queries and management.
 	case wire.OpRLIGetLRCs:
-		return s.nameQuery(req, s.cfg.RLI.QueryLRCs)
+		return s.nameQuery(ctx, req, s.cfg.RLI.QueryLRCs)
 	case wire.OpRLIGetLRCsWild:
-		return s.wildQuery(req, s.cfg.RLI.WildcardQuery)
+		return s.wildQuery(ctx, req, s.cfg.RLI.WildcardQuery)
 	case wire.OpRLIBulkGetLRCs:
-		return s.bulkNameQuery(req, s.cfg.RLI.BulkQuery)
+		return s.bulkNameQuery(ctx, req, s.cfg.RLI.BulkQuery)
 	case wire.OpRLILRCList:
-		return s.handleRLILRCList(req)
+		return s.handleRLILRCList(ctx, req)
 
 	// Soft state.
 	case wire.OpSSFullStart:
-		return s.handleSSFullStart(req)
+		return s.handleSSFullStart(ctx, req)
 	case wire.OpSSFullBatch:
-		return s.handleSSFullBatch(req)
+		return s.handleSSFullBatch(ctx, req)
 	case wire.OpSSFullEnd:
-		return s.handleSSFullEnd(req)
+		return s.handleSSFullEnd(ctx, req)
 	case wire.OpSSIncremental:
-		return s.handleSSIncremental(req)
+		return s.handleSSIncremental(ctx, req)
 	case wire.OpSSBloom:
-		return s.handleSSBloom(req)
+		return s.handleSSBloom(ctx, req)
 	default:
 		return unsupported(req.ID, op, s.Role())
 	}
@@ -152,33 +154,33 @@ func (s *Server) dispatch(id auth.Identity, req *wire.Request) *wire.Response {
 
 // ---- generic handler shapes ----
 
-func (s *Server) mappingOp(req *wire.Request, fn func(string, string) error) *wire.Response {
+func (s *Server) mappingOp(ctx context.Context, req *wire.Request, fn func(context.Context, string, string) error) *wire.Response {
 	m, err := wire.DecodeMappingRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := fn(m.Logical, m.Target); err != nil {
+	if err := fn(ctx, m.Logical, m.Target); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) bulkMappingOp(req *wire.Request, fn func([]wire.Mapping) lrc.BulkOutcome) *wire.Response {
+func (s *Server) bulkMappingOp(ctx context.Context, req *wire.Request, fn func(context.Context, []wire.Mapping) lrc.BulkOutcome) *wire.Response {
 	m, err := wire.DecodeBulkMappingsRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	outcome := fn(m.Mappings)
+	outcome := fn(ctx, m.Mappings)
 	resp := wire.BulkStatusResponse{Failures: outcome.Failures}
 	return ok(req.ID, resp.Encode())
 }
 
-func (s *Server) nameQuery(req *wire.Request, fn func(string) ([]string, error)) *wire.Response {
+func (s *Server) nameQuery(ctx context.Context, req *wire.Request, fn func(context.Context, string) ([]string, error)) *wire.Response {
 	q, err := wire.DecodeNameRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	names, err := fn(q.Name)
+	names, err := fn(ctx, q.Name)
 	if err != nil {
 		return fail(req.ID, err)
 	}
@@ -186,12 +188,12 @@ func (s *Server) nameQuery(req *wire.Request, fn func(string) ([]string, error))
 	return ok(req.ID, resp.Encode())
 }
 
-func (s *Server) wildQuery(req *wire.Request, fn func(string) ([]wire.Mapping, error)) *wire.Response {
+func (s *Server) wildQuery(ctx context.Context, req *wire.Request, fn func(context.Context, string) ([]wire.Mapping, error)) *wire.Response {
 	q, err := wire.DecodeNameRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	hits, err := fn(q.Name)
+	hits, err := fn(ctx, q.Name)
 	if err != nil {
 		return fail(req.ID, err)
 	}
@@ -212,67 +214,67 @@ func (s *Server) wildQuery(req *wire.Request, fn func(string) ([]wire.Mapping, e
 	return ok(req.ID, resp.Encode())
 }
 
-func (s *Server) bulkNameQuery(req *wire.Request, fn func([]string) []wire.BulkNameResult) *wire.Response {
+func (s *Server) bulkNameQuery(ctx context.Context, req *wire.Request, fn func(context.Context, []string) []wire.BulkNameResult) *wire.Response {
 	q, err := wire.DecodeBulkNamesRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	resp := wire.BulkNamesResponse{Results: fn(q.Names)}
+	resp := wire.BulkNamesResponse{Results: fn(ctx, q.Names)}
 	return ok(req.ID, resp.Encode())
 }
 
 // ---- attribute handlers ----
 
-func (s *Server) handleAttrDefine(req *wire.Request) *wire.Response {
+func (s *Server) handleAttrDefine(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeAttrDefineRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.LRC.DefineAttribute(r.Name, r.Obj, r.Type); err != nil {
+	if err := s.cfg.LRC.DefineAttribute(ctx, r.Name, r.Obj, r.Type); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) handleAttrUndefine(req *wire.Request) *wire.Response {
+func (s *Server) handleAttrUndefine(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeAttrUndefineRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.LRC.UndefineAttribute(r.Name, r.Obj, r.ClearValues); err != nil {
+	if err := s.cfg.LRC.UndefineAttribute(ctx, r.Name, r.Obj, r.ClearValues); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) attrWrite(req *wire.Request, fn func(string, wire.ObjType, string, wire.AttrValue) error) *wire.Response {
+func (s *Server) attrWrite(ctx context.Context, req *wire.Request, fn func(context.Context, string, wire.ObjType, string, wire.AttrValue) error) *wire.Response {
 	r, err := wire.DecodeAttrWriteRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := fn(r.Key, r.Obj, r.Name, r.Value); err != nil {
+	if err := fn(ctx, r.Key, r.Obj, r.Name, r.Value); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) handleAttrRemove(req *wire.Request) *wire.Response {
+func (s *Server) handleAttrRemove(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeAttrRemoveRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.LRC.RemoveAttribute(r.Key, r.Obj, r.Name); err != nil {
+	if err := s.cfg.LRC.RemoveAttribute(ctx, r.Key, r.Obj, r.Name); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) handleAttrGet(req *wire.Request) *wire.Response {
+func (s *Server) handleAttrGet(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeAttrGetRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	attrs, err := s.cfg.LRC.GetAttributes(r.Key, r.Obj, r.Names)
+	attrs, err := s.cfg.LRC.GetAttributes(ctx, r.Key, r.Obj, r.Names)
 	if err != nil {
 		return fail(req.ID, err)
 	}
@@ -280,12 +282,12 @@ func (s *Server) handleAttrGet(req *wire.Request) *wire.Response {
 	return ok(req.ID, resp.Encode())
 }
 
-func (s *Server) handleAttrSearch(req *wire.Request) *wire.Response {
+func (s *Server) handleAttrSearch(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeAttrSearchRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	hits, err := s.cfg.LRC.SearchAttribute(r.Name, r.Obj, r.Cmp, r.Value)
+	hits, err := s.cfg.LRC.SearchAttribute(ctx, r.Name, r.Obj, r.Cmp, r.Value)
 	if err != nil {
 		return fail(req.ID, err)
 	}
@@ -293,32 +295,32 @@ func (s *Server) handleAttrSearch(req *wire.Request) *wire.Response {
 	return ok(req.ID, resp.Encode())
 }
 
-func (s *Server) handleAttrBulkAdd(req *wire.Request) *wire.Response {
+func (s *Server) handleAttrBulkAdd(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeAttrBulkWriteRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	outcome := s.cfg.LRC.BulkAddAttributes(r.Items)
+	outcome := s.cfg.LRC.BulkAddAttributes(ctx, r.Items)
 	resp := wire.BulkStatusResponse{Failures: outcome.Failures}
 	return ok(req.ID, resp.Encode())
 }
 
-func (s *Server) handleAttrBulkRemove(req *wire.Request) *wire.Response {
+func (s *Server) handleAttrBulkRemove(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeAttrBulkRemoveRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	outcome := s.cfg.LRC.BulkRemoveAttributes(r.Items)
+	outcome := s.cfg.LRC.BulkRemoveAttributes(ctx, r.Items)
 	resp := wire.BulkStatusResponse{Failures: outcome.Failures}
 	return ok(req.ID, resp.Encode())
 }
 
-func (s *Server) handleAttrListDefs(req *wire.Request) *wire.Response {
+func (s *Server) handleAttrListDefs(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeAttrListDefsRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	defs, err := s.cfg.LRC.ListAttributeDefs(r.Obj)
+	defs, err := s.cfg.LRC.ListAttributeDefs(ctx, r.Obj)
 	if err != nil {
 		return fail(req.ID, err)
 	}
@@ -328,8 +330,8 @@ func (s *Server) handleAttrListDefs(req *wire.Request) *wire.Response {
 
 // ---- LRC management handlers ----
 
-func (s *Server) handleRLIList(req *wire.Request) *wire.Response {
-	targets, err := s.cfg.LRC.ListRLITargets()
+func (s *Server) handleRLIList(ctx context.Context, req *wire.Request) *wire.Response {
+	targets, err := s.cfg.LRC.ListRLITargets(ctx)
 	if err != nil {
 		return fail(req.ID, err)
 	}
@@ -337,23 +339,23 @@ func (s *Server) handleRLIList(req *wire.Request) *wire.Response {
 	return ok(req.ID, resp.Encode())
 }
 
-func (s *Server) handleRLIAdd(req *wire.Request) *wire.Response {
+func (s *Server) handleRLIAdd(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeRLIAddRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.LRC.AddRLITarget(r.Target); err != nil {
+	if err := s.cfg.LRC.AddRLITarget(ctx, r.Target); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) handleRLIRemove(req *wire.Request) *wire.Response {
+func (s *Server) handleRLIRemove(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeNameRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.LRC.RemoveRLITarget(r.Name); err != nil {
+	if err := s.cfg.LRC.RemoveRLITarget(ctx, r.Name); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
@@ -361,8 +363,8 @@ func (s *Server) handleRLIRemove(req *wire.Request) *wire.Response {
 
 // ---- RLI handlers ----
 
-func (s *Server) handleRLILRCList(req *wire.Request) *wire.Response {
-	lrcs, err := s.cfg.RLI.LRCs()
+func (s *Server) handleRLILRCList(ctx context.Context, req *wire.Request) *wire.Response {
+	lrcs, err := s.cfg.RLI.LRCs(ctx)
 	if err != nil {
 		return fail(req.ID, err)
 	}
@@ -370,56 +372,56 @@ func (s *Server) handleRLILRCList(req *wire.Request) *wire.Response {
 	return ok(req.ID, resp.Encode())
 }
 
-func (s *Server) handleSSFullStart(req *wire.Request) *wire.Response {
+func (s *Server) handleSSFullStart(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeSSFullStartRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.RLI.HandleFullStart(r.LRC, r.Total); err != nil {
+	if err := s.cfg.RLI.HandleFullStart(ctx, r.LRC, r.Total); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) handleSSFullBatch(req *wire.Request) *wire.Response {
+func (s *Server) handleSSFullBatch(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeSSFullBatchRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.RLI.HandleFullBatch(r.LRC, r.Names); err != nil {
+	if err := s.cfg.RLI.HandleFullBatch(ctx, r.LRC, r.Names); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) handleSSFullEnd(req *wire.Request) *wire.Response {
+func (s *Server) handleSSFullEnd(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeNameRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.RLI.HandleFullEnd(r.Name); err != nil {
+	if err := s.cfg.RLI.HandleFullEnd(ctx, r.Name); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) handleSSIncremental(req *wire.Request) *wire.Response {
+func (s *Server) handleSSIncremental(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeSSIncrementalRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.RLI.HandleIncremental(r.LRC, r.Added, r.Removed); err != nil {
+	if err := s.cfg.RLI.HandleIncremental(ctx, r.LRC, r.Added, r.Removed); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
 }
 
-func (s *Server) handleSSBloom(req *wire.Request) *wire.Response {
+func (s *Server) handleSSBloom(ctx context.Context, req *wire.Request) *wire.Response {
 	r, err := wire.DecodeSSBloomRequest(req.Body)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	if err := s.cfg.RLI.HandleBloom(r.LRC, r.Bitmap); err != nil {
+	if err := s.cfg.RLI.HandleBloom(ctx, r.LRC, r.Bitmap); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
@@ -427,7 +429,7 @@ func (s *Server) handleSSBloom(req *wire.Request) *wire.Response {
 
 // ---- diagnostics ----
 
-func (s *Server) handleServerInfo(req *wire.Request) *wire.Response {
+func (s *Server) handleServerInfo(ctx context.Context, req *wire.Request) *wire.Response {
 	info := wire.ServerInfoResponse{
 		Role:          s.Role(),
 		URL:           s.cfg.URL,
@@ -441,7 +443,7 @@ func (s *Server) handleServerInfo(req *wire.Request) *wire.Response {
 		info.LogicalNames, info.TargetNames, info.Mappings = l, t, m
 	}
 	if s.cfg.RLI != nil {
-		_, _, assoc, err := s.cfg.RLI.Counts()
+		_, _, assoc, err := s.cfg.RLI.Counts(ctx)
 		if err != nil {
 			return fail(req.ID, err)
 		}

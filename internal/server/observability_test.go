@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"log/slog"
@@ -157,14 +158,14 @@ func TestStatsLogLoopEmitsSummaries(t *testing.T) {
 
 func TestStatsSnapshotIncludesSoftStateTargets(t *testing.T) {
 	// An LRC with a registered (but unreachable) RLI target reports it.
-	svc := newLRCServiceWithDialer(t, func(url string) (lrc.Updater, error) {
+	svc := newLRCServiceWithDialer(t, func(ctx context.Context, url string) (lrc.Updater, error) {
 		return nil, errors.New("rli unreachable")
 	})
-	if err := svc.AddRLITarget(wire.RLITarget{URL: "rls://nowhere"}); err != nil {
+	if err := svc.AddRLITarget(ctx, wire.RLITarget{URL: "rls://nowhere"}); err != nil {
 		t.Fatal(err)
 	}
-	svc.CreateMapping("lfn://a", "pfn://a")
-	svc.ForceUpdate() // fails: the test dialer is not configured
+	svc.CreateMapping(ctx, "lfn://a", "pfn://a")
+	svc.ForceUpdate(ctx) // fails: the test dialer is not configured
 	s := newServer(t, Config{LRC: svc})
 	c := rawConn(t, s)
 	handshake(t, c)

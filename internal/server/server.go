@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -192,13 +193,24 @@ func (s *Server) Close() {
 	if s.logStop != nil {
 		close(s.logStop)
 	}
+	// Snapshot under the lock, close outside it: Close on a listener or
+	// conn is network I/O and must not serialize against handlers touching
+	// s.mu (connection add/remove) while it runs.
+	listeners := make([]net.Listener, 0, len(s.listeners))
 	for l := range s.listeners {
-		l.Close()
+		listeners = append(listeners, l)
 	}
+	conns := make([]*wire.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	for _, l := range listeners {
+		_ = l.Close() // best effort: shutdown proceeds regardless
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -210,6 +222,11 @@ func (s *Server) ConnCount() int {
 }
 
 func (s *Server) handleConn(raw net.Conn) {
+	// Per-connection root context for dispatched operations. Request
+	// lifetimes are bounded by connection teardown (Close closes the conn,
+	// failing the in-flight read or write), so no deadline is attached here;
+	// the context carries cancellation points into the service layer.
+	ctx := context.Background()
 	conn := wire.NewConn(raw)
 	s.mu.Lock()
 	if s.closed {
@@ -228,7 +245,9 @@ func (s *Server) handleConn(raw net.Conn) {
 
 	idle := s.cfg.IdleTimeout
 	if idle > 0 {
-		conn.SetReadDeadline(time.Now().Add(idle))
+		if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return // connection already dead; the deferred cleanup closes it
+		}
 	}
 	id, err := s.handshake(conn)
 	if err != nil {
@@ -237,7 +256,9 @@ func (s *Server) handleConn(raw net.Conn) {
 	}
 	for {
 		if idle > 0 {
-			conn.SetReadDeadline(time.Now().Add(idle))
+			if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+				return
+			}
 		}
 		payload, err := conn.ReadFrame()
 		if err != nil {
@@ -256,7 +277,7 @@ func (s *Server) handleConn(raw net.Conn) {
 			return
 		}
 		start := time.Now()
-		resp := s.dispatch(id, req)
+		resp := s.dispatch(ctx, id, req)
 		s.observe(req.Op, resp.Status, time.Since(start))
 		if err := conn.WriteFrame(resp.Encode()); err != nil {
 			s.log.Debug("write failed", "remote", raw.RemoteAddr(), "err", err)
@@ -383,13 +404,13 @@ func (s *Server) handshake(conn *wire.Conn) (auth.Identity, error) {
 	hello, err := wire.DecodeHello(payload)
 	if err != nil {
 		ack := wire.HelloAck{Status: wire.StatusBadRequest, Detail: err.Error()}
-		conn.WriteFrame(ack.Encode())
+		_ = conn.WriteFrame(ack.Encode()) // best-effort NAK; the decode error wins
 		return auth.Identity{}, err
 	}
 	id, err := s.authn.Authenticate(hello.DN, hello.Token)
 	if err != nil {
 		ack := wire.HelloAck{Status: wire.StatusDenied, Detail: err.Error()}
-		conn.WriteFrame(ack.Encode())
+		_ = conn.WriteFrame(ack.Encode()) // best-effort NAK; the auth error wins
 		return auth.Identity{}, err
 	}
 	ack := wire.HelloAck{Status: wire.StatusOK, Detail: s.cfg.URL}

@@ -26,7 +26,7 @@ func newLRCServiceWithDialer(t *testing.T, dial lrc.Dialer) *lrc.Service {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := lrc.New(lrc.Config{URL: "rls://test-lrc", DB: db, Dial: dial})
+	svc, err := lrc.New(ctx, lrc.Config{URL: "rls://test-lrc", DB: db, Dial: dial})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -133,7 +133,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 	}
 	e.wal = w
 	if err := e.replayWAL(); err != nil {
-		w.close()
+		_ = w.close() // the replay failure is the error that matters
 		return nil, err
 	}
 	e.flushOnCommit.Store(opts.FlushOnCommit)
@@ -167,7 +167,11 @@ func (e *Engine) flushLoop() {
 			dirty := e.dirtySinceSync
 			e.dirtySinceSync = false
 			if dirty {
-				e.wal.sync()
+				if err := e.wal.sync(); err != nil {
+					// Keep the interval dirty so the flush is retried on
+					// the next tick instead of silently dropped.
+					e.dirtySinceSync = true
+				}
 			}
 			e.mu.Unlock()
 			if dirty {
@@ -229,18 +233,17 @@ func (e *Engine) CreateTable(schema Schema) error {
 		return err
 	}
 	e.opts.Device.Write(len(frame))
-	e.afterMutationLocked()
-	return nil
+	return e.afterMutationLocked()
 }
 
 // afterMutationLocked applies the commit-durability policy after a mutation
 // batch has been appended to the WAL. Caller holds the write lock.
-func (e *Engine) afterMutationLocked() {
+func (e *Engine) afterMutationLocked() error {
 	if e.flushOnCommit.Load() {
-		e.wal.sync()
-	} else {
-		e.dirtySinceSync = true
+		return e.wal.sync()
 	}
+	e.dirtySinceSync = true
+	return nil
 }
 
 // Begin starts a write transaction. The transaction holds the engine write
@@ -252,6 +255,7 @@ func (e *Engine) Begin() (*Tx, error) {
 		e.mu.Unlock()
 		return nil, ErrClosed
 	}
+	//lint:ignore lockcheck the write lock is handed off to the Tx and released by Commit or Rollback
 	return &Tx{e: e}, nil
 }
 
@@ -289,7 +293,9 @@ func (e *Engine) Vacuum(tableName string) (reclaimed int64, err error) {
 		return reclaimed, err
 	}
 	e.opts.Device.Write(len(frame))
-	e.wal.sync()
+	if err := e.wal.sync(); err != nil {
+		return reclaimed, err
+	}
 	e.opts.Device.Sync()
 	return reclaimed, nil
 }

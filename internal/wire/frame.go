@@ -40,6 +40,10 @@ func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
 // The zero time clears the deadline.
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
 
+// SetDeadline bounds future reads and writes (context-deadline RPCs).
+// The zero time clears the deadline.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
 // WriteFrame sends one length-prefixed frame and flushes it.
 func (c *Conn) WriteFrame(payload []byte) error {
 	if len(payload) > MaxFrameSize {
@@ -49,12 +53,15 @@ func (c *Conn) WriteFrame(payload []byte) error {
 	defer c.wmu.Unlock()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	//lint:ignore lockcheck wmu exists to serialize frame writes, the buffered write is the protected operation
 	if _, err := c.w.Write(hdr[:]); err != nil {
 		return err
 	}
+	//lint:ignore lockcheck wmu exists to serialize frame writes, the buffered write is the protected operation
 	if _, err := c.w.Write(payload); err != nil {
 		return err
 	}
+	//lint:ignore lockcheck wmu exists to serialize frame writes, the flush is part of the protected frame write
 	return c.w.Flush()
 }
 

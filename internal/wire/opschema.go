@@ -1,0 +1,80 @@
+package wire
+
+import "fmt"
+
+// ReqDecoder decodes one operation's request body into its typed message.
+// Operations without a request payload use noBody, which enforces emptiness.
+type ReqDecoder func(body []byte) (any, error)
+
+// req adapts a typed decoder to the ReqDecoder shape.
+func req[T any](dec func([]byte) (*T, error)) ReqDecoder {
+	return func(body []byte) (any, error) { return dec(body) }
+}
+
+// noBody is the schema of operations whose request carries no payload.
+func noBody(body []byte) (any, error) {
+	if len(body) != 0 {
+		return nil, fmt.Errorf("wire: unexpected %d-byte body on bodyless op", len(body))
+	}
+	return nil, nil
+}
+
+// opDecoders is the canonical operation -> request-schema table. Every valid
+// Op must have an entry; rls-lint's wirecheck enforces that adding an opcode
+// to ops.go without extending this table (or the dispatch/privilege arms)
+// fails the build gate.
+var opDecoders = map[Op]ReqDecoder{
+	OpPing:       noBody,
+	OpServerInfo: noBody,
+	OpStats:      noBody,
+
+	OpLRCCreateMapping: req(DecodeMappingRequest),
+	OpLRCAddMapping:    req(DecodeMappingRequest),
+	OpLRCDeleteMapping: req(DecodeMappingRequest),
+	OpLRCBulkCreate:    req(DecodeBulkMappingsRequest),
+	OpLRCBulkAdd:       req(DecodeBulkMappingsRequest),
+	OpLRCBulkDelete:    req(DecodeBulkMappingsRequest),
+
+	OpLRCGetTargets:      req(DecodeNameRequest),
+	OpLRCGetLogicals:     req(DecodeNameRequest),
+	OpLRCGetTargetsWild:  req(DecodeNameRequest),
+	OpLRCGetLogicalsWild: req(DecodeNameRequest),
+	OpLRCBulkGetTargets:  req(DecodeBulkNamesRequest),
+	OpLRCBulkGetLogicals: req(DecodeBulkNamesRequest),
+
+	OpAttrDefine:     req(DecodeAttrDefineRequest),
+	OpAttrUndefine:   req(DecodeAttrUndefineRequest),
+	OpAttrAdd:        req(DecodeAttrWriteRequest),
+	OpAttrModify:     req(DecodeAttrWriteRequest),
+	OpAttrRemove:     req(DecodeAttrRemoveRequest),
+	OpAttrGet:        req(DecodeAttrGetRequest),
+	OpAttrSearch:     req(DecodeAttrSearchRequest),
+	OpAttrBulkAdd:    req(DecodeAttrBulkWriteRequest),
+	OpAttrBulkRemove: req(DecodeAttrBulkRemoveRequest),
+	OpAttrListDefs:   req(DecodeAttrListDefsRequest),
+
+	OpLRCRLIList:   noBody,
+	OpLRCRLIAdd:    req(DecodeRLIAddRequest),
+	OpLRCRLIRemove: req(DecodeNameRequest),
+
+	OpRLIGetLRCs:     req(DecodeNameRequest),
+	OpRLIGetLRCsWild: req(DecodeNameRequest),
+	OpRLIBulkGetLRCs: req(DecodeBulkNamesRequest),
+	OpRLILRCList:     noBody,
+
+	OpSSFullStart:   req(DecodeSSFullStartRequest),
+	OpSSFullBatch:   req(DecodeSSFullBatchRequest),
+	OpSSFullEnd:     req(DecodeNameRequest),
+	OpSSIncremental: req(DecodeSSIncrementalRequest),
+	OpSSBloom:       req(DecodeSSBloomRequest),
+}
+
+// DecodeRequestBody decodes a request body according to the op's canonical
+// schema, the programmatic face of the opDecoders table.
+func DecodeRequestBody(op Op, body []byte) (any, error) {
+	dec, ok := opDecoders[op]
+	if !ok {
+		return nil, fmt.Errorf("wire: no request schema for %s", op)
+	}
+	return dec(body)
+}

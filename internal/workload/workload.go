@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -43,7 +44,7 @@ func (g Names) Mapping(i int) wire.Mapping {
 // Load bulk-registers mappings [0, n) through the client, batching
 // batchSize mappings per bulk request. It is how experiments preload
 // catalogs ("a server is loaded with a predefined number of mappings").
-func Load(c *client.Client, g Names, n, batchSize int) error {
+func Load(ctx context.Context, c *client.Client, g Names, n, batchSize int) error {
 	if batchSize <= 0 {
 		batchSize = 1000
 	}
@@ -56,7 +57,7 @@ func Load(c *client.Client, g Names, n, batchSize int) error {
 		for i := lo; i < hi; i++ {
 			batch = append(batch, g.Mapping(i))
 		}
-		failures, err := c.BulkCreate(batch)
+		failures, err := c.BulkCreate(ctx, batch)
 		if err != nil {
 			return fmt.Errorf("workload: bulk load [%d,%d): %w", lo, hi, err)
 		}
@@ -68,8 +69,9 @@ func Load(c *client.Client, g Names, n, batchSize int) error {
 	return nil
 }
 
-// Op is one operation the driver can issue.
-type Op func(c *client.Client, seq int) error
+// Op is one operation the driver can issue. The driver passes its run
+// context through so every issued RPC is bounded by the run.
+type Op func(ctx context.Context, c *client.Client, seq int) error
 
 // Result reports a driver run.
 type Result struct {
@@ -95,7 +97,7 @@ type Driver struct {
 // Run issues totalOps operations spread across all threads. Each thread
 // executes op with globally unique sequence numbers. The measured rate
 // counts successful operations over the wall-clock span of the whole run.
-func (d *Driver) Run(totalOps int, op Op) (Result, error) {
+func (d *Driver) Run(ctx context.Context, totalOps int, op Op) (Result, error) {
 	threads := d.Clients * d.ThreadsPerClient
 	if threads <= 0 {
 		return Result{}, fmt.Errorf("workload: no threads configured")
@@ -137,7 +139,7 @@ func (d *Driver) Run(totalOps int, op Op) (Result, error) {
 			base := t * perThread
 			for i := 0; i < perThread; i++ {
 				opStart := time.Now()
-				err := op(c, base+i)
+				err := op(ctx, c, base+i)
 				results[t].lat.Record(time.Since(opStart))
 				if err != nil {
 					results[t].errs++

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -60,10 +61,10 @@ func TestLoadRegistersAll(t *testing.T) {
 	}
 	defer c.Close()
 	g := Names{Space: "load"}
-	if err := Load(c, g, 2500, 1000); err != nil {
+	if err := Load(ctx, c, g, 2500, 1000); err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.ServerInfo()
+	info, err := c.ServerInfo(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestLoadRegistersAll(t *testing.T) {
 		t.Fatalf("LogicalNames = %d, want 2500", info.LogicalNames)
 	}
 	// Loading the same range again reports failures.
-	if err := Load(c, g, 100, 50); err == nil {
+	if err := Load(ctx, c, g, 100, 50); err == nil {
 		t.Fatal("duplicate load succeeded")
 	}
 }
@@ -80,7 +81,7 @@ func TestLoadDefaultBatchSize(t *testing.T) {
 	dep := newDeployment(t)
 	c, _ := dep.Dial("lrc")
 	defer c.Close()
-	if err := Load(c, Names{Space: "dflt"}, 100, 0); err != nil {
+	if err := Load(ctx, c, Names{Space: "dflt"}, 100, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -93,8 +94,8 @@ func TestDriverRunCountsOpsAndRate(t *testing.T) {
 		ThreadsPerClient: 3,
 		Dial:             func() (*client.Client, error) { return dep.Dial("lrc") },
 	}
-	res, err := d.Run(600, func(c *client.Client, seq int) error {
-		return c.CreateMapping(g.Logical(seq), g.Target(seq, 0))
+	res, err := d.Run(ctx, 600, func(ctx context.Context, c *client.Client, seq int) error {
+		return c.CreateMapping(ctx, g.Logical(seq), g.Target(seq, 0))
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +113,7 @@ func TestDriverRunCountsOpsAndRate(t *testing.T) {
 	// succeeded, so the catalog holds exactly 600 names.
 	c, _ := dep.Dial("lrc")
 	defer c.Close()
-	info, _ := c.ServerInfo()
+	info, _ := c.ServerInfo(ctx)
 	if info.LogicalNames != 600 {
 		t.Fatalf("LogicalNames = %d", info.LogicalNames)
 	}
@@ -125,7 +126,7 @@ func TestDriverCountsErrors(t *testing.T) {
 		ThreadsPerClient: 2,
 		Dial:             func() (*client.Client, error) { return dep.Dial("lrc") },
 	}
-	res, err := d.Run(100, func(c *client.Client, seq int) error {
+	res, err := d.Run(ctx, 100, func(ctx context.Context, c *client.Client, seq int) error {
 		if seq%2 == 0 {
 			return errors.New("scripted failure")
 		}
@@ -145,14 +146,14 @@ func TestDriverDialFailure(t *testing.T) {
 		ThreadsPerClient: 1,
 		Dial:             func() (*client.Client, error) { return nil, errors.New("down") },
 	}
-	if _, err := d.Run(10, func(*client.Client, int) error { return nil }); err == nil {
+	if _, err := d.Run(ctx, 10, func(context.Context, *client.Client, int) error { return nil }); err == nil {
 		t.Fatal("dial failure not propagated")
 	}
 }
 
 func TestDriverNoThreads(t *testing.T) {
 	d := &Driver{}
-	if _, err := d.Run(10, func(*client.Client, int) error { return nil }); err == nil {
+	if _, err := d.Run(ctx, 10, func(context.Context, *client.Client, int) error { return nil }); err == nil {
 		t.Fatal("zero threads accepted")
 	}
 }

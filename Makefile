@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz ci bench
+.PHONY: build test race vet lint fuzz ci bench stress
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzBloomRoundTrip -fuzztime=10s -run '^$$' ./internal/bloom
 	$(GO) test -fuzz=FuzzGlobMatch -fuzztime=10s -run '^$$' ./internal/glob
 
-ci: build vet lint race fuzz
+# Repeated race-detector runs over the packages with real lock hierarchies
+# (per-table latches, group commit, connection handling) to shake out
+# schedule-dependent bugs.
+stress:
+	$(GO) test -race -count=5 ./internal/storage ./internal/server
+
+ci: build vet lint race fuzz stress
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 100x -run '^$$' ./internal/storage

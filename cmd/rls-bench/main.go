@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/harness"
@@ -23,14 +25,17 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		scale   = flag.Float64("scale", 0.02, "fraction of the paper's database sizes (1.0 = 1M-entry LRCs)")
-		trials  = flag.Int("trials", 3, "trials per measured point (paper used 5)")
-		ops     = flag.Float64("ops", 1.0, "multiplier on per-point operation counts")
-		quick   = flag.Bool("quick", false, "preset: -scale 0.005 -trials 1 -ops 0.3")
-		noDisk  = flag.Bool("no-disk-model", false, "disable the simulated 2004-era disk costs")
-		noNet   = flag.Bool("no-net-model", false, "disable LAN/WAN network shaping")
-		verbose = flag.Bool("v", false, "print per-experiment timing")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		scale      = flag.Float64("scale", 0.02, "fraction of the paper's database sizes (1.0 = 1M-entry LRCs)")
+		trials     = flag.Int("trials", 3, "trials per measured point (paper used 5)")
+		warmup     = flag.Int("warmup", 1, "discarded warmup trials per measured point")
+		ops        = flag.Float64("ops", 1.0, "multiplier on per-point operation counts")
+		quick      = flag.Bool("quick", false, "preset: -scale 0.005 -trials 1 -warmup 0 -ops 0.3")
+		noDisk     = flag.Bool("no-disk-model", false, "disable the simulated 2004-era disk costs")
+		noNet      = flag.Bool("no-net-model", false, "disable LAN/WAN network shaping")
+		verbose    = flag.Bool("v", false, "print per-experiment timing")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -44,10 +49,12 @@ func main() {
 	p := harness.DefaultParams(os.Stdout)
 	p.Scale = *scale
 	p.Trials = *trials
+	p.Warmup = *warmup
 	p.Ops = *ops
 	if *quick {
 		p.Scale = 0.005
 		p.Trials = 1
+		p.Warmup = 0
 		p.Ops = 0.3
 	}
 	p.DiskModel = !*noDisk
@@ -68,6 +75,25 @@ func main() {
 		}
 	}
 
+	stopCPU := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rls-bench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rls-bench: cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		// os.Exit skips deferred calls, so the profile is stopped
+		// explicitly after the run loop rather than via defer.
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
 	failed := 0
 	for _, e := range experiments {
 		start := time.Now()
@@ -80,6 +106,23 @@ func main() {
 			fmt.Printf("   [%s completed in %.1fs]\n", e.ID, time.Since(start).Seconds())
 		}
 	}
+
+	stopCPU()
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rls-bench: memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rls-bench: memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
+
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -341,6 +341,15 @@ func printStats(st *wire.StatsResponse) {
 		st.RLIExpired, st.RLIBloomFilters, st.RLIBloomBytes)
 	fmt.Printf("storage: wal_appends=%d wal_flushes=%d wal_bytes=%d dead_tuple_visits=%d\n",
 		st.WALAppends, st.WALFlushes, st.WALBytes, st.DeadTupleVisits)
+	fmt.Printf("group-commit: commits=%d batches=%d syncs_avoided=%d max_batch=%d\n",
+		st.GroupCommitCommits, st.GroupCommitBatches, st.GroupCommitSyncsAvoided, st.GroupCommitMaxBatch)
+	if len(st.GroupCommitBatchSizes) == 6 {
+		b := st.GroupCommitBatchSizes
+		fmt.Printf("  batch sizes: =1:%d =2:%d <=4:%d <=8:%d <=16:%d >16:%d\n",
+			b[0], b[1], b[2], b[3], b[4], b[5])
+	}
+	fmt.Printf("latches: waits=%d wait_time=%s\n",
+		st.LatchWaits, time.Duration(st.LatchWaitNS))
 }
 
 func printNames(names []string) {

@@ -173,7 +173,7 @@ func (c *Client) call(ctx context.Context, op wire.Op, body []byte) ([]byte, err
 	}
 	c.nextID++
 	req := wire.Request{ID: c.nextID, Op: op, Body: body}
-	if err := c.conn.WriteFrame(req.Encode()); err != nil {
+	if err := c.conn.WriteRequest(&req); err != nil {
 		return nil, err
 	}
 	payload, err := c.conn.ReadFrame()

@@ -128,6 +128,23 @@ func (n *Node) storageStats() server.StorageStats {
 		out.WALAppends += st.WALAppends
 		out.WALFlushes += st.WALFlushes
 		out.WALBytes += st.WALBytes
+		gc := st.GroupCommit
+		out.GroupCommitCommits += gc.Commits
+		out.GroupCommitBatches += gc.Batches
+		out.GroupCommitSyncsAvoided += gc.SyncsAvoided
+		if gc.MaxBatch > out.GroupCommitMaxBatch {
+			out.GroupCommitMaxBatch = gc.MaxBatch
+		}
+		if out.GroupCommitBatchSizes == nil {
+			out.GroupCommitBatchSizes = make([]int64, len(gc.BatchSizes))
+		}
+		for i, n := range gc.BatchSizes {
+			out.GroupCommitBatchSizes[i] += n
+		}
+		for _, ts := range st.Tables {
+			out.LatchWaits += ts.LatchWaits
+			out.LatchWaitNS += ts.LatchWaitNS
+		}
 	}
 	if n.Device != nil {
 		out.DeadTupleVisits = n.Device.Stats().DeadVisits

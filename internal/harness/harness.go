@@ -15,6 +15,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/metrics"
 )
 
 // Params tunes experiment cost. The zero value is not usable; call
@@ -26,6 +28,9 @@ type Params struct {
 	Scale float64
 	// Trials per measured point; the paper typically used 5.
 	Trials int
+	// Warmup trials run before the measured ones at each point and are
+	// discarded, so pools and caches reach steady state off the books.
+	Warmup int
 	// Ops scales the per-point operation counts.
 	Ops float64
 	// DiskModel enables the simulated 2004-era device (flush latency);
@@ -42,6 +47,7 @@ func DefaultParams(out io.Writer) Params {
 	return Params{
 		Scale:     0.02,
 		Trials:    3,
+		Warmup:    1,
 		Ops:       1.0,
 		DiskModel: true,
 		NetModel:  true,
@@ -168,3 +174,7 @@ func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
 
 // ms formats seconds-as-float into milliseconds text.
 func ms(seconds float64) string { return fmt.Sprintf("%.1fms", seconds*1000) }
+
+// msd formats a trial summary as "mean±sd" so every figure carries its
+// run-to-run spread alongside the mean.
+func msd(s metrics.Summary) string { return fmt.Sprintf("%.0f±%.0f", s.Mean, s.StdDev) }

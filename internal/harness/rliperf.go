@@ -85,7 +85,7 @@ func runFig9(p Params) error {
 	const threads = 3
 	var rows [][]string
 	for _, clients := range clientCounts {
-		sum, err := workload.Trials(p.Trials, func(int) (float64, error) {
+		sum, err := workload.TrialsWarm(p.Warmup, p.Trials, func(int) (float64, error) {
 			drv := &workload.Driver{
 				Clients:          clients,
 				ThreadsPerClient: threads,
@@ -106,11 +106,11 @@ func runFig9(p Params) error {
 		if err != nil {
 			return err
 		}
-		rows = append(rows, []string{fmt.Sprintf("%d", clients), f0(sum.Mean), f0(sum.StdDev)})
+		rows = append(rows, []string{fmt.Sprintf("%d", clients), msd(sum)})
 	}
 	table(p.Out, "Figure 9: RLI full-LFN query rate, uncompressed updates (3 threads/client)",
 		"~3000/s, roughly flat across client counts",
-		[]string{"clients", "query/s", "sd"},
+		[]string{"clients", "query/s"},
 		rows)
 	return nil
 }
@@ -149,7 +149,7 @@ func runFig10(p Params) error {
 		}
 		gen0 := workload.Names{Space: "lrc000"}
 		for _, clients := range clientCounts {
-			sum, err := workload.Trials(p.Trials, func(int) (float64, error) {
+			sum, err := workload.TrialsWarm(p.Warmup, p.Trials, func(int) (float64, error) {
 				drv := &workload.Driver{
 					Clients:          clients,
 					ThreadsPerClient: threads,
@@ -207,7 +207,7 @@ func runFig11(p Params) error {
 		if bulkReqs < clients*threads {
 			bulkReqs = clients * threads
 		}
-		qSum, err := workload.Trials(p.Trials, func(int) (float64, error) {
+		qSum, err := workload.TrialsWarm(p.Warmup, p.Trials, func(int) (float64, error) {
 			drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: rig.dial}
 			res, err := drv.Run(ctx, bulkReqs, func(ctx context.Context, c *client.Client, seq int) error {
 				names := make([]string, bulkSize)
@@ -227,7 +227,7 @@ func runFig11(p Params) error {
 		}
 		// Combined bulk add/delete: 1000 adds then 1000 deletes per op,
 		// keeping the database size constant (paper §5.4).
-		adSum, err := workload.Trials(p.Trials, func(trial int) (float64, error) {
+		adSum, err := workload.TrialsWarm(p.Warmup, p.Trials, func(trial int) (float64, error) {
 			drv := &workload.Driver{Clients: clients, ThreadsPerClient: threads, Dial: rig.dial}
 			res, err := drv.Run(ctx, clients*threads, func(ctx context.Context, c *client.Client, seq int) error {
 				space := workload.Names{Space: fmt.Sprintf("fig11-%d-%d-%d", clients, trial, seq)}

@@ -78,7 +78,7 @@ func (db *LRCDB) DefineAttribute(name string, obj wire.ObjType, typ wire.AttrTyp
 	if !typ.Valid() {
 		return fmt.Errorf("%w: attribute type %d", ErrInvalid, typ)
 	}
-	tx, err := db.eng.Begin()
+	tx, err := db.eng.Begin(tAttribute)
 	if err != nil {
 		return err
 	}
@@ -114,7 +114,9 @@ func lookupAttrDef(lk interface {
 // stored values of the attribute are removed too; otherwise the operation
 // fails with ErrExists while values remain.
 func (db *LRCDB) UndefineAttribute(name string, obj wire.ObjType, clearValues bool) error {
-	tx, err := db.eng.Begin()
+	// The typed value table is only known once the definition is read inside
+	// the transaction, so declare all of them up front.
+	tx, err := db.eng.Begin(append([]string{tAttribute}, attrValueTables...)...)
 	if err != nil {
 		return err
 	}
@@ -183,7 +185,18 @@ func (db *LRCDB) ModifyAttribute(key string, obj wire.ObjType, name string, valu
 }
 
 func (db *LRCDB) writeAttribute(key string, obj wire.ObjType, name string, value wire.AttrValue, replace bool) error {
-	tx, err := db.eng.Begin()
+	objTable, err := objNameTable(obj)
+	if err != nil {
+		return err
+	}
+	// The value's own type picks the one typed table the transaction can
+	// touch; the definition check below rejects the write before the table
+	// is used if the declared attribute type differs.
+	vt, err := attrValueTable(value.Type)
+	if err != nil {
+		return err
+	}
+	tx, err := db.eng.Begin(tAttribute, objTable, vt)
 	if err != nil {
 		return err
 	}
@@ -196,10 +209,6 @@ func (db *LRCDB) writeAttribute(key string, obj wire.ObjType, name string, value
 		return fmt.Errorf("%w: attribute %q is %s, value is %s", ErrInvalid, name, typ, value.Type)
 	}
 	objID, err := resolveObjectID(tx, obj, key)
-	if err != nil {
-		return err
-	}
-	vt, err := attrValueTable(typ)
 	if err != nil {
 		return err
 	}
@@ -231,7 +240,13 @@ func (db *LRCDB) writeAttribute(key string, obj wire.ObjType, name string, value
 
 // RemoveAttribute detaches an attribute value from an object.
 func (db *LRCDB) RemoveAttribute(key string, obj wire.ObjType, name string) error {
-	tx, err := db.eng.Begin()
+	objTable, err := objNameTable(obj)
+	if err != nil {
+		return err
+	}
+	// The typed value table is only known once the definition is read inside
+	// the transaction, so declare all of them up front.
+	tx, err := db.eng.Begin(append([]string{tAttribute, objTable}, attrValueTables...)...)
 	if err != nil {
 		return err
 	}
@@ -275,7 +290,7 @@ func (db *LRCDB) GetAttributes(key string, obj wire.ObjType, names []string) ([]
 		want[n] = true
 	}
 	var out []wire.NamedAttr
-	err = db.eng.View(func(r *storage.Reader) error {
+	err = db.eng.ViewTables(append([]string{table, tAttribute}, attrValueTables...), func(r *storage.Reader) error {
 		rows, err := r.Lookup(table, "by_name", storage.String(key))
 		if err != nil {
 			return err
@@ -326,7 +341,7 @@ func (db *LRCDB) ListAttributeDefs(obj wire.ObjType) ([]wire.AttrDef, error) {
 		return nil, fmt.Errorf("%w: object type %d", ErrInvalid, obj)
 	}
 	var out []wire.AttrDef
-	err := db.eng.View(func(r *storage.Reader) error {
+	err := db.eng.ViewTables([]string{tAttribute}, func(r *storage.Reader) error {
 		return r.ScanStringPrefix(tAttribute, "by_name_obj", "", func(_ int64, row storage.Row) bool {
 			defObj := wire.ObjType(row[colAttrObjType].Int)
 			if obj != 0 && defObj != obj {
@@ -409,7 +424,7 @@ func (db *LRCDB) SearchAttribute(name string, obj wire.ObjType, cmp wire.CmpOp, 
 		return nil, err
 	}
 	var out []wire.ObjAttr
-	err = db.eng.View(func(r *storage.Reader) error {
+	err = db.eng.ViewTables(append([]string{table, tAttribute}, attrValueTables...), func(r *storage.Reader) error {
 		rows, err := r.Lookup(tAttribute, "by_name_obj", storage.String(name), storage.Int64(int64(obj)))
 		if err != nil {
 			return err

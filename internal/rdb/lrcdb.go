@@ -66,6 +66,9 @@ const (
 	colPartPattern = 1
 )
 
+// attrValueTables lists the typed attribute value tables.
+var attrValueTables = []string{tStrAttr, tIntAttr, tFltAttr, tDateAttr}
+
 func nameTableSchema(name string) storage.Schema {
 	return storage.Schema{
 		Name: name,
@@ -259,7 +262,7 @@ func (db *LRCDB) deleteNameRow(tx *storage.Tx, table string, id int64) error {
 			return err
 		}
 	}
-	for _, vt := range []string{tStrAttr, tIntAttr, tFltAttr, tDateAttr} {
+	for _, vt := range attrValueTables {
 		var victims []int64
 		if err := tx.ScanPrefix(vt, "by_obj_attr", []storage.Value{storage.Int64(id)}, func(rowid int64, _ storage.Row) bool {
 			victims = append(victims, rowid)
@@ -283,7 +286,7 @@ func (db *LRCDB) CreateMapping(logical, target string) error {
 	if logical == "" || target == "" {
 		return fmt.Errorf("%w: empty name", ErrInvalid)
 	}
-	tx, err := db.eng.Begin()
+	tx, err := db.eng.Begin(tLFN, tPFN, tMap)
 	if err != nil {
 		return err
 	}
@@ -317,7 +320,7 @@ func (db *LRCDB) AddMapping(logical, target string) error {
 	if logical == "" || target == "" {
 		return fmt.Errorf("%w: empty name", ErrInvalid)
 	}
-	tx, err := db.eng.Begin()
+	tx, err := db.eng.Begin(tLFN, tPFN, tMap)
 	if err != nil {
 		return err
 	}
@@ -354,7 +357,10 @@ func (db *LRCDB) AddMapping(logical, target string) error {
 // DeleteMapping removes one mapping. Logical and target rows whose last
 // mapping disappears are deleted along with their attribute values.
 func (db *LRCDB) DeleteMapping(logical, target string) error {
-	tx, err := db.eng.Begin()
+	// deleteNameRow may cascade into the attribute value tables, so they are
+	// declared up front alongside the name and mapping tables.
+	tables := append([]string{tLFN, tPFN, tMap}, attrValueTables...)
+	tx, err := db.eng.Begin(tables...)
 	if err != nil {
 		return err
 	}
@@ -405,7 +411,7 @@ func (db *LRCDB) DeleteMapping(logical, target string) error {
 // GetTargets returns the target names mapped from a logical name.
 func (db *LRCDB) GetTargets(logical string) ([]string, error) {
 	var out []string
-	err := db.eng.View(func(r *storage.Reader) error {
+	err := db.eng.ViewTables([]string{tLFN, tMap, tPFN}, func(r *storage.Reader) error {
 		rows, err := r.Lookup(tLFN, "by_name", storage.String(logical))
 		if err != nil {
 			return err
@@ -435,7 +441,7 @@ func (db *LRCDB) GetTargets(logical string) ([]string, error) {
 // GetLogicals returns the logical names mapping to a target name.
 func (db *LRCDB) GetLogicals(target string) ([]string, error) {
 	var out []string
-	err := db.eng.View(func(r *storage.Reader) error {
+	err := db.eng.ViewTables([]string{tLFN, tMap, tPFN}, func(r *storage.Reader) error {
 		rows, err := r.Lookup(tPFN, "by_name", storage.String(target))
 		if err != nil {
 			return err
@@ -477,7 +483,7 @@ func (db *LRCDB) WildcardLogicals(pattern string) ([]wire.Mapping, error) {
 func (db *LRCDB) wildcard(pattern, nameTable, mapTable, mapIndex string, otherCol int, otherTable string, swap bool) ([]wire.Mapping, error) {
 	prefix, _ := glob.LiteralPrefix(pattern)
 	var out []wire.Mapping
-	err := db.eng.View(func(r *storage.Reader) error {
+	err := db.eng.ViewTables([]string{nameTable, mapTable, otherTable}, func(r *storage.Reader) error {
 		var scanErr error
 		if err := r.ScanStringPrefix(nameTable, "by_name", prefix, func(_ int64, row storage.Row) bool {
 			name := row[colNameName].Str
@@ -523,7 +529,7 @@ func (db *LRCDB) PageLogicalNames(after string, limit int) ([]string, error) {
 		return nil, fmt.Errorf("%w: non-positive page limit", ErrInvalid)
 	}
 	var out []string
-	err := db.eng.View(func(r *storage.Reader) error {
+	err := db.eng.ViewTables([]string{tLFN}, func(r *storage.Reader) error {
 		return r.ScanStringAfter(tLFN, "by_name", after, func(_ int64, row storage.Row) bool {
 			out = append(out, row[colNameName].Str)
 			return len(out) < limit
@@ -534,7 +540,7 @@ func (db *LRCDB) PageLogicalNames(after string, limit int) ([]string, error) {
 
 // Counts reports catalog occupancy: logical names, target names, mappings.
 func (db *LRCDB) Counts() (logicals, targets, mappings int64, err error) {
-	err = db.eng.View(func(r *storage.Reader) error {
+	err = db.eng.ViewTables([]string{tLFN, tPFN, tMap}, func(r *storage.Reader) error {
 		if logicals, err = r.Count(tLFN); err != nil {
 			return err
 		}

@@ -14,7 +14,7 @@ func (db *LRCDB) AddRLITarget(t wire.RLITarget) error {
 	if t.URL == "" {
 		return fmt.Errorf("%w: empty RLI url", ErrInvalid)
 	}
-	tx, err := db.eng.Begin()
+	tx, err := db.eng.Begin(tRLI, tRLIPartition)
 	if err != nil {
 		return err
 	}
@@ -46,7 +46,7 @@ func (db *LRCDB) AddRLITarget(t wire.RLITarget) error {
 // RemoveRLITarget stops updating the given RLI and drops its partition
 // patterns.
 func (db *LRCDB) RemoveRLITarget(url string) error {
-	tx, err := db.eng.Begin()
+	tx, err := db.eng.Begin(tRLI, tRLIPartition)
 	if err != nil {
 		return err
 	}
@@ -80,7 +80,7 @@ func (db *LRCDB) RemoveRLITarget(url string) error {
 // ListRLITargets returns the RLIs this LRC updates.
 func (db *LRCDB) ListRLITargets() ([]wire.RLITarget, error) {
 	var out []wire.RLITarget
-	err := db.eng.View(func(r *storage.Reader) error {
+	err := db.eng.ViewTables([]string{tRLI, tRLIPartition}, func(r *storage.Reader) error {
 		var scanErr error
 		if err := r.ScanStringPrefix(tRLI, "by_name", "", func(_ int64, row storage.Row) bool {
 			t := wire.RLITarget{

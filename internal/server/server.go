@@ -32,6 +32,15 @@ type StorageStats struct {
 	WALFlushes      int64
 	WALBytes        int64
 	DeadTupleVisits int64
+
+	// WAL group-commit batching and per-table latch contention.
+	GroupCommitCommits      int64
+	GroupCommitBatches      int64
+	GroupCommitSyncsAvoided int64
+	GroupCommitMaxBatch     int64
+	GroupCommitBatchSizes   []int64
+	LatchWaits              int64
+	LatchWaitNS             int64
 }
 
 // Config configures a Server.
@@ -279,7 +288,7 @@ func (s *Server) handleConn(raw net.Conn) {
 		start := time.Now()
 		resp := s.dispatch(ctx, id, req)
 		s.observe(req.Op, resp.Status, time.Since(start))
-		if err := conn.WriteFrame(resp.Encode()); err != nil {
+		if err := conn.WriteResponse(resp); err != nil {
 			s.log.Debug("write failed", "remote", raw.RemoteAddr(), "err", err)
 			return
 		}
@@ -391,6 +400,13 @@ func (s *Server) StatsSnapshot() *wire.StatsResponse {
 		resp.WALFlushes = ss.WALFlushes
 		resp.WALBytes = ss.WALBytes
 		resp.DeadTupleVisits = ss.DeadTupleVisits
+		resp.GroupCommitCommits = ss.GroupCommitCommits
+		resp.GroupCommitBatches = ss.GroupCommitBatches
+		resp.GroupCommitSyncsAvoided = ss.GroupCommitSyncsAvoided
+		resp.GroupCommitMaxBatch = ss.GroupCommitMaxBatch
+		resp.GroupCommitBatchSizes = ss.GroupCommitBatchSizes
+		resp.LatchWaits = ss.LatchWaits
+		resp.LatchWaitNS = ss.LatchWaitNS
 	}
 	return resp
 }

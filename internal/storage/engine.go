@@ -67,6 +67,15 @@ func (o Options) withDefaults() Options {
 
 // Engine is an embedded relational storage engine instance: the stand-in for
 // one MySQL or PostgreSQL server process in the paper's deployment.
+//
+// Concurrency is two-level. The outer level is the global latch:
+// transactions and views hold it shared for their whole lifetime while
+// stop-the-world operations (CreateTable, Vacuum, Checkpoint, Close) hold it
+// exclusive. The inner level is one latch per table: Begin and ViewTables
+// declare the tables they will touch and acquire exactly those latches, in
+// sorted name order, so transactions on disjoint tables run in parallel and
+// no acquisition order can deadlock. Commit durability is amortized across
+// concurrent writers by WAL group commit (see wal.commitAppend).
 type Engine struct {
 	opts Options
 	dir  string // "" for memory-only
@@ -76,14 +85,12 @@ type Engine struct {
 	// catalogs with it off and measures with it on or off per Figure 4.
 	flushOnCommit atomic.Bool
 
-	mu      sync.RWMutex
-	tables  map[string]*table
+	global  sync.RWMutex
+	tables  map[string]*table // guarded by global (exclusive to mutate)
 	byID    map[uint32]*table
 	nextTab uint32
-	wal     *wal
-	closed  bool
-
-	dirtySinceSync bool
+	wal     *wal // internally synchronized; see wal.mu
+	closed  bool // guarded by global
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -100,11 +107,12 @@ func (e *Engine) FlushOnCommit() bool { return e.flushOnCommit.Load() }
 // configuration; only real file I/O is skipped. This is what the benchmark
 // harness uses.
 func OpenMemory(opts Options) *Engine {
+	o := opts.withDefaults()
 	e := &Engine{
-		opts:   opts.withDefaults(),
+		opts:   o,
 		tables: make(map[string]*table),
 		byID:   make(map[uint32]*table),
-		wal:    &wal{},
+		wal:    newWAL(nil, 0, o.Device),
 	}
 	e.flushOnCommit.Store(opts.FlushOnCommit)
 	e.startFlusher()
@@ -127,7 +135,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 	if err := e.loadSnapshot(); err != nil {
 		return nil, err
 	}
-	w, err := openWAL(e.walPath())
+	w, err := openWAL(e.walPath(), e.opts.Device)
 	if err != nil {
 		return nil, err
 	}
@@ -163,39 +171,28 @@ func (e *Engine) flushLoop() {
 		case <-e.flushStop:
 			return
 		case <-t.C():
-			e.mu.Lock()
-			dirty := e.dirtySinceSync
-			e.dirtySinceSync = false
-			if dirty {
-				if err := e.wal.sync(); err != nil {
-					// Keep the interval dirty so the flush is retried on
-					// the next tick instead of silently dropped.
-					e.dirtySinceSync = true
-				}
-			}
-			e.mu.Unlock()
-			if dirty {
+			if flushed, _ := e.wal.flushIfDirty(); flushed {
 				e.opts.Device.Sync()
 			}
 		}
 	}
 }
 
-// Close stops the engine, syncing outstanding state.
+// Close stops the engine, syncing outstanding state. It waits out any
+// group-commit batch still in flight before closing the log file.
 func (e *Engine) Close() error {
-	e.mu.Lock()
+	e.global.Lock()
 	if e.closed {
-		e.mu.Unlock()
+		e.global.Unlock()
 		return nil
 	}
 	e.closed = true
-	e.mu.Unlock()
+	e.global.Unlock()
 	if e.flushStop != nil {
 		close(e.flushStop)
 		<-e.flushDone
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.wal.drain()
 	if err := e.wal.sync(); err != nil {
 		return err
 	}
@@ -211,13 +208,19 @@ var ErrNoSuchIndex = errors.New("storage: no such index")
 // ErrClosed is returned when using a closed engine.
 var ErrClosed = errors.New("storage: engine is closed")
 
+// ErrTableNotDeclared is returned when a transaction or view touches a table
+// it did not declare at Begin/ViewTables time. Latches are acquired up front
+// in sorted order; touching undeclared tables lazily could deadlock.
+var ErrTableNotDeclared = errors.New("storage: table not declared at Begin")
+
 // CreateTable adds a table. It is an error if one with the same name exists.
+// It takes the exclusive global latch: table DDL is stop-the-world.
 func (e *Engine) CreateTable(schema Schema) error {
 	if err := schema.Validate(); err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.global.Lock()
+	defer e.global.Unlock()
 	if e.closed {
 		return ErrClosed
 	}
@@ -233,50 +236,115 @@ func (e *Engine) CreateTable(schema Schema) error {
 		return err
 	}
 	e.opts.Device.Write(len(frame))
-	return e.afterMutationLocked()
+	return e.afterMutation()
 }
 
-// afterMutationLocked applies the commit-durability policy after a mutation
-// batch has been appended to the WAL. Caller holds the write lock.
-func (e *Engine) afterMutationLocked() error {
+// afterMutation applies the commit-durability policy after a non-transaction
+// mutation (DDL) has been appended to the WAL.
+func (e *Engine) afterMutation() error {
 	if e.flushOnCommit.Load() {
 		return e.wal.sync()
 	}
-	e.dirtySinceSync = true
+	e.wal.markDirty()
 	return nil
 }
 
-// Begin starts a write transaction. The transaction holds the engine write
-// lock until Commit or Rollback, serializing writers like the table locks of
-// the paper's MySQL 4.0 back end. Every transaction must be finished.
-func (e *Engine) Begin() (*Tx, error) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return nil, ErrClosed
+// lockTables resolves the named tables (every table when names is empty) and
+// acquires their latches in sorted name order — the single global order that
+// keeps concurrent transactions deadlock-free. The caller holds the global
+// latch shared; the table map only changes under the exclusive global latch,
+// so reading it here is race-free. On error no latches remain held.
+func (e *Engine) lockTables(names []string, write bool) (map[string]*table, []*table, error) {
+	if len(names) == 0 {
+		names = make([]string, 0, len(e.tables))
+		for name := range e.tables {
+			names = append(names, name)
+		}
+	} else {
+		names = append([]string(nil), names...)
 	}
-	//lint:ignore lockcheck the write lock is handed off to the Tx and released by Commit or Rollback
-	return &Tx{e: e}, nil
+	sort.Strings(names)
+	declared := make(map[string]*table, len(names))
+	latched := make([]*table, 0, len(names))
+	for _, name := range names {
+		if _, ok := declared[name]; ok {
+			continue // duplicate declaration
+		}
+		t, ok := e.tables[name]
+		if !ok {
+			unlockTables(latched, write)
+			return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+		}
+		t.lockLatch(write)
+		declared[name] = t
+		latched = append(latched, t)
+	}
+	return declared, latched, nil
 }
 
-// View runs fn under the engine read lock with a read-only accessor.
+// unlockTables releases latches taken by lockTables. Release order is
+// irrelevant for deadlock freedom; only acquisition order matters.
+func unlockTables(latched []*table, write bool) {
+	for _, t := range latched {
+		if write {
+			t.latch.Unlock()
+		} else {
+			t.latch.RUnlock()
+		}
+	}
+}
+
+// Begin starts a write transaction over the named tables, write-latching
+// exactly those tables so transactions on disjoint tables proceed in
+// parallel. With no names, every table is latched — the whole-engine
+// exclusion the engine provided before per-table latches, still correct for
+// callers whose table set is data-dependent. Every transaction must be
+// finished with Commit or Rollback.
+func (e *Engine) Begin(tableNames ...string) (*Tx, error) {
+	e.global.RLock()
+	if e.closed {
+		e.global.RUnlock()
+		return nil, ErrClosed
+	}
+	declared, latched, err := e.lockTables(tableNames, true)
+	if err != nil {
+		e.global.RUnlock()
+		return nil, err
+	}
+	//lint:ignore lockcheck the shared global latch is handed to the Tx and released by Commit or Rollback
+	return &Tx{e: e, tables: declared, latched: latched}, nil
+}
+
+// View runs fn under read latches on every table.
 func (e *Engine) View(fn func(r *Reader) error) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	return e.ViewTables(nil, fn)
+}
+
+// ViewTables runs fn with read latches on just the named tables (every table
+// when names is nil), so readers of one table never wait behind writers of
+// another. fn must only touch the declared tables.
+func (e *Engine) ViewTables(names []string, fn func(r *Reader) error) error {
+	e.global.RLock()
+	defer e.global.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
-	return fn(&Reader{e: e})
+	declared, latched, err := e.lockTables(names, false)
+	if err != nil {
+		return err
+	}
+	defer unlockTables(latched, false)
+	return fn(&Reader{e: e, tables: declared})
 }
 
 // Vacuum physically reclaims tombstoned rows in the named table. It takes
-// the engine write lock for the whole operation — like PostgreSQL's vacuum,
-// which "may require exclusive access to the database, preventing other
-// requests from executing" — and charges device work proportional to the
-// heap it scans.
+// the exclusive global latch for the whole operation — like PostgreSQL's
+// vacuum, which "may require exclusive access to the database, preventing
+// other requests from executing" — and charges device work proportional to
+// the heap it scans.
 func (e *Engine) Vacuum(tableName string) (reclaimed int64, err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.global.Lock()
+	defer e.global.Unlock()
 	if e.closed {
 		return 0, ErrClosed
 	}
@@ -302,12 +370,12 @@ func (e *Engine) Vacuum(tableName string) (reclaimed int64, err error) {
 
 // VacuumAll vacuums every table and returns the total rows reclaimed.
 func (e *Engine) VacuumAll() (int64, error) {
-	e.mu.RLock()
+	e.global.RLock()
 	names := make([]string, 0, len(e.tables))
 	for name := range e.tables {
 		names = append(names, name)
 	}
-	e.mu.RUnlock()
+	e.global.RUnlock()
 	sort.Strings(names)
 	var total int64
 	for _, name := range names {
@@ -320,33 +388,62 @@ func (e *Engine) VacuumAll() (int64, error) {
 	return total, nil
 }
 
-// TableStats describes one table's occupancy.
+// TableStats describes one table's occupancy and latch contention.
 type TableStats struct {
 	Name string
 	Live int64
 	Dead int64
+	// LatchWaits counts latch acquisitions that had to block; LatchWaitNS
+	// is the total time those acquisitions spent blocked.
+	LatchWaits  int64
+	LatchWaitNS int64
+}
+
+// GroupCommitStats describes WAL group-commit batching: how many flush-on
+// commits were coalesced into how many leader syncs.
+type GroupCommitStats struct {
+	// Commits counts flush-on commits that went through group commit.
+	Commits int64
+	// Batches counts leader sync rounds; each pays one file + device sync.
+	Batches int64
+	// SyncsAvoided is Commits - Batches: device syncs saved by batching.
+	SyncsAvoided int64
+	// MaxBatch is the largest batch observed.
+	MaxBatch int64
+	// BatchSizes is a batch-size histogram with bucket upper bounds
+	// 1, 2, 4, 8, 16 and a final overflow bucket.
+	BatchSizes [6]int64
 }
 
 // Stats reports occupancy of every table plus WAL activity. WALAppends,
 // WALFlushes and WALBytes are cumulative since the engine opened (they
 // survive checkpoint truncation, unlike WALSize).
 type Stats struct {
-	Tables     []TableStats
-	WALSize    int64
-	WALAppends int64
-	WALFlushes int64
-	WALBytes   int64
+	Tables      []TableStats
+	WALSize     int64
+	WALAppends  int64
+	WALFlushes  int64
+	WALBytes    int64
+	GroupCommit GroupCommitStats
 }
 
-// Stats returns a snapshot of engine occupancy.
+// Stats returns a snapshot of engine occupancy and concurrency telemetry.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.global.RLock()
+	defer e.global.RUnlock()
+	ws := e.wal.stats()
 	st := Stats{
-		WALSize:    e.wal.size,
-		WALAppends: e.wal.appends,
-		WALFlushes: e.wal.syncs,
-		WALBytes:   e.wal.bytesWritten,
+		WALSize:    ws.size,
+		WALAppends: ws.appends,
+		WALFlushes: ws.syncs,
+		WALBytes:   ws.bytesWritten,
+		GroupCommit: GroupCommitStats{
+			Commits:      ws.gcCommits,
+			Batches:      ws.gcBatches,
+			SyncsAvoided: ws.gcSyncsAvoided,
+			MaxBatch:     ws.gcMaxBatch,
+			BatchSizes:   ws.gcBatchSizes,
+		},
 	}
 	names := make([]string, 0, len(e.tables))
 	for name := range e.tables {
@@ -355,7 +452,16 @@ func (e *Engine) Stats() Stats {
 	sort.Strings(names)
 	for _, name := range names {
 		t := e.tables[name]
-		st.Tables = append(st.Tables, TableStats{Name: name, Live: t.liveCountLocked(), Dead: t.dead})
+		t.latch.RLock()
+		ts := TableStats{
+			Name:        name,
+			Live:        t.liveCountLocked(),
+			Dead:        t.dead,
+			LatchWaits:  t.latchWaits.Load(),
+			LatchWaitNS: t.latchWaitNS.Load(),
+		}
+		t.latch.RUnlock()
+		st.Tables = append(st.Tables, ts)
 	}
 	return st
 }
@@ -370,7 +476,8 @@ func (e *Engine) Personality() Personality { return e.opts.Personality }
 // physically regardless of personality: recovery reconstructs final state,
 // not bloat (PostgreSQL's on-disk bloat does survive restart, but only its
 // performance effect matters here and the harness never restarts
-// mid-experiment).
+// mid-experiment). It runs before any concurrent access exists, so no
+// latches are needed.
 func (e *Engine) replayWAL() error {
 	f, err := os.Open(e.walPath())
 	if err != nil {
@@ -414,16 +521,19 @@ func (e *Engine) replayWAL() error {
 }
 
 // Checkpoint writes a snapshot of all tables and truncates the WAL, bounding
-// recovery time. It holds the write lock for the duration.
+// recovery time. It holds the exclusive global latch for the duration and
+// waits out any in-flight group-commit batch so the truncation cannot race
+// a leader's file sync.
 func (e *Engine) Checkpoint() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.global.Lock()
+	defer e.global.Unlock()
 	if e.closed {
 		return ErrClosed
 	}
 	if e.dir == "" {
 		return nil // memory engine: nothing to persist
 	}
+	e.wal.drain()
 	if err := e.writeSnapshotLocked(); err != nil {
 		return err
 	}

@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/disk"
@@ -38,14 +41,45 @@ func entryKey(colKey []byte, rowid int64) []byte {
 
 // table is the in-memory representation of one table.
 type table struct {
-	id      uint32
-	schema  Schema
-	dev     *disk.Device // charged for dead-version visits (postgres bloat)
+	id     uint32
+	schema Schema
+	dev    *disk.Device // charged for dead-version visits (postgres bloat)
+
+	// latch is the table's lock: transactions write-latch and views
+	// read-latch the tables they declare, always in sorted name order (see
+	// Engine.lockTables), so writers on disjoint tables never contend. The
+	// *Locked methods below all require it (or the exclusive global latch,
+	// which subsumes it).
+	latch       sync.RWMutex
+	latchWaits  atomic.Int64 // acquisitions that had to block
+	latchWaitNS atomic.Int64 // total nanoseconds spent blocked on the latch
+
 	heap    map[int64]*version
 	indexes []*index
 	byName  map[string]*index
 	nextRow int64
 	dead    int64 // tombstone count (postgres personality)
+}
+
+// lockLatch acquires the table latch, recording wait telemetry only when the
+// acquisition actually blocks so the uncontended fast path stays clock-free.
+func (t *table) lockLatch(write bool) {
+	if write {
+		if t.latch.TryLock() {
+			return
+		}
+	} else if t.latch.TryRLock() {
+		return
+	}
+	start := time.Now()
+	if write {
+		t.latch.Lock()
+	} else {
+		t.latch.RLock()
+	}
+	t.latchWaits.Add(1)
+	t.latchWaitNS.Add(time.Since(start).Nanoseconds())
+	//lint:ignore lockcheck the latch is handed to the caller and released by unlockTables
 }
 
 func newTable(id uint32, schema Schema, dev *disk.Device) *table {

@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrTxDone is returned when using a finished transaction.
@@ -22,21 +23,35 @@ type txOp struct {
 	row   Row // the inserted row, or the deleted row's prior image
 }
 
-// Tx is a write transaction. It holds the engine write lock from Begin until
-// Commit or Rollback; mutations are applied eagerly (reads within the
-// transaction see them) and logged for rollback.
+// framePool recycles WAL frame encode buffers across commits. The frame is
+// fully consumed before Commit returns — commitAppend writes it to the file
+// synchronously and only the length is needed afterwards for the device
+// charge — so the buffer can be recycled immediately.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// Tx is a write transaction. It holds the shared global latch plus write
+// latches on the tables declared at Begin until Commit or Rollback;
+// mutations are applied eagerly (reads within the transaction see them) and
+// logged for rollback.
 type Tx struct {
-	e    *Engine
-	ops  []txOp
-	done bool
+	e       *Engine
+	tables  map[string]*table // declared (write-latched) tables by name
+	latched []*table
+	ops     []txOp
+	done    bool
 }
 
 func (tx *Tx) table(name string) (*table, error) {
 	if tx.done {
 		return nil, ErrTxDone
 	}
-	t, ok := tx.e.tables[name]
+	t, ok := tx.tables[name]
 	if !ok {
+		// Holding the shared global latch makes reading the table map safe:
+		// it only changes under the exclusive global latch.
+		if _, exists := tx.e.tables[name]; exists {
+			return nil, fmt.Errorf("%w: %s", ErrTableNotDeclared, name)
+		}
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
 	}
 	return t, nil
@@ -52,6 +67,12 @@ func (tx *Tx) index(name, indexName string) (*table, *index, error) {
 		return nil, nil, fmt.Errorf("%w: %s.%s", ErrNoSuchIndex, name, indexName)
 	}
 	return t, ix, nil
+}
+
+// release drops the table latches and the shared global latch.
+func (tx *Tx) release() {
+	unlockTables(tx.latched, true)
+	tx.e.global.RUnlock()
 }
 
 // Insert adds a row, returning its rowid.
@@ -114,52 +135,53 @@ func (tx *Tx) ScanPrefix(tableName, indexName string, prefix []Value, fn func(ro
 }
 
 // Commit durably applies the transaction per the engine flush policy and
-// releases the write lock.
+// releases the latches. The WAL append happens while the table latches are
+// still held — that keeps the log's order consistent with the commit order
+// on every table — but the device charges (write cost and, under
+// FlushOnCommit, the group-commit sync wait) are paid after release, so
+// they serialize on the device queue rather than on the tables.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
 	if len(tx.ops) == 0 {
-		tx.e.mu.Unlock()
+		tx.release()
 		return nil
 	}
-	var frame []byte
+	bp := framePool.Get().(*[]byte)
+	frame := (*bp)[:0]
 	for _, op := range tx.ops {
 		switch op.kind {
 		case txInsert:
-			frame = append(frame, walEncode(walRecord{kind: recInsert, tableID: op.table.id, rowid: op.rowid, row: op.row})...)
+			frame = appendWALRecord(frame, walRecord{kind: recInsert, tableID: op.table.id, rowid: op.rowid, row: op.row})
 		case txDelete:
-			frame = append(frame, walEncode(walRecord{kind: recDelete, tableID: op.table.id, rowid: op.rowid})...)
+			frame = appendWALRecord(frame, walRecord{kind: recDelete, tableID: op.table.id, rowid: op.rowid})
 		}
 	}
-	frame = append(frame, walEncode(walRecord{kind: recCommit})...)
-	if err := tx.e.wal.append(frame); err != nil {
-		tx.e.mu.Unlock()
+	frame = appendWALRecord(frame, walRecord{kind: recCommit})
+	n := len(frame)
+	wait, err := tx.e.wal.commitAppend(frame, tx.e.flushOnCommit.Load())
+	*bp = frame
+	framePool.Put(bp)
+	tx.release()
+	if err != nil {
 		return err
 	}
-	tx.e.opts.Device.Write(len(frame))
-	if tx.e.flushOnCommit.Load() {
-		err := tx.e.wal.sync()
-		// Release the table lock before paying the device sync so the flush
-		// serializes on the device queue, not on the whole engine — matching
-		// a database whose log flush happens outside the table lock.
-		tx.e.mu.Unlock()
-		tx.e.opts.Device.Sync()
-		return err
+	tx.e.opts.Device.Write(n)
+	if wait != nil {
+		return wait()
 	}
-	tx.e.dirtySinceSync = true
-	tx.e.mu.Unlock()
 	return nil
 }
 
-// Rollback undoes the transaction and releases the write lock.
+// Rollback undoes the transaction and releases the latches.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
-	defer tx.e.mu.Unlock()
+	defer tx.release()
 	for i := len(tx.ops) - 1; i >= 0; i-- {
 		op := tx.ops[i]
 		switch op.kind {
@@ -172,15 +194,28 @@ func (tx *Tx) Rollback() error {
 	return nil
 }
 
-// Reader is the read-only accessor passed to Engine.View.
+// Reader is the read-only accessor passed to Engine.View and
+// Engine.ViewTables. It sees only the tables the view declared.
 type Reader struct {
-	e *Engine
+	e      *Engine
+	tables map[string]*table
+}
+
+func (r *Reader) table(name string) (*table, error) {
+	t, ok := r.tables[name]
+	if !ok {
+		if _, exists := r.e.tables[name]; exists {
+			return nil, fmt.Errorf("%w: %s", ErrTableNotDeclared, name)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
 }
 
 func (r *Reader) index(name, indexName string) (*table, *index, error) {
-	t, ok := r.e.tables[name]
-	if !ok {
-		return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	t, err := r.table(name)
+	if err != nil {
+		return nil, nil, err
 	}
 	ix, ok := t.byName[indexName]
 	if !ok {
@@ -243,9 +278,9 @@ func (r *Reader) ScanStringAfter(tableName, indexName, after string, fn func(row
 
 // Count returns the number of live rows in the table.
 func (r *Reader) Count(tableName string) (int64, error) {
-	t, ok := r.e.tables[tableName]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, tableName)
+	t, err := r.table(tableName)
+	if err != nil {
+		return 0, err
 	}
 	return t.liveCountLocked(), nil
 }

@@ -9,7 +9,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"time"
+
+	"repro/internal/disk"
 )
 
 // Write-ahead log record types.
@@ -207,36 +210,51 @@ func readSchema(buf []byte) (Schema, []byte, error) {
 	return s, buf, nil
 }
 
-// encodeRecord frames a record payload: length, crc32, then payload.
-func encodeRecord(payload []byte) []byte {
-	frame := make([]byte, 0, len(payload)+8)
-	frame = binary.AppendUvarint(frame, uint64(len(payload)))
-	var crcBuf [4]byte
-	binary.BigEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
-	frame = append(frame, crcBuf[:]...)
-	return append(frame, payload...)
-}
-
-// walEncode serializes one logical record.
-func walEncode(rec walRecord) []byte {
-	payload := []byte{rec.kind}
+// appendWALPayload serializes one logical record's payload into dst.
+func appendWALPayload(dst []byte, rec walRecord) []byte {
+	dst = append(dst, rec.kind)
 	switch rec.kind {
 	case recCreateTable:
-		payload = binary.AppendUvarint(payload, uint64(rec.tableID))
-		payload = appendSchema(payload, rec.schema)
+		dst = binary.AppendUvarint(dst, uint64(rec.tableID))
+		dst = appendSchema(dst, rec.schema)
 	case recInsert:
-		payload = binary.AppendUvarint(payload, uint64(rec.tableID))
-		payload = binary.AppendVarint(payload, rec.rowid)
-		payload = appendRow(payload, rec.row)
+		dst = binary.AppendUvarint(dst, uint64(rec.tableID))
+		dst = binary.AppendVarint(dst, rec.rowid)
+		dst = appendRow(dst, rec.row)
 	case recDelete:
-		payload = binary.AppendUvarint(payload, uint64(rec.tableID))
-		payload = binary.AppendVarint(payload, rec.rowid)
+		dst = binary.AppendUvarint(dst, uint64(rec.tableID))
+		dst = binary.AppendVarint(dst, rec.rowid)
 	case recCommit, recCheckpoint:
 		// no body
 	case recVacuum:
-		payload = binary.AppendUvarint(payload, uint64(rec.tableID))
+		dst = binary.AppendUvarint(dst, uint64(rec.tableID))
 	}
-	return encodeRecord(payload)
+	return dst
+}
+
+// payloadPool recycles the scratch buffer appendWALRecord needs to frame a
+// payload (the length and checksum precede the bytes they describe, so the
+// payload has to be materialized before it can be framed).
+var payloadPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// appendWALRecord frames one logical record — length, crc32, payload — onto
+// dst. It is the allocation-free encode path for the commit hot loop.
+func appendWALRecord(dst []byte, rec walRecord) []byte {
+	sp := payloadPool.Get().(*[]byte)
+	payload := appendWALPayload((*sp)[:0], rec)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, crcBuf[:]...)
+	dst = append(dst, payload...)
+	*sp = payload
+	payloadPool.Put(sp)
+	return dst
+}
+
+// walEncode serializes one logical record into a fresh frame.
+func walEncode(rec walRecord) []byte {
+	return appendWALRecord(nil, rec)
 }
 
 var errCorruptWAL = errors.New("storage: corrupt WAL record")
@@ -330,20 +348,78 @@ func walDecodePayload(payload []byte) (walRecord, error) {
 	}
 }
 
+// gcBuckets is the number of group-commit batch-size histogram buckets:
+// upper bounds 1, 2, 4, 8, 16 and a final overflow bucket.
+const gcBuckets = 6
+
+// gcBucket maps a batch size to its histogram bucket.
+func gcBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// walStats is a consistent snapshot of the log's counters.
+type walStats struct {
+	size         int64
+	appends      int64
+	syncs        int64
+	bytesWritten int64
+
+	gcCommits      int64
+	gcBatches      int64
+	gcSyncsAvoided int64
+	gcMaxBatch     int64
+	gcBatchSizes   [gcBuckets]int64
+}
+
 // wal is the write-ahead log: an append-only file (or, for in-memory
-// engines, nothing) plus the simulated device charge for every append.
+// engines, nothing) plus the simulated device charge for every append. It is
+// internally synchronized — the engine's table latches do not cover it — so
+// transactions on disjoint tables can commit concurrently, serializing only
+// on the short append and coalescing their durability into group commits.
 // The cumulative counters (appends, syncs, bytesWritten) survive reset and
-// feed the engine's telemetry; all fields are guarded by the engine lock.
+// feed the engine's telemetry.
 type wal struct {
-	f    *os.File // nil for memory-only engines
-	size int64
+	f   *os.File     // nil for memory-only engines
+	dev *disk.Device // charged one sync per group-commit batch; may be nil
+
+	mu      sync.Mutex
+	idle    sync.Cond    // signalled when the group-commit leader goes idle
+	size    int64        // guarded by mu, like every field below
+	dirty   bool         // frames appended but not yet synced (background-flush mode)
+	syncing bool         // a group-commit leader is draining batches
+	waiters []chan error // committers in the forming batch
 
 	appends      int64
 	syncs        int64
 	bytesWritten int64
+
+	gcCommits      int64
+	gcBatches      int64
+	gcSyncsAvoided int64
+	gcMaxBatch     int64
+	gcBatchSizes   [gcBuckets]int64
 }
 
-func openWAL(path string) (*wal, error) {
+func newWAL(f *os.File, size int64, dev *disk.Device) *wal {
+	w := &wal{f: f, size: size, dev: dev}
+	w.idle.L = &w.mu
+	return w
+}
+
+func openWAL(path string, dev *disk.Device) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -353,11 +429,11 @@ func openWAL(path string) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &wal{f: f, size: st.Size()}, nil
+	return newWAL(f, st.Size(), dev), nil
 }
 
-// append writes an already framed record batch.
-func (w *wal) append(frame []byte) error {
+// appendLocked writes an already framed record batch. Caller holds w.mu.
+func (w *wal) appendLocked(frame []byte) error {
 	w.size += int64(len(frame))
 	w.appends++
 	w.bytesWritten += int64(len(frame))
@@ -368,19 +444,170 @@ func (w *wal) append(frame []byte) error {
 	return err
 }
 
-// sync flushes the OS file (the simulated device charge is separate and paid
-// by the engine so memory-only engines still model it).
-func (w *wal) sync() error {
-	w.syncs++
+// append writes an already framed record batch outside the commit path
+// (CreateTable, Vacuum, recovery-time checkpointing).
+func (w *wal) append(frame []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(frame)
+}
+
+// commitAppend appends one committed transaction's frame and applies the
+// durability policy. The caller still holds its table latches, which is what
+// keeps the log's append order consistent with the commit order on every
+// table (replay correctness).
+//
+// With flush false, the frame just marks the log dirty for the background
+// flusher and wait is nil. With flush true, the committer joins the forming
+// group-commit batch and gets back a wait function to invoke *after*
+// releasing its latches: the first committer to arrive while no sync is in
+// flight becomes the batch leader and pays one file sync plus one device
+// sync on behalf of every committer that joined meanwhile; the rest just
+// wait for their leader's outcome. FlushOnCommit thus costs one device sync
+// per batch instead of per transaction.
+func (w *wal) commitAppend(frame []byte, flush bool) (wait func() error, err error) {
+	w.mu.Lock()
+	if err := w.appendLocked(frame); err != nil {
+		w.mu.Unlock()
+		return nil, err
+	}
+	if !flush {
+		w.dirty = true
+		w.mu.Unlock()
+		return nil, nil
+	}
+	ch := make(chan error, 1)
+	w.waiters = append(w.waiters, ch)
+	w.gcCommits++
+	leader := !w.syncing
+	if leader {
+		w.syncing = true
+	}
+	w.mu.Unlock()
+	if leader {
+		return func() error {
+			w.lead()
+			return <-ch
+		}, nil
+	}
+	return func() error { return <-ch }, nil
+}
+
+// lead drains group-commit batches until no committers are waiting. Each
+// round takes the current waiter set as one batch, pays one file sync and
+// one device sync for all of them, and delivers the outcome; committers
+// arriving during those syncs form the next batch.
+func (w *wal) lead() {
+	w.mu.Lock()
+	for len(w.waiters) > 0 {
+		batch := w.waiters
+		w.waiters = nil
+		w.dirty = false // the sync below covers earlier unflushed frames too
+		w.syncs++
+		w.gcBatches++
+		w.gcSyncsAvoided += int64(len(batch) - 1)
+		if n := int64(len(batch)); n > w.gcMaxBatch {
+			w.gcMaxBatch = n
+		}
+		w.gcBatchSizes[gcBucket(len(batch))]++
+		w.mu.Unlock()
+		err := w.fsync()
+		if w.dev != nil {
+			w.dev.Sync()
+		}
+		for _, ch := range batch {
+			ch <- err
+		}
+		w.mu.Lock()
+	}
+	w.syncing = false
+	w.idle.Broadcast()
+	w.mu.Unlock()
+}
+
+// drain blocks until no group-commit leader is running. Callers that hold
+// the exclusive global latch (Close, Checkpoint) use it to wait out
+// committers that have already released their latches but whose batch sync
+// is still in flight.
+func (w *wal) drain() {
+	w.mu.Lock()
+	for w.syncing {
+		w.idle.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// fsync flushes the OS file (the simulated device charge is separate and
+// paid by the caller so memory-only engines still model it).
+func (w *wal) fsync() error {
 	if w.f == nil {
 		return nil
 	}
 	return w.f.Sync()
 }
 
-// reset truncates the log after a checkpoint.
+// sync counts and performs a file flush outside the group-commit path.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	w.syncs++
+	w.dirty = false
+	w.mu.Unlock()
+	return w.fsync()
+}
+
+// markDirty records that frames were appended under the background-flush
+// durability policy.
+func (w *wal) markDirty() {
+	w.mu.Lock()
+	w.dirty = true
+	w.mu.Unlock()
+}
+
+// flushIfDirty syncs the file if frames were appended since the last sync,
+// reporting whether a sync happened so the caller can charge the device. On
+// file error the log stays dirty and the flush is retried next interval.
+func (w *wal) flushIfDirty() (bool, error) {
+	w.mu.Lock()
+	if !w.dirty {
+		w.mu.Unlock()
+		return false, nil
+	}
+	w.dirty = false
+	w.syncs++
+	w.mu.Unlock()
+	err := w.fsync()
+	if err != nil {
+		w.mu.Lock()
+		w.dirty = true
+		w.mu.Unlock()
+	}
+	return true, err
+}
+
+// stats returns a consistent snapshot of the counters.
+func (w *wal) stats() walStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return walStats{
+		size:           w.size,
+		appends:        w.appends,
+		syncs:          w.syncs,
+		bytesWritten:   w.bytesWritten,
+		gcCommits:      w.gcCommits,
+		gcBatches:      w.gcBatches,
+		gcSyncsAvoided: w.gcSyncsAvoided,
+		gcMaxBatch:     w.gcMaxBatch,
+		gcBatchSizes:   w.gcBatchSizes,
+	}
+}
+
+// reset truncates the log after a checkpoint. The caller holds the exclusive
+// global latch with group commit drained, so no appends can race the
+// truncation; only the counters need the log lock.
 func (w *wal) reset() error {
+	w.mu.Lock()
 	w.size = 0
+	w.mu.Unlock()
 	if w.f == nil {
 		return nil
 	}

@@ -65,6 +65,41 @@ func (c *Conn) WriteFrame(payload []byte) error {
 	return c.w.Flush()
 }
 
+// envelopePool recycles encode buffers for the per-RPC envelope send path.
+// WriteFrame copies the payload into the connection's buffered writer before
+// returning, so a pooled buffer can be recycled as soon as the call is done.
+var envelopePool = sync.Pool{New: func() any { b := make([]byte, 0, 4<<10); return &b }}
+
+// WriteRequest encodes the request envelope into a pooled buffer and sends
+// it as one frame, avoiding a per-call allocation on the client hot path.
+func (c *Conn) WriteRequest(r *Request) error {
+	bp := envelopePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = binary.BigEndian.AppendUint64(buf, r.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.Op))
+	buf = append(buf, r.Body...)
+	err := c.WriteFrame(buf)
+	*bp = buf
+	envelopePool.Put(bp)
+	return err
+}
+
+// WriteResponse encodes the response envelope into a pooled buffer and sends
+// it as one frame, avoiding a per-reply allocation on the server hot path.
+func (c *Conn) WriteResponse(r *Response) error {
+	bp := envelopePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = binary.BigEndian.AppendUint64(buf, r.ID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.Status))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Err)))
+	buf = append(buf, r.Err...)
+	buf = append(buf, r.Body...)
+	err := c.WriteFrame(buf)
+	*bp = buf
+	envelopePool.Put(bp)
+	return err
+}
+
 // ReadFrame receives one frame. Only one goroutine may read at a time.
 func (c *Conn) ReadFrame() ([]byte, error) {
 	var hdr [4]byte

@@ -980,6 +980,15 @@ type StatsResponse struct {
 	WALFlushes      int64
 	WALBytes        int64
 	DeadTupleVisits int64
+
+	// Storage concurrency: WAL group commit and per-table latches.
+	GroupCommitCommits      int64 // flush-on commits that joined a batch
+	GroupCommitBatches      int64 // leader sync rounds (one device sync each)
+	GroupCommitSyncsAvoided int64 // commits minus batches
+	GroupCommitMaxBatch     int64
+	GroupCommitBatchSizes   []int64 // histogram, bucket upper bounds 1,2,4,8,16,+
+	LatchWaits              int64   // table-latch acquisitions that blocked
+	LatchWaitNS             int64   // total nanoseconds spent blocked
 }
 
 // Encode serializes the response body.
@@ -1018,6 +1027,16 @@ func (r *StatsResponse) Encode() []byte {
 	e.I64(r.WALFlushes)
 	e.I64(r.WALBytes)
 	e.I64(r.DeadTupleVisits)
+	e.I64(r.GroupCommitCommits)
+	e.I64(r.GroupCommitBatches)
+	e.I64(r.GroupCommitSyncsAvoided)
+	e.I64(r.GroupCommitMaxBatch)
+	e.Uvarint(uint64(len(r.GroupCommitBatchSizes)))
+	for _, n := range r.GroupCommitBatchSizes {
+		e.I64(n)
+	}
+	e.I64(r.LatchWaits)
+	e.I64(r.LatchWaitNS)
 	return e.Bytes()
 }
 
@@ -1069,6 +1088,19 @@ func DecodeStatsResponse(body []byte) (*StatsResponse, error) {
 	r.WALFlushes = d.I64()
 	r.WALBytes = d.I64()
 	r.DeadTupleVisits = d.I64()
+	r.GroupCommitCommits = d.I64()
+	r.GroupCommitBatches = d.I64()
+	r.GroupCommitSyncsAvoided = d.I64()
+	r.GroupCommitMaxBatch = d.I64()
+	nBuckets := d.Uvarint()
+	if d.Err() == nil && nBuckets > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	for i := uint64(0); i < nBuckets; i++ {
+		r.GroupCommitBatchSizes = append(r.GroupCommitBatchSizes, d.I64())
+	}
+	r.LatchWaits = d.I64()
+	r.LatchWaitNS = d.I64()
 	if err := d.Finish(); err != nil {
 		return nil, err
 	}

@@ -27,6 +27,14 @@ func TestStatsResponseRoundTrip(t *testing.T) {
 		WALFlushes:      40,
 		WALBytes:        1 << 16,
 		DeadTupleVisits: 77,
+
+		GroupCommitCommits:      320,
+		GroupCommitBatches:      45,
+		GroupCommitSyncsAvoided: 275,
+		GroupCommitMaxBatch:     16,
+		GroupCommitBatchSizes:   []int64{5, 10, 10, 10, 10, 0},
+		LatchWaits:              123,
+		LatchWaitNS:             456789,
 	}
 	out, err := DecodeStatsResponse(in.Encode())
 	if err != nil {

@@ -169,13 +169,28 @@ func (d *Driver) Run(ctx context.Context, totalOps int, op Op) (Result, error) {
 // rates — the paper performs "several trials (typically 5) and calculate[s]
 // the mean rate over those trials".
 func Trials(n int, fn func(trial int) (float64, error)) (metrics.Summary, error) {
+	return TrialsWarm(0, n, fn)
+}
+
+// TrialsWarm runs fn for warmup+n sequential trial indices and summarizes
+// only the last n rates. Warmup trials let connection pools, buffer pools
+// and the group-commit pipeline reach steady state before measurement;
+// without them the cold first trial inflates the reported variance. Trial
+// indices stay globally sequential so callers that derive namespaces from
+// the index keep them unique across warmup and measured trials.
+func TrialsWarm(warmup, n int, fn func(trial int) (float64, error)) (metrics.Summary, error) {
+	if warmup < 0 {
+		warmup = 0
+	}
 	rates := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < warmup+n; i++ {
 		r, err := fn(i)
 		if err != nil {
 			return metrics.Summary{}, err
 		}
-		rates = append(rates, r)
+		if i >= warmup {
+			rates = append(rates, r)
+		}
 	}
 	return metrics.Summarize(rates), nil
 }

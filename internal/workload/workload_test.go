@@ -176,3 +176,30 @@ func TestTrials(t *testing.T) {
 		t.Fatal("trial error not propagated")
 	}
 }
+
+func TestTrialsWarm(t *testing.T) {
+	var indices []int
+	sum, err := TrialsWarm(2, 3, func(trial int) (float64, error) {
+		indices = append(indices, trial)
+		return float64(trial * 10), nil // warmup trials would skew the mean
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indices are globally sequential across warmup and measured trials.
+	if len(indices) != 5 || indices[0] != 0 || indices[4] != 4 {
+		t.Fatalf("trial indices = %v, want [0 1 2 3 4]", indices)
+	}
+	// Only trials 2, 3, 4 are summarized: mean of 20, 30, 40.
+	if sum.N != 3 || sum.Mean != 30 {
+		t.Fatalf("summary %+v, want N=3 Mean=30", sum)
+	}
+	if _, err := TrialsWarm(1, 2, func(trial int) (float64, error) {
+		if trial == 0 {
+			return 0, fmt.Errorf("warmup failed")
+		}
+		return 1, nil
+	}); err == nil {
+		t.Fatal("warmup-trial error not propagated")
+	}
+}

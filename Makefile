@@ -22,12 +22,13 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzBloomRoundTrip -fuzztime=10s -run '^$$' ./internal/bloom
 	$(GO) test -fuzz=FuzzGlobMatch -fuzztime=10s -run '^$$' ./internal/glob
+	$(GO) test -fuzz=FuzzDecodeResponse -fuzztime=10s -run '^$$' ./internal/wire
 
 # Repeated race-detector runs over the packages with real lock hierarchies
-# (per-table latches, group commit, connection handling) to shake out
-# schedule-dependent bugs.
+# (per-table latches, group commit, connection handling, the client
+# demultiplexer) to shake out schedule-dependent bugs.
 stress:
-	$(GO) test -race -count=5 ./internal/storage ./internal/server
+	$(GO) test -race -count=5 ./internal/storage ./internal/server ./internal/client
 
 ci: build vet lint race fuzz stress
 

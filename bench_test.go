@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bloom"
@@ -471,6 +472,60 @@ func BenchmarkAblationBulkVsSingle(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := c.BulkGetTargets(ctx, names); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRoundTripSerial measures the lock-step wire round trip: one
+// connection, one outstanding request — the baseline the pipelining work
+// must not regress.
+func BenchmarkRoundTripSerial(b *testing.B) {
+	ctx := context.Background()
+	dep, _, gen := benchLRC(b, storage.PersonalityMySQL)
+	c := benchDial(b, dep, "lrc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetTargets(ctx, gen.Logical(i*7919%benchCatalog)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTripPipelined measures the same round trip with requests
+// multiplexed over a single connection: a pipelined server (MaxInFlight 32)
+// and concurrent callers sharing one demultiplexed client.
+func BenchmarkRoundTripPipelined(b *testing.B) {
+	ctx := context.Background()
+	dep := core.NewDeployment()
+	fast := disk.Fast()
+	if _, err := dep.AddServer(core.ServerSpec{
+		Name: "lrc", LRC: true, Disk: &fast, MaxInFlight: 32,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(dep.Close)
+	gen := workload.Names{Space: "bench-pipe"}
+	load, err := dep.Dial("lrc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.Load(ctx, load, gen, benchCatalog, 1000); err != nil {
+		b.Fatal(err)
+	}
+	load.Close()
+	c, err := dep.Dial("lrc", core.DialOptions{MaxInFlight: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(seq.Add(1))
+			if _, err := c.GetTargets(ctx, gen.Logical(i*7919%benchCatalog)); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -30,6 +30,7 @@ func main() {
 		trials     = flag.Int("trials", 3, "trials per measured point (paper used 5)")
 		warmup     = flag.Int("warmup", 1, "discarded warmup trials per measured point")
 		ops        = flag.Float64("ops", 1.0, "multiplier on per-point operation counts")
+		pipeline   = flag.Int("pipeline", 0, "wire-protocol pipeline depth (0 or 1 = paper's lock-step protocol)")
 		quick      = flag.Bool("quick", false, "preset: -scale 0.005 -trials 1 -warmup 0 -ops 0.3")
 		noDisk     = flag.Bool("no-disk-model", false, "disable the simulated 2004-era disk costs")
 		noNet      = flag.Bool("no-net-model", false, "disable LAN/WAN network shaping")
@@ -59,6 +60,7 @@ func main() {
 	}
 	p.DiskModel = !*noDisk
 	p.NetModel = !*noNet
+	p.Pipeline = *pipeline
 
 	ids := flag.Args()
 	var experiments []harness.Experiment

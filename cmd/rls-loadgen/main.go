@@ -31,6 +31,7 @@ func main() {
 		op      = flag.String("op", "query", "operation: add, delete, query, rli-query, bulk-query, mixed")
 		clients = flag.Int("clients", 1, "simulated client processes")
 		threads = flag.Int("threads", 10, "threads per client (one connection each)")
+		pipeline = flag.Int("pipeline", 0, "requests kept in flight per connection (0 or 1 = lock-step)")
 		ops     = flag.Int("ops", 20000, "total operations per trial")
 		trials  = flag.Int("trials", 5, "measurement trials")
 		space   = flag.String("space", "loadgen", "name-space for generated names")
@@ -41,7 +42,7 @@ func main() {
 	flag.Parse()
 
 	dial := func() (*client.Client, error) {
-		return client.Dial(ctx, client.Options{Addr: *server, DN: *dn, Token: *token})
+		return client.Dial(ctx, client.Options{Addr: *server, DN: *dn, Token: *token, MaxInFlight: *pipeline})
 	}
 	gen := workload.Names{Space: *space}
 
@@ -107,9 +108,9 @@ func main() {
 		fatal(fmt.Errorf("unknown op %q", *op))
 	}
 
-	drv := &workload.Driver{Clients: *clients, ThreadsPerClient: *threads, Dial: dial}
-	fmt.Printf("op=%s clients=%d threads/client=%d ops/trial=%d trials=%d\n",
-		*op, *clients, *threads, *ops, *trials)
+	drv := &workload.Driver{Clients: *clients, ThreadsPerClient: *threads, Pipeline: *pipeline, Dial: dial}
+	fmt.Printf("op=%s clients=%d threads/client=%d pipeline=%d ops/trial=%d trials=%d\n",
+		*op, *clients, *threads, *pipeline, *ops, *trials)
 	var lastErrors int
 	sum, err := workload.Trials(*trials, func(trial int) (float64, error) {
 		res, err := drv.Run(ctx, *ops, fn)

@@ -45,6 +45,7 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "serve JSON telemetry snapshots over HTTP on this address (e.g. 127.0.0.1:9090)")
 		idle     = flag.Duration("idle-timeout", 0, "reap connections idle for this long; 0 disables")
 		slowOp   = flag.Duration("slow-op-threshold", 0, "warn-log dispatches at or above this duration; 0 disables")
+		maxInFl  = flag.Int("max-inflight", 0, "requests dispatched concurrently per connection; 0 or 1 = lock-step")
 	)
 	flag.Parse()
 
@@ -75,6 +76,7 @@ func main() {
 			ImmediateMode:   *imm,
 			IdleTimeout:     *idle,
 			SlowOpThreshold: *slowOp,
+			MaxInFlight:     *maxInFl,
 			// Surface Warn-and-up diagnostics (slow ops, telemetry
 			// summaries) on stderr; per-connection Debug noise stays off.
 			Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),

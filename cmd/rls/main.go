@@ -350,6 +350,18 @@ func printStats(st *wire.StatsResponse) {
 	}
 	fmt.Printf("latches: waits=%d wait_time=%s\n",
 		st.LatchWaits, time.Duration(st.LatchWaitNS))
+	fmt.Printf("pipeline: in_flight=%d max_depth=%d flushes=%d flushes_avoided=%d bad_frame_naks=%d\n",
+		st.RequestsInFlight, st.PipelineMaxDepth, st.RespFlushes, st.RespFlushesAvoided, st.BadFrameNAKs)
+	if len(st.PipelineDepths) == 7 {
+		d := st.PipelineDepths
+		fmt.Printf("  dispatch depths:  <=1:%d <=2:%d <=4:%d <=8:%d <=16:%d <=64:%d >64:%d\n",
+			d[0], d[1], d[2], d[3], d[4], d[5], d[6])
+	}
+	if len(st.RespBatchSizes) == 7 {
+		b := st.RespBatchSizes
+		fmt.Printf("  response batches: <=1:%d <=2:%d <=4:%d <=8:%d <=16:%d <=64:%d >64:%d\n",
+			b[0], b[1], b[2], b[3], b[4], b[5], b[6])
+	}
 }
 
 func printNames(names []string) {

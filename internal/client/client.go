@@ -5,10 +5,17 @@
 // updates (it implements lrc.Updater).
 //
 // Every RPC takes a context.Context as its first argument. A context
-// deadline bounds the whole RPC (the connection deadline covers both the
-// request write and the response read); plain cancellation is checked
-// before the request is sent. rls-lint's ctxcheck enforces this shape for
-// every exported blocking method.
+// deadline or cancellation bounds the whole RPC: the caller waits on a
+// per-call channel and gives up when ctx.Done() fires, so deadlines compose
+// across interleaved calls on one connection. rls-lint's ctxcheck enforces
+// this shape for every exported blocking method.
+//
+// The connection is a multiplexed pipe. Callers write request frames
+// tagged with fresh IDs; a single reader goroutine demultiplexes response
+// frames back to per-call waiters by ID. Calls from many goroutines
+// therefore pipeline on one connection instead of serializing on a
+// lock-step mutex, and a connection-fatal read error fails every waiter at
+// once.
 package client
 
 import (
@@ -16,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -81,17 +89,29 @@ type Options struct {
 	// DialTimeout bounds connection establishment in addition to any ctx
 	// deadline; default 30s.
 	DialTimeout time.Duration
+	// MaxInFlight caps the number of RPCs outstanding on the connection at
+	// once; further calls block until a response arrives (or their ctx
+	// fires). 0 means no client-side cap.
+	MaxInFlight int
 }
 
+// errClosed reports a call issued on (or interrupted by) a closed client.
+var errClosed = errors.New("rls: client closed")
+
 // Client is one authenticated connection to an RLS server. Methods are safe
-// for concurrent use but serialize on the connection; the paper's
-// multi-threaded test client maps to one Client per thread.
+// for concurrent use and pipeline on the connection: each call writes its
+// frame and parks on a per-call waiter channel while a single reader
+// goroutine routes responses back by request ID.
 type Client struct {
 	conn      *wire.Conn
 	serverURL string
 
-	mu     sync.Mutex
-	nextID uint64
+	sem chan struct{} // in-flight cap; nil = unbounded
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiters map[uint64]chan *wire.Response
+	err     error // connection-fatal error; set once, fails all new calls
 }
 
 // Dial connects and performs the Hello handshake. The context bounds both
@@ -147,50 +167,190 @@ func Dial(ctx context.Context, opts Options) (*Client, error) {
 			return nil, err
 		}
 	}
-	return &Client{conn: conn, serverURL: ack.Detail}, nil
+	c := &Client{
+		conn:      conn,
+		serverURL: ack.Detail,
+		waiters:   make(map[uint64]chan *wire.Response),
+	}
+	if opts.MaxInFlight > 0 {
+		c.sem = make(chan struct{}, opts.MaxInFlight)
+	}
+	go c.readLoop()
+	return c, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection; outstanding and future calls fail.
+func (c *Client) Close() error {
+	c.fail(errClosed)
+	return c.conn.Close()
+}
 
 // ServerURL returns the server's advertised address from the handshake.
 func (c *Client) ServerURL() string { return c.serverURL }
 
-// call performs one synchronous RPC. A context deadline bounds the whole
-// exchange via the connection deadline; cancellation without a deadline is
-// honored up to the point the request is written.
-func (c *Client) call(ctx context.Context, op wire.Op, body []byte) ([]byte, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if dl, ok := ctx.Deadline(); ok {
-		if err := c.conn.SetDeadline(dl); err != nil {
-			return nil, err
+// readLoop is the demultiplexer: the sole reader of the connection, routing
+// each response frame to its call's waiter by ID. A response whose ID has
+// no waiter is dropped — it is the late answer to a call whose context was
+// cancelled, and must not kill the connection. A read or decode error is
+// connection-fatal and fails every outstanding waiter.
+func (c *Client) readLoop() {
+	for {
+		payload, err := c.conn.ReadFrame()
+		if err != nil {
+			c.fail(fmt.Errorf("rls: connection lost: %w", err))
+			return
 		}
-		defer c.conn.SetDeadline(time.Time{})
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("rls: bad response frame: %w", err))
+			_ = c.conn.Close()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[resp.ID]
+		if ok {
+			delete(c.waiters, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every outstanding waiter. Only
+// the first error sticks; later calls are no-ops for the error but still
+// drain any waiters registered in between.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	ws := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	for _, ch := range ws {
+		close(ch)
+	}
+}
+
+// waiterPool recycles per-call waiter channels. A channel is returned to
+// the pool only on the clean-receive path, where its single buffered slot
+// has provably been drained; abandoned (ctx-cancelled) and closed channels
+// are left for the garbage collector.
+var waiterPool = sync.Pool{
+	New: func() any { return make(chan *wire.Response, 1) },
+}
+
+// startCall assigns an ID, registers a waiter, and writes the request
+// frame. The caller must finish with wait (or the waiter leaks until the
+// connection dies).
+func (c *Client) startCall(ctx context.Context, op wire.Op, body []byte) (uint64, chan *wire.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	if c.sem != nil {
+		select {
+		case c.sem <- struct{}{}:
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+	}
+	ch := waiterPool.Get().(chan *wire.Response)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		c.release()
+		return 0, nil, err
 	}
 	c.nextID++
-	req := wire.Request{ID: c.nextID, Op: op, Body: body}
+	id := c.nextID
+	c.waiters[id] = ch
+	c.mu.Unlock()
+	req := wire.Request{ID: id, Op: op, Body: body}
 	if err := c.conn.WriteRequest(&req); err != nil {
+		c.forget(id)
+		c.release()
+		return 0, nil, err
+	}
+	return id, ch, nil
+}
+
+// wait parks on the call's waiter until the demultiplexer delivers the
+// response, the context fires, or the connection dies.
+func (c *Client) wait(ctx context.Context, id uint64, ch chan *wire.Response) ([]byte, error) {
+	defer c.release()
+	var resp *wire.Response
+	var ok bool
+	if done := ctx.Done(); done == nil {
+		// Uncancellable context: skip the select machinery, and poll with a
+		// few cooperative yields before parking — on low-latency transports
+		// the response usually lands within a yield or two, saving the
+		// park/unpark pair that would otherwise dominate the round trip.
+	spin:
+		for i := 0; ; i++ {
+			select {
+			case resp, ok = <-ch:
+				break spin
+			default:
+				if i < 4 {
+					runtime.Gosched()
+					continue
+				}
+				resp, ok = <-ch
+				break spin
+			}
+		}
+	} else {
+		select {
+		case resp, ok = <-ch:
+		case <-done:
+			c.forget(id)
+			return nil, ctx.Err()
+		}
+	}
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errClosed
+		}
 		return nil, err
 	}
-	payload, err := c.conn.ReadFrame()
-	if err != nil {
-		return nil, err
-	}
-	resp, err := wire.DecodeResponse(payload)
-	if err != nil {
-		return nil, err
-	}
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("rls: response id %d for request %d", resp.ID, req.ID)
-	}
+	waiterPool.Put(ch) // single buffered slot drained; safe to recycle
 	if resp.Status != wire.StatusOK {
 		return nil, &StatusError{Status: resp.Status, Msg: resp.Err}
 	}
 	return resp.Body, nil
+}
+
+// forget abandons a call: its response, if one ever arrives, is dropped by
+// the demultiplexer as an unknown ID.
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	if c.waiters != nil {
+		delete(c.waiters, id)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) release() {
+	if c.sem != nil {
+		<-c.sem
+	}
+}
+
+// call performs one synchronous RPC: write the request, then wait for the
+// demultiplexer to deliver its response. Concurrent calls interleave on the
+// connection rather than serializing.
+func (c *Client) call(ctx context.Context, op wire.Op, body []byte) ([]byte, error) {
+	id, ch, err := c.startCall(ctx, op, body)
+	if err != nil {
+		return nil, err
+	}
+	return c.wait(ctx, id, ch)
 }
 
 // Ping checks liveness.
@@ -542,4 +702,21 @@ func (c *Client) SSBloom(ctx context.Context, lrcURL string, bitmap []byte) erro
 	req := wire.SSBloomRequest{LRC: lrcURL, Bitmap: bitmap}
 	_, err := c.call(ctx, wire.OpSSBloom, req.Encode())
 	return err
+}
+
+// SSFullBatchStart writes one batch of a full update and returns without
+// waiting for the response; the returned function waits for (or abandons,
+// on ctx cancellation) the acknowledgement. The soft-state sender keeps a
+// window of these in flight so a bulk stream pays one RTT per window rather
+// than one per batch.
+func (c *Client) SSFullBatchStart(ctx context.Context, lrcURL string, names []string) (func(context.Context) error, error) {
+	req := wire.SSFullBatchRequest{LRC: lrcURL, Names: names}
+	id, ch, err := c.startCall(ctx, wire.OpSSFullBatch, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) error {
+		_, err := c.wait(ctx, id, ch)
+		return err
+	}, nil
 }

@@ -1,10 +1,14 @@
 package client
 
 import (
+	"context"
 	"errors"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -13,6 +17,9 @@ import (
 type fakeServer struct {
 	acceptHello bool
 	respond     func(req *wire.Request) *wire.Response
+	// preludes, when set, emits extra frames before each real response
+	// (bogus-ID noise for demultiplexer tests).
+	preludes func(req *wire.Request) []*wire.Response
 }
 
 func (f *fakeServer) serve(conn net.Conn) {
@@ -47,6 +54,13 @@ func (f *fakeServer) serve(conn net.Conn) {
 		resp := f.respond(req)
 		if resp == nil {
 			return // scripted connection drop
+		}
+		if f.preludes != nil {
+			for _, p := range f.preludes(req) {
+				if err := wc.WriteFrame(p.Encode()); err != nil {
+					return
+				}
+			}
 		}
 		if err := wc.WriteFrame(resp.Encode()); err != nil {
 			return
@@ -147,11 +161,18 @@ func TestStatusErrorMessage(t *testing.T) {
 	}
 }
 
-func TestMismatchedResponseID(t *testing.T) {
+// TestUnknownResponseIDIgnored scripts a server that emits a bogus-ID frame
+// before every real response: the demultiplexer must drop the unknown ID
+// (it is indistinguishable from the late answer to a cancelled call) and
+// keep the connection serving.
+func TestUnknownResponseIDIgnored(t *testing.T) {
 	f := &fakeServer{
 		acceptHello: true,
 		respond: func(req *wire.Request) *wire.Response {
-			return &wire.Response{ID: req.ID + 100, Status: wire.StatusOK}
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK}
+		},
+		preludes: func(req *wire.Request) []*wire.Response {
+			return []*wire.Response{{ID: req.ID + 100, Status: wire.StatusInternal, Err: "noise"}}
 		},
 	}
 	c, err := dialFake(t, f)
@@ -159,8 +180,228 @@ func TestMismatchedResponseID(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(ctx); err != nil {
+			t.Fatalf("ping %d after unknown-ID frame: %v", i, err)
+		}
+	}
+}
+
+// TestOutOfOrderResponses holds two requests and answers them in reverse
+// arrival order; the demultiplexer must route each response to its caller
+// by ID.
+func TestOutOfOrderResponses(t *testing.T) {
+	serve := func(conn net.Conn) {
+		wc := wire.NewConn(conn)
+		defer wc.Close()
+		if _, err := wc.ReadFrame(); err != nil {
+			return
+		}
+		if err := wc.WriteFrame((&wire.HelloAck{Status: wire.StatusOK, Detail: "rls://fake"}).Encode()); err != nil {
+			return
+		}
+		var reqs []*wire.Request
+		for len(reqs) < 2 {
+			payload, err := wc.ReadFrame()
+			if err != nil {
+				return
+			}
+			req, err := wire.DecodeRequest(payload)
+			if err != nil {
+				return
+			}
+			reqs = append(reqs, &wire.Request{ID: req.ID, Op: req.Op, Body: append([]byte(nil), req.Body...)})
+		}
+		for i := len(reqs) - 1; i >= 0; i-- { // reverse order
+			nr, err := wire.DecodeNameRequest(reqs[i].Body)
+			if err != nil {
+				return
+			}
+			body := (&wire.NamesResponse{Names: []string{nr.Name}}).Encode()
+			if err := wc.WriteFrame((&wire.Response{ID: reqs[i].ID, Status: wire.StatusOK, Body: body}).Encode()); err != nil {
+				return
+			}
+		}
+	}
+	c, err := Dial(ctx, Options{Dialer: func() (net.Conn, error) {
+		a, b := net.Pipe()
+		go serve(b)
+		return a, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	names := []string{"lfn://first", "lfn://second"}
+	results := make([][]string, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.GetTargets(ctx, names[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, name := range names {
+		if errs[i] != nil {
+			t.Fatalf("call %d: %v", i, errs[i])
+		}
+		if len(results[i]) != 1 || results[i][0] != name {
+			t.Fatalf("call %d routed wrong response: got %v, want [%s]", i, results[i], name)
+		}
+	}
+}
+
+// TestCallDeadlineUnderMultiplexing verifies per-call deadlines: a call
+// whose server-side handling stalls times out on its own context, the late
+// response is dropped as an unknown ID, and the connection stays usable.
+func TestCallDeadlineUnderMultiplexing(t *testing.T) {
+	block := make(chan struct{})
+	var first atomic.Bool
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			if first.CompareAndSwap(false, true) {
+				<-block // stall only the first request
+			}
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK}
+		},
+	}
+	c, err := dialFake(t, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if err := c.Ping(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled call = %v, want DeadlineExceeded", err)
+	}
+	close(block) // server now answers the stale request, then fresh ones
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("connection unusable after per-call timeout: %v", err)
+	}
+}
+
+// TestConnectionDeathFailsAllWaiters parks several calls on one connection
+// and kills it: every waiter must be failed, and later calls must error
+// immediately.
+func TestConnectionDeathFailsAllWaiters(t *testing.T) {
+	const callers = 8
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			return nil // drop the connection at the first dispatched request
+		},
+	}
+	c, err := dialFake(t, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Ping(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("caller %d survived connection death", i)
+		}
+	}
 	if err := c.Ping(ctx); err == nil {
-		t.Fatal("mismatched response id accepted")
+		t.Fatal("call on dead connection succeeded")
+	}
+}
+
+// TestMaxInFlightBounds verifies the client-side in-flight cap: with a cap
+// of 1 and the slot held by a stalled call, the next call blocks until its
+// context fires.
+func TestMaxInFlightBounds(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			close(started)
+			<-block
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK}
+		},
+	}
+	c, err := Dial(ctx, Options{
+		MaxInFlight: 1,
+		Dialer: func() (net.Conn, error) {
+			a, b := net.Pipe()
+			go f.serve(b)
+			return a, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- c.Ping(ctx) }()
+	<-started // the slot is now held
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if err := c.Ping(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("capped call = %v, want DeadlineExceeded", err)
+	}
+	close(block)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("slot holder failed: %v", err)
+	}
+}
+
+// TestPipelinedStress hammers one connection from many goroutines with
+// random per-call timeouts — the -race regression test for the
+// demultiplexer's waiter bookkeeping under cancellation.
+func TestPipelinedStress(t *testing.T) {
+	c, err := dialFake(t, okServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	goroutines, iters := 16, 120
+	if testing.Short() {
+		goroutines, iters = 8, 40
+	}
+	var wg sync.WaitGroup
+	var fatal atomic.Value
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				callCtx, cancel := ctx, context.CancelFunc(func() {})
+				if rng.Intn(4) == 0 { // random tight deadline
+					callCtx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+				}
+				err := c.Ping(callCtx)
+				cancel()
+				if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					fatal.Store(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := fatal.Load(); err != nil {
+		t.Fatalf("non-cancellation error under stress: %v", err)
+	}
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("connection unhealthy after stress: %v", err)
 	}
 }
 

@@ -1,0 +1,109 @@
+package client
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Pool is a small fixed set of pipelined connections to one server, with
+// calls spread round-robin. The soft-state sender uses it so full-update
+// batches and incremental flushes overlap RTTs across both the in-flight
+// window of each connection and the connections themselves — the
+// multiplexed analogue of the paper's multi-threaded update client.
+//
+// Pool implements the same soft-state method set as Client, so it
+// satisfies lrc.Updater.
+type Pool struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+// NewPool dials size connections with the given options (including any
+// per-connection Options.MaxInFlight cap). On any dial failure the
+// already-opened connections are closed and the error returned.
+func NewPool(ctx context.Context, opts Options, size int) (*Pool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{clients: make([]*Client, 0, size)}
+	for i := 0; i < size; i++ {
+		c, err := Dial(ctx, opts)
+		if err != nil {
+			_ = p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// pick returns the next connection round-robin.
+func (p *Pool) pick() *Client {
+	n := p.next.Add(1)
+	return p.clients[int((n-1)%uint64(len(p.clients)))]
+}
+
+// Size reports the number of pooled connections.
+func (p *Pool) Size() int { return len(p.clients) }
+
+// ServerURL returns the server's advertised address from the handshake.
+func (p *Pool) ServerURL() string {
+	if len(p.clients) == 0 {
+		return ""
+	}
+	return p.clients[0].ServerURL()
+}
+
+// Close closes every pooled connection, returning the first error.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---- soft state updates (Pool implements lrc.Updater) ----
+
+// SSFullStart opens a full soft state update.
+func (p *Pool) SSFullStart(ctx context.Context, lrcURL string, total uint64) error {
+	return p.pick().SSFullStart(ctx, lrcURL, total)
+}
+
+// SSFullBatch sends one batch of a full update.
+func (p *Pool) SSFullBatch(ctx context.Context, lrcURL string, names []string) error {
+	return p.pick().SSFullBatch(ctx, lrcURL, names)
+}
+
+// SSFullBatchStart writes one full-update batch on the next pooled
+// connection without waiting; the returned function waits for the ack.
+func (p *Pool) SSFullBatchStart(ctx context.Context, lrcURL string, names []string) (func(context.Context) error, error) {
+	return p.pick().SSFullBatchStart(ctx, lrcURL, names)
+}
+
+// SSFullEnd completes a full update.
+func (p *Pool) SSFullEnd(ctx context.Context, lrcURL string) error {
+	return p.pick().SSFullEnd(ctx, lrcURL)
+}
+
+// SSIncremental sends an immediate-mode update.
+func (p *Pool) SSIncremental(ctx context.Context, lrcURL string, added, removed []string) error {
+	return p.pick().SSIncremental(ctx, lrcURL, added, removed)
+}
+
+// SSBloom sends a Bloom filter update.
+func (p *Pool) SSBloom(ctx context.Context, lrcURL string, bitmap []byte) error {
+	return p.pick().SSBloom(ctx, lrcURL, bitmap)
+}
+
+// Ping checks liveness on one pooled connection.
+func (p *Pool) Ping(ctx context.Context) error { return p.pick().Ping(ctx) }
+
+// Stats fetches the server's telemetry snapshot via one pooled connection.
+func (p *Pool) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	return p.pick().Stats(ctx)
+}

@@ -83,6 +83,18 @@ type ServerSpec struct {
 	// Clock overrides the time source (fake clocks in tests).
 	Clock clock.Clock
 
+	// MaxInFlight caps requests dispatched concurrently per connection by
+	// this server; values <= 1 keep the lock-step per-connection loop.
+	MaxInFlight int
+	// SSWindow pipelines soft-state updates sent by this LRC: the number
+	// of full-update batches kept in flight per RLI target
+	// (lrc.Config.UpdateWindow); values <= 1 keep lock-step sends with a
+	// fresh dial per update.
+	SSWindow int
+	// SSConns sizes the soft-state connection pool per RLI target; values
+	// <= 1 use a single connection.
+	SSConns int
+
 	// IdleTimeout reaps connections idle for this long; zero disables.
 	IdleTimeout time.Duration
 	// SlowOpThreshold logs and counts dispatches at/above this duration;
@@ -253,7 +265,7 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 		svc, err := lrc.New(context.Background(), lrc.Config{
 			URL:                node.URL,
 			DB:                 db,
-			Dial:               d.updaterDialer(),
+			Dial:               d.updaterDialer(spec.SSConns, spec.SSWindow),
 			Clock:              spec.Clock,
 			ImmediateMode:      spec.ImmediateMode,
 			ImmediateInterval:  spec.ImmediateInterval,
@@ -261,6 +273,7 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 			FullInterval:       spec.FullInterval,
 			FullBatch:          spec.FullBatch,
 			BloomSizeHint:      spec.BloomSizeHint,
+			UpdateWindow:       spec.SSWindow,
 		})
 		if err != nil {
 			cleanup()
@@ -312,6 +325,7 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 		SlowOpThreshold:  spec.SlowOpThreshold,
 		StatsLogInterval: spec.StatsLogInterval,
 		StorageStats:     node.storageStats,
+		MaxInFlight:      spec.MaxInFlight,
 	})
 	if err != nil {
 		cleanup()
@@ -388,23 +402,36 @@ func (d *Deployment) resolve(url string) (*Node, error) {
 }
 
 // updaterDialer lets LRC services reach RLI nodes by URL for soft state
-// updates.
-func (d *Deployment) updaterDialer() lrc.Dialer {
+// updates. With conns > 1 each dial opens a pipelined connection pool; the
+// window sizes the per-connection in-flight cap to match the LRC's
+// soft-state update window.
+func (d *Deployment) updaterDialer(conns, window int) lrc.Dialer {
 	return func(ctx context.Context, url string) (lrc.Updater, error) {
 		n, err := d.resolve(url)
 		if err != nil {
 			return nil, err
 		}
-		return client.Dial(ctx, client.Options{
+		opts := client.Options{
 			Dialer: func() (net.Conn, error) { return d.dialNode(n) },
-		})
+		}
+		if window > 1 {
+			opts.MaxInFlight = window
+		}
+		if conns > 1 {
+			return client.NewPool(ctx, opts, conns)
+		}
+		return client.Dial(ctx, opts)
 	}
 }
 
-// DialOptions carries client identity for Dial.
+// DialOptions carries client identity and pipelining for Dial.
 type DialOptions struct {
 	DN    string
 	Token string
+	// MaxInFlight caps the client's concurrently outstanding requests per
+	// connection; 0 leaves the client uncapped (lock-step callers never
+	// notice either way — the cap only matters under concurrent calls).
+	MaxInFlight int
 }
 
 // Dial opens a client to the named server over the in-process transport.
@@ -420,9 +447,10 @@ func (d *Deployment) Dial(name string, opts ...DialOptions) (*client.Client, err
 		o = opts[0]
 	}
 	return client.Dial(context.Background(), client.Options{
-		DN:     o.DN,
-		Token:  o.Token,
-		Dialer: func() (net.Conn, error) { return d.dialNode(n) },
+		DN:          o.DN,
+		Token:       o.Token,
+		MaxInFlight: o.MaxInFlight,
+		Dialer:      func() (net.Conn, error) { return d.dialNode(n) },
 	})
 }
 
@@ -444,8 +472,9 @@ func (d *Deployment) DialTCP(name string, opts ...DialOptions) (*client.Client, 
 	}
 	addr := n.listener.Addr().String()
 	return client.Dial(context.Background(), client.Options{
-		DN:    o.DN,
-		Token: o.Token,
+		DN:          o.DN,
+		Token:       o.Token,
+		MaxInFlight: o.MaxInFlight,
 		Dialer: func() (net.Conn, error) {
 			raw, err := net.Dial("tcp", addr)
 			if err != nil {

@@ -38,6 +38,11 @@ type Params struct {
 	DiskModel bool
 	// NetModel enables LAN/WAN connection shaping.
 	NetModel bool
+	// Pipeline is the wire-protocol pipeline depth: requests each client
+	// connection keeps in flight and, for soft-state experiments, the
+	// server's per-connection dispatch width and the LRC's update window.
+	// 0 or 1 is the paper's lock-step protocol.
+	Pipeline int
 	// Out receives the result tables.
 	Out io.Writer
 }

@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "table3",
 		"ablate-bloom-params", "ablate-immediate", "ablate-flush-interval",
-		"ablate-partitioning", "ablate-transport",
+		"ablate-partitioning", "ablate-transport", "ablate-pipeline",
 	}
 	for _, id := range wantIDs {
 		e, ok := ByID(id)

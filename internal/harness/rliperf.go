@@ -85,13 +85,17 @@ func runFig9(p Params) error {
 	const threads = 3
 	var rows [][]string
 	for _, clients := range clientCounts {
-		sum, err := workload.TrialsWarm(p.Warmup, p.Trials, func(int) (float64, error) {
+		// An extra warmup trial and a 3x longer measured run than the other
+		// figures: RLI queries are so fast that short runs put the rate's
+		// run-to-run spread near half the mean.
+		sum, err := workload.TrialsWarm(p.Warmup+1, p.Trials, func(int) (float64, error) {
 			drv := &workload.Driver{
 				Clients:          clients,
 				ThreadsPerClient: threads,
+				Pipeline:         p.Pipeline,
 				Dial:             func() (*client.Client, error) { return dep.Dial("rli") },
 			}
-			res, err := drv.Run(ctx, p.ops(4000), func(ctx context.Context, c *client.Client, seq int) error {
+			res, err := drv.Run(ctx, p.ops(12000), func(ctx context.Context, c *client.Client, seq int) error {
 				_, err := c.RLIQuery(ctx, gen.Logical(seq * 7919 % size))
 				return err
 			})
@@ -149,13 +153,16 @@ func runFig10(p Params) error {
 		}
 		gen0 := workload.Names{Space: "lrc000"}
 		for _, clients := range clientCounts {
-			sum, err := workload.TrialsWarm(p.Warmup, p.Trials, func(int) (float64, error) {
+			// Same hygiene as fig9: extra warmup and a longer run keep the
+			// reported spread a small fraction of the mean.
+			sum, err := workload.TrialsWarm(p.Warmup+1, p.Trials, func(int) (float64, error) {
 				drv := &workload.Driver{
 					Clients:          clients,
 					ThreadsPerClient: threads,
+					Pipeline:         p.Pipeline,
 					Dial:             func() (*client.Client, error) { return dep.Dial("rli") },
 				}
-				res, err := drv.Run(ctx, p.ops(6000), func(ctx context.Context, c *client.Client, seq int) error {
+				res, err := drv.Run(ctx, p.ops(12000), func(ctx context.Context, c *client.Client, seq int) error {
 					_, err := c.RLIQuery(ctx, gen0.Logical(seq * 7919 % entriesPerFilter))
 					return err
 				})
@@ -174,7 +181,7 @@ func runFig10(p Params) error {
 			rows = append(rows, []string{
 				fmt.Sprintf("%d", filters),
 				fmt.Sprintf("%d", clients),
-				f0(sum.Mean),
+				msd(sum),
 			})
 		}
 		dep.Close()

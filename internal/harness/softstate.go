@@ -51,7 +51,10 @@ func buildSoftStateRig(p Params, nLRCs, size int, net netsim.Profile, bloomUpdat
 	if !p.NetModel {
 		net = netsim.Unshaped()
 	}
-	rliNode, err := dep.AddServer(core.ServerSpec{Name: "rli", RLI: true, Net: net, Disk: p.diskSpec()})
+	// p.Pipeline > 1 turns on wire-protocol pipelining end to end: the RLI
+	// dispatches that many requests per connection concurrently and each LRC
+	// keeps the same number of soft-state batches in flight.
+	rliNode, err := dep.AddServer(core.ServerSpec{Name: "rli", RLI: true, Net: net, Disk: p.diskSpec(), MaxInFlight: p.Pipeline})
 	if err != nil {
 		dep.Close()
 		return nil, err
@@ -65,6 +68,7 @@ func buildSoftStateRig(p Params, nLRCs, size int, net netsim.Profile, bloomUpdat
 			LRC:           true,
 			Disk:          fast,
 			BloomSizeHint: size,
+			SSWindow:      p.Pipeline,
 		})
 		if err != nil {
 			dep.Close()

@@ -35,6 +35,15 @@ type Updater interface {
 // Dialer opens an Updater to the RLI at the given url.
 type Dialer func(ctx context.Context, url string) (Updater, error)
 
+// batchStarter is the asynchronous-batch capability of a pipelined Updater
+// (client.Client and client.Pool provide it): write one full-update batch
+// without waiting, and settle the acknowledgement via the returned
+// function. The windowed full update uses it when Config.UpdateWindow > 1;
+// updaters without it fall back to lock-step batches.
+type batchStarter interface {
+	SSFullBatchStart(ctx context.Context, lrcURL string, names []string) (func(context.Context) error, error)
+}
+
 // Defaults for the soft state scheduler.
 const (
 	// DefaultImmediateInterval matches the paper's §3.3: "Immediate mode
@@ -76,6 +85,14 @@ type Config struct {
 	// BloomSizeHint pre-sizes the Bloom filter (expected mappings); zero
 	// uses the current catalog size.
 	BloomSizeHint int
+	// UpdateWindow pipelines soft-state sends. Values <= 1 preserve the
+	// original lock-step behaviour: dial per update, one batch per RTT,
+	// close after. Values > 1 cache the connection to each target across
+	// updates and, when the dialed Updater supports asynchronous batches
+	// (client.Client and client.Pool do), keep up to UpdateWindow
+	// full-update batches in flight so a bulk stream pays one RTT per
+	// window rather than one per batch.
+	UpdateWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +142,12 @@ type pendingChanges struct {
 type target struct {
 	spec     wire.RLITarget
 	patterns []*regexp.Regexp
+
+	// Cached soft-state connection, kept open across update passes when
+	// Config.UpdateWindow > 1 so repeated updates skip the dial + handshake
+	// RTT. Guarded by upMu, not Service.mu: dialing happens mid-send.
+	upMu sync.Mutex
+	up   Updater
 }
 
 // Stats counts soft state update activity.
@@ -259,7 +282,7 @@ func (s *Service) Start() {
 	}
 }
 
-// Close stops the schedulers.
+// Close stops the schedulers and closes any cached soft-state connections.
 func (s *Service) Close() {
 	select {
 	case <-s.stop:
@@ -267,6 +290,23 @@ func (s *Service) Close() {
 		close(s.stop)
 	}
 	s.wg.Wait()
+	s.mu.Lock()
+	targets := s.snapshotTargetsLocked()
+	s.mu.Unlock()
+	for _, tg := range targets {
+		tg.closeUpdater()
+	}
+}
+
+// closeUpdater discards and closes the target's cached connection, if any.
+func (t *target) closeUpdater() {
+	t.upMu.Lock()
+	up := t.up
+	t.up = nil
+	t.upMu.Unlock()
+	if up != nil {
+		_ = up.Close()
+	}
 }
 
 // URL returns the LRC's advertised address.

@@ -262,8 +262,12 @@ func (s *Service) AddRLITarget(ctx context.Context, spec wire.RLITarget) error {
 		return err
 	}
 	s.mu.Lock()
+	old := s.targets[spec.URL]
 	s.targets[spec.URL] = tg
 	s.mu.Unlock()
+	if old != nil {
+		old.closeUpdater()
+	}
 	return nil
 }
 
@@ -276,8 +280,12 @@ func (s *Service) RemoveRLITarget(ctx context.Context, url string) error {
 		return err
 	}
 	s.mu.Lock()
+	old := s.targets[url]
 	delete(s.targets, url)
 	s.mu.Unlock()
+	if old != nil {
+		old.closeUpdater()
+	}
 	return nil
 }
 

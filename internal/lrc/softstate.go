@@ -212,8 +212,48 @@ func (s *Service) ForceUpdateTo(ctx context.Context, url string) (TargetResult, 
 	return s.sendFullTo(ctx, tg), nil
 }
 
+// updaterFor returns the connection for one update pass. With
+// Config.UpdateWindow <= 1 it dials fresh and reports closeAfter=true so
+// the caller closes it when done (the original lock-step behaviour, which
+// tests and unchanged configs rely on). Otherwise it returns the target's
+// cached connection — dialing on first use — and the caller leaves it open
+// for the next pass, dropping it via dropUpdater only on send failure.
+func (s *Service) updaterFor(ctx context.Context, tg *target) (up Updater, closeAfter bool, err error) {
+	if s.cfg.UpdateWindow <= 1 {
+		up, err = s.cfg.Dial(ctx, tg.spec.URL)
+		return up, true, err
+	}
+	tg.upMu.Lock()
+	defer tg.upMu.Unlock()
+	if tg.up != nil {
+		return tg.up, false, nil
+	}
+	up, err = s.cfg.Dial(ctx, tg.spec.URL)
+	if err != nil {
+		return nil, false, err
+	}
+	tg.up = up
+	return up, false, nil
+}
+
+// dropUpdater closes and forgets a cached connection after a failed send so
+// the next pass redials; closing also releases any in-flight waiters the
+// failed pass abandoned.
+func (s *Service) dropUpdater(tg *target, up Updater) {
+	tg.upMu.Lock()
+	if tg.up == up {
+		tg.up = nil
+	}
+	tg.upMu.Unlock()
+	_ = up.Close()
+}
+
 // sendFullTo streams an uncompressed full update: every logical name in the
-// catalog (restricted to the target's partition) in batches.
+// catalog (restricted to the target's partition) in batches. When
+// Config.UpdateWindow > 1 and the connection supports asynchronous batches,
+// up to UpdateWindow batches stay in flight at once, overlapping their
+// round trips; acknowledgements are settled in FIFO order and all of them
+// before SSFullEnd, so the end marker never overtakes a batch.
 func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult) {
 	res = TargetResult{URL: tg.spec.URL, Kind: "full"}
 	start := s.clk.Now()
@@ -235,15 +275,33 @@ func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult)
 		res.Err = err
 		return res
 	}
-	up, err := s.cfg.Dial(ctx, tg.spec.URL)
+	up, closeAfter, err := s.updaterFor(ctx, tg)
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	defer up.Close()
+	defer func() {
+		if closeAfter {
+			_ = up.Close()
+		} else if res.Err != nil {
+			s.dropUpdater(tg, up)
+		}
+	}()
 	if err := up.SSFullStart(ctx, s.cfg.URL, uint64(logicals)); err != nil {
 		res.Err = err
 		return res
+	}
+	// Window of outstanding batch acknowledgements, settled oldest-first.
+	window := 1
+	starter, async := up.(batchStarter)
+	if async && s.cfg.UpdateWindow > 1 {
+		window = s.cfg.UpdateWindow
+	}
+	var acks []func(context.Context) error
+	waitOldest := func() error {
+		ack := acks[0]
+		acks = acks[1:]
+		return ack(ctx)
 	}
 	after := ""
 	for {
@@ -268,11 +326,32 @@ func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult)
 		if len(batch) == 0 {
 			continue
 		}
-		if err := up.SSFullBatch(ctx, s.cfg.URL, batch); err != nil {
+		if window > 1 {
+			for len(acks) >= window {
+				if err := waitOldest(); err != nil {
+					res.Err = err
+					return res
+				}
+			}
+			ack, err := starter.SSFullBatchStart(ctx, s.cfg.URL, batch)
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			acks = append(acks, ack)
+		} else {
+			if err := up.SSFullBatch(ctx, s.cfg.URL, batch); err != nil {
+				res.Err = err
+				return res
+			}
+		}
+		res.Names += len(batch)
+	}
+	for len(acks) > 0 {
+		if err := waitOldest(); err != nil {
 			res.Err = err
 			return res
 		}
-		res.Names += len(batch)
 	}
 	res.Err = up.SSFullEnd(ctx, s.cfg.URL)
 	return res
@@ -318,13 +397,17 @@ func (s *Service) sendBloomTo(ctx context.Context, tg *target) (res TargetResult
 		payload = data
 	}
 	res.Bytes = len(payload)
-	up, err := s.cfg.Dial(ctx, tg.spec.URL)
+	up, closeAfter, err := s.updaterFor(ctx, tg)
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	defer up.Close()
 	res.Err = up.SSBloom(ctx, s.cfg.URL, payload)
+	if closeAfter {
+		_ = up.Close()
+	} else if res.Err != nil {
+		s.dropUpdater(tg, up)
+	}
 	return res
 }
 
@@ -379,13 +462,17 @@ func (s *Service) sendIncrementalTo(ctx context.Context, tg *target, added, remo
 		return res
 	}
 	res.Names = len(added) + len(removed)
-	up, err := s.cfg.Dial(ctx, tg.spec.URL)
+	up, closeAfter, err := s.updaterFor(ctx, tg)
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	defer up.Close()
 	res.Err = up.SSIncremental(ctx, s.cfg.URL, added, removed)
+	if closeAfter {
+		_ = up.Close()
+	} else if res.Err != nil {
+		s.dropUpdater(tg, up)
+	}
 	return res
 }
 

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// readResponse reads and decodes one response frame.
+func readResponse(t *testing.T, c *wire.Conn) *wire.Response {
+	t.Helper()
+	payload, err := c.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBadFrameNAKWithRecoverableID verifies the protocol-error NAK: a frame
+// long enough to carry a request ID but too short to decode gets a final
+// StatusBadRequest response addressed to that ID before the close.
+func TestBadFrameNAKWithRecoverableID(t *testing.T) {
+	for _, depth := range []int{0, 4} { // serial and pipelined paths
+		s := newServer(t, Config{LRC: newLRCService(t), MaxInFlight: depth})
+		c := rawConn(t, s)
+		handshake(t, c)
+		frame := make([]byte, 9) // >= 8 (ID recoverable), < 10 (undecodable)
+		binary.BigEndian.PutUint64(frame, 42)
+		if err := c.WriteFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+		resp := readResponse(t, c)
+		if resp.ID != 42 || resp.Status != wire.StatusBadRequest {
+			t.Fatalf("depth %d: NAK = id %d status %v, want id 42 StatusBadRequest", depth, resp.ID, resp.Status)
+		}
+		if _, err := c.ReadFrame(); err == nil {
+			t.Fatalf("depth %d: connection stayed open after bad frame", depth)
+		}
+		if s.StatsSnapshot().BadFrameNAKs != 1 {
+			t.Fatalf("depth %d: BadFrameNAKs = %d, want 1", depth, s.StatsSnapshot().BadFrameNAKs)
+		}
+	}
+}
+
+// TestBadFrameWithoutIDStillCloses keeps the original behaviour when not
+// even the ID survives: no NAK, just the close.
+func TestBadFrameWithoutIDStillCloses(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t), MaxInFlight: 4})
+	c := rawConn(t, s)
+	handshake(t, c)
+	if err := c.WriteFrame([]byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadFrame(); err == nil {
+		t.Fatal("server kept connection open after malformed request")
+	}
+	if n := s.StatsSnapshot().BadFrameNAKs; n != 0 {
+		t.Fatalf("BadFrameNAKs = %d, want 0", n)
+	}
+}
+
+// TestPipelinedOutOfOrderCompletion stalls one request in dispatch and
+// verifies a later request on the same connection completes first — the
+// concurrency the lock-step loop could never exhibit.
+func TestPipelinedOutOfOrderCompletion(t *testing.T) {
+	release := make(chan struct{})
+	s := newServer(t, Config{LRC: newLRCService(t), MaxInFlight: 4})
+	s.dispatchHook = func(req *wire.Request) {
+		if req.Op == wire.OpServerInfo {
+			<-release
+		}
+	}
+	c := rawConn(t, s)
+	handshake(t, c)
+	slow := wire.Request{ID: 1, Op: wire.OpServerInfo}
+	fast := wire.Request{ID: 2, Op: wire.OpPing}
+	if err := c.WriteFrame(slow.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFrame(fast.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	first := readResponse(t, c)
+	if first.ID != 2 || first.Status != wire.StatusOK {
+		t.Fatalf("first response = id %d status %v, want the ping (id 2) to overtake", first.ID, first.Status)
+	}
+	close(release)
+	second := readResponse(t, c)
+	if second.ID != 1 || second.Status != wire.StatusOK {
+		t.Fatalf("second response = id %d status %v", second.ID, second.Status)
+	}
+}
+
+// TestPipelinedBurstAllAnswered pushes a burst deeper than MaxInFlight and
+// checks every request is answered exactly once and the depth/flush
+// telemetry moved.
+func TestPipelinedBurstAllAnswered(t *testing.T) {
+	const burst = 32
+	s := newServer(t, Config{LRC: newLRCService(t), MaxInFlight: 8})
+	c := rawConn(t, s)
+	handshake(t, c)
+	writeErr := make(chan error, 1)
+	go func() {
+		for id := uint64(1); id <= burst; id++ {
+			req := wire.Request{ID: id, Op: wire.OpPing}
+			if err := c.WriteFrame(req.Encode()); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+	seen := map[uint64]bool{}
+	for i := 0; i < burst; i++ {
+		resp := readResponse(t, c)
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("id %d status %v", resp.ID, resp.Status)
+		}
+		if seen[resp.ID] {
+			t.Fatalf("duplicate response for id %d", resp.ID)
+		}
+		seen[resp.ID] = true
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatal(err)
+	}
+	st := s.StatsSnapshot()
+	var depthTotal int64
+	for _, n := range st.PipelineDepths {
+		depthTotal += n
+	}
+	if depthTotal != burst {
+		t.Fatalf("depth histogram counted %d dispatches, want %d", depthTotal, burst)
+	}
+	if st.RespFlushes == 0 {
+		t.Fatal("no coalesced flushes recorded")
+	}
+	if st.PipelineMaxDepth < 1 || st.PipelineMaxDepth > 8 {
+		t.Fatalf("PipelineMaxDepth = %d, want within [1,8]", st.PipelineMaxDepth)
+	}
+}
+
+// TestPipelinedIdleReapSparesInFlight verifies idle semantics under
+// pipelining: idle means no frames received — a request still executing
+// does not hold the connection alive, but its response is delivered before
+// the close.
+func TestPipelinedIdleReapSparesInFlight(t *testing.T) {
+	release := make(chan struct{})
+	s := newServer(t, Config{LRC: newLRCService(t), MaxInFlight: 4, IdleTimeout: 50 * time.Millisecond})
+	s.dispatchHook = func(req *wire.Request) {
+		if req.Op == wire.OpServerInfo {
+			<-release
+		}
+	}
+	c := rawConn(t, s)
+	handshake(t, c)
+	req := wire.Request{ID: 7, Op: wire.OpServerInfo}
+	if err := c.WriteFrame(req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	// Hold the request in dispatch well past the idle timeout, then let it
+	// finish: the reaper must have fired (no new frames arrived) yet the
+	// in-flight response still lands.
+	time.Sleep(150 * time.Millisecond)
+	close(release)
+	resp := readResponse(t, c)
+	if resp.ID != 7 || resp.Status != wire.StatusOK {
+		t.Fatalf("in-flight response after reap = id %d status %v", resp.ID, resp.Status)
+	}
+	if _, err := c.ReadFrame(); err == nil {
+		t.Fatal("reaped connection still open")
+	}
+}
+
+// TestPipelinedIdleReapSilentConn is the plain reap on a pipelined
+// connection that goes silent.
+func TestPipelinedIdleReapSilentConn(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t), MaxInFlight: 4, IdleTimeout: 50 * time.Millisecond})
+	c := rawConn(t, s)
+	handshake(t, c)
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := c.ReadFrame()
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("read succeeded on a reaped connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle pipelined connection not reaped")
+	}
+}

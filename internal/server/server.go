@@ -6,6 +6,7 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auth"
@@ -72,6 +74,13 @@ type Config struct {
 	// StorageStats supplies storage-engine counters for the stats
 	// snapshot; nil reports zeros.
 	StorageStats func() StorageStats
+
+	// MaxInFlight caps the requests dispatched concurrently per
+	// connection. Values <= 1 preserve the original lock-step loop (read,
+	// dispatch, respond, repeat); larger values let a pipelining client
+	// keep that many requests executing while responses are written
+	// out-of-order with coalesced flushes.
+	MaxInFlight int
 }
 
 // opMetric is the per-operation dispatch telemetry: hot-path updates are
@@ -93,12 +102,25 @@ type Server struct {
 	ops     []opMetric // indexed by wire.Op, len wire.NumOps
 	slowOps metrics.Counter
 
+	// Wire-protocol pipelining telemetry.
+	inFlight       metrics.Gauge               // dispatches currently executing
+	pipeMaxDepth   atomic.Int64                // deepest per-conn in-flight observed
+	depthBuckets   [pipeBuckets]metrics.Counter // in-flight depth at dispatch
+	batchBuckets   [pipeBuckets]metrics.Counter // responses per coalesced flush
+	respFlushes    metrics.Counter             // coalesced-writer flushes
+	flushesAvoided metrics.Counter             // responses that shared a flush
+	badFrameNAKs   metrics.Counter             // StatusBadRequest NAKs for bad frames
+
 	mu        sync.Mutex
 	listeners map[net.Listener]bool
 	conns     map[*wire.Conn]bool
 	closed    bool
 	wg        sync.WaitGroup
 	logStop   chan struct{}
+
+	// dispatchHook, when set before serving starts, runs ahead of every
+	// pipelined dispatch — a test seam for deterministic ordering.
+	dispatchHook func(*wire.Request)
 }
 
 // New creates a server. At least one of LRC and RLI must be configured.
@@ -263,6 +285,10 @@ func (s *Server) handleConn(raw net.Conn) {
 		s.log.Debug("handshake failed", "remote", raw.RemoteAddr(), "err", err)
 		return
 	}
+	if s.cfg.MaxInFlight > 1 {
+		s.servePipelined(ctx, conn, id, idle)
+		return
+	}
 	for {
 		if idle > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
@@ -271,26 +297,194 @@ func (s *Server) handleConn(raw net.Conn) {
 		}
 		payload, err := conn.ReadFrame()
 		if err != nil {
-			switch {
-			case err == io.EOF:
-			case errors.Is(err, os.ErrDeadlineExceeded):
-				s.log.Debug("idle connection reaped", "remote", raw.RemoteAddr(), "idle", idle)
-			default:
-				s.log.Debug("read failed", "remote", raw.RemoteAddr(), "err", err)
-			}
+			s.logReadErr(conn, err, idle)
 			return
 		}
 		req, err := wire.DecodeRequest(payload)
 		if err != nil {
-			s.log.Debug("bad request frame", "remote", raw.RemoteAddr(), "err", err)
+			s.nakBadFrame(conn, payload, err)
 			return
 		}
+		s.depthBuckets[0].Inc()
 		start := time.Now()
 		resp := s.dispatch(ctx, id, req)
 		s.observe(req.Op, resp.Status, time.Since(start))
 		if err := conn.WriteResponse(resp); err != nil {
-			s.log.Debug("write failed", "remote", raw.RemoteAddr(), "err", err)
+			s.log.Debug("write failed", "remote", conn.RemoteAddr(), "err", err)
 			return
+		}
+	}
+}
+
+// logReadErr classifies a read-loop exit for the debug log.
+func (s *Server) logReadErr(conn *wire.Conn, err error, idle time.Duration) {
+	switch {
+	case err == io.EOF:
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		s.log.Debug("idle connection reaped", "remote", conn.RemoteAddr(), "idle", idle)
+	default:
+		s.log.Debug("read failed", "remote", conn.RemoteAddr(), "err", err)
+	}
+}
+
+// nakBadFrame answers an undecodable request frame. When the frame is long
+// enough that its request ID is recoverable, a final StatusBadRequest
+// response is written first so a pipelined client can distinguish the
+// protocol error from network death; either way the connection closes,
+// because framing state beyond the bad frame cannot be trusted.
+func (s *Server) nakBadFrame(conn *wire.Conn, payload []byte, err error) {
+	s.log.Debug("bad request frame", "remote", conn.RemoteAddr(), "err", err)
+	if len(payload) < 8 {
+		return // not even an ID to address the NAK to
+	}
+	resp := &wire.Response{
+		ID:     binary.BigEndian.Uint64(payload),
+		Status: wire.StatusBadRequest,
+		Err:    "undecodable request frame: " + err.Error(),
+	}
+	if werr := conn.WriteResponse(resp); werr == nil {
+		s.badFrameNAKs.Inc()
+	}
+}
+
+// pipeBuckets are the power-of-2 histogram buckets for pipeline depth and
+// response batch size: <=1, <=2, <=4, <=8, <=16, <=64, >64.
+const pipeBuckets = 7
+
+func pipeBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 2:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	case n <= 64:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// observeDepth records the per-connection in-flight depth seen as a request
+// is admitted for dispatch.
+func (s *Server) observeDepth(n int) {
+	s.depthBuckets[pipeBucket(n)].Inc()
+	for {
+		cur := s.pipeMaxDepth.Load()
+		if int64(n) <= cur || s.pipeMaxDepth.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// servePipelined is the post-handshake loop for MaxInFlight > 1: requests
+// are dispatched on worker goroutines (at most MaxInFlight at once) while
+// the read side keeps pulling frames, and responses are written
+// out-of-order by a dedicated writer with coalesced flushes. Idle reaping
+// is unchanged — the deadline covers time between received frames, not
+// request execution.
+func (s *Server) servePipelined(ctx context.Context, conn *wire.Conn, id auth.Identity, idle time.Duration) {
+	depth := s.cfg.MaxInFlight
+	sem := make(chan struct{}, depth)
+	respCh := make(chan *wire.Response, depth)
+	writerDone := make(chan struct{})
+	go s.writeLoop(conn, respCh, writerDone)
+	var wg sync.WaitGroup
+	for {
+		if idle > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+				break
+			}
+		}
+		payload, err := conn.ReadFrame()
+		if err != nil {
+			s.logReadErr(conn, err, idle)
+			break
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// Let in-flight responses land first so the NAK is the last
+			// frame the client sees before the close.
+			wg.Wait()
+			s.nakBadFrame(conn, payload, err)
+			break
+		}
+		sem <- struct{}{} // admission: bounds concurrent dispatches
+		s.inFlight.Add(1)
+		s.observeDepth(len(sem))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s.dispatchHook != nil {
+				s.dispatchHook(req)
+			}
+			start := time.Now()
+			resp := s.dispatch(ctx, id, req)
+			s.observe(req.Op, resp.Status, time.Since(start))
+			respCh <- resp
+			s.inFlight.Add(-1)
+			<-sem
+		}()
+	}
+	wg.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// writeLoop serializes pipelined responses onto the connection. Flush
+// policy: keep buffering while more responses are immediately available,
+// flush when the response stream goes momentarily idle — a burst of
+// pipelined responses then shares one flush (and one syscall). After a
+// write error the connection is closed and the remaining responses are
+// drained and discarded so dispatch goroutines never block on a dead peer.
+func (s *Server) writeLoop(conn *wire.Conn, respCh <-chan *wire.Response, done chan<- struct{}) {
+	defer close(done)
+	var failed bool
+	write := func(r *wire.Response) {
+		if failed {
+			return
+		}
+		if err := conn.WriteResponseNoFlush(r); err != nil {
+			s.log.Debug("write failed", "remote", conn.RemoteAddr(), "err", err)
+			failed = true
+			_ = conn.Close()
+		}
+	}
+	for {
+		resp, ok := <-respCh
+		if !ok {
+			return
+		}
+		write(resp)
+		batch := 1
+	coalesce:
+		for {
+			select {
+			case next, more := <-respCh:
+				if !more {
+					break coalesce
+				}
+				write(next)
+				batch++
+			default:
+				break coalesce
+			}
+		}
+		if !failed {
+			if err := conn.Flush(); err != nil {
+				s.log.Debug("flush failed", "remote", conn.RemoteAddr(), "err", err)
+				failed = true
+				_ = conn.Close()
+				continue
+			}
+			s.respFlushes.Inc()
+			s.flushesAvoided.Add(int64(batch - 1))
+			s.batchBuckets[pipeBucket(batch)].Inc()
 		}
 	}
 }
@@ -408,6 +602,19 @@ func (s *Server) StatsSnapshot() *wire.StatsResponse {
 		resp.LatchWaits = ss.LatchWaits
 		resp.LatchWaitNS = ss.LatchWaitNS
 	}
+	resp.RequestsInFlight = s.inFlight.Load()
+	resp.PipelineMaxDepth = s.pipeMaxDepth.Load()
+	depths := make([]int64, pipeBuckets)
+	batches := make([]int64, pipeBuckets)
+	for i := 0; i < pipeBuckets; i++ {
+		depths[i] = s.depthBuckets[i].Load()
+		batches[i] = s.batchBuckets[i].Load()
+	}
+	resp.PipelineDepths = depths
+	resp.RespBatchSizes = batches
+	resp.RespFlushes = s.respFlushes.Load()
+	resp.RespFlushesAvoided = s.flushesAvoided.Load()
+	resp.BadFrameNAKs = s.badFrameNAKs.Load()
 	return resp
 }
 

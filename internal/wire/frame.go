@@ -46,6 +46,17 @@ func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
 
 // WriteFrame sends one length-prefixed frame and flushes it.
 func (c *Conn) WriteFrame(payload []byte) error {
+	return c.writeFrame(payload, true)
+}
+
+// WriteFrameNoFlush sends one length-prefixed frame into the buffered writer
+// without flushing, so a pipelined burst of frames can share one Flush (and
+// one syscall). The caller must eventually call Flush.
+func (c *Conn) WriteFrameNoFlush(payload []byte) error {
+	return c.writeFrame(payload, false)
+}
+
+func (c *Conn) writeFrame(payload []byte, flush bool) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(payload), MaxFrameSize)
 	}
@@ -61,7 +72,20 @@ func (c *Conn) WriteFrame(payload []byte) error {
 	if _, err := c.w.Write(payload); err != nil {
 		return err
 	}
+	if !flush {
+		return nil
+	}
 	//lint:ignore lockcheck wmu exists to serialize frame writes, the flush is part of the protected frame write
+	return c.w.Flush()
+}
+
+// Flush drains the buffered writer to the underlying connection. It pairs
+// with WriteFrameNoFlush / WriteResponseNoFlush for coalesced response
+// bursts.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	//lint:ignore lockcheck wmu exists to serialize frame writes, the flush is the protected operation
 	return c.w.Flush()
 }
 
@@ -87,6 +111,16 @@ func (c *Conn) WriteRequest(r *Request) error {
 // WriteResponse encodes the response envelope into a pooled buffer and sends
 // it as one frame, avoiding a per-reply allocation on the server hot path.
 func (c *Conn) WriteResponse(r *Response) error {
+	return c.writeResponse(r, true)
+}
+
+// WriteResponseNoFlush encodes and buffers the response without flushing so
+// an out-of-order burst of pipelined responses shares one Flush.
+func (c *Conn) WriteResponseNoFlush(r *Response) error {
+	return c.writeResponse(r, false)
+}
+
+func (c *Conn) writeResponse(r *Response, flush bool) error {
 	bp := envelopePool.Get().(*[]byte)
 	buf := (*bp)[:0]
 	buf = binary.BigEndian.AppendUint64(buf, r.ID)
@@ -94,7 +128,7 @@ func (c *Conn) WriteResponse(r *Response) error {
 	buf = binary.AppendUvarint(buf, uint64(len(r.Err)))
 	buf = append(buf, r.Err...)
 	buf = append(buf, r.Body...)
-	err := c.WriteFrame(buf)
+	err := c.writeFrame(buf, flush)
 	*bp = buf
 	envelopePool.Put(bp)
 	return err

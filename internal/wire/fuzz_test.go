@@ -79,3 +79,39 @@ func FuzzMappingRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeResponse is a dedicated target for the response envelope — the
+// frame the client demultiplexer trusts to route by ID. Anything the decoder
+// accepts must re-encode to the identical bytes, and the decoded fields must
+// survive a second decode unchanged.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add((&Response{ID: 1, Status: StatusOK}).Encode())
+	f.Add((&Response{ID: 42, Status: StatusBadRequest, Err: "undecodable request frame"}).Encode())
+	f.Add((&Response{ID: 1 << 63, Status: StatusNotFound, Err: "x", Body: []byte{0, 1, 2}}).Encode())
+	f.Add((&Response{Status: StatusInternal, Body: bytes.Repeat([]byte{0xAB}, 100)}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 9, 0, 0})              // envelope with no err/body
+	f.Add(bytes.Repeat([]byte{0xFF}, 11))                    // huge uvarint err length
+	f.Add(append(make([]byte, 10), 0x80, 0x80, 0x80, 0x80))  // unterminated err-length varint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		// The input itself may use non-minimal varints the decoder tolerates,
+		// so the property is an encode fixpoint, not input canonicality: one
+		// re-encoding must decode to identical fields and re-encode to
+		// identical bytes.
+		enc1 := r.Encode()
+		r2, err := DecodeResponse(enc1)
+		if err != nil {
+			t.Fatalf("own re-encoding rejected: %v", err)
+		}
+		if r2.ID != r.ID || r2.Status != r.Status || r2.Err != r.Err || !bytes.Equal(r2.Body, r.Body) {
+			t.Fatal("decode/encode/decode drifted")
+		}
+		if enc2 := r2.Encode(); !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encoding not a fixpoint:\n first  %x\n second %x", enc1, enc2)
+		}
+	})
+}

@@ -989,6 +989,16 @@ type StatsResponse struct {
 	GroupCommitBatchSizes   []int64 // histogram, bucket upper bounds 1,2,4,8,16,+
 	LatchWaits              int64   // table-latch acquisitions that blocked
 	LatchWaitNS             int64   // total nanoseconds spent blocked
+
+	// Wire-protocol pipelining: per-connection in-flight dispatch and
+	// flush-coalesced response writing.
+	RequestsInFlight   int64   // dispatches currently executing across all conns
+	PipelineMaxDepth   int64   // deepest in-flight count observed on any conn
+	PipelineDepths     []int64 // histogram of depth at dispatch, bounds 1,2,4,8,16,64,+
+	RespBatchSizes     []int64 // histogram of responses per flush, bounds 1,2,4,8,16,64,+
+	RespFlushes        int64   // response-writer flushes (syscall boundary)
+	RespFlushesAvoided int64   // responses that shared a previous flush
+	BadFrameNAKs       int64   // StatusBadRequest replies to undecodable frames
 }
 
 // Encode serializes the response body.
@@ -1037,6 +1047,19 @@ func (r *StatsResponse) Encode() []byte {
 	}
 	e.I64(r.LatchWaits)
 	e.I64(r.LatchWaitNS)
+	e.I64(r.RequestsInFlight)
+	e.I64(r.PipelineMaxDepth)
+	e.Uvarint(uint64(len(r.PipelineDepths)))
+	for _, n := range r.PipelineDepths {
+		e.I64(n)
+	}
+	e.Uvarint(uint64(len(r.RespBatchSizes)))
+	for _, n := range r.RespBatchSizes {
+		e.I64(n)
+	}
+	e.I64(r.RespFlushes)
+	e.I64(r.RespFlushesAvoided)
+	e.I64(r.BadFrameNAKs)
 	return e.Bytes()
 }
 
@@ -1101,6 +1124,25 @@ func DecodeStatsResponse(body []byte) (*StatsResponse, error) {
 	}
 	r.LatchWaits = d.I64()
 	r.LatchWaitNS = d.I64()
+	r.RequestsInFlight = d.I64()
+	r.PipelineMaxDepth = d.I64()
+	nDepths := d.Uvarint()
+	if d.Err() == nil && nDepths > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	for i := uint64(0); i < nDepths; i++ {
+		r.PipelineDepths = append(r.PipelineDepths, d.I64())
+	}
+	nBatches := d.Uvarint()
+	if d.Err() == nil && nBatches > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	for i := uint64(0); i < nBatches; i++ {
+		r.RespBatchSizes = append(r.RespBatchSizes, d.I64())
+	}
+	r.RespFlushes = d.I64()
+	r.RespFlushesAvoided = d.I64()
+	r.BadFrameNAKs = d.I64()
 	if err := d.Finish(); err != nil {
 		return nil, err
 	}

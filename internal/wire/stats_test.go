@@ -35,6 +35,14 @@ func TestStatsResponseRoundTrip(t *testing.T) {
 		GroupCommitBatchSizes:   []int64{5, 10, 10, 10, 10, 0},
 		LatchWaits:              123,
 		LatchWaitNS:             456789,
+
+		RequestsInFlight:   3,
+		PipelineMaxDepth:   64,
+		PipelineDepths:     []int64{100, 20, 10, 5, 2, 1, 0},
+		RespBatchSizes:     []int64{50, 30, 20, 10, 5, 1, 0},
+		RespFlushes:        116,
+		RespFlushesAvoided: 84,
+		BadFrameNAKs:       2,
 	}
 	out, err := DecodeStatsResponse(in.Encode())
 	if err != nil {

@@ -90,6 +90,11 @@ type Driver struct {
 	Clients int
 	// ThreadsPerClient is the number of requesting threads per client.
 	ThreadsPerClient int
+	// Pipeline is the number of requests each connection keeps in flight.
+	// 0 or 1 is the paper's lock-step client (one outstanding request per
+	// connection); higher values multiplex that many requesting workers
+	// over every connection, exercising the wire-protocol pipelining.
+	Pipeline int
 	// Dial opens one connection (called once per thread).
 	Dial func() (*client.Client, error)
 }
@@ -102,10 +107,15 @@ func (d *Driver) Run(ctx context.Context, totalOps int, op Op) (Result, error) {
 	if threads <= 0 {
 		return Result{}, fmt.Errorf("workload: no threads configured")
 	}
-	if totalOps < threads {
-		totalOps = threads
+	depth := d.Pipeline
+	if depth < 1 {
+		depth = 1
 	}
-	perThread := totalOps / threads
+	workers := threads * depth
+	if totalOps < workers {
+		totalOps = workers
+	}
+	perWorker := totalOps / workers
 
 	conns := make([]*client.Client, threads)
 	for i := range conns {
@@ -128,26 +138,26 @@ func (d *Driver) Run(ctx context.Context, totalOps int, op Op) (Result, error) {
 		ok, errs int
 		lat      metrics.LatencyRecorder
 	}
-	results := make([]threadResult, threads)
+	results := make([]threadResult, workers)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for t := 0; t < threads; t++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(t int) {
+		go func(w int) {
 			defer wg.Done()
-			c := conns[t]
-			base := t * perThread
-			for i := 0; i < perThread; i++ {
+			c := conns[w/depth] // depth workers share each connection
+			base := w * perWorker
+			for i := 0; i < perWorker; i++ {
 				opStart := time.Now()
 				err := op(ctx, c, base+i)
-				results[t].lat.Record(time.Since(opStart))
+				results[w].lat.Record(time.Since(opStart))
 				if err != nil {
-					results[t].errs++
+					results[w].errs++
 				} else {
-					results[t].ok++
+					results[w].ok++
 				}
 			}
-		}(t)
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz ci bench stress
+.PHONY: build test race vet lint fuzz ci bench stress chaos
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,19 @@ fuzz:
 
 # Repeated race-detector runs over the packages with real lock hierarchies
 # (per-table latches, group commit, connection handling, the client
-# demultiplexer) to shake out schedule-dependent bugs.
+# demultiplexer, the soft-state sender's circuit breakers) to shake out
+# schedule-dependent bugs.
 stress:
-	$(GO) test -race -count=5 ./internal/storage ./internal/server ./internal/client
+	$(GO) test -race -count=5 ./internal/storage ./internal/server ./internal/client ./internal/lrc
 
-ci: build vet lint race fuzz stress
+# Short deterministic chaos profile: the standard workload generators run
+# under injected faults (partition, resets, drops) and the run asserts
+# quarantine, graceful degradation, and recovery within one soft-state
+# period. Seeded fault schedule — two runs inject the same sequence.
+chaos:
+	$(GO) run ./cmd/rls-bench -trials 1 chaos
+
+ci: build vet lint race fuzz stress chaos
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -114,7 +114,7 @@ func main() {
 	defer dep.Close()
 
 	if *metrics != "" {
-		if err := serveMetrics(*metrics, dep); err != nil {
+		if _, err := serveMetrics(*metrics, dep); err != nil {
 			fatal(err)
 		}
 	}
@@ -125,13 +125,24 @@ func main() {
 	fmt.Println("rls-server: shutting down")
 }
 
+// metricsServer is the scrape endpoint with its bound address.
+type metricsServer struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+func (m *metricsServer) close() error { return m.srv.Close() }
+
 // serveMetrics exposes every node's telemetry snapshot as JSON over HTTP —
 // an expvar-style endpoint for scraping without speaking the wire protocol.
-// GET /stats returns a map of node name to snapshot.
-func serveMetrics(addr string, dep *core.Deployment) error {
+// GET /stats returns a map of node name to snapshot. Every timeout a scraper
+// can hang on is bounded: a stalled connection (half-sent headers, a slow
+// reader, an idle keep-alive) is reclaimed instead of pinning its goroutine
+// and file descriptor forever.
+func serveMetrics(addr string, dep *core.Deployment) (*metricsServer, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -146,14 +157,20 @@ func serveMetrics(addr string, dep *core.Deployment) error {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go func() {
 		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "rls-server: metrics listener: %v\n", err)
 		}
 	}()
 	fmt.Printf("rls-server: metrics on http://%s/stats\n", l.Addr())
-	return nil
+	return &metricsServer{srv: srv, addr: l.Addr()}, nil
 }
 
 func fatal(err error) {

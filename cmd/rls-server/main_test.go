@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+func testDeployment(t *testing.T) *core.Deployment {
+	t.Helper()
+	dep := core.NewDeployment()
+	t.Cleanup(dep.Close)
+	fast := disk.Fast()
+	if _, err := dep.AddServer(core.ServerSpec{Name: "rls0", LRC: true, Disk: &fast}); err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+// TestMetricsServerTimeouts guards the scrape endpoint's timeout discipline:
+// without ReadHeaderTimeout/IdleTimeout one stalled scraper connection pins
+// its goroutine and file descriptor forever.
+func TestMetricsServerTimeouts(t *testing.T) {
+	m, err := serveMetrics("127.0.0.1:0", testDeployment(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+	if m.srv.ReadHeaderTimeout <= 0 {
+		t.Error("metrics server has no ReadHeaderTimeout: a stalled header hangs forever")
+	}
+	if m.srv.IdleTimeout <= 0 {
+		t.Error("metrics server has no IdleTimeout: an idle keep-alive conn is never reaped")
+	}
+	if m.srv.WriteTimeout <= 0 {
+		t.Error("metrics server has no WriteTimeout: a slow reader pins the response write")
+	}
+}
+
+// TestMetricsServerServesStats exercises the endpoint end to end, with a
+// stalled scraper connection open the whole time: the stall must not block a
+// well-behaved scrape.
+func TestMetricsServerServesStats(t *testing.T) {
+	m, err := serveMetrics("127.0.0.1:0", testDeployment(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.close()
+
+	// A scraper that connects and goes silent mid-headers.
+	stalled, err := net.Dial("tcp", m.addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if _, err := stalled.Write([]byte("GET /stats HTTP/1.1\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + m.addr.String() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats = %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("stats response is not JSON: %v\n%s", err, body)
+	}
+	if _, ok := out["rls0"]; !ok {
+		t.Fatalf("stats response missing node rls0: %s", body)
+	}
+}

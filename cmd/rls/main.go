@@ -333,12 +333,18 @@ func printStats(st *wire.StatsResponse) {
 			if t.LastSuccessUnix != 0 {
 				last = time.Unix(0, t.LastSuccessUnix).UTC().Format(time.RFC3339)
 			}
-			fmt.Printf("  %s sent=%d failed=%d requeued=%d names=%d bytes=%d last=%s\n",
-				t.URL, t.Sent, t.Failed, t.Requeued, t.NamesSent, t.BytesSent, last)
+			fmt.Printf("  %s state=%s sent=%d failed=%d consec_fails=%d skipped=%d probes=%d requeued=%d names=%d bytes=%d last=%s\n",
+				t.URL, t.State, t.Sent, t.Failed, t.ConsecFails, t.Skipped, t.Probes,
+				t.Requeued, t.NamesSent, t.BytesSent, last)
+			if t.NextProbeUnix != 0 {
+				fmt.Printf("    next probe: %s\n", time.Unix(0, t.NextProbeUnix).UTC().Format(time.RFC3339Nano))
+			}
 		}
 	}
-	fmt.Printf("\nrli: expired=%d bloom_filters=%d bloom_bytes=%d\n",
-		st.RLIExpired, st.RLIBloomFilters, st.RLIBloomBytes)
+	fmt.Printf("\nrli: expired=%d stale_answers=%d bloom_filters=%d bloom_bytes=%d\n",
+		st.RLIExpired, st.RLIStaleAnswers, st.RLIBloomFilters, st.RLIBloomBytes)
+	fmt.Printf("rli sessions: active=%d expired=%d aborted=%d\n",
+		st.RLISessionsActive, st.RLISessionsExpired, st.RLISessionsAborted)
 	fmt.Printf("storage: wal_appends=%d wal_flushes=%d wal_bytes=%d dead_tuple_visits=%d\n",
 		st.WALAppends, st.WALFlushes, st.WALBytes, st.DeadTupleVisits)
 	fmt.Printf("group-commit: commits=%d batches=%d syncs_avoided=%d max_batch=%d\n",
@@ -350,8 +356,9 @@ func printStats(st *wire.StatsResponse) {
 	}
 	fmt.Printf("latches: waits=%d wait_time=%s\n",
 		st.LatchWaits, time.Duration(st.LatchWaitNS))
-	fmt.Printf("pipeline: in_flight=%d max_depth=%d flushes=%d flushes_avoided=%d bad_frame_naks=%d\n",
-		st.RequestsInFlight, st.PipelineMaxDepth, st.RespFlushes, st.RespFlushesAvoided, st.BadFrameNAKs)
+	fmt.Printf("pipeline: in_flight=%d max_depth=%d flushes=%d flushes_avoided=%d bad_frame_naks=%d shed=%d\n",
+		st.RequestsInFlight, st.PipelineMaxDepth, st.RespFlushes, st.RespFlushesAvoided, st.BadFrameNAKs,
+		st.SheddedRequests)
 	if len(st.PipelineDepths) == 7 {
 		d := st.PipelineDepths
 		fmt.Printf("  dispatch depths:  <=1:%d <=2:%d <=4:%d <=8:%d <=16:%d <=64:%d >64:%d\n",

@@ -1,0 +1,264 @@
+// Package backoff provides the retry discipline used on every failure path
+// in the reproduction: jittered exponential backoff for retried operations,
+// and a small circuit breaker tracking per-peer health
+// (healthy → degraded → quarantined, with half-open probes). The paper's
+// soft-state design assumes components fail and recover (§3, §5.5); this
+// package is what keeps a dead RLI from being redialed on every update round
+// and a flapping server from being hammered in lockstep by every client.
+//
+// All timing flows through the clock package so chaos tests stay
+// deterministic, and jitter comes from an explicitly seeded source so two
+// runs with the same seed produce the same schedule.
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Default policy parameters.
+const (
+	DefaultBase       = 100 * time.Millisecond
+	DefaultMax        = 30 * time.Second
+	DefaultMultiplier = 2.0
+	DefaultJitter     = 0.2
+	// DefaultFailThreshold is the number of consecutive failures after which
+	// a Breaker quarantines its peer.
+	DefaultFailThreshold = 3
+)
+
+// Policy describes a jittered exponential backoff schedule.
+type Policy struct {
+	// Base is the delay after the first failure.
+	Base time.Duration
+	// Max caps the exponential growth.
+	Max time.Duration
+	// Multiplier is the per-attempt growth factor.
+	Multiplier float64
+	// Jitter is the ± fraction applied to each delay (0.2 = ±20%), which
+	// de-synchronizes retry storms across peers.
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = DefaultJitter
+	}
+	return p
+}
+
+// Delay returns the backoff before retry number attempt (0-based: attempt 0
+// is the delay after the first failure). rnd supplies jitter in [0, 1); a
+// nil rnd disables jitter, which keeps unit tests exact.
+func (p Policy) Delay(attempt int, rnd func() float64) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if rnd != nil && p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rnd()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// State is a peer's health as seen by a Breaker.
+type State int
+
+const (
+	// Healthy: no recent failures; sends proceed normally.
+	Healthy State = iota
+	// Degraded: at least one consecutive failure, but below the quarantine
+	// threshold; sends still proceed every round.
+	Degraded
+	// Quarantined: the peer is presumed down; sends are skipped until the
+	// next probe time.
+	Quarantined
+	// Probing: one half-open probe is in flight; further sends are skipped
+	// until it settles.
+	Probing
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	case Probing:
+		return "probing"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseState is the inverse of State.String; unknown strings map to Healthy.
+func ParseState(s string) State {
+	switch s {
+	case "degraded":
+		return Degraded
+	case "quarantined":
+		return Quarantined
+	case "probing":
+		return Probing
+	default:
+		return Healthy
+	}
+}
+
+// BreakerConfig configures a Breaker.
+type BreakerConfig struct {
+	// Policy spaces quarantine probes; zero value uses package defaults.
+	Policy Policy
+	// FailThreshold is the consecutive-failure count that trips the breaker
+	// from degraded to quarantined. Defaults to DefaultFailThreshold.
+	FailThreshold int
+	// Clock drives probe scheduling; defaults to the real clock.
+	Clock clock.Clock
+	// Seed makes the probe jitter deterministic. Zero seeds from 1.
+	Seed int64
+}
+
+// Breaker is a minimal circuit breaker for one peer. Callers ask Allow()
+// before each send and report OnSuccess/OnFailure afterwards. While
+// quarantined, Allow returns false until the probe deadline, then admits a
+// single half-open probe: its success restores the peer to healthy, its
+// failure re-quarantines with an exponentially longer delay.
+type Breaker struct {
+	mu     sync.Mutex
+	clk    clock.Clock
+	policy Policy
+	thresh int
+	rnd    *rand.Rand
+
+	state       State
+	consecFails int
+	quarantines int // consecutive quarantine rounds, drives probe spacing
+	probes      int64
+	skipped     int64
+	nextProbe   time.Time
+}
+
+// NewBreaker builds a Breaker; the zero-value config is usable.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	thresh := cfg.FailThreshold
+	if thresh <= 0 {
+		thresh = DefaultFailThreshold
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Breaker{
+		clk:    clk,
+		policy: cfg.Policy.withDefaults(),
+		thresh: thresh,
+		rnd:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Allow reports whether a send to the peer should proceed now. A true return
+// while quarantined transitions the breaker to Probing: exactly one caller
+// gets the half-open probe, and it must report OnSuccess or OnFailure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Healthy, Degraded:
+		return true
+	case Probing:
+		b.skipped++
+		return false
+	default: // Quarantined
+		if b.clk.Now().Before(b.nextProbe) {
+			b.skipped++
+			return false
+		}
+		b.state = Probing
+		b.probes++
+		return true
+	}
+}
+
+// OnSuccess records a successful send, restoring the peer to Healthy.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Healthy
+	b.consecFails = 0
+	b.quarantines = 0
+}
+
+// OnFailure records a failed send. Below the threshold the peer degrades but
+// stays reachable; at the threshold (or on a failed probe) it quarantines
+// with a jittered, exponentially growing probe delay.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	if b.state == Probing || b.consecFails >= b.thresh {
+		delay := b.policy.Delay(b.quarantines, b.rnd.Float64)
+		b.quarantines++
+		b.state = Quarantined
+		b.nextProbe = b.clk.Now().Add(delay)
+		return
+	}
+	b.state = Degraded
+}
+
+// State returns the current health state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Snapshot is a point-in-time view of breaker telemetry.
+type Snapshot struct {
+	State       State
+	ConsecFails int64
+	Probes      int64 // half-open probes admitted
+	Skipped     int64 // sends suppressed while quarantined/probing
+	NextProbe   time.Time
+}
+
+// Snapshot returns the breaker's telemetry view.
+func (b *Breaker) Snapshot() Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Snapshot{
+		State:       b.state,
+		ConsecFails: int64(b.consecFails),
+		Probes:      b.probes,
+		Skipped:     b.skipped,
+		NextProbe:   b.nextProbe,
+	}
+}

@@ -1,0 +1,145 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestPolicyDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestPolicyDelayJitterBounded(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute, Multiplier: 2, Jitter: 0.2}
+	lo, hi := 800*time.Millisecond, 1200*time.Millisecond
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		got := p.Delay(0, func() float64 { return r })
+		if got < lo || got > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", got, lo, hi)
+		}
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0, nil); got != DefaultBase {
+		t.Fatalf("zero-value Delay(0) = %v, want %v", got, DefaultBase)
+	}
+	if got := p.Delay(1000, nil); got != DefaultMax {
+		t.Fatalf("zero-value Delay(1000) = %v, want %v", got, DefaultMax)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{
+		Policy:        Policy{Base: time.Second, Max: 10 * time.Second, Multiplier: 2, Jitter: 0},
+		FailThreshold: 3,
+		Clock:         fc,
+	})
+	if b.State() != Healthy || !b.Allow() {
+		t.Fatal("new breaker not healthy")
+	}
+
+	// Failures below the threshold degrade but keep the peer reachable.
+	b.OnFailure()
+	if b.State() != Degraded || !b.Allow() {
+		t.Fatalf("after 1 failure: state=%v", b.State())
+	}
+	b.OnFailure()
+	if !b.Allow() {
+		t.Fatal("degraded peer must still be reachable")
+	}
+
+	// Third consecutive failure quarantines.
+	b.OnFailure()
+	if b.State() != Quarantined {
+		t.Fatalf("after 3 failures: state=%v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("quarantined peer admitted a send before the probe deadline")
+	}
+
+	// At the probe deadline exactly one half-open probe is admitted.
+	fc.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted at deadline")
+	}
+	if b.State() != Probing {
+		t.Fatalf("state during probe = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second send admitted while probe in flight")
+	}
+
+	// Failed probe re-quarantines with a doubled delay.
+	b.OnFailure()
+	if b.State() != Quarantined {
+		t.Fatalf("after failed probe: state=%v", b.State())
+	}
+	fc.Advance(time.Second)
+	if b.Allow() {
+		t.Fatal("probe admitted before doubled deadline")
+	}
+	fc.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after doubled deadline")
+	}
+
+	// Successful probe restores healthy and resets the schedule.
+	b.OnSuccess()
+	if b.State() != Healthy || !b.Allow() {
+		t.Fatalf("after successful probe: state=%v", b.State())
+	}
+	snap := b.Snapshot()
+	if snap.ConsecFails != 0 {
+		t.Fatalf("ConsecFails = %d after success", snap.ConsecFails)
+	}
+	if snap.Probes != 2 {
+		t.Fatalf("Probes = %d, want 2", snap.Probes)
+	}
+	if snap.Skipped == 0 {
+		t.Fatal("Skipped not counted")
+	}
+}
+
+func TestBreakerDeterministicWithSeed(t *testing.T) {
+	mk := func() *Breaker {
+		return NewBreaker(BreakerConfig{
+			Policy: Policy{Base: time.Second, Max: time.Minute, Multiplier: 2, Jitter: 0.2},
+			Clock:  clock.NewFake(time.Unix(0, 0)),
+			Seed:   42,
+		})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 5; i++ {
+		a.OnFailure()
+		b.OnFailure()
+	}
+	if na, nb := a.Snapshot().NextProbe, b.Snapshot().NextProbe; !na.Equal(nb) {
+		t.Fatalf("same seed diverged: %v vs %v", na, nb)
+	}
+}
+
+func TestStateStringRoundTrip(t *testing.T) {
+	for _, s := range []State{Healthy, Degraded, Quarantined, Probing} {
+		if got := ParseState(s.String()); got != s {
+			t.Fatalf("ParseState(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+}

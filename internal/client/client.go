@@ -38,6 +38,7 @@ var (
 	ErrBadRequest  = errors.New("rls: bad request")
 	ErrUnsupported = errors.New("rls: operation not supported by server role")
 	ErrInternal    = errors.New("rls: server error")
+	ErrRetryLater  = errors.New("rls: server overloaded, retry later")
 )
 
 // StatusError carries the server's status and message.
@@ -69,6 +70,8 @@ func (e *StatusError) Is(target error) bool {
 		return e.Status == wire.StatusUnsupported
 	case ErrInternal:
 		return e.Status == wire.StatusInternal
+	case ErrRetryLater:
+		return e.Status == wire.StatusRetryLater
 	default:
 		return false
 	}
@@ -234,12 +237,28 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// waiterPool recycles per-call waiter channels. A channel is returned to
-// the pool only on the clean-receive path, where its single buffered slot
-// has provably been drained; abandoned (ctx-cancelled) and closed channels
-// are left for the garbage collector.
+// waiterPool recycles per-call waiter channels. A channel may be returned
+// to the pool only when the caller can prove the demultiplexer will never
+// deliver into it: either the response was received (clean path), or the
+// caller itself removed the waiter from the registration map (forget
+// returned true — deletion under c.mu is the ownership handoff, so a true
+// return means readLoop never claimed the channel and never will). A
+// channel whose waiter was already claimed by readLoop may still receive a
+// late response after the ctx-cancelled caller has moved on; recycling it
+// would deliver that stale response to an unrelated future call, so such
+// channels are abandoned to the garbage collector. Closed channels (fail
+// path) are never recycled.
 var waiterPool = sync.Pool{
 	New: func() any { return make(chan *wire.Response, 1) },
+}
+
+// recycleWaiter drains and pools a waiter channel the caller owns.
+func recycleWaiter(ch chan *wire.Response) {
+	select {
+	case <-ch: // defensively drain the single buffered slot
+	default:
+	}
+	waiterPool.Put(ch)
 }
 
 // startCall assigns an ID, registers a waiter, and writes the request
@@ -270,7 +289,9 @@ func (c *Client) startCall(ctx context.Context, op wire.Op, body []byte) (uint64
 	c.mu.Unlock()
 	req := wire.Request{ID: id, Op: op, Body: body}
 	if err := c.conn.WriteRequest(&req); err != nil {
-		c.forget(id)
+		if c.forget(id) {
+			recycleWaiter(ch)
+		}
 		c.release()
 		return 0, nil, err
 	}
@@ -306,7 +327,14 @@ func (c *Client) wait(ctx context.Context, id uint64, ch chan *wire.Response) ([
 		select {
 		case resp, ok = <-ch:
 		case <-done:
-			c.forget(id)
+			if c.forget(id) {
+				// We deregistered the waiter ourselves, so the
+				// demultiplexer can never deliver into this channel —
+				// safe to recycle. If readLoop already claimed it, the
+				// late response may still land in the buffer; leave the
+				// channel to the GC (see waiterPool).
+				recycleWaiter(ch)
+			}
 			return nil, ctx.Err()
 		}
 	}
@@ -319,7 +347,7 @@ func (c *Client) wait(ctx context.Context, id uint64, ch chan *wire.Response) ([
 		}
 		return nil, err
 	}
-	waiterPool.Put(ch) // single buffered slot drained; safe to recycle
+	waiterPool.Put(ch) // single buffered slot received; safe to recycle
 	if resp.Status != wire.StatusOK {
 		return nil, &StatusError{Status: resp.Status, Msg: resp.Err}
 	}
@@ -327,13 +355,22 @@ func (c *Client) wait(ctx context.Context, id uint64, ch chan *wire.Response) ([
 }
 
 // forget abandons a call: its response, if one ever arrives, is dropped by
-// the demultiplexer as an unknown ID.
-func (c *Client) forget(id uint64) {
+// the demultiplexer as an unknown ID. It reports whether the waiter was
+// still registered — a true return means this call performed the deletion,
+// so the demultiplexer never claimed the channel and the caller may recycle
+// it; false means readLoop (or fail) got there first and may still touch
+// the channel.
+func (c *Client) forget(id uint64) bool {
 	c.mu.Lock()
-	if c.waiters != nil {
-		delete(c.waiters, id)
+	defer c.mu.Unlock()
+	if c.waiters == nil {
+		return false
 	}
-	c.mu.Unlock()
+	if _, ok := c.waiters[id]; !ok {
+		return false
+	}
+	delete(c.waiters, id)
+	return true
 }
 
 func (c *Client) release() {
@@ -644,6 +681,22 @@ func (c *Client) RLIQuery(ctx context.Context, logical string) ([]string, error)
 	return c.nameQuery(ctx, wire.OpRLIGetLRCs, logical)
 }
 
+// RLIQueryDetailed returns the LRCs for a logical name plus the response's
+// staleness flag — true when a contributing LRC's soft state has outlived
+// its timeout without a refresh.
+func (c *Client) RLIQueryDetailed(ctx context.Context, logical string) ([]string, bool, error) {
+	req := wire.NameRequest{Name: logical}
+	body, err := c.call(ctx, wire.OpRLIGetLRCs, req.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := wire.DecodeNamesResponse(body)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Names, resp.Stale, nil
+}
+
 // RLIWildcardQuery finds {logical name, LRC} pairs by wildcard.
 func (c *Client) RLIWildcardQuery(ctx context.Context, pattern string) ([]wire.BulkNameResult, error) {
 	return c.wildQuery(ctx, wire.OpRLIGetLRCsWild, pattern)
@@ -701,6 +754,15 @@ func (c *Client) SSIncremental(ctx context.Context, lrcURL string, added, remove
 func (c *Client) SSBloom(ctx context.Context, lrcURL string, bitmap []byte) error {
 	req := wire.SSBloomRequest{LRC: lrcURL, Bitmap: bitmap}
 	_, err := c.call(ctx, wire.OpSSBloom, req.Encode())
+	return err
+}
+
+// SSFullAbort discards a half-finished full-update session server-side. The
+// soft-state sender issues it on the error path of a failed full update so
+// the RLI does not hold the partial session until expiry.
+func (c *Client) SSFullAbort(ctx context.Context, lrcURL string) error {
+	req := wire.NameRequest{Name: lrcURL}
+	_, err := c.call(ctx, wire.OpSSFullAbort, req.Encode())
 	return err
 }
 

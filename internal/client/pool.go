@@ -100,6 +100,26 @@ func (p *Pool) SSBloom(ctx context.Context, lrcURL string, bitmap []byte) error 
 	return p.pick().SSBloom(ctx, lrcURL, bitmap)
 }
 
+// SSFullAbort discards a half-finished full-update session server-side.
+// Because the pool stripes Start/Batch/End frames across connections, a
+// mid-stream failure on any one connection leaves the session half-open on
+// the server; the sender's error path calls this to clean it up. The abort
+// is tried on each pooled connection until one delivers it — the failed
+// connection may be the one that broke.
+func (p *Pool) SSFullAbort(ctx context.Context, lrcURL string) error {
+	var first error
+	for range p.clients {
+		err := p.pick().SSFullAbort(ctx, lrcURL)
+		if err == nil {
+			return nil
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Ping checks liveness on one pooled connection.
 func (p *Pool) Ping(ctx context.Context) error { return p.pick().Ping(ctx) }
 

@@ -1,0 +1,273 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/clock"
+	"repro/internal/wire"
+)
+
+// RetryOptions configures a Reliable client's retry discipline.
+type RetryOptions struct {
+	// Policy spaces retries (jittered exponential backoff). Zero value uses
+	// the backoff package defaults.
+	Policy backoff.Policy
+	// MaxAttempts bounds tries per call, first attempt included. Default 4.
+	MaxAttempts int
+	// PerAttemptTimeout bounds each individual attempt, so a blackholed
+	// connection (writes swallowed, no response ever) turns into a timely
+	// retry on a fresh connection instead of hanging until the caller's
+	// deadline. Zero disables the per-attempt bound.
+	PerAttemptTimeout time.Duration
+	// Clock drives backoff sleeps and attempt timeouts; defaults to the
+	// real clock.
+	Clock clock.Clock
+	// Seed makes backoff jitter deterministic. Zero seeds from 1.
+	Seed int64
+}
+
+func (r RetryOptions) withDefaults() RetryOptions {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 4
+	}
+	if r.Clock == nil {
+		r.Clock = clock.Real{}
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return r
+}
+
+// RetryStats counts a Reliable client's recovery activity.
+type RetryStats struct {
+	Calls   int64 // logical operations issued
+	Retries int64 // extra attempts beyond the first
+	Redials int64 // reconnects after a connection-fatal failure
+}
+
+// Reliable wraps the dial options for one server with jittered-exponential
+// retry and automatic redial, for idempotent operations only: reads,
+// queries and diagnostics, which can safely run twice. Non-idempotent
+// catalog writes are deliberately not exposed — a retried create that
+// half-succeeded would turn into a spurious "already exists".
+//
+// Retryable failures are connection-level errors (reset, closed, timeout —
+// the connection is redialed) and the server's typed StatusRetryLater
+// load-shed (the connection is kept). Any other server status is returned
+// immediately.
+type Reliable struct {
+	opts Options
+	r    RetryOptions
+
+	mu     sync.Mutex
+	c      *Client
+	dialed bool // a first connection has been established
+	rnd    *rand.Rand
+
+	calls   atomic.Int64
+	retries atomic.Int64
+	redials atomic.Int64
+}
+
+// NewReliable builds a Reliable client. The first connection is dialed
+// lazily on first use, so construction never blocks.
+func NewReliable(opts Options, r RetryOptions) *Reliable {
+	r = r.withDefaults()
+	return &Reliable{
+		opts: opts,
+		r:    r,
+		rnd:  rand.New(rand.NewSource(r.Seed)),
+	}
+}
+
+// Close closes the current connection, if any.
+func (r *Reliable) Close() error {
+	r.mu.Lock()
+	c := r.c
+	r.c = nil
+	r.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// RetryStats returns cumulative retry counters.
+func (r *Reliable) RetryStats() RetryStats {
+	return RetryStats{
+		Calls:   r.calls.Load(),
+		Retries: r.retries.Load(),
+		Redials: r.redials.Load(),
+	}
+}
+
+// conn returns the cached connection, dialing if needed.
+func (r *Reliable) conn(ctx context.Context) (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c != nil {
+		return r.c, nil
+	}
+	c, err := Dial(ctx, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	if r.dialed {
+		r.redials.Add(1)
+	}
+	r.dialed = true
+	r.c = c
+	return c, nil
+}
+
+// invalidate drops the cached connection if it is still c, so the next
+// attempt redials.
+func (r *Reliable) invalidate(c *Client) {
+	r.mu.Lock()
+	if r.c == c {
+		r.c = nil
+	}
+	r.mu.Unlock()
+	_ = c.Close()
+}
+
+// jitter draws the next jitter sample under the lock guarding the seeded
+// source.
+func (r *Reliable) jitter() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rnd.Float64()
+}
+
+// retryable classifies an attempt's failure. Status errors other than the
+// typed load-shed are definitive answers from a healthy server; everything
+// else is a transport-level failure worth a fresh attempt.
+func retryable(err error) (retry, connFatal bool) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status == wire.StatusRetryLater, false
+	}
+	return true, true
+}
+
+// do runs one idempotent operation with retries.
+func (r *Reliable) do(ctx context.Context, fn func(ctx context.Context, c *Client) error) error {
+	r.calls.Add(1)
+	var err error
+	for attempt := 0; attempt < r.r.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			delay := r.r.Policy.Delay(attempt-1, r.jitter)
+			select {
+			case <-r.r.Clock.After(delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		var c *Client
+		c, err = r.conn(ctx)
+		if err == nil {
+			actx, cancel := ctx, context.CancelFunc(func() {})
+			if r.r.PerAttemptTimeout > 0 {
+				actx, cancel = context.WithTimeout(ctx, r.r.PerAttemptTimeout)
+			}
+			err = fn(actx, c)
+			cancel()
+			if err == nil {
+				return nil
+			}
+			if _, fatal := retryable(err); fatal {
+				r.invalidate(c)
+			}
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if retry, _ := retryable(err); !retry {
+			return err
+		}
+	}
+	return err
+}
+
+// Ping checks liveness, retrying through transient failures.
+func (r *Reliable) Ping(ctx context.Context) error {
+	return r.do(ctx, func(ctx context.Context, c *Client) error {
+		return c.Ping(ctx)
+	})
+}
+
+// ServerInfo fetches server identity and occupancy with retries.
+func (r *Reliable) ServerInfo(ctx context.Context) (*wire.ServerInfoResponse, error) {
+	var out *wire.ServerInfoResponse
+	err := r.do(ctx, func(ctx context.Context, c *Client) error {
+		info, err := c.ServerInfo(ctx)
+		out = info
+		return err
+	})
+	return out, err
+}
+
+// Stats fetches the telemetry snapshot with retries.
+func (r *Reliable) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	var out *wire.StatsResponse
+	err := r.do(ctx, func(ctx context.Context, c *Client) error {
+		st, err := c.Stats(ctx)
+		out = st
+		return err
+	})
+	return out, err
+}
+
+// GetTargets resolves a logical name at an LRC with retries.
+func (r *Reliable) GetTargets(ctx context.Context, logical string) ([]string, error) {
+	var out []string
+	err := r.do(ctx, func(ctx context.Context, c *Client) error {
+		names, err := c.GetTargets(ctx, logical)
+		out = names
+		return err
+	})
+	return out, err
+}
+
+// RLIQuery resolves a logical name at an RLI with retries.
+func (r *Reliable) RLIQuery(ctx context.Context, logical string) ([]string, error) {
+	var out []string
+	err := r.do(ctx, func(ctx context.Context, c *Client) error {
+		names, err := c.RLIQuery(ctx, logical)
+		out = names
+		return err
+	})
+	return out, err
+}
+
+// RLIQueryDetailed resolves a logical name at an RLI with retries,
+// reporting the response's staleness flag.
+func (r *Reliable) RLIQueryDetailed(ctx context.Context, logical string) ([]string, bool, error) {
+	var out []string
+	var stale bool
+	err := r.do(ctx, func(ctx context.Context, c *Client) error {
+		names, st, err := c.RLIQueryDetailed(ctx, logical)
+		out, stale = names, st
+		return err
+	})
+	return out, stale, err
+}
+
+// RLIBulkQuery resolves many logical names at an RLI with retries.
+func (r *Reliable) RLIBulkQuery(ctx context.Context, names []string) ([]wire.BulkNameResult, error) {
+	var out []wire.BulkNameResult
+	err := r.do(ctx, func(ctx context.Context, c *Client) error {
+		res, err := c.RLIBulkQuery(ctx, names)
+		out = res
+		return err
+	})
+	return out, err
+}

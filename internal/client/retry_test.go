@@ -1,0 +1,173 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/wire"
+)
+
+// reliableOver builds a Reliable client whose every dial spawns a fresh
+// fakeServer conversation on an in-process pipe.
+func reliableOver(f *fakeServer, r RetryOptions) *Reliable {
+	return NewReliable(Options{
+		Dialer: func() (net.Conn, error) {
+			a, b := net.Pipe()
+			go f.serve(b)
+			return a, nil
+		},
+	}, r)
+}
+
+// fastRetry keeps test backoffs short.
+func fastRetry() RetryOptions {
+	return RetryOptions{
+		Policy:      backoff.Policy{Base: time.Millisecond, Max: 5 * time.Millisecond, Multiplier: 2, Jitter: 0},
+		MaxAttempts: 4,
+	}
+}
+
+func TestReliableRecoversFromConnectionDrops(t *testing.T) {
+	var drops atomic.Int64
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			if drops.Add(1) <= 2 {
+				return nil // scripted connection drop
+			}
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK}
+		},
+	}
+	r := reliableOver(f, fastRetry())
+	defer r.Close()
+	if err := r.Ping(ctx); err != nil {
+		t.Fatalf("Ping through drops = %v", err)
+	}
+	st := r.RetryStats()
+	if st.Retries != 2 || st.Redials != 2 {
+		t.Fatalf("stats = %+v, want 2 retries and 2 redials", st)
+	}
+}
+
+func TestReliableBacksOffOnRetryLater(t *testing.T) {
+	var sheds atomic.Int64
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			if sheds.Add(1) <= 2 {
+				return &wire.Response{ID: req.ID, Status: wire.StatusRetryLater}
+			}
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK}
+		},
+	}
+	r := reliableOver(f, fastRetry())
+	defer r.Close()
+	if err := r.Ping(ctx); err != nil {
+		t.Fatalf("Ping through load shed = %v", err)
+	}
+	st := r.RetryStats()
+	if st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+	// The typed shed is not connection-fatal: no redial happened.
+	if st.Redials != 0 {
+		t.Fatalf("Redials = %d, want 0 (connection kept)", st.Redials)
+	}
+}
+
+func TestReliableDoesNotRetryDefinitiveStatus(t *testing.T) {
+	var calls atomic.Int64
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			calls.Add(1)
+			return &wire.Response{ID: req.ID, Status: wire.StatusNotFound}
+		},
+	}
+	r := reliableOver(f, fastRetry())
+	defer r.Close()
+	if _, err := r.GetTargets(ctx, "lfn://missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d attempts, want 1", calls.Load())
+	}
+	if st := r.RetryStats(); st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0", st.Retries)
+	}
+}
+
+func TestReliableGivesUpAfterMaxAttempts(t *testing.T) {
+	f := &fakeServer{
+		acceptHello: true,
+		respond:     func(req *wire.Request) *wire.Response { return nil }, // always drop
+	}
+	ro := fastRetry()
+	ro.MaxAttempts = 3
+	r := reliableOver(f, ro)
+	defer r.Close()
+	if err := r.Ping(ctx); err == nil {
+		t.Fatal("Ping against a dead server succeeded")
+	}
+	if st := r.RetryStats(); st.Retries != 2 {
+		t.Fatalf("Retries = %d, want MaxAttempts-1 = 2", st.Retries)
+	}
+}
+
+func TestReliablePerAttemptTimeoutEscapesBlackhole(t *testing.T) {
+	// The first request is blackholed (no response, connection held open);
+	// the per-attempt timeout must turn that into a redial instead of
+	// hanging until the caller's deadline.
+	var reqs atomic.Int64
+	release := make(chan struct{})
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			if reqs.Add(1) == 1 {
+				<-release // hold the response until the test ends
+				return nil
+			}
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK}
+		},
+	}
+	defer close(release)
+	ro := fastRetry()
+	ro.PerAttemptTimeout = 50 * time.Millisecond
+	r := reliableOver(f, ro)
+	defer r.Close()
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := r.Ping(ctx); err != nil {
+		t.Fatalf("Ping through blackhole = %v", err)
+	}
+	if st := r.RetryStats(); st.Retries < 1 || st.Redials < 1 {
+		t.Fatalf("stats = %+v, want at least one retry and redial", st)
+	}
+}
+
+func TestReliableHonoursCallerContext(t *testing.T) {
+	f := &fakeServer{
+		acceptHello: true,
+		respond:     func(req *wire.Request) *wire.Response { return nil },
+	}
+	ro := fastRetry()
+	ro.MaxAttempts = 1000
+	ro.Policy = backoff.Policy{Base: 10 * time.Millisecond, Max: 10 * time.Millisecond, Multiplier: 1, Jitter: 0}
+	r := reliableOver(f, ro)
+	defer r.Close()
+	ctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := r.Ping(ctx)
+	if err == nil {
+		t.Fatal("Ping succeeded against a dead server")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("retry loop outlived the caller's deadline")
+	}
+}

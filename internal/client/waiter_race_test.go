@@ -1,0 +1,74 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestWaiterRecycleUnderCancellation hammers the demultiplexer's
+// pooled-waiter recycling with racing cancellations: calls whose ctx
+// expires return their waiter channel while the reader goroutine may be
+// about to deliver the late response. The recycle rule (only the goroutine
+// that deregistered the waiter may pool the channel) must hold, or a
+// recycled channel carries a stale response into an unrelated call — which
+// this test detects by echoing each request's ID through the response body.
+// Run under -race (make stress) to also catch pure memory races.
+func TestWaiterRecycleUnderCancellation(t *testing.T) {
+	var n atomic.Uint64
+	f := &fakeServer{
+		acceptHello: true,
+		respond: func(req *wire.Request) *wire.Response {
+			// Occasional delays make some calls' contexts expire first, so
+			// their late responses race the recycling path.
+			if n.Add(1)%5 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			e := wire.NewEncoder(8)
+			e.U64(req.ID)
+			return &wire.Response{ID: req.ID, Status: wire.StatusOK, Body: e.Bytes()}
+		},
+	}
+	c, err := dialFake(t, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const goroutines = 8
+	const callsPer = 250
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for i := 0; i < callsPer; i++ {
+				// Deadlines from "already expired" to "usually survives".
+				timeout := time.Duration(rnd.Intn(1500)) * time.Microsecond
+				cctx, cancel := context.WithTimeout(ctx, timeout)
+				id, ch, err := c.startCall(cctx, wire.OpPing, nil)
+				if err != nil {
+					cancel()
+					continue
+				}
+				body, err := c.wait(cctx, id, ch)
+				cancel()
+				if err != nil {
+					continue // expired or cancelled; the late response must be dropped
+				}
+				d := wire.NewDecoder(body)
+				if got := d.U64(); got != id {
+					t.Errorf("call %d received the response for call %d: recycled waiter corrupted", id, got)
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/auth"
+	"repro/internal/backoff"
 	"repro/internal/client"
 	"repro/internal/clock"
 	"repro/internal/disk"
@@ -49,6 +50,12 @@ type ServerSpec struct {
 	ListenAddr string
 	// Net shapes every connection to this server (LAN, WAN, unshaped).
 	Net netsim.Profile
+	// Faults optionally subjects every in-process connection dialed to this
+	// server — client dials and LRC soft-state updater dials alike — to the
+	// fault-injection layer, composing with Net shaping (faults outermost).
+	// The chaos harness uses this to reset, stall, drop, or partition one
+	// node's links mid-run and heal them later.
+	Faults *netsim.Faults
 
 	// Personality selects the database back end behaviour (MySQL-like or
 	// PostgreSQL-like).
@@ -94,6 +101,15 @@ type ServerSpec struct {
 	// SSConns sizes the soft-state connection pool per RLI target; values
 	// <= 1 use a single connection.
 	SSConns int
+	// SSBackoff spaces this LRC's half-open probes to quarantined RLI
+	// targets; the zero value uses the backoff package defaults.
+	SSBackoff backoff.Policy
+	// SSFailThreshold is the consecutive-failure count after which an RLI
+	// target is quarantined; zero uses backoff.DefaultFailThreshold.
+	SSFailThreshold int
+	// SSBreakerSeed makes per-target probe jitter deterministic for tests
+	// and the chaos harness.
+	SSBreakerSeed int64
 
 	// IdleTimeout reaps connections idle for this long; zero disables.
 	IdleTimeout time.Duration
@@ -124,6 +140,7 @@ type Node struct {
 	Device *disk.Device
 
 	net      netsim.Profile
+	faults   *netsim.Faults
 	listener net.Listener
 	dep      *Deployment
 }
@@ -215,6 +232,7 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 		URL:    "rls://" + spec.Name,
 		Device: device,
 		net:    spec.Net,
+		faults: spec.Faults,
 		dep:    d,
 	}
 
@@ -274,6 +292,9 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 			FullBatch:          spec.FullBatch,
 			BloomSizeHint:      spec.BloomSizeHint,
 			UpdateWindow:       spec.SSWindow,
+			Backoff:            spec.SSBackoff,
+			FailThreshold:      spec.SSFailThreshold,
+			BreakerSeed:        spec.SSBreakerSeed,
 		})
 		if err != nil {
 			cleanup()
@@ -384,10 +405,14 @@ func (d *Deployment) Node(name string) (*Node, bool) {
 	return n, ok
 }
 
-// dialNode opens a transport to the node: an in-process shaped pipe.
+// dialNode opens a transport to the node: an in-process shaped pipe,
+// subject to the node's fault-injection layer when one is configured.
 func (d *Deployment) dialNode(n *Node) (net.Conn, error) {
 	clientEnd, serverEnd := netsim.Pipe(n.net)
 	go n.Server.ServeConn(serverEnd)
+	if n.faults != nil {
+		return n.faults.Wrap(clientEnd), nil
+	}
 	return clientEnd, nil
 }
 
@@ -452,6 +477,30 @@ func (d *Deployment) Dial(name string, opts ...DialOptions) (*client.Client, err
 		MaxInFlight: o.MaxInFlight,
 		Dialer:      func() (net.Conn, error) { return d.dialNode(n) },
 	})
+}
+
+// DialReliable opens a retrying client to the named server over the
+// in-process transport: idempotent operations (queries, diagnostics) are
+// retried with jittered exponential backoff and automatic redial per the
+// retry options — the client-side half of the failure model the chaos
+// harness exercises.
+func (d *Deployment) DialReliable(name string, retry client.RetryOptions, opts ...DialOptions) (*client.Reliable, error) {
+	d.mu.Lock()
+	n, ok := d.nodes[name]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no server named %q", name)
+	}
+	var o DialOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return client.NewReliable(client.Options{
+		DN:          o.DN,
+		Token:       o.Token,
+		MaxInFlight: o.MaxInFlight,
+		Dialer:      func() (net.Conn, error) { return d.dialNode(n) },
+	}, retry), nil
 }
 
 // DialTCP opens a client over the node's TCP listener (shaped client-side

@@ -1,0 +1,313 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "chaos",
+		Title: "Fault injection and soft-state recovery (partition, resets, quarantine, heal)",
+		Paper: "soft state survives component failure (§3, §5.5): stale entries time out, LRCs refresh them; a dead RLI must cost bounded probes, not a redial per round",
+		Run:   runChaos,
+	})
+}
+
+// chaosSoftPeriod is the soft-state timeout the chaos run uses: the window
+// within which a healed deployment must converge back to full queryability.
+const chaosSoftPeriod = 1500 * time.Millisecond
+
+// runChaos drives the standard workload generators through an injected
+// outage and asserts the recovery contract end to end:
+//
+//  1. baseline — two LRCs (one uncompressed, one Bloom-compressed) feed one
+//     RLI; every loaded LFN is queryable and fresh.
+//  2. outage — the RLI's links are partitioned (silent blackhole), its live
+//     connections reset, then every write fails fast; meanwhile new LFNs
+//     keep arriving at the LRCs. The per-target breakers must quarantine the
+//     RLI (bounded dials, sends skipped) and RLI answers must be flagged
+//     stale once the soft-state period lapses without a refresh.
+//  3. heal — faults clear. Within one soft-state period every target must
+//     return to healthy via half-open probes, and every LFN registered at
+//     either LRC — including those registered mid-outage — must be findable
+//     through the RLI with the staleness flag cleared.
+//
+// All fault scheduling and breaker jitter is seeded, so two runs inject the
+// same fault sequence.
+func runChaos(p Params) error {
+	ctx := context.Background()
+	faults := netsim.NewFaults(netsim.FaultsConfig{Seed: 7})
+
+	dep := core.NewDeployment()
+	defer dep.Close()
+	rliNode, err := dep.AddServer(core.ServerSpec{
+		Name:   "rli",
+		RLI:    true,
+		Disk:   fastDisk(),
+		Faults: faults,
+		// The expire thread is parked (explicit sweeps only) so the phases
+		// below never race a background reap.
+		RLITimeout:        chaosSoftPeriod,
+		RLIExpireInterval: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	lrcSpecs := []struct {
+		name  string
+		bloom bool
+	}{
+		{"lrc00", false},
+		{"lrc01", true},
+	}
+	var lrcs []*core.Node
+	for _, s := range lrcSpecs {
+		node, err := dep.AddServer(core.ServerSpec{
+			Name: s.name,
+			LRC:  true,
+			Disk: fastDisk(),
+			// Fast probe schedule: quarantine probes are due well inside one
+			// soft-state period, so a healed target recovers in time.
+			SSBackoff:     backoff.Policy{Base: 100 * time.Millisecond, Max: 300 * time.Millisecond},
+			SSBreakerSeed: 42,
+		})
+		if err != nil {
+			return err
+		}
+		if err := dep.Connect(s.name, "rli", s.bloom); err != nil {
+			return err
+		}
+		lrcs = append(lrcs, node)
+	}
+
+	// ---- Phase 1: baseline ----
+	n := p.ops(150)
+	loadSpace := func(space, server string) error {
+		c, err := dep.Dial(server)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		return workload.Load(ctx, c, workload.Names{Space: space}, n, 500)
+	}
+	for _, s := range lrcSpecs {
+		if err := loadSpace(s.name, s.name); err != nil {
+			return err
+		}
+	}
+	for _, node := range lrcs {
+		for _, res := range node.LRC.ForceUpdate(ctx) {
+			if res.Err != nil {
+				return fmt.Errorf("chaos: baseline update to %s failed: %w", res.URL, res.Err)
+			}
+		}
+	}
+	baselineRefresh := time.Now()
+
+	rq, err := dep.DialReliable("rli", client.RetryOptions{
+		MaxAttempts:       3,
+		PerAttemptTimeout: 300 * time.Millisecond,
+		Policy:            backoff.Policy{Base: 20 * time.Millisecond, Max: 100 * time.Millisecond},
+		Seed:              3,
+	})
+	if err != nil {
+		return err
+	}
+	defer rq.Close()
+	for _, s := range lrcSpecs {
+		urls, stale, err := rq.RLIQueryDetailed(ctx, workload.Names{Space: s.name}.Logical(0))
+		if err != nil {
+			return fmt.Errorf("chaos: baseline query for %s: %w", s.name, err)
+		}
+		if !contains(urls, "rls://"+s.name) {
+			return fmt.Errorf("chaos: baseline query for %s missing its LRC (got %v)", s.name, urls)
+		}
+		if stale {
+			return fmt.Errorf("chaos: baseline answer for %s flagged stale", s.name)
+		}
+	}
+
+	// ---- Phase 2: outage ----
+	preOutage := faults.Stats()
+	faults.Partition(true)
+	faults.ResetAll()
+	// New registrations keep arriving while the RLI is unreachable; they are
+	// what the recovery assertion must find later.
+	for _, s := range lrcSpecs {
+		if err := loadSpace(s.name+"-outage", s.name); err != nil {
+			return err
+		}
+	}
+	rounds := 0
+	updateRound := func(timeout time.Duration) {
+		rctx, cancel := context.WithTimeout(ctx, timeout)
+		for _, node := range lrcs {
+			node.LRC.ForceUpdate(rctx)
+		}
+		cancel()
+		rounds++
+	}
+	// Two blackholed rounds (sends swallowed, fail on the attempt timeout),
+	// then fail-fast resets for the rest of the outage.
+	for i := 0; i < 2; i++ {
+		updateRound(200 * time.Millisecond)
+	}
+	faults.Partition(false)
+	faults.SetScript(netsim.FaultScript{DropProb: 1})
+	for i := 0; i < 14; i++ {
+		updateRound(250 * time.Millisecond)
+		time.Sleep(30 * time.Millisecond)
+	}
+	// A client retrying through the outage gives up cleanly after bounded
+	// attempts instead of hanging.
+	if _, err := rq.RLIQuery(ctx, workload.Names{Space: "lrc00"}.Logical(0)); err == nil {
+		return errors.New("chaos: query through a fully faulted link unexpectedly succeeded")
+	}
+
+	// The dead-target steady state: quarantined, sends suppressed, dials
+	// bounded — strictly fewer failures (= dial attempts) than update rounds.
+	type targetOutage struct {
+		state   string
+		failed  int64
+		skipped int64
+		probes  int64
+	}
+	outageStats := make(map[string]targetOutage)
+	for i, node := range lrcs {
+		ts := node.LRC.TargetStats()[0]
+		outageStats[lrcSpecs[i].name] = targetOutage{ts.State, ts.Failed, ts.Skipped, ts.Probes}
+		if ts.State != backoff.Quarantined.String() {
+			return fmt.Errorf("chaos: %s target state after outage = %s, want quarantined", lrcSpecs[i].name, ts.State)
+		}
+		if ts.Skipped == 0 {
+			return fmt.Errorf("chaos: %s breaker suppressed no sends across %d rounds", lrcSpecs[i].name, rounds)
+		}
+		if ts.Failed >= int64(rounds) {
+			return fmt.Errorf("chaos: %s dialed %d times over %d rounds — redial is not bounded", lrcSpecs[i].name, ts.Failed, rounds)
+		}
+	}
+	// The same health state must be visible through the wire telemetry path.
+	if sc, err := dep.Dial("lrc00"); err == nil {
+		st, err := sc.Stats(ctx)
+		sc.Close()
+		if err != nil {
+			return fmt.Errorf("chaos: stats over wire during outage: %w", err)
+		}
+		if len(st.SoftState) != 1 || st.SoftState[0].State != backoff.Quarantined.String() {
+			return fmt.Errorf("chaos: wire telemetry does not show quarantine: %+v", st.SoftState)
+		}
+	} else {
+		return err
+	}
+
+	// Let the soft-state period lapse, then confirm graceful degradation:
+	// the RLI still answers (the expire sweep has not run) but flags the
+	// answer stale.
+	if until := time.Until(baselineRefresh.Add(chaosSoftPeriod + 100*time.Millisecond)); until > 0 {
+		time.Sleep(until)
+	}
+	staleBefore := rliNode.RLI.Stats().StaleAnswers
+	for _, s := range lrcSpecs {
+		urls, stale, err := rliNode.RLI.QueryLRCsDetailed(ctx, workload.Names{Space: s.name}.Logical(0))
+		if err != nil {
+			return fmt.Errorf("chaos: stale-window query for %s: %w", s.name, err)
+		}
+		if !contains(urls, "rls://"+s.name) {
+			return fmt.Errorf("chaos: stale-window query for %s lost the mapping (got %v)", s.name, urls)
+		}
+		if !stale {
+			return fmt.Errorf("chaos: answer for %s not flagged stale %s after last refresh", s.name, chaosSoftPeriod)
+		}
+	}
+	staleAnswers := rliNode.RLI.Stats().StaleAnswers - staleBefore
+
+	// ---- Phase 3: heal and recover ----
+	faults.SetScript(netsim.FaultScript{})
+	healStart := time.Now()
+	deadline := healStart.Add(chaosSoftPeriod)
+	for {
+		healthy := true
+		for _, node := range lrcs {
+			node.LRC.ForceUpdate(ctx)
+			if node.LRC.TargetStats()[0].State != backoff.Healthy.String() {
+				healthy = false
+			}
+		}
+		if healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, node := range lrcs {
+				ts := node.LRC.TargetStats()[0]
+				fmt.Fprintf(p.Out, "chaos: %s target still %s (next probe %s)\n", lrcSpecs[i].name, ts.State, ts.NextProbe)
+			}
+			return fmt.Errorf("chaos: targets not healthy within one soft-state period (%s) of healing", chaosSoftPeriod)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	recovery := time.Since(healStart)
+
+	// Eventual consistency: every LFN registered at an LRC — before or
+	// during the outage — is findable via the RLI, and answers are fresh.
+	verified := 0
+	for _, s := range lrcSpecs {
+		for _, space := range []string{s.name, s.name + "-outage"} {
+			g := workload.Names{Space: space}
+			for i := 0; i < n; i++ {
+				urls, stale, err := rq.RLIQueryDetailed(ctx, g.Logical(i))
+				if err != nil {
+					return fmt.Errorf("chaos: post-heal query %s: %w", g.Logical(i), err)
+				}
+				if !contains(urls, "rls://"+s.name) {
+					return fmt.Errorf("chaos: post-heal query %s missing %s (got %v)", g.Logical(i), s.name, urls)
+				}
+				if stale {
+					return fmt.Errorf("chaos: post-heal answer for %s still flagged stale", g.Logical(i))
+				}
+				verified++
+			}
+		}
+	}
+
+	fs := faults.Stats()
+	retries := rq.RetryStats()
+	rows := [][]string{
+		{"baseline", "mappings per LRC", fmt.Sprintf("%d x2 LRCs", n)},
+		{"outage", "update rounds against dead RLI", fmt.Sprintf("%d", rounds)},
+		{"outage", "injected resets/drops/blackholed", fmt.Sprintf("%d/%d/%d", fs.Resets-preOutage.Resets, fs.Drops-preOutage.Drops, fs.Blackholed-preOutage.Blackholed)},
+		{"outage", "RLI dials (bounded by breaker)", fmt.Sprintf("%d", fs.Wrapped-preOutage.Wrapped)},
+	}
+	for _, s := range lrcSpecs {
+		o := outageStats[s.name]
+		rows = append(rows, []string{"outage", s.name + " breaker", fmt.Sprintf("%s failed=%d skipped=%d probes=%d", o.state, o.failed, o.skipped, o.probes)})
+	}
+	rows = append(rows,
+		[]string{"outage", "stale-flagged answers", fmt.Sprintf("%d", staleAnswers)},
+		[]string{"outage", "client retries/redials", fmt.Sprintf("%d/%d", retries.Retries, retries.Redials)},
+		[]string{"heal", "time to healthy targets", fmt.Sprintf("%.0fms (budget %s)", recovery.Seconds()*1000, chaosSoftPeriod)},
+		[]string{"heal", "mappings verified fresh via RLI", fmt.Sprintf("%d", verified)},
+	)
+	table(p.Out, "Chaos: injected faults, quarantine, and soft-state recovery",
+		"after faults clear, every LFN registered at an LRC is findable via its RLI within one soft-state period",
+		[]string{"phase", "metric", "value"},
+		rows)
+	return nil
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package harness
+
+import (
+	"io"
+	"testing"
+)
+
+// TestChaosRecovery runs the chaos experiment at a reduced operation count:
+// the full fault → quarantine → heal → verify cycle, with every assertion
+// the `make chaos` profile enforces.
+func TestChaosRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos cycle spans multiple soft-state periods of wall time")
+	}
+	p := DefaultParams(io.Discard)
+	p.Ops = 0.3 // operation-count floor: 50 names per namespace
+	if err := runChaos(p); err != nil {
+		t.Fatal(err)
+	}
+}

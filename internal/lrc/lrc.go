@@ -8,11 +8,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"regexp"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/bloom"
 	"repro/internal/clock"
 	"repro/internal/rdb"
@@ -93,6 +95,19 @@ type Config struct {
 	// full-update batches in flight so a bulk stream pays one RTT per
 	// window rather than one per batch.
 	UpdateWindow int
+	// Backoff spaces half-open probes to quarantined RLI targets; the zero
+	// value uses the backoff package defaults (100ms base, 30s cap, ±20%
+	// jitter).
+	Backoff backoff.Policy
+	// FailThreshold is the consecutive-failure count after which a target is
+	// quarantined (sends skipped until the next probe). Defaults to
+	// backoff.DefaultFailThreshold; targets below the threshold are only
+	// degraded and still receive every scheduled update.
+	FailThreshold int
+	// BreakerSeed makes per-target probe jitter deterministic for tests and
+	// the chaos harness; each target's breaker derives its own seed from
+	// this value and the target url.
+	BreakerSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +137,11 @@ type Service struct {
 	pending pendingChanges
 	targets map[string]*target // keyed by RLI url
 	tstats  map[string]*TargetStats
+	// breakers tracks per-target health (healthy → degraded → quarantined
+	// with half-open probes), replacing the old redial-every-round loop
+	// against a dead RLI. Like tstats, entries persist across target
+	// re-registration so a flapping RLI keeps its history.
+	breakers map[string]*backoff.Breaker
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -172,6 +192,14 @@ type TargetStats struct {
 	NamesSent   int64
 	BytesSent   int64 // serialized Bloom payload bytes
 	LastSuccess time.Time
+
+	// Breaker telemetry, merged from the target's circuit breaker at
+	// snapshot time.
+	State       string // healthy | degraded | quarantined | probing
+	ConsecFails int64
+	Skipped     int64 // sends suppressed while quarantined/probing
+	Probes      int64 // half-open probes admitted
+	NextProbe   time.Time
 }
 
 // New creates the service and loads its RLI target list from the database.
@@ -186,12 +214,13 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:     cfg,
-		db:      cfg.DB,
-		clk:     cfg.Clock,
-		targets: make(map[string]*target),
-		tstats:  make(map[string]*TargetStats),
-		stop:    make(chan struct{}),
+		cfg:      cfg,
+		db:       cfg.DB,
+		clk:      cfg.Clock,
+		targets:  make(map[string]*target),
+		tstats:   make(map[string]*TargetStats),
+		breakers: make(map[string]*backoff.Breaker),
+		stop:     make(chan struct{}),
 	}
 	// Size and populate the Bloom filter from current catalog contents.
 	logicals, _, _, err := s.db.Counts()
@@ -322,12 +351,20 @@ func (s *Service) Stats() Stats {
 	return s.stats
 }
 
-// TargetStats returns per-target soft-state health snapshots, sorted by URL.
+// TargetStats returns per-target soft-state health snapshots, sorted by URL,
+// with the target's breaker telemetry merged in.
 func (s *Service) TargetStats() []TargetStats {
 	s.mu.Lock()
 	out := make([]TargetStats, 0, len(s.tstats))
-	for _, ts := range s.tstats {
-		out = append(out, *ts)
+	for url, ts := range s.tstats {
+		cp := *ts
+		snap := s.breakerForLocked(url).Snapshot()
+		cp.State = snap.State.String()
+		cp.ConsecFails = snap.ConsecFails
+		cp.Skipped = snap.Skipped
+		cp.Probes = snap.Probes
+		cp.NextProbe = snap.NextProbe
+		out = append(out, cp)
 	}
 	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
@@ -343,4 +380,31 @@ func (s *Service) targetStatsLocked(url string) *TargetStats {
 		s.tstats[url] = ts
 	}
 	return ts
+}
+
+// breakerForLocked returns (creating if needed) the target's circuit
+// breaker. Caller holds s.mu. Each breaker derives its jitter seed from the
+// configured seed and the target url, so a fleet of targets probes
+// de-synchronized even under a fixed seed.
+func (s *Service) breakerForLocked(url string) *backoff.Breaker {
+	br := s.breakers[url]
+	if br == nil {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(url))
+		br = backoff.NewBreaker(backoff.BreakerConfig{
+			Policy:        s.cfg.Backoff,
+			FailThreshold: s.cfg.FailThreshold,
+			Clock:         s.clk,
+			Seed:          s.cfg.BreakerSeed ^ int64(h.Sum64()),
+		})
+		s.breakers[url] = br
+	}
+	return br
+}
+
+// breakerFor is breakerForLocked with its own locking.
+func (s *Service) breakerFor(url string) *backoff.Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.breakerForLocked(url)
 }

@@ -496,3 +496,91 @@ func waitFor(t *testing.T, cond func() bool, what string) {
 	}
 	t.Fatalf("timeout waiting for %s", what)
 }
+
+// abortingUpdater wraps fakeUpdater with a scripted mid-stream batch
+// failure and records SSFullAbort calls, exercising the sender's
+// half-open-session cleanup path.
+type abortingUpdater struct {
+	*fakeUpdater
+	abMu      sync.Mutex
+	batches   int
+	failBatch int // 1-based index of the SSFullBatch call that fails
+	aborts    []string
+}
+
+func (a *abortingUpdater) SSFullBatch(ctx context.Context, lrcURL string, names []string) error {
+	a.abMu.Lock()
+	a.batches++
+	fail := a.batches == a.failBatch
+	a.abMu.Unlock()
+	if fail {
+		return errors.New("injected mid-stream batch failure")
+	}
+	return a.fakeUpdater.SSFullBatch(ctx, lrcURL, names)
+}
+
+func (a *abortingUpdater) SSFullAbort(ctx context.Context, lrcURL string) error {
+	a.abMu.Lock()
+	defer a.abMu.Unlock()
+	a.aborts = append(a.aborts, lrcURL)
+	return nil
+}
+
+func (a *abortingUpdater) abortCount() int {
+	a.abMu.Lock()
+	defer a.abMu.Unlock()
+	return len(a.aborts)
+}
+
+func TestFullUpdateMidStreamFailureAborts(t *testing.T) {
+	up := &abortingUpdater{fakeUpdater: newFakeUpdater(), failBatch: 2}
+	s := newTestService(t, nil, func(c *Config) {
+		c.FullBatch = 5
+		c.Dial = func(ctx context.Context, url string) (Updater, error) { return up, nil }
+	})
+	for i := 0; i < 20; i++ {
+		s.CreateMapping(ctx, fmt.Sprintf("lfn://%03d", i), fmt.Sprintf("pfn://%03d", i))
+	}
+	if err := s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"}); err != nil {
+		t.Fatal(err)
+	}
+	res := s.ForceUpdate(ctx)
+	if len(res) != 1 || res[0].Err == nil {
+		t.Fatalf("results = %+v, want one failed full update", res)
+	}
+	if got := up.abortCount(); got != 1 {
+		t.Fatalf("SSFullAbort called %d times, want 1", got)
+	}
+	up.abMu.Lock()
+	target := up.aborts[0]
+	up.abMu.Unlock()
+	if target != "rls://lrc-test" {
+		t.Fatalf("abort sent for %q, want the sender's own URL", target)
+	}
+	up.mu.Lock()
+	ended := !up.inFull
+	up.mu.Unlock()
+	if ended {
+		t.Fatal("SSFullEnd ran despite the mid-stream failure")
+	}
+}
+
+func TestFullUpdateStartFailureDoesNotAbort(t *testing.T) {
+	up := &abortingUpdater{fakeUpdater: newFakeUpdater()}
+	up.failNext = errors.New("injected start failure")
+	s := newTestService(t, nil, func(c *Config) {
+		c.Dial = func(ctx context.Context, url string) (Updater, error) { return up, nil }
+	})
+	s.CreateMapping(ctx, "lfn://a", "pfn://a")
+	if err := s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"}); err != nil {
+		t.Fatal(err)
+	}
+	res := s.ForceUpdate(ctx)
+	if res[0].Err == nil {
+		t.Fatal("expected SSFullStart failure")
+	}
+	// No session was opened on the RLI, so there is nothing to abort.
+	if got := up.abortCount(); got != 0 {
+		t.Fatalf("SSFullAbort called %d times, want 0", got)
+	}
+}

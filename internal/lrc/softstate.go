@@ -123,6 +123,18 @@ func (s *Service) flushIncremental(ctx context.Context) {
 	}
 	failed := false
 	for _, tg := range targets {
+		if !s.breakerFor(tg.spec.URL).Allow() {
+			// Quarantined target: skip the dial entirely. Non-Bloom deltas
+			// are re-queued so the target catches up once it recovers (the
+			// periodic full update repairs any divergence regardless).
+			if !tg.spec.Bloom {
+				failed = true
+				s.mu.Lock()
+				s.targetStatsLocked(tg.spec.URL).Requeued += int64(len(added) + len(removed))
+				s.mu.Unlock()
+			}
+			continue
+		}
 		if tg.spec.Bloom {
 			s.sendBloomTo(ctx, tg)
 			continue
@@ -144,18 +156,21 @@ func (s *Service) flushIncremental(ctx context.Context) {
 	}
 }
 
-// recordTargetLocked folds one send outcome into the per-target telemetry.
-// Caller holds s.mu.
+// recordTargetLocked folds one send outcome into the per-target telemetry
+// and the target's circuit breaker. Caller holds s.mu.
 func (s *Service) recordTargetLocked(res TargetResult) {
 	ts := s.targetStatsLocked(res.URL)
+	br := s.breakerForLocked(res.URL)
 	if res.Err != nil {
 		ts.Failed++
+		br.OnFailure()
 		return
 	}
 	ts.Sent++
 	ts.NamesSent += int64(res.Names)
 	ts.BytesSent += int64(res.Bytes)
 	ts.LastSuccess = s.clk.Now()
+	br.OnSuccess()
 }
 
 func (s *Service) snapshotTargetsLocked() []*target {
@@ -174,6 +189,10 @@ type TargetResult struct {
 	Bytes   int    // payload bytes (bloom)
 	Elapsed time.Duration
 	Err     error
+	// Skipped marks a send suppressed by the target's circuit breaker (the
+	// target is quarantined and its next probe is not yet due). No dial was
+	// attempted; Err is nil.
+	Skipped bool
 }
 
 // ForceUpdate pushes a soft state update to every configured RLI target
@@ -189,6 +208,18 @@ func (s *Service) ForceUpdate(ctx context.Context) []TargetResult {
 	s.mu.Unlock()
 	out := make([]TargetResult, 0, len(targets))
 	for _, tg := range targets {
+		kind := "full"
+		if tg.spec.Bloom {
+			kind = "bloom"
+		}
+		// Ask the breaker first: a quarantined target is skipped without a
+		// dial until its next half-open probe is due, so a dead RLI costs
+		// one bounded probe per backoff interval instead of a redial every
+		// round.
+		if !s.breakerFor(tg.spec.URL).Allow() {
+			out = append(out, TargetResult{URL: tg.spec.URL, Kind: kind, Skipped: true})
+			continue
+		}
 		if tg.spec.Bloom {
 			out = append(out, s.sendBloomTo(ctx, tg))
 		} else {
@@ -198,7 +229,10 @@ func (s *Service) ForceUpdate(ctx context.Context) []TargetResult {
 	return out
 }
 
-// ForceUpdateTo pushes an update to a single RLI target by url.
+// ForceUpdateTo pushes an update to a single RLI target by url. Unlike the
+// scheduled passes it does not consult the target's breaker — an explicit
+// targeted push is an operator-initiated probe — but its outcome still feeds
+// the breaker, so a success restores a quarantined target immediately.
 func (s *Service) ForceUpdateTo(ctx context.Context, url string) (TargetResult, error) {
 	s.mu.Lock()
 	tg, ok := s.targets[url]
@@ -280,7 +314,11 @@ func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult)
 		res.Err = err
 		return res
 	}
+	started := false
 	defer func() {
+		if res.Err != nil && started {
+			s.abortFull(ctx, up)
+		}
 		if closeAfter {
 			_ = up.Close()
 		} else if res.Err != nil {
@@ -291,6 +329,7 @@ func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult)
 		res.Err = err
 		return res
 	}
+	started = true
 	// Window of outstanding batch acknowledgements, settled oldest-first.
 	window := 1
 	starter, async := up.(batchStarter)
@@ -355,6 +394,30 @@ func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult)
 	}
 	res.Err = up.SSFullEnd(ctx, s.cfg.URL)
 	return res
+}
+
+// aborter is the optional full-update abort capability of an Updater
+// (client.Client and client.Pool provide it): tell the RLI to discard the
+// half-open session a failed stream left behind instead of waiting for
+// server-side expiry.
+type aborter interface {
+	SSFullAbort(ctx context.Context, lrcURL string) error
+}
+
+// abortFull best-effort aborts a full update that failed after SSFullStart.
+// The abort may itself fail — the connection that broke the stream is often
+// the one carrying the abort — and that is fine: the RLI's session expiry is
+// the backstop, the abort just reclaims the session sooner. A detached,
+// bounded context is used because the pass's context may be the very thing
+// that was cancelled.
+func (s *Service) abortFull(ctx context.Context, up Updater) {
+	ab, ok := up.(aborter)
+	if !ok {
+		return
+	}
+	abctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+	defer cancel()
+	_ = ab.SSFullAbort(abctx, s.cfg.URL)
 }
 
 // sendBloomTo sends the Bloom filter summarizing the catalog. For

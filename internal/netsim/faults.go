@@ -1,0 +1,282 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// IsInjectedFault reports whether err originates from this package's fault
+// injection (a scripted reset, drop, or partial write), letting recovery
+// tests distinguish injected faults from real ones.
+func IsInjectedFault(err error) bool {
+	var t errFaultInjected
+	return errors.As(err, &t)
+}
+
+// FaultScript describes deterministic per-connection fault behaviour. Every
+// connection wrapped by the same Faults layer runs the same script, with
+// byte/write budgets tracked per connection, so a run is reproducible given
+// the layer's seed.
+type FaultScript struct {
+	// ResetAfterBytes injects an abrupt connection reset once this many
+	// bytes have been written through the connection. Zero disables.
+	ResetAfterBytes int64
+	// PartialAfterBytes makes the write that crosses this budget deliver
+	// only its in-budget prefix before resetting the connection — the
+	// mid-frame failure mode that exercises half-open session recovery.
+	// Zero disables.
+	PartialAfterBytes int64
+	// StallEvery stalls every Nth write for StallFor before delivering it.
+	// Zero disables.
+	StallEvery int
+	// StallFor is the injected stall duration.
+	StallFor time.Duration
+	// DropProb is the per-write probability of an injected reset, drawn
+	// from the layer's seeded source. Zero disables.
+	DropProb float64
+}
+
+// FaultStats counts injected faults across all connections of one layer.
+type FaultStats struct {
+	Wrapped    int64 // connections wrapped
+	Resets     int64 // injected connection resets (all causes)
+	Drops      int64 // resets caused by DropProb
+	Partials   int64 // partial writes delivered before a reset
+	Stalls     int64 // injected write stalls
+	Blackholed int64 // writes silently swallowed while partitioned
+	Partitions int64 // times the layer entered the partitioned state
+}
+
+// Faults is a programmable fault-injection layer. It composes with the
+// shaping profiles: wrap the shaped connection (or wrap, then shape) and the
+// result carries both the path model and the failure model. All timing goes
+// through the configured clock and all randomness through the configured
+// seed, so chaos runs are deterministic.
+//
+// The layer is live: Partition and ResetAll act on every connection wrapped
+// so far, which is how the chaos harness fails a link mid-run and heals it
+// later.
+type Faults struct {
+	clk clock.Clock
+
+	mu          sync.Mutex
+	rnd         *rand.Rand
+	script      FaultScript
+	partitioned bool
+	conns       map[*faultInjConn]struct{}
+
+	wrapped    atomic.Int64
+	resets     atomic.Int64
+	drops      atomic.Int64
+	partials   atomic.Int64
+	stalls     atomic.Int64
+	blackholed atomic.Int64
+	partitions atomic.Int64
+}
+
+// FaultsConfig configures a Faults layer.
+type FaultsConfig struct {
+	// Script is the per-connection fault schedule; the zero script injects
+	// nothing until Partition or ResetAll is called.
+	Script FaultScript
+	// Clock drives injected stalls; defaults to the real clock.
+	Clock clock.Clock
+	// Seed drives DropProb draws. Zero seeds from 1.
+	Seed int64
+}
+
+// NewFaults builds a fault-injection layer.
+func NewFaults(cfg FaultsConfig) *Faults {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Faults{
+		clk:    clk,
+		rnd:    rand.New(rand.NewSource(seed)),
+		script: cfg.Script,
+		conns:  make(map[*faultInjConn]struct{}),
+	}
+}
+
+// Wrap subjects a connection to the layer's faults.
+func (f *Faults) Wrap(c net.Conn) net.Conn {
+	fc := &faultInjConn{Conn: c, f: f}
+	f.mu.Lock()
+	f.conns[fc] = struct{}{}
+	f.mu.Unlock()
+	f.wrapped.Add(1)
+	return fc
+}
+
+// Partition turns the silent-blackhole state on or off. While partitioned,
+// writes through every wrapped connection report success but deliver
+// nothing — the peer sees an unresponsive remote, not an error — which is
+// the failure mode soft-state timeouts exist to cover.
+func (f *Faults) Partition(on bool) {
+	f.mu.Lock()
+	was := f.partitioned
+	f.partitioned = on
+	f.mu.Unlock()
+	if on && !was {
+		f.partitions.Add(1)
+	}
+}
+
+// Partitioned reports whether the layer is currently blackholing.
+func (f *Faults) Partitioned() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partitioned
+}
+
+// ResetAll abruptly closes every live wrapped connection (an injected RST
+// storm) and returns how many were reset.
+func (f *Faults) ResetAll() int {
+	f.mu.Lock()
+	conns := make([]*faultInjConn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.mu.Unlock()
+	n := 0
+	for _, c := range conns {
+		if c.kill() {
+			f.resets.Add(1)
+			n++
+		}
+	}
+	return n
+}
+
+// SetScript replaces the fault schedule for connections wrapped from now on
+// and for future writes on existing connections (budgets already consumed
+// stay consumed).
+func (f *Faults) SetScript(s FaultScript) {
+	f.mu.Lock()
+	f.script = s
+	f.mu.Unlock()
+}
+
+// Stats returns cumulative injected-fault counters.
+func (f *Faults) Stats() FaultStats {
+	return FaultStats{
+		Wrapped:    f.wrapped.Load(),
+		Resets:     f.resets.Load(),
+		Drops:      f.drops.Load(),
+		Partials:   f.partials.Load(),
+		Stalls:     f.stalls.Load(),
+		Blackholed: f.blackholed.Load(),
+		Partitions: f.partitions.Load(),
+	}
+}
+
+// forget removes a closed connection from the live set.
+func (f *Faults) forget(c *faultInjConn) {
+	f.mu.Lock()
+	delete(f.conns, c)
+	f.mu.Unlock()
+}
+
+// draw snapshots the script, partition state and (when needed) a random
+// draw under one lock acquisition.
+func (f *Faults) draw(needRand bool) (FaultScript, bool, float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := 0.0
+	if needRand && f.script.DropProb > 0 {
+		r = f.rnd.Float64()
+	}
+	return f.script, f.partitioned, r
+}
+
+// faultInjConn applies a Faults layer's script to one connection.
+type faultInjConn struct {
+	net.Conn
+	f *Faults
+
+	mu      sync.Mutex
+	written int64
+	writes  int
+	dead    bool
+}
+
+// kill marks the connection dead and closes the underlying conn; reports
+// whether this call performed the kill.
+func (c *faultInjConn) kill() bool {
+	c.mu.Lock()
+	was := c.dead
+	c.dead = true
+	c.mu.Unlock()
+	if was {
+		return false
+	}
+	c.Conn.Close()
+	c.f.forget(c)
+	return true
+}
+
+func (c *faultInjConn) Close() error {
+	c.f.forget(c)
+	return c.Conn.Close()
+}
+
+func (c *faultInjConn) Write(b []byte) (int, error) {
+	script, partitioned, r := c.f.draw(true)
+
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, errInjectedFault
+	}
+	c.writes++
+	writes := c.writes
+	written := c.written
+	c.written += int64(len(b))
+	c.mu.Unlock()
+
+	if partitioned {
+		c.f.blackholed.Add(1)
+		return len(b), nil // silently swallowed
+	}
+	if script.StallEvery > 0 && writes%script.StallEvery == 0 && script.StallFor > 0 {
+		c.f.stalls.Add(1)
+		c.f.clk.Sleep(script.StallFor)
+	}
+	if script.DropProb > 0 && r < script.DropProb {
+		c.f.drops.Add(1)
+		if c.kill() {
+			c.f.resets.Add(1)
+		}
+		return 0, errInjectedFault
+	}
+	if script.ResetAfterBytes > 0 && written >= script.ResetAfterBytes {
+		if c.kill() {
+			c.f.resets.Add(1)
+		}
+		return 0, errInjectedFault
+	}
+	if script.PartialAfterBytes > 0 && written+int64(len(b)) > script.PartialAfterBytes {
+		keep := script.PartialAfterBytes - written
+		if keep < 0 {
+			keep = 0
+		}
+		n, _ := c.Conn.Write(b[:keep])
+		c.f.partials.Add(1)
+		if c.kill() {
+			c.f.resets.Add(1)
+		}
+		return n, errInjectedFault
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// pipePair returns a fault-wrapped client end and the raw server end.
+func pipePair(f *Faults) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return f.Wrap(a), b
+}
+
+// drain reads from c into a buffer until it blocks for 50ms, returning the
+// bytes read.
+func drain(c net.Conn, max int) []byte {
+	buf := make([]byte, max)
+	total := 0
+	for total < max {
+		c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, err := c.Read(buf[total:])
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	return buf[:total]
+}
+
+func TestFaultsPartitionBlackholesWrites(t *testing.T) {
+	f := NewFaults(FaultsConfig{})
+	cl, sv := pipePair(f)
+	defer cl.Close()
+	defer sv.Close()
+
+	go cl.Write([]byte("before"))
+	if got := drain(sv, 6); string(got) != "before" {
+		t.Fatalf("pre-partition delivery = %q", got)
+	}
+
+	f.Partition(true)
+	if n, err := cl.Write([]byte("lost")); n != 4 || err != nil {
+		t.Fatalf("blackholed write = %d, %v; want silent success", n, err)
+	}
+	if got := drain(sv, 4); len(got) != 0 {
+		t.Fatalf("partitioned conn delivered %q", got)
+	}
+
+	f.Partition(false)
+	go cl.Write([]byte("after"))
+	if got := drain(sv, 5); string(got) != "after" {
+		t.Fatalf("post-heal delivery = %q", got)
+	}
+
+	st := f.Stats()
+	if st.Blackholed != 1 || st.Partitions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultsResetAllKillsLiveConns(t *testing.T) {
+	f := NewFaults(FaultsConfig{})
+	cl, sv := pipePair(f)
+	defer sv.Close()
+
+	if n := f.ResetAll(); n != 1 {
+		t.Fatalf("ResetAll = %d, want 1", n)
+	}
+	if _, err := cl.Write([]byte("x")); !IsInjectedFault(err) {
+		t.Fatalf("write after reset = %v, want injected fault", err)
+	}
+	// A second storm finds nothing alive.
+	if n := f.ResetAll(); n != 0 {
+		t.Fatalf("second ResetAll = %d, want 0", n)
+	}
+	if st := f.Stats(); st.Resets != 1 {
+		t.Fatalf("Resets = %d", st.Resets)
+	}
+}
+
+func TestFaultsResetAfterBytes(t *testing.T) {
+	f := NewFaults(FaultsConfig{Script: FaultScript{ResetAfterBytes: 8}})
+	cl, sv := pipePair(f)
+	defer sv.Close()
+
+	go cl.Write([]byte("12345678")) // consumes the budget exactly
+	if got := drain(sv, 8); string(got) != "12345678" {
+		t.Fatalf("in-budget write = %q", got)
+	}
+	if _, err := cl.Write([]byte("9")); !IsInjectedFault(err) {
+		t.Fatalf("over-budget write = %v, want injected fault", err)
+	}
+	if st := f.Stats(); st.Resets != 1 {
+		t.Fatalf("Resets = %d", st.Resets)
+	}
+}
+
+func TestFaultsPartialWrite(t *testing.T) {
+	f := NewFaults(FaultsConfig{Script: FaultScript{PartialAfterBytes: 4}})
+	cl, sv := pipePair(f)
+	defer sv.Close()
+
+	errc := make(chan error, 1)
+	var n int
+	go func() {
+		var err error
+		n, err = cl.Write([]byte("abcdefgh"))
+		errc <- err
+	}()
+	got := drain(sv, 8)
+	err := <-errc
+	if string(got) != "abcd" {
+		t.Fatalf("delivered %q, want the 4-byte prefix", got)
+	}
+	if n != 4 || !IsInjectedFault(err) {
+		t.Fatalf("partial write = %d, %v", n, err)
+	}
+	if st := f.Stats(); st.Partials != 1 || st.Resets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultsStallChargesClock(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	f := NewFaults(FaultsConfig{
+		Clock:  fc,
+		Script: FaultScript{StallEvery: 2, StallFor: time.Second},
+	})
+	cl, sv := pipePair(f)
+	defer cl.Close()
+	defer sv.Close()
+
+	go drain(sv, 64)
+	done := make(chan struct{})
+	go func() {
+		cl.Write([]byte("one")) // write 1: no stall
+		cl.Write([]byte("two")) // write 2: stalls on the fake clock
+		close(done)
+	}()
+	// The second write parks in the injected stall until virtual time moves.
+	deadline := time.Now().Add(2 * time.Second)
+	for fc.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stall never parked on the fake clock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fc.Advance(time.Second)
+	<-done
+	if st := f.Stats(); st.Stalls != 1 {
+		t.Fatalf("Stalls = %d", st.Stalls)
+	}
+}
+
+func TestFaultsDropProbDeterministic(t *testing.T) {
+	run := func() (survived int) {
+		f := NewFaults(FaultsConfig{Seed: 7, Script: FaultScript{DropProb: 0.3}})
+		for i := 0; i < 10; i++ {
+			cl, sv := pipePair(f)
+			go drain(sv, 8)
+			if _, err := cl.Write([]byte("payload")); err == nil {
+				survived++
+			}
+			cl.Close()
+			sv.Close()
+		}
+		return survived
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d writes survived", a, b)
+	}
+	if a == 0 || a == 10 {
+		t.Fatalf("drop probability had no effect: %d/10 survived", a)
+	}
+}
+
+func TestFaultsComposeWithShaping(t *testing.T) {
+	// Wrap order: faults outside shaping, as core wires it. The fault layer
+	// must pass shaped traffic through untouched when no fault is scripted.
+	f := NewFaults(FaultsConfig{})
+	a, b := net.Pipe()
+	cl := f.Wrap(Wrap(a, LAN()))
+	defer cl.Close()
+	defer b.Close()
+	go cl.Write([]byte("hello"))
+	if got := drain(b, 5); string(got) != "hello" {
+		t.Fatalf("shaped+fault-wrapped delivery = %q", got)
+	}
+}

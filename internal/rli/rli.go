@@ -66,6 +66,16 @@ type Service struct {
 	mu      sync.RWMutex
 	filters map[string]*filterEntry // LRC url -> latest Bloom filter
 
+	// sessions tracks in-progress full updates by sending LRC, so a stream
+	// that dies mid-update can be aborted by the client or reaped by the
+	// expire thread instead of lingering half-open forever.
+	sessions map[string]*fullSession
+	// lastRefresh records when each LRC's database-backed soft state was
+	// last fed (completed full update or incremental). Queries flag answers
+	// as stale when a contributing LRC has outlived the timeout without a
+	// refresh — served, but flagged, per the soft-state contract.
+	lastRefresh map[string]time.Time
+
 	forward parentState // hierarchical-RLI forwarding (§7 extension)
 
 	stop chan struct{}
@@ -77,6 +87,13 @@ type Service struct {
 type filterEntry struct {
 	bitmap   *bloom.Bitmap
 	received time.Time
+}
+
+// fullSession is one in-progress full update from an LRC.
+type fullSession struct {
+	started      time.Time
+	lastActivity time.Time
+	names        int64
 }
 
 // Stats counts RLI activity.
@@ -91,6 +108,14 @@ type Stats struct {
 	// points at a stuck database, not at lost updates.
 	ExpireErrors int64
 	Queries      int64
+	// StaleAnswers counts queries answered with at least one contributing
+	// LRC whose soft state had outlived the timeout without a refresh.
+	StaleAnswers int64
+	// SessionsExpired counts half-open full-update sessions reaped by the
+	// expire thread; SessionsAborted counts sessions discarded by an
+	// explicit client abort.
+	SessionsExpired int64
+	SessionsAborted int64
 }
 
 // New creates the service.
@@ -108,11 +133,13 @@ func New(cfg Config) (*Service, error) {
 		cfg.ExpireInterval = DefaultExpireInterval
 	}
 	return &Service{
-		cfg:     cfg,
-		db:      cfg.DB,
-		clk:     cfg.Clock,
-		filters: make(map[string]*filterEntry),
-		stop:    make(chan struct{}),
+		cfg:         cfg,
+		db:          cfg.DB,
+		clk:         cfg.Clock,
+		filters:     make(map[string]*filterEntry),
+		sessions:    make(map[string]*fullSession),
+		lastRefresh: make(map[string]time.Time),
+		stop:        make(chan struct{}),
 	}, nil
 }
 
@@ -153,9 +180,11 @@ var errNoDB = fmt.Errorf("%w: this RLI has no database for uncompressed updates"
 // simulated disk), so the ctx.Err() entry check is the cancellation
 // boundary for the database-backed paths.
 
-// HandleFullStart begins a full update from an LRC. State from prior full
-// updates is not dropped here: stale entries age out via expiration, per the
-// soft state model.
+// HandleFullStart begins a full update from an LRC, opening a session keyed
+// by the sending LRC's url. State from prior full updates is not dropped
+// here: stale entries age out via expiration, per the soft state model. A
+// Start arriving while a session is already open replaces it — the previous
+// stream died without an End or Abort.
 func (s *Service) HandleFullStart(ctx context.Context, lrcURL string, total uint64) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -163,8 +192,10 @@ func (s *Service) HandleFullStart(ctx context.Context, lrcURL string, total uint
 	if s.db == nil {
 		return errNoDB
 	}
+	now := s.clk.Now()
 	s.mu.Lock()
 	s.stats.FullUpdates++
+	s.sessions[lrcURL] = &fullSession{started: now, lastActivity: now}
 	s.mu.Unlock()
 	return nil
 }
@@ -177,16 +208,22 @@ func (s *Service) HandleFullBatch(ctx context.Context, lrcURL string, names []st
 	if s.db == nil {
 		return errNoDB
 	}
-	if err := s.db.UpsertNames(lrcURL, names, s.clk.Now()); err != nil {
+	now := s.clk.Now()
+	if err := s.db.UpsertNames(lrcURL, names, now); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	s.stats.NamesIngested += int64(len(names))
+	if sess := s.sessions[lrcURL]; sess != nil {
+		sess.lastActivity = now
+		sess.names += int64(len(names))
+	}
 	s.mu.Unlock()
 	return nil
 }
 
-// HandleFullEnd completes a full update.
+// HandleFullEnd completes a full update, closing the session and recording
+// the LRC's refresh time for staleness accounting.
 func (s *Service) HandleFullEnd(ctx context.Context, lrcURL string) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -194,6 +231,28 @@ func (s *Service) HandleFullEnd(ctx context.Context, lrcURL string) error {
 	if s.db == nil {
 		return errNoDB
 	}
+	s.mu.Lock()
+	delete(s.sessions, lrcURL)
+	s.lastRefresh[lrcURL] = s.clk.Now()
+	s.mu.Unlock()
+	return nil
+}
+
+// HandleFullAbort discards a half-finished full-update session. The names
+// already upserted stay — they are valid soft state and age out normally —
+// but the session stops occupying the table. Aborting with no session open
+// is a no-op: the abort is the client's best-effort cleanup and may race
+// session expiry.
+func (s *Service) HandleFullAbort(ctx context.Context, lrcURL string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if _, ok := s.sessions[lrcURL]; ok {
+		delete(s.sessions, lrcURL)
+		s.stats.SessionsAborted++
+	}
+	s.mu.Unlock()
 	return nil
 }
 
@@ -205,7 +264,8 @@ func (s *Service) HandleIncremental(ctx context.Context, lrcURL string, added, r
 	if s.db == nil {
 		return errNoDB
 	}
-	if err := s.db.UpsertNames(lrcURL, added, s.clk.Now()); err != nil {
+	now := s.clk.Now()
+	if err := s.db.UpsertNames(lrcURL, added, now); err != nil {
 		return err
 	}
 	if err := s.db.RemoveNames(lrcURL, removed); err != nil {
@@ -214,6 +274,7 @@ func (s *Service) HandleIncremental(ctx context.Context, lrcURL string, added, r
 	s.mu.Lock()
 	s.stats.IncrementalUpdates++
 	s.stats.NamesIngested += int64(len(added))
+	s.lastRefresh[lrcURL] = now
 	s.mu.Unlock()
 	return nil
 }
@@ -227,8 +288,13 @@ func (s *Service) HandleBloom(ctx context.Context, lrcURL string, payload []byte
 	if err := bm.UnmarshalBinary(payload); err != nil {
 		return errors.Join(rdb.ErrInvalid, err)
 	}
+	now := s.clk.Now()
 	s.mu.Lock()
-	s.filters[lrcURL] = &filterEntry{bitmap: &bm, received: s.clk.Now()}
+	s.filters[lrcURL] = &filterEntry{bitmap: &bm, received: now}
+	// A Bloom update is a refresh of the LRC's soft state like any other:
+	// recording it here is what lets queries flag a Bloom-only LRC as stale
+	// once it stops sending.
+	s.lastRefresh[lrcURL] = now
 	s.stats.BloomUpdates++
 	s.mu.Unlock()
 	return nil
@@ -238,8 +304,18 @@ func (s *Service) HandleBloom(ctx context.Context, lrcURL string, payload []byte
 // name: exact matches from the database union probabilistic matches from the
 // in-memory Bloom filters (false positives possible at ~1%, paper §3.4).
 func (s *Service) QueryLRCs(ctx context.Context, logical string) ([]string, error) {
+	urls, _, err := s.QueryLRCsDetailed(ctx, logical)
+	return urls, err
+}
+
+// QueryLRCsDetailed is QueryLRCs plus a staleness flag: the answer is stale
+// when any contributing LRC's soft state has outlived the timeout without a
+// refresh. Soft state is served until the expire thread reaps it, so in the
+// window between timeout and sweep the answer may describe an LRC that has
+// gone away — the flag lets clients decide whether to trust it.
+func (s *Service) QueryLRCsDetailed(ctx context.Context, logical string) ([]string, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.mu.Lock()
 	s.stats.Queries++
@@ -249,28 +325,43 @@ func (s *Service) QueryLRCs(ctx context.Context, logical string) ([]string, erro
 	if s.db != nil {
 		urls, err := s.db.QueryLRCs(logical)
 		if err != nil && !errors.Is(err, rdb.ErrNotFound) {
-			return nil, err
+			return nil, false, err
 		}
 		for _, u := range urls {
 			set[u] = true
 		}
 	}
+	cutoff := s.clk.Now().Add(-s.cfg.Timeout)
+	stale := false
 	s.mu.RLock()
 	for url, fe := range s.filters {
 		if fe.bitmap.Test(logical) {
 			set[url] = true
 		}
 	}
+	for url := range set {
+		if fe, ok := s.filters[url]; ok && !fe.received.Before(cutoff) {
+			continue // a fresh filter vouches for the LRC
+		}
+		if ts, ok := s.lastRefresh[url]; ok && ts.Before(cutoff) {
+			stale = true
+		}
+	}
 	s.mu.RUnlock()
 	if len(set) == 0 {
-		return nil, fmt.Errorf("%w: logical name %q", rdb.ErrNotFound, logical)
+		return nil, false, fmt.Errorf("%w: logical name %q", rdb.ErrNotFound, logical)
+	}
+	if stale {
+		s.mu.Lock()
+		s.stats.StaleAnswers++
+		s.mu.Unlock()
 	}
 	out := make([]string, 0, len(set))
 	for u := range set {
 		out = append(out, u)
 	}
 	sort.Strings(out)
-	return out, nil
+	return out, stale, nil
 }
 
 // WildcardQuery answers wildcard queries from the database. Bloom-filter
@@ -378,8 +469,24 @@ func (s *Service) ExpireNow(ctx context.Context) (int, error) {
 		}
 	}
 	s.stats.Expired += int64(dropped)
+	// Reap half-open full-update sessions whose stream went silent: an LRC
+	// that died mid-update never sends End or Abort, and without this sweep
+	// its session would sit in the table forever.
+	for url, sess := range s.sessions {
+		if sess.lastActivity.Before(cutoff) {
+			delete(s.sessions, url)
+			s.stats.SessionsExpired++
+		}
+	}
 	s.mu.Unlock()
 	return dropped, nil
+}
+
+// SessionCount reports how many full-update sessions are currently open.
+func (s *Service) SessionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
 }
 
 // expireLoop is the expire thread: "An expire thread runs periodically and

@@ -1,0 +1,200 @@
+package rli
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestFullSessionLifecycle exercises the session table through a clean
+// update: Start opens, batches touch, End closes.
+func TestFullSessionLifecycle(t *testing.T) {
+	s := newTestRLI(t, nil)
+	if got := s.SessionCount(); got != 0 {
+		t.Fatalf("SessionCount before start = %d", got)
+	}
+	if err := s.HandleFullStart(ctx, "rls://lrc1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SessionCount(); got != 1 {
+		t.Fatalf("SessionCount after start = %d", got)
+	}
+	if err := s.HandleFullBatch(ctx, "rls://lrc1", []string{"lfn://a", "lfn://b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullEnd(ctx, "rls://lrc1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SessionCount(); got != 0 {
+		t.Fatalf("SessionCount after end = %d", got)
+	}
+}
+
+// TestFullSessionAbort is the regression test for the half-open-session
+// leak: a client whose full update fails mid-stream sends an explicit
+// abort, and the session must be discarded while the already-ingested
+// names remain valid soft state.
+func TestFullSessionAbort(t *testing.T) {
+	s := newTestRLI(t, nil)
+	if err := s.HandleFullStart(ctx, "rls://lrc1", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullBatch(ctx, "rls://lrc1", []string{"lfn://a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullAbort(ctx, "rls://lrc1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SessionCount(); got != 0 {
+		t.Fatalf("SessionCount after abort = %d", got)
+	}
+	if st := s.Stats(); st.SessionsAborted != 1 {
+		t.Fatalf("SessionsAborted = %d, want 1", st.SessionsAborted)
+	}
+	// The partial data stays queryable — it ages out via expiry, not abort.
+	if _, err := s.QueryLRCs(ctx, "lfn://a"); err != nil {
+		t.Fatalf("partial data lost on abort: %v", err)
+	}
+	// A second abort is an idempotent no-op (abort may race expiry).
+	if err := s.HandleFullAbort(ctx, "rls://lrc1"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SessionsAborted != 1 {
+		t.Fatalf("idempotent abort double-counted: %+v", st)
+	}
+}
+
+// TestFullSessionExpiry covers the server-side reap: an LRC that dies
+// mid-update never sends End or Abort, and the expire thread must collect
+// the silent session instead of leaving it half-open forever.
+func TestFullSessionExpiry(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1000, 0))
+	s := newTestRLI(t, func(c *Config) {
+		c.Clock = fc
+		c.Timeout = time.Minute
+	})
+	if err := s.HandleFullStart(ctx, "rls://lrc-dead", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullBatch(ctx, "rls://lrc-dead", []string{"lfn://x"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Still within the timeout: the session survives the sweep.
+	fc.Advance(30 * time.Second)
+	if _, err := s.ExpireNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SessionCount(); got != 1 {
+		t.Fatalf("live session reaped early: SessionCount = %d", got)
+	}
+
+	// Past the timeout with no further activity: reaped and counted.
+	fc.Advance(time.Minute)
+	if _, err := s.ExpireNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SessionCount(); got != 0 {
+		t.Fatalf("silent session not reaped: SessionCount = %d", got)
+	}
+	if st := s.Stats(); st.SessionsExpired != 1 {
+		t.Fatalf("SessionsExpired = %d, want 1", st.SessionsExpired)
+	}
+}
+
+// TestFullStartReplacesStaleSession: a new Start from the same LRC replaces
+// a session whose stream died, rather than erroring or leaking.
+func TestFullStartReplacesStaleSession(t *testing.T) {
+	s := newTestRLI(t, nil)
+	if err := s.HandleFullStart(ctx, "rls://lrc1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullStart(ctx, "rls://lrc1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SessionCount(); got != 1 {
+		t.Fatalf("SessionCount after replacing start = %d, want 1", got)
+	}
+	if err := s.HandleFullEnd(ctx, "rls://lrc1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SessionCount(); got != 0 {
+		t.Fatalf("SessionCount after end = %d", got)
+	}
+}
+
+// TestQueryStaleness: answers drawing on soft state past the timeout are
+// served but flagged, and the stale-answer counter moves.
+func TestQueryStaleness(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1000, 0))
+	s := newTestRLI(t, func(c *Config) {
+		c.Clock = fc
+		c.Timeout = time.Minute
+	})
+	if err := s.HandleFullStart(ctx, "rls://lrc1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullBatch(ctx, "rls://lrc1", []string{"lfn://a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandleFullEnd(ctx, "rls://lrc1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh: not stale.
+	urls, stale, err := s.QueryLRCsDetailed(ctx, "lfn://a")
+	if err != nil || len(urls) != 1 {
+		t.Fatalf("QueryLRCsDetailed = %v, %v", urls, err)
+	}
+	if stale {
+		t.Fatal("fresh answer flagged stale")
+	}
+
+	// Timeout elapses with no refresh; before the expire sweep runs the
+	// entry is still served, but must carry the stale flag.
+	fc.Advance(2 * time.Minute)
+	urls, stale, err = s.QueryLRCsDetailed(ctx, "lfn://a")
+	if err != nil || len(urls) != 1 {
+		t.Fatalf("QueryLRCsDetailed after timeout = %v, %v", urls, err)
+	}
+	if !stale {
+		t.Fatal("expired-but-unswept answer not flagged stale")
+	}
+	if st := s.Stats(); st.StaleAnswers != 1 {
+		t.Fatalf("StaleAnswers = %d, want 1", st.StaleAnswers)
+	}
+
+	// A refresh (incremental) clears the staleness.
+	if err := s.HandleIncremental(ctx, "rls://lrc1", []string{"lfn://a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, stale, err = s.QueryLRCsDetailed(ctx, "lfn://a"); err != nil || stale {
+		t.Fatalf("refreshed answer: stale=%v err=%v", stale, err)
+	}
+}
+
+// TestQueryStalenessBloomFresh: a fresh Bloom filter vouches for its LRC
+// even if the database-backed refresh timestamp is old.
+func TestQueryStalenessBloomFresh(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1000, 0))
+	s := newTestRLI(t, func(c *Config) {
+		c.Clock = fc
+		c.Timeout = time.Minute
+	})
+	if err := s.HandleIncremental(ctx, "rls://lrc1", []string{"lfn://a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(2 * time.Minute)
+	// The LRC switched to compressed updates: a fresh filter arrives.
+	if err := s.HandleBloom(ctx, "rls://lrc1", bloomPayload(t, "lfn://a")); err != nil {
+		t.Fatal(err)
+	}
+	_, stale, err := s.QueryLRCsDetailed(ctx, "lfn://a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale {
+		t.Fatal("answer vouched for by a fresh Bloom filter flagged stale")
+	}
+}

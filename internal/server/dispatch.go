@@ -28,7 +28,7 @@ func privilegeFor(op wire.Op) auth.Privilege {
 	case wire.OpRLIGetLRCs, wire.OpRLIGetLRCsWild, wire.OpRLIBulkGetLRCs, wire.OpRLILRCList:
 		return auth.PrivRLIRead
 	case wire.OpSSFullStart, wire.OpSSFullBatch, wire.OpSSFullEnd,
-		wire.OpSSIncremental, wire.OpSSBloom:
+		wire.OpSSIncremental, wire.OpSSBloom, wire.OpSSFullAbort:
 		return auth.PrivRLIWrite
 	default:
 		return auth.PrivAdmin
@@ -40,9 +40,11 @@ func isLRCOp(op wire.Op) bool {
 	return op >= wire.OpLRCCreateMapping && op <= wire.OpLRCRLIRemove
 }
 
-// isRLIOp reports whether the op requires the RLI role.
+// isRLIOp reports whether the op requires the RLI role. OpSSFullAbort sits
+// outside the contiguous RLI range because it was appended later to preserve
+// opcode numbering.
 func isRLIOp(op wire.Op) bool {
-	return op >= wire.OpRLIGetLRCs && op <= wire.OpSSBloom
+	return (op >= wire.OpRLIGetLRCs && op <= wire.OpSSBloom) || op == wire.OpSSFullAbort
 }
 
 // dispatch authorizes and executes one request.
@@ -128,7 +130,7 @@ func (s *Server) dispatch(ctx context.Context, id auth.Identity, req *wire.Reque
 
 	// RLI queries and management.
 	case wire.OpRLIGetLRCs:
-		return s.nameQuery(ctx, req, s.cfg.RLI.QueryLRCs)
+		return s.handleRLIGetLRCs(ctx, req)
 	case wire.OpRLIGetLRCsWild:
 		return s.wildQuery(ctx, req, s.cfg.RLI.WildcardQuery)
 	case wire.OpRLIBulkGetLRCs:
@@ -147,6 +149,8 @@ func (s *Server) dispatch(ctx context.Context, id auth.Identity, req *wire.Reque
 		return s.handleSSIncremental(ctx, req)
 	case wire.OpSSBloom:
 		return s.handleSSBloom(ctx, req)
+	case wire.OpSSFullAbort:
+		return s.handleSSFullAbort(ctx, req)
 	default:
 		return unsupported(req.ID, op, s.Role())
 	}
@@ -363,6 +367,23 @@ func (s *Server) handleRLIRemove(ctx context.Context, req *wire.Request) *wire.R
 
 // ---- RLI handlers ----
 
+// handleRLIGetLRCs answers an index query, flagging the response as stale
+// when a contributing LRC's soft state has outlived the timeout without a
+// refresh — the query is still served (the expire thread has simply not
+// swept yet) but the client learns the answer may describe a departed LRC.
+func (s *Server) handleRLIGetLRCs(ctx context.Context, req *wire.Request) *wire.Response {
+	q, err := wire.DecodeNameRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	names, stale, err := s.cfg.RLI.QueryLRCsDetailed(ctx, q.Name)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.NamesResponse{Names: names, Stale: stale}
+	return ok(req.ID, resp.Encode())
+}
+
 func (s *Server) handleRLILRCList(ctx context.Context, req *wire.Request) *wire.Response {
 	lrcs, err := s.cfg.RLI.LRCs(ctx)
 	if err != nil {
@@ -411,6 +432,17 @@ func (s *Server) handleSSIncremental(ctx context.Context, req *wire.Request) *wi
 		return fail(req.ID, err)
 	}
 	if err := s.cfg.RLI.HandleIncremental(ctx, r.LRC, r.Added, r.Removed); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleSSFullAbort(ctx context.Context, req *wire.Request) *wire.Response {
+	r, err := wire.DecodeNameRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.RLI.HandleFullAbort(ctx, r.Name); err != nil {
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)

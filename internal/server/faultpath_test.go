@@ -1,0 +1,149 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/disk"
+	"repro/internal/rdb"
+	"repro/internal/rli"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// TestShedOnSaturation: with ShedOnSaturation enabled, a request arriving
+// while the in-flight window is full is answered with the typed
+// StatusRetryLater instead of stalling the read loop, and the connection
+// keeps serving.
+func TestShedOnSaturation(t *testing.T) {
+	s := newServer(t, Config{LRC: newLRCService(t), MaxInFlight: 2, ShedOnSaturation: true})
+	release := make(chan struct{})
+	s.dispatchHook = func(req *wire.Request) {
+		if req.Op == wire.OpServerInfo {
+			<-release
+		}
+	}
+	c := rawConn(t, s)
+	handshake(t, c)
+	// Two slow requests fill the window (admission happens in the read
+	// loop, in order, before each worker runs).
+	for id := uint64(1); id <= 2; id++ {
+		req := wire.Request{ID: id, Op: wire.OpServerInfo}
+		if err := c.WriteFrame(req.Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third finds the window saturated and is shed, not queued.
+	req := wire.Request{ID: 3, Op: wire.OpPing}
+	if err := c.WriteFrame(req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	shed := readResponse(t, c)
+	if shed.ID != 3 || shed.Status != wire.StatusRetryLater {
+		t.Fatalf("saturated request got id %d status %v, want id 3 StatusRetryLater", shed.ID, shed.Status)
+	}
+	// The connection is still healthy: release the window and both slow
+	// requests complete normally.
+	close(release)
+	seen := map[uint64]bool{}
+	for i := 0; i < 2; i++ {
+		resp := readResponse(t, c)
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("response %d status %v", resp.ID, resp.Status)
+		}
+		seen[resp.ID] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("in-flight requests lost: %v", seen)
+	}
+	if got := s.StatsSnapshot().SheddedRequests; got != 1 {
+		t.Fatalf("SheddedRequests = %d, want 1", got)
+	}
+}
+
+// TestSSFullAbortClearsSession drives the abort opcode end to end: a full
+// update that stops mid-stream is aborted and the server-side session is
+// discarded rather than left half-open.
+func TestSSFullAbortClearsSession(t *testing.T) {
+	rsvc := newRLIService(t)
+	s := newServer(t, Config{RLI: rsvc})
+	c := rawConn(t, s)
+	handshake(t, c)
+
+	start := wire.SSFullStartRequest{LRC: "rls://lrc1", Total: 10}
+	if resp := call(t, c, wire.OpSSFullStart, start.Encode()); resp.Status != wire.StatusOK {
+		t.Fatalf("SSFullStart status %v: %s", resp.Status, resp.Err)
+	}
+	batch := wire.SSFullBatchRequest{LRC: "rls://lrc1", Names: []string{"lfn://a"}}
+	if resp := call(t, c, wire.OpSSFullBatch, batch.Encode()); resp.Status != wire.StatusOK {
+		t.Fatalf("SSFullBatch status %v: %s", resp.Status, resp.Err)
+	}
+	if got := rsvc.SessionCount(); got != 1 {
+		t.Fatalf("SessionCount mid-update = %d, want 1", got)
+	}
+	abort := wire.NameRequest{Name: "rls://lrc1"}
+	if resp := call(t, c, wire.OpSSFullAbort, abort.Encode()); resp.Status != wire.StatusOK {
+		t.Fatalf("SSFullAbort status %v: %s", resp.Status, resp.Err)
+	}
+	if got := rsvc.SessionCount(); got != 0 {
+		t.Fatalf("SessionCount after abort = %d, want 0", got)
+	}
+	snap := s.StatsSnapshot()
+	if snap.RLISessionsAborted != 1 || snap.RLISessionsActive != 0 {
+		t.Fatalf("snapshot sessions: aborted=%d active=%d, want 1/0",
+			snap.RLISessionsAborted, snap.RLISessionsActive)
+	}
+}
+
+// TestRLIQueryStaleFlagOnWire: the staleness flag survives the round trip
+// through the OpRLIGetLRCs response encoding.
+func TestRLIQueryStaleFlagOnWire(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1000, 0))
+	eng := storage.OpenMemory(storage.Options{Device: disk.New(disk.Fast())})
+	t.Cleanup(func() { eng.Close() })
+	db, err := rdb.NewRLIDB(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsvc, err := rli.New(rli.Config{URL: "rls://test-rli", DB: db, Clock: fc, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rsvc.Close)
+	s := newServer(t, Config{RLI: rsvc})
+	c := rawConn(t, s)
+	handshake(t, c)
+
+	if err := rsvc.HandleIncremental(ctx, "rls://lrc1", []string{"lfn://a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	q := wire.NameRequest{Name: "lfn://a"}
+	resp := call(t, c, wire.OpRLIGetLRCs, q.Encode())
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("query status %v: %s", resp.Status, resp.Err)
+	}
+	nr, err := wire.DecodeNamesResponse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Stale {
+		t.Fatal("fresh answer flagged stale on the wire")
+	}
+
+	fc.Advance(2 * time.Minute) // past the timeout, before any expire sweep
+	resp = call(t, c, wire.OpRLIGetLRCs, q.Encode())
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("stale-window query status %v: %s", resp.Status, resp.Err)
+	}
+	nr, err = wire.DecodeNamesResponse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nr.Stale {
+		t.Fatal("expired-but-unswept answer not flagged stale on the wire")
+	}
+	if len(nr.Names) != 1 || nr.Names[0] != "rls://lrc1" {
+		t.Fatalf("stale answer still served incorrectly: %v", nr.Names)
+	}
+}

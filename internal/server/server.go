@@ -81,6 +81,14 @@ type Config struct {
 	// keep that many requests executing while responses are written
 	// out-of-order with coalesced flushes.
 	MaxInFlight int
+	// ShedOnSaturation changes what happens when a pipelined connection's
+	// in-flight window is already full as a new request arrives: instead of
+	// the read loop blocking (backpressure through the transport, the
+	// default), the request is answered immediately with the typed
+	// StatusRetryLater — a clean load-shed the client's retry layer backs
+	// off on, rather than a silent stall or close. Only meaningful with
+	// MaxInFlight > 1.
+	ShedOnSaturation bool
 }
 
 // opMetric is the per-operation dispatch telemetry: hot-path updates are
@@ -110,6 +118,7 @@ type Server struct {
 	respFlushes    metrics.Counter             // coalesced-writer flushes
 	flushesAvoided metrics.Counter             // responses that shared a flush
 	badFrameNAKs   metrics.Counter             // StatusBadRequest NAKs for bad frames
+	shedded        metrics.Counter             // StatusRetryLater load-sheds
 
 	mu        sync.Mutex
 	listeners map[net.Listener]bool
@@ -414,7 +423,26 @@ func (s *Server) servePipelined(ctx context.Context, conn *wire.Conn, id auth.Id
 			s.nakBadFrame(conn, payload, err)
 			break
 		}
-		sem <- struct{}{} // admission: bounds concurrent dispatches
+		if s.cfg.ShedOnSaturation {
+			select {
+			case sem <- struct{}{}:
+			default:
+				// Window saturated: shed this request with the typed
+				// retryable status instead of stalling the read loop (or,
+				// worse, silently closing). The connection stays healthy and
+				// in-flight work is untouched.
+				s.shedded.Inc()
+				s.observe(req.Op, wire.StatusRetryLater, 0)
+				respCh <- &wire.Response{
+					ID:     req.ID,
+					Status: wire.StatusRetryLater,
+					Err:    "in-flight window saturated, retry later",
+				}
+				continue
+			}
+		} else {
+			sem <- struct{}{} // admission: bounds concurrent dispatches
+		}
 		s.inFlight.Add(1)
 		s.observeDepth(len(sem))
 		wg.Add(1)
@@ -570,21 +598,33 @@ func (s *Server) StatsSnapshot() *wire.StatsResponse {
 	if s.cfg.LRC != nil {
 		for _, ts := range s.cfg.LRC.TargetStats() {
 			st := wire.SoftStateTargetStat{
-				URL:       ts.URL,
-				Sent:      ts.Sent,
-				Failed:    ts.Failed,
-				Requeued:  ts.Requeued,
-				NamesSent: ts.NamesSent,
-				BytesSent: ts.BytesSent,
+				URL:         ts.URL,
+				Sent:        ts.Sent,
+				Failed:      ts.Failed,
+				Requeued:    ts.Requeued,
+				NamesSent:   ts.NamesSent,
+				BytesSent:   ts.BytesSent,
+				State:       ts.State,
+				ConsecFails: ts.ConsecFails,
+				Skipped:     ts.Skipped,
+				Probes:      ts.Probes,
 			}
 			if !ts.LastSuccess.IsZero() {
 				st.LastSuccessUnix = ts.LastSuccess.UnixNano()
+			}
+			if !ts.NextProbe.IsZero() {
+				st.NextProbeUnix = ts.NextProbe.UnixNano()
 			}
 			resp.SoftState = append(resp.SoftState, st)
 		}
 	}
 	if s.cfg.RLI != nil {
-		resp.RLIExpired = s.cfg.RLI.Stats().Expired
+		rst := s.cfg.RLI.Stats()
+		resp.RLIExpired = rst.Expired
+		resp.RLIStaleAnswers = rst.StaleAnswers
+		resp.RLISessionsExpired = rst.SessionsExpired
+		resp.RLISessionsAborted = rst.SessionsAborted
+		resp.RLISessionsActive = int64(s.cfg.RLI.SessionCount())
 		resp.RLIBloomFilters = int64(s.cfg.RLI.FilterCount())
 		resp.RLIBloomBytes = s.cfg.RLI.BloomBytes()
 	}
@@ -615,6 +655,7 @@ func (s *Server) StatsSnapshot() *wire.StatsResponse {
 	resp.RespFlushes = s.respFlushes.Load()
 	resp.RespFlushesAvoided = s.flushesAvoided.Load()
 	resp.BadFrameNAKs = s.badFrameNAKs.Load()
+	resp.SheddedRequests = s.shedded.Load()
 	return resp
 }
 

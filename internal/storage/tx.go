@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -141,6 +142,16 @@ func (tx *Tx) ScanPrefix(tableName, indexName string, prefix []Value, fn func(ro
 // FlushOnCommit, the group-commit sync wait) are paid after release, so
 // they serialize on the device queue rather than on the tables.
 func (tx *Tx) Commit() error {
+	return tx.CommitCtx(context.Background())
+}
+
+// CommitCtx is Commit with a bounded durability wait: a committer whose
+// context expires while waiting on its group-commit leader's sync gets
+// ctx.Err() back instead of blocking — never a false success, because its
+// durability was not confirmed. The mutation itself is already logged and
+// applied (it rides the leader's sync like any batch member); only the
+// confirmation is abandoned.
+func (tx *Tx) CommitCtx(ctx context.Context) error {
 	if tx.done {
 		return ErrTxDone
 	}
@@ -170,7 +181,7 @@ func (tx *Tx) Commit() error {
 	}
 	tx.e.opts.Device.Write(n)
 	if wait != nil {
-		return wait()
+		return wait(ctx)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -465,7 +466,14 @@ func (w *wal) append(frame []byte) error {
 // sync on behalf of every committer that joined meanwhile; the rest just
 // wait for their leader's outcome. FlushOnCommit thus costs one device sync
 // per batch instead of per transaction.
-func (w *wal) commitAppend(frame []byte, flush bool) (wait func() error, err error) {
+//
+// The wait function honours its context, with an asymmetry: a follower whose
+// context is cancelled stops waiting and reports ctx.Err() — never success,
+// since its durability was not confirmed — while its buffered channel still
+// receives the leader's outcome later, so an abandoned follower cannot
+// strand the batch. The leader ignores cancellation: it owns the batch's
+// sync, and every follower is waiting on it to finish.
+func (w *wal) commitAppend(frame []byte, flush bool) (wait func(ctx context.Context) error, err error) {
 	w.mu.Lock()
 	if err := w.appendLocked(frame); err != nil {
 		w.mu.Unlock()
@@ -485,12 +493,19 @@ func (w *wal) commitAppend(frame []byte, flush bool) (wait func() error, err err
 	}
 	w.mu.Unlock()
 	if leader {
-		return func() error {
+		return func(context.Context) error {
 			w.lead()
-			return <-ch
+			return <-ch // already delivered: lead() completed this batch
 		}, nil
 	}
-	return func() error { return <-ch }, nil
+	return func(ctx context.Context) error {
+		select {
+		case err := <-ch:
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}, nil
 }
 
 // lead drains group-commit batches until no committers are waiting. Each

@@ -147,16 +147,21 @@ func DecodeNameRequest(body []byte) (*NameRequest, error) {
 // NamesResponse carries a list of names (query results, server lists).
 type NamesResponse struct {
 	Names []string
+	// Stale marks an RLI answer in which at least one contributing LRC's
+	// soft state has outlived its timeout without a refresh — the graceful-
+	// degradation signal of §3: the answer is served, but flagged.
+	Stale bool
 }
 
 // Encode serializes the response body.
 func (r *NamesResponse) Encode() []byte {
-	size := 8
+	size := 9
 	for _, n := range r.Names {
 		size += len(n) + 4
 	}
 	e := NewEncoder(size)
 	e.StringList(r.Names)
+	e.Bool(r.Stale)
 	return e.Bytes()
 }
 
@@ -164,6 +169,7 @@ func (r *NamesResponse) Encode() []byte {
 func DecodeNamesResponse(body []byte) (*NamesResponse, error) {
 	d := NewDecoder(body)
 	r := &NamesResponse{Names: d.StringList()}
+	r.Stale = d.Bool()
 	if err := d.Finish(); err != nil {
 		return nil, err
 	}
@@ -953,6 +959,16 @@ type SoftStateTargetStat struct {
 	NamesSent       int64
 	BytesSent       int64
 	LastSuccessUnix int64 // unix nanoseconds; 0 = never
+
+	// Circuit-breaker health: the target's current state
+	// (healthy/degraded/quarantined/probing), consecutive failures, sends
+	// suppressed while quarantined, half-open probes admitted, and the next
+	// probe deadline while quarantined.
+	State         string
+	ConsecFails   int64
+	Skipped       int64
+	Probes        int64
+	NextProbeUnix int64 // unix nanoseconds; 0 = none scheduled
 }
 
 // StatsResponse is the server's typed telemetry snapshot: per-op dispatch
@@ -999,6 +1015,16 @@ type StatsResponse struct {
 	RespFlushes        int64   // response-writer flushes (syscall boundary)
 	RespFlushesAvoided int64   // responses that shared a previous flush
 	BadFrameNAKs       int64   // StatusBadRequest replies to undecodable frames
+
+	// Failure-path telemetry: flagged-stale RLI answers, full-update session
+	// lifecycle on the RLI (active now, reaped by expiry, aborted by the
+	// sending LRC), and requests shed with StatusRetryLater when the
+	// in-flight window saturated.
+	RLIStaleAnswers    int64
+	RLISessionsActive  int64
+	RLISessionsExpired int64
+	RLISessionsAborted int64
+	SheddedRequests    int64
 }
 
 // Encode serializes the response body.
@@ -1029,6 +1055,11 @@ func (r *StatsResponse) Encode() []byte {
 		e.I64(t.NamesSent)
 		e.I64(t.BytesSent)
 		e.I64(t.LastSuccessUnix)
+		e.String(t.State)
+		e.I64(t.ConsecFails)
+		e.I64(t.Skipped)
+		e.I64(t.Probes)
+		e.I64(t.NextProbeUnix)
 	}
 	e.I64(r.RLIExpired)
 	e.I64(r.RLIBloomFilters)
@@ -1060,6 +1091,11 @@ func (r *StatsResponse) Encode() []byte {
 	e.I64(r.RespFlushes)
 	e.I64(r.RespFlushesAvoided)
 	e.I64(r.BadFrameNAKs)
+	e.I64(r.RLIStaleAnswers)
+	e.I64(r.RLISessionsActive)
+	e.I64(r.RLISessionsExpired)
+	e.I64(r.RLISessionsAborted)
+	e.I64(r.SheddedRequests)
 	return e.Bytes()
 }
 
@@ -1102,6 +1138,11 @@ func DecodeStatsResponse(body []byte) (*StatsResponse, error) {
 			NamesSent:       d.I64(),
 			BytesSent:       d.I64(),
 			LastSuccessUnix: d.I64(),
+			State:           d.String(),
+			ConsecFails:     d.I64(),
+			Skipped:         d.I64(),
+			Probes:          d.I64(),
+			NextProbeUnix:   d.I64(),
 		})
 	}
 	r.RLIExpired = d.I64()
@@ -1143,6 +1184,11 @@ func DecodeStatsResponse(body []byte) (*StatsResponse, error) {
 	r.RespFlushes = d.I64()
 	r.RespFlushesAvoided = d.I64()
 	r.BadFrameNAKs = d.I64()
+	r.RLIStaleAnswers = d.I64()
+	r.RLISessionsActive = d.I64()
+	r.RLISessionsExpired = d.I64()
+	r.RLISessionsAborted = d.I64()
+	r.SheddedRequests = d.I64()
 	if err := d.Finish(); err != nil {
 		return nil, err
 	}

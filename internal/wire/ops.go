@@ -67,6 +67,12 @@ const (
 	// Observability: typed runtime-telemetry snapshot.
 	OpStats
 
+	// OpSSFullAbort discards a half-finished full-update session (LRC server
+	// -> RLI server), sent on the LRC's error path so a failed stream does
+	// not linger server-side until session expiry. Appended after OpStats to
+	// preserve the numbering of earlier opcodes.
+	OpSSFullAbort
+
 	opMax // sentinel
 )
 
@@ -111,6 +117,7 @@ var opNames = map[Op]string{
 	OpSSIncremental:      "ss_incremental",
 	OpSSBloom:            "ss_bloom",
 	OpStats:              "stats",
+	OpSSFullAbort:        "ss_full_abort",
 }
 
 // String names the op for logs and errors.
@@ -136,6 +143,10 @@ const (
 	StatusBadRequest
 	StatusUnsupported // op not served by this server's role configuration
 	StatusInternal
+	// StatusRetryLater is a typed load-shed: the server's in-flight window
+	// is saturated and the client should back off and retry, instead of the
+	// connection being silently closed.
+	StatusRetryLater
 )
 
 var statusNames = map[Status]string{
@@ -146,6 +157,7 @@ var statusNames = map[Status]string{
 	StatusBadRequest:  "bad request",
 	StatusUnsupported: "operation not supported by server role",
 	StatusInternal:    "internal error",
+	StatusRetryLater:  "overloaded, retry later",
 }
 
 // String names the status.

@@ -67,6 +67,7 @@ var opDecoders = map[Op]ReqDecoder{
 	OpSSFullEnd:     req(DecodeNameRequest),
 	OpSSIncremental: req(DecodeSSIncrementalRequest),
 	OpSSBloom:       req(DecodeSSBloomRequest),
+	OpSSFullAbort:   req(DecodeNameRequest),
 }
 
 // DecodeRequestBody decodes a request body according to the op's canonical

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz ci bench stress chaos
+.PHONY: build test race vet lint fuzz ci bench stress chaos scenarios
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,15 @@ stress:
 chaos:
 	$(GO) run ./cmd/rls-bench -trials 1 chaos
 
-ci: build vet lint race fuzz stress chaos
+# Open-loop scenario smoke: run the five scen-* experiments at quick
+# parameters, emit the BENCH_6.json perf-trajectory snapshot, and check it
+# against the rls-bench/v1 schema. CI uploads the snapshot as an artifact.
+scenarios:
+	$(GO) run ./cmd/rls-bench -quick -json BENCH_6.json \
+		scen-steady scen-flash scen-storm scen-churn scen-tenants
+	$(GO) run ./cmd/rls-bench -validate-json BENCH_6.json
+
+ci: build vet lint race fuzz stress chaos scenarios
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

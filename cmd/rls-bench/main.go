@@ -20,6 +20,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/harness"
 )
 
@@ -37,8 +38,22 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-experiment timing")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		jsonPath   = flag.String("json", "", "write scenario results as a BENCH_*.json snapshot to this file")
+		benchIdx   = flag.Int("bench", 6, "trajectory index recorded in -json snapshots")
+		checkJSON  = flag.String("validate-json", "", "validate a BENCH_*.json snapshot and exit")
 	)
 	flag.Parse()
+
+	if *checkJSON != "" {
+		s, err := benchfmt.Load(*checkJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rls-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s snapshot (bench %d, rev %s, %d scenarios)\n",
+			*checkJSON, s.Schema, s.Bench, s.GitRev, len(s.Scenarios))
+		return
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -61,6 +76,12 @@ func main() {
 	p.DiskModel = !*noDisk
 	p.NetModel = !*noNet
 	p.Pipeline = *pipeline
+	if *jsonPath != "" {
+		p.Bench = benchfmt.NewSnapshot(*benchIdx, benchfmt.RunParams{
+			Scale: p.Scale, Trials: p.Trials, Ops: p.Ops,
+			Pipeline: p.Pipeline, DiskModel: p.DiskModel, NetModel: p.NetModel,
+		})
+	}
 
 	ids := flag.Args()
 	var experiments []harness.Experiment
@@ -110,6 +131,18 @@ func main() {
 	}
 
 	stopCPU()
+
+	if *jsonPath != "" {
+		// WriteFile validates first, so a run that produced no scenario
+		// results (e.g. only fig* experiments selected) fails loudly rather
+		// than emitting an empty trajectory point.
+		if err := p.Bench.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "rls-bench: -json: %v (include scen-* experiments in the run)\n", err)
+			failed++
+		} else if *verbose {
+			fmt.Printf("   [wrote %s: %d scenarios at rev %s]\n", *jsonPath, len(p.Bench.Scenarios), p.Bench.GitRev)
+		}
+	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)

@@ -4,14 +4,24 @@
 // number of threads that submit requests to a server and the types of
 // operations to perform").
 //
-// Usage:
+// Closed-loop mode (the paper's methodology — each thread issues its next
+// request as soon as the previous one completes):
 //
 //	rls-loadgen -server 127.0.0.1:39281 -op query -clients 10 -threads 10 -ops 20000
 //
-// Operations: add, delete, query, rli-query, bulk-query, mixed.
-// The tool prints the measured rate and latency distribution; -trials runs
-// the measurement several times and reports the mean, per the paper's
-// methodology.
+// Open-loop mode (rate-driven; latency is measured from each request's
+// intended start so server-side queueing is never hidden — selected by
+// -rate or -scenario):
+//
+//	rls-loadgen -server 127.0.0.1:39281 -rate 2000 -arrival poisson -zipf 0.9 -duration 5s
+//	rls-loadgen -server 127.0.0.1:39281 -scenario flash -rate 1000 -json BENCH.json
+//
+// Operations: add, delete, query, rli-query, bulk-query, mixed (open-loop
+// supports add, delete, query, mixed). Scenarios: steady, flash, storm,
+// churn, tenants. The tool prints the measured rate and latency
+// distribution; -trials runs the closed-loop measurement several times and
+// reports the mean, per the paper's methodology. Exit status is nonzero if
+// any trial or phase saw request errors.
 package main
 
 import (
@@ -19,7 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/client"
 	"repro/internal/workload"
 )
@@ -27,25 +39,46 @@ import (
 func main() {
 	ctx := context.Background()
 	var (
-		server  = flag.String("server", "127.0.0.1:39281", "RLS server address")
-		op      = flag.String("op", "query", "operation: add, delete, query, rli-query, bulk-query, mixed")
-		clients = flag.Int("clients", 1, "simulated client processes")
-		threads = flag.Int("threads", 10, "threads per client (one connection each)")
-		pipeline = flag.Int("pipeline", 0, "requests kept in flight per connection (0 or 1 = lock-step)")
-		ops     = flag.Int("ops", 20000, "total operations per trial")
-		trials  = flag.Int("trials", 5, "measurement trials")
-		space   = flag.String("space", "loadgen", "name-space for generated names")
-		size    = flag.Int("preload", 0, "bulk-load this many mappings before measuring")
-		dn      = flag.String("dn", "", "identity Distinguished Name")
-		token   = flag.String("token", "", "identity credential token")
+		server   = flag.String("server", "127.0.0.1:39281", "RLS server address")
+		op       = flag.String("op", "query", "operation: add, delete, query, rli-query, bulk-query, mixed")
+		clients  = flag.Int("clients", 1, "simulated client processes (open-loop: logical clients)")
+		threads  = flag.Int("threads", 10, "threads per client (open-loop: connections)")
+		pipeline = flag.Int("pipeline", 0, "requests kept in flight per connection (0 or 1 = lock-step; open-loop default 16)")
+		ops      = flag.Int("ops", 20000, "total operations per trial (closed-loop)")
+		trials   = flag.Int("trials", 5, "measurement trials (closed-loop)")
+		space    = flag.String("space", "loadgen", "name-space for generated names")
+		size     = flag.Int("preload", 0, "bulk-load this many mappings before measuring")
+		dn       = flag.String("dn", "", "identity Distinguished Name")
+		token    = flag.String("token", "", "identity credential token")
+
+		rate     = flag.Float64("rate", 0, "open-loop offered rate in ops/s (selects open-loop mode)")
+		arrival  = flag.String("arrival", "poisson", "open-loop arrival process: constant or poisson")
+		zipf     = flag.Float64("zipf", 0.9, "open-loop Zipf skew of query keys (0 = uniform)")
+		scenario = flag.String("scenario", "", "run a predefined open-loop scenario: steady, flash, storm, churn, tenants")
+		duration = flag.String("duration", "5s", "open-loop duration per phase")
+		jsonPath = flag.String("json", "", "write open-loop results as a BENCH_*.json snapshot to this file")
 	)
 	flag.Parse()
 
+	pipe := *pipeline
+	openLoop := *rate > 0 || *scenario != ""
+	if openLoop && pipe < 1 {
+		pipe = 16 // open-loop multiplexing needs pipelined connections
+	}
 	dial := func() (*client.Client, error) {
-		return client.Dial(ctx, client.Options{Addr: *server, DN: *dn, Token: *token, MaxInFlight: *pipeline})
+		return client.Dial(ctx, client.Options{Addr: *server, DN: *dn, Token: *token, MaxInFlight: pipe})
 	}
 	gen := workload.Names{Space: *space}
 
+	catalog := *size
+	if catalog == 0 {
+		if openLoop {
+			catalog = 10_000 // scenarios query the preloaded catalog; load a default
+			*size = catalog
+		} else {
+			catalog = *ops
+		}
+	}
 	if *size > 0 {
 		c, err := dial()
 		if err != nil {
@@ -59,65 +92,104 @@ func main() {
 		c.Close()
 	}
 
-	catalog := *size
-	if catalog == 0 {
-		catalog = *ops
-	}
-	var fn workload.Op
-	switch *op {
-	case "add":
-		fn = func(ctx context.Context, c *client.Client, seq int) error {
-			return c.CreateMapping(ctx, gen.Logical(catalog+seq), gen.Target(catalog+seq, 0))
-		}
-	case "delete":
-		fn = func(ctx context.Context, c *client.Client, seq int) error {
-			return c.DeleteMapping(ctx, gen.Logical(seq%catalog), gen.Target(seq%catalog, 0))
-		}
-	case "query":
-		fn = func(ctx context.Context, c *client.Client, seq int) error {
-			_, err := c.GetTargets(ctx, gen.Logical(seq * 7919 % catalog))
-			return err
-		}
-	case "rli-query":
-		fn = func(ctx context.Context, c *client.Client, seq int) error {
-			_, err := c.RLIQuery(ctx, gen.Logical(seq * 7919 % catalog))
-			return err
-		}
-	case "bulk-query":
-		fn = func(ctx context.Context, c *client.Client, seq int) error {
-			names := make([]string, 1000)
-			for i := range names {
-				names[i] = gen.Logical((seq*1000 + i) % catalog)
-			}
-			_, err := c.BulkGetTargets(ctx, names)
-			return err
-		}
-	case "mixed":
-		fn = func(ctx context.Context, c *client.Client, seq int) error {
-			switch seq % 4 {
-			case 0:
-				return c.CreateMapping(ctx, gen.Logical(catalog+seq), gen.Target(catalog+seq, 0))
-			case 1:
-				return c.DeleteMapping(ctx, gen.Logical(catalog+seq-1), gen.Target(catalog+seq-1, 0))
-			default:
-				_, err := c.GetTargets(ctx, gen.Logical(seq * 7919 % catalog))
-				return err
-			}
-		}
-	default:
-		fatal(fmt.Errorf("unknown op %q", *op))
+	if openLoop {
+		runOpenLoop(ctx, dial, gen, catalog, *op, *rate, *arrival, *zipf, *scenario,
+			*duration, *jsonPath, *clients, *threads, pipe)
+		return
 	}
 
-	drv := &workload.Driver{Clients: *clients, ThreadsPerClient: *threads, Pipeline: *pipeline, Dial: dial}
+	// ---- closed-loop (the paper's methodology) ----
+
+	drv := &workload.Driver{Clients: *clients, ThreadsPerClient: *threads, Pipeline: pipe, Dial: dial}
+	// Fresh-key span per trial: adds in trial t draw from
+	// [catalog+t*span, catalog+(t+1)*span) so no trial re-creates a name an
+	// earlier trial already registered. The span covers the driver's
+	// round-up to one op per worker.
+	span := *ops
+	if workers := *clients * *threads * max(pipe, 1); span < workers {
+		span = workers
+	}
+
+	makeTrialOps := func(trial int) (func(worker int) workload.Op, error) {
+		base := catalog + trial*span
+		switch *op {
+		case "add":
+			return flat(func(ctx context.Context, c *client.Client, seq int) error {
+				return c.CreateMapping(ctx, gen.Logical(base+seq), gen.Target(base+seq, 0))
+			}), nil
+		case "delete":
+			return flat(func(ctx context.Context, c *client.Client, seq int) error {
+				return c.DeleteMapping(ctx, gen.Logical(seq%catalog), gen.Target(seq%catalog, 0))
+			}), nil
+		case "query":
+			return flat(func(ctx context.Context, c *client.Client, seq int) error {
+				_, err := c.GetTargets(ctx, gen.Logical(seq*7919%catalog))
+				return err
+			}), nil
+		case "rli-query":
+			return flat(func(ctx context.Context, c *client.Client, seq int) error {
+				_, err := c.RLIQuery(ctx, gen.Logical(seq*7919%catalog))
+				return err
+			}), nil
+		case "bulk-query":
+			return flat(func(ctx context.Context, c *client.Client, seq int) error {
+				names := make([]string, 1000)
+				for i := range names {
+					names[i] = gen.Logical((seq*1000 + i) % catalog)
+				}
+				_, err := c.BulkGetTargets(ctx, names)
+				return err
+			}), nil
+		case "mixed":
+			// Per-worker factory: deletes target the key this worker most
+			// recently created, so no worker races another's registrations
+			// (and nothing depends on cross-worker sequence adjacency).
+			return func(worker int) workload.Op {
+				pending := -1
+				return func(ctx context.Context, c *client.Client, seq int) error {
+					switch seq % 4 {
+					case 0:
+						key := base + seq
+						if err := c.CreateMapping(ctx, gen.Logical(key), gen.Target(key, 0)); err != nil {
+							return err
+						}
+						pending = key
+						return nil
+					case 1:
+						if pending < 0 {
+							_, err := c.GetTargets(ctx, gen.Logical(seq*7919%catalog))
+							return err
+						}
+						key := pending
+						pending = -1
+						return c.DeleteMapping(ctx, gen.Logical(key), gen.Target(key, 0))
+					default:
+						_, err := c.GetTargets(ctx, gen.Logical(seq*7919%catalog))
+						return err
+					}
+				}
+			}, nil
+		default:
+			return nil, fmt.Errorf("unknown op %q", *op)
+		}
+	}
+	if _, err := makeTrialOps(0); err != nil {
+		fatal(err)
+	}
+
 	fmt.Printf("op=%s clients=%d threads/client=%d pipeline=%d ops/trial=%d trials=%d\n",
-		*op, *clients, *threads, *pipeline, *ops, *trials)
-	var lastErrors int
+		*op, *clients, *threads, pipe, *ops, *trials)
+	var totalErrors int // accumulated across every trial, not just the last
 	sum, err := workload.Trials(*trials, func(trial int) (float64, error) {
-		res, err := drv.Run(ctx, *ops, fn)
+		mk, err := makeTrialOps(trial)
 		if err != nil {
 			return 0, err
 		}
-		lastErrors = res.Errors
+		res, err := drv.RunFactory(ctx, *ops, mk)
+		if err != nil {
+			return 0, err
+		}
+		totalErrors += res.Errors
 		fmt.Printf("  trial %d: %.0f ops/s (%d ok, %d errors, p50=%v p95=%v p99=%v)\n",
 			trial+1, res.Rate, res.Ops, res.Errors,
 			res.Latencies.P50, res.Latencies.P95, res.Latencies.P99)
@@ -127,9 +199,103 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("mean rate: %.0f ops/s (sd %.0f over %d trials)\n", sum.Mean, sum.StdDev, sum.N)
-	if lastErrors > 0 {
+	if totalErrors > 0 {
+		fmt.Fprintf(os.Stderr, "rls-loadgen: %d request errors across %d trials\n", totalErrors, sum.N)
 		os.Exit(1)
 	}
+}
+
+// flat lifts a worker-independent op into a factory.
+func flat(op workload.Op) func(worker int) workload.Op {
+	return func(int) workload.Op { return op }
+}
+
+// runOpenLoop executes an open-loop scenario (predefined via -scenario, or
+// a single phase synthesized from -op/-rate/-arrival/-zipf) and prints
+// per-phase offered vs achieved rate with intended-start latencies.
+func runOpenLoop(ctx context.Context, dial func() (*client.Client, error), gen workload.Names,
+	catalog int, op string, r float64, arrival string, zipf float64, scenario, durStr, jsonPath string,
+	clients, conns, depth int) {
+	if r <= 0 {
+		r = 1000 // -scenario without -rate: a moderate default
+	}
+	dur, err := time.ParseDuration(durStr)
+	if err != nil || dur <= 0 {
+		fatal(fmt.Errorf("bad -duration %q", durStr))
+	}
+
+	var sc workload.Scenario
+	if scenario != "" {
+		sc, err = workload.ScenarioByName(scenario, r, dur)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		mix, err := mixFor(op)
+		if err != nil {
+			fatal(err)
+		}
+		sc = workload.Scenario{Name: op, Phases: []workload.Phase{{
+			Name: op, Rate: r, Duration: dur, Arrival: arrival, Mix: mix, Theta: zipf,
+		}}}
+	}
+
+	logical := clients
+	if logical <= 1 {
+		logical = 0 // let the engine default to conns*depth
+	}
+	cfg := workload.ScenarioConfig{
+		Gen:     gen,
+		Catalog: catalog,
+		Clients: logical,
+		Conns:   conns,
+		Depth:   depth,
+		Seed:    1,
+		Dial:    dial,
+	}
+	fmt.Printf("open-loop scenario=%s rate=%.0f/s duration/phase=%v conns=%d depth=%d catalog=%d\n",
+		sc.Name, r, dur, conns, depth, catalog)
+	results, err := workload.RunScenario(ctx, sc, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var totalErrors int64
+	for _, pr := range results {
+		res, d := pr.Result, pr.Result.Latencies
+		totalErrors += res.Errors
+		fmt.Printf("  phase %-8s offered %6.0f/s achieved %6.0f/s ops=%d errors=%d p50=%v p95=%v p99=%v p99.9=%v max=%v genlag=%v\n",
+			pr.Phase.Name, res.OfferedRate, res.AchievedRate, res.Issued, res.Errors,
+			d.P50, d.P95, d.P99, d.P999, d.Max, res.MaxGenLag)
+	}
+
+	if jsonPath != "" {
+		snap := benchfmt.NewSnapshot(6, benchfmt.RunParams{Trials: 1, Ops: 1, Pipeline: depth})
+		snap.AddScenario("loadgen-"+sc.Name, sc, cfg, results)
+		if err := snap.WriteFile(jsonPath); err != nil {
+			fatal(fmt.Errorf("-json: %w", err))
+		}
+		fmt.Printf("wrote %s (rev %s)\n", jsonPath, snap.GitRev)
+	}
+	if totalErrors > 0 {
+		fmt.Fprintf(os.Stderr, "rls-loadgen: %d request errors\n", totalErrors)
+		os.Exit(1)
+	}
+}
+
+// mixFor maps a -op name to an open-loop operation mix.
+func mixFor(op string) (workload.OpMix, error) {
+	switch op {
+	case "query":
+		return workload.OpMix{Query: 1}, nil
+	case "add":
+		return workload.OpMix{Add: 1}, nil
+	case "delete":
+		return workload.OpMix{Delete: 1}, nil
+	case "mixed":
+		return workload.OpMix{Query: 0.5, Add: 0.25, Delete: 0.25}, nil
+	}
+	return workload.OpMix{}, fmt.Errorf("op %q not supported in open-loop mode (want add, delete, query, mixed)", op)
 }
 
 func fatal(err error) {

@@ -1,0 +1,264 @@
+// Package benchfmt defines the machine-readable BENCH_*.json snapshot
+// format: one file per PR capturing the scenario-engine results (offered
+// and achieved rates, latency percentiles per phase) together with the git
+// revision and run parameters, so the performance trajectory of the repo
+// is tracked as data rather than prose in bench_results.txt.
+//
+// Schema (rls-bench/v1):
+//
+//	{
+//	  "schema": "rls-bench/v1",
+//	  "bench": 6,                     // trajectory index (PR number)
+//	  "git_rev": "abc1234",
+//	  "generated_unix": 1754600000,
+//	  "params": {"scale":0.02, "trials":3, "ops":1.0,
+//	             "pipeline":0, "disk_model":true, "net_model":true},
+//	  "scenarios": [{
+//	    "id": "scen-steady", "scenario": "steady-state",
+//	    "config": {"logical_clients":100000, "conns":4,
+//	               "pipeline_depth":32, "catalog":20000, "seed":1},
+//	    "phases": [{
+//	      "name":"steady", "arrival":"poisson", "zipf_theta":0.9,
+//	      "ops":3000, "errors":0,
+//	      "offered_rate":2000, "achieved_rate":1987.3,
+//	      "mean_ms":1.2, "p50_ms":0.9, "p95_ms":2.1, "p99_ms":4.7,
+//	      "p999_ms":9.0, "max_ms":12.4, "max_gen_lag_ms":0.3
+//	    }]
+//	  }]
+//	}
+//
+// Validate enforces the schema; CI fails on a malformed snapshot.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// SchemaV1 is the current schema identifier.
+const SchemaV1 = "rls-bench/v1"
+
+// Snapshot is one BENCH_<n>.json file.
+type Snapshot struct {
+	Schema        string           `json:"schema"`
+	Bench         int              `json:"bench"`
+	GitRev        string           `json:"git_rev"`
+	GeneratedUnix int64            `json:"generated_unix"`
+	Params        RunParams        `json:"params"`
+	Scenarios     []ScenarioResult `json:"scenarios"`
+}
+
+// RunParams records the harness parameters the snapshot was produced with;
+// comparisons across PRs are only meaningful at equal parameters.
+type RunParams struct {
+	Scale     float64 `json:"scale"`
+	Trials    int     `json:"trials"`
+	Ops       float64 `json:"ops"`
+	Pipeline  int     `json:"pipeline"`
+	DiskModel bool    `json:"disk_model"`
+	NetModel  bool    `json:"net_model"`
+}
+
+// ScenarioResult is one scenario experiment's outcome.
+type ScenarioResult struct {
+	// ID is the harness experiment id (scen-steady); Scenario the workload
+	// scenario name (steady-state).
+	ID       string         `json:"id"`
+	Scenario string         `json:"scenario"`
+	Config   ScenarioConfig `json:"config"`
+	Phases   []PhaseStats   `json:"phases"`
+}
+
+// ScenarioConfig records the engine configuration of a scenario run.
+type ScenarioConfig struct {
+	LogicalClients int   `json:"logical_clients"`
+	Conns          int   `json:"conns"`
+	PipelineDepth  int   `json:"pipeline_depth"`
+	Catalog        int   `json:"catalog"`
+	Seed           int64 `json:"seed"`
+}
+
+// PhaseStats is the per-phase rate/latency summary.
+type PhaseStats struct {
+	Name    string  `json:"name"`
+	Arrival string  `json:"arrival"`
+	Zipf    float64 `json:"zipf_theta"`
+	Ops     int64   `json:"ops"`
+	Errors  int64   `json:"errors"`
+
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+
+	MeanMs      float64 `json:"mean_ms"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	MaxGenLagMs float64 `json:"max_gen_lag_ms"`
+}
+
+// NewSnapshot stamps a snapshot with the schema, trajectory index, git
+// revision and current time.
+func NewSnapshot(bench int, params RunParams) *Snapshot {
+	return &Snapshot{
+		Schema:        SchemaV1,
+		Bench:         bench,
+		GitRev:        GitRev(),
+		GeneratedUnix: time.Now().Unix(),
+		Params:        params,
+	}
+}
+
+// PhaseStatsFrom converts one workload phase result into the wire shape.
+func PhaseStatsFrom(pr workload.PhaseResult) PhaseStats {
+	arrival := pr.Phase.Arrival
+	if arrival == "" {
+		arrival = workload.ArrivalConstant
+	}
+	d := pr.Result.Latencies
+	return PhaseStats{
+		Name:         pr.Phase.Name,
+		Arrival:      arrival,
+		Zipf:         pr.Phase.Theta,
+		Ops:          pr.Result.Issued,
+		Errors:       pr.Result.Errors,
+		OfferedRate:  pr.Result.OfferedRate,
+		AchievedRate: pr.Result.AchievedRate,
+		MeanMs:       ms(d.Mean),
+		P50Ms:        ms(d.P50),
+		P95Ms:        ms(d.P95),
+		P99Ms:        ms(d.P99),
+		P999Ms:       ms(d.P999),
+		MaxMs:        ms(d.Max),
+		MaxGenLagMs:  ms(pr.Result.MaxGenLag),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// AddScenario appends one scenario's results.
+func (s *Snapshot) AddScenario(id string, sc workload.Scenario, cfg workload.ScenarioConfig, results []workload.PhaseResult) {
+	out := ScenarioResult{
+		ID:       id,
+		Scenario: sc.Name,
+		Config: ScenarioConfig{
+			LogicalClients: cfg.Clients,
+			Conns:          cfg.Conns,
+			PipelineDepth:  cfg.Depth,
+			Catalog:        cfg.Catalog,
+			Seed:           cfg.Seed,
+		},
+	}
+	for _, pr := range results {
+		out.Phases = append(out.Phases, PhaseStatsFrom(pr))
+	}
+	s.Scenarios = append(s.Scenarios, out)
+}
+
+// Validate enforces the v1 schema: identification fields present, at least
+// one scenario, and every phase internally consistent (positive rates and
+// op counts, ordered percentiles). It is the check CI runs against the
+// emitted file.
+func (s *Snapshot) Validate() error {
+	if s.Schema != SchemaV1 {
+		return fmt.Errorf("benchfmt: schema %q, want %q", s.Schema, SchemaV1)
+	}
+	if s.Bench <= 0 {
+		return fmt.Errorf("benchfmt: bench index %d must be positive", s.Bench)
+	}
+	if s.GitRev == "" {
+		return fmt.Errorf("benchfmt: git_rev missing")
+	}
+	if s.GeneratedUnix <= 0 {
+		return fmt.Errorf("benchfmt: generated_unix missing")
+	}
+	if len(s.Scenarios) == 0 {
+		return fmt.Errorf("benchfmt: no scenarios recorded")
+	}
+	for _, sc := range s.Scenarios {
+		if sc.ID == "" || sc.Scenario == "" {
+			return fmt.Errorf("benchfmt: scenario with empty id/name: %+v", sc)
+		}
+		if len(sc.Phases) == 0 {
+			return fmt.Errorf("benchfmt: scenario %s has no phases", sc.ID)
+		}
+		for _, ph := range sc.Phases {
+			if ph.Name == "" {
+				return fmt.Errorf("benchfmt: %s: phase with empty name", sc.ID)
+			}
+			if ph.Arrival != workload.ArrivalConstant && ph.Arrival != workload.ArrivalPoisson {
+				return fmt.Errorf("benchfmt: %s/%s: unknown arrival %q", sc.ID, ph.Name, ph.Arrival)
+			}
+			if ph.Ops <= 0 {
+				return fmt.Errorf("benchfmt: %s/%s: ops %d", sc.ID, ph.Name, ph.Ops)
+			}
+			if ph.OfferedRate <= 0 || ph.AchievedRate < 0 {
+				return fmt.Errorf("benchfmt: %s/%s: rates offered=%v achieved=%v",
+					sc.ID, ph.Name, ph.OfferedRate, ph.AchievedRate)
+			}
+			if ph.P50Ms < 0 || ph.P95Ms < ph.P50Ms || ph.P99Ms < ph.P95Ms ||
+				ph.P999Ms < ph.P99Ms || ph.MaxMs < ph.P999Ms {
+				return fmt.Errorf("benchfmt: %s/%s: percentiles out of order: p50=%v p95=%v p99=%v p999=%v max=%v",
+					sc.ID, ph.Name, ph.P50Ms, ph.P95Ms, ph.P99Ms, ph.P999Ms, ph.MaxMs)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFile validates and writes the snapshot as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads and validates a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// GitRev reports the current git revision: `git rev-parse --short HEAD`
+// when a working tree is available, else the VCS stamp baked into the
+// binary, else "unknown" (Validate accepts any non-empty value, so
+// snapshots built outside a checkout remain valid).
+func GitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" && len(kv.Value) >= 7 {
+				return kv.Value[:7]
+			}
+		}
+	}
+	return "unknown"
+}

@@ -1,0 +1,117 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func sampleSnapshot() *Snapshot {
+	s := NewSnapshot(6, RunParams{Scale: 0.02, Trials: 3, Ops: 1, DiskModel: true, NetModel: true})
+	sc := workload.SteadyState(2000, time.Second, 0.9)
+	cfg := workload.ScenarioConfig{Clients: 100_000, Conns: 4, Depth: 32, Catalog: 20_000, Seed: 1}
+	results := []workload.PhaseResult{{
+		Phase: sc.Phases[0],
+		Result: workload.OpenResult{
+			Requested: 2000, Issued: 2000, Errors: 0,
+			Elapsed: time.Second, OfferedRate: 2000, AchievedRate: 1987,
+			Latencies: metrics.Distribution{
+				N: 2000, Mean: time.Millisecond, P50: 900 * time.Microsecond,
+				P95: 2 * time.Millisecond, P99: 4 * time.Millisecond,
+				P999: 9 * time.Millisecond, Max: 12 * time.Millisecond,
+			},
+		},
+	}}
+	s.AddScenario("scen-steady", sc, cfg, results)
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_6.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Bench != 6 || loaded.Schema != SchemaV1 || len(loaded.Scenarios) != 1 {
+		t.Fatalf("loaded %+v", loaded)
+	}
+	ph := loaded.Scenarios[0].Phases[0]
+	if ph.Arrival != workload.ArrivalPoisson || ph.Zipf != 0.9 || ph.P999Ms != 9 {
+		t.Fatalf("phase %+v", ph)
+	}
+	if loaded.Scenarios[0].Config.LogicalClients != 100_000 {
+		t.Fatalf("config %+v", loaded.Scenarios[0].Config)
+	}
+	// The file must carry the raw schema marker for external tooling.
+	raw, _ := os.ReadFile(path)
+	if !strings.Contains(string(raw), `"schema": "rls-bench/v1"`) {
+		t.Fatalf("schema marker missing:\n%s", raw)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Snapshot)
+	}{
+		{"bad schema", func(s *Snapshot) { s.Schema = "v0" }},
+		{"zero bench", func(s *Snapshot) { s.Bench = 0 }},
+		{"no rev", func(s *Snapshot) { s.GitRev = "" }},
+		{"no timestamp", func(s *Snapshot) { s.GeneratedUnix = 0 }},
+		{"no scenarios", func(s *Snapshot) { s.Scenarios = nil }},
+		{"empty id", func(s *Snapshot) { s.Scenarios[0].ID = "" }},
+		{"no phases", func(s *Snapshot) { s.Scenarios[0].Phases = nil }},
+		{"bad arrival", func(s *Snapshot) { s.Scenarios[0].Phases[0].Arrival = "burst" }},
+		{"zero ops", func(s *Snapshot) { s.Scenarios[0].Phases[0].Ops = 0 }},
+		{"zero rate", func(s *Snapshot) { s.Scenarios[0].Phases[0].OfferedRate = 0 }},
+		{"percentile order", func(s *Snapshot) { s.Scenarios[0].Phases[0].P95Ms = 0.1 }},
+	}
+	for _, tc := range cases {
+		s := sampleSnapshot()
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: malformed snapshot validated", tc.name)
+		}
+	}
+}
+
+func TestWriteFileRefusesInvalid(t *testing.T) {
+	s := sampleSnapshot()
+	s.Scenarios = nil
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := s.WriteFile(path); err == nil {
+		t.Fatal("invalid snapshot written")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("file created despite validation failure")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	os.WriteFile(path, []byte("{not json"), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage loaded")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestGitRevNonEmpty(t *testing.T) {
+	if GitRev() == "" {
+		t.Fatal("GitRev returned empty string")
+	}
+}

@@ -15,7 +15,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
+	"repro/internal/benchfmt"
 	"repro/internal/metrics"
 )
 
@@ -43,6 +45,11 @@ type Params struct {
 	// server's per-connection dispatch width and the LRC's update window.
 	// 0 or 1 is the paper's lock-step protocol.
 	Pipeline int
+	// Bench, when non-nil, collects scenario-experiment results into a
+	// BENCH_*.json snapshot (see internal/benchfmt); rls-bench sets it for
+	// -json runs. Experiments that have nothing machine-readable to report
+	// ignore it.
+	Bench *benchfmt.Snapshot
 	// Out receives the result tables.
 	Out io.Writer
 }
@@ -141,8 +148,8 @@ func table(w io.Writer, title, note string, header []string, rows [][]string) {
 	}
 	for _, row := range rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if i < len(widths) && utf8.RuneCountInString(cell) > widths[i] {
+				widths[i] = utf8.RuneCountInString(cell)
 			}
 		}
 	}
@@ -164,11 +171,13 @@ func table(w io.Writer, title, note string, header []string, rows [][]string) {
 	}
 }
 
+// pad right-pads to w columns, counting runes so units like "µs" align.
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 // f1 formats a float with one decimal.

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
 )
 
 // microParams are the cheapest possible settings for smoke-running
@@ -27,6 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-bloom-params", "ablate-immediate", "ablate-flush-interval",
 		"ablate-partitioning", "ablate-transport", "ablate-pipeline",
 		"chaos",
+		"scen-steady", "scen-flash", "scen-storm", "scen-churn", "scen-tenants",
 	}
 	for _, id := range wantIDs {
 		e, ok := ByID(id)
@@ -124,6 +127,37 @@ func TestExperimentsSmoke(t *testing.T) {
 				t.Fatalf("%s produced no table:\n%s", id, buf.String())
 			}
 		})
+	}
+}
+
+// TestScenarioSmoke runs one open-loop scenario experiment end to end at
+// micro parameters with a Bench snapshot attached, and checks the snapshot
+// validates — the same path rls-bench -json takes.
+func TestScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are integration-scale")
+	}
+	e, ok := ByID("scen-steady")
+	if !ok {
+		t.Fatal("scen-steady not registered")
+	}
+	var buf bytes.Buffer
+	p := microParams(&buf)
+	p.Bench = benchfmt.NewSnapshot(6, benchfmt.RunParams{Scale: p.Scale, Trials: p.Trials, Ops: p.Ops})
+	if err := e.Run(p); err != nil {
+		t.Fatalf("scen-steady: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"open-loop", "offered/s", "p99.9", "steady"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario table missing %q:\n%s", want, out)
+		}
+	}
+	if err := p.Bench.Validate(); err != nil {
+		t.Fatalf("snapshot from scenario run does not validate: %v", err)
+	}
+	if len(p.Bench.Scenarios) != 1 || p.Bench.Scenarios[0].ID != "scen-steady" {
+		t.Fatalf("snapshot scenarios = %+v", p.Bench.Scenarios)
 	}
 }
 

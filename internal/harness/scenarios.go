@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// The scen-* experiments are the open-loop scenario engine: rate-driven,
+// coordinated-omission-correct workloads (see internal/workload's OpenLoop)
+// over netsim-shaped connections, reporting per-phase offered vs achieved
+// rate and intended-start latency percentiles. They model the
+// production-grid traffic shapes the paper's closed-loop methodology (§4)
+// cannot express: flash crowds, registration storms, replica churn and
+// multi-tenant mixes. With Params.Bench set, results are also recorded
+// into the machine-readable BENCH_*.json perf trajectory.
+
+// scenarioClients is the logical-client multiplexing target: 100k virtual
+// client streams over a handful of real pipelined connections.
+const scenarioClients = 100_000
+
+func init() {
+	register(Experiment{
+		ID:    "scen-steady",
+		Title: "Open-loop steady state: Poisson arrivals, Zipf(0.9) queries, 100k logical clients",
+		Paper: "beyond the paper: open-loop baseline; achieved rate tracks offered with flat tail latency",
+		Run: func(p Params) error {
+			return runScenario(p, "scen-steady",
+				workload.SteadyState(2000*p.Ops, 1200*time.Millisecond, 0.9))
+		},
+	})
+	register(Experiment{
+		ID:    "scen-flash",
+		Title: "Open-loop flash crowd: 4x query-rate step burst between baseline phases",
+		Paper: "beyond the paper: queueing during the spike must surface in spike-phase p99, not be hidden",
+		Run: func(p Params) error {
+			return runScenario(p, "scen-flash",
+				workload.FlashCrowd(1200*p.Ops, 4800*p.Ops,
+					800*time.Millisecond, 500*time.Millisecond, 800*time.Millisecond, 0.9))
+		},
+	})
+	register(Experiment{
+		ID:    "scen-storm",
+		Title: "Open-loop registration storm: 90% adds at sustained rate (mass registration)",
+		Paper: "beyond the paper: EU DataGrid-style catalog build; write path keeps up without error",
+		Run: func(p Params) error {
+			return runScenario(p, "scen-storm",
+				workload.RegistrationStorm(1500*p.Ops, 1200*time.Millisecond))
+		},
+	})
+	register(Experiment{
+		ID:    "scen-churn",
+		Title: "Open-loop replica churn: balanced add/delete over a query background",
+		Paper: "beyond the paper: migration-style churn; deletes target own registrations, zero errors",
+		Run: func(p Params) error {
+			return runScenario(p, "scen-churn",
+				workload.ReplicaChurn(1500*p.Ops, 1200*time.Millisecond))
+		},
+	})
+	register(Experiment{
+		ID:    "scen-tenants",
+		Title: "Open-loop multi-tenant mix: 3 tenants, distinct shares and key skews",
+		Paper: "beyond the paper: shared catalog under hot/warm/batch tenants; no tenant starves",
+		Run: func(p Params) error {
+			return runScenario(p, "scen-tenants",
+				workload.MultiTenant(2000*p.Ops, 1500*time.Millisecond))
+		},
+	})
+}
+
+// runScenario preloads a single-LRC deployment, optionally warms the
+// pools, executes the scenario through the open-loop engine, prints the
+// per-phase table and records the results into p.Bench.
+func runScenario(p Params, id string, sc workload.Scenario) error {
+	ctx := context.Background()
+	dep := core.NewDeployment()
+	defer dep.Close()
+	net := netsim.Unshaped()
+	if p.NetModel {
+		net = netsim.LAN()
+	}
+	if _, err := dep.AddServer(core.ServerSpec{
+		Name:        "lrc",
+		LRC:         true,
+		Personality: storage.PersonalityMySQL,
+		Disk:        p.diskSpec(),
+		Net:         net,
+		MaxInFlight: scenarioDepth(p),
+	}); err != nil {
+		return err
+	}
+
+	catalog := p.size(1_000_000)
+	gen := workload.Names{Space: "scen"}
+	c, err := dep.Dial("lrc")
+	if err != nil {
+		return err
+	}
+	err = workload.Load(ctx, c, gen, catalog, 1000)
+	c.Close()
+	if err != nil {
+		return err
+	}
+
+	depth := scenarioDepth(p)
+	cfg := workload.ScenarioConfig{
+		Gen:     gen,
+		Catalog: catalog,
+		Clients: scenarioClients,
+		Conns:   4,
+		Depth:   depth,
+		Seed:    6,
+		Dial: func() (*client.Client, error) {
+			return dep.Dial("lrc", core.DialOptions{MaxInFlight: depth})
+		},
+	}
+
+	if p.Warmup > 0 {
+		// One short uncounted steady burst lets connection pools, buffer
+		// pools and the group-commit pipeline reach steady state off the
+		// books, mirroring the closed-loop experiments' warmup trials.
+		warm := workload.SteadyState(500*p.Ops, 200*time.Millisecond, 0)
+		warm.Name = "warmup"
+		wcfg := cfg
+		wcfg.FreshBase = 10 * catalog // keep warmup writes clear of measured ranges
+		if _, err := workload.RunScenario(ctx, warm, wcfg); err != nil {
+			return fmt.Errorf("harness: %s warmup: %w", id, err)
+		}
+	}
+
+	results, err := workload.RunScenario(ctx, sc, cfg)
+	if err != nil {
+		return err
+	}
+
+	var rows [][]string
+	for _, pr := range results {
+		r, d := pr.Result, pr.Result.Latencies
+		arrival := pr.Phase.Arrival
+		if arrival == "" {
+			arrival = workload.ArrivalConstant
+		}
+		rows = append(rows, []string{
+			pr.Phase.Name, arrival,
+			f0(r.OfferedRate), f0(r.AchievedRate),
+			fmt.Sprintf("%d", r.Issued), fmt.Sprintf("%d", r.Errors),
+			lat(d.P50), lat(d.P95), lat(d.P99), lat(d.P999), lat(d.Max),
+			lat(r.MaxGenLag),
+		})
+	}
+	table(p.Out, fmt.Sprintf("Scenario %s (%s): open-loop, %d logical clients over %d conns x depth %d",
+		id, sc.Name, cfg.Clients, cfg.Conns, cfg.Depth),
+		"latency measured from intended start (coordinated-omission-correct); genlag is generator lateness, not server latency",
+		[]string{"phase", "arrival", "offered/s", "achieved/s", "ops", "err", "p50", "p95", "p99", "p99.9", "max", "genlag"},
+		rows)
+
+	if p.Bench != nil {
+		p.Bench.AddScenario(id, sc, cfg, results)
+	}
+	return nil
+}
+
+// scenarioDepth is the per-connection pipeline depth scenarios multiplex
+// logical clients over; Params.Pipeline overrides the default 32.
+func scenarioDepth(p Params) int {
+	if p.Pipeline > 1 {
+		return p.Pipeline
+	}
+	return 32
+}
+
+// lat formats a latency cell compactly (µs below 10ms, ms above).
+func lat(d time.Duration) string {
+	switch {
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

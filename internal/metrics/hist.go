@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math/bits"
+	"time"
+)
+
+// HistRecorder collects operation latencies into a fixed set of
+// log-spaced buckets, so memory stays flat no matter how many samples are
+// recorded — the open-loop workload engine records tens of millions of
+// operations per run, which the exact-sample LatencyRecorder cannot hold.
+//
+// Bucket layout: durations below 2^logSubBits nanoseconds land in exact
+// one-nanosecond buckets; above that, every power-of-two octave is split
+// into 2^logSubBits sub-buckets. Worst-case relative error of a reported
+// percentile is therefore 2^-logSubBits (~3%), and the true minimum and
+// maximum are tracked exactly. Like LatencyRecorder it is not safe for
+// concurrent use; keep one per worker and Merge.
+type HistRecorder struct {
+	counts [logBuckets]uint64
+	n      int
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	logSubBits = 5
+	logSub     = 1 << logSubBits // sub-buckets per octave
+	// 63-bit durations span octaves logSubBits..62, one bucket group per
+	// octave above the exact region, plus the exact region itself.
+	logBuckets = (63 - logSubBits + 1) * logSub
+)
+
+// logBucketIndex maps a non-negative duration (ns) to its bucket.
+func logBucketIndex(v int64) int {
+	if v < logSub {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= logSubBits
+	sub := (v >> (uint(exp) - logSubBits)) & (logSub - 1)
+	return (exp-logSubBits+1)*logSub + int(sub)
+}
+
+// logBucketValue returns the representative duration (bucket midpoint) of a
+// bucket index; exact buckets return their value.
+func logBucketValue(idx int) time.Duration {
+	if idx < logSub {
+		return time.Duration(idx)
+	}
+	g := idx >> logSubBits // octave group, >= 1
+	sub := int64(idx & (logSub - 1))
+	exp := uint(g + logSubBits - 1)
+	lower := int64(1)<<exp + sub<<(exp-logSubBits)
+	width := int64(1) << (exp - logSubBits)
+	return time.Duration(lower + width/2)
+}
+
+// Record adds one latency sample. Negative durations are clamped to zero.
+func (r *HistRecorder) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.counts[logBucketIndex(int64(d))]++
+	if r.n == 0 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	r.n++
+	r.sum += d
+}
+
+// Merge adds the counts of another recorder.
+func (r *HistRecorder) Merge(o *HistRecorder) {
+	if o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		r.counts[i] += c
+	}
+	if r.n == 0 || o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.n += o.n
+	r.sum += o.sum
+}
+
+// N returns the sample count.
+func (r *HistRecorder) N() int { return r.n }
+
+// quantile returns the representative value of the bucket holding the
+// nearest-rank num/den quantile, clamped to the exact [min, max] range.
+func (r *HistRecorder) quantile(num, den int) time.Duration {
+	target := uint64(rankIndex(r.n, num, den)) + 1 // 1-based rank
+	var cum uint64
+	for i, c := range r.counts {
+		cum += c
+		if cum >= target {
+			v := logBucketValue(i)
+			if v < r.min {
+				v = r.min
+			}
+			if v > r.max {
+				v = r.max
+			}
+			return v
+		}
+	}
+	return r.max
+}
+
+// Distribution summarizes the histogram with the same surface as
+// LatencyRecorder.Distribution, at bucket resolution (Max is exact).
+func (r *HistRecorder) Distribution() Distribution {
+	d := Distribution{N: r.n}
+	if d.N == 0 {
+		return d
+	}
+	d.Mean = r.sum / time.Duration(r.n)
+	d.P50 = r.quantile(50, 100)
+	d.P95 = r.quantile(95, 100)
+	d.P99 = r.quantile(99, 100)
+	d.P999 = r.quantile(999, 1000)
+	d.Max = r.max
+	return d
+}

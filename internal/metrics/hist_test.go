@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every probe value must land in a bucket whose representative value is
+	// within the layout's relative-error bound.
+	probes := []int64{0, 1, 5, 31, 32, 33, 100, 1000, 4095, 4096, 65537,
+		1_000_000, 123_456_789, 5_000_000_000, int64(time.Hour)}
+	for _, v := range probes {
+		idx := logBucketIndex(v)
+		if idx < 0 || idx >= logBuckets {
+			t.Fatalf("logBucketIndex(%d) = %d out of range", v, idx)
+		}
+		rep := int64(logBucketValue(idx))
+		if v < logSub {
+			if rep != v {
+				t.Fatalf("exact bucket %d has representative %d", v, rep)
+			}
+			continue
+		}
+		diff := rep - v
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > float64(v)/logSub {
+			t.Fatalf("logBucketValue(logBucketIndex(%d)) = %d, relative error %.3f",
+				v, rep, float64(diff)/float64(v))
+		}
+	}
+}
+
+func TestHistIndexMonotone(t *testing.T) {
+	last := -1
+	for v := int64(0); v < 1<<14; v++ {
+		idx := logBucketIndex(v)
+		if idx < last {
+			t.Fatalf("logBucketIndex not monotone at %d: %d < %d", v, idx, last)
+		}
+		last = idx
+	}
+}
+
+// TestHistMatchesExactRecorder compares histogram percentiles against the
+// exact-sample recorder on the same stream: every reported percentile must
+// agree within the bucket resolution.
+func TestHistMatchesExactRecorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var exact LatencyRecorder
+	var hist HistRecorder
+	for i := 0; i < 200_000; i++ {
+		// Log-uniform from ~1µs to ~100ms, the realistic RPC latency range.
+		d := time.Duration(float64(time.Microsecond) * (1 + 100_000*rng.Float64()*rng.Float64()))
+		exact.Record(d)
+		hist.Record(d)
+	}
+	ed, hd := exact.Distribution(), hist.Distribution()
+	if hd.N != ed.N {
+		t.Fatalf("N = %d, want %d", hd.N, ed.N)
+	}
+	if hd.Max != ed.Max {
+		t.Fatalf("Max = %v, want exact %v", hd.Max, ed.Max)
+	}
+	check := func(name string, got, want time.Duration) {
+		diff := float64(got - want)
+		if diff < 0 {
+			diff = -diff
+		}
+		// Bucket resolution plus nearest-rank wobble: 2/logSub relative.
+		if diff > float64(want)*2/logSub {
+			t.Errorf("%s = %v, exact %v (off %.1f%%)", name, got, want, 100*diff/float64(want))
+		}
+	}
+	check("P50", hd.P50, ed.P50)
+	check("P95", hd.P95, ed.P95)
+	check("P99", hd.P99, ed.P99)
+	check("P999", hd.P999, ed.P999)
+	check("Mean", hd.Mean, ed.Mean)
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, whole HistRecorder
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	ad, wd := a.Distribution(), whole.Distribution()
+	if ad != wd {
+		t.Fatalf("merged distribution %+v != whole %+v", ad, wd)
+	}
+	// Merging an empty recorder changes nothing.
+	var empty HistRecorder
+	a.Merge(&empty)
+	if a.Distribution() != wd {
+		t.Fatal("merging empty recorder changed the distribution")
+	}
+	empty.Merge(&a)
+	if empty.Distribution() != wd {
+		t.Fatal("merge into empty lost samples")
+	}
+}
+
+func TestHistEmptyAndNegative(t *testing.T) {
+	var r HistRecorder
+	if d := r.Distribution(); d.N != 0 || d.P99 != 0 {
+		t.Fatalf("empty distribution = %+v", d)
+	}
+	r.Record(-5 * time.Second) // clamped, must not panic or go negative
+	if r.N() != 1 || r.Distribution().Max != 0 {
+		t.Fatalf("negative sample handling: %+v", r.Distribution())
+	}
+}
+
+// TestHistRecordFlatMemory is the bounded-memory contract: recording must
+// never allocate, so a 10M-op run holds the recorder footprint constant.
+func TestHistRecordFlatMemory(t *testing.T) {
+	var r HistRecorder
+	allocs := testing.AllocsPerRun(10_000, func() {
+		r.Record(137 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per op", allocs)
+	}
+}
+
+func TestHistP999TailVisible(t *testing.T) {
+	var r HistRecorder
+	for i := 0; i < 9989; i++ {
+		r.Record(time.Millisecond)
+	}
+	for i := 0; i < 11; i++ {
+		r.Record(time.Second)
+	}
+	d := r.Distribution()
+	if d.P99 > 10*time.Millisecond {
+		t.Fatalf("P99 = %v, tail should not reach it", d.P99)
+	}
+	if d.P999 < 500*time.Millisecond {
+		t.Fatalf("P999 = %v, 0.1%% tail invisible", d.P999)
+	}
+}

@@ -80,6 +80,7 @@ type Distribution struct {
 	P50  time.Duration
 	P95  time.Duration
 	P99  time.Duration
+	P999 time.Duration
 	Max  time.Duration
 }
 
@@ -103,6 +104,7 @@ func (r *LatencyRecorder) Distribution() Distribution {
 	d.P50 = sorted[pctIndex(d.N, 50)]
 	d.P95 = sorted[pctIndex(d.N, 95)]
 	d.P99 = sorted[pctIndex(d.N, 99)]
+	d.P999 = sorted[rankIndex(d.N, 999, 1000)]
 	d.Max = sorted[d.N-1]
 	return d
 }
@@ -112,7 +114,13 @@ func (r *LatencyRecorder) Distribution() Distribution {
 // was off by one for exact multiples (P50 of 100 samples read index 50, not
 // 49), skewing every reported percentile upward by one rank.
 func pctIndex(n, pct int) int {
-	i := (n*pct + 99) / 100 // ceil for non-negative operands
+	return rankIndex(n, pct, 100)
+}
+
+// rankIndex is pctIndex generalized to an arbitrary num/den quantile, so
+// per-mille ranks (p99.9) use the same nearest-rank convention.
+func rankIndex(n, num, den int) int {
+	i := (n*num + den - 1) / den // ceil for non-negative operands
 	i--
 	if i < 0 {
 		i = 0

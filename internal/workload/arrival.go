@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival generates the intended start offsets of an open-loop operation
+// stream. Offsets are measured from the start of the run and are
+// non-decreasing; the generator owns the schedule, so a slow server cannot
+// push intended starts later (that slack is exactly what coordinated
+// omission hides).
+//
+// Implementations are not safe for concurrent use: the open-loop
+// dispatcher is the single consumer.
+type Arrival interface {
+	// Name labels the process in reports ("constant", "poisson").
+	Name() string
+	// Next returns the offset of the next arrival.
+	Next() time.Duration
+}
+
+// Arrival process names accepted by NewArrival.
+const (
+	ArrivalConstant = "constant"
+	ArrivalPoisson  = "poisson"
+)
+
+// NewArrival builds an arrival process emitting rate operations per second
+// on average. Poisson inter-arrivals are exponentially distributed with a
+// deterministic seed; constant arrivals are evenly spaced.
+func NewArrival(kind string, rate float64, seed int64) (Arrival, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate %v must be positive", rate)
+	}
+	switch kind {
+	case ArrivalConstant, "":
+		return &constantArrival{rate: rate}, nil
+	case ArrivalPoisson:
+		return &poissonArrival{rate: rate, r: rand.New(rand.NewSource(seed))}, nil
+	}
+	return nil, fmt.Errorf("workload: unknown arrival process %q (want %s or %s)",
+		kind, ArrivalConstant, ArrivalPoisson)
+}
+
+// constantArrival spaces arrivals exactly 1/rate apart. Offsets are
+// computed from the arrival index rather than accumulated, so rounding
+// error does not drift over long runs.
+type constantArrival struct {
+	i    int64
+	rate float64
+}
+
+func (a *constantArrival) Name() string { return ArrivalConstant }
+
+func (a *constantArrival) Next() time.Duration {
+	d := time.Duration(float64(a.i) / a.rate * float64(time.Second))
+	a.i++
+	return d
+}
+
+// poissonArrival draws exponential inter-arrival gaps: a memoryless
+// process, the standard model for independent clients (each of the many
+// logical clients contributes a trickle; their superposition is Poisson).
+type poissonArrival struct {
+	cum  float64 // seconds
+	rate float64
+	r    *rand.Rand
+}
+
+func (a *poissonArrival) Name() string { return ArrivalPoisson }
+
+func (a *poissonArrival) Next() time.Duration {
+	d := time.Duration(a.cum * float64(time.Second))
+	a.cum += a.r.ExpFloat64() / a.rate
+	return d
+}
+
+// expQuantile is the theoretical quantile of the exponential gap
+// distribution, used by tests to check the generator's shape.
+func expQuantile(rate, p float64) time.Duration {
+	return time.Duration(-math.Log(1-p) / rate * float64(time.Second))
+}

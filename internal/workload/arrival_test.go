@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConstantArrivalSpacing(t *testing.T) {
+	a, err := NewArrival(ArrivalConstant, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		got := a.Next()
+		want := time.Duration(i) * time.Millisecond
+		if got != want {
+			t.Fatalf("arrival %d at %v, want %v", i, got, want)
+		}
+	}
+	if a.Name() != ArrivalConstant {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestConstantArrivalNoDrift(t *testing.T) {
+	// Index-derived offsets: after a million arrivals at an awkward rate
+	// the schedule stays within one gap of the ideal.
+	a, _ := NewArrival(ArrivalConstant, 333, 0)
+	var last time.Duration
+	for i := 0; i < 1_000_000; i++ {
+		last = a.Next()
+	}
+	want := time.Duration(float64(999_999) / 333 * float64(time.Second))
+	diff := last - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Second/333 {
+		t.Fatalf("offset after 1M arrivals = %v, want ~%v", last, want)
+	}
+}
+
+func TestPoissonArrivalDeterministicAndCalibrated(t *testing.T) {
+	const rate, n = 500.0, 100_000
+	a1, err := NewArrival(ArrivalPoisson, rate, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := NewArrival(ArrivalPoisson, rate, 42)
+	a3, _ := NewArrival(ArrivalPoisson, rate, 43)
+
+	offsets := make([]time.Duration, n)
+	var last time.Duration
+	differs := false
+	for i := 0; i < n; i++ {
+		offsets[i] = a1.Next()
+		if offsets[i] < last {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", i, offsets[i], last)
+		}
+		last = offsets[i]
+		if a2.Next() != offsets[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+		if a3.Next() != offsets[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+	// The mean inter-arrival gap over n samples must sit near 1/rate.
+	meanGap := offsets[n-1].Seconds() / float64(n-1)
+	if meanGap < 0.95/rate || meanGap > 1.05/rate {
+		t.Fatalf("mean gap %.6fs, want ~%.6fs", meanGap, 1/rate)
+	}
+	// Distribution shape: the median gap of an exponential is ln(2)/rate,
+	// visibly below the mean — a constant process would fail this.
+	var below int
+	for i := 1; i < n; i++ {
+		if offsets[i]-offsets[i-1] < expQuantile(rate, 0.5) {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n-1)
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("%.3f of gaps below the theoretical median, want ~0.5", frac)
+	}
+}
+
+func TestNewArrivalErrors(t *testing.T) {
+	if _, err := NewArrival(ArrivalConstant, 0, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewArrival("bursty", 10, 0); err == nil {
+		t.Fatal("unknown arrival kind accepted")
+	}
+	if a, err := NewArrival("", 10, 0); err != nil || a.Name() != ArrivalConstant {
+		t.Fatalf("empty kind: %v, %v — want constant default", a, err)
+	}
+}

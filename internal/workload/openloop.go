@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/metrics"
+)
+
+// OpenLoop is the rate-driven, coordinated-omission-correct load engine.
+//
+// Unlike the closed-loop Driver — whose threads issue requests
+// back-to-back, so a stalled server silently slows the request stream and
+// hides its own queueing delay — the open loop owns the arrival schedule:
+// operation i has an *intended* start time fixed by the arrival process,
+// and its recorded latency runs from that intended start to completion.
+// When the server falls behind, operations queue and the wait is charged
+// to the measurement, exactly as real clients would experience it.
+//
+// Logical clients are virtual: Clients streams are multiplexed over
+// Conns real pipelined connections with Depth requests in flight each, so
+// 100k+ logical clients ride on a handful of sockets. Latencies go into
+// bounded log-bucketed histograms, keeping memory flat over arbitrarily
+// long runs.
+type OpenLoop struct {
+	// Rate is the offered load in operations per second. Required.
+	Rate float64
+	// Arrival selects the arrival process: ArrivalConstant (default) or
+	// ArrivalPoisson.
+	Arrival string
+	// Seed makes the arrival schedule and any per-worker randomness
+	// deterministic.
+	Seed int64
+	// Clients is the number of logical client streams; operation seq is
+	// attributed to stream seq mod Clients. Defaults to Conns*Depth.
+	Clients int
+	// Conns is the number of real connections (default 1); Depth is the
+	// per-connection pipeline depth (default 16). Conns*Depth bounds the
+	// operations actually in flight.
+	Conns int
+	Depth int
+	// Backlog bounds the queue of scheduled-but-unissued operations
+	// (default 65536). A full backlog blocks the dispatcher; intended
+	// times are schedule-derived, so accounting stays correct.
+	Backlog int
+	// Dial opens one connection; it should set the connection's
+	// MaxInFlight to at least Depth.
+	Dial func() (*client.Client, error)
+}
+
+// OpenOp issues one operation. seq is the globally unique operation index
+// and lc the logical client it is attributed to.
+type OpenOp func(ctx context.Context, c *client.Client, seq int64, lc int) error
+
+// OpenResult reports one open-loop run (one scenario phase).
+type OpenResult struct {
+	Requested int64
+	Issued    int64
+	Errors    int64
+	Elapsed   time.Duration
+	// OfferedRate is the configured arrival rate; AchievedRate is
+	// successful operations per wall-clock second. A large gap means the
+	// server (or the generator, see MaxGenLag) could not keep up.
+	OfferedRate  float64
+	AchievedRate float64
+	// MaxGenLag is the maximum lateness of the dispatcher itself against
+	// the arrival schedule — generator health, not server latency. If it
+	// rivals the percentiles, the generator was the bottleneck and the
+	// run is suspect.
+	MaxGenLag time.Duration
+	// Latencies are measured from intended start to completion
+	// (coordinated-omission-correct), at histogram resolution.
+	Latencies metrics.Distribution
+}
+
+type openToken struct {
+	seq      int64
+	intended time.Time
+}
+
+// Run issues totalOps operations against the arrival schedule. makeOp is
+// called once per worker (Conns*Depth workers), so ops can keep
+// worker-local state; pass a constant factory when none is needed.
+// Cancelling ctx stops dispatching; already-scheduled operations drain
+// with whatever error the op returns.
+func (o *OpenLoop) Run(ctx context.Context, totalOps int64, makeOp func(worker int) OpenOp) (OpenResult, error) {
+	if o.Dial == nil {
+		return OpenResult{}, fmt.Errorf("workload: OpenLoop.Dial is required")
+	}
+	if totalOps <= 0 {
+		return OpenResult{}, fmt.Errorf("workload: totalOps %d must be positive", totalOps)
+	}
+	arrival, err := NewArrival(o.Arrival, o.Rate, o.Seed)
+	if err != nil {
+		return OpenResult{}, err
+	}
+	conns := o.Conns
+	if conns < 1 {
+		conns = 1
+	}
+	depth := o.Depth
+	if depth < 1 {
+		depth = 16
+	}
+	workers := conns * depth
+	clients := o.Clients
+	if clients < 1 {
+		clients = workers
+	}
+	backlog := o.Backlog
+	if backlog <= 0 {
+		backlog = 65536
+	}
+
+	cs := make([]*client.Client, conns)
+	for i := range cs {
+		c, err := o.Dial()
+		if err != nil {
+			for _, pc := range cs[:i] {
+				pc.Close()
+			}
+			return OpenResult{}, fmt.Errorf("workload: dial conn %d: %w", i, err)
+		}
+		cs[i] = c
+	}
+	defer func() {
+		for _, c := range cs {
+			c.Close()
+		}
+	}()
+
+	tokens := make(chan openToken, backlog)
+	var genLag atomic.Int64
+	start := time.Now()
+
+	// Dispatcher: sleep coarsely until just before each intended start and
+	// emit the token up to ~1ms early; the issuing worker does the final
+	// precise wait. This keeps the single dispatcher goroutine off the
+	// spin path at high rates while intended times stay schedule-exact.
+	go func() {
+		defer close(tokens)
+		for seq := int64(0); seq < totalOps; seq++ {
+			intended := start.Add(arrival.Next())
+			if until := time.Until(intended); until > time.Millisecond {
+				time.Sleep(until - 500*time.Microsecond)
+			} else if until < 0 {
+				// Emitting late: the generator itself fell behind the
+				// schedule (backlog full or extreme rate).
+				if lag := int64(-until); lag > genLag.Load() {
+					genLag.Store(lag)
+				}
+			}
+			select {
+			case tokens <- openToken{seq: seq, intended: intended}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	type workerResult struct {
+		issued, errs int64
+		lat          metrics.HistRecorder
+		_            [40]byte // pad to a cache line; workers write concurrently
+	}
+	results := make([]workerResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := cs[w/depth] // depth workers share each pipelined connection
+			op := makeOp(w)
+			res := &results[w]
+			for tok := range tokens {
+				// Final precise wait for tokens emitted early: coarse sleep
+				// down to ~100µs, then a short yield spin, bounded and
+				// spread across the worker pool.
+				for {
+					until := time.Until(tok.intended)
+					if until <= 0 {
+						break
+					}
+					if until > 200*time.Microsecond {
+						time.Sleep(until - 100*time.Microsecond)
+					} else {
+						runtime.Gosched()
+					}
+				}
+				err := op(ctx, c, tok.seq, int(tok.seq%int64(clients)))
+				res.lat.Record(time.Since(tok.intended))
+				res.issued++
+				if err != nil {
+					res.errs++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := OpenResult{
+		Requested:   totalOps,
+		Elapsed:     elapsed,
+		OfferedRate: o.Rate,
+		MaxGenLag:   time.Duration(genLag.Load()),
+	}
+	var merged metrics.HistRecorder
+	for i := range results {
+		out.Issued += results[i].issued
+		out.Errors += results[i].errs
+		merged.Merge(&results[i].lat)
+	}
+	out.AchievedRate = metrics.Rate(int(out.Issued-out.Errors), elapsed)
+	out.Latencies = merged.Distribution()
+	return out, nil
+}

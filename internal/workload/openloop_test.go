@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/metrics"
+)
+
+func openLoopDeployment(t *testing.T) func() (*client.Client, error) {
+	t.Helper()
+	dep := newDeployment(t)
+	return func() (*client.Client, error) { return dep.Dial("lrc") }
+}
+
+func constOp(op OpenOp) func(int) OpenOp {
+	return func(int) OpenOp { return op }
+}
+
+func TestOpenLoopIssuesAllOps(t *testing.T) {
+	dial := openLoopDeployment(t)
+	eng := &OpenLoop{Rate: 20_000, Conns: 2, Depth: 8, Dial: dial}
+	var seqs sync.Map
+	res, err := eng.Run(ctx, 500, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+		if _, dup := seqs.LoadOrStore(seq, true); dup {
+			t.Errorf("sequence %d issued twice", seq)
+		}
+		return c.Ping(ctx)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 500 || res.Requested != 500 || res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Latencies.N != 500 {
+		t.Fatalf("latency samples = %d", res.Latencies.N)
+	}
+	if res.AchievedRate <= 0 || res.OfferedRate != 20_000 {
+		t.Fatalf("rates = %+v", res)
+	}
+}
+
+func TestOpenLoopLogicalClientAttribution(t *testing.T) {
+	dial := openLoopDeployment(t)
+	const clients = 100_000
+	eng := &OpenLoop{Rate: 50_000, Conns: 1, Depth: 4, Clients: clients, Dial: dial}
+	var maxLC atomic.Int64
+	res, err := eng.Run(ctx, 300, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+		if lc < 0 || lc >= clients {
+			t.Errorf("logical client %d out of range", lc)
+		}
+		if int64(lc) > maxLC.Load() {
+			maxLC.Store(int64(lc))
+		}
+		if int64(lc) != seq%clients {
+			t.Errorf("op %d attributed to %d", seq, lc)
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 300 {
+		t.Fatalf("issued %d", res.Issued)
+	}
+}
+
+// TestOpenLoopCoordinatedOmission is the regression test for the
+// engine's reason to exist: a server stall must surface in the recorded
+// percentiles. One operation blocks the single connection's worker for
+// 300ms at a 100/s offered rate; the ~30 operations scheduled during the
+// stall queue up, and because latency runs from *intended* start, they
+// record the wait. A closed-loop (service-time) measurement of the same
+// run sees one slow op and a fast tail — the exact lie this engine fixes.
+func TestOpenLoopCoordinatedOmission(t *testing.T) {
+	dial := openLoopDeployment(t)
+	const stall = 300 * time.Millisecond
+	var service metrics.LatencyRecorder
+	var mu sync.Mutex
+	eng := &OpenLoop{Rate: 100, Arrival: ArrivalConstant, Conns: 1, Depth: 1, Dial: dial}
+	res, err := eng.Run(ctx, 100, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+		begin := time.Now()
+		if seq == 5 {
+			time.Sleep(stall)
+		}
+		mu.Lock()
+		service.Record(time.Since(begin))
+		mu.Unlock()
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 100 {
+		t.Fatalf("issued %d ops", res.Issued)
+	}
+	// Service time hides the queue: only 1 op in 100 is slow, so the
+	// service p95 stays tiny.
+	if sd := service.Distribution(); sd.P95 > stall/3 {
+		t.Fatalf("service p95 = %v — stall leaked into more than one op", sd.P95)
+	}
+	// The open-loop measurement must charge the queueing delay: dozens of
+	// ops were due during the stall, inflating p95 (and p99) well past the
+	// service-time view.
+	if res.Latencies.P95 < stall/3 {
+		t.Fatalf("open-loop p95 = %v, want >= %v: stall hidden (coordinated omission)",
+			res.Latencies.P95, stall/3)
+	}
+	if res.Latencies.P99 < res.Latencies.P95 {
+		t.Fatalf("p99 %v < p95 %v", res.Latencies.P99, res.Latencies.P95)
+	}
+}
+
+func TestOpenLoopConfigErrors(t *testing.T) {
+	dial := openLoopDeployment(t)
+	if _, err := (&OpenLoop{Rate: 100}).Run(ctx, 10, constOp(nil)); err == nil {
+		t.Fatal("missing Dial accepted")
+	}
+	if _, err := (&OpenLoop{Rate: 0, Dial: dial}).Run(ctx, 10, constOp(nil)); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := (&OpenLoop{Rate: 100, Dial: dial}).Run(ctx, 0, constOp(nil)); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+	if _, err := (&OpenLoop{Rate: 100, Arrival: "bogus", Dial: dial}).Run(ctx, 1, constOp(nil)); err == nil {
+		t.Fatal("bogus arrival accepted")
+	}
+}
+
+func TestOpenLoopCountsErrors(t *testing.T) {
+	dial := openLoopDeployment(t)
+	eng := &OpenLoop{Rate: 10_000, Dial: dial}
+	res, err := eng.Run(ctx, 200, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+		if seq%4 == 0 {
+			return context.DeadlineExceeded
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 50 || res.Issued != 200 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestOpenLoopCancellation(t *testing.T) {
+	dial := openLoopDeployment(t)
+	cctx, cancel := context.WithCancel(context.Background())
+	eng := &OpenLoop{Rate: 50, Conns: 1, Depth: 1, Dial: dial} // 20ms per op schedule
+	done := make(chan struct{})
+	var res OpenResult
+	go func() {
+		defer close(done)
+		res, _ = eng.Run(cctx, 1_000_000, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+			return nil
+		}))
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run did not finish")
+	}
+	if res.Issued >= 1_000_000 || res.Issued == 0 {
+		t.Fatalf("issued %d ops after early cancel", res.Issued)
+	}
+}

@@ -1,0 +1,320 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/client"
+)
+
+// OpMix weights the operation types of a phase. Weights need not sum to 1;
+// they are normalized. Deletes target a key the issuing worker previously
+// created in the same phase and fall back to a query when none is pending,
+// so a delete-heavy mix can never race another worker's registrations.
+type OpMix struct {
+	Query  float64
+	Add    float64
+	Delete float64
+}
+
+// Tenant is one slice of a multi-tenant phase: Weight is its share of the
+// arrival stream, Theta its key-popularity skew. Tenants partition the
+// preloaded catalog into contiguous ranges.
+type Tenant struct {
+	Name   string
+	Weight float64
+	Theta  float64
+}
+
+// Phase is one open-loop traffic segment: a rate, an arrival process, an
+// operation mix, and a key-popularity skew, sustained for Duration.
+type Phase struct {
+	Name string
+	// Rate is the offered load (ops/second); Duration how long to sustain
+	// it. The phase issues Rate*Duration operations.
+	Rate     float64
+	Duration time.Duration
+	// Arrival is ArrivalConstant or ArrivalPoisson (default constant).
+	Arrival string
+	Mix     OpMix
+	// Theta is the Zipf skew of query-key popularity; 0 = uniform. Ignored
+	// for tenants-carrying scenarios, where each tenant has its own.
+	Theta float64
+}
+
+// ops returns the operation count the phase issues.
+func (ph Phase) ops() int64 {
+	n := int64(ph.Rate * ph.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Scenario is a named sequence of phases, optionally multi-tenant.
+type Scenario struct {
+	Name   string
+	Phases []Phase
+	// Tenants, when non-empty, partition the catalog and the arrival
+	// stream across tenants in every phase.
+	Tenants []Tenant
+}
+
+// ---- predefined scenarios ----
+//
+// These are the production-grid workload shapes the EU DataGrid services
+// experience reports motivate: steady skewed query load, flash crowds
+// after a popular dataset announcement, mass registration storms (a new
+// data-taking run), replica churn (migrations), and multi-tenant mixes.
+
+// SteadyState is Poisson-arrival query traffic with Zipf-skewed keys — the
+// baseline an RLS serves between events.
+func SteadyState(rate float64, dur time.Duration, theta float64) Scenario {
+	return Scenario{
+		Name: "steady-state",
+		Phases: []Phase{
+			{Name: "steady", Rate: rate, Duration: dur, Arrival: ArrivalPoisson,
+				Mix: OpMix{Query: 1}, Theta: theta},
+		},
+	}
+}
+
+// FlashCrowd steps the query rate to peak and back: warm baseline, a
+// step burst at peak (constant arrivals — the worst case for queueing),
+// then a cool-down at the baseline rate.
+func FlashCrowd(base, peak float64, warm, spike, cool time.Duration, theta float64) Scenario {
+	return Scenario{
+		Name: "flash-crowd",
+		Phases: []Phase{
+			{Name: "warm", Rate: base, Duration: warm, Arrival: ArrivalPoisson,
+				Mix: OpMix{Query: 1}, Theta: theta},
+			{Name: "spike", Rate: peak, Duration: spike, Arrival: ArrivalConstant,
+				Mix: OpMix{Query: 1}, Theta: theta},
+			{Name: "cool", Rate: base, Duration: cool, Arrival: ArrivalPoisson,
+				Mix: OpMix{Query: 1}, Theta: theta},
+		},
+	}
+}
+
+// RegistrationStorm is the mass-registration burst of a new data-taking
+// run: add-dominated traffic with a trickle of queries checking the new
+// entries.
+func RegistrationStorm(rate float64, dur time.Duration) Scenario {
+	return Scenario{
+		Name: "registration-storm",
+		Phases: []Phase{
+			{Name: "storm", Rate: rate, Duration: dur, Arrival: ArrivalPoisson,
+				Mix: OpMix{Add: 0.9, Query: 0.1}},
+		},
+	}
+}
+
+// ReplicaChurn models replica migration: balanced adds and deletes over a
+// steady query background — a catalog rebuilding itself in place.
+func ReplicaChurn(rate float64, dur time.Duration) Scenario {
+	return Scenario{
+		Name: "replica-churn",
+		Phases: []Phase{
+			{Name: "churn", Rate: rate, Duration: dur, Arrival: ArrivalPoisson,
+				Mix: OpMix{Add: 0.35, Delete: 0.35, Query: 0.3}},
+		},
+	}
+}
+
+// MultiTenant mixes three tenants with different traffic shares and key
+// skews over partitioned catalog ranges — the shared-catalog deployment
+// pattern where one hot experiment must not starve the others.
+func MultiTenant(rate float64, dur time.Duration) Scenario {
+	return Scenario{
+		Name: "multi-tenant",
+		Phases: []Phase{
+			{Name: "mix", Rate: rate, Duration: dur, Arrival: ArrivalPoisson,
+				Mix: OpMix{Query: 0.8, Add: 0.15, Delete: 0.05}},
+		},
+		Tenants: []Tenant{
+			{Name: "hot", Weight: 0.6, Theta: 0.95},
+			{Name: "warm", Weight: 0.3, Theta: 0.6},
+			{Name: "batch", Weight: 0.1, Theta: 0},
+		},
+	}
+}
+
+// ScenarioNames lists the names ScenarioByName accepts, sorted.
+func ScenarioNames() []string {
+	names := []string{"steady", "flash", "storm", "churn", "tenants"}
+	sort.Strings(names)
+	return names
+}
+
+// ScenarioByName builds a predefined scenario at the given aggregate rate
+// and per-phase duration — the CLI entry point.
+func ScenarioByName(name string, rate float64, dur time.Duration) (Scenario, error) {
+	switch name {
+	case "steady":
+		return SteadyState(rate, dur, 0.9), nil
+	case "flash":
+		return FlashCrowd(rate, 4*rate, dur, dur/2, dur, 0.9), nil
+	case "storm":
+		return RegistrationStorm(rate, dur), nil
+	case "churn":
+		return ReplicaChurn(rate, dur), nil
+	case "tenants":
+		return MultiTenant(rate, dur), nil
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q (want one of %v)", name, ScenarioNames())
+}
+
+// ScenarioConfig carries the environment a scenario runs against.
+type ScenarioConfig struct {
+	// Gen names the keys; Catalog is the preloaded catalog size queries
+	// draw from (must be loaded beforehand, e.g. with Load).
+	Gen     Names
+	Catalog int
+	// FreshBase is the first unused name index for registrations; defaults
+	// to Catalog. Every operation reserves one index, so concurrent and
+	// multi-phase writes never collide.
+	FreshBase int
+	// Clients, Conns, Depth, Seed, Backlog configure the open-loop engine
+	// (see OpenLoop).
+	Clients int
+	Conns   int
+	Depth   int
+	Seed    int64
+	Backlog int
+	// Dial opens one pipelined connection.
+	Dial func() (*client.Client, error)
+}
+
+// PhaseResult pairs a phase with its measured open-loop result.
+type PhaseResult struct {
+	Phase  Phase
+	Result OpenResult
+}
+
+// RunScenario executes the scenario's phases in order against one server,
+// returning per-phase open-loop results. Registrations across phases use
+// disjoint fresh key ranges; queries draw Zipf-ranked keys from the
+// preloaded catalog (per tenant range when tenants are configured).
+func RunScenario(ctx context.Context, sc Scenario, cfg ScenarioConfig) ([]PhaseResult, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("workload: ScenarioConfig.Dial is required")
+	}
+	if cfg.Catalog < 1 {
+		return nil, fmt.Errorf("workload: scenario needs a preloaded catalog (Catalog = %d)", cfg.Catalog)
+	}
+	freshBase := int64(cfg.FreshBase)
+	if freshBase == 0 {
+		freshBase = int64(cfg.Catalog)
+	}
+	tenants := sc.Tenants
+	if len(tenants) == 0 {
+		tenants = []Tenant{{Name: "all", Weight: 1}}
+	}
+	var results []PhaseResult
+	for pi, ph := range sc.Phases {
+		eng := &OpenLoop{
+			Rate:    ph.Rate,
+			Arrival: ph.Arrival,
+			Seed:    cfg.Seed + int64(pi),
+			Clients: cfg.Clients,
+			Conns:   cfg.Conns,
+			Depth:   cfg.Depth,
+			Backlog: cfg.Backlog,
+			Dial:    cfg.Dial,
+		}
+		ops := ph.ops()
+		base := freshBase
+		res, err := eng.Run(ctx, ops, phaseOpFactory(ph, sc, tenants, cfg, base, pi))
+		if err != nil {
+			return nil, fmt.Errorf("workload: scenario %s phase %s: %w", sc.Name, ph.Name, err)
+		}
+		freshBase += ops
+		results = append(results, PhaseResult{Phase: ph, Result: res})
+	}
+	return results, nil
+}
+
+// phaseOpFactory builds the per-worker operation for one phase: weighted
+// op-mix choice, tenant selection, Zipf key ranks within the tenant's
+// catalog slice, fresh unique keys for adds, and worker-local pending-key
+// state for deletes.
+func phaseOpFactory(ph Phase, sc Scenario, tenants []Tenant, cfg ScenarioConfig, freshBase int64, phaseIdx int) func(worker int) OpenOp {
+	total := ph.Mix.Query + ph.Mix.Add + ph.Mix.Delete
+	if total <= 0 {
+		total = 1
+		ph.Mix.Query = 1
+	}
+	var weightSum float64
+	for _, tn := range tenants {
+		weightSum += tn.Weight
+	}
+	// Contiguous catalog slice per tenant, proportional to weight.
+	slices := make([]struct{ lo, n int }, len(tenants))
+	lo := 0
+	for i, tn := range tenants {
+		n := int(float64(cfg.Catalog) * tn.Weight / weightSum)
+		if n < 1 {
+			n = 1
+		}
+		if i == len(tenants)-1 {
+			n = cfg.Catalog - lo // last tenant absorbs rounding
+		}
+		slices[i] = struct{ lo, n int }{lo, n}
+		lo += n
+	}
+
+	return func(worker int) OpenOp {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(phaseIdx)<<32 ^ int64(worker)<<16))
+		zipfs := make([]*Zipf, len(tenants))
+		theta := func(i int) float64 {
+			if len(sc.Tenants) > 0 {
+				return tenants[i].Theta
+			}
+			return ph.Theta
+		}
+		for i := range tenants {
+			zipfs[i] = NewZipf(rand.New(rand.NewSource(rng.Int63())), slices[i].n, theta(i))
+		}
+		pickTenant := func() int {
+			x := rng.Float64() * weightSum
+			for i, tn := range tenants {
+				if x -= tn.Weight; x < 0 {
+					return i
+				}
+			}
+			return len(tenants) - 1
+		}
+		pending := int64(-1) // last key this worker created, not yet deleted
+		gen := cfg.Gen
+		query := func(ctx context.Context, c *client.Client) error {
+			t := pickTenant()
+			key := slices[t].lo + zipfs[t].Next()
+			_, err := c.GetTargets(ctx, gen.Logical(key))
+			return err
+		}
+		return func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+			x := rng.Float64() * total
+			switch {
+			case x < ph.Mix.Add:
+				key := freshBase + seq // every op reserves an index: unique
+				if err := c.CreateMapping(ctx, gen.Logical(int(key)), gen.Target(int(key), 0)); err != nil {
+					return err
+				}
+				pending = key
+				return nil
+			case x < ph.Mix.Add+ph.Mix.Delete:
+				if pending < 0 {
+					return query(ctx, c) // nothing of ours to delete yet
+				}
+				key := pending
+				pending = -1
+				return c.DeleteMapping(ctx, gen.Logical(int(key)), gen.Target(int(key), 0))
+			default:
+				return query(ctx, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+func scenarioEnv(t *testing.T, catalog int) (*core.Deployment, ScenarioConfig) {
+	t.Helper()
+	dep := newDeployment(t)
+	gen := Names{Space: "scen"}
+	c, err := dep.Dial("lrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(ctx, c, gen, catalog, 500); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	cfg := ScenarioConfig{
+		Gen:     gen,
+		Catalog: catalog,
+		Clients: 100_000,
+		Conns:   2,
+		Depth:   8,
+		Seed:    11,
+		Dial: func() (*client.Client, error) {
+			return dep.Dial("lrc", core.DialOptions{MaxInFlight: 8})
+		},
+	}
+	return dep, cfg
+}
+
+func TestScenarioBuilders(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		sc, err := ScenarioByName(name, 1000, time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Name == "" || len(sc.Phases) == 0 {
+			t.Fatalf("%s built empty scenario %+v", name, sc)
+		}
+		for _, ph := range sc.Phases {
+			if ph.Rate <= 0 || ph.ops() < 1 {
+				t.Fatalf("%s phase %s has rate %v", name, ph.Name, ph.Rate)
+			}
+		}
+	}
+	if _, err := ScenarioByName("nope", 1, time.Second); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if fc, _ := ScenarioByName("flash", 100, time.Second); len(fc.Phases) != 3 ||
+		fc.Phases[1].Rate <= fc.Phases[0].Rate {
+		t.Fatalf("flash crowd shape wrong: %+v", fc.Phases)
+	}
+}
+
+func TestRunScenarioSteadyState(t *testing.T) {
+	_, cfg := scenarioEnv(t, 1000)
+	sc := SteadyState(5000, 100*time.Millisecond, 0.9)
+	results, err := RunScenario(ctx, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("%d phase results", len(results))
+	}
+	r := results[0].Result
+	if r.Issued != r.Requested || r.Issued < 400 {
+		t.Fatalf("issued %d of %d", r.Issued, r.Requested)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("%d errors", r.Errors)
+	}
+	if r.Latencies.N != int(r.Issued) {
+		t.Fatalf("recorded %d latencies for %d ops", r.Latencies.N, r.Issued)
+	}
+}
+
+// TestRunScenarioChurnNoCollisions is the cross-phase/cross-worker key
+// uniqueness contract: storms and churn write fresh keys, deletes only
+// touch keys their own worker created, so no op ever errors.
+func TestRunScenarioChurnNoCollisions(t *testing.T) {
+	dep, cfg := scenarioEnv(t, 500)
+	sc := Scenario{
+		Name: "churn-test",
+		Phases: []Phase{
+			{Name: "p1", Rate: 3000, Duration: 100 * time.Millisecond, Mix: OpMix{Add: 0.5, Delete: 0.5}},
+			{Name: "p2", Rate: 3000, Duration: 100 * time.Millisecond, Mix: OpMix{Add: 0.5, Delete: 0.5}},
+		},
+	}
+	results, err := RunScenario(ctx, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var issued, errs int64
+	for _, pr := range results {
+		issued += pr.Result.Issued
+		errs += pr.Result.Errors
+	}
+	if errs != 0 {
+		t.Fatalf("%d/%d churn ops errored — key collision across workers or phases", errs, issued)
+	}
+	// The preloaded catalog itself must be intact (deletes never touched it).
+	c, _ := dep.Dial("lrc")
+	defer c.Close()
+	urls, err := c.GetTargets(ctx, cfg.Gen.Logical(0))
+	if err != nil || len(urls) == 0 {
+		t.Fatalf("catalog key 0 gone after churn: %v %v", urls, err)
+	}
+}
+
+func TestRunScenarioMultiTenant(t *testing.T) {
+	_, cfg := scenarioEnv(t, 900)
+	sc := MultiTenant(4000, 100*time.Millisecond)
+	results, err := RunScenario(ctx, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Result.Errors != 0 {
+		t.Fatalf("%d errors", results[0].Result.Errors)
+	}
+}
+
+func TestRunScenarioConfigErrors(t *testing.T) {
+	if _, err := RunScenario(context.Background(), SteadyState(10, time.Millisecond, 0), ScenarioConfig{Catalog: 10}); err == nil {
+		t.Fatal("missing Dial accepted")
+	}
+	_, cfg := scenarioEnv(t, 100)
+	cfg.Catalog = 0
+	if _, err := RunScenario(context.Background(), SteadyState(10, time.Millisecond, 0), cfg); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+}

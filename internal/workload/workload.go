@@ -9,6 +9,7 @@ package workload
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -102,7 +103,23 @@ type Driver struct {
 // Run issues totalOps operations spread across all threads. Each thread
 // executes op with globally unique sequence numbers. The measured rate
 // counts successful operations over the wall-clock span of the whole run.
+//
+// Exactly totalOps operations are issued: the remainder of totalOps over
+// the worker count is spread one extra op per leading worker (an earlier
+// version silently dropped it, so a 1000-op run at 48 workers issued only
+// 960 ops). When totalOps is below the worker count it is rounded up so
+// every worker issues at least one op; the round-up is logged at debug
+// level and visible in Result.Ops.
 func (d *Driver) Run(ctx context.Context, totalOps int, op Op) (Result, error) {
+	return d.RunFactory(ctx, totalOps, func(int) Op { return op })
+}
+
+// RunFactory is Run with a per-worker operation factory: makeOp(worker) is
+// called once for each of the Clients*ThreadsPerClient*Pipeline workers, so
+// the returned Op can close over worker-local state (e.g. the last key this
+// worker created, for create-then-delete mixes). Each worker receives a
+// contiguous, globally unique sequence range.
+func (d *Driver) RunFactory(ctx context.Context, totalOps int, makeOp func(worker int) Op) (Result, error) {
 	threads := d.Clients * d.ThreadsPerClient
 	if threads <= 0 {
 		return Result{}, fmt.Errorf("workload: no threads configured")
@@ -113,9 +130,12 @@ func (d *Driver) Run(ctx context.Context, totalOps int, op Op) (Result, error) {
 	}
 	workers := threads * depth
 	if totalOps < workers {
+		slog.Debug("workload: rounding op count up to one per worker",
+			"requested", totalOps, "workers", workers)
 		totalOps = workers
 	}
 	perWorker := totalOps / workers
+	remainder := totalOps % workers // first `remainder` workers run one extra op
 
 	conns := make([]*client.Client, threads)
 	for i := range conns {
@@ -141,13 +161,18 @@ func (d *Driver) Run(ctx context.Context, totalOps int, op Op) (Result, error) {
 	results := make([]threadResult, workers)
 	var wg sync.WaitGroup
 	start := time.Now()
+	base := 0
 	for w := 0; w < workers; w++ {
+		count := perWorker
+		if w < remainder {
+			count++
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w, base, count int) {
 			defer wg.Done()
 			c := conns[w/depth] // depth workers share each connection
-			base := w * perWorker
-			for i := 0; i < perWorker; i++ {
+			op := makeOp(w)
+			for i := 0; i < count; i++ {
 				opStart := time.Now()
 				err := op(ctx, c, base+i)
 				results[w].lat.Record(time.Since(opStart))
@@ -157,7 +182,8 @@ func (d *Driver) Run(ctx context.Context, totalOps int, op Op) (Result, error) {
 					results[w].ok++
 				}
 			}
-		}(w)
+		}(w, base, count)
+		base += count
 	}
 	wg.Wait()
 	elapsed := time.Since(start)

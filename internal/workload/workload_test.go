@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/client"
@@ -116,6 +118,105 @@ func TestDriverRunCountsOpsAndRate(t *testing.T) {
 	info, _ := c.ServerInfo(ctx)
 	if info.LogicalNames != 600 {
 		t.Fatalf("LogicalNames = %d", info.LogicalNames)
+	}
+}
+
+// TestDriverRunIssuesExactCount is the regression test for the remainder
+// drop: totalOps %% workers used to be silently discarded (1000 ops over 48
+// workers issued only 960).
+func TestDriverRunIssuesExactCount(t *testing.T) {
+	dep := newDeployment(t)
+	g := Names{Space: "rem"}
+	d := &Driver{
+		Clients:          8,
+		ThreadsPerClient: 6, // 48 workers; 1000 % 48 = 40
+		Dial:             func() (*client.Client, error) { return dep.Dial("lrc") },
+	}
+	res, err := d.Run(ctx, 1000, func(ctx context.Context, c *client.Client, seq int) error {
+		return c.CreateMapping(ctx, g.Logical(seq), g.Target(seq, 0))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops+res.Errors != 1000 {
+		t.Fatalf("issued %d ops (%d ok, %d errors), want exactly 1000",
+			res.Ops+res.Errors, res.Ops, res.Errors)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors — sequence ranges overlapped", res.Errors)
+	}
+	// The catalog must hold exactly the requested names: sequences were
+	// globally unique and every one was issued.
+	c, _ := dep.Dial("lrc")
+	defer c.Close()
+	info, err := c.ServerInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LogicalNames != 1000 {
+		t.Fatalf("LogicalNames = %d, want 1000", info.LogicalNames)
+	}
+}
+
+// TestDriverRunRoundsUpSmallRuns documents the round-up: fewer requested
+// ops than workers still issues one op per worker.
+func TestDriverRunRoundsUpSmallRuns(t *testing.T) {
+	dep := newDeployment(t)
+	d := &Driver{
+		Clients:          1,
+		ThreadsPerClient: 8,
+		Dial:             func() (*client.Client, error) { return dep.Dial("lrc") },
+	}
+	res, err := d.Run(ctx, 3, func(ctx context.Context, c *client.Client, seq int) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 8 {
+		t.Fatalf("Ops = %d, want round-up to 8 (one per worker)", res.Ops)
+	}
+}
+
+func TestDriverRunFactoryWorkerState(t *testing.T) {
+	dep := newDeployment(t)
+	var mu sync.Mutex
+	perWorker := map[int][]int{}
+	d := &Driver{
+		Clients:          2,
+		ThreadsPerClient: 2,
+		Dial:             func() (*client.Client, error) { return dep.Dial("lrc") },
+	}
+	res, err := d.RunFactory(ctx, 10, func(worker int) Op {
+		return func(ctx context.Context, c *client.Client, seq int) error {
+			mu.Lock()
+			perWorker[worker] = append(perWorker[worker], seq)
+			mu.Unlock()
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 10 {
+		t.Fatalf("Ops = %d, want 10", res.Ops)
+	}
+	seen := map[int]bool{}
+	for w, seqs := range perWorker {
+		sort.Ints(seqs)
+		for i, s := range seqs {
+			if seen[s] {
+				t.Fatalf("sequence %d issued twice", s)
+			}
+			seen[s] = true
+			// Each worker's range is contiguous.
+			if i > 0 && s != seqs[i-1]+1 {
+				t.Fatalf("worker %d range not contiguous: %v", w, seqs)
+			}
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("issued %d distinct sequences, want 10", len(seen))
 	}
 }
 

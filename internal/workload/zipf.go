@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^theta — rank 0 is the hottest key. It implements the bounded
+// zipfian generator of Gray et al. ("Quickly generating billion-record
+// synthetic databases"), the same construction YCSB uses, which supports
+// the skew range theta in [0, 1) that grid catalogs exhibit (the stdlib
+// rand.Zipf requires s > 1). theta = 0 degenerates to uniform.
+//
+// Not safe for concurrent use; keep one per worker, seeded distinctly.
+type Zipf struct {
+	n     int
+	theta float64
+	r     *rand.Rand
+
+	alpha, zetan, eta, half float64
+}
+
+// maxTheta caps the skew just under 1, where the closed form breaks down.
+const maxTheta = 0.999
+
+// NewZipf builds a generator over n ranks with skew theta, clamped to
+// [0, 0.999]. n must be positive.
+func NewZipf(r *rand.Rand, n int, theta float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if theta < 0 {
+		theta = 0
+	}
+	if theta > maxTheta {
+		theta = maxTheta
+	}
+	z := &Zipf{n: n, theta: theta, r: r}
+	if theta == 0 {
+		return z
+	}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.half = math.Pow(0.5, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - (1+z.half)/z.zetan)
+	return z
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() int {
+	if z.theta == 0 {
+		return z.r.Intn(z.n)
+	}
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	rank := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() int { return z.n }
+
+// zetaKey caches the O(n) harmonic sums: the open-loop engine builds one
+// sampler per worker per phase, and recomputing zeta(catalog) hundreds of
+// times would dominate phase setup at realistic catalog sizes.
+type zetaKey struct {
+	n     int
+	theta float64
+}
+
+var zetaCache sync.Map // zetaKey -> float64
+
+// zeta computes sum_{i=1..n} 1/i^theta, memoized.
+func zeta(n int, theta float64) float64 {
+	key := zetaKey{n, theta}
+	if v, ok := zetaCache.Load(key); ok {
+		return v.(float64)
+	}
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	zetaCache.Store(key, sum)
+	return sum
+}

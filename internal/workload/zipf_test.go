@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfBoundsAndDeterminism(t *testing.T) {
+	const n = 1000
+	z1 := NewZipf(rand.New(rand.NewSource(7)), n, 0.9)
+	z2 := NewZipf(rand.New(rand.NewSource(7)), n, 0.9)
+	for i := 0; i < 50_000; i++ {
+		r := z1.Next()
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d out of [0,%d)", r, n)
+		}
+		if r != z2.Next() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	if z1.N() != n {
+		t.Fatalf("N = %d", z1.N())
+	}
+}
+
+// TestZipfRankFrequencies checks the defining property: the frequency of
+// rank k is proportional to 1/(k+1)^theta, so freq(0)/freq(9) ~ 10^theta.
+func TestZipfRankFrequencies(t *testing.T) {
+	const n, draws, theta = 10_000, 2_000_000, 0.9
+	z := NewZipf(rand.New(rand.NewSource(1)), n, theta)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Head ranks dominate and decrease monotonically (averaged in pairs to
+	// smooth sampling noise).
+	for k := 0; k+3 < 8; k += 2 {
+		if counts[k]+counts[k+1] <= counts[k+2]+counts[k+3] {
+			t.Fatalf("rank frequencies not decreasing: counts[%d..%d] = %v",
+				k, k+3, counts[k:k+4])
+		}
+	}
+	ratio := float64(counts[0]) / float64(counts[9])
+	want := math.Pow(10, theta)
+	if ratio < want*0.85 || ratio > want*1.15 {
+		t.Fatalf("freq(0)/freq(9) = %.2f, want ~%.2f", ratio, want)
+	}
+	// A skewed stream concentrates: at theta 0.9 the top 1% of ranks carry
+	// ~zeta(100)/zeta(10000) ~ 41% of draws; uniform would give 1%.
+	var head int
+	for k := 0; k < n/100; k++ {
+		head += counts[k]
+	}
+	if frac := float64(head) / draws; frac < 0.35 || frac > 0.48 {
+		t.Fatalf("top 1%% of ranks carry %.2f of draws, want ~0.41", frac)
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	const n, draws = 100, 200_000
+	z := NewZipf(rand.New(rand.NewSource(3)), n, 0)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	want := draws / n
+	for k, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("uniform mode rank %d drawn %d times, want ~%d", k, c, want)
+		}
+	}
+}
+
+func TestZipfClampsInputs(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 0, 5.0) // n<1, theta>max
+	if z.N() != 1 {
+		t.Fatalf("N = %d, want clamp to 1", z.N())
+	}
+	if r := z.Next(); r != 0 {
+		t.Fatalf("single-rank generator drew %d", r)
+	}
+	neg := NewZipf(rand.New(rand.NewSource(1)), 10, -3)
+	for i := 0; i < 100; i++ {
+		if r := neg.Next(); r < 0 || r >= 10 {
+			t.Fatalf("negative-theta clamp broken: rank %d", r)
+		}
+	}
+}
+
+func TestZetaCached(t *testing.T) {
+	a := zeta(5000, 0.75)
+	b := zeta(5000, 0.75)
+	if a != b {
+		t.Fatalf("zeta not stable: %v != %v", a, b)
+	}
+	// Sanity: zeta(3, 1->0.999...) ~ 1 + 1/2^t + 1/3^t; at theta=0 it's n.
+	if got := zeta(4, 0); got != 4 {
+		t.Fatalf("zeta(4, 0) = %v, want 4", got)
+	}
+}

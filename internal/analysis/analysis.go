@@ -13,6 +13,17 @@
 //   - ctxcheck:   exported blocking APIs in the client/lrc/rli packages
 //     accept a context.Context first and propagate it
 //   - errcheck:   no silently discarded error results outside tests
+//   - latchcheck: table accesses through a storage transaction or view
+//     reader stay inside the declared table set, proven by string-set
+//     dataflow across helper functions
+//   - leakcheck:  goroutines spawned in the long-lived packages have a
+//     statically reachable shutdown edge
+//   - clockcheck: per-package policy against raw wall-clock reads and the
+//     global math/rand source
+//
+// The last three share an interprocedural foundation: a lazily built call
+// graph over declarations and function literals (callgraph.go) and a
+// string-set dataflow resolver (strset.go).
 //
 // Checkers report Diagnostics; the driver applies //lint:ignore directives
 // (see directives.go) and renders text or JSON.

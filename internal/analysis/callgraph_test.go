@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// findFunc returns the call-graph node of a named function in a package.
+func findFunc(t *testing.T, g *CallGraph, pkgPath, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Pkg.Path == pkgPath && n.Obj != nil && n.Obj.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %s.%s in call graph", pkgPath, name)
+	return nil
+}
+
+// paramSet resolves the string set flowing into a function's parameter
+// across every call site.
+func paramSet(t *testing.T, res *strResolver, node *FuncNode, idx int) StrSet {
+	t.Helper()
+	ft := node.Decl.Type
+	if ft.Params == nil || len(ft.Params.List) <= idx {
+		t.Fatalf("%s has no parameter %d", node.Name(), idx)
+	}
+	// Resolve via an identifier use of the parameter inside the body.
+	name := ft.Params.List[idx].Names[0].Name
+	var set StrSet
+	found := false
+	ast.Inspect(node.Body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && id.Name == name && node.Pkg.Info.Uses[id] != nil {
+			set = res.ResolveString(node, id)
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		t.Fatalf("%s: parameter %s is never used", node.Name(), name)
+	}
+	return set
+}
+
+// TestCallGraphTablePropagation pins the interprocedural dataflow latchcheck
+// is built on: table-name literals reach helper parameters across call
+// sites, helper return sets union their return statements (dropping the
+// empty string of error paths), and runtime-built names degrade to Dynamic
+// instead of being silently trusted.
+func TestCallGraphTablePropagation(t *testing.T) {
+	prog := loadFixture(t,
+		DirSpec{ImportPath: "fix/latchdb", Dir: fixtureDir("latchdb")},
+		DirSpec{ImportPath: "fix/latchbad", Dir: fixtureDir("latchbad")},
+		DirSpec{ImportPath: "fix/latchgood", Dir: fixtureDir("latchgood")},
+	)
+	g := prog.CallGraph()
+	res := newStrResolver(g)
+
+	// insertInto(tx, table) is called with tLFN and with a range variable
+	// over extraTables; the parameter set is the union of all call sites.
+	insertInto := findFunc(t, g, "fix/latchgood", "insertInto")
+	got := paramSet(t, res, insertInto, 1)
+	if got.Dynamic {
+		t.Fatalf("insertInto table param resolved Dynamic, want a bounded set")
+	}
+	want := []string{"t_lfn", "t_map", "t_pfn"}
+	if len(got.Vals) != len(want) {
+		t.Fatalf("insertInto table param = %s, want %v", got, want)
+	}
+	for i, v := range want {
+		if got.Vals[i] != v {
+			t.Fatalf("insertInto table param = %s, want %v", got, want)
+		}
+	}
+
+	// tableFor returns (tPFN, true), (tMap, true) or ("", false); the empty
+	// error-path string must be dropped from the return set.
+	viaSwitch := findFunc(t, g, "fix/latchgood", "viaSwitchHelper")
+	var tCall ast.Expr
+	ast.Inspect(viaSwitch.Body, func(x ast.Node) bool {
+		if as, ok := x.(*ast.AssignStmt); ok && len(as.Lhs) == 2 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "t" {
+				tCall = as.Lhs[0]
+				return false
+			}
+		}
+		return true
+	})
+	if tCall == nil {
+		t.Fatal("viaSwitchHelper: no `t, ok := tableFor(kind)` assignment found")
+	}
+	rset := res.ResolveString(viaSwitch, tCall)
+	if rset.Dynamic || len(rset.Vals) != 2 || rset.Vals[0] != "t_map" || rset.Vals[1] != "t_pfn" {
+		t.Fatalf("tableFor return set = %s, want {t_map, t_pfn}", rset)
+	}
+
+	// A name concatenated at runtime cannot be bounded.
+	dynAccess := findFunc(t, g, "fix/latchbad", "dynamicAccess")
+	dyn := paramSet(t, res, dynAccess, 1)
+	if !dyn.Dynamic {
+		t.Fatalf("dynamicAccess suffix param = %s, want Dynamic", dyn)
+	}
+
+	// Structural spot checks: method calls resolve to callees, go statements
+	// are recorded as spawns, and nested literals hang off their parent.
+	undeclared := findFunc(t, g, "fix/latchbad", "undeclaredViaHelper")
+	foundHelper := false
+	for _, cs := range undeclared.Calls {
+		if cs.Callee != nil && cs.Callee.Name() == "insertOrder" {
+			foundHelper = true
+		}
+	}
+	if !foundHelper {
+		t.Error("undeclaredViaHelper: call edge to insertOrder missing")
+	}
+	if callers := g.CallersOf[insertInto.Obj]; len(callers) != 2 {
+		t.Errorf("insertInto has %d recorded callers, want 2", len(callers))
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// ClockCheck enforces the deterministic-time policy: packages whose
+// behavior must be reproducible under the simulated network and the
+// open-loop benchmark schedule (netsim, workload, backoff, harness) may
+// not read the real clock or the global math/rand source directly.
+//
+//   - Raw time.Now / Sleep / After / Since / Until / Tick / NewTicker /
+//     NewTimer / AfterFunc calls are forbidden where the policy sets
+//     NoRawTime: all timing must flow through an injected
+//     repro/internal/clock.Clock, so tests and netsim can drive it, and
+//     the coordinated-omission accounting of the open-loop engine stays
+//     exact under a fake clock.
+//   - Package-level math/rand functions (rand.Intn, rand.Float64, ...)
+//     are forbidden where NoGlobalRand is set: they draw from the global,
+//     unseeded source, which breaks run-to-run reproducibility of arrival
+//     schedules, Zipf draws, jitter and fault injection. Constructors
+//     (rand.New, rand.NewSource, rand.NewZipf) and methods on an explicit
+//     *rand.Rand are fine — those are the seeded path.
+//
+// time.Duration arithmetic, time.Time values and duration constants are
+// unaffected; only the listed calls read ambient nondeterminism.
+type ClockCheck struct {
+	// Policies maps package import paths to the policy enforced there.
+	Policies map[string]ClockPolicy
+}
+
+// ClockPolicy is the per-package determinism contract.
+type ClockPolicy struct {
+	// NoRawTime forbids wall-clock reads and sleeps outside internal/clock.
+	NoRawTime bool
+	// NoGlobalRand forbids the global math/rand source.
+	NoGlobalRand bool
+}
+
+// DefaultClockCheck is the policy table for this repo.
+func DefaultClockCheck() ClockCheck {
+	return ClockCheck{Policies: map[string]ClockPolicy{
+		"repro/internal/netsim":   {NoRawTime: true, NoGlobalRand: true},
+		"repro/internal/workload": {NoRawTime: true, NoGlobalRand: true},
+		"repro/internal/backoff":  {NoRawTime: true, NoGlobalRand: true},
+		"repro/internal/harness":  {NoRawTime: true, NoGlobalRand: true},
+	}}
+}
+
+// Name implements Checker.
+func (ClockCheck) Name() string { return "clockcheck" }
+
+// forbiddenTimeFuncs are the package time functions that read or wait on
+// the ambient wall clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+// allowedRandFuncs are the math/rand package-level constructors that build
+// explicitly seeded sources.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"NewPCG":    true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// Check implements Checker.
+func (c ClockCheck) Check(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	g := prog.CallGraph()
+	for _, node := range g.Nodes {
+		policy, ok := c.Policies[node.Pkg.Path]
+		if !ok {
+			continue
+		}
+		for _, cs := range node.Calls {
+			if cs.Callee == nil {
+				continue
+			}
+			name := cs.Callee.Name()
+			switch pkgPathOf(cs.Callee) {
+			case "time":
+				if policy.NoRawTime && recvTypeString(cs.Callee) == "" && forbiddenTimeFuncs[name] {
+					diags = append(diags, Diagnostic{
+						Pos: prog.Fset.Position(cs.Call.Pos()),
+						Message: fmt.Sprintf("raw time.%s breaks the deterministic-time policy of %s; route timing through an injected clock (repro/internal/clock)",
+							name, node.Pkg.Path),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if policy.NoGlobalRand && recvTypeString(cs.Callee) == "" && !allowedRandFuncs[name] {
+					diags = append(diags, Diagnostic{
+						Pos: prog.Fset.Position(cs.Call.Pos()),
+						Message: fmt.Sprintf("global rand.%s draws from the unseeded process-wide source; use a rand.Rand seeded from configuration (reproducibility policy of %s)",
+							name, node.Pkg.Path),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}

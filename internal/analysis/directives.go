@@ -8,17 +8,19 @@ import (
 
 // Suppression directives. Two forms are understood:
 //
-//	//lint:ignore <checker> <reason>
-//	//lint:file-ignore <checker> <reason>
+//	//lint:ignore <checker>[,<checker>...] <reason>
+//	//lint:file-ignore <checker>[,<checker>...] <reason>
 //
-// The line form suppresses diagnostics of the named checker on the
+// The line form suppresses diagnostics of the named checkers on the
 // directive's own line (trailing comment) or on the line immediately below
-// (directive on its own line). The file form suppresses the checker for the
-// whole file and is a last resort. Both REQUIRE a non-empty reason; a
-// directive without one, with an unknown shape, or that suppresses nothing
-// is itself reported, which keeps ignores sparse and honest.
+// (directive on its own line). The file form suppresses the checkers for the
+// whole file and is a last resort. A comma-separated list waives several
+// checkers at once when one construct trips more than one invariant. Both
+// forms REQUIRE a non-empty reason; a directive without one, with an unknown
+// shape, an empty name in its checker list, or that suppresses nothing is
+// itself reported, which keeps ignores sparse and honest.
 type directive struct {
-	checker  string
+	checkers []string
 	reason   string
 	file     string
 	line     int
@@ -57,18 +59,36 @@ func parseDirective(c *ast.Comment, prog *Program) (*directive, *Diagnostic) {
 	pos := prog.Fset.Position(c.Pos())
 	fields := strings.Fields(text)
 	if len(fields) == 0 || (fields[0] != "ignore" && fields[0] != "file-ignore") {
-		return nil, &Diagnostic{Pos: pos, Checker: "lint", Message: "malformed directive: want //lint:ignore <checker> <reason> or //lint:file-ignore <checker> <reason>"}
+		return nil, &Diagnostic{Pos: pos, Checker: "lint", Message: "malformed directive: want //lint:ignore <checker>[,<checker>...] <reason> or //lint:file-ignore <checker>[,<checker>...] <reason>"}
 	}
 	if len(fields) < 3 {
 		return nil, &Diagnostic{Pos: pos, Checker: "lint", Message: "directive needs a checker name and a justification: //lint:" + fields[0] + " <checker> <reason>"}
 	}
+	var checkers []string
+	for _, name := range strings.Split(fields[1], ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, &Diagnostic{Pos: pos, Checker: "lint", Message: "directive has an empty checker name in " + fields[1]}
+		}
+		checkers = append(checkers, name)
+	}
 	return &directive{
-		checker:  fields[1],
+		checkers: checkers,
 		reason:   strings.Join(fields[2:], " "),
 		file:     pos.Filename,
 		line:     pos.Line,
 		fileWide: fields[0] == "file-ignore",
 	}, nil
+}
+
+// matches reports whether the directive names the checker.
+func (dir *directive) matches(checker string) bool {
+	for _, name := range dir.checkers {
+		if name == checker {
+			return true
+		}
+	}
+	return false
 }
 
 // applyDirectives filters suppressed diagnostics and appends a finding for
@@ -78,7 +98,7 @@ func applyDirectives(diags []Diagnostic, dirs []*directive) []Diagnostic {
 	for _, d := range diags {
 		suppressed := false
 		for _, dir := range dirs {
-			if dir.checker != d.Checker || dir.file != d.Pos.Filename {
+			if !dir.matches(d.Checker) || dir.file != d.Pos.Filename {
 				continue
 			}
 			if dir.fileWide || dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
@@ -95,7 +115,7 @@ func applyDirectives(diags []Diagnostic, dirs []*directive) []Diagnostic {
 			out = append(out, Diagnostic{
 				Pos:     positionAt(dir),
 				Checker: "lint",
-				Message: "unused //lint:ignore directive for " + dir.checker + " (nothing suppressed; remove it)",
+				Message: "unused //lint:ignore directive for " + strings.Join(dir.checkers, ",") + " (nothing suppressed; remove it)",
 			})
 		}
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -165,22 +166,70 @@ func TestWireCheckFixtures(t *testing.T) {
 	checkFixture(t, []Checker{wireFixtureCheck("wiregood")}, wireFixtureSpecs("wiregood")...)
 }
 
+func TestLatchCheckFixtures(t *testing.T) {
+	chk := LatchCheck{EngineType: "fix/latchdb.Engine"}
+	checkFixture(t, []Checker{chk},
+		DirSpec{ImportPath: "fix/latchdb", Dir: fixtureDir("latchdb")},
+		DirSpec{ImportPath: "fix/latchbad", Dir: fixtureDir("latchbad")},
+		DirSpec{ImportPath: "fix/latchgood", Dir: fixtureDir("latchgood")},
+	)
+}
+
+func TestLeakCheckFixtures(t *testing.T) {
+	chk := LeakCheck{TargetPkgs: []string{"fix/leakbad", "fix/leakgood"}}
+	checkFixture(t, []Checker{chk},
+		DirSpec{ImportPath: "fix/leakbad", Dir: fixtureDir("leakbad")},
+		DirSpec{ImportPath: "fix/leakgood", Dir: fixtureDir("leakgood")},
+	)
+}
+
+func TestClockCheckFixtures(t *testing.T) {
+	chk := ClockCheck{Policies: map[string]ClockPolicy{
+		"fix/clockbad":  {NoRawTime: true, NoGlobalRand: true},
+		"fix/clockgood": {NoRawTime: true, NoGlobalRand: true},
+	}}
+	checkFixture(t, []Checker{chk},
+		DirSpec{ImportPath: "fix/clockbad", Dir: fixtureDir("clockbad")},
+		DirSpec{ImportPath: "fix/clockgood", Dir: fixtureDir("clockgood")},
+	)
+}
+
 func TestDirectives(t *testing.T) {
 	prog := loadFixture(t, DirSpec{ImportPath: "fix/dirfix", Dir: fixtureDir("dirfix")})
 	diags := Run(prog, []Checker{ErrCheck{}})
-	var unused, missingReason int
+	var unused, missingReason, emptyName int
 	for _, d := range diags {
 		switch {
 		case strings.Contains(d.Message, "unused //lint:ignore directive for errcheck"):
 			unused++
 		case strings.Contains(d.Message, "needs a checker name and a justification"):
 			missingReason++
+		case strings.Contains(d.Message, "empty checker name"):
+			emptyName++
 		default:
 			t.Errorf("unexpected diagnostic: %s", d)
 		}
 	}
-	if unused != 1 || missingReason != 1 {
-		t.Errorf("directive diagnostics = %d unused, %d missing-reason; want 1 and 1", unused, missingReason)
+	if unused != 1 || missingReason != 1 || emptyName != 1 {
+		t.Errorf("directive diagnostics = %d unused, %d missing-reason, %d empty-name; want 1, 1 and 1",
+			unused, missingReason, emptyName)
+	}
+}
+
+func TestLoadErrorCarriesPackagePath(t *testing.T) {
+	_, err := LoadDirs([]DirSpec{{ImportPath: "fix/typeerr", Dir: fixtureDir("typeerr")}})
+	if err == nil {
+		t.Fatal("loading fix/typeerr succeeded; want a type-check failure")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %v (%T) is not a *LoadError", err, err)
+	}
+	if le.Path != "fix/typeerr" {
+		t.Errorf("LoadError.Path = %q, want fix/typeerr", le.Path)
+	}
+	if le.Unwrap() == nil {
+		t.Error("LoadError.Unwrap() = nil, want the underlying type error")
 	}
 }
 

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheck enforces goroutine lifecycle discipline in the configured
+// packages: every `go` statement must spawn a body with a statically
+// reachable shutdown edge — evidence that the goroutine can terminate or
+// signal termination. Evidence is any of:
+//
+//   - (*sync.WaitGroup).Done (typically deferred)
+//   - a channel close, send, receive, range-over-channel, or a select with
+//     a communication clause (done/quit channels, ctx.Done() receives)
+//
+// and propagates transitively: a goroutine body that calls a function
+// whose body (or nested literals) carries evidence is covered, so
+// `go s.expireLoop()` is proven by the ticker select inside expireLoop.
+// A fire-and-forget goroutine with no channel discipline at all — the
+// classic leak: `go func(){ for { poll() } }()` — is reported, as is a
+// dynamically spawned function the graph cannot see through. Waive
+// intentional detachment with //lint:ignore leakcheck <reason>.
+type LeakCheck struct {
+	// TargetPkgs are the packages whose go statements are checked.
+	TargetPkgs []string
+}
+
+// DefaultLeakCheck is the configuration for this repo: the long-lived
+// server/client/service packages plus the workload engines.
+func DefaultLeakCheck() LeakCheck {
+	return LeakCheck{TargetPkgs: []string{
+		"repro/internal/server",
+		"repro/internal/client",
+		"repro/internal/lrc",
+		"repro/internal/rli",
+		"repro/internal/workload",
+	}}
+}
+
+// Name implements Checker.
+func (LeakCheck) Name() string { return "leakcheck" }
+
+// Check implements Checker.
+func (c LeakCheck) Check(prog *Program) []Diagnostic {
+	targets := make(map[string]bool, len(c.TargetPkgs))
+	for _, p := range c.TargetPkgs {
+		targets[p] = true
+	}
+	g := prog.CallGraph()
+
+	// Pass 1: primitive shutdown evidence per node (own body only; nested
+	// literals carry their own and contribute through the lits edge below).
+	evidence := make(map[*FuncNode]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if hasPrimitiveShutdown(n) {
+			evidence[n] = true
+		}
+	}
+
+	// Pass 2: fixed point over call edges and nested-literal containment.
+	// A literal's evidence covers its parent (deferred cleanup closures);
+	// a callee's evidence covers its callers.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if evidence[n] {
+				continue
+			}
+			for _, l := range n.Lits {
+				if evidence[l] {
+					evidence[n] = true
+					changed = true
+					break
+				}
+			}
+			if evidence[n] {
+				continue
+			}
+			for _, cs := range n.Calls {
+				if cs.Callee == nil {
+					continue
+				}
+				if callee, ok := g.ByObj[cs.Callee]; ok && evidence[callee] {
+					evidence[n] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: every spawn in a target package needs a covered body.
+	var diags []Diagnostic
+	for _, n := range g.Nodes {
+		if !targets[n.Pkg.Path] {
+			continue
+		}
+		for _, spawn := range n.GoSpawns {
+			var body *FuncNode
+			switch {
+			case spawn.Lit != nil:
+				body = spawn.Lit
+			case spawn.Callee != nil:
+				body = g.ByObj[spawn.Callee]
+			}
+			if body == nil {
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(spawn.Stmt.Pos()),
+					Message: "cannot resolve the spawned function statically; goroutine lifecycle unproven (//lint:ignore leakcheck <reason> if intentional)",
+				})
+				continue
+			}
+			if !evidence[body] {
+				diags = append(diags, Diagnostic{
+					Pos:     prog.Fset.Position(spawn.Stmt.Pos()),
+					Message: "goroutine has no reachable shutdown edge (no WaitGroup.Done, channel close/send/receive, or select); tie its lifecycle to a WaitGroup, done channel or context, or //lint:ignore leakcheck <reason>",
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// hasPrimitiveShutdown scans one node's own body for direct shutdown
+// evidence.
+func hasPrimitiveShutdown(n *FuncNode) bool {
+	found := false
+	inspectOwnBody(n, func(x ast.Node) bool {
+		switch node := x.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := n.Pkg.Info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range node.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isCloseBuiltin(n.Pkg.Info, node) || isWaitGroupDone(n.Pkg.Info, node) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isCloseBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "Done" &&
+		pkgPathOf(fn) == "sync" && recvTypeString(fn) == "WaitGroup"
+}

@@ -34,13 +34,31 @@ type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
 
-	byPath map[string]*Package
+	byPath    map[string]*Package
+	callGraph *CallGraph
 }
 
 // Package returns the loaded package with the import path, or nil.
 func (p *Program) Package(path string) *Package {
 	return p.byPath[path]
 }
+
+// LoadError reports a package that failed to parse or type-check, carrying
+// the import path so callers (cmd/rls-lint) can distinguish "the lint found
+// problems" from "the lint could not even look": broken code must not
+// silently pass as clean.
+type LoadError struct {
+	// Path is the import path of the package that failed to load.
+	Path string
+	// Err is the underlying parse or type-check error.
+	Err error
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("analysis: loading %s: %v", e.Path, e.Err)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
 
 // FindModuleRoot walks up from dir to the directory holding go.mod and
 // returns it along with the declared module path.
@@ -141,7 +159,7 @@ func LoadDirs(specs []DirSpec) (*Program, error) {
 	for _, spec := range specs {
 		files, err := parseDir(fset, spec.Dir)
 		if err != nil {
-			return nil, err
+			return nil, &LoadError{Path: spec.ImportPath, Err: err}
 		}
 		if len(files) == 0 {
 			continue
@@ -176,7 +194,7 @@ func LoadDirs(specs []DirSpec) (*Program, error) {
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(path, fset, pkg.Files, info)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+			return nil, &LoadError{Path: path, Err: err}
 		}
 		pkg.Types = tpkg
 		pkg.Info = info

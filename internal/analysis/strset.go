@@ -1,0 +1,649 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// String-set dataflow over the call graph. A StrSet is the abstract value
+// of a string (or []string) expression: the finite set of constant values
+// it may hold, or Dynamic when the analysis cannot bound it. Values flow
+//
+//   - from constants and constant-folded expressions (go/constant),
+//   - through local variables (union over every assignment),
+//   - through function results (union over every return statement),
+//   - into parameters (union over every static call site's argument —
+//     context-insensitive, which over-approximates uses and declared sets
+//     alike; exact whenever a value is literal at its binding site),
+//   - out of ranged slices and slice-of-struct composite literals,
+//   - through append() and package-level slice variables.
+//
+// Empty strings are dropped from sets: they arise from error-path returns
+// (`return "", err`) and zero values, and never name a real table.
+
+// StrSet is a bounded set of possible string values.
+type StrSet struct {
+	// Dynamic marks an unbounded value; Vals is meaningless when set.
+	Dynamic bool
+	// Vals are the possible values, sorted and unique.
+	Vals []string
+}
+
+// maxStrSet bounds set growth; beyond it the value degrades to Dynamic.
+const maxStrSet = 64
+
+var dynamicSet = StrSet{Dynamic: true}
+
+func singleton(s string) StrSet {
+	if s == "" {
+		return StrSet{}
+	}
+	return StrSet{Vals: []string{s}}
+}
+
+// union merges b into a.
+func (a StrSet) union(b StrSet) StrSet {
+	if a.Dynamic || b.Dynamic {
+		return dynamicSet
+	}
+	merged := append(append([]string(nil), a.Vals...), b.Vals...)
+	sort.Strings(merged)
+	out := merged[:0]
+	for _, v := range merged {
+		if v == "" || (len(out) > 0 && out[len(out)-1] == v) {
+			continue
+		}
+		out = append(out, v)
+	}
+	if len(out) > maxStrSet {
+		return dynamicSet
+	}
+	return StrSet{Vals: out}
+}
+
+// Contains reports whether v is a possible value.
+func (a StrSet) Contains(v string) bool {
+	i := sort.SearchStrings(a.Vals, v)
+	return i < len(a.Vals) && a.Vals[i] == v
+}
+
+// SubsetOf reports whether every possible value of a is possible in b.
+// Dynamic sets are never subsets (and nothing is a subset of Dynamic —
+// callers handle Dynamic explicitly before asking).
+func (a StrSet) SubsetOf(b StrSet) bool {
+	if a.Dynamic || b.Dynamic {
+		return false
+	}
+	for _, v := range a.Vals {
+		if !b.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Minus returns the values of a not present in b.
+func (a StrSet) Minus(b StrSet) []string {
+	var out []string
+	for _, v := range a.Vals {
+		if !b.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders {a, b, c} or {dynamic}.
+func (a StrSet) String() string {
+	if a.Dynamic {
+		return "{dynamic}"
+	}
+	return "{" + strings.Join(a.Vals, ", ") + "}"
+}
+
+// memo keys: variables resolve per (object, sliceness); returns per
+// (function, result index, sliceness).
+type varKey struct {
+	obj   types.Object
+	slice bool
+}
+
+type retKey struct {
+	fn    *types.Func
+	idx   int
+	slice bool
+}
+
+// strResolver memoizes string-set resolution over one call graph.
+type strResolver struct {
+	g      *CallGraph
+	vars   map[varKey]StrSet
+	rets   map[retKey]StrSet
+	active map[any]bool
+}
+
+func newStrResolver(g *CallGraph) *strResolver {
+	return &strResolver{
+		g:      g,
+		vars:   make(map[varKey]StrSet),
+		rets:   make(map[retKey]StrSet),
+		active: make(map[any]bool),
+	}
+}
+
+// ResolveString returns the possible constant values of a string-typed
+// expression evaluated in node.
+func (r *strResolver) ResolveString(node *FuncNode, e ast.Expr) StrSet {
+	return r.resolve(node, e, false)
+}
+
+// ResolveStringSlice returns the possible element values of a
+// []string-typed expression; nil resolves to the empty set.
+func (r *strResolver) ResolveStringSlice(node *FuncNode, e ast.Expr) StrSet {
+	return r.resolve(node, e, true)
+}
+
+func (r *strResolver) resolve(node *FuncNode, e ast.Expr, slice bool) StrSet {
+	info := node.Pkg.Info
+	e = ast.Unparen(e)
+	if !slice {
+		if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return singleton(constant.StringVal(tv.Value))
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return StrSet{} // declared-nothing, not dynamic
+		}
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return r.resolveVar(node, v, slice)
+		}
+		return dynamicSet
+	case *ast.CompositeLit:
+		if !slice {
+			return dynamicSet
+		}
+		out := StrSet{}
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			out = out.union(r.resolve(node, elt, false))
+			if out.Dynamic {
+				return dynamicSet
+			}
+		}
+		return out
+	case *ast.SelectorExpr:
+		// pkg.Var qualified reference, or a field of a ranged struct slice.
+		if obj, ok := info.Uses[x.Sel].(*types.Var); ok {
+			if obj.IsField() {
+				return r.resolveStructField(node, x, obj, slice)
+			}
+			return r.resolveVar(node, obj, slice)
+		}
+		return dynamicSet
+	case *ast.CallExpr:
+		return r.resolveCall(node, x, 0, slice)
+	}
+	return dynamicSet
+}
+
+// resolveCall resolves result residx of a call expression: append() and
+// static program functions are understood, everything else is dynamic.
+func (r *strResolver) resolveCall(node *FuncNode, call *ast.CallExpr, residx int, slice bool) StrSet {
+	info := node.Pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && slice && len(call.Args) > 0 {
+				out := r.resolve(node, call.Args[0], true)
+				for i, arg := range call.Args[1:] {
+					last := i == len(call.Args)-2
+					if last && call.Ellipsis.IsValid() {
+						out = out.union(r.resolve(node, arg, true))
+					} else {
+						out = out.union(r.resolve(node, arg, false))
+					}
+				}
+				return out
+			}
+			return dynamicSet
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return dynamicSet
+	}
+	fnNode, ok := r.g.ByObj[fn]
+	if !ok {
+		return dynamicSet
+	}
+	return r.returnSet(fnNode, residx, slice)
+}
+
+// returnSet unions the possible values of a function's residx-th result
+// over every return statement.
+func (r *strResolver) returnSet(fnNode *FuncNode, residx int, slice bool) StrSet {
+	fn := fnNode.Obj
+	if fn == nil {
+		return dynamicSet
+	}
+	key := retKey{fn: fn, idx: residx, slice: slice}
+	if v, ok := r.rets[key]; ok {
+		return v
+	}
+	if r.active[key] {
+		return dynamicSet
+	}
+	r.active[key] = true
+	defer delete(r.active, key)
+
+	sig := fn.Type().(*types.Signature)
+	if residx >= sig.Results().Len() {
+		return dynamicSet
+	}
+	out := StrSet{}
+	found := false
+	inspectOwnBody(fnNode, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		found = true
+		switch {
+		case len(ret.Results) == 0:
+			// Bare return with named results: resolve the named result var.
+			res := sig.Results().At(residx)
+			out = out.union(r.resolveVar(fnNode, res, slice))
+		case len(ret.Results) == sig.Results().Len():
+			out = out.union(r.resolve(fnNode, ret.Results[residx], slice))
+		case len(ret.Results) == 1:
+			// return f() forwarding multiple results.
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				out = out.union(r.resolveCall(fnNode, call, residx, slice))
+			} else {
+				out = dynamicSet
+			}
+		default:
+			out = dynamicSet
+		}
+		return true
+	})
+	if !found {
+		out = dynamicSet
+	}
+	r.rets[key] = out
+	return out
+}
+
+// resolveVar resolves a variable: parameters union over call-site
+// arguments, locals union over assignments, package-level vars resolve
+// their initializer.
+func (r *strResolver) resolveVar(node *FuncNode, v *types.Var, slice bool) StrSet {
+	key := varKey{obj: v, slice: slice}
+	if out, ok := r.vars[key]; ok {
+		return out
+	}
+	if r.active[key] {
+		return dynamicSet
+	}
+	r.active[key] = true
+	defer delete(r.active, key)
+
+	var out StrSet
+	if owner, idx, variadic, ok := r.paramOf(node, v); ok {
+		out = r.resolveParam(owner, idx, variadic, slice)
+	} else if ownerNode, ok := r.localOwner(node, v); ok {
+		out = r.resolveLocal(ownerNode, v, slice)
+	} else if spec, specNode := r.packageVarSpec(v); spec != nil {
+		out = r.resolveValueSpec(specNode, spec, v, slice)
+	} else {
+		out = dynamicSet
+	}
+	r.vars[key] = out
+	return out
+}
+
+// paramOf reports whether v is a parameter of node or an enclosing
+// function, returning the owning node and parameter index.
+func (r *strResolver) paramOf(node *FuncNode, v *types.Var) (owner *FuncNode, idx int, variadic bool, ok bool) {
+	for n := node; n != nil; n = n.Parent {
+		var ft *ast.FuncType
+		if n.Decl != nil {
+			ft = n.Decl.Type
+		} else if n.Lit != nil {
+			ft = n.Lit.Type
+		}
+		if ft == nil || ft.Params == nil {
+			continue
+		}
+		i := 0
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if n.Pkg.Info.Defs[name] == v {
+					isVariadic := false
+					if n.Obj != nil {
+						sig := n.Obj.Type().(*types.Signature)
+						isVariadic = sig.Variadic() && i == sig.Params().Len()-1
+					} else if _, ok := field.Type.(*ast.Ellipsis); ok {
+						isVariadic = true
+					}
+					return n, i, isVariadic, true
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	return nil, 0, false, false
+}
+
+// resolveParam unions the argument values over every static call site of
+// the parameter's function. Literal parameters have no callers index and
+// resolve dynamic.
+func (r *strResolver) resolveParam(owner *FuncNode, idx int, variadic, slice bool) StrSet {
+	if owner.Obj == nil {
+		return dynamicSet
+	}
+	sites := r.g.CallersOf[owner.Obj]
+	if len(sites) == 0 {
+		return dynamicSet
+	}
+	out := StrSet{}
+	for _, cs := range sites {
+		args := cs.Call.Args
+		switch {
+		case variadic && cs.Call.Ellipsis.IsValid():
+			// f(list...) — the variadic param receives the slice itself.
+			if idx < len(args) {
+				out = out.union(r.resolve(cs.Caller, args[idx], true))
+			} else {
+				out = out.union(StrSet{})
+			}
+		case variadic:
+			// f(a, b, c) — the variadic param collects args[idx:].
+			for i := idx; i < len(args); i++ {
+				out = out.union(r.resolve(cs.Caller, args[i], false))
+			}
+		case idx < len(args):
+			out = out.union(r.resolve(cs.Caller, args[idx], slice))
+		default:
+			out = dynamicSet
+		}
+		if out.Dynamic {
+			return dynamicSet
+		}
+	}
+	return out
+}
+
+// localOwner finds the node in the enclosing chain whose body defines v.
+func (r *strResolver) localOwner(node *FuncNode, v *types.Var) (*FuncNode, bool) {
+	for n := node; n != nil; n = n.Parent {
+		found := false
+		ast.Inspect(n.Body, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && n.Pkg.Info.Defs[id] == v {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// resolveLocal unions every assignment to a local variable: plain and
+// multi-value assignments, declarations, and range bindings.
+func (r *strResolver) resolveLocal(owner *FuncNode, v *types.Var, slice bool) StrSet {
+	out := StrSet{}
+	found := false
+	add := func(s StrSet) {
+		out = out.union(s)
+		found = true
+	}
+	ast.Inspect(owner.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || (owner.Pkg.Info.Defs[id] != v && owner.Pkg.Info.Uses[id] != v) {
+					continue
+				}
+				switch {
+				case len(x.Rhs) == len(x.Lhs):
+					add(r.resolve(owner, x.Rhs[i], slice))
+				case len(x.Rhs) == 1:
+					if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok {
+						add(r.resolveCall(owner, call, i, slice))
+					} else {
+						add(dynamicSet)
+					}
+				default:
+					add(dynamicSet)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if owner.Pkg.Info.Defs[name] != v {
+					continue
+				}
+				switch {
+				case len(x.Values) == 0:
+					// zero value: "" or nil — contributes nothing.
+					add(StrSet{})
+				case len(x.Values) == len(x.Names):
+					add(r.resolve(owner, x.Values[i], slice))
+				case len(x.Values) == 1:
+					if call, ok := ast.Unparen(x.Values[0]).(*ast.CallExpr); ok {
+						add(r.resolveCall(owner, call, i, slice))
+					} else {
+						add(dynamicSet)
+					}
+				default:
+					add(dynamicSet)
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := x.Value.(*ast.Ident); ok && owner.Pkg.Info.Defs[id] == v {
+				if !slice && isStringSliceExpr(owner.Pkg.Info, x.X) {
+					add(r.resolve(owner, x.X, true))
+				} else {
+					add(dynamicSet)
+				}
+			}
+			if id, ok := x.Key.(*ast.Ident); ok && owner.Pkg.Info.Defs[id] == v {
+				add(dynamicSet)
+			}
+		}
+		return true
+	})
+	if !found {
+		return dynamicSet
+	}
+	return out
+}
+
+// resolveStructField handles `spec.field` where spec ranges over a
+// composite literal of structs: the field's values union across elements.
+func (r *strResolver) resolveStructField(node *FuncNode, sel *ast.SelectorExpr, field *types.Var, slice bool) StrSet {
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return dynamicSet
+	}
+	v, ok := node.Pkg.Info.Uses[base].(*types.Var)
+	if !ok {
+		return dynamicSet
+	}
+	// Find the range statement binding v in the enclosing chain.
+	for n := node; n != nil; n = n.Parent {
+		var out StrSet
+		found := false
+		ast.Inspect(n.Body, func(x ast.Node) bool {
+			rs, ok := x.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			id, ok := rs.Value.(*ast.Ident)
+			if !ok || n.Pkg.Info.Defs[id] != v {
+				return true
+			}
+			found = true
+			lit, ok := ast.Unparen(rs.X).(*ast.CompositeLit)
+			if !ok {
+				out = dynamicSet
+				return false
+			}
+			fieldIdx := structFieldIndex(node.Pkg.Info, rs.X, field.Name())
+			for _, elt := range lit.Elts {
+				el, ok := ast.Unparen(elt).(*ast.CompositeLit)
+				if !ok {
+					out = dynamicSet
+					return false
+				}
+				val := structFieldValue(el, field.Name(), fieldIdx)
+				if val == nil {
+					out = dynamicSet
+					return false
+				}
+				out = out.union(r.resolve(n, val, slice))
+			}
+			return false
+		})
+		if found {
+			return out
+		}
+	}
+	return dynamicSet
+}
+
+// structFieldIndex finds the positional index of a field in the element
+// struct type of a ranged slice expression.
+func structFieldIndex(info *types.Info, sliceExpr ast.Expr, name string) int {
+	tv, ok := info.Types[sliceExpr]
+	if !ok {
+		return -1
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return -1
+	}
+	st, ok := sl.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// structFieldValue extracts the expression for a named field from a struct
+// composite literal (keyed or positional).
+func structFieldValue(lit *ast.CompositeLit, name string, idx int) ast.Expr {
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+				return kv.Value
+			}
+			continue
+		}
+		if i == idx {
+			return elt
+		}
+	}
+	return nil
+}
+
+// packageVarSpec finds the ValueSpec declaring a package-level variable.
+func (r *strResolver) packageVarSpec(v *types.Var) (*ast.ValueSpec, *FuncNode) {
+	pkg := r.g.Prog.Package(pkgPathOf(v))
+	if pkg == nil {
+		return nil, nil
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if pkg.Info.Defs[name] == v {
+						// Synthesize a node for resolution context: package
+						// initializers resolve in a body-less pseudo node.
+						return vs, &FuncNode{Pkg: pkg}
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func (r *strResolver) resolveValueSpec(node *FuncNode, vs *ast.ValueSpec, v *types.Var, slice bool) StrSet {
+	for i, name := range vs.Names {
+		if node.Pkg.Info.Defs[name] != v {
+			continue
+		}
+		switch {
+		case len(vs.Values) == 0:
+			return StrSet{}
+		case len(vs.Values) == len(vs.Names):
+			return r.resolve(node, vs.Values[i], slice)
+		case len(vs.Values) == 1:
+			if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+				return r.resolveCall(node, call, i, slice)
+			}
+		}
+	}
+	return dynamicSet
+}
+
+func pkgPathOf(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+func isStringSliceExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// inspectOwnBody walks a node's body without descending into nested
+// function literals (their statements belong to their own nodes).
+func inspectOwnBody(node *FuncNode, fn func(ast.Node) bool) {
+	ast.Inspect(node.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

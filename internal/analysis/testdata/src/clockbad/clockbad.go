@@ -1,0 +1,38 @@
+// Package clockbad reads ambient nondeterminism in a package whose policy
+// requires an injected clock and seeded randomness.
+package clockbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure() time.Duration {
+	start := time.Now() // want "raw time.Now"
+	work()
+	return time.Since(start) // want "raw time.Since"
+}
+
+func throttle() {
+	time.Sleep(10 * time.Millisecond) // want "raw time.Sleep"
+}
+
+func timeout() <-chan time.Time {
+	return time.After(time.Second) // want "raw time.After"
+}
+
+func tick() {
+	t := time.NewTicker(time.Second) // want "raw time.NewTicker"
+	defer t.Stop()
+	<-t.C
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(1000)) // want "global rand.Int63n"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "global rand.Intn"
+}
+
+func work() {}

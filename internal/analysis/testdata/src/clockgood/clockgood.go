@@ -1,0 +1,56 @@
+// Package clockgood stays deterministic under the same policy clockbad
+// violates: time flows through an injected clock, randomness through an
+// explicitly seeded source, and pure duration/format arithmetic is free.
+package clockgood
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the injected time source.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type engine struct {
+	clk Clock
+	rng *rand.Rand
+}
+
+func newEngine(clk Clock, seed int64) *engine {
+	return &engine{clk: clk, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (e *engine) measure() time.Duration {
+	start := e.clk.Now()
+	work()
+	return e.clk.Now().Sub(start)
+}
+
+func (e *engine) throttle() {
+	e.clk.Sleep(10 * time.Millisecond)
+}
+
+func (e *engine) jitter() time.Duration {
+	// Methods on an explicit *rand.Rand are the seeded path.
+	return time.Duration(e.rng.Int63n(1000))
+}
+
+// Duration arithmetic and parsing never read the ambient clock.
+func budget(d time.Duration) time.Duration {
+	parsed, err := time.ParseDuration("150ms")
+	if err != nil {
+		return d / 2
+	}
+	return d + parsed
+}
+
+// Waived: a log timestamp is presentation, not behavior.
+func stamp() time.Time {
+	//lint:ignore clockcheck wall-clock timestamp for human-readable output only
+	return time.Now()
+}
+
+func work() {}

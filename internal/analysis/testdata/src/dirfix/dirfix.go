@@ -21,3 +21,16 @@ func MissingReason() {
 	//lint:ignore errcheck
 	_ = os.Remove("scratch")
 }
+
+// MultiSuppressed waives several checkers at once; the errcheck half must
+// suppress the violation below, and the whole directive counts as used.
+func MultiSuppressed() {
+	//lint:ignore errcheck,lockcheck fixture exercises a comma-separated waiver
+	os.Remove("scratch")
+}
+
+// EmptyName has a dangling comma in its checker list.
+func EmptyName() {
+	//lint:ignore errcheck, trailing comma leaves an empty name
+	_ = os.Remove("scratch")
+}

@@ -1,0 +1,31 @@
+// Package latchdb is a miniature mirror of the storage engine's latching
+// API, just enough surface for latchcheck fixtures: Begin declares a write
+// set, ViewTables a read set, and the Tx/Reader access methods take the
+// table name first.
+package latchdb
+
+type Row []int
+
+type Engine struct{}
+
+func (e *Engine) Begin(tables ...string) (*Tx, error) { return &Tx{}, nil }
+
+func (e *Engine) View(fn func(r *Reader) error) error { return e.ViewTables(nil, fn) }
+
+func (e *Engine) ViewTables(names []string, fn func(r *Reader) error) error {
+	return fn(&Reader{})
+}
+
+type Tx struct{}
+
+func (tx *Tx) Insert(table string, row Row) (int64, error)            { return 0, nil }
+func (tx *Tx) Delete(table string, id int64) (bool, error)            { return false, nil }
+func (tx *Tx) Lookup(table, index string, keys ...int) ([]Row, error) { return nil, nil }
+func (tx *Tx) Commit() error                                          { return nil }
+func (tx *Tx) Rollback() error                                        { return nil }
+
+type Reader struct{}
+
+func (r *Reader) Lookup(table, index string, keys ...int) ([]Row, error)     { return nil, nil }
+func (r *Reader) ScanPrefix(table, index string, keys ...int) ([]Row, error) { return nil, nil }
+func (r *Reader) Count(table string) (int, error)                            { return 0, nil }

@@ -1,0 +1,34 @@
+// Package leakbad spawns goroutines with no provable shutdown edge.
+package leakbad
+
+type state struct {
+	n int
+}
+
+func poll(s *state) { s.n++ }
+
+// The classic leak: an anonymous infinite loop with no channel discipline.
+func spawnAnonymous(s *state) {
+	go func() { // want "no reachable shutdown edge"
+		for {
+			poll(s)
+		}
+	}()
+}
+
+// A named loop is no better when nothing in its (transitive) body can
+// terminate or signal it.
+func spawnNamed(s *state) {
+	go forever(s) // want "no reachable shutdown edge"
+}
+
+func forever(s *state) {
+	for {
+		poll(s)
+	}
+}
+
+// A function value the graph cannot resolve: the lifecycle is unprovable.
+func spawnDynamic(fn func()) {
+	go fn() // want "cannot resolve the spawned function statically"
+}

@@ -1,0 +1,8 @@
+// Package typeerr fails to type-check; the loader must surface this as a
+// LoadError naming the package rather than pretending the lint ran.
+package typeerr
+
+func broken() int {
+	var s string = 42
+	return s
+}

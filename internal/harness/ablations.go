@@ -65,11 +65,11 @@ func runAblateBloomParams(p Params) error {
 	for _, cfg := range configs {
 		f := bloom.NewWithParams(uint64(n*cfg.bitsPerEntry), cfg.hashes)
 		gen := workload.Names{Space: "ablate"}
-		start := time.Now()
+		start := clk.Now()
 		for i := 0; i < n; i++ {
 			f.Add(gen.Logical(i))
 		}
-		buildTime := time.Since(start)
+		buildTime := clk.Now().Sub(start)
 		fp := 0
 		const probes = 20000
 		bm := f.Bitmap()
@@ -128,7 +128,7 @@ func runAblateImmediate(p Params) error {
 		}
 		gen := workload.Names{Space: fmt.Sprintf("ablate-imm-%d", threshold)}
 		const creates = 2000
-		start := time.Now()
+		start := clk.Now()
 		for i := 0; i < creates; i++ {
 			if err := c.CreateMapping(ctx, gen.Logical(i), gen.Target(i, 0)); err != nil {
 				c.Close()
@@ -139,14 +139,14 @@ func runAblateImmediate(p Params) error {
 		c.Close()
 		// Wait briefly for in-flight flushes, then measure how much of the
 		// catalog reached the RLI (staleness) and how many updates it took.
-		deadline := time.Now().Add(2 * time.Second)
+		deadline := clk.Now().Add(2 * time.Second)
 		var indexed int64
-		for time.Now().Before(deadline) {
+		for clk.Now().Before(deadline) {
 			_, _, indexed, _ = rnode.RLI.Counts(ctx)
 			if indexed >= creates {
 				break
 			}
-			time.Sleep(5 * time.Millisecond)
+			clk.Sleep(5 * time.Millisecond)
 		}
 		st := rnode.RLI.Stats()
 		rows = append(rows, []string{
@@ -154,7 +154,7 @@ func runAblateImmediate(p Params) error {
 			fmt.Sprintf("%d", creates),
 			fmt.Sprintf("%d", indexed),
 			fmt.Sprintf("%d", st.IncrementalUpdates),
-			fmt.Sprintf("%.3fs", time.Since(start).Seconds()),
+			fmt.Sprintf("%.3fs", clk.Now().Sub(start).Seconds()),
 		})
 		dep.Close()
 	}
@@ -202,7 +202,7 @@ func runAblateFlushInterval(p Params) error {
 		if m.perTx {
 			ops = 300 // each commit pays a full device sync
 		}
-		start := time.Now()
+		start := clk.Now()
 		for i := 0; i < ops; i++ {
 			tx, err := eng.Begin()
 			if err != nil {
@@ -222,7 +222,7 @@ func runAblateFlushInterval(p Params) error {
 				return err
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed := clk.Now().Sub(start)
 		syncs := eng.Device().Stats().Syncs
 		eng.Close()
 		dep.Close()
@@ -290,7 +290,7 @@ func runAblatePartitioning(p Params) error {
 		}
 		c.Close()
 		node, _ := dep.Node("lrc")
-		start := time.Now()
+		start := clk.Now()
 		totalNames := 0
 		for _, res := range node.LRC.ForceUpdate(ctx) {
 			if res.Err != nil {
@@ -299,7 +299,7 @@ func runAblatePartitioning(p Params) error {
 			}
 			totalNames += res.Names
 		}
-		elapsed := time.Since(start)
+		elapsed := clk.Now().Sub(start)
 		dep.Close()
 		rows = append(rows, []string{m.label, fmt.Sprintf("%d", totalNames), fmt.Sprintf("%.3fs", elapsed.Seconds())})
 	}

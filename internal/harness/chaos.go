@@ -111,7 +111,7 @@ func runChaos(p Params) error {
 			}
 		}
 	}
-	baselineRefresh := time.Now()
+	baselineRefresh := clk.Now()
 
 	rq, err := dep.DialReliable("rli", client.RetryOptions{
 		MaxAttempts:       3,
@@ -165,7 +165,7 @@ func runChaos(p Params) error {
 	faults.SetScript(netsim.FaultScript{DropProb: 1})
 	for i := 0; i < 14; i++ {
 		updateRound(250 * time.Millisecond)
-		time.Sleep(30 * time.Millisecond)
+		clk.Sleep(30 * time.Millisecond)
 	}
 	// A client retrying through the outage gives up cleanly after bounded
 	// attempts instead of hanging.
@@ -212,8 +212,8 @@ func runChaos(p Params) error {
 	// Let the soft-state period lapse, then confirm graceful degradation:
 	// the RLI still answers (the expire sweep has not run) but flags the
 	// answer stale.
-	if until := time.Until(baselineRefresh.Add(chaosSoftPeriod + 100*time.Millisecond)); until > 0 {
-		time.Sleep(until)
+	if until := baselineRefresh.Add(chaosSoftPeriod + 100*time.Millisecond).Sub(clk.Now()); until > 0 {
+		clk.Sleep(until)
 	}
 	staleBefore := rliNode.RLI.Stats().StaleAnswers
 	for _, s := range lrcSpecs {
@@ -232,7 +232,7 @@ func runChaos(p Params) error {
 
 	// ---- Phase 3: heal and recover ----
 	faults.SetScript(netsim.FaultScript{})
-	healStart := time.Now()
+	healStart := clk.Now()
 	deadline := healStart.Add(chaosSoftPeriod)
 	for {
 		healthy := true
@@ -245,16 +245,16 @@ func runChaos(p Params) error {
 		if healthy {
 			break
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			for i, node := range lrcs {
 				ts := node.LRC.TargetStats()[0]
 				fmt.Fprintf(p.Out, "chaos: %s target still %s (next probe %s)\n", lrcSpecs[i].name, ts.State, ts.NextProbe)
 			}
 			return fmt.Errorf("chaos: targets not healthy within one soft-state period (%s) of healing", chaosSoftPeriod)
 		}
-		time.Sleep(25 * time.Millisecond)
+		clk.Sleep(25 * time.Millisecond)
 	}
-	recovery := time.Since(healStart)
+	recovery := clk.Now().Sub(healStart)
 
 	// Eventual consistency: every LFN registered at an LRC — before or
 	// during the outage — is findable via the RLI, and answers are fresh.

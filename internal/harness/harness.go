@@ -18,8 +18,14 @@ import (
 	"unicode/utf8"
 
 	"repro/internal/benchfmt"
+	"repro/internal/clock"
 	"repro/internal/metrics"
 )
+
+// clk is the package's time source. Experiments measure wall-clock
+// throughput, so production runs use the real clock; tests may swap in a
+// fake to make timing-sensitive paths deterministic.
+var clk clock.Clock = clock.Real{}
 
 // Params tunes experiment cost. The zero value is not usable; call
 // DefaultParams.

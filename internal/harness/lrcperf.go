@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -324,7 +323,7 @@ func (r *lrcRig) nativeTrial(threadsTotal, totalOps int, op func(seq int) error)
 	perThread := totalOps / threadsTotal
 	var wg sync.WaitGroup
 	errs := make([]error, threadsTotal)
-	start := time.Now()
+	start := clk.Now()
 	for t := 0; t < threadsTotal; t++ {
 		wg.Add(1)
 		go func(t int) {
@@ -339,7 +338,7 @@ func (r *lrcRig) nativeTrial(threadsTotal, totalOps int, op func(seq int) error)
 		}(t)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 	for _, err := range errs {
 		if err != nil {
 			return 0, err

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/clock"
 	"repro/internal/metrics"
 )
 
@@ -51,6 +52,9 @@ type OpenLoop struct {
 	// Dial opens one connection; it should set the connection's
 	// MaxInFlight to at least Depth.
 	Dial func() (*client.Client, error)
+	// Clock is the time source for the arrival schedule and latency
+	// measurement; nil means the real clock.
+	Clock clock.Clock
 }
 
 // OpenOp issues one operation. seq is the globally unique operation index
@@ -134,9 +138,13 @@ func (o *OpenLoop) Run(ctx context.Context, totalOps int64, makeOp func(worker i
 		}
 	}()
 
+	clk := o.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	tokens := make(chan openToken, backlog)
 	var genLag atomic.Int64
-	start := time.Now()
+	start := clk.Now()
 
 	// Dispatcher: sleep coarsely until just before each intended start and
 	// emit the token up to ~1ms early; the issuing worker does the final
@@ -146,8 +154,8 @@ func (o *OpenLoop) Run(ctx context.Context, totalOps int64, makeOp func(worker i
 		defer close(tokens)
 		for seq := int64(0); seq < totalOps; seq++ {
 			intended := start.Add(arrival.Next())
-			if until := time.Until(intended); until > time.Millisecond {
-				time.Sleep(until - 500*time.Microsecond)
+			if until := intended.Sub(clk.Now()); until > time.Millisecond {
+				clk.Sleep(until - 500*time.Microsecond)
 			} else if until < 0 {
 				// Emitting late: the generator itself fell behind the
 				// schedule (backlog full or extreme rate).
@@ -182,18 +190,18 @@ func (o *OpenLoop) Run(ctx context.Context, totalOps int64, makeOp func(worker i
 				// down to ~100µs, then a short yield spin, bounded and
 				// spread across the worker pool.
 				for {
-					until := time.Until(tok.intended)
+					until := tok.intended.Sub(clk.Now())
 					if until <= 0 {
 						break
 					}
 					if until > 200*time.Microsecond {
-						time.Sleep(until - 100*time.Microsecond)
+						clk.Sleep(until - 100*time.Microsecond)
 					} else {
 						runtime.Gosched()
 					}
 				}
 				err := op(ctx, c, tok.seq, int(tok.seq%int64(clients)))
-				res.lat.Record(time.Since(tok.intended))
+				res.lat.Record(clk.Now().Sub(tok.intended))
 				res.issued++
 				if err != nil {
 					res.errs++
@@ -202,7 +210,7 @@ func (o *OpenLoop) Run(ctx context.Context, totalOps int64, makeOp func(worker i
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 
 	out := OpenResult{
 		Requested:   totalOps,

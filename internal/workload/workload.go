@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/clock"
 	"repro/internal/metrics"
 	"repro/internal/wire"
 )
@@ -98,6 +99,9 @@ type Driver struct {
 	Pipeline int
 	// Dial opens one connection (called once per thread).
 	Dial func() (*client.Client, error)
+	// Clock is the time source for rate and latency measurement; nil means
+	// the real clock.
+	Clock clock.Clock
 }
 
 // Run issues totalOps operations spread across all threads. Each thread
@@ -158,9 +162,13 @@ func (d *Driver) RunFactory(ctx context.Context, totalOps int, makeOp func(worke
 		ok, errs int
 		lat      metrics.LatencyRecorder
 	}
+	clk := d.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	results := make([]threadResult, workers)
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := clk.Now()
 	base := 0
 	for w := 0; w < workers; w++ {
 		count := perWorker
@@ -173,9 +181,9 @@ func (d *Driver) RunFactory(ctx context.Context, totalOps int, makeOp func(worke
 			c := conns[w/depth] // depth workers share each connection
 			op := makeOp(w)
 			for i := 0; i < count; i++ {
-				opStart := time.Now()
+				opStart := clk.Now()
 				err := op(ctx, c, base+i)
-				results[w].lat.Record(time.Since(opStart))
+				results[w].lat.Record(clk.Now().Sub(opStart))
 				if err != nil {
 					results[w].errs++
 				} else {
@@ -186,7 +194,7 @@ func (d *Driver) RunFactory(ctx context.Context, totalOps int, makeOp func(worke
 		base += count
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 
 	var res Result
 	var merged metrics.LatencyRecorder

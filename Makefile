@@ -43,13 +43,13 @@ stress:
 chaos:
 	$(GO) run ./cmd/rls-bench -trials 1 chaos
 
-# Open-loop scenario smoke: run the five scen-* experiments at quick
-# parameters, emit the BENCH_6.json perf-trajectory snapshot, and check it
+# Open-loop scenario smoke: run the six scen-* experiments at quick
+# parameters, emit the BENCH_8.json perf-trajectory snapshot, and check it
 # against the rls-bench/v1 schema. CI uploads the snapshot as an artifact.
 scenarios:
-	$(GO) run ./cmd/rls-bench -quick -json BENCH_6.json \
-		scen-steady scen-flash scen-storm scen-churn scen-tenants
-	$(GO) run ./cmd/rls-bench -validate-json BENCH_6.json
+	$(GO) run ./cmd/rls-bench -quick -bench 8 -json BENCH_8.json \
+		scen-steady scen-flash scen-storm scen-churn scen-tenants scen-read-storm
+	$(GO) run ./cmd/rls-bench -validate-json BENCH_8.json
 
 ci: build vet lint lint-self race fuzz stress chaos scenarios
 

@@ -356,6 +356,9 @@ func printStats(st *wire.StatsResponse) {
 	}
 	fmt.Printf("latches: waits=%d wait_time=%s\n",
 		st.LatchWaits, time.Duration(st.LatchWaitNS))
+	fmt.Printf("snapshots: epoch=%d taken=%d published=%d pinned=%d oldest_pinned=%d oldest_pin_age=%s\n",
+		st.SnapshotEpoch, st.SnapshotsTaken, st.VersionsPublished, st.SnapshotsPinned,
+		st.SnapshotOldestPinned, time.Duration(st.SnapshotOldestPinAgeNS))
 	fmt.Printf("pipeline: in_flight=%d max_depth=%d flushes=%d flushes_avoided=%d bad_frame_naks=%d shed=%d\n",
 		st.RequestsInFlight, st.PipelineMaxDepth, st.RespFlushes, st.RespFlushesAvoided, st.BadFrameNAKs,
 		st.SheddedRequests)

@@ -175,6 +175,15 @@ func TestLatchCheckFixtures(t *testing.T) {
 	)
 }
 
+func TestLatchCheckSnapshotFixtures(t *testing.T) {
+	chk := LatchCheck{EngineType: "fix/latchdb.Engine"}
+	checkFixture(t, []Checker{chk},
+		DirSpec{ImportPath: "fix/latchdb", Dir: fixtureDir("latchdb")},
+		DirSpec{ImportPath: "fix/snapbad", Dir: fixtureDir("snapbad")},
+		DirSpec{ImportPath: "fix/snapgood", Dir: fixtureDir("snapgood")},
+	)
+}
+
 func TestLeakCheckFixtures(t *testing.T) {
 	chk := LeakCheck{TargetPkgs: []string{"fix/leakbad", "fix/leakgood"}}
 	checkFixture(t, []Checker{chk},

@@ -16,6 +16,26 @@ func (e *Engine) ViewTables(names []string, fn func(r *Reader) error) error {
 	return fn(&Reader{})
 }
 
+// Snapshot and SnapshotView mirror the MVCC read path: a latch-free pinned
+// view of every table, with no declared set to prove.
+func (e *Engine) Snapshot() (*Snap, error) { return &Snap{}, nil }
+
+func (e *Engine) SnapshotView(fn func(r *Reader) error) error {
+	s, err := e.Snapshot()
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return fn(&s.Reader)
+}
+
+type Snap struct {
+	Reader
+}
+
+func (s *Snap) Epoch() uint64 { return 0 }
+func (s *Snap) Close()        {}
+
 type Tx struct{}
 
 func (tx *Tx) Insert(table string, row Row) (int64, error)            { return 0, nil }

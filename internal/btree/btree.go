@@ -1,13 +1,21 @@
 // Package btree implements an in-memory B-tree keyed by byte strings.
 //
-// The storage engine uses it for every ordered (secondary) index: equality
-// lookups, prefix scans for wildcard queries, and full ordered scans for
-// soft-state update enumeration. Keys are compared with bytes.Compare, so any
-// order-preserving encoding of column values works as a key.
+// The storage engine uses it for every ordered (secondary) index and, since
+// the MVCC refactor, for table heaps: equality lookups, prefix scans for
+// wildcard queries, and full ordered scans for soft-state update
+// enumeration. Keys are compared with bytes.Compare, so any order-preserving
+// encoding of column values works as a key.
 //
-// The tree is not safe for concurrent mutation; the storage engine guards it
-// with its table locks. Read-only operations may run concurrently with each
-// other.
+// Trees support copy-on-write structural sharing: Clone returns an O(1)
+// snapshot of the tree, and subsequent mutations of either tree copy only
+// the node path they touch, leaving the other tree untouched. This is what
+// lets the storage engine publish an immutable tree per committed
+// transaction at path-copy cost instead of a full rebuild.
+//
+// A single tree is not safe for concurrent mutation; the storage engine
+// guards mutable trees with its table latches. Read-only operations may run
+// concurrently with each other, and — the property MVCC snapshots build on —
+// readers of a clone never race writers of the tree it was cloned from.
 package btree
 
 import "bytes"
@@ -27,12 +35,41 @@ type item struct {
 	value any
 }
 
+// cowToken identifies the tree that created a node. A node whose token
+// differs from the mutating tree's token may be shared with a clone and is
+// copied before mutation (see mutableFor). Tokens are compared by pointer
+// identity only.
+type cowToken struct{ _ byte }
+
 type node struct {
+	cow      *cowToken
 	items    []item
 	children []*node // nil for leaves
 }
 
 func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// mutableFor returns a node owned by the given token that the caller may
+// mutate: n itself when already owned, otherwise a copy with fresh item and
+// child slices (the shared original stays frozen for clones).
+func (n *node) mutableFor(c *cowToken) *node {
+	if n.cow == c {
+		return n
+	}
+	out := &node{cow: c, items: append(make([]item, 0, len(n.items)), n.items...)}
+	if len(n.children) > 0 {
+		out.children = append(make([]*node, 0, len(n.children)), n.children...)
+	}
+	return out
+}
+
+// mutableChild makes children[i] mutable under token c, installing and
+// returning the owned node. n itself must already be owned by c.
+func (n *node) mutableChild(i int, c *cowToken) *node {
+	child := n.children[i].mutableFor(c)
+	n.children[i] = child
+	return child
+}
 
 // search returns the index of the first item with key >= k and whether the
 // key at that index equals k.
@@ -57,10 +94,31 @@ func (n *node) search(k []byte) (int, bool) {
 type Tree struct {
 	root *node
 	size int
+	cow  *cowToken
 }
 
 // Len returns the number of keys in the tree.
 func (t *Tree) Len() int { return t.size }
+
+// Clone returns a snapshot of the tree in O(1): both trees share every node
+// and lazily copy the path a mutation touches, so writes to one are never
+// visible to the other. Readers of either tree are safe against concurrent
+// mutation of the other; each individual tree still requires external
+// synchronization between its own readers and writers.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{root: t.root, size: t.size, cow: &cowToken{}}
+	// The receiver also gets a fresh token: every currently shared node now
+	// belongs to neither tree, forcing both sides to copy before mutating.
+	t.cow = &cowToken{}
+	return out
+}
+
+// ensureCow lazily allocates the ownership token of a zero-value tree.
+func (t *Tree) ensureCow() {
+	if t.cow == nil {
+		t.cow = &cowToken{}
+	}
+}
 
 // Get returns the value stored under key, or (nil, false) if absent.
 func (t *Tree) Get(key []byte) (any, bool) {
@@ -81,17 +139,19 @@ func (t *Tree) Get(key []byte) (any, bool) {
 // Set stores value under key, replacing any existing value. It returns the
 // previous value and whether one was present.
 func (t *Tree) Set(key []byte, value any) (prev any, replaced bool) {
+	t.ensureCow()
 	if t.root == nil {
-		t.root = &node{items: []item{{key: append([]byte(nil), key...), value: value}}}
+		t.root = &node{cow: t.cow, items: []item{{key: append([]byte(nil), key...), value: value}}}
 		t.size = 1
 		return nil, false
 	}
+	t.root = t.root.mutableFor(t.cow)
 	if len(t.root.items) == maxItems {
 		old := t.root
-		t.root = &node{children: []*node{old}}
-		t.root.splitChild(0)
+		t.root = &node{cow: t.cow, children: []*node{old}}
+		t.root.splitChild(0, t.cow)
 	}
-	prev, replaced = t.root.insert(key, value)
+	prev, replaced = t.root.insert(key, value, t.cow)
 	if !replaced {
 		t.size++
 	}
@@ -99,12 +159,13 @@ func (t *Tree) Set(key []byte, value any) (prev any, replaced bool) {
 }
 
 // splitChild splits the full child at index i, promoting its median item.
-func (n *node) splitChild(i int) {
-	child := n.children[i]
+// n must be owned by c; the child is made mutable first.
+func (n *node) splitChild(i int, c *cowToken) {
+	child := n.mutableChild(i, c)
 	mid := maxItems / 2
 	median := child.items[mid]
 
-	right := &node{items: append([]item(nil), child.items[mid+1:]...)}
+	right := &node{cow: c, items: append([]item(nil), child.items[mid+1:]...)}
 	if !child.leaf() {
 		right.children = append([]*node(nil), child.children[mid+1:]...)
 		child.children = child.children[:mid+1]
@@ -120,7 +181,8 @@ func (n *node) splitChild(i int) {
 	n.children[i+1] = right
 }
 
-func (n *node) insert(key []byte, value any) (prev any, replaced bool) {
+// insert descends from an owned node, making each visited child mutable.
+func (n *node) insert(key []byte, value any, c *cowToken) (prev any, replaced bool) {
 	i, ok := n.search(key)
 	if ok {
 		prev = n.items[i].value
@@ -134,17 +196,17 @@ func (n *node) insert(key []byte, value any) (prev any, replaced bool) {
 		return nil, false
 	}
 	if len(n.children[i].items) == maxItems {
-		n.splitChild(i)
-		switch c := bytes.Compare(key, n.items[i].key); {
-		case c == 0:
+		n.splitChild(i, c)
+		switch cmp := bytes.Compare(key, n.items[i].key); {
+		case cmp == 0:
 			prev = n.items[i].value
 			n.items[i].value = value
 			return prev, true
-		case c > 0:
+		case cmp > 0:
 			i++
 		}
 	}
-	return n.children[i].insert(key, value)
+	return n.mutableChild(i, c).insert(key, value, c)
 }
 
 // Delete removes key from the tree. It returns the removed value and whether
@@ -153,7 +215,9 @@ func (t *Tree) Delete(key []byte) (any, bool) {
 	if t.root == nil {
 		return nil, false
 	}
-	v, ok := t.root.remove(key)
+	t.ensureCow()
+	t.root = t.root.mutableFor(t.cow)
+	v, ok := t.root.remove(key, t.cow)
 	if ok {
 		t.size--
 	}
@@ -167,7 +231,9 @@ func (t *Tree) Delete(key []byte) (any, bool) {
 	return v, ok
 }
 
-func (n *node) remove(key []byte) (any, bool) {
+// remove operates on an owned node, making every child it descends into or
+// rebalances mutable first.
+func (n *node) remove(key []byte, c *cowToken) (any, bool) {
 	i, ok := n.search(key)
 	if n.leaf() {
 		if !ok {
@@ -180,42 +246,44 @@ func (n *node) remove(key []byte) (any, bool) {
 	if ok {
 		// Replace with predecessor from the left subtree, then remove it.
 		v := n.items[i].value
-		n.ensureChild(i)
+		n.ensureChild(i, c)
 		// ensureChild may have shifted our items; re-search.
 		j, stillHere := n.search(key)
 		if !stillHere {
 			// Key moved into a child during rebalancing.
-			_, _ = n.children[j].remove(key)
+			_, _ = n.mutableChild(j, c).remove(key, c)
 			return v, true
 		}
 		pred := n.children[j].max()
 		n.items[j] = pred
-		_, _ = n.children[j].remove(pred.key)
+		_, _ = n.mutableChild(j, c).remove(pred.key, c)
 		return v, true
 	}
-	n.ensureChild(i)
+	n.ensureChild(i, c)
 	j, stillHere := n.search(key)
 	if stillHere {
 		// Rebalancing pulled the key up into this node.
 		v := n.items[j].value
 		pred := n.children[j].max()
 		n.items[j] = pred
-		_, _ = n.children[j].remove(pred.key)
+		_, _ = n.mutableChild(j, c).remove(pred.key, c)
 		return v, true
 	}
-	return n.children[j].remove(key)
+	return n.mutableChild(j, c).remove(key, c)
 }
 
 // ensureChild guarantees children[i] has more than minItems items before the
-// removal descends into it, borrowing from a sibling or merging.
-func (n *node) ensureChild(i int) {
+// removal descends into it, borrowing from a sibling or merging. Every node
+// it mutates — the child and whichever sibling donates — is made mutable; a
+// merged-away sibling is only read, never written.
+func (n *node) ensureChild(i int, c *cowToken) {
 	if len(n.children[i].items) > minItems {
 		return
 	}
 	switch {
 	case i > 0 && len(n.children[i-1].items) > minItems:
 		// Borrow from the left sibling through the separator.
-		child, left := n.children[i], n.children[i-1]
+		child, left := n.mutableChild(i, c), n.mutableChild(i-1, c)
 		child.items = append(child.items, item{})
 		copy(child.items[1:], child.items)
 		child.items[0] = n.items[i-1]
@@ -229,7 +297,7 @@ func (n *node) ensureChild(i int) {
 		}
 	case i < len(n.children)-1 && len(n.children[i+1].items) > minItems:
 		// Borrow from the right sibling through the separator.
-		child, right := n.children[i], n.children[i+1]
+		child, right := n.mutableChild(i, c), n.mutableChild(i+1, c)
 		child.items = append(child.items, n.items[i])
 		n.items[i] = right.items[0]
 		right.items = append(right.items[:0], right.items[1:]...)
@@ -238,11 +306,13 @@ func (n *node) ensureChild(i int) {
 			right.children = append(right.children[:0], right.children[1:]...)
 		}
 	default:
-		// Merge with a sibling.
+		// Merge with a sibling. The right node is discarded, so only the
+		// surviving child needs to be mutable; the right's items and child
+		// pointers are copied by the appends.
 		if i == len(n.children)-1 {
 			i--
 		}
-		child, right := n.children[i], n.children[i+1]
+		child, right := n.mutableChild(i, c), n.children[i+1]
 		child.items = append(child.items, n.items[i])
 		child.items = append(child.items, right.items...)
 		child.children = append(child.children, right.children...)

@@ -174,6 +174,21 @@ func (n *Node) storageStats() server.StorageStats {
 			out.LatchWaits += ts.LatchWaits
 			out.LatchWaitNS += ts.LatchWaitNS
 		}
+		sn := st.Snapshots
+		if epoch := int64(sn.Epoch); epoch > out.SnapshotEpoch {
+			out.SnapshotEpoch = epoch
+		}
+		out.SnapshotsTaken += sn.Taken
+		out.VersionsPublished += sn.Published
+		out.SnapshotsPinned += sn.Pinned
+		if sn.OldestPinned != 0 {
+			if out.SnapshotOldestPinned == 0 || int64(sn.OldestPinned) < out.SnapshotOldestPinned {
+				out.SnapshotOldestPinned = int64(sn.OldestPinned)
+			}
+		}
+		if sn.OldestPinAgeNS > out.SnapshotOldestPinAgeNS {
+			out.SnapshotOldestPinAgeNS = sn.OldestPinAgeNS
+		}
 	}
 	if n.Device != nil {
 		out.DeadTupleVisits = n.Device.Stats().DeadVisits

@@ -3,9 +3,11 @@ package harness
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/storage"
@@ -72,12 +74,40 @@ func init() {
 				workload.MultiTenant(2000*p.Ops, 1500*time.Millisecond))
 		},
 	})
+	register(Experiment{
+		ID:    "scen-read-storm",
+		Title: "Open-loop read storm: fixed-rate queries over a writer storm with periodic checkpoints",
+		Paper: "beyond the paper: MVCC snapshot reads stay flat while writers and checkpoint pins churn versions",
+		Run: func(p Params) error {
+			dir, err := os.MkdirTemp("", "scen-read-storm-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			return runScenarioEnv(p, "scen-read-storm",
+				workload.ReadStorm(1800*p.Ops, 600*p.Ops, 1200*time.Millisecond, 0.9),
+				scenarioEnv{dataDir: dir, checkpointEvery: 150 * time.Millisecond})
+		},
+	})
+}
+
+// scenarioEnv selects the engine environment a scenario runs against:
+// dataDir persists the LRC's database (memory-only when empty, which makes
+// Checkpoint a no-op), checkpointEvery runs background engine checkpoints
+// at that cadence for the duration of the run (0 disables).
+type scenarioEnv struct {
+	dataDir         string
+	checkpointEvery time.Duration
 }
 
 // runScenario preloads a single-LRC deployment, optionally warms the
 // pools, executes the scenario through the open-loop engine, prints the
 // per-phase table and records the results into p.Bench.
 func runScenario(p Params, id string, sc workload.Scenario) error {
+	return runScenarioEnv(p, id, sc, scenarioEnv{})
+}
+
+func runScenarioEnv(p Params, id string, sc workload.Scenario, env scenarioEnv) error {
 	ctx := context.Background()
 	dep := core.NewDeployment()
 	defer dep.Close()
@@ -85,15 +115,41 @@ func runScenario(p Params, id string, sc workload.Scenario) error {
 	if p.NetModel {
 		net = netsim.LAN()
 	}
-	if _, err := dep.AddServer(core.ServerSpec{
+	node, err := dep.AddServer(core.ServerSpec{
 		Name:        "lrc",
 		LRC:         true,
 		Personality: storage.PersonalityMySQL,
 		Disk:        p.diskSpec(),
 		Net:         net,
 		MaxInFlight: scenarioDepth(p),
-	}); err != nil {
+		DataDir:     env.dataDir,
+	})
+	if err != nil {
 		return err
+	}
+
+	if env.checkpointEvery > 0 {
+		// Background checkpoints while the workload runs: each one pins the
+		// current version, serializes it concurrently with commits, and
+		// truncates the WAL — the non-stop-the-world path the read storm is
+		// meant to stress. Errors are ignored: a checkpoint racing shutdown
+		// just reports the engine closed.
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := clock.Real{}.NewTicker(env.checkpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C():
+					_ = node.LRCEngine.Checkpoint()
+				}
+			}
+		}()
+		defer func() { close(stop); <-done }()
 	}
 
 	catalog := p.size(1_000_000)

@@ -253,12 +253,16 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 // populateFilter feeds every current logical name into the Bloom filter —
 // the "one-time cost" of Table 3's third column.
 func (s *Service) populateFilter(ctx context.Context) error {
-	after := ""
+	cur, err := s.db.OpenNamesCursor()
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		page, err := cur.Next(s.cfg.FullBatch)
 		if err != nil {
 			return err
 		}
@@ -268,7 +272,6 @@ func (s *Service) populateFilter(ctx context.Context) error {
 		for _, name := range page {
 			s.filter.Add(name)
 		}
-		after = page[len(page)-1]
 	}
 }
 

@@ -54,20 +54,23 @@ func (s *Service) maybeGrowFilterLocked() {
 		return
 	}
 	fresh := bloom.New(int(s.filter.Len()) * 2)
-	// Rebuild from the database outside would race with the lock we hold;
-	// the catalog is quiescent for writes only in the caller's transaction
-	// scope, so rebuild from the database page by page here. This is rare
-	// (amortized by doubling).
-	after := ""
+	// Rebuild from a pinned snapshot cursor: it takes no engine latch, so
+	// holding s.mu here cannot deadlock against writers, and every page comes
+	// from one consistent name universe. This is rare (amortized by
+	// doubling).
+	cur, err := s.db.OpenNamesCursor()
+	if err != nil {
+		return
+	}
+	defer cur.Close()
 	for {
-		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		page, err := cur.Next(s.cfg.FullBatch)
 		if err != nil || len(page) == 0 {
 			break
 		}
 		for _, n := range page {
 			fresh.Add(n)
 		}
-		after = page[len(page)-1]
 	}
 	s.filter = fresh
 }
@@ -304,7 +307,16 @@ func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult)
 		s.mu.Unlock()
 	}()
 
-	logicals, _, _, err := s.db.Counts()
+	// One pinned snapshot cursor supplies both the advertised total and the
+	// pages, so SSFullStart's count matches exactly the names streamed even
+	// while writers churn the catalog underneath.
+	cur, err := s.db.OpenNamesCursor()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer cur.Close()
+	logicals, err := cur.Count()
 	if err != nil {
 		res.Err = err
 		return res
@@ -342,9 +354,8 @@ func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult)
 		acks = acks[1:]
 		return ack(ctx)
 	}
-	after := ""
 	for {
-		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		page, err := cur.Next(s.cfg.FullBatch)
 		if err != nil {
 			res.Err = err
 			return res
@@ -352,7 +363,6 @@ func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult)
 		if len(page) == 0 {
 			break
 		}
-		after = page[len(page)-1]
 		batch := page
 		if len(tg.patterns) > 0 {
 			batch = batch[:0:0]
@@ -475,21 +485,24 @@ func (s *Service) sendBloomTo(ctx context.Context, tg *target) (res TargetResult
 }
 
 func (s *Service) buildPartitionBitmap(tg *target) ([]byte, error) {
-	logicals, _, _, err := s.db.Counts()
+	cur, err := s.db.OpenNamesCursor()
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	logicals, err := cur.Count()
 	if err != nil {
 		return nil, err
 	}
 	f := bloom.New(int(logicals))
-	after := ""
 	for {
-		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		page, err := cur.Next(s.cfg.FullBatch)
 		if err != nil {
 			return nil, err
 		}
 		if len(page) == 0 {
 			break
 		}
-		after = page[len(page)-1]
 		for _, n := range page {
 			if tg.matches(n) {
 				f.Add(n)
@@ -561,18 +574,22 @@ func (s *Service) FilterSnapshot() ([]byte, error) {
 // RebuildFilter recomputes the Bloom filter from scratch — the "one-time
 // cost" column of Table 3. It returns the build duration.
 func (s *Service) RebuildFilter(ctx context.Context) (time.Duration, error) {
-	logicals, _, _, err := s.db.Counts()
+	cur, err := s.db.OpenNamesCursor()
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	logicals, err := cur.Count()
 	if err != nil {
 		return 0, err
 	}
 	start := s.clk.Now()
 	fresh := bloom.New(int(logicals))
-	after := ""
 	for {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		page, err := s.db.PageLogicalNames(after, s.cfg.FullBatch)
+		page, err := cur.Next(s.cfg.FullBatch)
 		if err != nil {
 			return 0, err
 		}
@@ -582,7 +599,6 @@ func (s *Service) RebuildFilter(ctx context.Context) (time.Duration, error) {
 		for _, n := range page {
 			fresh.Add(n)
 		}
-		after = page[len(page)-1]
 	}
 	elapsed := s.clk.Now().Sub(start)
 	s.mu.Lock()

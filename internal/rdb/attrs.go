@@ -290,7 +290,7 @@ func (db *LRCDB) GetAttributes(key string, obj wire.ObjType, names []string) ([]
 		want[n] = true
 	}
 	var out []wire.NamedAttr
-	err = db.eng.ViewTables(append([]string{table, tAttribute}, attrValueTables...), func(r *storage.Reader) error {
+	err = db.eng.SnapshotView(func(r *storage.Reader) error {
 		rows, err := r.Lookup(table, "by_name", storage.String(key))
 		if err != nil {
 			return err
@@ -341,7 +341,7 @@ func (db *LRCDB) ListAttributeDefs(obj wire.ObjType) ([]wire.AttrDef, error) {
 		return nil, fmt.Errorf("%w: object type %d", ErrInvalid, obj)
 	}
 	var out []wire.AttrDef
-	err := db.eng.ViewTables([]string{tAttribute}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		return r.ScanStringPrefix(tAttribute, "by_name_obj", "", func(_ int64, row storage.Row) bool {
 			defObj := wire.ObjType(row[colAttrObjType].Int)
 			if obj != 0 && defObj != obj {
@@ -424,7 +424,7 @@ func (db *LRCDB) SearchAttribute(name string, obj wire.ObjType, cmp wire.CmpOp, 
 		return nil, err
 	}
 	var out []wire.ObjAttr
-	err = db.eng.ViewTables(append([]string{table, tAttribute}, attrValueTables...), func(r *storage.Reader) error {
+	err = db.eng.SnapshotView(func(r *storage.Reader) error {
 		rows, err := r.Lookup(tAttribute, "by_name_obj", storage.String(name), storage.Int64(int64(obj)))
 		if err != nil {
 			return err

@@ -184,7 +184,7 @@ func NewLRCDB(eng *storage.Engine) (*LRCDB, error) {
 // persistent databases), recovering the id counters.
 func OpenLRCDB(eng *storage.Engine) (*LRCDB, error) {
 	db := &LRCDB{eng: eng}
-	err := eng.View(func(r *storage.Reader) error {
+	err := eng.SnapshotView(func(r *storage.Reader) error {
 		for _, rec := range []struct {
 			table string
 			ctr   *atomic.Int64
@@ -408,10 +408,12 @@ func (db *LRCDB) DeleteMapping(logical, target string) error {
 	return tx.Commit()
 }
 
-// GetTargets returns the target names mapped from a logical name.
+// GetTargets returns the target names mapped from a logical name. It reads a
+// snapshot — the latch-free fig5/fig7 query path — so concurrent writers
+// never block it.
 func (db *LRCDB) GetTargets(logical string) ([]string, error) {
 	var out []string
-	err := db.eng.ViewTables([]string{tLFN, tMap, tPFN}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		rows, err := r.Lookup(tLFN, "by_name", storage.String(logical))
 		if err != nil {
 			return err
@@ -438,10 +440,11 @@ func (db *LRCDB) GetTargets(logical string) ([]string, error) {
 	return out, err
 }
 
-// GetLogicals returns the logical names mapping to a target name.
+// GetLogicals returns the logical names mapping to a target name, from a
+// snapshot.
 func (db *LRCDB) GetLogicals(target string) ([]string, error) {
 	var out []string
-	err := db.eng.ViewTables([]string{tLFN, tMap, tPFN}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		rows, err := r.Lookup(tPFN, "by_name", storage.String(target))
 		if err != nil {
 			return err
@@ -483,7 +486,7 @@ func (db *LRCDB) WildcardLogicals(pattern string) ([]wire.Mapping, error) {
 func (db *LRCDB) wildcard(pattern, nameTable, mapTable, mapIndex string, otherCol int, otherTable string, swap bool) ([]wire.Mapping, error) {
 	prefix, _ := glob.LiteralPrefix(pattern)
 	var out []wire.Mapping
-	err := db.eng.ViewTables([]string{nameTable, mapTable, otherTable}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		var scanErr error
 		if err := r.ScanStringPrefix(nameTable, "by_name", prefix, func(_ int64, row storage.Row) bool {
 			name := row[colNameName].Str
@@ -522,14 +525,15 @@ func (db *LRCDB) wildcard(pattern, nameTable, mapTable, mapIndex string, otherCo
 }
 
 // PageLogicalNames returns up to limit logical names strictly greater than
-// after, in lexical order — the pagination primitive for streaming full soft
-// state updates without holding the read lock for the whole enumeration.
+// after, in lexical order. Each call pins a fresh snapshot, so names inserted
+// or removed between pages may or may not appear; enumerations that need one
+// consistent universe use a NamesCursor instead.
 func (db *LRCDB) PageLogicalNames(after string, limit int) ([]string, error) {
 	if limit <= 0 {
 		return nil, fmt.Errorf("%w: non-positive page limit", ErrInvalid)
 	}
 	var out []string
-	err := db.eng.ViewTables([]string{tLFN}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		return r.ScanStringAfter(tLFN, "by_name", after, func(_ int64, row storage.Row) bool {
 			out = append(out, row[colNameName].Str)
 			return len(out) < limit
@@ -538,9 +542,68 @@ func (db *LRCDB) PageLogicalNames(after string, limit int) ([]string, error) {
 	return out, err
 }
 
-// Counts reports catalog occupancy: logical names, target names, mappings.
+// NamesCursor pages through the logical-name universe of one pinned engine
+// snapshot: every page comes from the same committed version, so a full
+// enumeration (soft-state full update, Bloom rebuild, partition bitmap) is
+// internally consistent no matter how many writes land mid-stream — and it
+// holds no latch, so those writes never wait on it. Close releases the pin.
+type NamesCursor struct {
+	snap  *storage.Snap
+	after string
+	done  bool
+}
+
+// OpenNamesCursor pins the last committed version and returns a cursor over
+// its logical names. The caller must Close it.
+func (db *LRCDB) OpenNamesCursor() (*NamesCursor, error) {
+	snap, err := db.eng.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &NamesCursor{snap: snap}, nil
+}
+
+// Count returns the number of logical names in the cursor's snapshot — by
+// construction, exactly the number of names a full enumeration will yield.
+func (c *NamesCursor) Count() (int64, error) {
+	return c.snap.Count(tLFN)
+}
+
+// Next returns the next page of up to limit names, in lexical order. It
+// returns an empty page when the enumeration is exhausted.
+func (c *NamesCursor) Next(limit int) ([]string, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("%w: non-positive page limit", ErrInvalid)
+	}
+	if c.done {
+		return nil, nil
+	}
+	var out []string
+	err := c.snap.ScanStringAfter(tLFN, "by_name", c.after, func(_ int64, row storage.Row) bool {
+		out = append(out, row[colNameName].Str)
+		return len(out) < limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) > 0 {
+		c.after = out[len(out)-1]
+	}
+	if len(out) < limit {
+		c.done = true
+	}
+	return out, nil
+}
+
+// Close unpins the cursor's snapshot. Safe to call more than once.
+func (c *NamesCursor) Close() {
+	c.snap.Close()
+}
+
+// Counts reports catalog occupancy: logical names, target names, mappings,
+// all from one snapshot.
 func (db *LRCDB) Counts() (logicals, targets, mappings int64, err error) {
-	err = db.eng.ViewTables([]string{tLFN, tPFN, tMap}, func(r *storage.Reader) error {
+	err = db.eng.SnapshotView(func(r *storage.Reader) error {
 		if logicals, err = r.Count(tLFN); err != nil {
 			return err
 		}

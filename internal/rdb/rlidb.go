@@ -72,7 +72,7 @@ func NewRLIDB(eng *storage.Engine) (*RLIDB, error) {
 // recovering the id counters.
 func OpenRLIDB(eng *storage.Engine) (*RLIDB, error) {
 	db := &RLIDB{eng: eng}
-	err := eng.View(func(r *storage.Reader) error {
+	err := eng.SnapshotView(func(r *storage.Reader) error {
 		for _, rec := range []struct {
 			table string
 			ctr   *atomic.Int64
@@ -227,7 +227,7 @@ func (db *RLIDB) cleanupLFN(tx *storage.Tx, lfnID int64) error {
 // querying the LRCs (paper §3.2).
 func (db *RLIDB) QueryLRCs(logical string) ([]string, error) {
 	var out []string
-	err := db.eng.ViewTables([]string{tRLILFN, tLRC, tRLIMap}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		rows, err := r.Lookup(tRLILFN, "by_name", storage.String(logical))
 		if err != nil {
 			return err
@@ -261,7 +261,7 @@ func (db *RLIDB) QueryLRCs(logical string) ([]string, error) {
 func (db *RLIDB) WildcardQuery(pattern string) ([]wire.Mapping, error) {
 	prefix, _ := glob.LiteralPrefix(pattern)
 	var out []wire.Mapping
-	err := db.eng.ViewTables([]string{tRLILFN, tLRC, tRLIMap}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		var scanErr error
 		if err := r.ScanStringPrefix(tRLILFN, "by_name", prefix, func(_ int64, row storage.Row) bool {
 			name := row[colNameName].Str
@@ -337,7 +337,7 @@ func (db *RLIDB) ExpireBefore(cutoff time.Time) (int, error) {
 // aggregated state upward.
 func (db *RLIDB) NamesForLRC(lrcURL string) ([]string, error) {
 	var out []string
-	err := db.eng.ViewTables([]string{tRLILFN, tLRC, tRLIMap}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		lrcRows, err := r.Lookup(tLRC, "by_name", storage.String(lrcURL))
 		if err != nil {
 			return err
@@ -372,7 +372,7 @@ func (db *RLIDB) NamesForLRC(lrcURL string) ([]string, error) {
 // LRCs returns the LRC urls that have sent updates to this RLI.
 func (db *RLIDB) LRCs() ([]string, error) {
 	var out []string
-	err := db.eng.ViewTables([]string{tLRC}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		return r.ScanStringPrefix(tLRC, "by_name", "", func(_ int64, row storage.Row) bool {
 			out = append(out, row[colNameName].Str)
 			return true
@@ -384,7 +384,7 @@ func (db *RLIDB) LRCs() ([]string, error) {
 // Counts reports index occupancy: distinct logical names, LRCs, and
 // associations.
 func (db *RLIDB) Counts() (logicals, lrcs, associations int64, err error) {
-	err = db.eng.ViewTables([]string{tRLILFN, tLRC, tRLIMap}, func(r *storage.Reader) error {
+	err = db.eng.SnapshotView(func(r *storage.Reader) error {
 		if logicals, err = r.Count(tRLILFN); err != nil {
 			return err
 		}

@@ -80,7 +80,7 @@ func (db *LRCDB) RemoveRLITarget(url string) error {
 // ListRLITargets returns the RLIs this LRC updates.
 func (db *LRCDB) ListRLITargets() ([]wire.RLITarget, error) {
 	var out []wire.RLITarget
-	err := db.eng.ViewTables([]string{tRLI, tRLIPartition}, func(r *storage.Reader) error {
+	err := db.eng.SnapshotView(func(r *storage.Reader) error {
 		var scanErr error
 		if err := r.ScanStringPrefix(tRLI, "by_name", "", func(_ int64, row storage.Row) bool {
 			t := wire.RLITarget{

@@ -43,6 +43,16 @@ type StorageStats struct {
 	GroupCommitBatchSizes   []int64
 	LatchWaits              int64
 	LatchWaitNS             int64
+
+	// MVCC snapshot gauges (see storage.SnapshotStats): counters are summed
+	// over the node's engines, Epoch and OldestPinAgeNS take the maximum,
+	// OldestPinned the lowest non-zero pinned epoch.
+	SnapshotEpoch          int64
+	SnapshotsTaken         int64
+	VersionsPublished      int64
+	SnapshotsPinned        int64
+	SnapshotOldestPinned   int64
+	SnapshotOldestPinAgeNS int64
 }
 
 // Config configures a Server.
@@ -641,6 +651,12 @@ func (s *Server) StatsSnapshot() *wire.StatsResponse {
 		resp.GroupCommitBatchSizes = ss.GroupCommitBatchSizes
 		resp.LatchWaits = ss.LatchWaits
 		resp.LatchWaitNS = ss.LatchWaitNS
+		resp.SnapshotEpoch = ss.SnapshotEpoch
+		resp.SnapshotsTaken = ss.SnapshotsTaken
+		resp.VersionsPublished = ss.VersionsPublished
+		resp.SnapshotsPinned = ss.SnapshotsPinned
+		resp.SnapshotOldestPinned = ss.SnapshotOldestPinned
+		resp.SnapshotOldestPinAgeNS = ss.SnapshotOldestPinAgeNS
 	}
 	resp.RequestsInFlight = s.inFlight.Load()
 	resp.PipelineMaxDepth = s.pipeMaxDepth.Load()

@@ -1,0 +1,391 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSnapshotFrozenAcrossCommit(t *testing.T) {
+	e := OpenMemory(fastOpts())
+	defer e.Close()
+	mustCreate(t, e, testSchema())
+	mustInsert(t, e, "t_lfn", Row{Int64(1), String("lfn-001"), Int64(0)})
+
+	s, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	defer s.Close()
+
+	mustInsert(t, e, "t_lfn", Row{Int64(2), String("lfn-002"), Int64(0)})
+
+	n, err := s.Count("t_lfn")
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("snapshot Count = %d, want 1 (frozen before second insert)", n)
+	}
+	// A fresh snapshot observes the commit: publish happens before Commit
+	// returns.
+	s2, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	defer s2.Close()
+	if n, _ := s2.Count("t_lfn"); n != 2 {
+		t.Fatalf("post-commit snapshot Count = %d, want 2", n)
+	}
+	if s2.Epoch() <= s.Epoch() {
+		t.Fatalf("epoch did not advance: %d then %d", s.Epoch(), s2.Epoch())
+	}
+}
+
+func TestSnapshotMissingTable(t *testing.T) {
+	e := OpenMemory(fastOpts())
+	defer e.Close()
+	mustCreate(t, e, testSchema())
+	s, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.Count("nope"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("Count(nope) = %v, want ErrNoSuchTable", err)
+	}
+	// A table created after the snapshot is invisible to it.
+	other := testSchema()
+	other.Name = "t_other"
+	mustCreate(t, e, other)
+	if _, err := s.Count("t_other"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("Count(t_other) = %v, want ErrNoSuchTable from old snapshot", err)
+	}
+	if err := e.SnapshotView(func(r *Reader) error {
+		_, err := r.Count("t_other")
+		return err
+	}); err != nil {
+		t.Fatalf("fresh SnapshotView should see t_other: %v", err)
+	}
+}
+
+func TestSnapshotAfterCloseFails(t *testing.T) {
+	e := OpenMemory(fastOpts())
+	mustCreate(t, e, testSchema())
+	s, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := e.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Snapshot after Close = %v, want ErrClosed", err)
+	}
+	// The pre-close snapshot still reads its pinned version.
+	if n, err := s.Count("t_lfn"); err != nil || n != 0 {
+		t.Fatalf("pinned snapshot after Close: n=%d err=%v", n, err)
+	}
+	s.Close()
+	s.Close() // idempotent
+}
+
+func TestSnapshotStatsGauges(t *testing.T) {
+	e := OpenMemory(fastOpts())
+	defer e.Close()
+	mustCreate(t, e, testSchema())
+	s1, _ := e.Snapshot()
+	mustInsert(t, e, "t_lfn", Row{Int64(1), String("a"), Int64(0)})
+	s2, _ := e.Snapshot()
+	st := e.Stats().Snapshots
+	if st.Taken != 2 {
+		t.Fatalf("Taken = %d, want 2", st.Taken)
+	}
+	if st.Pinned != 2 {
+		t.Fatalf("Pinned = %d, want 2", st.Pinned)
+	}
+	if st.OldestPinned != s1.Epoch() {
+		t.Fatalf("OldestPinned = %d, want %d", st.OldestPinned, s1.Epoch())
+	}
+	if st.Epoch < s2.Epoch() {
+		t.Fatalf("Epoch = %d, want >= %d", st.Epoch, s2.Epoch())
+	}
+	if st.Published < 2 { // create-table + commit at least
+		t.Fatalf("Published = %d, want >= 2", st.Published)
+	}
+	s1.Close()
+	st = e.Stats().Snapshots
+	if st.Pinned != 1 || st.OldestPinned != s2.Epoch() {
+		t.Fatalf("after close: Pinned=%d OldestPinned=%d, want 1/%d", st.Pinned, st.OldestPinned, s2.Epoch())
+	}
+	s2.Close()
+	if st = e.Stats().Snapshots; st.Pinned != 0 || st.OldestPinned != 0 {
+		t.Fatalf("after all closed: Pinned=%d OldestPinned=%d, want 0/0", st.Pinned, st.OldestPinned)
+	}
+}
+
+func TestVacuumKeepsSnapshotConsistent(t *testing.T) {
+	e := OpenMemory(fastPostgresOpts())
+	defer e.Close()
+	mustCreate(t, e, testSchema())
+	for i := 0; i < 100; i++ {
+		mustInsert(t, e, "t_lfn", Row{Int64(int64(i)), String(fmt.Sprintf("lfn-%03d", i)), Int64(0)})
+	}
+	tx, _ := e.Begin("t_lfn")
+	for id := int64(1); id <= 50; id++ {
+		if _, err := tx.Delete("t_lfn", id); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	s, _ := e.Snapshot()
+	defer s.Close()
+	if n, _ := s.Count("t_lfn"); n != 50 {
+		t.Fatalf("snapshot Count = %d, want 50", n)
+	}
+	reclaimed, err := e.Vacuum("t_lfn")
+	if err != nil {
+		t.Fatalf("Vacuum: %v", err)
+	}
+	if reclaimed != 50 {
+		t.Fatalf("reclaimed = %d, want 50", reclaimed)
+	}
+	// The pinned snapshot's view is untouched by vacuum.
+	if n, _ := s.Count("t_lfn"); n != 50 {
+		t.Fatalf("snapshot Count after Vacuum = %d, want 50", n)
+	}
+	rows, err := s.Lookup("t_lfn", "by_id", Int64(10))
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("snapshot Lookup(10) = %d rows, err %v; want 0 (deleted pre-snapshot)", len(rows), err)
+	}
+	rows, err = s.Lookup("t_lfn", "by_id", Int64(60))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("snapshot Lookup(60) = %d rows, err %v; want 1", len(rows), err)
+	}
+}
+
+// TestSnapshotIsolationStress is the -race isolation proof: a reader pins a
+// snapshot and repeatedly verifies the exact frozen state while writers
+// commit, Vacuum prunes, and Checkpoint rotates the WAL and rewrites the disk
+// snapshot concurrently. Any torn read, in-place version mutation, or
+// checkpoint/vacuum latch regression shows up as a wrong count, a wrong row,
+// or a race report.
+func TestSnapshotIsolationStress(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, fastPostgresOpts())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer e.Close()
+	mustCreate(t, e, testSchema())
+
+	const frozen = 200
+	for i := 0; i < frozen; i++ {
+		mustInsert(t, e, "t_lfn", Row{Int64(int64(i)), String(fmt.Sprintf("base-%04d", i)), Int64(int64(i))})
+	}
+	snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	defer snap.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	fail := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case fail <- err:
+		default:
+		}
+	}
+
+	// Writer storm: inserts and deletes beyond the frozen range.
+	var seq atomic.Int64
+	seq.Store(frozen)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := seq.Add(1)
+				tx, err := e.Begin("t_lfn")
+				if err != nil {
+					report(fmt.Errorf("writer %d Begin: %w", w, err))
+					return
+				}
+				id, err := tx.Insert("t_lfn", Row{Int64(n), String(fmt.Sprintf("storm-%06d", n)), Int64(int64(w))})
+				if err != nil {
+					tx.Rollback()
+					report(fmt.Errorf("writer %d Insert: %w", w, err))
+					return
+				}
+				if i%2 == 1 {
+					if _, err := tx.Delete("t_lfn", id); err != nil {
+						tx.Rollback()
+						report(fmt.Errorf("writer %d Delete: %w", w, err))
+						return
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					report(fmt.Errorf("writer %d Commit: %w", w, err))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Maintenance: Vacuum and Checkpoint churn concurrently with everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.Vacuum("t_lfn"); err != nil {
+				report(fmt.Errorf("Vacuum: %w", err))
+				return
+			}
+			if err := e.Checkpoint(); err != nil {
+				report(fmt.Errorf("Checkpoint: %w", err))
+				return
+			}
+		}
+	}()
+
+	// The pinned reader: must observe exactly the frozen state, every time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n, err := snap.Count("t_lfn"); err != nil || n != frozen {
+				report(fmt.Errorf("snapshot Count = %d, %v; want %d", n, err, frozen))
+				return
+			}
+			probe := int64(137)
+			rows, err := snap.Lookup("t_lfn", "by_id", Int64(probe))
+			if err != nil || len(rows) != 1 {
+				report(fmt.Errorf("snapshot Lookup(%d): %d rows, %v", probe, len(rows), err))
+				return
+			}
+			if got := rows[0][1].Str; got != fmt.Sprintf("base-%04d", probe) {
+				report(fmt.Errorf("snapshot row %d = %q, want base-%04d", probe, got, probe))
+				return
+			}
+			seen := 0
+			err = snap.ScanStringPrefix("t_lfn", "by_name", "base-", func(_ int64, _ Row) bool {
+				seen++
+				return true
+			})
+			if err != nil || seen != frozen {
+				report(fmt.Errorf("snapshot scan saw %d rows, %v; want %d", seen, err, frozen))
+				return
+			}
+		}
+	}()
+
+	// Fresh-snapshot reader: each iteration pins the latest version and
+	// checks internal consistency (count matches a full scan).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := e.SnapshotView(func(r *Reader) error {
+				want, err := r.Count("t_lfn")
+				if err != nil {
+					return err
+				}
+				var got int64
+				if err := r.ScanPrefix("t_lfn", "by_id", nil, func(_ int64, _ Row) bool {
+					got++
+					return true
+				}); err != nil {
+					return err
+				}
+				if got != want {
+					return fmt.Errorf("fresh snapshot: scan saw %d live rows, Count says %d", got, want)
+				}
+				return nil
+			})
+			if err != nil {
+				report(fmt.Errorf("fresh snapshot: %w", err))
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 40; i++ {
+		select {
+		case err := <-fail:
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		default:
+		}
+		// Interleave a foreground checkpoint so rotation overlaps commits
+		// from this goroutine's perspective too.
+		if err := e.Checkpoint(); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("foreground Checkpoint: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-fail:
+		t.Fatal(err)
+	default:
+	}
+
+	// The engine recovers to the writers' final state across reopen: rotated
+	// segments plus the live WAL replay idempotently.
+	final := e.Stats()
+	var live int64
+	for _, ts := range final.Tables {
+		if ts.Name == "t_lfn" {
+			live = ts.Live
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	e2, err := Open(dir, fastPostgresOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer e2.Close()
+	if err := e2.SnapshotView(func(r *Reader) error {
+		n, err := r.Count("t_lfn")
+		if err != nil {
+			return err
+		}
+		if n != live {
+			return fmt.Errorf("recovered %d live rows, want %d", n, live)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

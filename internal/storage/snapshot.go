@@ -15,58 +15,66 @@ import (
 
 const snapshotMagic = "RLSSNAP1"
 
-// writeSnapshotLocked writes the snapshot file atomically (write to a temp
-// file, sync, rename). Caller holds the write lock.
-func (e *Engine) writeSnapshotLocked() error {
+// writeSnapshotVersion writes the snapshot file atomically (write to a temp
+// file, sync, rename) from a pinned published version. It reads only
+// immutable data, so it runs concurrently with writers; Checkpoint serializes
+// callers via ckptMu. On any failure the temp file is removed.
+func (e *Engine) writeSnapshotVersion(ev *engineVersion) (err error) {
 	tmp := e.snapshotPath() + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	w := bufio.NewWriterSize(f, 1<<20)
-	if _, err := w.WriteString(snapshotMagic); err != nil {
-		f.Close()
+	if _, err = w.WriteString(snapshotMagic); err != nil {
 		return err
 	}
-	names := make([]string, 0, len(e.tables))
-	for name := range e.tables {
+	names := make([]string, 0, len(ev.tables))
+	for name := range ev.tables {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		t := e.tables[name]
-		if _, err := w.Write(walEncode(walRecord{kind: recCreateTable, tableID: t.id, schema: t.schema})); err != nil {
-			f.Close()
+		v := ev.tables[name]
+		t := v.t
+		if _, err = w.Write(walEncode(walRecord{kind: recCreateTable, tableID: t.id, schema: t.schema})); err != nil {
 			return err
 		}
-		rowids := make([]int64, 0, len(t.heap))
-		for rowid, ver := range t.heap {
-			if !ver.dead {
-				rowids = append(rowids, rowid)
+		// The heap tree is keyed by big-endian rowid, so Ascend emits live
+		// rows in rowid order — the order replay expects.
+		v.heap.Ascend(func(_ []byte, val any) bool {
+			ver := val.(*version)
+			if ver.dead {
+				return true
 			}
-		}
-		sort.Slice(rowids, func(i, j int) bool { return rowids[i] < rowids[j] })
-		for _, rowid := range rowids {
-			rec := walRecord{kind: recInsert, tableID: t.id, rowid: rowid, row: t.heap[rowid].row}
-			if _, err := w.Write(walEncode(rec)); err != nil {
-				f.Close()
-				return err
-			}
+			rec := walRecord{kind: recInsert, tableID: t.id, rowid: ver.rowid, row: ver.row}
+			_, err = w.Write(walEncode(rec))
+			return err == nil
+		})
+		if err != nil {
+			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
+	if err = w.Flush(); err != nil {
 		return err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
+	if err = f.Sync(); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
+	if err = f.Close(); err != nil {
 		return err
 	}
 	e.opts.Device.Sync()
-	return os.Rename(tmp, e.snapshotPath())
+	if err = os.Rename(tmp, e.snapshotPath()); err != nil {
+		return err
+	}
+	return nil
 }
 
 // loadSnapshot restores table state from the snapshot file, if present.
@@ -100,7 +108,7 @@ func (e *Engine) loadSnapshot() error {
 			if !ok {
 				return fmt.Errorf("storage: snapshot references unknown table %d", rec.tableID)
 			}
-			if _, err := t.insertLocked(rec.row, rec.rowid, PersonalityMySQL); err != nil {
+			if err := t.replaceLocked(rec.row, rec.rowid); err != nil {
 				return err
 			}
 		default:

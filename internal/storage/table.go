@@ -16,6 +16,10 @@ import (
 // the version outright; under PersonalityPostgres the version is marked dead
 // and remains in the heap and every index until Vacuum, so scans and
 // uniqueness probes pay for it — the mechanism behind the Figure 8 sawtooth.
+//
+// Versions are immutable once created: the MVCC read path shares them between
+// the live table and every published snapshot, so state changes (tombstoning,
+// undelete) allocate a replacement version rather than mutating in place.
 type version struct {
 	rowid int64
 	row   Row
@@ -28,6 +32,7 @@ type version struct {
 type index struct {
 	spec IndexSpec
 	cols []int
+	pos  int // position in table.indexes, = slot in tview.trees
 	tree btree.Tree
 }
 
@@ -39,7 +44,18 @@ func entryKey(colKey []byte, rowid int64) []byte {
 	return out
 }
 
-// table is the in-memory representation of one table.
+// rowidKey is the heap-tree key for a rowid. Rowids are positive, so the
+// big-endian encoding sorts in rowid order.
+func rowidKey(rowid int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(rowid))
+	return b[:]
+}
+
+// table is the in-memory representation of one table. The mutable state (heap
+// and index trees) is copy-on-write: publishing a version clones every tree in
+// O(1) and later writes copy only the paths they touch, so published clones
+// stay frozen forever.
 type table struct {
 	id     uint32
 	schema Schema
@@ -47,18 +63,48 @@ type table struct {
 
 	// latch is the table's lock: transactions write-latch and views
 	// read-latch the tables they declare, always in sorted name order (see
-	// Engine.lockTables), so writers on disjoint tables never contend. The
-	// *Locked methods below all require it (or the exclusive global latch,
-	// which subsumes it).
+	// Engine.lockTables), so writers on disjoint tables never contend.
+	// Snapshot readers hold no latch at all: they read published tviews.
+	// The *Locked methods below all require it (or the exclusive global
+	// latch, which subsumes it).
 	latch       sync.RWMutex
 	latchWaits  atomic.Int64 // acquisitions that had to block
 	latchWaitNS atomic.Int64 // total nanoseconds spent blocked on the latch
 
-	heap    map[int64]*version
-	indexes []*index
-	byName  map[string]*index
-	nextRow int64
-	dead    int64 // tombstone count (postgres personality)
+	heap     btree.Tree // rowidKey -> *version
+	indexes  []*index
+	byName   map[string]*index
+	mutTrees []*btree.Tree // stable pointers at the live index trees
+	nextRow  int64
+	dead     int64 // tombstone count (postgres personality)
+}
+
+// tview is one table version: an immutable (heap, index trees, tombstone
+// count) triple. Published tviews back latch-free snapshot readers; the
+// mutable view (mutView) aliases the live trees and is only valid under the
+// table latch. All read paths go through tview so latched and latch-free
+// readers share one implementation.
+type tview struct {
+	t     *table        // identity: schema, byName, device — immutable fields only
+	heap  *btree.Tree   // rowidKey -> *version
+	trees []*btree.Tree // parallel to t.indexes (slot = index.pos)
+	dead  int64
+}
+
+// mutView returns the live-state view. Caller holds the table latch.
+func (t *table) mutView() tview {
+	return tview{t: t, heap: &t.heap, trees: t.mutTrees, dead: t.dead}
+}
+
+// cloneView publishes the current state as an immutable version: O(1) clones
+// of the heap and every index tree. Caller holds the table write latch (or
+// the exclusive global latch), so no mutation races the clone.
+func (t *table) cloneView() tview {
+	trees := make([]*btree.Tree, len(t.indexes))
+	for i, ix := range t.indexes {
+		trees[i] = ix.tree.Clone()
+	}
+	return tview{t: t, heap: t.heap.Clone(), trees: trees, dead: t.dead}
 }
 
 // lockLatch acquires the table latch, recording wait telemetry only when the
@@ -87,13 +133,13 @@ func newTable(id uint32, schema Schema, dev *disk.Device) *table {
 		id:     id,
 		schema: schema,
 		dev:    dev,
-		heap:   make(map[int64]*version),
 		byName: make(map[string]*index, len(schema.Indexes)),
 	}
-	for _, spec := range schema.Indexes {
-		ix := &index{spec: spec, cols: schema.columnPositions(spec.Columns)}
+	for i, spec := range schema.Indexes {
+		ix := &index{spec: spec, cols: schema.columnPositions(spec.Columns), pos: i}
 		t.indexes = append(t.indexes, ix)
 		t.byName[spec.Name] = ix
+		t.mutTrees = append(t.mutTrees, &ix.tree)
 	}
 	return t
 }
@@ -102,8 +148,8 @@ func newTable(id uint32, schema Schema, dev *disk.Device) *table {
 // in a unique index.
 var ErrUniqueViolation = errors.New("storage: unique constraint violation")
 
-// insertLocked adds a row to the table. The caller holds the engine write
-// lock. If rowid is <= 0 a fresh rowid is allocated. Uniqueness is checked
+// insertLocked adds a row to the table. The caller holds the table write
+// latch. If rowid is <= 0 a fresh rowid is allocated. Uniqueness is checked
 // against live versions; under the postgres personality the probe walks dead
 // versions of the same key too, so bloat slows inserts until Vacuum.
 func (t *table) insertLocked(row Row, rowid int64, personality Personality) (int64, error) {
@@ -146,7 +192,7 @@ func (t *table) insertLocked(row Row, rowid int64, personality Personality) (int
 		t.nextRow = rowid
 	}
 	ver := &version{rowid: rowid, row: row.Clone()}
-	t.heap[rowid] = ver
+	t.heap.Set(rowidKey(rowid), ver)
 	for _, ix := range t.indexes {
 		ix.tree.Set(entryKey(encodeKey(row, ix.cols), rowid), ver)
 	}
@@ -154,21 +200,70 @@ func (t *table) insertLocked(row Row, rowid int64, personality Personality) (int
 	return rowid, nil
 }
 
+// replaceLocked is the recovery-path insert: it skips uniqueness probes and
+// overwrites any existing version with the same rowid, which makes replay
+// idempotent — a WAL prefix already captured in a snapshot can be replayed
+// again without spurious unique violations (the records were validated when
+// originally executed). Only used before the engine goes concurrent.
+func (t *table) replaceLocked(row Row, rowid int64) error {
+	if len(row) != len(t.schema.Columns) {
+		return fmt.Errorf("storage: table %s: row has %d values, schema has %d columns",
+			t.schema.Name, len(row), len(t.schema.Columns))
+	}
+	t.removeVersionLocked(rowid)
+	if rowid > t.nextRow {
+		t.nextRow = rowid
+	}
+	ver := &version{rowid: rowid, row: row.Clone()}
+	t.heap.Set(rowidKey(rowid), ver)
+	for _, ix := range t.indexes {
+		ix.tree.Set(entryKey(encodeKey(row, ix.cols), rowid), ver)
+	}
+	return nil
+}
+
+// removeVersionLocked physically removes whatever version (live or dead)
+// holds the rowid, from the heap and every index.
+func (t *table) removeVersionLocked(rowid int64) {
+	v, ok := t.heap.Get(rowidKey(rowid))
+	if !ok {
+		return
+	}
+	ver := v.(*version)
+	if ver.dead {
+		t.dead--
+	}
+	t.heap.Delete(rowidKey(rowid))
+	for _, ix := range t.indexes {
+		ix.tree.Delete(entryKey(encodeKey(ver.row, ix.cols), rowid))
+	}
+}
+
 // deleteLocked removes the row with the given rowid. Under PersonalityMySQL
-// the version and its index entries are removed; under PersonalityPostgres
-// the version is only marked dead. Returns the removed row, or false if no
-// live row has that id.
+// the version and its index entries are removed; under PersonalityPostgres a
+// replacement version marked dead is installed (versions are shared with
+// published snapshots, so the tombstone must be a new allocation, never an
+// in-place flip). Returns the removed row, or false if no live row has that
+// id.
 func (t *table) deleteLocked(rowid int64, personality Personality) (Row, bool) {
-	ver, ok := t.heap[rowid]
-	if !ok || ver.dead {
+	v, ok := t.heap.Get(rowidKey(rowid))
+	if !ok {
+		return nil, false
+	}
+	ver := v.(*version)
+	if ver.dead {
 		return nil, false
 	}
 	if personality == PersonalityPostgres {
-		ver.dead = true
+		tomb := &version{rowid: rowid, row: ver.row, dead: true}
+		t.heap.Set(rowidKey(rowid), tomb)
+		for _, ix := range t.indexes {
+			ix.tree.Set(entryKey(encodeKey(ver.row, ix.cols), rowid), tomb)
+		}
 		t.dead++
 		return ver.row, true
 	}
-	delete(t.heap, rowid)
+	t.heap.Delete(rowidKey(rowid))
 	for _, ix := range t.indexes {
 		ix.tree.Delete(entryKey(encodeKey(ver.row, ix.cols), rowid))
 	}
@@ -178,14 +273,23 @@ func (t *table) deleteLocked(rowid int64, personality Personality) (Row, bool) {
 // undeleteLocked reverses deleteLocked for transaction rollback.
 func (t *table) undeleteLocked(rowid int64, row Row, personality Personality) {
 	if personality == PersonalityPostgres {
-		if ver, ok := t.heap[rowid]; ok && ver.dead {
-			ver.dead = false
-			t.dead--
-			return
+		if v, ok := t.heap.Get(rowidKey(rowid)); ok {
+			if ver := v.(*version); ver.dead {
+				// The tombstone was allocated by deleteLocked in this same
+				// (uncommitted, unpublished) transaction, but a fresh live
+				// version keeps the no-in-place-mutation invariant anyway.
+				live := &version{rowid: rowid, row: ver.row}
+				t.heap.Set(rowidKey(rowid), live)
+				for _, ix := range t.indexes {
+					ix.tree.Set(entryKey(encodeKey(ver.row, ix.cols), rowid), live)
+				}
+				t.dead--
+				return
+			}
 		}
 	}
 	ver := &version{rowid: rowid, row: row}
-	t.heap[rowid] = ver
+	t.heap.Set(rowidKey(rowid), ver)
 	for _, ix := range t.indexes {
 		ix.tree.Set(entryKey(encodeKey(row, ix.cols), rowid), ver)
 	}
@@ -195,11 +299,12 @@ func (t *table) undeleteLocked(rowid int64, row Row, personality Personality) {
 // the version physically under either personality: a rolled-back insert was
 // never visible.
 func (t *table) uninsertLocked(rowid int64) {
-	ver, ok := t.heap[rowid]
+	v, ok := t.heap.Get(rowidKey(rowid))
 	if !ok {
 		return
 	}
-	delete(t.heap, rowid)
+	ver := v.(*version)
+	t.heap.Delete(rowidKey(rowid))
 	for _, ix := range t.indexes {
 		ix.tree.Delete(entryKey(encodeKey(ver.row, ix.cols), rowid))
 	}
@@ -212,13 +317,13 @@ func (t *table) chargeDead(n int) {
 	}
 }
 
-// lookupLocked returns the live rows whose indexed columns equal vals.
-func (t *table) lookupLocked(ix *index, vals []Value) []Row {
+// lookup returns the live rows whose indexed columns equal vals.
+func (v tview) lookup(ix *index, vals []Value) []Row {
 	var out []Row
 	deadVisited := 0
 	colKey := encodeValuesKey(vals)
-	ix.tree.AscendPrefix(colKey, func(_ []byte, v any) bool {
-		ver := v.(*version)
+	v.trees[ix.pos].AscendPrefix(colKey, func(_ []byte, val any) bool {
+		ver := val.(*version)
 		if ver.dead {
 			deadVisited++
 		} else {
@@ -226,18 +331,18 @@ func (t *table) lookupLocked(ix *index, vals []Value) []Row {
 		}
 		return true
 	})
-	t.chargeDead(deadVisited)
+	v.t.chargeDead(deadVisited)
 	return out
 }
 
-// lookupIDsLocked is lookupLocked but returns rowids alongside rows.
-func (t *table) lookupIDsLocked(ix *index, vals []Value) ([]int64, []Row) {
+// lookupIDs is lookup but returns rowids alongside rows.
+func (v tview) lookupIDs(ix *index, vals []Value) ([]int64, []Row) {
 	var ids []int64
 	var rows []Row
 	deadVisited := 0
 	colKey := encodeValuesKey(vals)
-	ix.tree.AscendPrefix(colKey, func(_ []byte, v any) bool {
-		ver := v.(*version)
+	v.trees[ix.pos].AscendPrefix(colKey, func(_ []byte, val any) bool {
+		ver := val.(*version)
 		if ver.dead {
 			deadVisited++
 		} else {
@@ -246,64 +351,64 @@ func (t *table) lookupIDsLocked(ix *index, vals []Value) ([]int64, []Row) {
 		}
 		return true
 	})
-	t.chargeDead(deadVisited)
+	v.t.chargeDead(deadVisited)
 	return ids, rows
 }
 
-// scanPrefixLocked walks live rows whose index key starts with the encoded
-// prefix values, in index order, until fn returns false.
-func (t *table) scanPrefixLocked(ix *index, prefix []Value, fn func(rowid int64, row Row) bool) {
-	walk := func(_ []byte, v any) bool {
-		ver := v.(*version)
+// scanPrefix walks live rows whose index key starts with the encoded prefix
+// values, in index order, until fn returns false.
+func (v tview) scanPrefix(ix *index, prefix []Value, fn func(rowid int64, row Row) bool) {
+	walk := func(_ []byte, val any) bool {
+		ver := val.(*version)
 		if ver.dead {
 			return true
 		}
 		return fn(ver.rowid, ver.row)
 	}
 	if len(prefix) == 0 {
-		ix.tree.Ascend(walk)
+		v.trees[ix.pos].Ascend(walk)
 		return
 	}
-	ix.tree.AscendPrefix(encodeValuesKey(prefix), walk)
+	v.trees[ix.pos].AscendPrefix(encodeValuesKey(prefix), walk)
 }
 
-// scanStringPrefixLocked walks live rows of a single-string-column index
-// whose column value begins with the given string prefix. This is the access
-// path for wildcard queries like "lfn-1*": the pattern's literal prefix
-// bounds the scan.
-func (t *table) scanStringPrefixLocked(ix *index, prefix string, fn func(rowid int64, row Row) bool) {
-	walk := func(_ []byte, v any) bool {
-		ver := v.(*version)
+// scanStringPrefix walks live rows of a single-string-column index whose
+// column value begins with the given string prefix. This is the access path
+// for wildcard queries like "lfn-1*": the pattern's literal prefix bounds the
+// scan.
+func (v tview) scanStringPrefix(ix *index, prefix string, fn func(rowid int64, row Row) bool) {
+	walk := func(_ []byte, val any) bool {
+		ver := val.(*version)
 		if ver.dead {
 			return true
 		}
 		return fn(ver.rowid, ver.row)
 	}
 	if prefix == "" {
-		ix.tree.Ascend(walk)
+		v.trees[ix.pos].Ascend(walk)
 		return
 	}
 	// Encode the prefix as a string key but strip the terminator so the
 	// range covers all strings extending it.
 	enc := appendKey(nil, String(prefix))
 	enc = enc[:len(enc)-2]
-	ix.tree.AscendRange(enc, btree.PrefixEnd(enc), walk)
+	v.trees[ix.pos].AscendRange(enc, btree.PrefixEnd(enc), walk)
 }
 
-// scanStringAfterLocked walks live rows of a single-string-column index
-// whose column value is strictly greater than after, in index order. It is
-// the pagination primitive for streaming enumerations (full soft state
-// updates) without holding the read lock across pages.
-func (t *table) scanStringAfterLocked(ix *index, after string, fn func(rowid int64, row Row) bool) {
-	walk := func(_ []byte, v any) bool {
-		ver := v.(*version)
+// scanStringAfter walks live rows of a single-string-column index whose
+// column value is strictly greater than after, in index order. It is the
+// pagination primitive for streaming enumerations (full soft state updates);
+// a snapshot-pinned cursor pages with it without ever blocking writers.
+func (v tview) scanStringAfter(ix *index, after string, fn func(rowid int64, row Row) bool) {
+	walk := func(_ []byte, val any) bool {
+		ver := val.(*version)
 		if ver.dead {
 			return true
 		}
 		return fn(ver.rowid, ver.row)
 	}
 	if after == "" {
-		ix.tree.Ascend(walk)
+		v.trees[ix.pos].Ascend(walk)
 		return
 	}
 	// Keys for the exact value `after` share the prefix enc(after); the
@@ -311,31 +416,40 @@ func (t *table) scanStringAfterLocked(ix *index, after string, fn func(rowid int
 	// encoding is prefix-free, so every strictly greater value sorts at or
 	// beyond that point.
 	enc := appendKey(nil, String(after))
-	ix.tree.AscendRange(btree.PrefixEnd(enc), nil, walk)
+	v.trees[ix.pos].AscendRange(btree.PrefixEnd(enc), nil, walk)
+}
+
+// liveCount returns the number of live rows in the view.
+func (v tview) liveCount() int64 {
+	return int64(v.heap.Len()) - v.dead
 }
 
 // vacuumLocked physically removes dead versions, returning how many were
-// reclaimed. Only meaningful under the postgres personality.
+// reclaimed. Only meaningful under the postgres personality. Published
+// snapshot versions are unaffected: their cloned trees keep the tombstones
+// they froze.
 func (t *table) vacuumLocked() int64 {
 	if t.dead == 0 {
 		return 0
 	}
-	reclaimed := int64(0)
-	for rowid, ver := range t.heap {
-		if !ver.dead {
-			continue
+	var deadVers []*version
+	t.heap.Ascend(func(_ []byte, v any) bool {
+		if ver := v.(*version); ver.dead {
+			deadVers = append(deadVers, ver)
 		}
-		delete(t.heap, rowid)
+		return true
+	})
+	for _, ver := range deadVers {
+		t.heap.Delete(rowidKey(ver.rowid))
 		for _, ix := range t.indexes {
-			ix.tree.Delete(entryKey(encodeKey(ver.row, ix.cols), rowid))
+			ix.tree.Delete(entryKey(encodeKey(ver.row, ix.cols), ver.rowid))
 		}
-		reclaimed++
 	}
-	t.dead -= reclaimed
-	return reclaimed
+	t.dead -= int64(len(deadVers))
+	return int64(len(deadVers))
 }
 
 // liveCountLocked returns the number of live rows.
 func (t *table) liveCountLocked() int64 {
-	return int64(len(t.heap)) - t.dead
+	return int64(t.heap.Len()) - t.dead
 }

@@ -33,7 +33,9 @@ var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &
 // Tx is a write transaction. It holds the shared global latch plus write
 // latches on the tables declared at Begin until Commit or Rollback;
 // mutations are applied eagerly (reads within the transaction see them) and
-// logged for rollback.
+// logged for rollback. Commit publishes a new immutable version of every
+// touched table before releasing the latches, so a Snapshot taken after
+// Commit returns always observes the transaction.
 type Tx struct {
 	e       *Engine
 	tables  map[string]*table // declared (write-latched) tables by name
@@ -111,7 +113,7 @@ func (tx *Tx) Lookup(tableName, indexName string, vals ...Value) ([]Row, error) 
 	if err != nil {
 		return nil, err
 	}
-	return t.lookupLocked(ix, vals), nil
+	return t.mutView().lookup(ix, vals), nil
 }
 
 // LookupIDs returns live rowids and rows whose indexed columns equal vals.
@@ -120,7 +122,7 @@ func (tx *Tx) LookupIDs(tableName, indexName string, vals ...Value) ([]int64, []
 	if err != nil {
 		return nil, nil, err
 	}
-	ids, rows := t.lookupIDsLocked(ix, vals)
+	ids, rows := t.mutView().lookupIDs(ix, vals)
 	return ids, rows, nil
 }
 
@@ -131,16 +133,17 @@ func (tx *Tx) ScanPrefix(tableName, indexName string, prefix []Value, fn func(ro
 	if err != nil {
 		return err
 	}
-	t.scanPrefixLocked(ix, prefix, fn)
+	t.mutView().scanPrefix(ix, prefix, fn)
 	return nil
 }
 
 // Commit durably applies the transaction per the engine flush policy and
 // releases the latches. The WAL append happens while the table latches are
 // still held — that keeps the log's order consistent with the commit order
-// on every table — but the device charges (write cost and, under
-// FlushOnCommit, the group-commit sync wait) are paid after release, so
-// they serialize on the device queue rather than on the tables.
+// on every table (replay correctness) — and so does the version publish, so
+// snapshot visibility follows commit order too. The device charges (write
+// cost and, under FlushOnCommit, the group-commit sync wait) are paid after
+// release, so they serialize on the device queue rather than on the tables.
 func (tx *Tx) Commit() error {
 	return tx.CommitCtx(context.Background())
 }
@@ -175,6 +178,18 @@ func (tx *Tx) CommitCtx(ctx context.Context) error {
 	wait, err := tx.e.wal.commitAppend(frame, tx.e.flushOnCommit.Load())
 	*bp = frame
 	framePool.Put(bp)
+	// Publish a new immutable version of every touched table while the write
+	// latches are still held: per-table publish order matches commit order,
+	// and live state never diverges from the published state — even when the
+	// WAL append failed, the in-memory mutation is already applied.
+	updates := make(map[string]tview, len(tx.tables))
+	for _, op := range tx.ops {
+		name := op.table.schema.Name
+		if _, done := updates[name]; !done {
+			updates[name] = op.table.cloneView()
+		}
+	}
+	tx.e.publish(updates)
 	tx.release()
 	if err != nil {
 		return err
@@ -186,7 +201,9 @@ func (tx *Tx) CommitCtx(ctx context.Context) error {
 	return nil
 }
 
-// Rollback undoes the transaction and releases the latches.
+// Rollback undoes the transaction and releases the latches. Nothing is
+// published: the reversed mutations were never visible outside the
+// transaction.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return ErrTxDone
@@ -205,93 +222,107 @@ func (tx *Tx) Rollback() error {
 	return nil
 }
 
-// Reader is the read-only accessor passed to Engine.View and
-// Engine.ViewTables. It sees only the tables the view declared.
+// Reader is the read-only accessor passed to Engine.View, Engine.ViewTables
+// and Engine.SnapshotView, and embedded in Snap. A latched reader (View /
+// ViewTables) sees only its declared tables' live state under read latches; a
+// snapshot reader sees every table of one frozen published version and holds
+// no latches at all.
 type Reader struct {
-	e      *Engine
-	tables map[string]*table
+	e     *Engine
+	views map[string]tview
+	// all means the reader sees every table (nil-declared view or snapshot)
+	// rather than a declared subset.
+	all bool
+	// snapshot means views is an immutable published version and the engine's
+	// table map must not be consulted (no latch protects it here).
+	snapshot bool
 }
 
-func (r *Reader) table(name string) (*table, error) {
-	t, ok := r.tables[name]
+func (r *Reader) view(name string) (tview, error) {
+	v, ok := r.views[name]
 	if !ok {
-		if _, exists := r.e.tables[name]; exists {
-			return nil, fmt.Errorf("%w: %s", ErrTableNotDeclared, name)
+		if !r.snapshot && !r.all {
+			// Declared latched view: the shared global latch is held, so the
+			// table map is safe to read to distinguish "not declared" from
+			// "no such table".
+			if _, exists := r.e.tables[name]; exists {
+				return tview{}, fmt.Errorf("%w: %s", ErrTableNotDeclared, name)
+			}
 		}
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+		return tview{}, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
 	}
-	return t, nil
+	return v, nil
 }
 
-func (r *Reader) index(name, indexName string) (*table, *index, error) {
-	t, err := r.table(name)
+func (r *Reader) index(name, indexName string) (tview, *index, error) {
+	v, err := r.view(name)
 	if err != nil {
-		return nil, nil, err
+		return tview{}, nil, err
 	}
-	ix, ok := t.byName[indexName]
+	ix, ok := v.t.byName[indexName]
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: %s.%s", ErrNoSuchIndex, name, indexName)
+		return tview{}, nil, fmt.Errorf("%w: %s.%s", ErrNoSuchIndex, name, indexName)
 	}
-	return t, ix, nil
+	return v, ix, nil
 }
 
 // Lookup returns live rows whose indexed columns equal vals. Rows are cloned
 // only on demand by callers; the slice contents must not be mutated.
 func (r *Reader) Lookup(tableName, indexName string, vals ...Value) ([]Row, error) {
-	t, ix, err := r.index(tableName, indexName)
+	v, ix, err := r.index(tableName, indexName)
 	if err != nil {
 		return nil, err
 	}
-	return t.lookupLocked(ix, vals), nil
+	return v.lookup(ix, vals), nil
 }
 
 // LookupIDs returns live rowids and rows whose indexed columns equal vals.
 func (r *Reader) LookupIDs(tableName, indexName string, vals ...Value) ([]int64, []Row, error) {
-	t, ix, err := r.index(tableName, indexName)
+	v, ix, err := r.index(tableName, indexName)
 	if err != nil {
 		return nil, nil, err
 	}
-	ids, rows := t.lookupIDsLocked(ix, vals)
+	ids, rows := v.lookupIDs(ix, vals)
 	return ids, rows, nil
 }
 
 // ScanPrefix iterates live rows whose index key begins with the given values.
 func (r *Reader) ScanPrefix(tableName, indexName string, prefix []Value, fn func(rowid int64, row Row) bool) error {
-	t, ix, err := r.index(tableName, indexName)
+	v, ix, err := r.index(tableName, indexName)
 	if err != nil {
 		return err
 	}
-	t.scanPrefixLocked(ix, prefix, fn)
+	v.scanPrefix(ix, prefix, fn)
 	return nil
 }
 
 // ScanStringPrefix iterates live rows of a string-keyed index whose first
 // column starts with prefix — the access path for wildcard queries.
 func (r *Reader) ScanStringPrefix(tableName, indexName, prefix string, fn func(rowid int64, row Row) bool) error {
-	t, ix, err := r.index(tableName, indexName)
+	v, ix, err := r.index(tableName, indexName)
 	if err != nil {
 		return err
 	}
-	t.scanStringPrefixLocked(ix, prefix, fn)
+	v.scanStringPrefix(ix, prefix, fn)
 	return nil
 }
 
 // ScanStringAfter iterates live rows of a string-keyed index whose first
 // column is strictly greater than after, in lexical order.
 func (r *Reader) ScanStringAfter(tableName, indexName, after string, fn func(rowid int64, row Row) bool) error {
-	t, ix, err := r.index(tableName, indexName)
+	v, ix, err := r.index(tableName, indexName)
 	if err != nil {
 		return err
 	}
-	t.scanStringAfterLocked(ix, after, fn)
+	v.scanStringAfter(ix, after, fn)
 	return nil
 }
 
 // Count returns the number of live rows in the table.
 func (r *Reader) Count(tableName string) (int64, error) {
-	t, err := r.table(tableName)
+	v, err := r.view(tableName)
 	if err != nil {
 		return 0, err
 	}
-	return t.liveCountLocked(), nil
+	return v.liveCount(), nil
 }

@@ -555,10 +555,13 @@ func (w *wal) drain() {
 // fsync flushes the OS file (the simulated device charge is separate and
 // paid by the caller so memory-only engines still model it).
 func (w *wal) fsync() error {
-	if w.f == nil {
+	w.mu.Lock()
+	f := w.f
+	w.mu.Unlock()
+	if f == nil {
 		return nil
 	}
-	return w.f.Sync()
+	return f.Sync()
 }
 
 // sync counts and performs a file flush outside the group-commit path.
@@ -616,21 +619,40 @@ func (w *wal) stats() walStats {
 	}
 }
 
-// reset truncates the log after a checkpoint. The caller holds the exclusive
+// rotate moves the live log aside for a checkpoint: sync, close, rename to
+// prevPath, reopen a fresh file at path. The caller holds the exclusive
 // global latch with group commit drained, so no appends can race the
-// truncation; only the counters need the log lock.
-func (w *wal) reset() error {
+// rotation; the file I/O runs outside w.mu (lock discipline), and the only
+// concurrent w.f user — the background flusher's fsync — snapshots the
+// handle under the mutex, so at worst it syncs the closing segment (whose
+// data rotate just synced) and retries on the fresh one. The renamed
+// segment stays on disk until the checkpoint's snapshot lands, which is
+// what keeps a crash mid-checkpoint recoverable.
+func (w *wal) rotate(path, prevPath string) error {
 	w.mu.Lock()
 	w.size = 0
+	f := w.f
 	w.mu.Unlock()
-	if w.f == nil {
+	if f == nil {
 		return nil
 	}
-	if err := w.f.Truncate(0); err != nil {
+	if err := f.Sync(); err != nil {
 		return err
 	}
-	_, err := w.f.Seek(0, io.SeekStart)
-	return err
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(path, prevPath); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.f = nf
+	w.mu.Unlock()
+	return nil
 }
 
 func (w *wal) close() error {

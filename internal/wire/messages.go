@@ -1006,6 +1006,17 @@ type StatsResponse struct {
 	LatchWaits              int64   // table-latch acquisitions that blocked
 	LatchWaitNS             int64   // total nanoseconds spent blocked
 
+	// MVCC snapshot read path: copy-on-write version publishing and pinned
+	// latch-free readers. Epoch is the highest published epoch across the
+	// node's engines; the pin gauges expose version retirement (a pinned
+	// snapshot keeps its version alive until Close).
+	SnapshotEpoch          int64
+	SnapshotsTaken         int64
+	VersionsPublished      int64
+	SnapshotsPinned        int64
+	SnapshotOldestPinned   int64 // lowest pinned epoch, 0 when none pinned
+	SnapshotOldestPinAgeNS int64 // age of the oldest pinned version
+
 	// Wire-protocol pipelining: per-connection in-flight dispatch and
 	// flush-coalesced response writing.
 	RequestsInFlight   int64   // dispatches currently executing across all conns
@@ -1078,6 +1089,12 @@ func (r *StatsResponse) Encode() []byte {
 	}
 	e.I64(r.LatchWaits)
 	e.I64(r.LatchWaitNS)
+	e.I64(r.SnapshotEpoch)
+	e.I64(r.SnapshotsTaken)
+	e.I64(r.VersionsPublished)
+	e.I64(r.SnapshotsPinned)
+	e.I64(r.SnapshotOldestPinned)
+	e.I64(r.SnapshotOldestPinAgeNS)
 	e.I64(r.RequestsInFlight)
 	e.I64(r.PipelineMaxDepth)
 	e.Uvarint(uint64(len(r.PipelineDepths)))
@@ -1165,6 +1182,12 @@ func DecodeStatsResponse(body []byte) (*StatsResponse, error) {
 	}
 	r.LatchWaits = d.I64()
 	r.LatchWaitNS = d.I64()
+	r.SnapshotEpoch = d.I64()
+	r.SnapshotsTaken = d.I64()
+	r.VersionsPublished = d.I64()
+	r.SnapshotsPinned = d.I64()
+	r.SnapshotOldestPinned = d.I64()
+	r.SnapshotOldestPinAgeNS = d.I64()
 	r.RequestsInFlight = d.I64()
 	r.PipelineMaxDepth = d.I64()
 	nDepths := d.Uvarint()

@@ -142,9 +142,25 @@ func MultiTenant(rate float64, dur time.Duration) Scenario {
 	}
 }
 
+// ReadStorm drives the MVCC snapshot read path under write pressure: a
+// fixed-rate Zipf query stream riding over a sustained registration storm
+// in one arrival process. The harness pairs it with periodic engine
+// checkpoints, so latch-free snapshot readers, the writer storm, and
+// checkpoint version pins all contend on the same catalog at once.
+func ReadStorm(readRate, writeRate float64, dur time.Duration, theta float64) Scenario {
+	total := readRate + writeRate
+	return Scenario{
+		Name: "read-storm",
+		Phases: []Phase{
+			{Name: "storm", Rate: total, Duration: dur, Arrival: ArrivalPoisson,
+				Mix: OpMix{Query: readRate / total, Add: writeRate / total}, Theta: theta},
+		},
+	}
+}
+
 // ScenarioNames lists the names ScenarioByName accepts, sorted.
 func ScenarioNames() []string {
-	names := []string{"steady", "flash", "storm", "churn", "tenants"}
+	names := []string{"steady", "flash", "storm", "churn", "tenants", "read-storm"}
 	sort.Strings(names)
 	return names
 }
@@ -163,6 +179,8 @@ func ScenarioByName(name string, rate float64, dur time.Duration) (Scenario, err
 		return ReplicaChurn(rate, dur), nil
 	case "tenants":
 		return MultiTenant(rate, dur), nil
+	case "read-storm":
+		return ReadStorm(0.75*rate, 0.25*rate, dur, 0.9), nil
 	}
 	return Scenario{}, fmt.Errorf("workload: unknown scenario %q (want one of %v)", name, ScenarioNames())
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-self fuzz ci bench stress chaos scenarios
+.PHONY: build test race vet lint lint-self fuzz ci bench bench-diff stress chaos scenarios
 
 build:
 	$(GO) build ./...
@@ -43,15 +43,24 @@ stress:
 chaos:
 	$(GO) run ./cmd/rls-bench -trials 1 chaos
 
-# Open-loop scenario smoke: run the six scen-* experiments at quick
-# parameters, emit the BENCH_8.json perf-trajectory snapshot, and check it
-# against the rls-bench/v1 schema. CI uploads the snapshot as an artifact.
+# Open-loop scenario smoke: run the scen-* experiments (including the
+# sharded scale-out sweep) at quick parameters, emit the BENCH_9.json
+# perf-trajectory snapshot, and check it against the rls-bench/v1 schema.
+# CI uploads the snapshot as an artifact.
 scenarios:
-	$(GO) run ./cmd/rls-bench -quick -bench 8 -json BENCH_8.json \
-		scen-steady scen-flash scen-storm scen-churn scen-tenants scen-read-storm
-	$(GO) run ./cmd/rls-bench -validate-json BENCH_8.json
+	$(GO) run ./cmd/rls-bench -quick -bench 9 -json BENCH_9.json \
+		scen-steady scen-flash scen-storm scen-churn scen-tenants scen-read-storm \
+		scen-shard-scaleout
+	$(GO) run ./cmd/rls-bench -validate-json BENCH_9.json
+
+# Perf-trajectory delta: compare the two newest committed BENCH_*.json
+# snapshots per scenario phase (achieved rate, p50, p99). Report-only —
+# the leading '-' in ci keeps a perf delta from failing the build.
+bench-diff:
+	$(GO) run ./cmd/rls-bench -diff .
 
 ci: build vet lint lint-self race fuzz stress chaos scenarios
+	-$(MAKE) bench-diff
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

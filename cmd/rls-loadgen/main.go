@@ -213,9 +213,10 @@ func flat(op workload.Op) func(worker int) workload.Op {
 // runOpenLoop executes an open-loop scenario (predefined via -scenario, or
 // a single phase synthesized from -op/-rate/-arrival/-zipf) and prints
 // per-phase offered vs achieved rate with intended-start latencies.
-func runOpenLoop(ctx context.Context, dial func() (*client.Client, error), gen workload.Names,
+func runOpenLoop(ctx context.Context, rawDial func() (*client.Client, error), gen workload.Names,
 	catalog int, op string, r float64, arrival string, zipf float64, scenario, durStr, jsonPath string,
 	clients, conns, depth int) {
+	dial := func() (workload.Conn, error) { return rawDial() }
 	if r <= 0 {
 		r = 1000 // -scenario without -rate: a moderate default
 	}

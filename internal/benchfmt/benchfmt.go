@@ -83,6 +83,9 @@ type ScenarioConfig struct {
 	PipelineDepth  int   `json:"pipeline_depth"`
 	Catalog        int   `json:"catalog"`
 	Seed           int64 `json:"seed"`
+	// Shards is the LRC shard count of the tier under test; 0 (omitted)
+	// means the unsharded single-catalog deployment.
+	Shards int `json:"shards,omitempty"`
 }
 
 // PhaseStats is the per-phase rate/latency summary.
@@ -155,6 +158,7 @@ func (s *Snapshot) AddScenario(id string, sc workload.Scenario, cfg workload.Sce
 			PipelineDepth:  cfg.Depth,
 			Catalog:        cfg.Catalog,
 			Seed:           cfg.Seed,
+			Shards:         cfg.Shards,
 		},
 	}
 	for _, pr := range results {

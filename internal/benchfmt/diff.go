@@ -1,0 +1,136 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Perf-trajectory diffing: the BENCH_*.json snapshots accumulate one
+// per PR, but until now nothing read them back. Diff compares two
+// snapshots per scenario/phase — achieved rate, p50, p99 — so a
+// regression shows up as a signed percentage in CI output instead of
+// waiting for someone to eyeball two JSON files.
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// TwoNewest returns the paths of the two highest-indexed BENCH_*.json
+// files in dir (previous first, newest second).
+func TwoNewest(dir string) (prev, cur string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	type entry struct {
+		idx  int
+		path string
+	}
+	var entries []entry
+	for _, p := range matches {
+		m := benchFile.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{idx: n, path: p})
+	}
+	if len(entries) < 2 {
+		return "", "", fmt.Errorf("benchfmt: need at least two BENCH_*.json files in %s, found %d", dir, len(entries))
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].idx < entries[j].idx })
+	return entries[len(entries)-2].path, entries[len(entries)-1].path, nil
+}
+
+// PhaseDelta is the change of one scenario phase between two snapshots.
+type PhaseDelta struct {
+	Scenario string
+	Phase    string
+
+	PrevRate, CurRate float64
+	PrevP50, CurP50   float64 // ms
+	PrevP99, CurP99   float64 // ms
+}
+
+// pct returns the relative change cur vs prev in percent; 0 when prev
+// has no signal to compare against.
+func pct(prev, cur float64) float64 {
+	if prev == 0 {
+		return 0
+	}
+	return (cur - prev) / prev * 100
+}
+
+// Diff matches scenarios by id and phases by name, returning a delta
+// for every phase present in both snapshots. Scenarios or phases that
+// exist on only one side are skipped: the trajectory gains and loses
+// experiments across PRs, and an appearance is not a regression.
+func Diff(prev, cur *Snapshot) []PhaseDelta {
+	prevPhases := make(map[string]PhaseStats)
+	for _, sc := range prev.Scenarios {
+		for _, ph := range sc.Phases {
+			prevPhases[sc.ID+"\x00"+ph.Name] = ph
+		}
+	}
+	var out []PhaseDelta
+	for _, sc := range cur.Scenarios {
+		for _, ph := range sc.Phases {
+			pp, ok := prevPhases[sc.ID+"\x00"+ph.Name]
+			if !ok {
+				continue
+			}
+			out = append(out, PhaseDelta{
+				Scenario: sc.ID,
+				Phase:    ph.Name,
+				PrevRate: pp.AchievedRate, CurRate: ph.AchievedRate,
+				PrevP50: pp.P50Ms, CurP50: ph.P50Ms,
+				PrevP99: pp.P99Ms, CurP99: ph.P99Ms,
+			})
+		}
+	}
+	return out
+}
+
+// WriteDiff prints a human-readable delta report for the two snapshots.
+func WriteDiff(w io.Writer, prev, cur *Snapshot) {
+	fmt.Fprintf(w, "bench diff: BENCH_%d (%s) -> BENCH_%d (%s)\n",
+		prev.Bench, prev.GitRev, cur.Bench, cur.GitRev)
+	deltas := Diff(prev, cur)
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "  no common scenario phases to compare")
+		return
+	}
+	fmt.Fprintf(w, "  %-28s %-10s %24s %24s %24s\n", "scenario", "phase",
+		"achieved/s", "p50 ms", "p99 ms")
+	for _, d := range deltas {
+		fmt.Fprintf(w, "  %-28s %-10s %9.0f -> %6.0f %+5.1f%% %8.2f -> %6.2f %+5.1f%% %8.2f -> %6.2f %+5.1f%%\n",
+			d.Scenario, d.Phase,
+			d.PrevRate, d.CurRate, pct(d.PrevRate, d.CurRate),
+			d.PrevP50, d.CurP50, pct(d.PrevP50, d.CurP50),
+			d.PrevP99, d.CurP99, pct(d.PrevP99, d.CurP99))
+	}
+}
+
+// DiffDir loads the two newest snapshots in dir and writes their delta
+// report — the `rls-bench -diff` / `make bench-diff` entry point.
+func DiffDir(w io.Writer, dir string) error {
+	prevPath, curPath, err := TwoNewest(dir)
+	if err != nil {
+		return err
+	}
+	prev, err := Load(prevPath)
+	if err != nil {
+		return err
+	}
+	cur, err := Load(curPath)
+	if err != nil {
+		return err
+	}
+	WriteDiff(w, prev, cur)
+	return nil
+}

@@ -1,0 +1,115 @@
+package benchfmt
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snapshotAt clones the sample snapshot at a given trajectory index with
+// its p50 scaled, so diffs have a known direction and magnitude.
+func snapshotAt(bench int, p50Scale float64) *Snapshot {
+	s := sampleSnapshot()
+	s.Bench = bench
+	for i := range s.Scenarios {
+		for j := range s.Scenarios[i].Phases {
+			// Scale the whole latency ladder so Validate's percentile
+			// ordering still holds.
+			ph := &s.Scenarios[i].Phases[j]
+			ph.P50Ms *= p50Scale
+			ph.P95Ms *= p50Scale
+			ph.P99Ms *= p50Scale
+			ph.P999Ms *= p50Scale
+			ph.MaxMs *= p50Scale
+		}
+	}
+	return s
+}
+
+func TestTwoNewestPicksHighestIndices(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []int{2, 9, 10} {
+		if err := snapshotAt(n, 1).WriteFile(filepath.Join(dir, "BENCH_"+itoa(n)+".json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-matching files must be ignored, not break index parsing.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prev, cur, err := TwoNewest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(prev) != "BENCH_9.json" || filepath.Base(cur) != "BENCH_10.json" {
+		t.Fatalf("TwoNewest = %s, %s; want BENCH_9.json, BENCH_10.json", prev, cur)
+	}
+}
+
+func itoa(n int) string {
+	if n == 10 {
+		return "10"
+	}
+	return string(rune('0' + n))
+}
+
+func TestTwoNewestNeedsTwoFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := TwoNewest(dir); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if err := sampleSnapshot().WriteFile(filepath.Join(dir, "BENCH_6.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := TwoNewest(dir); err == nil {
+		t.Fatal("single file accepted")
+	}
+}
+
+func TestDiffComputesPhaseDeltas(t *testing.T) {
+	prev, cur := snapshotAt(8, 1), snapshotAt(9, 2) // p50 doubles
+	deltas := Diff(prev, cur)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	d := deltas[0]
+	if d.Scenario != "scen-steady" || d.Phase != "steady" {
+		t.Fatalf("delta identifies %s/%s", d.Scenario, d.Phase)
+	}
+	if math.Abs(d.CurP50-2*d.PrevP50) > 1e-9 {
+		t.Fatalf("p50 delta %v -> %v, want doubled", d.PrevP50, d.CurP50)
+	}
+	if d.PrevRate != d.CurRate {
+		t.Fatalf("rates diverged with identical inputs: %v vs %v", d.PrevRate, d.CurRate)
+	}
+}
+
+func TestDiffSkipsUnmatchedScenarios(t *testing.T) {
+	prev, cur := snapshotAt(8, 1), snapshotAt(9, 1)
+	cur.Scenarios[0].ID = "scen-renamed"
+	if deltas := Diff(prev, cur); len(deltas) != 0 {
+		t.Fatalf("unmatched scenario produced deltas: %+v", deltas)
+	}
+}
+
+func TestDiffDirWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	if err := snapshotAt(8, 1).WriteFile(filepath.Join(dir, "BENCH_8.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshotAt(9, 3).WriteFile(filepath.Join(dir, "BENCH_9.json")); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := DiffDir(&sb, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BENCH_8", "BENCH_9", "scen-steady", "steady", "+200.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -110,6 +111,10 @@ type Client struct {
 	serverURL string
 
 	sem chan struct{} // in-flight cap; nil = unbounded
+
+	// inflight counts RPCs between startCall and release — the load gauge
+	// Pool.pick uses to steer new calls away from a stalled connection.
+	inflight atomic.Int64
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -275,6 +280,10 @@ func (c *Client) startCall(ctx context.Context, op wire.Op, body []byte) (uint64
 			return 0, nil, ctx.Err()
 		}
 	}
+	// Count the call in flight from here on: every exit path below —
+	// registration failure, write failure, or the eventual wait — goes
+	// through release, which decrements.
+	c.inflight.Add(1)
 	ch := waiterPool.Get().(chan *wire.Response)
 	c.mu.Lock()
 	if c.err != nil {
@@ -374,10 +383,15 @@ func (c *Client) forget(id uint64) bool {
 }
 
 func (c *Client) release() {
+	c.inflight.Add(-1)
 	if c.sem != nil {
 		<-c.sem
 	}
 }
+
+// InFlight reports the number of RPCs currently outstanding on this
+// connection (written but not yet answered, failed, or abandoned).
+func (c *Client) InFlight() int64 { return c.inflight.Load() }
 
 // call performs one synchronous RPC: write the request, then wait for the
 // demultiplexer to deliver its response. Concurrent calls interleave on the

@@ -39,10 +39,24 @@ func NewPool(ctx context.Context, opts Options, size int) (*Pool, error) {
 	return p, nil
 }
 
-// pick returns the next connection round-robin.
+// pick returns the least-loaded connection by the per-connection
+// in-flight gauge, so a stalled connection (slow server thread, shaped
+// link, dead peer whose calls are waiting out their contexts) stops
+// attracting new calls instead of accumulating the whole batch. Ties —
+// the common case when the pool is idle or uniformly loaded — are
+// broken by a rotating start index, which degrades to exactly the old
+// round-robin behavior.
 func (p *Pool) pick() *Client {
-	n := p.next.Add(1)
-	return p.clients[int((n-1)%uint64(len(p.clients)))]
+	start := int((p.next.Add(1) - 1) % uint64(len(p.clients)))
+	best := p.clients[start]
+	bestLoad := best.InFlight()
+	for i := 1; i < len(p.clients) && bestLoad > 0; i++ {
+		c := p.clients[(start+i)%len(p.clients)]
+		if load := c.InFlight(); load < bestLoad {
+			best, bestLoad = c, load
+		}
+	}
+	return best
 }
 
 // Size reports the number of pooled connections.
@@ -107,9 +121,12 @@ func (p *Pool) SSBloom(ctx context.Context, lrcURL string, bitmap []byte) error 
 // is tried on each pooled connection until one delivers it — the failed
 // connection may be the one that broke.
 func (p *Pool) SSFullAbort(ctx context.Context, lrcURL string) error {
+	// Iterate the connections directly rather than via pick: a dead
+	// connection has zero in-flight calls, so least-loaded pick would
+	// select it every time and the abort would never reach the server.
 	var first error
-	for range p.clients {
-		err := p.pick().SSFullAbort(ctx, lrcURL)
+	for _, c := range p.clients {
+		err := c.SSFullAbort(ctx, lrcURL)
 		if err == nil {
 			return nil
 		}

@@ -1,0 +1,736 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/backoff"
+	"repro/internal/ring"
+	"repro/internal/wire"
+)
+
+// Router is the shard-aware client for a sharded LRC tier: one Pool of
+// pipelined connections per shard, a consistent-hash ring shared with
+// the servers, and a per-shard circuit breaker. It routes by three
+// rules:
+//
+//   - single-LFN operations (create/add/delete/get-targets and
+//     logical-keyed attribute writes) go to the ring owner of the
+//     logical name;
+//   - bulk mapping operations are split per shard, the sub-batches
+//     issued in parallel, and the per-item failure statuses merged back
+//     under their original request indices — callers observe exactly
+//     the ordering contract a single LRC gives them;
+//   - wildcard, reverse (target→logical) and attribute queries
+//     scatter-gather across every shard with bounded concurrency,
+//     merging and deduplicating results. A shard quarantined by its
+//     breaker is skipped and the query reports degraded=true rather
+//     than failing — the same partial-answer semantics the RLI gives
+//     during soft-state propagation gaps.
+//
+// The ring is built from the shard names only, so any process that
+// knows the topology (client, server, harness) computes identical
+// ownership. With a single shard every rule collapses to plain Pool
+// behavior.
+type Router struct {
+	ring   *ring.Ring
+	shards []*shardConn // indexed in ring.Nodes() order
+	sem    chan struct{}
+}
+
+// shardConn is one shard's connection state: its pool and the breaker
+// gating it after transport failures.
+type shardConn struct {
+	name    string
+	pool    *Pool
+	breaker *backoff.Breaker
+}
+
+// ShardSpec names one shard and how to reach it.
+type ShardSpec struct {
+	// Name is the shard's ring identity. It must match the name the
+	// server side used when building its ring (core.ServerSpec.Name /
+	// the membership shard-group member name).
+	Name string
+	// Opts dials the shard's server.
+	Opts Options
+}
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Shards lists the tier. Order is irrelevant: ring ownership is
+	// order-independent by construction.
+	Shards []ShardSpec
+	// PoolSize is the number of pipelined connections per shard
+	// (default 1).
+	PoolSize int
+	// VNodes is the ring's virtual-node count per shard; it must match
+	// the server tier's setting. 0 uses ring.DefaultVNodes.
+	VNodes int
+	// MaxFanout bounds how many shards a scatter-gather query (or a
+	// bulk split) contacts concurrently. 0 means min(4, len(Shards)).
+	MaxFanout int
+	// Breaker configures the per-shard circuit breakers; the zero value
+	// uses backoff defaults. Each shard's breaker derives its jitter
+	// seed from Breaker.Seed plus the shard index so probe schedules
+	// stay deterministic but de-synchronized.
+	Breaker backoff.BreakerConfig
+}
+
+// ShardUnavailableError reports an operation routed to a shard whose
+// circuit breaker is quarantined. errors.Is(err, ErrRetryLater) holds:
+// the condition is transient and retry-after-backoff is the remedy.
+type ShardUnavailableError struct {
+	Shard string
+}
+
+// Error implements error.
+func (e *ShardUnavailableError) Error() string {
+	return fmt.Sprintf("rls: shard %s quarantined, retry later", e.Shard)
+}
+
+// Is maps the error onto the ErrRetryLater sentinel.
+func (e *ShardUnavailableError) Is(target error) bool { return target == ErrRetryLater }
+
+// NewRouter dials one connection pool per shard and builds the routing
+// ring. On any dial failure the already-opened pools are closed.
+func NewRouter(ctx context.Context, opts RouterOptions) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("rls: router needs at least one shard")
+	}
+	names := make([]string, len(opts.Shards))
+	byName := make(map[string]ShardSpec, len(opts.Shards))
+	for i, s := range opts.Shards {
+		names[i] = s.Name
+		byName[s.Name] = s
+	}
+	rg, err := ring.New(names, opts.VNodes)
+	if err != nil {
+		return nil, fmt.Errorf("rls: router ring: %w", err)
+	}
+	fanout := opts.MaxFanout
+	if fanout <= 0 {
+		fanout = 4
+	}
+	if fanout > len(opts.Shards) {
+		fanout = len(opts.Shards)
+	}
+	r := &Router{ring: rg, sem: make(chan struct{}, fanout)}
+	// Shard order follows the ring's (sorted) node order so that
+	// ring.OwnerIndex indexes r.shards directly.
+	for i, name := range rg.Nodes() {
+		bc := opts.Breaker
+		bc.Seed = opts.Breaker.Seed + int64(i) + 1
+		pool, err := NewPool(ctx, byName[name].Opts, opts.PoolSize)
+		if err != nil {
+			_ = r.Close()
+			return nil, fmt.Errorf("rls: router dial shard %s: %w", name, err)
+		}
+		r.shards = append(r.shards, &shardConn{
+			name:    name,
+			pool:    pool,
+			breaker: backoff.NewBreaker(bc),
+		})
+	}
+	return r, nil
+}
+
+// Close closes every shard pool, returning the first error.
+func (r *Router) Close() error {
+	var first error
+	for _, s := range r.shards {
+		if err := s.pool.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Ring returns the routing ring (shared read-only).
+func (r *Router) Ring() *ring.Ring { return r.ring }
+
+// ShardNames returns the shard names in ring order.
+func (r *Router) ShardNames() []string { return r.ring.Nodes() }
+
+// ShardFor returns the name of the shard owning the logical name.
+func (r *Router) ShardFor(logical string) string { return r.ring.Owner(logical) }
+
+// ShardPool exposes the pool for one shard (for per-shard maintenance
+// operations the Router deliberately does not fan out, e.g. target
+// attribute writes or stats). Nil if the shard is unknown.
+func (r *Router) ShardPool(name string) *Pool {
+	for _, s := range r.shards {
+		if s.name == name {
+			return s.pool
+		}
+	}
+	return nil
+}
+
+func (r *Router) shardFor(logical string) *shardConn {
+	return r.shards[r.ring.OwnerIndex(logical)]
+}
+
+// settle reports the call outcome to the shard's breaker. A server
+// status error means the shard answered — the shard is healthy even if
+// the operation failed. Anything else (transport loss, timeout on a
+// stalled connection, cancelled handshake) counts against the shard:
+// the breaker must always be settled after Allow() admitted the call,
+// or a half-open probe would wedge in the Probing state.
+func (s *shardConn) settle(err error) {
+	var se *StatusError
+	if err == nil || errors.As(err, &se) {
+		s.breaker.OnSuccess()
+		return
+	}
+	s.breaker.OnFailure()
+}
+
+// do runs one call against a specific shard with breaker gating.
+func (s *shardConn) do(call func(c *Client) error) error {
+	if !s.breaker.Allow() {
+		return &ShardUnavailableError{Shard: s.name}
+	}
+	err := call(s.pool.pick())
+	s.settle(err)
+	return err
+}
+
+// ---- single-LFN operations: routed to the ring owner ----
+
+// CreateMapping registers a new logical name on its owning shard.
+func (r *Router) CreateMapping(ctx context.Context, logical, target string) error {
+	return r.shardFor(logical).do(func(c *Client) error {
+		return c.CreateMapping(ctx, logical, target)
+	})
+}
+
+// AddMapping adds a replica target to an existing logical name.
+func (r *Router) AddMapping(ctx context.Context, logical, target string) error {
+	return r.shardFor(logical).do(func(c *Client) error {
+		return c.AddMapping(ctx, logical, target)
+	})
+}
+
+// DeleteMapping removes a replica mapping from the owning shard.
+func (r *Router) DeleteMapping(ctx context.Context, logical, target string) error {
+	return r.shardFor(logical).do(func(c *Client) error {
+		return c.DeleteMapping(ctx, logical, target)
+	})
+}
+
+// GetTargets returns the targets of a logical name from its owner.
+func (r *Router) GetTargets(ctx context.Context, logical string) ([]string, error) {
+	var names []string
+	err := r.shardFor(logical).do(func(c *Client) error {
+		var err error
+		names, err = c.GetTargets(ctx, logical)
+		return err
+	})
+	return names, err
+}
+
+// GetAttributes lists attribute values on an object. Logical keys are
+// answered by the ring owner; target keys scatter to every shard and
+// merge (a target may be registered on any shard its logicals hash to).
+func (r *Router) GetAttributes(ctx context.Context, key string, obj wire.ObjType, names []string) ([]wire.NamedAttr, error) {
+	if obj == wire.ObjLogical {
+		var attrs []wire.NamedAttr
+		err := r.shardFor(key).do(func(c *Client) error {
+			var err error
+			attrs, err = c.GetAttributes(ctx, key, obj, names)
+			return err
+		})
+		return attrs, err
+	}
+	per, _, err := gather(ctx, r, func(ctx context.Context, c *Client) ([]wire.NamedAttr, error) {
+		return c.GetAttributes(ctx, key, obj, names)
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var merged []wire.NamedAttr
+	for _, attrs := range per {
+		for _, a := range attrs {
+			if !seen[a.Name] {
+				seen[a.Name] = true
+				merged = append(merged, a)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Name < merged[j].Name })
+	return merged, nil
+}
+
+// AddAttribute attaches an attribute value to a logical name on its
+// owning shard. Target-keyed attributes are not routable — the owning
+// shard of a target is not a function of its name — so they must be
+// written through ShardPool.
+func (r *Router) AddAttribute(ctx context.Context, key string, obj wire.ObjType, name string, v wire.AttrValue) error {
+	if obj != wire.ObjLogical {
+		return &StatusError{Status: wire.StatusUnsupported,
+			Msg: "router: target attributes must be written per shard (use ShardPool)"}
+	}
+	return r.shardFor(key).do(func(c *Client) error {
+		return c.AddAttribute(ctx, key, obj, name, v)
+	})
+}
+
+// ---- broadcast operations: every shard must apply them ----
+
+// DefineAttribute declares an attribute on every shard, so that later
+// routed writes and scattered searches agree on the schema. The first
+// error aborts: attribute definitions must not diverge across the tier.
+func (r *Router) DefineAttribute(ctx context.Context, name string, obj wire.ObjType, typ wire.AttrType) error {
+	return r.broadcast(ctx, func(ctx context.Context, c *Client) error {
+		return c.DefineAttribute(ctx, name, obj, typ)
+	})
+}
+
+// UndefineAttribute removes an attribute definition on every shard.
+func (r *Router) UndefineAttribute(ctx context.Context, name string, obj wire.ObjType, clearValues bool) error {
+	return r.broadcast(ctx, func(ctx context.Context, c *Client) error {
+		return c.UndefineAttribute(ctx, name, obj, clearValues)
+	})
+}
+
+// Ping checks liveness of every shard; the first failure is returned.
+func (r *Router) Ping(ctx context.Context) error {
+	return r.broadcast(ctx, func(ctx context.Context, c *Client) error {
+		return c.Ping(ctx)
+	})
+}
+
+// broadcast applies one call to every shard with bounded concurrency;
+// schema changes must land everywhere, so any failure (including a
+// quarantined shard) fails the broadcast.
+func (r *Router) broadcast(ctx context.Context, call func(ctx context.Context, c *Client) error) error {
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *shardConn) {
+			defer wg.Done()
+			select {
+			case r.sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			defer func() { <-r.sem }()
+			errs[i] = s.do(func(c *Client) error { return call(ctx, c) })
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- bulk mapping operations: split per shard, merge in input order ----
+
+// shardBatch is the slice of a bulk request owned by one shard, with
+// the original request index of each item so per-item failures can be
+// mapped back.
+type shardBatch struct {
+	shard    *shardConn
+	mappings []wire.Mapping
+	origIdx  []uint32
+}
+
+func (r *Router) splitMappings(mappings []wire.Mapping) []*shardBatch {
+	batches := make([]*shardBatch, len(r.shards))
+	for i, m := range mappings {
+		si := r.ring.OwnerIndex(m.Logical)
+		b := batches[si]
+		if b == nil {
+			b = &shardBatch{shard: r.shards[si]}
+			batches[si] = b
+		}
+		b.mappings = append(b.mappings, m)
+		b.origIdx = append(b.origIdx, uint32(i))
+	}
+	var out []*shardBatch
+	for _, b := range batches {
+		if b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// bulkMappingOp splits a bulk request across shards, issues the
+// sub-batches in parallel, and merges per-item failures back under
+// their original indices in ascending (input) order. A sub-batch that
+// fails wholesale — shard quarantined, connection lost, server-level
+// status error — degrades to per-item failures for exactly its items,
+// so one bad shard cannot turn a 90%-successful bulk into a total
+// error. Context cancellation is the exception: it aborts the whole
+// operation, matching single-client semantics.
+func (r *Router) bulkMappingOp(ctx context.Context, mappings []wire.Mapping,
+	call func(ctx context.Context, c *Client, sub []wire.Mapping) ([]wire.BulkFailure, error)) ([]wire.BulkFailure, error) {
+
+	batches := r.splitMappings(mappings)
+	if len(batches) == 1 {
+		// Single shard involved (always true for a 1-shard tier): no
+		// split, no remap — indices already match the input.
+		b := batches[0]
+		var fails []wire.BulkFailure
+		err := b.shard.do(func(c *Client) error {
+			var err error
+			fails, err = call(ctx, c, b.mappings)
+			return err
+		})
+		return fails, err
+	}
+
+	results := make([][]wire.BulkFailure, len(batches))
+	errs := make([]error, len(batches))
+	var wg sync.WaitGroup
+	for i, b := range batches {
+		wg.Add(1)
+		go func(i int, b *shardBatch) {
+			defer wg.Done()
+			select {
+			case r.sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			defer func() { <-r.sem }()
+			errs[i] = b.shard.do(func(c *Client) error {
+				fails, err := call(ctx, c, b.mappings)
+				results[i] = fails
+				return err
+			})
+		}(i, b)
+	}
+	wg.Wait()
+
+	var merged []wire.BulkFailure
+	for i, b := range batches {
+		switch err := errs[i]; {
+		case err == nil:
+			for _, f := range results[i] {
+				f.Index = b.origIdx[f.Index]
+				merged = append(merged, f)
+			}
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return nil, err
+		default:
+			st, msg := wire.StatusRetryLater, err.Error()
+			var se *StatusError
+			if errors.As(err, &se) {
+				st = se.Status
+			}
+			for _, oi := range b.origIdx {
+				merged = append(merged, wire.BulkFailure{Index: oi, Status: st, Msg: msg})
+			}
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].Index < merged[b].Index })
+	return merged, nil
+}
+
+// BulkCreate creates many mappings across the tier, returning
+// per-element failures under their original request indices.
+func (r *Router) BulkCreate(ctx context.Context, mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	return r.bulkMappingOp(ctx, mappings, func(ctx context.Context, c *Client, sub []wire.Mapping) ([]wire.BulkFailure, error) {
+		return c.BulkCreate(ctx, sub)
+	})
+}
+
+// BulkAdd adds many mappings across the tier.
+func (r *Router) BulkAdd(ctx context.Context, mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	return r.bulkMappingOp(ctx, mappings, func(ctx context.Context, c *Client, sub []wire.Mapping) ([]wire.BulkFailure, error) {
+		return c.BulkAdd(ctx, sub)
+	})
+}
+
+// BulkDelete deletes many mappings across the tier.
+func (r *Router) BulkDelete(ctx context.Context, mappings []wire.Mapping) ([]wire.BulkFailure, error) {
+	return r.bulkMappingOp(ctx, mappings, func(ctx context.Context, c *Client, sub []wire.Mapping) ([]wire.BulkFailure, error) {
+		return c.BulkDelete(ctx, sub)
+	})
+}
+
+// BulkGetTargets resolves many logical names, each answered by its
+// owning shard, results returned in input order (one per name, found
+// or not — the same shape a single LRC returns).
+func (r *Router) BulkGetTargets(ctx context.Context, names []string) ([]wire.BulkNameResult, error) {
+	type nameBatch struct {
+		shard   *shardConn
+		names   []string
+		origIdx []int
+	}
+	batches := make([]*nameBatch, len(r.shards))
+	for i, n := range names {
+		si := r.ring.OwnerIndex(n)
+		b := batches[si]
+		if b == nil {
+			b = &nameBatch{shard: r.shards[si]}
+			batches[si] = b
+		}
+		b.names = append(b.names, n)
+		b.origIdx = append(b.origIdx, i)
+	}
+	var active []*nameBatch
+	for _, b := range batches {
+		if b != nil {
+			active = append(active, b)
+		}
+	}
+
+	out := make([]wire.BulkNameResult, len(names))
+	errs := make([]error, len(active))
+	var wg sync.WaitGroup
+	for i, b := range active {
+		wg.Add(1)
+		go func(i int, b *nameBatch) {
+			defer wg.Done()
+			select {
+			case r.sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			defer func() { <-r.sem }()
+			errs[i] = b.shard.do(func(c *Client) error {
+				res, err := c.BulkGetTargets(ctx, b.names)
+				if err != nil {
+					return err
+				}
+				// The server answers one result per requested name in
+				// request order; place each at its original index.
+				for j, nr := range res {
+					if j < len(b.origIdx) {
+						out[b.origIdx[j]] = nr
+					}
+				}
+				return nil
+			})
+		}(i, b)
+	}
+	wg.Wait()
+	for i, b := range active {
+		if err := errs[i]; err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			// Shard-level failure: report its names as not found rather
+			// than failing names other shards resolved.
+			for j, oi := range b.origIdx {
+				out[oi] = wire.BulkNameResult{Name: b.names[j], Found: false}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---- scatter-gather queries: every shard may hold part of the answer ----
+
+// gather fans one call across all shards with bounded concurrency.
+// Shards whose breaker is quarantined are skipped; shards that fail at
+// the transport level contribute nothing. Either case sets degraded.
+// Only when every shard fails does gather return an error (the first).
+func gather[T any](ctx context.Context, r *Router, call func(ctx context.Context, c *Client) (T, error)) ([]T, bool, error) {
+	results := make([]T, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *shardConn) {
+			defer wg.Done()
+			select {
+			case r.sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			defer func() { <-r.sem }()
+			errs[i] = s.do(func(c *Client) error {
+				v, err := call(ctx, c)
+				if err == nil {
+					results[i] = v
+				}
+				return err
+			})
+		}(i, s)
+	}
+	wg.Wait()
+
+	var out []T
+	var degraded bool
+	var firstErr error
+	for i := range r.shards {
+		switch err := errs[i]; {
+		case err == nil:
+			out = append(out, results[i])
+		case errors.Is(err, ErrNotFound):
+			// An empty answer from one shard is not degradation: the
+			// name simply does not live there.
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return nil, false, err
+		default:
+			degraded = true
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if len(out) == 0 && degraded {
+		return nil, true, firstErr
+	}
+	return out, degraded, nil
+}
+
+// mergeNameResults merges per-shard wildcard result sets: rows are
+// keyed by Name, value lists unioned and deduplicated, output sorted by
+// Name so the merged answer is deterministic regardless of shard
+// arrival order.
+func mergeNameResults(per [][]wire.BulkNameResult) []wire.BulkNameResult {
+	byName := make(map[string]*wire.BulkNameResult)
+	var order []string
+	for _, rs := range per {
+		for _, nr := range rs {
+			got, ok := byName[nr.Name]
+			if !ok {
+				cp := wire.BulkNameResult{Name: nr.Name, Found: nr.Found}
+				cp.Values = append(cp.Values, nr.Values...)
+				byName[nr.Name] = &cp
+				order = append(order, nr.Name)
+				continue
+			}
+			got.Found = got.Found || nr.Found
+			got.Values = append(got.Values, nr.Values...)
+		}
+	}
+	sort.Strings(order)
+	out := make([]wire.BulkNameResult, 0, len(order))
+	for _, name := range order {
+		nr := byName[name]
+		nr.Values = dedupeSorted(nr.Values)
+		out = append(out, *nr)
+	}
+	return out
+}
+
+func dedupeSorted(vs []string) []string {
+	if len(vs) < 2 {
+		return vs
+	}
+	sort.Strings(vs)
+	out := vs[:1]
+	for _, v := range vs[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// WildcardTargets finds mappings whose logical name matches the
+// pattern, merged across all shards. degraded=true reports that at
+// least one shard could not answer and the result may be partial.
+func (r *Router) WildcardTargets(ctx context.Context, pattern string) ([]wire.BulkNameResult, bool, error) {
+	per, degraded, err := gather(ctx, r, func(ctx context.Context, c *Client) ([]wire.BulkNameResult, error) {
+		return c.WildcardTargets(ctx, pattern)
+	})
+	if err != nil {
+		return nil, degraded, err
+	}
+	return mergeNameResults(per), degraded, nil
+}
+
+// WildcardLogicals finds mappings whose target name matches the
+// pattern, merged across all shards.
+func (r *Router) WildcardLogicals(ctx context.Context, pattern string) ([]wire.BulkNameResult, bool, error) {
+	per, degraded, err := gather(ctx, r, func(ctx context.Context, c *Client) ([]wire.BulkNameResult, error) {
+		return c.WildcardLogicals(ctx, pattern)
+	})
+	if err != nil {
+		return nil, degraded, err
+	}
+	return mergeNameResults(per), degraded, nil
+}
+
+// GetLogicals answers the reverse query (target → logical names). The
+// owning shard of a logical is a function of the logical name, not the
+// target, so any shard may hold mappings to this target: scatter to
+// all, union the answers. ErrNotFound is returned only when every
+// shard reported not-found.
+func (r *Router) GetLogicals(ctx context.Context, target string) ([]string, bool, error) {
+	per, degraded, err := gather(ctx, r, func(ctx context.Context, c *Client) ([]string, error) {
+		return c.GetLogicals(ctx, target)
+	})
+	if err != nil {
+		return nil, degraded, err
+	}
+	var names []string
+	for _, ns := range per {
+		names = append(names, ns...)
+	}
+	names = dedupeSorted(names)
+	if len(names) == 0 && !degraded {
+		return nil, false, &StatusError{Status: wire.StatusNotFound, Msg: "target not registered on any shard"}
+	}
+	return names, degraded, nil
+}
+
+// BulkGetLogicals resolves many target names across all shards,
+// returning results in input order with per-name unions.
+func (r *Router) BulkGetLogicals(ctx context.Context, names []string) ([]wire.BulkNameResult, bool, error) {
+	per, degraded, err := gather(ctx, r, func(ctx context.Context, c *Client) ([]wire.BulkNameResult, error) {
+		return c.BulkGetLogicals(ctx, names)
+	})
+	if err != nil {
+		return nil, degraded, err
+	}
+	out := make([]wire.BulkNameResult, len(names))
+	for i, n := range names {
+		out[i] = wire.BulkNameResult{Name: n}
+	}
+	for _, rs := range per {
+		for j, nr := range rs {
+			if j >= len(out) {
+				break
+			}
+			out[j].Found = out[j].Found || nr.Found
+			out[j].Values = append(out[j].Values, nr.Values...)
+		}
+	}
+	for i := range out {
+		out[i].Values = dedupeSorted(out[i].Values)
+	}
+	return out, degraded, nil
+}
+
+// SearchAttribute finds objects by attribute comparison across all
+// shards, hits deduplicated by (key, attribute name) and sorted.
+func (r *Router) SearchAttribute(ctx context.Context, name string, obj wire.ObjType, cmp wire.CmpOp, probe wire.AttrValue) ([]wire.ObjAttr, bool, error) {
+	per, degraded, err := gather(ctx, r, func(ctx context.Context, c *Client) ([]wire.ObjAttr, error) {
+		return c.SearchAttribute(ctx, name, obj, cmp, probe)
+	})
+	if err != nil {
+		return nil, degraded, err
+	}
+	seen := make(map[string]bool)
+	var hits []wire.ObjAttr
+	for _, hs := range per {
+		for _, h := range hs {
+			if !seen[h.Key] {
+				seen[h.Key] = true
+				hits = append(hits, h)
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].Key < hits[j].Key })
+	return hits, degraded, nil
+}

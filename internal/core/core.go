@@ -27,6 +27,7 @@ import (
 	"repro/internal/lrc"
 	"repro/internal/netsim"
 	"repro/internal/rdb"
+	"repro/internal/ring"
 	"repro/internal/rli"
 	"repro/internal/server"
 	"repro/internal/storage"
@@ -110,6 +111,14 @@ type ServerSpec struct {
 	// SSBreakerSeed makes per-target probe jitter deterministic for tests
 	// and the chaos harness.
 	SSBreakerSeed int64
+
+	// ShardRing and ShardSelf give a sharded LRC its ring identity:
+	// logical-keyed mutations whose ring owner is not ShardSelf are
+	// rejected (lrc.NotOwnerError). Nil ShardRing disables sharding.
+	// AddShardedLRCs fills these in; set them directly only when
+	// assembling a shard tier by hand.
+	ShardRing *ring.Ring
+	ShardSelf string
 
 	// IdleTimeout reaps connections idle for this long; zero disables.
 	IdleTimeout time.Duration
@@ -310,6 +319,8 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 			Backoff:            spec.SSBackoff,
 			FailThreshold:      spec.SSFailThreshold,
 			BreakerSeed:        spec.SSBreakerSeed,
+			ShardRing:          spec.ShardRing,
+			ShardSelf:          spec.ShardSelf,
 		})
 		if err != nil {
 			cleanup()

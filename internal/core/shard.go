@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/backoff"
+	"repro/internal/client"
+	"repro/internal/ring"
+)
+
+// Sharded LRC tier assembly: the deployment-level constructor that
+// turns N ServerSpecs into a consistent-hash-partitioned catalog. Each
+// shard is an ordinary LRC owning the ring slice its name hashes to;
+// every shard updates the same RLIs under its own URL, so RLI answers
+// ({LFN → LRC URL}) remain exactly as correct as in the flat
+// deployment — the index maps each name to the one shard that
+// registered it.
+
+// ShardedLRCSpec describes a tier of shard LRCs to add to a deployment.
+type ShardedLRCSpec struct {
+	// Prefix names the shards: <Prefix>0 .. <Prefix>N-1. Default "lrc".
+	Prefix string
+	// Shards is the shard count (>= 1).
+	Shards int
+	// VNodes is the ring's virtual-node count per shard; 0 uses
+	// ring.DefaultVNodes. Clients must build their ring with the same
+	// value.
+	VNodes int
+	// Base is the template ServerSpec applied to every shard. Name,
+	// LRC, ShardRing and ShardSelf are overwritten per shard; a
+	// non-empty DataDir becomes a per-shard subdirectory.
+	Base ServerSpec
+	// RLIs names the RLI nodes every shard sends soft-state updates to
+	// (they must already exist in the deployment).
+	RLIs []string
+	// Bloom selects Bloom-compressed updates to those RLIs.
+	Bloom bool
+}
+
+// ShardTier is a running sharded LRC tier within a deployment.
+type ShardTier struct {
+	// Names lists the shard server names in ring order.
+	Names []string
+	// Ring is the tier's routing ring, shared with every shard's
+	// ownership check.
+	Ring *ring.Ring
+	// Nodes holds the shard nodes, parallel to Names.
+	Nodes []*Node
+
+	dep *Deployment
+}
+
+// AddShardedLRCs creates Shards LRC servers sharing one consistent-hash
+// ring and wires each to the named RLIs. The spec's Base carries the
+// usual per-server tuning (personality, disk, net shaping, pipelining).
+func (d *Deployment) AddShardedLRCs(spec ShardedLRCSpec) (*ShardTier, error) {
+	if spec.Shards < 1 {
+		return nil, errors.New("core: ShardedLRCSpec.Shards must be >= 1")
+	}
+	prefix := spec.Prefix
+	if prefix == "" {
+		prefix = "lrc"
+	}
+	names := make([]string, spec.Shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	rg, err := ring.New(names, spec.VNodes)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard ring: %w", err)
+	}
+	tier := &ShardTier{Ring: rg, dep: d}
+	for _, name := range rg.Nodes() {
+		ss := spec.Base
+		ss.Name = name
+		ss.LRC = true
+		ss.RLI = false
+		ss.ShardRing = rg
+		ss.ShardSelf = name
+		if ss.DataDir != "" {
+			ss.DataDir = spec.Base.DataDir + "/" + name
+		}
+		node, err := d.AddServer(ss)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %s: %w", name, err)
+		}
+		tier.Names = append(tier.Names, name)
+		tier.Nodes = append(tier.Nodes, node)
+		for _, rli := range spec.RLIs {
+			if err := d.Connect(name, rli, spec.Bloom); err != nil {
+				return nil, fmt.Errorf("core: shard %s -> rli %s: %w", name, rli, err)
+			}
+		}
+	}
+	return tier, nil
+}
+
+// RouterOptions tunes DialRouter.
+type RouterOptions struct {
+	// DN and Token are the client identity (open mode when empty).
+	DN    string
+	Token string
+	// PoolSize is the connection count per shard; 0 means 1.
+	PoolSize int
+	// MaxInFlight caps outstanding RPCs per connection; 0 = uncapped.
+	MaxInFlight int
+	// MaxFanout bounds scatter-gather concurrency; 0 = router default.
+	MaxFanout int
+	// Breaker configures the router's per-shard circuit breakers.
+	Breaker backoff.BreakerConfig
+}
+
+// DialRouter opens a shard-aware client over the tier: one pool per
+// shard on the in-process transport, routing by the tier's ring.
+func (t *ShardTier) DialRouter(ctx context.Context, opts ...RouterOptions) (*client.Router, error) {
+	var o RouterOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	shards := make([]client.ShardSpec, 0, len(t.Nodes))
+	for i, n := range t.Nodes {
+		n := n
+		shards = append(shards, client.ShardSpec{
+			Name: t.Names[i],
+			Opts: client.Options{
+				DN:          o.DN,
+				Token:       o.Token,
+				MaxInFlight: o.MaxInFlight,
+				Dialer:      func() (net.Conn, error) { return t.dep.dialNode(n) },
+			},
+		})
+	}
+	return client.NewRouter(ctx, client.RouterOptions{
+		Shards:    shards,
+		PoolSize:  o.PoolSize,
+		VNodes:    t.Ring.VNodes(),
+		MaxFanout: o.MaxFanout,
+		Breaker:   o.Breaker,
+	})
+}

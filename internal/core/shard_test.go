@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/disk"
+	"repro/internal/wire"
+)
+
+func newShardTier(t *testing.T, shards int) (*Deployment, *ShardTier) {
+	t.Helper()
+	d := NewDeployment()
+	t.Cleanup(d.Close)
+	if _, err := d.AddServer(fastSpec("rli", false, true)); err != nil {
+		t.Fatal(err)
+	}
+	fast := disk.Fast()
+	tier, err := d.AddShardedLRCs(ShardedLRCSpec{
+		Prefix: "shard",
+		Shards: shards,
+		Base:   ServerSpec{Disk: &fast},
+		RLIs:   []string{"rli"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, tier
+}
+
+// TestShardedTierEndToEnd is the full two-step discovery protocol over a
+// sharded tier: register through the router, push soft state, and check
+// the RLI names the one shard that owns each name — the index stays
+// exactly as correct as against a flat deployment.
+func TestShardedTierEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	d, tier := newShardTier(t, 4)
+	r, err := tier.DialRouter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const n = 40
+	var mappings []wire.Mapping
+	for i := 0; i < n; i++ {
+		mappings = append(mappings, wire.Mapping{
+			Logical: fmt.Sprintf("lfn://tier/file-%d", i),
+			Target:  fmt.Sprintf("gsiftp://site/file-%d", i),
+		})
+	}
+	fails, err := r.BulkCreate(ctx, mappings)
+	if err != nil || len(fails) != 0 {
+		t.Fatalf("bulk create = %v, %v", fails, err)
+	}
+
+	for _, node := range tier.Nodes {
+		for _, res := range node.LRC.ForceUpdate(ctx) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+	}
+
+	rc, err := d.Dial("rli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	for i := 0; i < n; i++ {
+		lfn := fmt.Sprintf("lfn://tier/file-%d", i)
+		lrcs, err := rc.RLIQuery(ctx, lfn)
+		if err != nil {
+			t.Fatalf("RLI query %s: %v", lfn, err)
+		}
+		want := "rls://" + tier.Ring.Owner(lfn)
+		if len(lrcs) != 1 || lrcs[0] != want {
+			t.Fatalf("RLI answer for %s = %v, want [%s]", lfn, lrcs, want)
+		}
+		// Step two: resolve at the owner through the router.
+		targets, err := r.GetTargets(ctx, lfn)
+		if err != nil || len(targets) != 1 {
+			t.Fatalf("resolve %s = %v, %v", lfn, targets, err)
+		}
+	}
+}
+
+// TestShardedTierRejectsMisroutedWrite: the server side re-checks ring
+// ownership, so a client that bypasses the router cannot corrupt the
+// partition invariant.
+func TestShardedTierRejectsMisroutedWrite(t *testing.T) {
+	ctx := context.Background()
+	d, tier := newShardTier(t, 3)
+	lfn := "lfn://misroute/file-1"
+	owner := tier.Ring.Owner(lfn)
+	var wrong string
+	for _, n := range tier.Names {
+		if n != owner {
+			wrong = n
+			break
+		}
+	}
+	c, err := d.Dial(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateMapping(ctx, lfn, "pfn://x"); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("misrouted create on %s = %v, want ErrBadRequest (owner %s)", wrong, err, owner)
+	}
+}
+
+// TestShardedTierWildcardThroughRouter: scatter-gather over the real
+// tier merges partial answers from every shard.
+func TestShardedTierWildcardThroughRouter(t *testing.T) {
+	ctx := context.Background()
+	_, tier := newShardTier(t, 3)
+	r, err := tier.DialRouter(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const n = 30
+	for i := 0; i < n; i++ {
+		lfn := fmt.Sprintf("lfn://wild/file-%d", i)
+		if err := r.CreateMapping(ctx, lfn, "pfn://t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, degraded, err := r.WildcardTargets(ctx, "lfn://wild/*")
+	if err != nil || degraded {
+		t.Fatalf("wildcard = err=%v degraded=%v", err, degraded)
+	}
+	if len(rows) != n {
+		t.Fatalf("wildcard rows = %d, want %d", len(rows), n)
+	}
+	// Reverse query scatters too: every shard may hold mappings to the
+	// shared target.
+	logicals, degraded, err := r.GetLogicals(ctx, "pfn://t")
+	if err != nil || degraded || len(logicals) != n {
+		t.Fatalf("reverse = %d logicals, degraded=%v, err=%v", len(logicals), degraded, err)
+	}
+}

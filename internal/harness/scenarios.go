@@ -6,7 +6,6 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/client"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/netsim"
@@ -172,7 +171,7 @@ func runScenarioEnv(p Params, id string, sc workload.Scenario, env scenarioEnv) 
 		Conns:   4,
 		Depth:   depth,
 		Seed:    6,
-		Dial: func() (*client.Client, error) {
+		Dial: func() (workload.Conn, error) {
 			return dep.Dial("lrc", core.DialOptions{MaxInFlight: depth})
 		},
 	}

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// scen-shard-scaleout is the horizontal scale-out experiment the paper's
+// single-catalog measurements stop short of: hold the offered query load
+// fixed, grow the tier from 1 to 4 to 16 shard LRCs with a paper-scale
+// catalog per shard (so total mappings grow 16x), and check that query
+// latency stays in a flat band. Clients route through the consistent-hash
+// Router exactly as production clients would — the preload is split per
+// shard by bulk routing and every query goes to the owning shard.
+
+// shardCounts are the measured tier sizes; the last one sets the total
+// catalog growth factor (16x over the single-shard baseline).
+var shardCounts = []int{1, 4, 16}
+
+// shardFlatBand is the acceptance band: query p50 at any shard count must
+// stay within this factor of the single-shard baseline (plus a small
+// absolute slack so microsecond-range baselines don't fail on noise).
+const (
+	shardFlatBand  = 1.5
+	shardBandSlack = 2 * time.Millisecond
+)
+
+func init() {
+	register(Experiment{
+		ID:    "scen-shard-scaleout",
+		Title: "Sharded LRC scale-out: 1 -> 4 -> 16 shards, paper-scale catalog per shard, fixed query load",
+		Paper: "beyond the paper: total mappings grow 16x while query p50/p99 stay in a flat band",
+		Run:   runShardScaleout,
+	})
+}
+
+func runShardScaleout(p Params) error {
+	perShard := p.size(1_000_000)
+	type point struct {
+		shards  int
+		total   int
+		results []workload.PhaseResult
+	}
+	var points []point
+	for _, n := range shardCounts {
+		pt := point{shards: n, total: n * perShard}
+		results, err := runShardPoint(p, n, pt.total)
+		if err != nil {
+			return fmt.Errorf("harness: scen-shard-scaleout at %d shards: %w", n, err)
+		}
+		pt.results = results
+		points = append(points, pt)
+	}
+
+	var rows [][]string
+	for _, pt := range points {
+		for _, pr := range pt.results {
+			r, d := pr.Result, pr.Result.Latencies
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", pt.shards), fmt.Sprintf("%d", pt.total),
+				f0(r.OfferedRate), f0(r.AchievedRate),
+				fmt.Sprintf("%d", r.Issued), fmt.Sprintf("%d", r.Errors),
+				lat(d.P50), lat(d.P95), lat(d.P99), lat(d.P999), lat(d.Max),
+			})
+		}
+	}
+	table(p.Out, fmt.Sprintf("Scenario scen-shard-scaleout: consistent-hash tier, %d mappings per shard, fixed offered load",
+		perShard),
+		"flat band: p50 at every shard count within 1.5x of the 1-shard baseline despite 16x total mappings",
+		[]string{"shards", "mappings", "offered/s", "achieved/s", "ops", "err", "p50", "p95", "p99", "p99.9", "max"},
+		rows)
+
+	// The flat-band assertion is the experiment's point: scale-out that
+	// trades 16x capacity for a latency regression has failed.
+	base := points[0].results[0].Result.Latencies.P50
+	limit := time.Duration(float64(base)*shardFlatBand) + shardBandSlack
+	for _, pt := range points[1:] {
+		if got := pt.results[0].Result.Latencies.P50; got > limit {
+			return fmt.Errorf("harness: scen-shard-scaleout: %d-shard p50 %v outside flat band (1-shard baseline %v, limit %v)",
+				pt.shards, got, base, limit)
+		}
+	}
+	return nil
+}
+
+// runShardPoint builds one sharded deployment, preloads total mappings
+// through the router, and runs the steady query scenario against it.
+func runShardPoint(p Params, shards, total int) ([]workload.PhaseResult, error) {
+	ctx := context.Background()
+	dep := core.NewDeployment()
+	defer dep.Close()
+	net := netsim.Unshaped()
+	if p.NetModel {
+		net = netsim.LAN()
+	}
+	depth := scenarioDepth(p)
+	if _, err := dep.AddServer(core.ServerSpec{Name: "rli", RLI: true, Disk: p.diskSpec(), Net: net}); err != nil {
+		return nil, err
+	}
+	tier, err := dep.AddShardedLRCs(core.ShardedLRCSpec{
+		Prefix: "shard",
+		Shards: shards,
+		Base: core.ServerSpec{
+			Personality: storage.PersonalityMySQL,
+			Disk:        p.diskSpec(),
+			Net:         net,
+			MaxInFlight: depth,
+		},
+		RLIs:  []string{"rli"},
+		Bloom: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	gen := workload.Names{Space: "shardscale"}
+	r, err := tier.DialRouter(ctx, core.RouterOptions{MaxInFlight: depth})
+	if err != nil {
+		return nil, err
+	}
+	err = workload.Load(ctx, r, gen, total, 1000)
+	r.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	sc := workload.SteadyState(1500*p.Ops, 1000*time.Millisecond, 0.9)
+	cfg := workload.ScenarioConfig{
+		Gen:     gen,
+		Catalog: total,
+		Clients: scenarioClients,
+		Conns:   4,
+		Depth:   depth,
+		Seed:    9,
+		Shards:  shards,
+		Dial: func() (workload.Conn, error) {
+			return tier.DialRouter(ctx, core.RouterOptions{MaxInFlight: depth})
+		},
+	}
+
+	if p.Warmup > 0 {
+		warm := workload.SteadyState(500*p.Ops, 200*time.Millisecond, 0)
+		warm.Name = "warmup"
+		wcfg := cfg
+		wcfg.FreshBase = 10 * total
+		if _, err := workload.RunScenario(ctx, warm, wcfg); err != nil {
+			return nil, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	results, err := workload.RunScenario(ctx, sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.Bench != nil {
+		p.Bench.AddScenario(fmt.Sprintf("scen-shard-scaleout/%dx", shards), sc, cfg, results)
+	}
+	return results, nil
+}

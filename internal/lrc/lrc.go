@@ -18,6 +18,7 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/clock"
 	"repro/internal/rdb"
+	"repro/internal/ring"
 	"repro/internal/wire"
 )
 
@@ -108,6 +109,12 @@ type Config struct {
 	// the chaos harness; each target's breaker derives its own seed from
 	// this value and the target url.
 	BreakerSeed int64
+	// ShardRing and ShardSelf give the LRC its identity in a sharded
+	// tier: logical-keyed mutations whose ring owner is not ShardSelf
+	// are rejected with a NotOwnerError. Nil ShardRing (the default)
+	// disables the check — the unsharded single-catalog deployment.
+	ShardRing *ring.Ring
+	ShardSelf string
 }
 
 func (c Config) withDefaults() Config {

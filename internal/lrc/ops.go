@@ -22,6 +22,9 @@ func (s *Service) CreateMapping(ctx context.Context, logical, target string) err
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if err := s.checkOwner(logical); err != nil {
+		return err
+	}
 	if err := s.db.CreateMapping(logical, target); err != nil {
 		return err
 	}
@@ -35,6 +38,9 @@ func (s *Service) AddMapping(ctx context.Context, logical, target string) error 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if err := s.checkOwner(logical); err != nil {
+		return err
+	}
 	return s.db.AddMapping(logical, target)
 }
 
@@ -42,6 +48,9 @@ func (s *Service) AddMapping(ctx context.Context, logical, target string) error 
 // gone the name itself is unregistered and the delta recorded.
 func (s *Service) DeleteMapping(ctx context.Context, logical, target string) error {
 	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.checkOwner(logical); err != nil {
 		return err
 	}
 	if err := s.db.DeleteMapping(logical, target); err != nil {

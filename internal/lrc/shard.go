@@ -1,0 +1,55 @@
+package lrc
+
+import (
+	"fmt"
+
+	"repro/internal/rdb"
+	"repro/internal/ring"
+)
+
+// Shard ownership enforcement. In a sharded tier each LRC owns the
+// slice of the LFN namespace its position on the consistent-hash ring
+// gives it. The client Router normally routes every logical-keyed
+// mutation to the owner, but the server re-checks: a stale client ring
+// (topology mismatch, hand-written tooling) writing a logical name to
+// the wrong shard would otherwise register the name in an LRC whose
+// RLI updates advertise the wrong home, and reads routed by a correct
+// ring would never find it again. Reads are deliberately NOT checked —
+// reverse (target → logical) queries must be answerable on every
+// shard, and a read for a non-owned name harmlessly returns not-found.
+
+// NotOwnerError reports a logical-keyed mutation sent to a shard that
+// does not own the name. It unwraps to rdb.ErrInvalid so the generic
+// status mapping classifies it as a bad request (the client, not the
+// server, is in the wrong), and errors.As exposes the routing detail.
+type NotOwnerError struct {
+	Logical string // the logical name
+	Self    string // this shard
+	Owner   string // the ring owner the client should have contacted
+}
+
+// Error implements error.
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("lrc: shard %s does not own %q (ring owner: %s)", e.Self, e.Logical, e.Owner)
+}
+
+// Unwrap classifies the error as a client-side mistake.
+func (e *NotOwnerError) Unwrap() error { return rdb.ErrInvalid }
+
+// checkOwner rejects logical names this shard does not own. A nil
+// ShardRing (the unsharded deployment) accepts everything.
+func (s *Service) checkOwner(logical string) error {
+	if s.cfg.ShardRing == nil {
+		return nil
+	}
+	if owner := s.cfg.ShardRing.Owner(logical); owner != s.cfg.ShardSelf {
+		return &NotOwnerError{Logical: logical, Self: s.cfg.ShardSelf, Owner: owner}
+	}
+	return nil
+}
+
+// Shard reports the service's shard identity: the ring it validates
+// ownership against and its own name on it (nil, "" when unsharded).
+func (s *Service) Shard() (*ring.Ring, string) {
+	return s.cfg.ShardRing, s.cfg.ShardSelf
+}

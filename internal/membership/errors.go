@@ -1,0 +1,75 @@
+package membership
+
+import "fmt"
+
+// Typed validation errors. Tooling that loads topology files (the CLIs,
+// deployment scripts, tests) needs to distinguish *what* is wrong with
+// a topology — a duplicated server, a dangling reference, a role
+// mismatch, a broken shard partition — without string-matching error
+// text. Validate returns these via errors.As; the messages stay
+// human-first for the CLI path.
+
+// DuplicateServerError reports two servers declared with the same name.
+type DuplicateServerError struct {
+	Name string
+}
+
+// Error implements error.
+func (e *DuplicateServerError) Error() string {
+	return fmt.Sprintf("membership: duplicate server name %q", e.Name)
+}
+
+// UnknownServerError reports a reference (update link, rli_updates
+// link, shard group) to a server the topology does not declare.
+type UnknownServerError struct {
+	// Context locates the reference, e.g. `update 2`, `shard group "a"`.
+	Context string
+	Name    string
+}
+
+// Error implements error.
+func (e *UnknownServerError) Error() string {
+	return fmt.Sprintf("membership: %s references unknown server %q", e.Context, e.Name)
+}
+
+// RoleError reports a server referenced in a position requiring a role
+// it does not have (an update link's LRC side naming an RLI-only
+// server, a shard group member without the lrc role, ...).
+type RoleError struct {
+	Context string
+	Name    string
+	Role    string // the missing role: "lrc" or "rli"
+}
+
+// Error implements error.
+func (e *RoleError) Error() string {
+	return fmt.Sprintf("membership: %s: server %q is not an %s", e.Context, e.Name, e.Role)
+}
+
+// ShardOwnershipError reports a broken shard partition: an empty group,
+// or an LRC claimed by two groups (or twice by one) — either way the
+// LFN namespace would not have exactly one owner per name.
+type ShardOwnershipError struct {
+	Group  string
+	Name   string // the offending LRC; empty for group-level problems
+	Reason string
+}
+
+// Error implements error.
+func (e *ShardOwnershipError) Error() string {
+	if e.Name == "" {
+		return fmt.Sprintf("membership: shard group %q: %s", e.Group, e.Reason)
+	}
+	return fmt.Sprintf("membership: shard group %q: lrc %q: %s", e.Group, e.Name, e.Reason)
+}
+
+// SelfForwardError reports an rli_updates link whose child and parent
+// are the same server — a forwarding loop of length one.
+type SelfForwardError struct {
+	Name string
+}
+
+// Error implements error.
+func (e *SelfForwardError) Error() string {
+	return fmt.Sprintf("membership: rli update: %q forwards to itself", e.Name)
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/netsim"
+	"repro/internal/ring"
 	"repro/internal/storage"
 )
 
@@ -30,6 +31,23 @@ type Topology struct {
 	Updates []UpdateLink   `json:"updates"`
 	// RLIUpdates wires hierarchical RLIs (child forwards to parent).
 	RLIUpdates []RLILink `json:"rli_updates,omitempty"`
+	// Shards partitions the LFN namespace across groups of LRCs by
+	// consistent hashing: each group's members share one ring, each
+	// member owns its slice and rejects mutations for names it does not
+	// own. Clients route with client.Router built over the same member
+	// list and virtual-node count.
+	Shards []ShardGroup `json:"shards,omitempty"`
+}
+
+// ShardGroup declares one sharded LRC tier: the member LRCs share a
+// consistent-hash ring over their names. An LRC may belong to at most
+// one group — ownership of a logical name must be unique.
+type ShardGroup struct {
+	Name string   `json:"name"`
+	LRCs []string `json:"lrcs"`
+	// VNodes is the virtual-node count per member (0 = ring default).
+	// Clients must use the same value.
+	VNodes int `json:"vnodes,omitempty"`
 }
 
 // RLILink declares that one RLI forwards its aggregated state to another
@@ -114,7 +132,7 @@ func (t *Topology) Validate() error {
 			return fmt.Errorf("membership: server %d has no name", i)
 		}
 		if _, dup := byName[s.Name]; dup {
-			return fmt.Errorf("membership: duplicate server name %q", s.Name)
+			return &DuplicateServerError{Name: s.Name}
 		}
 		byName[s.Name] = s
 		if len(s.Roles) == 0 {
@@ -137,43 +155,77 @@ func (t *Topology) Validate() error {
 		}
 	}
 	for i, l := range t.RLIUpdates {
+		ctx := fmt.Sprintf("rli update %d", i)
 		child, ok := byName[l.Child]
 		if !ok {
-			return fmt.Errorf("membership: rli update %d references unknown child %q", i, l.Child)
+			return &UnknownServerError{Context: ctx, Name: l.Child}
 		}
 		if !hasRole(child, "rli") {
-			return fmt.Errorf("membership: rli update %d: server %q is not an RLI", i, l.Child)
+			return &RoleError{Context: ctx, Name: l.Child, Role: "rli"}
 		}
 		parent, ok := byName[l.Parent]
 		if !ok {
-			return fmt.Errorf("membership: rli update %d references unknown parent %q", i, l.Parent)
+			return &UnknownServerError{Context: ctx, Name: l.Parent}
 		}
 		if !hasRole(parent, "rli") {
-			return fmt.Errorf("membership: rli update %d: server %q is not an RLI", i, l.Parent)
+			return &RoleError{Context: ctx, Name: l.Parent, Role: "rli"}
 		}
 		if l.Child == l.Parent {
-			return fmt.Errorf("membership: rli update %d: %q forwards to itself", i, l.Child)
+			return &SelfForwardError{Name: l.Child}
 		}
 	}
 	for i, u := range t.Updates {
+		ctx := fmt.Sprintf("update %d", i)
 		lrcSrv, ok := byName[u.LRC]
 		if !ok {
-			return fmt.Errorf("membership: update %d references unknown LRC %q", i, u.LRC)
+			return &UnknownServerError{Context: ctx, Name: u.LRC}
 		}
 		if !hasRole(lrcSrv, "lrc") {
-			return fmt.Errorf("membership: update %d: server %q is not an LRC", i, u.LRC)
+			return &RoleError{Context: ctx, Name: u.LRC, Role: "lrc"}
 		}
 		rliSrv, ok := byName[u.RLI]
 		if !ok {
-			return fmt.Errorf("membership: update %d references unknown RLI %q", i, u.RLI)
+			return &UnknownServerError{Context: ctx, Name: u.RLI}
 		}
 		if !hasRole(rliSrv, "rli") {
-			return fmt.Errorf("membership: update %d: server %q is not an RLI", i, u.RLI)
+			return &RoleError{Context: ctx, Name: u.RLI, Role: "rli"}
 		}
 		for _, p := range u.Patterns {
 			if _, err := regexp.Compile(p); err != nil {
 				return fmt.Errorf("membership: update %d: bad pattern %q: %w", i, p, err)
 			}
+		}
+	}
+	owned := make(map[string]string) // lrc name -> owning group
+	groups := make(map[string]bool)
+	for i, g := range t.Shards {
+		if g.Name == "" {
+			return &ShardOwnershipError{Group: fmt.Sprintf("#%d", i), Reason: "group has no name"}
+		}
+		if groups[g.Name] {
+			return &ShardOwnershipError{Group: g.Name, Reason: "group declared twice"}
+		}
+		groups[g.Name] = true
+		if len(g.LRCs) == 0 {
+			return &ShardOwnershipError{Group: g.Name, Reason: "group owns no LRCs"}
+		}
+		ctx := fmt.Sprintf("shard group %q", g.Name)
+		for _, name := range g.LRCs {
+			srv, ok := byName[name]
+			if !ok {
+				return &UnknownServerError{Context: ctx, Name: name}
+			}
+			if !hasRole(srv, "lrc") {
+				return &RoleError{Context: ctx, Name: name, Role: "lrc"}
+			}
+			if prev, dup := owned[name]; dup {
+				reason := "listed twice in the group"
+				if prev != g.Name {
+					reason = fmt.Sprintf("already owned by shard group %q", prev)
+				}
+				return &ShardOwnershipError{Group: g.Name, Name: name, Reason: reason}
+			}
+			owned[name] = g.Name
 		}
 	}
 	return nil
@@ -205,6 +257,22 @@ func (t *Topology) Build() (*core.Deployment, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	// Shard rings must exist before their member servers start: the
+	// lrc service takes its ring identity at construction time.
+	type shardIdentity struct {
+		ring *ring.Ring
+		self string
+	}
+	shardOf := make(map[string]shardIdentity)
+	for _, g := range t.Shards {
+		rg, err := ring.New(g.LRCs, g.VNodes)
+		if err != nil {
+			return nil, fmt.Errorf("membership: shard group %q: %w", g.Name, err)
+		}
+		for _, name := range g.LRCs {
+			shardOf[name] = shardIdentity{ring: rg, self: name}
+		}
+	}
 	d := core.NewDeployment()
 	for _, s := range t.Servers {
 		spec := core.ServerSpec{
@@ -233,6 +301,10 @@ func (t *Topology) Build() (*core.Deployment, error) {
 		}
 		if s.RLITimeoutSeconds > 0 {
 			spec.RLITimeout = time.Duration(s.RLITimeoutSeconds) * time.Second
+		}
+		if id, ok := shardOf[s.Name]; ok {
+			spec.ShardRing = id.ring
+			spec.ShardSelf = id.self
 		}
 		if _, err := d.AddServer(spec); err != nil {
 			d.Close()

@@ -1,0 +1,194 @@
+package membership
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+)
+
+// typed-error coverage: each malformed-topology class must surface as
+// its typed error so operators (and rls-topo) can distinguish a typo
+// from a structural problem.
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := Parse(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("malformed topology accepted")
+	}
+	return err
+}
+
+func TestDuplicateServerTyped(t *testing.T) {
+	err := parseErr(t, `{"servers":[{"name":"a","roles":["lrc"]},{"name":"a","roles":["rli"]}]}`)
+	var de *DuplicateServerError
+	if !errors.As(err, &de) || de.Name != "a" {
+		t.Fatalf("err = %v, want DuplicateServerError{a}", err)
+	}
+}
+
+func TestRLIUpdateLinkErrorsTyped(t *testing.T) {
+	base := `{"servers":[{"name":"r1","roles":["rli"]},{"name":"r2","roles":["rli"]},{"name":"l","roles":["lrc"]}],`
+
+	err := parseErr(t, base+`"rli_updates":[{"child":"ghost","parent":"r1"}]}`)
+	var ue *UnknownServerError
+	if !errors.As(err, &ue) || ue.Name != "ghost" {
+		t.Fatalf("unknown child = %v, want UnknownServerError{ghost}", err)
+	}
+
+	err = parseErr(t, base+`"rli_updates":[{"child":"l","parent":"r1"}]}`)
+	var re *RoleError
+	if !errors.As(err, &re) || re.Name != "l" || re.Role != "rli" {
+		t.Fatalf("lrc as child = %v, want RoleError{l, rli}", err)
+	}
+
+	err = parseErr(t, base+`"rli_updates":[{"child":"r1","parent":"r1"}]}`)
+	var se *SelfForwardError
+	if !errors.As(err, &se) || se.Name != "r1" {
+		t.Fatalf("self link = %v, want SelfForwardError{r1}", err)
+	}
+}
+
+func TestUpdateLinkErrorsTyped(t *testing.T) {
+	base := `{"servers":[{"name":"l","roles":["lrc"]},{"name":"r","roles":["rli"]}],`
+
+	err := parseErr(t, base+`"updates":[{"lrc":"nope","rli":"r"}]}`)
+	var ue *UnknownServerError
+	if !errors.As(err, &ue) || ue.Name != "nope" {
+		t.Fatalf("unknown lrc = %v, want UnknownServerError{nope}", err)
+	}
+
+	err = parseErr(t, base+`"updates":[{"lrc":"r","rli":"r"}]}`)
+	var re *RoleError
+	if !errors.As(err, &re) || re.Name != "r" || re.Role != "lrc" {
+		t.Fatalf("rli as lrc = %v, want RoleError{r, lrc}", err)
+	}
+}
+
+func TestShardGroupErrorsTyped(t *testing.T) {
+	servers := `{"servers":[
+	  {"name":"a","roles":["lrc"]},{"name":"b","roles":["lrc"]},
+	  {"name":"c","roles":["lrc"]},{"name":"r","roles":["rli"]}],`
+
+	cases := []struct {
+		name   string
+		shards string
+		check  func(error) bool
+	}{
+		{"unnamed group", `[{"name":"","lrcs":["a"]}]`, func(err error) bool {
+			var oe *ShardOwnershipError
+			return errors.As(err, &oe) && oe.Group == "#0"
+		}},
+		{"duplicate group", `[{"name":"g","lrcs":["a"]},{"name":"g","lrcs":["b"]}]`, func(err error) bool {
+			var oe *ShardOwnershipError
+			return errors.As(err, &oe) && oe.Group == "g"
+		}},
+		{"empty group", `[{"name":"g","lrcs":[]}]`, func(err error) bool {
+			var oe *ShardOwnershipError
+			return errors.As(err, &oe) && oe.Group == "g"
+		}},
+		{"unknown member", `[{"name":"g","lrcs":["ghost"]}]`, func(err error) bool {
+			var ue *UnknownServerError
+			return errors.As(err, &ue) && ue.Name == "ghost"
+		}},
+		{"rli member", `[{"name":"g","lrcs":["r"]}]`, func(err error) bool {
+			var re *RoleError
+			return errors.As(err, &re) && re.Name == "r" && re.Role == "lrc"
+		}},
+		{"member listed twice", `[{"name":"g","lrcs":["a","a"]}]`, func(err error) bool {
+			var oe *ShardOwnershipError
+			return errors.As(err, &oe) && oe.Name == "a" && oe.Group == "g"
+		}},
+		{"member in two groups", `[{"name":"g1","lrcs":["a","b"]},{"name":"g2","lrcs":["b","c"]}]`, func(err error) bool {
+			var oe *ShardOwnershipError
+			return errors.As(err, &oe) && oe.Name == "b" && oe.Group == "g2"
+		}},
+	}
+	for _, c := range cases {
+		err := parseErr(t, servers+`"shards":`+c.shards+`}`)
+		if !c.check(err) {
+			t.Errorf("%s: err = %v (wrong type or fields)", c.name, err)
+		}
+	}
+}
+
+// TestShardTopologyBuild: a topology with a shard group builds a tier
+// whose members enforce ring ownership — a mutation routed to the wrong
+// shard is rejected as a bad request, the owner accepts it, and reads
+// work everywhere.
+func TestShardTopologyBuild(t *testing.T) {
+	ctx := context.Background()
+	topo, err := Parse(strings.NewReader(`{
+	  "servers": [
+	    {"name": "s0", "roles": ["lrc"], "fast_disk": true},
+	    {"name": "s1", "roles": ["lrc"], "fast_disk": true},
+	    {"name": "s2", "roles": ["lrc"], "fast_disk": true},
+	    {"name": "rli0", "roles": ["rli"], "fast_disk": true}
+	  ],
+	  "updates": [
+	    {"lrc": "s0", "rli": "rli0"},
+	    {"lrc": "s1", "rli": "rli0"},
+	    {"lrc": "s2", "rli": "rli0"}
+	  ],
+	  "shards": [{"name": "tier", "lrcs": ["s0", "s1", "s2"]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := topo.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	// Every member carries the same ring under its own identity.
+	node, ok := dep.Node("s0")
+	if !ok {
+		t.Fatal("no node s0")
+	}
+	rg, self := node.LRC.Shard()
+	if rg == nil || self != "s0" {
+		t.Fatalf("s0 shard identity = %v, %q", rg, self)
+	}
+
+	lfn := "lfn://shardtopo/file-1"
+	owner := rg.Owner(lfn)
+	var wrong string
+	for _, n := range rg.Nodes() {
+		if n != owner {
+			wrong = n
+			break
+		}
+	}
+
+	wc, err := dep.Dial(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	if err := wc.CreateMapping(ctx, lfn, "pfn://x"); !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("misrouted create = %v, want ErrBadRequest", err)
+	}
+
+	oc, err := dep.Dial(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oc.Close()
+	if err := oc.CreateMapping(ctx, lfn, "pfn://x"); err != nil {
+		t.Fatalf("owner rejected its own name: %v", err)
+	}
+	// Reads are not ownership-checked: the non-owner answers (not found)
+	// rather than rejecting, so reverse and scattered queries work
+	// against every member.
+	if _, err := wc.GetTargets(ctx, lfn); !errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("read on non-owner = %v, want ErrNotFound", err)
+	}
+	targets, err := oc.GetTargets(ctx, lfn)
+	if err != nil || len(targets) != 1 {
+		t.Fatalf("owner read = %v, %v", targets, err)
+	}
+}

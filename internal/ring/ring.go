@@ -1,0 +1,120 @@
+// Package ring implements the consistent-hash ring that partitions the
+// LFN namespace across a sharded LRC tier. The ring is the shared
+// routing contract between client and server: both sides build it from
+// the same ordered shard list and the same virtual-node count, and both
+// must agree on which shard owns a given logical name. To make that
+// agreement robust the construction is fully deterministic — FNV-1a
+// point hashes, ownership independent of the order shards are listed
+// in, and no runtime randomness — so a client built from a topology
+// file and a server built from core.ServerSpec always route alike.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per shard when the caller
+// does not specify one. 64 points per shard keeps the expected load
+// imbalance across 16 shards under a few percent while keeping the
+// ring small enough that a lookup is one binary search over a few
+// hundred points.
+const DefaultVNodes = 64
+
+// point is one virtual node on the ring: the hash position and the
+// index of the owning shard in the nodes slice.
+type point struct {
+	hash uint32
+	node int32
+}
+
+// Ring maps keys to shard names by consistent hashing. A Ring is
+// immutable after New and safe for concurrent use.
+type Ring struct {
+	nodes  []string
+	points []point
+	vnodes int
+}
+
+// New builds a ring over the given shard names with vnodes virtual
+// nodes per shard (DefaultVNodes if vnodes <= 0). Duplicate or empty
+// names are rejected: a duplicate would silently double one shard's
+// share of the namespace, which is a topology bug, not a preference.
+func New(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("ring: no nodes")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	// Ownership must not depend on the order the caller listed the
+	// shards in: sort a private copy so "lrc0,lrc1" and "lrc1,lrc0"
+	// produce identical rings.
+	sorted := make([]string, len(nodes))
+	copy(sorted, nodes)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("ring: empty node name")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("ring: duplicate node %q", n)
+		}
+	}
+	r := &Ring{
+		nodes:  sorted,
+		points: make([]point, 0, len(sorted)*vnodes),
+		vnodes: vnodes,
+	}
+	for i, n := range sorted {
+		for v := 0; v < vnodes; v++ {
+			h := Hash(n + "#" + strconv.Itoa(v))
+			r.points = append(r.points, point{hash: h, node: int32(i)})
+		}
+	}
+	// Ties on the hash value are broken by node name (via the sorted
+	// node index) so that even a collision between two shards' virtual
+	// nodes resolves identically everywhere.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Hash is the ring's key hash: 32-bit FNV-1a. Exposed so servers can
+// cheaply verify ownership claims without building a throwaway ring.
+func Hash(key string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key)) // fnv never errors
+	return h.Sum32()
+}
+
+// Owner returns the name of the shard owning key.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.OwnerIndex(key)]
+}
+
+// OwnerIndex returns the index (into Nodes()) of the shard owning key:
+// the first virtual node at or clockwise after the key's hash.
+func (r *Ring) OwnerIndex(key string) int {
+	h := Hash(key)
+	i := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	if i == len(r.points) {
+		i = 0 // wrap around the ring
+	}
+	return int(r.points[i].node)
+}
+
+// Nodes returns the shard names in ring order (sorted). Callers must
+// not mutate the returned slice.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// VNodes reports the virtual-node count the ring was built with.
+func (r *Ring) VNodes() int { return r.vnodes }

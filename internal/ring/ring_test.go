@@ -1,0 +1,101 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnershipOrderIndependent(t *testing.T) {
+	a, err := New([]string{"lrc0", "lrc1", "lrc2", "lrc3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"lrc3", "lrc1", "lrc0", "lrc2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		key := fmt.Sprintf("lfn://scen/file-%09d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q depends on node order", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestOwnerIndexMatchesOwner(t *testing.T) {
+	r, err := New([]string{"s0", "s1", "s2"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if r.Nodes()[r.OwnerIndex(key)] != r.Owner(key) {
+			t.Fatalf("OwnerIndex/Owner disagree for %q", key)
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	const shards, keys = 16, 100_000
+	var names []string
+	for i := 0; i < shards; i++ {
+		names = append(names, fmt.Sprintf("lrc%d", i))
+	}
+	r, err := New(names, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("lfn://scen/file-%09d", i))]++
+	}
+	mean := keys / shards
+	for n, c := range counts {
+		if c < mean/3 || c > mean*3 {
+			t.Errorf("shard %s owns %d keys, mean %d: imbalance beyond 3x", n, c, mean)
+		}
+	}
+	if len(counts) != shards {
+		t.Errorf("only %d of %d shards own any keys", len(counts), shards)
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r, err := New([]string{"only"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	for i := 0; i < 100; i++ {
+		if o := r.Owner(fmt.Sprintf("k%d", i)); o != "only" {
+			t.Fatalf("single-node ring routed %q to %q", fmt.Sprintf("k%d", i), o)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 8); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 8); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := New([]string{"a", ""}, 8); err == nil {
+		t.Error("empty node name accepted")
+	}
+}
+
+func TestDeterministicAcrossBuilds(t *testing.T) {
+	// Same inputs must give byte-identical routing — the client and
+	// server build their rings independently.
+	a, _ := New([]string{"x", "y", "z"}, 16)
+	b, _ := New([]string{"x", "y", "z"}, 16)
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("lfn://t/%d", i)
+		if a.OwnerIndex(k) != b.OwnerIndex(k) {
+			t.Fatalf("nondeterministic ownership for %q", k)
+		}
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/client"
 	"repro/internal/clock"
 	"repro/internal/metrics"
 )
@@ -49,9 +48,9 @@ type OpenLoop struct {
 	// (default 65536). A full backlog blocks the dispatcher; intended
 	// times are schedule-derived, so accounting stays correct.
 	Backlog int
-	// Dial opens one connection; it should set the connection's
-	// MaxInFlight to at least Depth.
-	Dial func() (*client.Client, error)
+	// Dial opens one connection (or shard router); it should set the
+	// per-connection MaxInFlight to at least Depth.
+	Dial func() (Conn, error)
 	// Clock is the time source for the arrival schedule and latency
 	// measurement; nil means the real clock.
 	Clock clock.Clock
@@ -59,7 +58,7 @@ type OpenLoop struct {
 
 // OpenOp issues one operation. seq is the globally unique operation index
 // and lc the logical client it is attributed to.
-type OpenOp func(ctx context.Context, c *client.Client, seq int64, lc int) error
+type OpenOp func(ctx context.Context, c Conn, seq int64, lc int) error
 
 // OpenResult reports one open-loop run (one scenario phase).
 type OpenResult struct {
@@ -121,7 +120,7 @@ func (o *OpenLoop) Run(ctx context.Context, totalOps int64, makeOp func(worker i
 		backlog = 65536
 	}
 
-	cs := make([]*client.Client, conns)
+	cs := make([]Conn, conns)
 	for i := range cs {
 		c, err := o.Dial()
 		if err != nil {

@@ -7,14 +7,13 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/client"
 	"repro/internal/metrics"
 )
 
-func openLoopDeployment(t *testing.T) func() (*client.Client, error) {
+func openLoopDeployment(t *testing.T) func() (Conn, error) {
 	t.Helper()
 	dep := newDeployment(t)
-	return func() (*client.Client, error) { return dep.Dial("lrc") }
+	return func() (Conn, error) { return dep.Dial("lrc") }
 }
 
 func constOp(op OpenOp) func(int) OpenOp {
@@ -25,7 +24,7 @@ func TestOpenLoopIssuesAllOps(t *testing.T) {
 	dial := openLoopDeployment(t)
 	eng := &OpenLoop{Rate: 20_000, Conns: 2, Depth: 8, Dial: dial}
 	var seqs sync.Map
-	res, err := eng.Run(ctx, 500, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+	res, err := eng.Run(ctx, 500, constOp(func(ctx context.Context, c Conn, seq int64, lc int) error {
 		if _, dup := seqs.LoadOrStore(seq, true); dup {
 			t.Errorf("sequence %d issued twice", seq)
 		}
@@ -50,7 +49,7 @@ func TestOpenLoopLogicalClientAttribution(t *testing.T) {
 	const clients = 100_000
 	eng := &OpenLoop{Rate: 50_000, Conns: 1, Depth: 4, Clients: clients, Dial: dial}
 	var maxLC atomic.Int64
-	res, err := eng.Run(ctx, 300, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+	res, err := eng.Run(ctx, 300, constOp(func(ctx context.Context, c Conn, seq int64, lc int) error {
 		if lc < 0 || lc >= clients {
 			t.Errorf("logical client %d out of range", lc)
 		}
@@ -83,7 +82,7 @@ func TestOpenLoopCoordinatedOmission(t *testing.T) {
 	var service metrics.LatencyRecorder
 	var mu sync.Mutex
 	eng := &OpenLoop{Rate: 100, Arrival: ArrivalConstant, Conns: 1, Depth: 1, Dial: dial}
-	res, err := eng.Run(ctx, 100, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+	res, err := eng.Run(ctx, 100, constOp(func(ctx context.Context, c Conn, seq int64, lc int) error {
 		begin := time.Now()
 		if seq == 5 {
 			time.Sleep(stall)
@@ -135,7 +134,7 @@ func TestOpenLoopConfigErrors(t *testing.T) {
 func TestOpenLoopCountsErrors(t *testing.T) {
 	dial := openLoopDeployment(t)
 	eng := &OpenLoop{Rate: 10_000, Dial: dial}
-	res, err := eng.Run(ctx, 200, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+	res, err := eng.Run(ctx, 200, constOp(func(ctx context.Context, c Conn, seq int64, lc int) error {
 		if seq%4 == 0 {
 			return context.DeadlineExceeded
 		}
@@ -157,7 +156,7 @@ func TestOpenLoopCancellation(t *testing.T) {
 	var res OpenResult
 	go func() {
 		defer close(done)
-		res, _ = eng.Run(cctx, 1_000_000, constOp(func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+		res, _ = eng.Run(cctx, 1_000_000, constOp(func(ctx context.Context, c Conn, seq int64, lc int) error {
 			return nil
 		}))
 	}()

@@ -6,8 +6,6 @@ import (
 	"math/rand"
 	"sort"
 	"time"
-
-	"repro/internal/client"
 )
 
 // OpMix weights the operation types of a phase. Weights need not sum to 1;
@@ -202,8 +200,12 @@ type ScenarioConfig struct {
 	Depth   int
 	Seed    int64
 	Backlog int
-	// Dial opens one pipelined connection.
-	Dial func() (*client.Client, error)
+	// Shards records the shard count of the tier under test (0 or 1 =
+	// unsharded). Informational: it flows into the benchfmt snapshot so
+	// the perf trajectory distinguishes scale-out points.
+	Shards int
+	// Dial opens one pipelined connection (or shard router).
+	Dial func() (Conn, error)
 }
 
 // PhaseResult pairs a phase with its measured open-loop result.
@@ -307,13 +309,13 @@ func phaseOpFactory(ph Phase, sc Scenario, tenants []Tenant, cfg ScenarioConfig,
 		}
 		pending := int64(-1) // last key this worker created, not yet deleted
 		gen := cfg.Gen
-		query := func(ctx context.Context, c *client.Client) error {
+		query := func(ctx context.Context, c Conn) error {
 			t := pickTenant()
 			key := slices[t].lo + zipfs[t].Next()
 			_, err := c.GetTargets(ctx, gen.Logical(key))
 			return err
 		}
-		return func(ctx context.Context, c *client.Client, seq int64, lc int) error {
+		return func(ctx context.Context, c Conn, seq int64, lc int) error {
 			x := rng.Float64() * total
 			switch {
 			case x < ph.Mix.Add:

@@ -5,7 +5,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/client"
 	"repro/internal/core"
 )
 
@@ -28,7 +27,7 @@ func scenarioEnv(t *testing.T, catalog int) (*core.Deployment, ScenarioConfig) {
 		Conns:   2,
 		Depth:   8,
 		Seed:    11,
-		Dial: func() (*client.Client, error) {
+		Dial: func() (Conn, error) {
 			return dep.Dial("lrc", core.DialOptions{MaxInFlight: 8})
 		},
 	}

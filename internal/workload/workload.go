@@ -43,10 +43,25 @@ func (g Names) Mapping(i int) wire.Mapping {
 	return wire.Mapping{Logical: g.Logical(i), Target: g.Target(i, 0)}
 }
 
-// Load bulk-registers mappings [0, n) through the client, batching
+// Conn is the client surface the load generators drive. Both a single
+// pipelined connection (*client.Client) and a shard-aware router
+// (*client.Router) satisfy it, so the same scenario definitions run
+// unchanged against one LRC or a sharded tier — the router splits
+// bulk preloads per shard and routes each query to the owner exactly
+// as production clients would.
+type Conn interface {
+	Ping(ctx context.Context) error
+	CreateMapping(ctx context.Context, logical, target string) error
+	DeleteMapping(ctx context.Context, logical, target string) error
+	GetTargets(ctx context.Context, logical string) ([]string, error)
+	BulkCreate(ctx context.Context, mappings []wire.Mapping) ([]wire.BulkFailure, error)
+	Close() error
+}
+
+// Load bulk-registers mappings [0, n) through the connection, batching
 // batchSize mappings per bulk request. It is how experiments preload
 // catalogs ("a server is loaded with a predefined number of mappings").
-func Load(ctx context.Context, c *client.Client, g Names, n, batchSize int) error {
+func Load(ctx context.Context, c Conn, g Names, n, batchSize int) error {
 	if batchSize <= 0 {
 		batchSize = 1000
 	}

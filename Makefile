@@ -34,7 +34,7 @@ fuzz:
 # demultiplexer, the soft-state sender's circuit breakers) to shake out
 # schedule-dependent bugs.
 stress:
-	$(GO) test -race -count=5 ./internal/storage ./internal/server ./internal/client ./internal/lrc
+	$(GO) test -race -count=5 ./internal/storage ./internal/server ./internal/client ./internal/lrc ./internal/membership
 
 # Short deterministic chaos profile: the standard workload generators run
 # under injected faults (partition, resets, drops) and the run asserts
@@ -44,14 +44,17 @@ chaos:
 	$(GO) run ./cmd/rls-bench -trials 1 chaos
 
 # Open-loop scenario smoke: run the scen-* experiments (including the
-# sharded scale-out sweep) at quick parameters, emit the BENCH_9.json
-# perf-trajectory snapshot, and check it against the rls-bench/v1 schema.
-# CI uploads the snapshot as an artifact.
+# sharded scale-out sweep and the replicated-RLI failover chaos scenario)
+# at quick parameters, emit the BENCH_*.json perf-trajectory snapshots, and
+# check them against the rls-bench/v1 schema. CI uploads the snapshots as
+# artifacts.
 scenarios:
 	$(GO) run ./cmd/rls-bench -quick -bench 9 -json BENCH_9.json \
 		scen-steady scen-flash scen-storm scen-churn scen-tenants scen-read-storm \
 		scen-shard-scaleout
 	$(GO) run ./cmd/rls-bench -validate-json BENCH_9.json
+	$(GO) run ./cmd/rls-bench -quick -bench 10 -json BENCH_10.json scen-rli-failover
+	$(GO) run ./cmd/rls-bench -validate-json BENCH_10.json
 
 # Perf-trajectory delta: compare the two newest committed BENCH_*.json
 # snapshots per scenario phase (achieved rate, p50, p99). Report-only —

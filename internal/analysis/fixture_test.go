@@ -192,6 +192,14 @@ func TestLeakCheckFixtures(t *testing.T) {
 	)
 }
 
+func TestLeakCheckMembershipFixtures(t *testing.T) {
+	chk := LeakCheck{TargetPkgs: []string{"fix/memberbad", "fix/membergood"}}
+	checkFixture(t, []Checker{chk},
+		DirSpec{ImportPath: "fix/memberbad", Dir: fixtureDir("memberbad")},
+		DirSpec{ImportPath: "fix/membergood", Dir: fixtureDir("membergood")},
+	)
+}
+
 func TestClockCheckFixtures(t *testing.T) {
 	chk := ClockCheck{Policies: map[string]ClockPolicy{
 		"fix/clockbad":  {NoRawTime: true, NoGlobalRand: true},

@@ -35,6 +35,7 @@ func DefaultLeakCheck() LeakCheck {
 		"repro/internal/client",
 		"repro/internal/lrc",
 		"repro/internal/rli",
+		"repro/internal/membership",
 		"repro/internal/workload",
 	}}
 }

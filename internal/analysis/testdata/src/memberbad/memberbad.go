@@ -1,0 +1,51 @@
+// Package memberbad has membership-agent goroutine shapes whose lifecycle
+// leakcheck must reject: heartbeat and anti-entropy loops with no shutdown
+// edge, running forever after the node deregisters.
+package memberbad
+
+import "time"
+
+type agent struct {
+	interval time.Duration
+}
+
+func (a *agent) heartbeat() {}
+func (a *agent) pullView()  {}
+
+// A heartbeat loop with no stop channel: nothing can ever terminate it.
+func (a *agent) start() {
+	go func() { // want "no reachable shutdown edge"
+		for {
+			a.heartbeat()
+			time.Sleep(a.interval)
+		}
+	}()
+}
+
+// An anti-entropy loop spawned as a named method is no better when the
+// method's (transitive) body holds no shutdown evidence.
+func (a *agent) startPull() {
+	go a.pullLoop() // want "no reachable shutdown edge"
+}
+
+func (a *agent) pullLoop() {
+	for {
+		a.pullView()
+		time.Sleep(a.interval)
+	}
+}
+
+// A registry sweep pacing itself with bare sleeps: no channel, no context,
+// nothing to ever terminate it.
+type registry struct{}
+
+func (r *registry) expire() {}
+
+func (r *registry) startSweep() {
+	go func() { // want "no reachable shutdown edge"
+		for {
+			r.expire()
+			time.Sleep(time.Second)
+		}
+	}()
+}

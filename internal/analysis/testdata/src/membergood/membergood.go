@@ -1,0 +1,80 @@
+// Package membergood has the membership goroutine shapes the repo actually
+// uses — heartbeat/anti-entropy and expiry-sweep loops with a stop channel
+// under a select, reaped by a WaitGroup — which leakcheck must accept.
+package membergood
+
+import (
+	"sync"
+	"time"
+)
+
+type agent struct {
+	interval time.Duration
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func (a *agent) heartbeat() {}
+func (a *agent) pullView()  {}
+
+// The agent loop: heartbeat and view-pull tickers under one select,
+// stopped by Close.
+func (a *agent) start() {
+	a.wg.Add(1)
+	go a.run()
+}
+
+func (a *agent) run() {
+	defer a.wg.Done()
+	hb := time.NewTicker(a.interval)
+	defer hb.Stop()
+	pull := time.NewTicker(a.interval)
+	defer pull.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-hb.C:
+			a.heartbeat()
+		case <-pull.C:
+			a.pullView()
+		}
+	}
+}
+
+func (a *agent) close() {
+	close(a.stop)
+	a.wg.Wait()
+}
+
+type registry struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (r *registry) expire() {}
+
+// The expiry sweep: ticker plus stop channel, joined on Close.
+func (r *registry) startSweep() {
+	r.wg.Add(1)
+	go r.sweepLoop()
+}
+
+func (r *registry) sweepLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.expire()
+		}
+	}
+}
+
+func (r *registry) close() {
+	close(r.stop)
+	r.wg.Wait()
+}

@@ -56,6 +56,11 @@ func (e *StatusError) Error() string {
 	return "rls: " + e.Status.String()
 }
 
+// StatusCode exposes the raw wire status, letting packages that cannot
+// import client (e.g. membership, which sits below core in the dependency
+// order) classify server answers structurally.
+func (e *StatusError) StatusCode() uint16 { return uint16(e.Status) }
+
 // Is maps the status onto the package sentinels.
 func (e *StatusError) Is(target error) bool {
 	switch target {

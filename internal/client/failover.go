@@ -1,0 +1,238 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/backoff"
+	"repro/internal/wire"
+)
+
+// Failover is the replica-aware read client for a replicated RLI group:
+// every replica holds (a copy of) the same index, so a query can be
+// answered by any of them. Each replica carries a circuit breaker whose
+// state *steers* traffic — healthy replicas are tried before quarantined
+// ones — rather than merely suppressing dials: when every replica is
+// quarantined the query still walks all of them, because a wrong "down"
+// verdict must degrade latency, not availability.
+//
+// Failover semantics by answer kind:
+//
+//   - transport errors (dead replica, cut connection) drop the cached
+//     connection, charge the replica's breaker and fail over to the next;
+//   - retryable server statuses (internal, retry-later) fail over without
+//     charging the breaker — the replica answered, so it is alive;
+//   - not-found fails over too: a warm standby that has not yet received
+//     every LRC's soft state legitimately misses names its peers know. Only
+//     when every replica reports not-found is not-found returned.
+//   - deterministic statuses (denied, bad request, unsupported) return
+//     immediately: every replica would answer the same.
+type Failover struct {
+	replicas []*replicaConn
+}
+
+// ReplicaSpec names one replica and how to reach it.
+type ReplicaSpec struct {
+	// Name is the replica's display identity (deployment name).
+	Name string
+	// Opts dials the replica's server.
+	Opts Options
+}
+
+// FailoverOptions configures a Failover client.
+type FailoverOptions struct {
+	// Replicas lists the group, in preference order (ties in breaker state
+	// preserve this order).
+	Replicas []ReplicaSpec
+	// Breaker configures the per-replica circuit breakers; the zero value
+	// uses backoff defaults. Each replica's breaker derives its jitter seed
+	// from Breaker.Seed plus the replica index, keeping probe schedules
+	// deterministic but de-synchronized.
+	Breaker backoff.BreakerConfig
+}
+
+// replicaConn is one replica's state: its lazily dialed connection and the
+// breaker steering traffic toward or away from it.
+type replicaConn struct {
+	name    string
+	opts    Options
+	breaker *backoff.Breaker
+
+	mu sync.Mutex
+	c  *Client
+}
+
+// NewFailover builds the failover client. Connections are dialed lazily on
+// first use, so constructing the client against a group with dead members
+// succeeds — the breakers learn which members answer.
+func NewFailover(opts FailoverOptions) (*Failover, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, errors.New("rls: failover client needs at least one replica")
+	}
+	f := &Failover{}
+	for i, spec := range opts.Replicas {
+		bc := opts.Breaker
+		bc.Seed = opts.Breaker.Seed + int64(i) + 1
+		f.replicas = append(f.replicas, &replicaConn{
+			name:    spec.Name,
+			opts:    spec.Opts,
+			breaker: backoff.NewBreaker(bc),
+		})
+	}
+	return f, nil
+}
+
+// Close closes every dialed replica connection, returning the first error.
+func (f *Failover) Close() error {
+	var first error
+	for _, rc := range f.replicas {
+		rc.mu.Lock()
+		c := rc.c
+		rc.c = nil
+		rc.mu.Unlock()
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// client returns the replica's cached connection, dialing on first use.
+func (rc *replicaConn) client(ctx context.Context) (*Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.c != nil {
+		return rc.c, nil
+	}
+	c, err := Dial(ctx, rc.opts)
+	if err != nil {
+		return nil, err
+	}
+	rc.c = c
+	return c, nil
+}
+
+// drop discards the cached connection after a transport failure so the next
+// attempt redials.
+func (rc *replicaConn) drop(c *Client) {
+	rc.mu.Lock()
+	if rc.c == c {
+		rc.c = nil
+	}
+	rc.mu.Unlock()
+	_ = c.Close()
+}
+
+// steer orders the replicas for one query: replicas whose breaker admits
+// traffic first (healthy, or a due half-open probe), quarantined ones after
+// — tried only if every admitted replica fails. Allow() on a quarantined
+// replica records the skip in its breaker telemetry.
+func (f *Failover) steer() []*replicaConn {
+	var open, quarantined []*replicaConn
+	for _, rc := range f.replicas {
+		if rc.breaker.Allow() {
+			open = append(open, rc)
+		} else {
+			quarantined = append(quarantined, rc)
+		}
+	}
+	return append(open, quarantined...)
+}
+
+// do runs one read against the group with breaker-steered failover.
+func (f *Failover) do(ctx context.Context, call func(context.Context, *Client) error) error {
+	var lastErr error
+	sawNotFound := false
+	for _, rc := range f.steer() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c, err := rc.client(ctx)
+		if err != nil {
+			rc.breaker.OnFailure()
+			lastErr = err
+			continue
+		}
+		err = call(ctx, c)
+		if err == nil {
+			rc.breaker.OnSuccess()
+			return nil
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			// The replica answered: it is alive regardless of the outcome.
+			rc.breaker.OnSuccess()
+			switch se.Status {
+			case wire.StatusNotFound:
+				sawNotFound = true
+				lastErr = err
+				continue
+			case wire.StatusInternal, wire.StatusRetryLater:
+				lastErr = err
+				continue
+			default:
+				return err
+			}
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		rc.drop(c)
+		rc.breaker.OnFailure()
+		lastErr = err
+	}
+	if sawNotFound {
+		return lastErr // every replica that answered said not-found
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("rls: no replica answered")
+	}
+	return lastErr
+}
+
+// Ping checks that at least one replica answers.
+func (f *Failover) Ping(ctx context.Context) error {
+	return f.do(ctx, func(ctx context.Context, c *Client) error {
+		return c.Ping(ctx)
+	})
+}
+
+// RLIQuery answers "which LRCs may hold this logical name" from the first
+// replica able to answer.
+func (f *Failover) RLIQuery(ctx context.Context, logical string) ([]string, error) {
+	names, _, err := f.RLIQueryDetailed(ctx, logical)
+	return names, err
+}
+
+// RLIQueryDetailed is RLIQuery plus the server's staleness flag.
+func (f *Failover) RLIQueryDetailed(ctx context.Context, logical string) ([]string, bool, error) {
+	var names []string
+	var stale bool
+	err := f.do(ctx, func(ctx context.Context, c *Client) error {
+		var err error
+		names, stale, err = c.RLIQueryDetailed(ctx, logical)
+		return err
+	})
+	return names, stale, err
+}
+
+// ReplicaState is one replica's health snapshot.
+type ReplicaState struct {
+	Name    string
+	State   string // healthy | degraded | quarantined | probing
+	Skipped int64  // queries steered away while quarantined
+}
+
+// States reports the breaker state per replica, in configuration order.
+func (f *Failover) States() []ReplicaState {
+	out := make([]ReplicaState, 0, len(f.replicas))
+	for _, rc := range f.replicas {
+		snap := rc.breaker.Snapshot()
+		out = append(out, ReplicaState{Name: rc.name, State: snap.State.String(), Skipped: snap.Skipped})
+	}
+	return out
+}

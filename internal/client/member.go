@@ -1,0 +1,58 @@
+package client
+
+import (
+	"context"
+
+	"repro/internal/wire"
+)
+
+// Runtime-membership operations against a seed server, plus the
+// warm-standby snapshot fetch. These are the client face of the
+// membership.Agent and the RLI bootstrap path.
+
+// MemberJoin registers (or re-registers) a node with the seed.
+func (c *Client) MemberJoin(ctx context.Context, m wire.MemberInfo) error {
+	req := wire.MemberJoinRequest{Member: m}
+	_, err := c.call(ctx, wire.OpMemberJoin, req.Encode())
+	return err
+}
+
+// MemberLeave deregisters a node by name.
+func (c *Client) MemberLeave(ctx context.Context, name string) error {
+	req := wire.NameRequest{Name: name}
+	_, err := c.call(ctx, wire.OpMemberLeave, req.Encode())
+	return err
+}
+
+// MemberHeartbeat renews a node's lease. ErrNotFound reports that the seed
+// already expired the member; the caller should re-join.
+func (c *Client) MemberHeartbeat(ctx context.Context, name string) error {
+	req := wire.NameRequest{Name: name}
+	_, err := c.call(ctx, wire.OpMemberHeartbeat, req.Encode())
+	return err
+}
+
+// MemberView pulls the seed's membership view. When the view has not
+// advanced past since, the response has Changed=false and no member list.
+func (c *Client) MemberView(ctx context.Context, since uint64) (*wire.MemberViewResponse, error) {
+	req := wire.MemberViewRequest{SinceGeneration: since}
+	body, err := c.call(ctx, wire.OpMemberView, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeMemberViewResponse(body)
+}
+
+// RLISnapshot fetches an RLI's in-memory Bloom store for warm-standby
+// bootstrap.
+func (c *Client) RLISnapshot(ctx context.Context) ([]wire.RLIFilterState, error) {
+	body, err := c.call(ctx, wire.OpRLISnapshot, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeRLISnapshotResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}

@@ -39,9 +39,16 @@ type ServerSpec struct {
 	// Name identifies the server within the deployment; its in-process URL
 	// is "rls://<name>".
 	Name string
-	// LRC and RLI select the roles; at least one must be set.
+	// LRC and RLI select the roles; at least one must be set unless the
+	// server carries the membership (seed) role via Members.
 	LRC bool
 	RLI bool
+
+	// Members, when set, makes this server a membership seed: it serves the
+	// member join/leave/heartbeat/view opcodes from the given registry
+	// (typically a *membership.Registry). The caller owns the registry's
+	// lifecycle — Deployment.Close does not stop it.
+	Members server.Membership
 
 	// Listen starts a TCP listener on 127.0.0.1 (ephemeral port) in
 	// addition to the in-process transport.
@@ -233,7 +240,7 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 	if spec.Name == "" {
 		return nil, errors.New("core: ServerSpec.Name is required")
 	}
-	if !spec.LRC && !spec.RLI {
+	if !spec.LRC && !spec.RLI && spec.Members == nil {
 		return nil, fmt.Errorf("core: server %s needs at least one role", spec.Name)
 	}
 	d.mu.Lock()
@@ -365,6 +372,7 @@ func (d *Deployment) AddServer(spec ServerSpec) (*Node, error) {
 		URL:              node.URL,
 		LRC:              node.LRC,
 		RLI:              node.RLI,
+		Members:          spec.Members,
 		Auth:             spec.Auth,
 		Clock:            spec.Clock,
 		Logger:           spec.Logger,
@@ -558,6 +566,74 @@ func (d *Deployment) DialTCP(name string, opts ...DialOptions) (*client.Client, 
 			return netsim.Wrap(raw, n.net), nil
 		},
 	})
+}
+
+// DialFailover opens a replica-aware client over the named servers: reads
+// try healthy replicas first (per-replica circuit breakers steer the order)
+// and fail over on transport errors, retryable statuses, and not-found —
+// the read side of a replicated RLI group. The breaker configuration uses
+// backoff defaults; replica breaker seeds derive from the name list order.
+func (d *Deployment) DialFailover(names ...string) (*client.Failover, error) {
+	if len(names) == 0 {
+		return nil, errors.New("core: DialFailover needs at least one server name")
+	}
+	specs := make([]client.ReplicaSpec, 0, len(names))
+	for _, name := range names {
+		d.mu.Lock()
+		n, ok := d.nodes[name]
+		d.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("core: no server named %q", name)
+		}
+		node := n
+		specs = append(specs, client.ReplicaSpec{
+			Name: name,
+			Opts: client.Options{
+				Dialer: func() (net.Conn, error) { return d.dialNode(node) },
+			},
+		})
+	}
+	return client.NewFailover(client.FailoverOptions{Replicas: specs})
+}
+
+// DialURL opens a client to the server with the given deployment URL
+// ("rls://<name>") over the in-process transport. Membership agents use
+// this as their seed dialer: client.Client satisfies membership.MemberClient.
+func (d *Deployment) DialURL(ctx context.Context, url string) (*client.Client, error) {
+	n, err := d.resolve(url)
+	if err != nil {
+		return nil, err
+	}
+	return client.Dial(ctx, client.Options{
+		Dialer: func() (net.Conn, error) { return d.dialNode(n) },
+	})
+}
+
+// BootstrapStandby warm-starts the named standby RLI from a live peer
+// replica: it pulls the peer's per-LRC Bloom snapshot and installs it into
+// the standby, so the standby answers (possibly stale) queries immediately
+// instead of waiting out a full soft-state cycle. The next incremental or
+// full update from each LRC then freshens the imported state in place.
+// Returns how many per-LRC filters were installed.
+func (d *Deployment) BootstrapStandby(ctx context.Context, standbyName, peerName string) (int, error) {
+	standby, ok := d.Node(standbyName)
+	if !ok || standby.RLI == nil {
+		return 0, fmt.Errorf("core: %q is not an RLI in this deployment", standbyName)
+	}
+	peer, ok := d.Node(peerName)
+	if !ok || peer.RLI == nil {
+		return 0, fmt.Errorf("core: %q is not an RLI in this deployment", peerName)
+	}
+	c, err := d.Dial(peerName)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	entries, err := c.RLISnapshot(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("core: snapshot pull from %q: %w", peerName, err)
+	}
+	return standby.RLI.ImportSnapshot(ctx, entries)
 }
 
 // Connect registers RLI update targets: the named LRC starts sending soft

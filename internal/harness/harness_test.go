@@ -30,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-partitioning", "ablate-transport", "ablate-pipeline",
 		"chaos",
 		"scen-steady", "scen-flash", "scen-storm", "scen-churn", "scen-tenants",
-		"scen-read-storm", "scen-shard-scaleout",
+		"scen-read-storm", "scen-shard-scaleout", "scen-rli-failover",
 	}
 	for _, id := range wantIDs {
 		e, ok := ByID(id)

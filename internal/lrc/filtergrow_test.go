@@ -1,0 +1,92 @@
+package lrc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/bloom"
+)
+
+// errCursor serves a fixed page sequence and then fails, simulating a
+// catalog scan torn mid-rebuild.
+type errCursor struct {
+	pages [][]string
+	err   error
+}
+
+func (c *errCursor) Next(limit int) ([]string, error) {
+	if len(c.pages) == 0 {
+		return nil, c.err
+	}
+	page := c.pages[0]
+	c.pages = c.pages[1:]
+	return page, nil
+}
+
+func (c *errCursor) Close() {}
+
+// TestGrowFilterKeepsOldOnCursorError is the regression test for the
+// partial-rebuild bug: maybeGrowFilterLocked used to install the half-built
+// replacement filter when the scan cursor errored mid-rebuild, silently
+// dropping every name after the failure point — Bloom false negatives that
+// violate the no-false-negative contract. A failed rebuild must keep the old
+// (complete) filter.
+func TestGrowFilterKeepsOldOnCursorError(t *testing.T) {
+	s := newTestService(t, newFakeUpdater(), nil)
+	var names []string
+	// 128 names: enough to put a minimum-size (1024-bit) filter 20% past
+	// its design point so the growth check actually fires.
+	for i := 0; i < 128; i++ {
+		n := fmt.Sprintf("lfn://grow%03d", i)
+		names = append(names, n)
+		if err := s.CreateMapping(ctx, n, "pfn://"+n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Shrink the live filter far below its design point so the next growth
+	// check fires, and hand the rebuild a cursor that dies after one page:
+	// the half-built replacement would hold only that first page.
+	small := bloom.New(4)
+	for _, n := range names {
+		small.Add(n)
+	}
+	s.mu.Lock()
+	s.filter = small
+	s.mu.Unlock()
+	s.openCursor = func() (namesCursor, error) {
+		return &errCursor{pages: [][]string{names[:4]}, err: errors.New("torn page")}, nil
+	}
+
+	s.mu.Lock()
+	s.maybeGrowFilterLocked()
+	s.mu.Unlock()
+
+	s.mu.Lock()
+	for _, n := range names {
+		if !s.filter.Test(n) {
+			s.mu.Unlock()
+			t.Fatalf("name %q lost from the Bloom filter after a failed rebuild (false negative)", n)
+		}
+	}
+	oldBits := s.filter.MBits()
+	s.mu.Unlock()
+
+	// A clean scan afterwards still grows the filter: the bail-out defers
+	// the rebuild, it does not wedge it.
+	s.openCursor = func() (namesCursor, error) { return s.db.OpenNamesCursor() }
+	s.mu.Lock()
+	s.maybeGrowFilterLocked()
+	grown := s.filter.MBits() > oldBits
+	for _, n := range names {
+		if !s.filter.Test(n) {
+			s.mu.Unlock()
+			t.Fatalf("name %q missing after successful rebuild", n)
+		}
+	}
+	s.mu.Unlock()
+	if !grown {
+		t.Fatalf("filter did not grow on the retry (MBits still %d)", oldBits)
+	}
+}

@@ -138,6 +138,9 @@ type Service struct {
 	cfg Config
 	db  *rdb.LRCDB
 	clk clock.Clock
+	// openCursor opens a catalog name scan for filter rebuilds. It wraps
+	// db.OpenNamesCursor; tests substitute a cursor that errors mid-scan.
+	openCursor func() (namesCursor, error)
 
 	mu      sync.Mutex
 	filter  *bloom.Filter
@@ -195,6 +198,7 @@ type TargetStats struct {
 	URL         string
 	Sent        int64 // successful updates of any kind
 	Failed      int64 // updates that errored
+	Skipped     int64 // update passes suppressed by the target's breaker
 	Requeued    int64 // incremental deltas re-queued after a failed flush
 	NamesSent   int64
 	BytesSent   int64 // serialized Bloom payload bytes
@@ -204,7 +208,6 @@ type TargetStats struct {
 	// snapshot time.
 	State       string // healthy | degraded | quarantined | probing
 	ConsecFails int64
-	Skipped     int64 // sends suppressed while quarantined/probing
 	Probes      int64 // half-open probes admitted
 	NextProbe   time.Time
 }
@@ -229,6 +232,7 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		breakers: make(map[string]*backoff.Breaker),
 		stop:     make(chan struct{}),
 	}
+	s.openCursor = func() (namesCursor, error) { return s.db.OpenNamesCursor() }
 	// Size and populate the Bloom filter from current catalog contents.
 	logicals, _, _, err := s.db.Counts()
 	if err != nil {
@@ -371,7 +375,6 @@ func (s *Service) TargetStats() []TargetStats {
 		snap := s.breakerForLocked(url).Snapshot()
 		cp.State = snap.State.String()
 		cp.ConsecFails = snap.ConsecFails
-		cp.Skipped = snap.Skipped
 		cp.Probes = snap.Probes
 		cp.NextProbe = snap.NextProbe
 		out = append(out, cp)

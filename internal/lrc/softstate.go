@@ -45,6 +45,14 @@ func (s *Service) pendingCountLocked() int {
 	return len(s.pending.added) + len(s.pending.removed)
 }
 
+// namesCursor is the page-scan surface maybeGrowFilterLocked needs from the
+// catalog. *rdb.NamesCursor satisfies it; tests substitute a cursor that
+// fails mid-scan to pin the bail-out-on-error contract.
+type namesCursor interface {
+	Next(limit int) ([]string, error)
+	Close()
+}
+
 // maybeGrowFilterLocked rebuilds the Bloom filter at double capacity when
 // the live name count outgrows its design point, keeping the false-positive
 // rate near the paper's ~1%.
@@ -58,14 +66,22 @@ func (s *Service) maybeGrowFilterLocked() {
 	// holding s.mu here cannot deadlock against writers, and every page comes
 	// from one consistent name universe. This is rare (amortized by
 	// doubling).
-	cur, err := s.db.OpenNamesCursor()
+	cur, err := s.openCursor()
 	if err != nil {
 		return
 	}
 	defer cur.Close()
 	for {
 		page, err := cur.Next(s.cfg.FullBatch)
-		if err != nil || len(page) == 0 {
+		if err != nil {
+			// A mid-scan error leaves fresh missing an unknown suffix of the
+			// catalog; installing it would turn those names into Bloom false
+			// negatives, violating the no-false-negative contract. Keep the
+			// current (oversubscribed but complete) filter — the next add
+			// retries the rebuild.
+			return
+		}
+		if len(page) == 0 {
 			break
 		}
 		for _, n := range page {
@@ -130,12 +146,14 @@ func (s *Service) flushIncremental(ctx context.Context) {
 			// Quarantined target: skip the dial entirely. Non-Bloom deltas
 			// are re-queued so the target catches up once it recovers (the
 			// periodic full update repairs any divergence regardless).
+			s.mu.Lock()
+			ts := s.targetStatsLocked(tg.spec.URL)
+			ts.Skipped++
 			if !tg.spec.Bloom {
 				failed = true
-				s.mu.Lock()
-				s.targetStatsLocked(tg.spec.URL).Requeued += int64(len(added) + len(removed))
-				s.mu.Unlock()
+				ts.Requeued += int64(len(added) + len(removed))
 			}
+			s.mu.Unlock()
 			continue
 		}
 		if tg.spec.Bloom {
@@ -220,6 +238,9 @@ func (s *Service) ForceUpdate(ctx context.Context) []TargetResult {
 		// one bounded probe per backoff interval instead of a redial every
 		// round.
 		if !s.breakerFor(tg.spec.URL).Allow() {
+			s.mu.Lock()
+			s.targetStatsLocked(tg.spec.URL).Skipped++
+			s.mu.Unlock()
 			out = append(out, TargetResult{URL: tg.spec.URL, Kind: kind, Skipped: true})
 			continue
 		}
@@ -337,7 +358,16 @@ func (s *Service) sendFullTo(ctx context.Context, tg *target) (res TargetResult)
 			s.dropUpdater(tg, up)
 		}
 	}()
-	if err := up.SSFullStart(ctx, s.cfg.URL, uint64(logicals)); err != nil {
+	// The advertised total lets the RLI detect truncated streams at FullEnd.
+	// For partitioned targets only a subset of the catalog is streamed and
+	// the subset size is unknown until the scan completes, so advertise 0
+	// ("unknown") and forgo the check rather than promise a count the stream
+	// will legitimately undershoot.
+	total := uint64(logicals)
+	if len(tg.patterns) > 0 {
+		total = 0
+	}
+	if err := up.SSFullStart(ctx, s.cfg.URL, total); err != nil {
 		res.Err = err
 		return res
 	}

@@ -79,6 +79,42 @@ func TestTargetStatsCountRequeuedDeltas(t *testing.T) {
 	}
 }
 
+// TestTargetStatsCountBreakerSkips is the regression test for the dead
+// Skipped counter: both breaker-skip paths — a scheduled full/Bloom pass in
+// ForceUpdate and a suppressed incremental flush — must charge the skip to
+// the target's TargetStats, not drop it.
+func TestTargetStatsCountBreakerSkips(t *testing.T) {
+	fc := clock.NewFake(time.Unix(2000, 0))
+	up := newFakeUpdater()
+	s := newTestService(t, up, func(c *Config) {
+		c.Clock = fc
+		c.FailThreshold = 1
+		c.ImmediateMode = true
+		c.ImmediateThreshold = 1000
+	})
+	s.AddRLITarget(ctx, wire.RLITarget{URL: "rls://rli"})
+	s.CreateMapping(ctx, "lfn://a", "pfn://a")
+
+	up.failNext = errors.New("rli down")
+	s.ForceUpdate(ctx) // trips the breaker (threshold 1)
+	s.ForceUpdate(ctx) // quarantined, probe not due: suppressed
+	s.ForceUpdate(ctx) // suppressed again
+	ts := s.TargetStats()[0]
+	if ts.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", ts.Failed)
+	}
+	if ts.Skipped != 2 {
+		t.Fatalf("Skipped = %d after two suppressed passes, want 2", ts.Skipped)
+	}
+
+	s.CreateMapping(ctx, "lfn://b", "pfn://b")
+	s.flushIncremental(ctx)
+	ts = s.TargetStats()[0]
+	if ts.Skipped != 3 {
+		t.Fatalf("Skipped = %d after a suppressed incremental flush, want 3", ts.Skipped)
+	}
+}
+
 // TestTargetStatsRecordBloomBytes verifies compressed updates report their
 // serialized payload size (the paper's Table 3 transfer-cost column).
 func TestTargetStatsRecordBloomBytes(t *testing.T) {

@@ -1,0 +1,277 @@
+package membership
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/rdb"
+	"repro/internal/wire"
+)
+
+// ErrUnknownMember reports a heartbeat for a member the registry does not
+// hold — typically one already expired. It wraps rdb.ErrNotFound so the
+// server maps it onto the wire not-found status, which the agent treats as
+// "re-join".
+var ErrUnknownMember = fmt.Errorf("%w: unknown member", rdb.ErrNotFound)
+
+// Registry defaults.
+const (
+	// DefaultTTL is how long a member's lease lives without a heartbeat.
+	DefaultTTL = 10 * time.Second
+	// DefaultSweepInterval is how often the expiry sweep runs.
+	DefaultSweepInterval = 2 * time.Second
+)
+
+// RegistryConfig configures a seed-node Registry.
+type RegistryConfig struct {
+	// TTL is the member lease; a member that neither heartbeats nor
+	// re-joins within it is expired. DefaultTTL if zero.
+	TTL time.Duration
+	// SweepInterval is the expiry-sweep period. DefaultSweepInterval if
+	// zero.
+	SweepInterval time.Duration
+	// Clock drives leases and sweeps; defaults to the real clock.
+	Clock clock.Clock
+	// Logger receives membership-change diagnostics. Nil discards.
+	Logger *slog.Logger
+}
+
+// Registry is the seed-node runtime membership service: nodes join and
+// heartbeat, silent members expire, and every change bumps a generation
+// number so pullers can cheaply detect "nothing new". It implements
+// server.Membership.
+type Registry struct {
+	cfg RegistryConfig
+	clk clock.Clock
+	log *slog.Logger
+
+	mu      sync.Mutex
+	gen     uint64
+	members map[string]*memberEntry
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	stats RegistryStats
+}
+
+// memberEntry is one registered member with its lease.
+type memberEntry struct {
+	info     wire.MemberInfo
+	lastSeen time.Time
+}
+
+// RegistryStats counts registry activity.
+type RegistryStats struct {
+	Joins      int64
+	Leaves     int64
+	Heartbeats int64
+	Expired    int64
+	ViewPulls  int64
+}
+
+// NewRegistry creates a registry. Call Start to run the expiry sweep.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = DefaultSweepInterval
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Registry{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		log:     cfg.Logger,
+		members: make(map[string]*memberEntry),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Start launches the expiry sweep.
+func (r *Registry) Start() {
+	r.wg.Add(1)
+	go r.sweepLoop()
+}
+
+// Close stops the expiry sweep. Safe to call more than once.
+func (r *Registry) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.wg.Wait()
+}
+
+// sweepLoop periodically expires members whose lease ran out.
+func (r *Registry) sweepLoop() {
+	defer r.wg.Done()
+	t := r.clk.NewTicker(r.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C():
+			r.ExpireNow()
+		}
+	}
+}
+
+// sameMember reports whether two member records are identical, so an
+// idempotent re-join refreshes the lease without bumping the generation.
+func sameMember(a, b wire.MemberInfo) bool {
+	if a.Name != b.Name || a.URL != b.URL || a.Group != b.Group || len(a.Roles) != len(b.Roles) {
+		return false
+	}
+	for i := range a.Roles {
+		if a.Roles[i] != b.Roles[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HandleJoin registers or refreshes a member (server.Membership).
+func (r *Registry) HandleJoin(ctx context.Context, m wire.MemberInfo) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if m.Name == "" || m.URL == "" {
+		return fmt.Errorf("%w: member join needs a name and url", rdb.ErrInvalid)
+	}
+	now := r.clk.Now()
+	r.mu.Lock()
+	r.stats.Joins++
+	cur, ok := r.members[m.Name]
+	if ok && sameMember(cur.info, m) {
+		cur.lastSeen = now // lease refresh, view unchanged
+		r.mu.Unlock()
+		return nil
+	}
+	r.members[m.Name] = &memberEntry{info: m, lastSeen: now}
+	r.gen++
+	gen := r.gen
+	r.mu.Unlock()
+	r.log.Info("membership: member joined", "name", m.Name, "url", m.URL,
+		"roles", m.Roles, "group", m.Group, "generation", gen)
+	return nil
+}
+
+// HandleLeave removes a member (server.Membership). Unknown names are a
+// no-op: a graceful leave may race lease expiry.
+func (r *Registry) HandleLeave(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.stats.Leaves++
+	_, ok := r.members[name]
+	var gen uint64
+	if ok {
+		delete(r.members, name)
+		r.gen++
+		gen = r.gen
+	}
+	r.mu.Unlock()
+	if ok {
+		r.log.Info("membership: member left", "name", name, "generation", gen)
+	}
+	return nil
+}
+
+// HandleHeartbeat renews a member's lease (server.Membership). An unknown
+// member is an error so the node learns it was expired and re-joins.
+func (r *Registry) HandleHeartbeat(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	now := r.clk.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Heartbeats++
+	en, ok := r.members[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, name)
+	}
+	en.lastSeen = now
+	return nil
+}
+
+// HandleView returns the current view (server.Membership). Members are
+// sorted by name so identical views serialize identically.
+func (r *Registry) HandleView(ctx context.Context, since uint64) (*wire.MemberViewResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.ViewPulls++
+	resp := &wire.MemberViewResponse{Generation: r.gen}
+	if r.gen <= since {
+		return resp, nil
+	}
+	resp.Changed = true
+	resp.Members = make([]wire.MemberInfo, 0, len(r.members))
+	for _, en := range r.members {
+		resp.Members = append(resp.Members, en.info)
+	}
+	sort.Slice(resp.Members, func(i, j int) bool { return resp.Members[i].Name < resp.Members[j].Name })
+	return resp, nil
+}
+
+// ExpireNow runs one expiry sweep, returning how many members were dropped.
+func (r *Registry) ExpireNow() int {
+	cutoff := r.clk.Now().Add(-r.cfg.TTL)
+	r.mu.Lock()
+	var dropped []string
+	for name, en := range r.members {
+		if en.lastSeen.Before(cutoff) {
+			delete(r.members, name)
+			dropped = append(dropped, name)
+		}
+	}
+	if len(dropped) > 0 {
+		r.gen++
+		r.stats.Expired += int64(len(dropped))
+	}
+	gen := r.gen
+	r.mu.Unlock()
+	if len(dropped) > 0 {
+		r.log.Warn("membership: expired silent members", "names", dropped, "generation", gen)
+	}
+	return len(dropped)
+}
+
+// Generation returns the current view generation.
+func (r *Registry) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// MemberCount reports how many members are registered.
+func (r *Registry) MemberCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.members)
+}
+
+// Stats returns a snapshot of registry counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

@@ -1,0 +1,153 @@
+package membership
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/rdb"
+	"repro/internal/wire"
+)
+
+func member(name string, roles ...string) wire.MemberInfo {
+	return wire.MemberInfo{Name: name, URL: "rls://" + name, Roles: roles, Group: "g1"}
+}
+
+func TestRegistryJoinViewGenerations(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	r := NewRegistry(RegistryConfig{Clock: fc})
+	ctx := context.Background()
+
+	if gen := r.Generation(); gen != 0 {
+		t.Fatalf("fresh registry generation = %d, want 0", gen)
+	}
+	if err := r.HandleJoin(ctx, member("rli-a", "rli")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.HandleJoin(ctx, member("rli-b", "rli")); err != nil {
+		t.Fatal(err)
+	}
+	if gen := r.Generation(); gen != 2 {
+		t.Fatalf("generation after two joins = %d, want 2", gen)
+	}
+
+	view, err := r.HandleView(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.Changed || len(view.Members) != 2 {
+		t.Fatalf("view = changed %v members %d, want changed with 2", view.Changed, len(view.Members))
+	}
+	if view.Members[0].Name != "rli-a" || view.Members[1].Name != "rli-b" {
+		t.Fatalf("members not name-sorted: %v", view.Members)
+	}
+
+	// An up-to-date puller gets a cheap "nothing new".
+	view, err = r.HandleView(ctx, view.Generation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Changed || view.Members != nil {
+		t.Fatalf("up-to-date view = changed %v members %v, want unchanged empty", view.Changed, view.Members)
+	}
+
+	// An identical re-join refreshes the lease without a generation bump.
+	if err := r.HandleJoin(ctx, member("rli-a", "rli")); err != nil {
+		t.Fatal(err)
+	}
+	if gen := r.Generation(); gen != 2 {
+		t.Fatalf("generation after idempotent re-join = %d, want 2", gen)
+	}
+	// A changed record does bump it.
+	m := member("rli-a", "rli")
+	m.Group = "g2"
+	if err := r.HandleJoin(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if gen := r.Generation(); gen != 3 {
+		t.Fatalf("generation after changed re-join = %d, want 3", gen)
+	}
+}
+
+func TestRegistryJoinValidation(t *testing.T) {
+	r := NewRegistry(RegistryConfig{})
+	err := r.HandleJoin(context.Background(), wire.MemberInfo{Name: "", URL: "rls://x"})
+	if !errors.Is(err, rdb.ErrInvalid) {
+		t.Fatalf("nameless join error = %v, want ErrInvalid", err)
+	}
+	err = r.HandleJoin(context.Background(), wire.MemberInfo{Name: "x", URL: ""})
+	if !errors.Is(err, rdb.ErrInvalid) {
+		t.Fatalf("url-less join error = %v, want ErrInvalid", err)
+	}
+}
+
+func TestRegistryLeaseExpiry(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	r := NewRegistry(RegistryConfig{TTL: 10 * time.Second, Clock: fc})
+	ctx := context.Background()
+
+	if err := r.HandleJoin(ctx, member("rli-a", "rli")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.HandleJoin(ctx, member("rli-b", "rli")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heartbeats keep rli-a alive while rli-b goes silent.
+	for i := 0; i < 3; i++ {
+		fc.Advance(6 * time.Second)
+		if err := r.HandleHeartbeat(ctx, "rli-a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	genBefore := r.Generation()
+	if dropped := r.ExpireNow(); dropped != 1 {
+		t.Fatalf("ExpireNow dropped %d members, want 1 (silent rli-b)", dropped)
+	}
+	if r.Generation() != genBefore+1 {
+		t.Fatalf("expiry did not bump generation: %d -> %d", genBefore, r.Generation())
+	}
+	if n := r.MemberCount(); n != 1 {
+		t.Fatalf("member count after expiry = %d, want 1", n)
+	}
+
+	// The expired member's next heartbeat must be refused so it re-joins.
+	err := r.HandleHeartbeat(ctx, "rli-b")
+	if !errors.Is(err, ErrUnknownMember) || !errors.Is(err, rdb.ErrNotFound) {
+		t.Fatalf("heartbeat after expiry = %v, want ErrUnknownMember wrapping ErrNotFound", err)
+	}
+	if st := r.Stats(); st.Expired != 1 {
+		t.Fatalf("Stats.Expired = %d, want 1", st.Expired)
+	}
+}
+
+func TestRegistryLeaveUnknownIsNoop(t *testing.T) {
+	r := NewRegistry(RegistryConfig{})
+	gen := r.Generation()
+	if err := r.HandleLeave(context.Background(), "ghost"); err != nil {
+		t.Fatalf("unknown leave = %v, want nil (races lease expiry)", err)
+	}
+	if r.Generation() != gen {
+		t.Fatal("unknown leave bumped the generation")
+	}
+}
+
+func TestRegistrySweepLoopExpires(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	r := NewRegistry(RegistryConfig{TTL: 4 * time.Second, SweepInterval: time.Second, Clock: fc})
+	r.Start()
+	defer r.Close()
+	if err := r.HandleJoin(context.Background(), member("rli-a", "rli")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.MemberCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep loop never expired the silent member")
+		}
+		fc.Advance(time.Second)
+		time.Sleep(time.Millisecond)
+	}
+}

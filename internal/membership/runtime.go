@@ -1,0 +1,78 @@
+package membership
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+
+	"repro/internal/lrc"
+	"repro/internal/wire"
+)
+
+// HasRole reports whether the member advertises the role.
+func HasRole(m wire.MemberInfo, role string) bool {
+	for _, r := range m.Roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupMembers filters a view down to the RLI replicas of one group, in
+// view (name-sorted) order.
+func GroupMembers(view *wire.MemberViewResponse, group string) []wire.MemberInfo {
+	var out []wire.MemberInfo
+	for _, m := range view.Members {
+		if m.Group == group && HasRole(m, "rli") {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// RLIGroupSync returns an Agent OnView callback that keeps an LRC's RLI
+// target set synchronized with the live replicas of one group: every
+// replica in the view becomes a soft-state target (the replica fanout — all
+// replicas receive the LRC's updates, so any of them can answer), and
+// replicas that drop out of the view are removed. Only targets this
+// callback added are ever removed, so statically configured targets
+// coexist with runtime-discovered ones.
+func RLIGroupSync(svc *lrc.Service, group string, bloomMode bool, log *slog.Logger) func(*wire.MemberViewResponse) {
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	var mu sync.Mutex
+	managed := make(map[string]bool)
+	return func(view *wire.MemberViewResponse) {
+		desired := make(map[string]bool)
+		for _, m := range GroupMembers(view, group) {
+			desired[m.URL] = true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		ctx := context.Background()
+		for url := range desired {
+			if managed[url] {
+				continue
+			}
+			if err := svc.AddRLITarget(ctx, wire.RLITarget{URL: url, Bloom: bloomMode}); err != nil {
+				log.Warn("membership: add runtime RLI target failed", "url", url, "err", err)
+				continue
+			}
+			managed[url] = true
+			log.Info("membership: runtime RLI target added", "lrc", svc.URL(), "url", url)
+		}
+		for url := range managed {
+			if desired[url] {
+				continue
+			}
+			if err := svc.RemoveRLITarget(ctx, url); err != nil {
+				log.Warn("membership: remove runtime RLI target failed", "url", url, "err", err)
+			}
+			delete(managed, url)
+			log.Info("membership: runtime RLI target removed", "lrc", svc.URL(), "url", url)
+		}
+	}
+}

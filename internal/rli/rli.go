@@ -23,6 +23,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -55,6 +57,9 @@ type Config struct {
 	// ExpireInterval is the expire-thread period; DefaultExpireInterval if
 	// zero.
 	ExpireInterval time.Duration
+	// Logger receives operational warnings (truncated full updates, snapshot
+	// imports). Nil discards.
+	Logger *slog.Logger
 }
 
 // Service is a running Replica Location Index.
@@ -94,6 +99,10 @@ type fullSession struct {
 	started      time.Time
 	lastActivity time.Time
 	names        int64
+	// total is the name count the LRC advertised in SSFullStart. FullEnd
+	// checks the streamed count against it: a short stream means batches
+	// were lost in transit and the "completed" update is actually partial.
+	total uint64
 }
 
 // Stats counts RLI activity.
@@ -116,6 +125,15 @@ type Stats struct {
 	// explicit client abort.
 	SessionsExpired int64
 	SessionsAborted int64
+	// TruncatedFulls counts full updates whose SSFullEnd arrived with fewer
+	// names streamed than SSFullStart advertised — the stream was truncated
+	// but still delivered its end marker. The names that did arrive are kept
+	// (valid soft state); the LRC's next full pass repairs the gap.
+	TruncatedFulls int64
+	// SnapshotExports / SnapshotImports count warm-standby bootstrap
+	// transfers of the in-memory Bloom store.
+	SnapshotExports int64
+	SnapshotImports int64
 }
 
 // New creates the service.
@@ -131,6 +149,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.ExpireInterval <= 0 {
 		cfg.ExpireInterval = DefaultExpireInterval
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return &Service{
 		cfg:         cfg,
@@ -195,7 +216,7 @@ func (s *Service) HandleFullStart(ctx context.Context, lrcURL string, total uint
 	now := s.clk.Now()
 	s.mu.Lock()
 	s.stats.FullUpdates++
-	s.sessions[lrcURL] = &fullSession{started: now, lastActivity: now}
+	s.sessions[lrcURL] = &fullSession{started: now, lastActivity: now, total: total}
 	s.mu.Unlock()
 	return nil
 }
@@ -223,7 +244,10 @@ func (s *Service) HandleFullBatch(ctx context.Context, lrcURL string, names []st
 }
 
 // HandleFullEnd completes a full update, closing the session and recording
-// the LRC's refresh time for staleness accounting.
+// the LRC's refresh time for staleness accounting. A stream that delivered
+// fewer names than SSFullStart advertised is counted as truncated: the end
+// marker alone does not prove completeness, and treating a short stream as a
+// full refresh would let a lossy path masquerade as healthy soft state.
 func (s *Service) HandleFullEnd(ctx context.Context, lrcURL string) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -232,6 +256,11 @@ func (s *Service) HandleFullEnd(ctx context.Context, lrcURL string) error {
 		return errNoDB
 	}
 	s.mu.Lock()
+	if sess := s.sessions[lrcURL]; sess != nil && sess.total > 0 && uint64(sess.names) < sess.total {
+		s.stats.TruncatedFulls++
+		s.cfg.Logger.Warn("rli: truncated full update",
+			"lrc", lrcURL, "advertised", sess.total, "streamed", sess.names)
+	}
 	delete(s.sessions, lrcURL)
 	s.lastRefresh[lrcURL] = s.clk.Now()
 	s.mu.Unlock()

@@ -1,0 +1,85 @@
+package rli
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/rdb"
+	"repro/internal/wire"
+)
+
+// Warm-standby bootstrap: a fresh RLI replica joining a group would
+// otherwise serve false not-founds for up to one full soft-state period
+// until every LRC's next scheduled update reaches it. Instead it imports a
+// peer's in-memory Bloom store — each filter stamped with its age, so the
+// importer reconstructs receive times against its own clock — and is able
+// to answer queries immediately; the next incremental/Bloom stream from the
+// LRCs then takes over refreshing the state.
+
+// ExportSnapshot serializes the in-memory Bloom store for a peer replica.
+// Ages rather than absolute times cross the wire: the peers' clocks need
+// not agree, only their rates do.
+func (s *Service) ExportSnapshot(ctx context.Context) ([]wire.RLIFilterState, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]wire.RLIFilterState, 0, len(s.filters))
+	for url, fe := range s.filters {
+		data, err := fe.bitmap.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wire.RLIFilterState{
+			LRC:      url,
+			Bitmap:   data,
+			AgeNanos: now.Sub(fe.received).Nanoseconds(),
+		})
+	}
+	s.stats.SnapshotExports++
+	return out, nil
+}
+
+// ImportSnapshot installs a peer's Bloom store. An entry is skipped when the
+// local copy is already fresher (the LRC's own stream beat the snapshot) and
+// when its age exceeds the soft-state timeout — expired state must not be
+// resurrected. Returns how many filters were installed.
+func (s *Service) ImportSnapshot(ctx context.Context, entries []wire.RLIFilterState) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	now := s.clk.Now()
+	installed := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, en := range entries {
+		age := time.Duration(en.AgeNanos)
+		if age < 0 {
+			age = 0
+		}
+		if age >= s.cfg.Timeout {
+			continue
+		}
+		received := now.Add(-age)
+		if cur, ok := s.filters[en.LRC]; ok && !cur.received.Before(received) {
+			continue
+		}
+		var bm bloom.Bitmap
+		if err := bm.UnmarshalBinary(en.Bitmap); err != nil {
+			return installed, errors.Join(rdb.ErrInvalid, err)
+		}
+		s.filters[en.LRC] = &filterEntry{bitmap: &bm, received: received}
+		if ts, ok := s.lastRefresh[en.LRC]; !ok || ts.Before(received) {
+			s.lastRefresh[en.LRC] = received
+		}
+		installed++
+	}
+	s.stats.SnapshotImports++
+	s.cfg.Logger.Info("rli: imported peer snapshot",
+		"filters", installed, "offered", len(entries))
+	return installed, nil
+}

@@ -1,0 +1,110 @@
+package rli
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1000, 0))
+	source := newTestRLI(t, func(c *Config) { c.Clock = fc; c.Timeout = time.Minute })
+	standby := newTestRLI(t, func(c *Config) { c.Clock = fc; c.Timeout = time.Minute })
+
+	if err := source.HandleBloom(ctx, "rls://lrc1", bloomPayload(t, "lfn://a", "lfn://b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := source.HandleBloom(ctx, "rls://lrc2", bloomPayload(t, "lfn://c")); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := source.ExportSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("exported %d filters, want 2", len(entries))
+	}
+
+	// A cold standby misses everything...
+	if lrcs, _ := standby.QueryLRCs(ctx, "lfn://a"); len(lrcs) != 0 {
+		t.Fatalf("cold standby answered %v before import", lrcs)
+	}
+	// ...until the peer snapshot installs.
+	n, err := standby.ImportSnapshot(ctx, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("imported %d filters, want 2", n)
+	}
+	lrcs, stale, err := standby.QueryLRCsDetailed(ctx, "lfn://a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lrcs) != 1 || lrcs[0] != "rls://lrc1" {
+		t.Fatalf("standby answered %v after import, want [rls://lrc1]", lrcs)
+	}
+	if stale {
+		t.Fatal("freshly imported filter reported stale")
+	}
+	if lrcs, _ := standby.QueryLRCs(ctx, "lfn://c"); len(lrcs) != 1 || lrcs[0] != "rls://lrc2" {
+		t.Fatalf("standby answered %v for lrc2's name", lrcs)
+	}
+	st := standby.Stats()
+	if st.SnapshotImports != 1 {
+		t.Fatalf("SnapshotImports = %d, want 1", st.SnapshotImports)
+	}
+	if src := source.Stats(); src.SnapshotExports != 1 {
+		t.Fatalf("SnapshotExports = %d, want 1", src.SnapshotExports)
+	}
+}
+
+func TestSnapshotImportSkipsExpiredAndStale(t *testing.T) {
+	fc := clock.NewFake(time.Unix(1000, 0))
+	standby := newTestRLI(t, func(c *Config) { c.Clock = fc; c.Timeout = time.Minute })
+
+	// The standby already holds a fresh filter for lrc1.
+	if err := standby.HandleBloom(ctx, "rls://lrc1", bloomPayload(t, "lfn://fresh")); err != nil {
+		t.Fatal(err)
+	}
+
+	source := newTestRLI(t, func(c *Config) { c.Clock = fc; c.Timeout = time.Minute })
+	if err := source.HandleBloom(ctx, "rls://lrc1", bloomPayload(t, "lfn://old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := source.HandleBloom(ctx, "rls://lrc2", bloomPayload(t, "lfn://dead")); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := source.ExportSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age the snapshot in transit: lrc2's filter beyond the soft-state
+	// timeout (must not be resurrected), lrc1's behind the standby's own
+	// fresher copy (must not be overwritten).
+	for i := range entries {
+		switch entries[i].LRC {
+		case "rls://lrc2":
+			entries[i].AgeNanos = (2 * time.Minute).Nanoseconds()
+		case "rls://lrc1":
+			entries[i].AgeNanos = (30 * time.Second).Nanoseconds()
+		}
+	}
+
+	n, err := standby.ImportSnapshot(ctx, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("imported %d filters, want 0 (one expired, one stale)", n)
+	}
+	if lrcs, _ := standby.QueryLRCs(ctx, "lfn://dead"); len(lrcs) != 0 {
+		t.Fatalf("expired snapshot entry resurrected: %v", lrcs)
+	}
+	if lrcs, _ := standby.QueryLRCs(ctx, "lfn://fresh"); len(lrcs) != 1 {
+		t.Fatalf("import overwrote the standby's fresher filter: %v", lrcs)
+	}
+}

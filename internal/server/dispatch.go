@@ -25,11 +25,16 @@ func privilegeFor(op wire.Op) auth.Privilege {
 		return auth.PrivLRCWrite
 	case wire.OpLRCRLIAdd, wire.OpLRCRLIRemove:
 		return auth.PrivAdmin
-	case wire.OpRLIGetLRCs, wire.OpRLIGetLRCsWild, wire.OpRLIBulkGetLRCs, wire.OpRLILRCList:
+	case wire.OpRLIGetLRCs, wire.OpRLIGetLRCsWild, wire.OpRLIBulkGetLRCs, wire.OpRLILRCList,
+		wire.OpRLISnapshot:
 		return auth.PrivRLIRead
 	case wire.OpSSFullStart, wire.OpSSFullBatch, wire.OpSSFullEnd,
 		wire.OpSSIncremental, wire.OpSSBloom, wire.OpSSFullAbort:
 		return auth.PrivRLIWrite
+	case wire.OpMemberView:
+		return "" // any node may pull the membership view
+	case wire.OpMemberJoin, wire.OpMemberLeave, wire.OpMemberHeartbeat:
+		return auth.PrivAdmin
 	default:
 		return auth.PrivAdmin
 	}
@@ -40,11 +45,17 @@ func isLRCOp(op wire.Op) bool {
 	return op >= wire.OpLRCCreateMapping && op <= wire.OpLRCRLIRemove
 }
 
-// isRLIOp reports whether the op requires the RLI role. OpSSFullAbort sits
-// outside the contiguous RLI range because it was appended later to preserve
-// opcode numbering.
+// isRLIOp reports whether the op requires the RLI role. OpSSFullAbort and
+// OpRLISnapshot sit outside the contiguous RLI range because they were
+// appended later to preserve opcode numbering.
 func isRLIOp(op wire.Op) bool {
-	return (op >= wire.OpRLIGetLRCs && op <= wire.OpSSBloom) || op == wire.OpSSFullAbort
+	return (op >= wire.OpRLIGetLRCs && op <= wire.OpSSBloom) ||
+		op == wire.OpSSFullAbort || op == wire.OpRLISnapshot
+}
+
+// isMemberOp reports whether the op requires the seed's membership registry.
+func isMemberOp(op wire.Op) bool {
+	return op >= wire.OpMemberJoin && op <= wire.OpMemberView
 }
 
 // dispatch authorizes and executes one request.
@@ -60,6 +71,9 @@ func (s *Server) dispatch(ctx context.Context, id auth.Identity, req *wire.Reque
 		return unsupported(req.ID, op, s.Role())
 	}
 	if isRLIOp(op) && s.cfg.RLI == nil {
+		return unsupported(req.ID, op, s.Role())
+	}
+	if isMemberOp(op) && s.cfg.Members == nil {
 		return unsupported(req.ID, op, s.Role())
 	}
 	switch op {
@@ -151,6 +165,20 @@ func (s *Server) dispatch(ctx context.Context, id auth.Identity, req *wire.Reque
 		return s.handleSSBloom(ctx, req)
 	case wire.OpSSFullAbort:
 		return s.handleSSFullAbort(ctx, req)
+
+	// Runtime membership (seed registry).
+	case wire.OpMemberJoin:
+		return s.handleMemberJoin(ctx, req)
+	case wire.OpMemberLeave:
+		return s.handleMemberLeave(ctx, req)
+	case wire.OpMemberHeartbeat:
+		return s.handleMemberHeartbeat(ctx, req)
+	case wire.OpMemberView:
+		return s.handleMemberView(ctx, req)
+
+	// Warm-standby bootstrap.
+	case wire.OpRLISnapshot:
+		return s.handleRLISnapshot(ctx, req)
 	default:
 		return unsupported(req.ID, op, s.Role())
 	}
@@ -457,6 +485,64 @@ func (s *Server) handleSSBloom(ctx context.Context, req *wire.Request) *wire.Res
 		return fail(req.ID, err)
 	}
 	return ok(req.ID, nil)
+}
+
+// ---- membership handlers ----
+
+func (s *Server) handleMemberJoin(ctx context.Context, req *wire.Request) *wire.Response {
+	r, err := wire.DecodeMemberJoinRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.Members.HandleJoin(ctx, r.Member); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleMemberLeave(ctx context.Context, req *wire.Request) *wire.Response {
+	r, err := wire.DecodeNameRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.Members.HandleLeave(ctx, r.Name); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleMemberHeartbeat(ctx context.Context, req *wire.Request) *wire.Response {
+	r, err := wire.DecodeNameRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	if err := s.cfg.Members.HandleHeartbeat(ctx, r.Name); err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, nil)
+}
+
+func (s *Server) handleMemberView(ctx context.Context, req *wire.Request) *wire.Response {
+	r, err := wire.DecodeMemberViewRequest(req.Body)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	view, err := s.cfg.Members.HandleView(ctx, r.SinceGeneration)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	return ok(req.ID, view.Encode())
+}
+
+// ---- warm-standby bootstrap ----
+
+func (s *Server) handleRLISnapshot(ctx context.Context, req *wire.Request) *wire.Response {
+	entries, err := s.cfg.RLI.ExportSnapshot(ctx)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := wire.RLISnapshotResponse{Entries: entries}
+	return ok(req.ID, resp.Encode())
 }
 
 // ---- diagnostics ----

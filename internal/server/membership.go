@@ -1,0 +1,29 @@
+package server
+
+import (
+	"context"
+
+	"repro/internal/wire"
+)
+
+// Membership is the seed-side registry behind the runtime-membership ops.
+// It is defined here as an interface — rather than depending on the
+// membership package directly — because membership builds its runtime glue
+// on the core deployment facade, which imports this package; the interface
+// breaks the cycle. membership.Registry is the canonical implementation.
+type Membership interface {
+	// HandleJoin registers (or refreshes) a member. Idempotent: re-joining
+	// with identical info renews the lease without bumping the view
+	// generation.
+	HandleJoin(ctx context.Context, m wire.MemberInfo) error
+	// HandleLeave removes a member by name. Unknown names are a no-op (the
+	// leave may race lease expiry).
+	HandleLeave(ctx context.Context, name string) error
+	// HandleHeartbeat renews a member's lease. An unknown name is an error
+	// so the node learns it was expired and re-joins.
+	HandleHeartbeat(ctx context.Context, name string) error
+	// HandleView returns the current generation-numbered view; when the
+	// generation has not advanced past since, the response carries
+	// Changed=false and no member list.
+	HandleView(ctx context.Context, since uint64) (*wire.MemberViewResponse, error)
+}

@@ -63,6 +63,11 @@ type Config struct {
 	LRC *lrc.Service
 	// RLI enables the Replica Location Index role (may be nil).
 	RLI *rli.Service
+	// Members enables the seed role: the server answers runtime-membership
+	// ops (join/leave/heartbeat/view) against this registry (may be nil).
+	// Declared as an interface because the membership package builds on the
+	// core deployment facade, which imports this package.
+	Members Membership
 	// Auth validates connections; nil means open mode.
 	Auth *auth.Authenticator
 	// Logger receives connection-level diagnostics; nil discards them.
@@ -142,10 +147,11 @@ type Server struct {
 	dispatchHook func(*wire.Request)
 }
 
-// New creates a server. At least one of LRC and RLI must be configured.
+// New creates a server. At least one role — LRC, RLI, or seed (membership
+// registry) — must be configured.
 func New(cfg Config) (*Server, error) {
-	if cfg.LRC == nil && cfg.RLI == nil {
-		return nil, errors.New("server: need at least one of LRC and RLI roles")
+	if cfg.LRC == nil && cfg.RLI == nil && cfg.Members == nil {
+		return nil, errors.New("server: need at least one of the LRC, RLI and seed roles")
 	}
 	if cfg.URL == "" {
 		return nil, errors.New("server: Config.URL is required")
@@ -187,8 +193,10 @@ func (s *Server) Role() string {
 		return "lrc+rli"
 	case s.cfg.LRC != nil:
 		return "lrc"
-	default:
+	case s.cfg.RLI != nil:
 		return "rli"
+	default:
+		return "seed"
 	}
 }
 

@@ -1236,3 +1236,168 @@ func DecodeServerInfoResponse(body []byte) (*ServerInfoResponse, error) {
 	}
 	return r, nil
 }
+
+// ---- Runtime membership ----
+
+// MemberInfo describes one registered node in a membership view.
+type MemberInfo struct {
+	// Name is the node's unique registry identity (its deployment name).
+	Name string
+	// URL is the node's dialable address.
+	URL string
+	// Roles lists what the node serves ("lrc", "rli", "seed").
+	Roles []string
+	// Group names the replica group an RLI belongs to; replicas of one
+	// logical index share a group and LRCs fan soft state out to all of
+	// them. Empty for non-replicated nodes.
+	Group string
+}
+
+func encodeMemberInfo(e *Encoder, m MemberInfo) {
+	e.String(m.Name)
+	e.String(m.URL)
+	e.StringList(m.Roles)
+	e.String(m.Group)
+}
+
+func decodeMemberInfo(d *Decoder) MemberInfo {
+	return MemberInfo{Name: d.String(), URL: d.String(), Roles: d.StringList(), Group: d.String()}
+}
+
+// MemberJoinRequest registers (or re-registers) a node with a seed. Joins
+// are idempotent: re-joining with identical info refreshes the member's
+// lease without bumping the view generation.
+type MemberJoinRequest struct {
+	Member MemberInfo
+}
+
+// Encode serializes the request body.
+func (r *MemberJoinRequest) Encode() []byte {
+	e := NewEncoder(64)
+	encodeMemberInfo(e, r.Member)
+	return e.Bytes()
+}
+
+// DecodeMemberJoinRequest parses a MemberJoinRequest body.
+func DecodeMemberJoinRequest(body []byte) (*MemberJoinRequest, error) {
+	d := NewDecoder(body)
+	r := &MemberJoinRequest{Member: decodeMemberInfo(d)}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MemberViewRequest pulls the seed's current membership view. SinceGeneration
+// is the puller's last-seen generation: a seed whose view has not advanced
+// answers Changed=false with no member list, making the periodic
+// anti-entropy pull a near-no-op in the steady state.
+type MemberViewRequest struct {
+	SinceGeneration uint64
+}
+
+// Encode serializes the request body.
+func (r *MemberViewRequest) Encode() []byte {
+	e := NewEncoder(12)
+	e.U64(r.SinceGeneration)
+	return e.Bytes()
+}
+
+// DecodeMemberViewRequest parses a MemberViewRequest body.
+func DecodeMemberViewRequest(body []byte) (*MemberViewRequest, error) {
+	d := NewDecoder(body)
+	r := &MemberViewRequest{SinceGeneration: d.U64()}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MemberViewResponse is a generation-numbered membership view.
+type MemberViewResponse struct {
+	Generation uint64
+	// Changed reports whether the view advanced past the request's
+	// SinceGeneration; when false Members is empty and the puller keeps its
+	// current view.
+	Changed bool
+	Members []MemberInfo
+}
+
+// Encode serializes the response body.
+func (r *MemberViewResponse) Encode() []byte {
+	e := NewEncoder(64 * (len(r.Members) + 1))
+	e.U64(r.Generation)
+	e.Bool(r.Changed)
+	e.Uvarint(uint64(len(r.Members)))
+	for _, m := range r.Members {
+		encodeMemberInfo(e, m)
+	}
+	return e.Bytes()
+}
+
+// DecodeMemberViewResponse parses a MemberViewResponse body.
+func DecodeMemberViewResponse(body []byte) (*MemberViewResponse, error) {
+	d := NewDecoder(body)
+	r := &MemberViewResponse{Generation: d.U64(), Changed: d.Bool()}
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	for i := uint64(0); i < n; i++ {
+		r.Members = append(r.Members, decodeMemberInfo(d))
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ---- RLI snapshot (warm-standby bootstrap) ----
+
+// RLIFilterState is one LRC's Bloom filter as held by an RLI, with its age
+// so the importer can reconstruct the original receive time against its own
+// clock (absolute timestamps do not transfer between simulated clocks).
+type RLIFilterState struct {
+	LRC      string
+	Bitmap   []byte
+	AgeNanos int64
+}
+
+// RLISnapshotResponse carries an RLI's in-memory Bloom store to a warm
+// standby.
+type RLISnapshotResponse struct {
+	Entries []RLIFilterState
+}
+
+// Encode serializes the response body.
+func (r *RLISnapshotResponse) Encode() []byte {
+	size := 16
+	for _, en := range r.Entries {
+		size += len(en.LRC) + len(en.Bitmap) + 24
+	}
+	e := NewEncoder(size)
+	e.Uvarint(uint64(len(r.Entries)))
+	for _, en := range r.Entries {
+		e.String(en.LRC)
+		e.Blob(en.Bitmap)
+		e.I64(en.AgeNanos)
+	}
+	return e.Bytes()
+}
+
+// DecodeRLISnapshotResponse parses an RLISnapshotResponse body.
+func DecodeRLISnapshotResponse(body []byte) (*RLISnapshotResponse, error) {
+	d := NewDecoder(body)
+	n := d.Uvarint()
+	if d.Err() == nil && n > uint64(len(body)) {
+		return nil, ErrTruncated
+	}
+	r := &RLISnapshotResponse{}
+	for i := uint64(0); i < n; i++ {
+		r.Entries = append(r.Entries, RLIFilterState{LRC: d.String(), Bitmap: d.Blob(), AgeNanos: d.I64()})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

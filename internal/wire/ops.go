@@ -73,6 +73,20 @@ const (
 	// preserve the numbering of earlier opcodes.
 	OpSSFullAbort
 
+	// Runtime membership (node -> seed server). Nodes register themselves
+	// with join/heartbeat, seeds expire silent members, and every node pulls
+	// generation-numbered views for anti-entropy. Appended to preserve the
+	// numbering of earlier opcodes.
+	OpMemberJoin
+	OpMemberLeave
+	OpMemberHeartbeat
+	OpMemberView
+
+	// OpRLISnapshot exports an RLI's in-memory Bloom store (warm-standby
+	// bootstrap: a fresh replica imports a peer's snapshot instead of waiting
+	// out a full soft-state period).
+	OpRLISnapshot
+
 	opMax // sentinel
 )
 
@@ -118,6 +132,11 @@ var opNames = map[Op]string{
 	OpSSBloom:            "ss_bloom",
 	OpStats:              "stats",
 	OpSSFullAbort:        "ss_full_abort",
+	OpMemberJoin:         "member_join",
+	OpMemberLeave:        "member_leave",
+	OpMemberHeartbeat:    "member_heartbeat",
+	OpMemberView:         "member_view",
+	OpRLISnapshot:        "rli_snapshot",
 }
 
 // String names the op for logs and errors.

@@ -68,6 +68,12 @@ var opDecoders = map[Op]ReqDecoder{
 	OpSSIncremental: req(DecodeSSIncrementalRequest),
 	OpSSBloom:       req(DecodeSSBloomRequest),
 	OpSSFullAbort:   req(DecodeNameRequest),
+
+	OpMemberJoin:      req(DecodeMemberJoinRequest),
+	OpMemberLeave:     req(DecodeNameRequest),
+	OpMemberHeartbeat: req(DecodeNameRequest),
+	OpMemberView:      req(DecodeMemberViewRequest),
+	OpRLISnapshot:     noBody,
 }
 
 // DecodeRequestBody decodes a request body according to the op's canonical
